@@ -1,0 +1,529 @@
+(* The PET command-line interface: validate rule files, minimize a user's
+   form, produce consent reports, export the paper's figures and simulate
+   whole populations. *)
+
+module Universe = Pet_valuation.Universe
+module Total = Pet_valuation.Total
+module Partial = Pet_valuation.Partial
+module Exposure = Pet_rules.Exposure
+module Engine = Pet_rules.Engine
+module Spec = Pet_rules.Spec
+module A1 = Pet_minimize.Algorithm1
+module Atlas = Pet_minimize.Atlas
+module Lattice = Pet_minimize.Lattice
+module Dot = Pet_minimize.Dot
+module Profile = Pet_game.Profile
+module Payoff = Pet_game.Payoff
+module Strategy = Pet_game.Strategy
+module Equilibrium = Pet_game.Equilibrium
+module Solidarity = Pet_game.Solidarity
+module Report = Pet_pet.Report
+module Json = Pet_pet.Json
+module Workflow = Pet_pet.Workflow
+
+open Cmdliner
+
+(* --- Sources: a rule file or a built-in case study ------------------------ *)
+
+let load_exposure source =
+  match source with
+  | "running" -> Ok (Pet_casestudies.Running.exposure ())
+  | "hcov" -> Ok (Pet_casestudies.Hcov.exposure ())
+  | "rsa" -> Ok (Pet_casestudies.Rsa.exposure ())
+  | "loan" -> Ok (Pet_casestudies.Loan.exposure ())
+  | path -> (
+    match In_channel.with_open_text path In_channel.input_all with
+    | contents -> Spec.parse contents
+    | exception Sys_error m -> Error m)
+
+let source_arg =
+  let doc =
+    "Rule file to load, or one of the built-in case studies: $(b,running) \
+     (the paper's district-council example), $(b,hcov) (complementary \
+     health coverage, Section 5), $(b,rsa) (active solidarity income, \
+     Section 5) or $(b,loan) (consumer-loan underwriting)."
+  in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"RULES" ~doc)
+
+let backend_arg =
+  let backends =
+    [ ("brute", Engine.Brute); ("sat", Engine.Sat); ("bdd", Engine.Bdd) ]
+  in
+  let doc = "Entailment backend: $(b,brute), $(b,sat) or $(b,bdd)." in
+  Arg.(value & opt (enum backends) Engine.Bdd & info [ "backend" ] ~doc)
+
+let payoff_arg =
+  let payoffs = [ ("blank", Payoff.Blank); ("sm", Payoff.Sm) ] in
+  let doc = "Privacy payoff function: $(b,blank) (PO_blank) or $(b,sm) (PO_SM)." in
+  Arg.(value & opt (enum payoffs) Payoff.Blank & info [ "payoff" ] ~doc)
+
+let weights_arg =
+  let doc =
+    "Per-predicate sensitivity weight, e.g. $(b,--weight p12=5). \
+     Repeatable; unlisted predicates weigh 1. Selects the weighted \
+     PO_blank of Section 4.2 (overrides $(b,--payoff))."
+  in
+  let weight_conv =
+    let parse s =
+      match String.index_opt s '=' with
+      | Some i -> (
+        let name = String.sub s 0 i in
+        let value = String.sub s (i + 1) (String.length s - i - 1) in
+        match float_of_string_opt value with
+        | Some w when w >= 0. -> Ok (name, w)
+        | _ -> Error (`Msg ("invalid weight in " ^ s)))
+      | None -> Error (`Msg ("expected PREDICATE=WEIGHT, got " ^ s))
+    in
+    let print ppf (name, w) = Fmt.pf ppf "%s=%g" name w in
+    Arg.conv (parse, print)
+  in
+  Arg.(value & opt_all weight_conv [] & info [ "weight" ] ~docv:"P=W" ~doc)
+
+(* Combine --payoff and --weight into the effective payoff function. *)
+let effective_payoff exposure payoff weights =
+  match weights with
+  | [] -> Ok payoff
+  | _ -> (
+    match
+      List.find_opt
+        (fun (name, _) -> not (Universe.mem (Exposure.xp exposure) name))
+        weights
+    with
+    | Some (name, _) -> Error ("--weight: unknown predicate " ^ name)
+    | None ->
+      let weight name =
+        match List.assoc_opt name weights with Some w -> w | None -> 1.0
+      in
+      Ok (Payoff.Weighted weight))
+
+let mode_arg =
+  let modes =
+    [ ("chain", A1.Chain); ("entail", A1.Entail); ("exact", A1.Exact) ]
+  in
+  let doc =
+    "MAS closure mode: $(b,chain) (the paper's forward chaining), \
+     $(b,entail) (full logical closure) or $(b,exact) (set-inclusion \
+     minimality, exponential)."
+  in
+  Arg.(value & opt (enum modes) A1.Chain & info [ "mode" ] ~doc)
+
+let valuation_arg =
+  let doc = "The fully filled form, e.g. 011 (one character per predicate)." in
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "v"; "valuation" ] ~docv:"BITS" ~doc)
+
+let json_arg =
+  let doc = "Emit machine-readable JSON instead of text." in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
+let with_exposure source f =
+  match load_exposure source with
+  | Error m -> `Error (false, m)
+  | Ok exposure -> f exposure
+
+let parse_valuation exposure s f =
+  match Total.of_string (Exposure.xp exposure) s with
+  | v -> f v
+  | exception Invalid_argument m -> `Error (false, m)
+
+(* Turn the library's [Invalid_argument] diagnostics (oversized forms,
+   malformed valuations) into clean CLI errors. *)
+let guarded f = match f () with r -> r | exception Invalid_argument m -> `Error (false, m)
+
+(* --- check ------------------------------------------------------------------ *)
+
+let check_cmd =
+  let run source =
+    with_exposure source (fun exposure ->
+        let xp = Exposure.xp exposure in
+        Fmt.pr "%a@." Spec.print exposure;
+        Fmt.pr "# %d predicates, %d benefits, %d rules, %d constraints@."
+          (Universe.size xp)
+          (Universe.size (Exposure.xb exposure))
+          (List.length (Exposure.rules exposure))
+          (List.length (Exposure.constraints exposure));
+        let used =
+          List.concat_map
+            (fun (r : Pet_rules.Rule.t) -> Pet_logic.Dnf.vars r.dnf)
+            (Exposure.rules exposure)
+        in
+        List.iter
+          (fun p ->
+            if not (List.mem p used) then
+              Fmt.pr "# warning: predicate %s is collected but never used@." p)
+          (Universe.names xp);
+        Fmt.pr "# %d realistic valuations, %d eligible@."
+          (List.length (Exposure.realistic exposure))
+          (List.length (Exposure.eligible exposure));
+        `Ok ())
+  in
+  let doc = "Parse and validate a rule file; report basic statistics." in
+  Cmd.v (Cmd.info "check" ~doc) Term.(ret (const run $ source_arg))
+
+(* --- minimize ----------------------------------------------------------------- *)
+
+let minimize_cmd =
+  let run source bits backend mode =
+    with_exposure source (fun exposure ->
+        parse_valuation exposure bits (fun v ->
+            let engine = Engine.create ~backend exposure in
+            match A1.mas_of ~mode engine v with
+            | choices ->
+              List.iter
+                (fun (c : A1.choice) ->
+                  Fmt.pr "%a  proves {%a}@." Partial.pp c.A1.mas
+                    Fmt.(list ~sep:(any ", ") string)
+                    c.A1.benefits)
+                choices;
+              `Ok ()
+            | exception Invalid_argument m -> `Error (false, m)))
+  in
+  let doc =
+    "Compute the minimal accurate subvaluations (Algorithm 1) of a fully \
+     filled form."
+  in
+  Cmd.v
+    (Cmd.info "minimize" ~doc)
+    Term.(ret (const run $ source_arg $ valuation_arg $ backend_arg $ mode_arg))
+
+(* --- inform -------------------------------------------------------------------- *)
+
+let inform_cmd =
+  let run source bits backend payoff weights json =
+    with_exposure source (fun exposure ->
+        match effective_payoff exposure payoff weights with
+        | Error m -> `Error (false, m)
+        | Ok payoff ->
+          parse_valuation exposure bits (fun v ->
+              guarded @@ fun () ->
+              let provider = Workflow.provider ~backend ~payoff exposure in
+              match Workflow.report_for provider v with
+              | Error m -> `Error (false, m)
+              | Ok report ->
+                if json then
+                  Fmt.pr "%s@." (Json.to_string (Report.to_json report))
+                else Fmt.pr "%a@." Report.pp report;
+                `Ok ()))
+  in
+  let doc =
+    "Produce the informed-consent report for an applicant: their choices \
+     (MAS), the privacy payoff of each, what is revealed and what an \
+     attacker deduces anyway, and the recommended choice (Algorithm 2)."
+  in
+  Cmd.v
+    (Cmd.info "inform" ~doc)
+    Term.(
+      ret
+        (const run $ source_arg $ valuation_arg $ backend_arg $ payoff_arg
+       $ weights_arg $ json_arg))
+
+(* --- atlas ----------------------------------------------------------------------- *)
+
+let atlas_cmd =
+  let run source backend payoff =
+    with_exposure source (fun exposure ->
+        guarded @@ fun () ->
+        let engine = Engine.create ~backend exposure in
+        let atlas = Atlas.build engine in
+        Fmt.pr "%a@." Atlas.pp_summary atlas;
+        let profile = Strategy.compute ~payoff atlas in
+        Fmt.pr "@.%-20s %9s %8s %8s %9s@." "MAS" "potential" "forced"
+          "plays" "payoff";
+        for m = 0 to Atlas.mas_count atlas - 1 do
+          let crowd = Profile.crowd profile m in
+          Fmt.pr "%-20s %9d %8d %8d %9.0f@."
+            (Partial.to_string (Atlas.mas atlas m).A1.mas)
+            (List.length (Atlas.players_of_mas atlas m))
+            (List.length (Atlas.forced_players_of_mas atlas m))
+            (List.length crowd)
+            (Payoff.value atlas payoff ~mas:m ~crowd)
+        done;
+        `Ok ())
+  in
+  let doc =
+    "Build the full valuation/MAS bipartite graph and print the Table-2 \
+     and Table-3 style statistics."
+  in
+  Cmd.v
+    (Cmd.info "atlas" ~doc)
+    Term.(ret (const run $ source_arg $ backend_arg $ payoff_arg))
+
+(* --- graph ------------------------------------------------------------------------- *)
+
+let graph_cmd =
+  let figure_arg =
+    let doc =
+      "Which figure to export: $(b,lattice) (Figure 1) or $(b,choices) \
+       (Figure 2, requires --valuation)."
+    in
+    Arg.(
+      value
+      & opt (enum [ ("lattice", `Lattice); ("choices", `Choices) ]) `Lattice
+      & info [ "figure" ] ~doc)
+  in
+  let opt_valuation =
+    Arg.(value & opt (some string) None & info [ "v"; "valuation" ] ~docv:"BITS")
+  in
+  let run source backend figure bits =
+    with_exposure source (fun exposure ->
+        guarded @@ fun () ->
+        let engine = Engine.create ~backend exposure in
+        let atlas = Atlas.build engine in
+        match figure with
+        | `Lattice -> (
+          match Lattice.build atlas with
+          | lattice ->
+            print_string (Dot.lattice lattice);
+            `Ok ()
+          | exception Invalid_argument m -> `Error (false, m))
+        | `Choices -> (
+          match bits with
+          | None -> `Error (true, "--figure choices requires --valuation")
+          | Some bits ->
+            parse_valuation exposure bits (fun v ->
+                match Dot.choices atlas v with
+                | dot ->
+                  print_string dot;
+                  `Ok ()
+                | exception Invalid_argument m -> `Error (false, m))))
+  in
+  let doc = "Export the paper's figures as Graphviz (DOT) graphs." in
+  Cmd.v
+    (Cmd.info "graph" ~doc)
+    Term.(
+      ret (const run $ source_arg $ backend_arg $ figure_arg $ opt_valuation))
+
+(* --- simulate ------------------------------------------------------------------------ *)
+
+let simulate_cmd =
+  let solidarity_arg =
+    let doc = "Also look for solidarity improvements (Section 7)." in
+    Arg.(value & flag & info [ "solidarity" ] ~doc)
+  in
+  let run source backend payoff solidarity =
+    with_exposure source (fun exposure ->
+        guarded @@ fun () ->
+        let engine = Engine.create ~backend exposure in
+        let atlas = Atlas.build engine in
+        let profile = Strategy.compute ~payoff atlas in
+        let refined, converged = Equilibrium.refine profile payoff in
+        let n = Atlas.player_count atlas in
+        let xp_size = Universe.size (Exposure.xp exposure) in
+        let blanks =
+          List.fold_left
+            (fun acc i ->
+              acc
+              + Partial.blank_count
+                  (Atlas.mas atlas (Profile.move_of refined i)).A1.mas)
+            0 (List.init n Fun.id)
+        in
+        Fmt.pr "population: %d eligible valuations@." n;
+        Fmt.pr "equilibrium: Algorithm 2%s, Nash: %b@."
+          (if Profile.equal profile refined then ""
+           else " + best-response refinement")
+          (converged && Equilibrium.is_nash refined payoff);
+        Fmt.pr "average minimization: %.1f%% of the form left blank@."
+          (100. *. float_of_int blanks /. float_of_int (n * xp_size));
+        if solidarity then
+          for m = 0 to Atlas.mas_count atlas - 1 do
+            match Solidarity.improve refined ~mas:m with
+            | Some r -> Fmt.pr "solidarity: %a@." Solidarity.pp r
+            | None -> ()
+          done;
+        `Ok ())
+  in
+  let doc =
+    "Simulate the whole eligible population playing the game and report \
+     aggregate privacy statistics."
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc)
+    Term.(
+      ret (const run $ source_arg $ backend_arg $ payoff_arg $ solidarity_arg))
+
+(* --- audit ------------------------------------------------------------------------ *)
+
+let audit_cmd =
+  let run source =
+    with_exposure source (fun exposure ->
+        match Pet_minimize.Symbolic.build exposure with
+        | exception Invalid_argument m -> `Error (false, m)
+        | sym ->
+          let stats = Pet_minimize.Symbolic.stats sym in
+          let xp = Exposure.xp exposure in
+          Fmt.pr "%d MAS over %d valuations@."
+            (Pet_minimize.Symbolic.mas_count sym)
+            (Pet_minimize.Symbolic.valuation_count sym);
+          Fmt.pr "@.%-24s %8s %18s@." "predicate" "in MAS" "players needing it";
+          let never = ref [] in
+          List.iter
+            (fun name ->
+              let needing =
+                List.filter
+                  (fun (s : Pet_minimize.Symbolic.mas_stats) ->
+                    Partial.defines s.mas name)
+                  stats
+              in
+              let players =
+                List.fold_left
+                  (fun acc (s : Pet_minimize.Symbolic.mas_stats) ->
+                    acc + s.potential)
+                  0 needing
+              in
+              if needing = [] then never := name :: !never;
+              Fmt.pr "%-24s %8d %18d@." name (List.length needing) players)
+            (Universe.names xp);
+          (match List.rev !never with
+          | [] -> Fmt.pr "@.every predicate is needed by some minimized proof@."
+          | never ->
+            Fmt.pr
+              "@.over-collection: %d of %d predicates are never required by \
+               any minimized proof:@.  %s@."
+              (List.length never) (Universe.size xp)
+              (String.concat ", " never));
+          `Ok ())
+  in
+  let doc =
+    "Audit a form for over-collection: which predicates appear in no \
+     minimal accurate subvaluation at all — data the provider asks for \
+     but never needs from anyone. Computed symbolically, so it scales to \
+     large forms."
+  in
+  Cmd.v (Cmd.info "audit" ~doc) Term.(ret (const run $ source_arg))
+
+(* --- fill ------------------------------------------------------------------------- *)
+
+let form_of_source = function
+  | "running" -> Ok (Pet_casestudies.Running.form ())
+  | "hcov" -> Ok (Pet_casestudies.Hcov.form ())
+  | "rsa" -> Ok (Pet_casestudies.Rsa.form ())
+  | "loan" -> Ok (Pet_casestudies.Loan.form ())
+  | other ->
+    Error
+      (other
+     ^ ": typed questionnaires exist for the built-in case studies only \
+        (running, hcov, rsa, loan)")
+
+let parse_answer (question : Pet_pet.Form.question) raw =
+  let raw = String.trim raw in
+  match question.Pet_pet.Form.kind with
+  | Pet_pet.Form.Kint -> (
+    match int_of_string_opt raw with
+    | Some n -> Ok (Pet_pet.Form.Aint n)
+    | None -> Error (Printf.sprintf "%s: expected a number" question.key))
+  | Pet_pet.Form.Kbool -> (
+    match String.lowercase_ascii raw with
+    | "y" | "yes" | "true" | "1" -> Ok (Pet_pet.Form.Abool true)
+    | "n" | "no" | "false" | "0" -> Ok (Pet_pet.Form.Abool false)
+    | _ -> Error (Printf.sprintf "%s: expected yes or no" question.key))
+  | Pet_pet.Form.Kchoice options ->
+    if List.mem raw options then Ok (Pet_pet.Form.Achoice raw)
+    else
+      Error
+        (Printf.sprintf "%s: expected one of: %s" question.key
+           (String.concat ", " options))
+
+(* Answers come either from stdin lines "key = value" (piped mode) or
+   from interactive prompts when stdin is a terminal. *)
+let read_answers form =
+  let questions = Pet_pet.Form.questions form in
+  let interactive = Unix.isatty Unix.stdin in
+  if interactive then
+    List.fold_left
+      (fun acc (q : Pet_pet.Form.question) ->
+        match acc with
+        | Error _ as e -> e
+        | Ok answers ->
+          let rec ask () =
+            Fmt.pr "%s @?" q.text;
+            match In_channel.input_line stdin with
+            | None -> Error "unexpected end of input"
+            | Some line -> (
+              match parse_answer q line with
+              | Ok a -> Ok ((q.key, a) :: answers)
+              | Error m ->
+                Fmt.pr "%s@." m;
+                ask ())
+          in
+          ask ())
+      (Ok []) questions
+  else begin
+    let rec go acc =
+      match In_channel.input_line stdin with
+      | None -> Ok acc
+      | Some line -> (
+        let line = String.trim line in
+        if line = "" || line.[0] = '#' then go acc
+        else
+          match String.index_opt line '=' with
+          | None -> Error (Printf.sprintf "expected KEY = VALUE, got %S" line)
+          | Some i -> (
+            let key = String.trim (String.sub line 0 i) in
+            let raw = String.sub line (i + 1) (String.length line - i - 1) in
+            match
+              List.find_opt
+                (fun (q : Pet_pet.Form.question) -> q.key = key)
+                questions
+            with
+            | None -> Error (Printf.sprintf "unknown question %S" key)
+            | Some q -> (
+              match parse_answer q raw with
+              | Ok a -> go ((key, a) :: acc)
+              | Error m -> Error m)))
+    in
+    go []
+  end
+
+let fill_cmd =
+  let run source payoff weights json =
+    match form_of_source source with
+    | Error m -> `Error (false, m)
+    | Ok form -> (
+      let exposure = Pet_pet.Form.exposure form in
+      match effective_payoff exposure payoff weights with
+      | Error m -> `Error (false, m)
+      | Ok payoff -> (
+        match read_answers form with
+        | Error m -> `Error (false, m)
+        | Ok answers -> (
+          match Pet_pet.Form.valuation form answers with
+          | Error m -> `Error (false, m)
+          | Ok v -> (
+            guarded @@ fun () ->
+            let provider = Workflow.provider ~payoff exposure in
+            match Workflow.report_for provider v with
+            | Error m -> `Error (false, m)
+            | Ok report ->
+              if json then
+                Fmt.pr "%s@." (Json.to_string (Report.to_json report))
+              else Fmt.pr "%a@." Report.pp report;
+              `Ok ()))))
+  in
+  let doc =
+    "Fill a built-in case study's typed questionnaire (interactively, or \
+     from KEY = VALUE lines on stdin) and get the consent report. The \
+     raw answers are compiled to predicates and immediately discarded."
+  in
+  Cmd.v
+    (Cmd.info "fill" ~doc)
+    Term.(ret (const run $ source_arg $ payoff_arg $ weights_arg $ json_arg))
+
+(* --- main -------------------------------------------------------------------------- *)
+
+let () =
+  let doc =
+    "A privacy-enhancing technology for data collection via forms with \
+     data minimization, full accuracy and informed consent (EDBT 2024)."
+  in
+  let info = Cmd.info "pet" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            check_cmd; minimize_cmd; inform_cmd; fill_cmd; audit_cmd;
+            atlas_cmd;
+            graph_cmd;
+            simulate_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/district_council.ml: Fmt Pet_casestudies Pet_pet

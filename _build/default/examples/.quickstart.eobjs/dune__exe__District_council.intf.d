@@ -1,0 +1,1 @@
+examples/district_council.mli:

@@ -1,0 +1,1 @@
+examples/hcov_alice_bob.ml: Fmt List Pet_casestudies Pet_pet Pet_valuation

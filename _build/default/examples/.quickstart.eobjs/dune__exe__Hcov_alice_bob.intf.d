@@ -1,0 +1,1 @@
+examples/hcov_alice_bob.mli:

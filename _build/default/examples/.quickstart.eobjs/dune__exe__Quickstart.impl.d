@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fmt Pet_pet Pet_rules Pet_valuation

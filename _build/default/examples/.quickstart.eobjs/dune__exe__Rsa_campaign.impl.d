@@ -1,0 +1,1 @@
+examples/rsa_campaign.ml: Fmt Fun List Pet_casestudies Pet_game Pet_minimize Pet_pet Pet_rules Pet_valuation

@@ -1,0 +1,1 @@
+examples/weighted_consent.ml: Fmt List Pet_casestudies Pet_game Pet_minimize Pet_rules Pet_valuation

@@ -1,0 +1,53 @@
+(* The weighted extension of PO_blank (Section 4.2): "in some cases, the
+   sensitivity of all attributes is not the same". Here Alice considers
+   her marital situation (p12, "separated") highly sensitive; with
+   per-predicate weights the PET's recommendation flips from the move
+   that publishes p12 to a student-path move that keeps it deniable.
+
+   Run with: dune exec examples/weighted_consent.exe *)
+
+module Total = Pet_valuation.Total
+module Partial = Pet_valuation.Partial
+module Atlas = Pet_minimize.Atlas
+module A1 = Pet_minimize.Algorithm1
+module Engine = Pet_rules.Engine
+module Profile = Pet_game.Profile
+module Payoff = Pet_game.Payoff
+module Strategy = Pet_game.Strategy
+module Equilibrium = Pet_game.Equilibrium
+module Hcov = Pet_casestudies.Hcov
+
+let () =
+  let atlas = Atlas.build (Engine.create ~backend:Engine.Bdd (Hcov.exposure ())) in
+  let alice = Hcov.alice () in
+  let describe payoff name =
+    let profile = Strategy.compute ~payoff atlas in
+    let profile, _ = Equilibrium.refine profile payoff in
+    let played = Profile.move_of_valuation profile alice in
+    Fmt.pr "--- %s ---@." name;
+    Fmt.pr "Alice is recommended %s@." (Partial.to_string played.A1.mas);
+    let player =
+      match Atlas.find_player atlas alice with Some i -> i | None -> assert false
+    in
+    List.iter
+      (fun m ->
+        let crowd = Profile.crowd profile m in
+        let crowd =
+          if m = Profile.move_of profile player then crowd else player :: crowd
+        in
+        Fmt.pr "  option %s: payoff %.1f (hides: %a)@."
+          (Partial.to_string (Atlas.mas atlas m).A1.mas)
+          (Payoff.value atlas payoff ~mas:m ~crowd)
+          Fmt.(list ~sep:(any ", ") string)
+          (Payoff.undeducible_blanks atlas ~mas:m ~crowd))
+      (Atlas.choices_of_player atlas player);
+    Fmt.pr "@."
+  in
+  (* Uniform sensitivity: hiding ten predicates beats everything, even
+     though it means publishing "separated". *)
+  describe Payoff.Blank "uniform sensitivity (PO_blank)";
+  (* Alice weights her marital situation five times higher than the
+     rest: keeping p12 deniable now outweighs the extra published
+     predicates, and the student-path move wins. *)
+  let weight name = if name = "p12" then 5.0 else 1.0 in
+  describe (Payoff.Weighted weight) "p12 weighted 5x (weighted PO_blank)"

@@ -1,0 +1,234 @@
+type node = int
+
+let zero = 0
+let one = 1
+
+(* The terminals sit at indices 0 and 1 with a pseudo-variable larger than
+   any real variable so that ordering logic treats them as deepest. *)
+let terminal_var = max_int
+
+type man = {
+  mutable vars : int array; (* variable of each node *)
+  mutable lows : int array;
+  mutable highs : int array;
+  mutable next : int; (* next free node index *)
+  unique : (int * int * int, int) Hashtbl.t;
+  ite_cache : (int * int * int, int) Hashtbl.t;
+}
+
+let man () =
+  let cap = 1024 in
+  let m =
+    {
+      vars = Array.make cap terminal_var;
+      lows = Array.make cap (-1);
+      highs = Array.make cap (-1);
+      next = 2;
+      unique = Hashtbl.create 1024;
+      ite_cache = Hashtbl.create 1024;
+    }
+  in
+  m.vars.(0) <- terminal_var;
+  m.vars.(1) <- terminal_var;
+  m
+
+let var_of m n = m.vars.(n)
+let low_of m n = m.lows.(n)
+let high_of m n = m.highs.(n)
+
+let grow m =
+  let cap = Array.length m.vars in
+  let cap' = 2 * cap in
+  let extend a fill =
+    let a' = Array.make cap' fill in
+    Array.blit a 0 a' 0 cap;
+    a'
+  in
+  m.vars <- extend m.vars terminal_var;
+  m.lows <- extend m.lows (-1);
+  m.highs <- extend m.highs (-1)
+
+(* Hash-consing constructor; maintains reduction (no redundant node) and
+   uniqueness invariants. *)
+let mk m v low high =
+  if low = high then low
+  else
+    let key = (v, low, high) in
+    match Hashtbl.find_opt m.unique key with
+    | Some n -> n
+    | None ->
+      if m.next >= Array.length m.vars then grow m;
+      let n = m.next in
+      m.next <- n + 1;
+      m.vars.(n) <- v;
+      m.lows.(n) <- low;
+      m.highs.(n) <- high;
+      Hashtbl.add m.unique key n;
+      n
+
+let var m i =
+  if i < 0 then invalid_arg "Bdd.var: negative variable";
+  mk m i zero one
+
+let nvar m i =
+  if i < 0 then invalid_arg "Bdd.nvar: negative variable";
+  mk m i one zero
+
+let cofactors m n v =
+  if var_of m n = v then (low_of m n, high_of m n) else (n, n)
+
+let rec ite m f g h =
+  if f = one then g
+  else if f = zero then h
+  else if g = h then g
+  else if g = one && h = zero then f
+  else
+    let key = (f, g, h) in
+    match Hashtbl.find_opt m.ite_cache key with
+    | Some r -> r
+    | None ->
+      let v = min (var_of m f) (min (var_of m g) (var_of m h)) in
+      let f0, f1 = cofactors m f v in
+      let g0, g1 = cofactors m g v in
+      let h0, h1 = cofactors m h v in
+      let r0 = ite m f0 g0 h0 in
+      let r1 = ite m f1 g1 h1 in
+      let r = mk m v r0 r1 in
+      Hashtbl.add m.ite_cache key r;
+      r
+
+let neg m f = ite m f zero one
+let conj m a b = ite m a b zero
+let disj m a b = ite m a one b
+let xor m a b = ite m a (neg m b) b
+let imp m a b = ite m a b one
+let iff m a b = ite m a b (neg m b)
+
+let conj_list m = List.fold_left (conj m) one
+let disj_list m = List.fold_left (disj m) zero
+
+let rec restrict m n v value =
+  if n < 2 then n
+  else
+    let nv = var_of m n in
+    if nv > v then n
+    else if nv = v then if value then high_of m n else low_of m n
+    else
+      mk m nv (restrict m (low_of m n) v value) (restrict m (high_of m n) v value)
+
+let exists m vs f =
+  let exists_one f v =
+    disj m (restrict m f v false) (restrict m f v true)
+  in
+  List.fold_left exists_one f vs
+
+let support m n =
+  let seen = Hashtbl.create 16 in
+  let vars = Hashtbl.create 16 in
+  let rec go n =
+    if n >= 2 && not (Hashtbl.mem seen n) then begin
+      Hashtbl.add seen n ();
+      Hashtbl.replace vars (var_of m n) ();
+      go (low_of m n);
+      go (high_of m n)
+    end
+  in
+  go n;
+  List.sort Stdlib.compare (Hashtbl.fold (fun v () acc -> v :: acc) vars [])
+
+let rec eval m n rho =
+  if n = zero then false
+  else if n = one then true
+  else if rho (var_of m n) then eval m (high_of m n) rho
+  else eval m (low_of m n) rho
+
+let is_tautology n = n = one
+let is_unsat n = n = zero
+
+let pow2 k =
+  if k >= Sys.int_size - 1 then invalid_arg "Bdd.count_models: overflow";
+  1 lsl k
+
+let count_models m ~nvars n =
+  List.iter
+    (fun v ->
+      if v >= nvars then
+        invalid_arg "Bdd.count_models: support exceeds nvars")
+    (support m n);
+  let memo = Hashtbl.create 64 in
+  (* [weight n] counts models over the variables strictly below the
+     terminals, scaled for the gap between a node and its children. *)
+  let level n = if n < 2 then nvars else var_of m n in
+  let rec weight n =
+    if n = zero then 0
+    else if n = one then 1
+    else
+      match Hashtbl.find_opt memo n with
+      | Some w -> w
+      | None ->
+        let v = var_of m n in
+        let l = low_of m n and h = high_of m n in
+        let wl = weight l * pow2 (level l - v - 1) in
+        let wh = weight h * pow2 (level h - v - 1) in
+        let w = wl + wh in
+        Hashtbl.add memo n w;
+        w
+  in
+  weight n * pow2 (level n)
+
+let iter_models m ~nvars n f =
+  List.iter
+    (fun v ->
+      if v >= nvars then invalid_arg "Bdd.iter_models: support exceeds nvars")
+    (support m n);
+  let a = Array.make nvars false in
+  (* Expand every variable, including those absent from the BDD path. *)
+  let rec go v n =
+    if v = nvars then begin
+      if n = one then f a else assert (n = one)
+    end
+    else if n < 2 then begin
+      if n = one then begin
+        a.(v) <- false;
+        go (v + 1) n;
+        a.(v) <- true;
+        go (v + 1) n
+      end
+    end
+    else if var_of m n > v then begin
+      a.(v) <- false;
+      go (v + 1) n;
+      a.(v) <- true;
+      go (v + 1) n
+    end
+    else begin
+      a.(v) <- false;
+      if low_of m n <> zero then go (v + 1) (low_of m n);
+      a.(v) <- true;
+      if high_of m n <> zero then go (v + 1) (high_of m n)
+    end
+  in
+  if n <> zero then go 0 n
+
+let any_model m ~nvars n =
+  let result = ref None in
+  (try
+     iter_models m ~nvars n (fun a ->
+         result := Some (Array.copy a);
+         raise Exit)
+   with Exit -> ());
+  !result
+
+let size m n =
+  let seen = Hashtbl.create 16 in
+  let rec go n =
+    if n >= 2 && not (Hashtbl.mem seen n) then begin
+      Hashtbl.add seen n ();
+      go (low_of m n);
+      go (high_of m n)
+    end
+  in
+  go n;
+  Hashtbl.length seen
+
+let node_count m = m.next

@@ -1,0 +1,65 @@
+(** Reduced ordered binary decision diagrams with hash-consing.
+
+    Variables are 0-based integers ordered by their index (variable 0 is
+    closest to the root). All operations are implemented on top of a
+    memoized [ite] and run in time polynomial in the BDD sizes. Used by
+    the rules engine as a bulk backend: compile the rule set [R] once,
+    then answer many entailment and counting queries cheaply. *)
+
+type man
+(** A manager owns the node arena and the operation caches. Nodes from
+    different managers must not be mixed (unchecked). *)
+
+type node = int
+(** BDD node handle. The terminals {!zero} and {!one} are shared by all
+    managers. *)
+
+val man : unit -> man
+val zero : node
+val one : node
+
+val var : man -> int -> node
+(** The BDD of the positive literal of variable [i]; [i >= 0]. *)
+
+val nvar : man -> int -> node
+val neg : man -> node -> node
+val conj : man -> node -> node -> node
+val disj : man -> node -> node -> node
+val xor : man -> node -> node -> node
+val imp : man -> node -> node -> node
+val iff : man -> node -> node -> node
+val ite : man -> node -> node -> node -> node
+
+val conj_list : man -> node list -> node
+val disj_list : man -> node list -> node
+
+val restrict : man -> node -> int -> bool -> node
+(** Cofactor: fix one variable to a constant. *)
+
+val exists : man -> int list -> node -> node
+(** Existential quantification over a set of variables. *)
+
+val support : man -> node -> int list
+(** Variables the function actually depends on, ascending. *)
+
+val eval : man -> node -> (int -> bool) -> bool
+
+val is_tautology : node -> bool
+val is_unsat : node -> bool
+
+val count_models : man -> nvars:int -> node -> int
+(** Number of models over variables [0 .. nvars-1]. All variables in the
+    node's support must be below [nvars].
+    @raise Invalid_argument otherwise, or when the count overflows. *)
+
+val iter_models : man -> nvars:int -> node -> (bool array -> unit) -> unit
+(** Enumerate all models over variables [0 .. nvars-1]. The array passed
+    to the callback is reused between calls. *)
+
+val any_model : man -> nvars:int -> node -> bool array option
+
+val size : man -> node -> int
+(** Number of distinct internal nodes reachable from the root. *)
+
+val node_count : man -> int
+(** Total number of nodes allocated in the manager (arena usage). *)

@@ -1,0 +1,1 @@
+lib/casestudies/hcov.ml: Lazy List Pet_pet Pet_rules Pet_valuation String

@@ -1,0 +1,1 @@
+lib/casestudies/hcov.mli: Pet_pet Pet_rules Pet_valuation

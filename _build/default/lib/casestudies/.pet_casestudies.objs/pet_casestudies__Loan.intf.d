@@ -1,0 +1,1 @@
+lib/casestudies/loan.mli: Pet_pet Pet_rules Pet_valuation

@@ -1,0 +1,1 @@
+lib/casestudies/rsa.ml: Lazy List Pet_pet Pet_rules Pet_valuation

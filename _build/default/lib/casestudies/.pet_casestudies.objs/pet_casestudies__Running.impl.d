@@ -1,0 +1,1 @@
+lib/casestudies/running.ml: Lazy Pet_logic Pet_pet Pet_rules Pet_valuation

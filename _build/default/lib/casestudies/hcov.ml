@@ -1,0 +1,125 @@
+module Universe = Pet_valuation.Universe
+module Total = Pet_valuation.Total
+
+let rule =
+  "rule b1 := (p1 & p2) | (p3 & p4) | (p5 & p6 & p7 & !p8) \
+   | (p5 & !p6 & p9) | (p6 & p10 & p11) | p12"
+
+let printed_constraints =
+  [
+    "constraint p1 -> !p3 & !p5";
+    "constraint p3 -> !p1 & !p5";
+    "constraint p5 -> !p1 & !p3";
+    "constraint p12 -> !p1";
+  ]
+
+(* The consistency rule Table 1 omits but Table 3 relies on (see the
+   interface documentation and EXPERIMENTS.md). *)
+let calibration_constraints = [ "constraint p10 -> !p1 & !p3" ]
+
+let header =
+  "form p1 p2 p3 p4 p5 p6 p7 p8 p9 p10 p11 p12\nbenefits b1\n"
+
+let spec_of constraints =
+  header ^ rule ^ "\n" ^ String.concat "\n" constraints ^ "\n"
+
+let exposure () =
+  Pet_rules.Spec.parse_exn
+    (spec_of (printed_constraints @ calibration_constraints))
+
+let exposure_printed () = Pet_rules.Spec.parse_exn (spec_of printed_constraints)
+
+let predicates =
+  [
+    ("p1", "age below 16");
+    ("p2", "child welfare");
+    ("p3", "minor over 16");
+    ("p4", "broken family tie");
+    ("p5", "adult below 25");
+    ("p6", "not same roof");
+    ("p7", "separate tax return");
+    ("p8", "receive alimony");
+    ("p9", "with child");
+    ("p10", "student");
+    ("p11", "emergency aid");
+    ("p12", "separated");
+  ]
+
+let universe = lazy (Universe.of_names (List.map fst predicates))
+
+let alice () = Total.of_string (Lazy.force universe) "000011100111"
+let bob () = Total.of_string (Lazy.force universe) "000011100000"
+
+let table3_mas =
+  [
+    "0__________1";
+    "0_0__1___11_";
+    "0_0_10__1___";
+    "0_0_1110____";
+    "0_110_______";
+    "110_0_______";
+  ]
+
+module Form = Pet_pet.Form
+
+let form () =
+  let bool_answer get key =
+    match get key with
+    | Form.Abool b -> b
+    | Form.Aint _ | Form.Achoice _ -> assert false
+  in
+  let age get =
+    match get "age" with
+    | Form.Aint n -> n
+    | Form.Abool _ | Form.Achoice _ -> assert false
+  in
+  let yes_no key text = { Form.key; text; kind = Form.Kbool } in
+  let direct name key description =
+    { Form.name; description; compute = (fun get -> bool_answer get key) }
+  in
+  Form.create ~exposure:(exposure ())
+    ~questions:
+      [
+        { Form.key = "age"; text = "How old are you?"; kind = Form.Kint };
+        yes_no "child_welfare"
+          "Are you under the jurisdiction of the child welfare system?";
+        yes_no "broken_ties" "Have you broken off your family ties?";
+        yes_no "same_roof" "Do you live under the same roof as your parents?";
+        yes_no "separate_tax" "Do you file a separate tax return?";
+        yes_no "alimony" "Do you receive alimony?";
+        yes_no "has_child" "Do you have a child?";
+        yes_no "student" "Are you a student?";
+        yes_no "emergency_aid" "Do you receive the annual emergency aid?";
+        yes_no "separated" "Are you separated from your spouse?";
+      ]
+    ~predicates:
+      [
+        {
+          Form.name = "p1";
+          description = "age below 16";
+          compute = (fun get -> age get < 16);
+        };
+        direct "p2" "child_welfare" "child welfare";
+        {
+          Form.name = "p3";
+          description = "minor over 16";
+          compute = (fun get -> age get >= 16 && age get < 18);
+        };
+        direct "p4" "broken_ties" "broken family tie";
+        {
+          Form.name = "p5";
+          description = "adult below 25";
+          compute = (fun get -> age get >= 18 && age get < 25);
+        };
+        {
+          Form.name = "p6";
+          description = "not same roof";
+          compute = (fun get -> not (bool_answer get "same_roof"));
+        };
+        direct "p7" "separate_tax" "separate tax return";
+        direct "p8" "alimony" "receive alimony";
+        direct "p9" "has_child" "with child";
+        direct "p10" "student" "student";
+        direct "p11" "emergency_aid" "emergency aid";
+        direct "p12" "separated" "separated";
+      ]

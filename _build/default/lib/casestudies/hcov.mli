@@ -1,0 +1,43 @@
+(** The complementary-health-coverage case study (Section 5, Table 1).
+
+    Twelve form predicates:
+    - [p1] "age below 16",  [p2] "child welfare"
+    - [p3] "minor over 16", [p4] "broken family tie"
+    - [p5] "adult below 25", [p6] "not same roof"
+    - [p7] "separate tax return", [p8] "receive alimony"
+    - [p9] "with child", [p10] "student", [p11] "emergency aid"
+    - [p12] "separated"
+
+    One benefit [b1] (eligibility for coverage) with the six-way
+    disjunction of Table 1.
+
+    Two encodings are provided. [exposure_printed] carries exactly the
+    four consistency rules printed in Table 1. [exposure] adds the one
+    further rule the paper's own results imply but the table omits —
+    [p10 -> !p1 & !p3] (a recipient of the annual higher-education
+    emergency aid is neither under 16 nor a minor) — which is required to
+    reproduce the MAS [0_0__1___11_] of Table 3 with its 128 potential
+    players; see EXPERIMENTS.md for the calibration. *)
+
+val exposure : unit -> Pet_rules.Exposure.t
+val exposure_printed : unit -> Pet_rules.Exposure.t
+
+val predicates : (string * string) list
+(** Predicate name, human-readable description. *)
+
+val alice : unit -> Pet_valuation.Total.t
+(** The paper's Alice: 24 years old, separated from spouse and parents,
+    separate tax return, student with annual emergency aid —
+    [000011100111]. *)
+
+val bob : unit -> Pet_valuation.Total.t
+(** The paper's Bob: 20-year-old father living with daughter and her
+    mother — [000011100000]. *)
+
+val table3_mas : string list
+(** The six MAS of Table 3, as strings in the paper's order. *)
+
+val form : unit -> Pet_pet.Form.t
+(** The typed questionnaire: one age question drives the three exclusive
+    age-band predicates [p1], [p3], [p5]; the rest are direct yes/no
+    questions. The raw age never leaves the compilation step. *)

@@ -1,0 +1,173 @@
+module Universe = Pet_valuation.Universe
+module Total = Pet_valuation.Total
+
+let predicates =
+  [
+    ("p1", "salaried on a permanent contract");
+    ("p2", "self-employed for over three years");
+    ("p3", "net income above 2500/month (payslips)");
+    ("p4", "net income above 2500/month (tax returns)");
+    ("p5", "debt ratio below 35%");
+    ("p6", "no payment incident on record");
+    ("p7", "existing customer for over two years");
+    ("p8", "homeowner");
+    ("p9", "co-signer available");
+    ("p10", "age below 65 at maturity");
+  ]
+
+let benefits =
+  [
+    ("b1", "loan approved");
+    ("b2", "preferential rate");
+    ("b3", "no collateral required");
+  ]
+
+(* Income can be evidenced by payslips or tax returns; stability by
+   employment status; security by ownership or a co-signer. Overlapping
+   evidence gives applicants genuine minimization choices. *)
+let spec =
+  {|form p1 p2 p3 p4 p5 p6 p7 p8 p9 p10
+benefits b1 b2 b3
+rule b1 := (p1 | p2) & (p3 | p4) & p5 & p6 & p10
+rule b2 := (p1 | p2) & (p3 | p4) & p5 & p6 & p10 & p7
+rule b3 := (p1 | p2) & (p3 | p4) & p5 & p6 & p10 & (p8 | p9)
+# Consistency: permanent employees are not (also) registered as
+# long-term self-employed in this bank's model, and payslip evidence
+# implies salaried status.
+constraint p1 -> !p2
+constraint p2 -> !p1
+constraint p3 -> p1
+|}
+
+let exposure () = Pet_rules.Spec.parse_exn spec
+
+let universe = lazy (Universe.of_names (List.map fst predicates))
+
+(* Self-employed, tax-return income, clean record, co-signer. *)
+let freelancer () = Total.of_string (Lazy.force universe) "0101110011"
+
+(* Salaried with both income evidences, long-time customer, homeowner. *)
+let homeowner () = Total.of_string (Lazy.force universe) "1011111101"
+
+module Form = Pet_pet.Form
+
+let form () =
+  let int_answer get key =
+    match get key with
+    | Form.Aint n -> n
+    | Form.Abool _ | Form.Achoice _ -> assert false
+  in
+  let bool_answer get key =
+    match get key with
+    | Form.Abool b -> b
+    | Form.Aint _ | Form.Achoice _ -> assert false
+  in
+  let status get =
+    match get "status" with
+    | Form.Achoice c -> c
+    | Form.Aint _ | Form.Abool _ -> assert false
+  in
+  Form.create ~exposure:(exposure ())
+    ~questions:
+      [
+        {
+          Form.key = "status";
+          text = "Employment status?";
+          kind =
+            Form.Kchoice [ "permanent contract"; "self-employed 3y+"; "other" ];
+        };
+        {
+          Form.key = "income_payslips";
+          text = "Monthly net income per payslips (0 if none)?";
+          kind = Form.Kint;
+        };
+        {
+          Form.key = "income_tax";
+          text = "Monthly net income per tax returns (0 if none)?";
+          kind = Form.Kint;
+        };
+        {
+          Form.key = "debt_ratio";
+          text = "Current debt ratio (%)?";
+          kind = Form.Kint;
+        };
+        {
+          Form.key = "incidents";
+          text = "Any payment incident on record?";
+          kind = Form.Kbool;
+        };
+        {
+          Form.key = "customer_years";
+          text = "Years as a customer of this bank?";
+          kind = Form.Kint;
+        };
+        { Form.key = "homeowner"; text = "Homeowner?"; kind = Form.Kbool };
+        {
+          Form.key = "cosigner";
+          text = "Co-signer available?";
+          kind = Form.Kbool;
+        };
+        { Form.key = "age"; text = "Your age?"; kind = Form.Kint };
+        {
+          Form.key = "term";
+          text = "Requested loan term (years)?";
+          kind = Form.Kint;
+        };
+      ]
+    ~predicates:
+      [
+        {
+          Form.name = "p1";
+          description = "salaried on a permanent contract";
+          compute = (fun get -> status get = "permanent contract");
+        };
+        {
+          Form.name = "p2";
+          description = "self-employed for over three years";
+          compute = (fun get -> status get = "self-employed 3y+");
+        };
+        {
+          Form.name = "p3";
+          description = "income above 2500/month (payslips)";
+          compute =
+            (fun get ->
+              status get = "permanent contract"
+              && int_answer get "income_payslips" >= 2500);
+        };
+        {
+          Form.name = "p4";
+          description = "income above 2500/month (tax returns)";
+          compute = (fun get -> int_answer get "income_tax" >= 2500);
+        };
+        {
+          Form.name = "p5";
+          description = "debt ratio below 35%";
+          compute = (fun get -> int_answer get "debt_ratio" < 35);
+        };
+        {
+          Form.name = "p6";
+          description = "no payment incident";
+          compute = (fun get -> not (bool_answer get "incidents"));
+        };
+        {
+          Form.name = "p7";
+          description = "customer for over two years";
+          compute = (fun get -> int_answer get "customer_years" >= 2);
+        };
+        {
+          Form.name = "p8";
+          description = "homeowner";
+          compute = (fun get -> bool_answer get "homeowner");
+        };
+        {
+          Form.name = "p9";
+          description = "co-signer available";
+          compute = (fun get -> bool_answer get "cosigner");
+        };
+        {
+          Form.name = "p10";
+          description = "below 65 at maturity";
+          compute =
+            (fun get -> int_answer get "age" + int_answer get "term" <= 65);
+        };
+      ]

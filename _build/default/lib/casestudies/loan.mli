@@ -1,0 +1,26 @@
+(** A commercial case study: consumer-loan underwriting.
+
+    The paper's introduction motivates the PET with banks and insurers
+    that "ask applicants to fill in forms in order to calibrate the
+    terms of loans". This scenario is not part of the paper's
+    evaluation; it is included to exercise the library on a multi-benefit
+    commercial rule set with several alternative proofs per benefit
+    (income evidence, collateral evidence), which produces richer choice
+    sets than the welfare studies. *)
+
+val exposure : unit -> Pet_rules.Exposure.t
+
+val predicates : (string * string) list
+val benefits : (string * string) list
+
+val freelancer : unit -> Pet_valuation.Total.t
+(** A self-employed applicant with both payslip-equivalent and tax-return
+    income evidence, who can therefore choose what to disclose. *)
+
+val homeowner : unit -> Pet_valuation.Total.t
+(** A salaried homeowner eligible for every product. *)
+
+val form : unit -> Pet_pet.Form.t
+(** The underwriting questionnaire: employment status, two income
+    figures, debt ratio, seniority, age and term — compiled to [p1..p10]
+    and then discarded. *)

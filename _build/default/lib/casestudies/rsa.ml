@@ -1,0 +1,164 @@
+module Universe = Pet_valuation.Universe
+module Total = Pet_valuation.Total
+
+let predicates =
+  [
+    ("p1", "aged 25 or over");
+    ("p2", "aged 18 to 24");
+    ("p3", "worked two of the last three years");
+    ("p4", "single parent");
+    ("p5", "pregnant");
+    ("p6", "French resident");
+    ("p7", "stable residency (9 months a year)");
+    ("p8", "means below the RSA ceiling");
+    ("p9", "student");
+    ("p10", "on sabbatical or parental leave");
+    ("p11", "early retirement pension");
+    ("p12", "salaried activity income this quarter");
+    ("p13", "self-employed activity income this quarter");
+    ("p14", "no declared partner");
+    ("p15", "housed free of charge");
+    ("p16", "receives housing aid");
+    ("p17", "dependent children");
+  ]
+
+let benefits =
+  [
+    ("b1", "RSA base income");
+    ("b2", "lone-parent increase");
+    ("b3", "activity bonus");
+    ("b4", "housing supplement");
+  ]
+
+let spec =
+  {|form p1 p2 p3 p4 p5 p6 p7 p8 p9 p10 p11 p12 p13 p14 p15 p16 p17
+benefits b1 b2 b3 b4
+# Base RSA: an entry path (25+ not a student / young worker not a
+# student / single parent / pregnant) plus residency, means test and no
+# excluding status.
+rule b1 := ((p1 & !p9) | (p2 & p3 & !p9) | p4 | p5) & p6 & p7 & p8 & !p10 & !p11
+# Lone-parent increase: single parents, or mothers-to-be without a
+# declared partner, passing the same residency and means conditions.
+rule b2 := (p4 | (p5 & p14)) & p6 & p7 & p8 & !p10 & !p11
+# Activity bonus: a base path plus salaried or self-employed activity
+# income.
+rule b3 := ((p1 & !p9) | (p2 & p3 & !p9) | p4 | p5) & (p12 | p13) & p6 & p7 & p8 & !p10 & !p11
+# Housing supplement: a base path, for renters without housing aid or for
+# families with dependent children not already on housing aid.
+rule b4 := ((p1 & !p9) | (p2 & p3 & !p9) | p4 | p5) & ((!p15 & !p16) | (p17 & !p16)) & p6 & p7 & p8 & !p10 & !p11
+# Consistency (both directions are listed so that forward chaining, the
+# paper's deduction mode, sees each).
+constraint p1 -> !p2
+constraint p2 -> !p1
+constraint p4 -> p17 & p14
+constraint p5 -> !p10
+constraint p15 -> !p16
+constraint p16 -> !p15
+constraint p11 -> !p12 & !p13
+constraint p12 -> !p11
+constraint p13 -> !p11
+|}
+
+let exposure () = Pet_rules.Spec.parse_exn spec
+
+let universe = lazy (Universe.of_names (List.map fst predicates))
+
+(* Single working mother, 30, salaried plus self-employed income, renting
+   without housing aid. *)
+let sample_applicant () =
+  Total.of_string (Lazy.force universe) "10010111000111001"
+
+module Form = Pet_pet.Form
+
+let form () =
+  let int_answer get key =
+    match get key with
+    | Form.Aint n -> n
+    | Form.Abool _ | Form.Achoice _ -> assert false
+  in
+  let bool_answer get key =
+    match get key with
+    | Form.Abool b -> b
+    | Form.Aint _ | Form.Achoice _ -> assert false
+  in
+  let yes_no key text = { Form.key; text; kind = Form.Kbool } in
+  let ask_int key text = { Form.key; text; kind = Form.Kint } in
+  let direct name key description =
+    { Form.name; description; compute = (fun get -> bool_answer get key) }
+  in
+  Form.create ~exposure:(exposure ())
+    ~questions:
+      [
+        ask_int "age" "How old are you?";
+        yes_no "worked" "Have you worked two of the last three years?";
+        yes_no "single_parent" "Are you raising your children alone?";
+        yes_no "pregnant" "Are you pregnant?";
+        yes_no "resident" "Do you reside in France?";
+        ask_int "months_residence" "How many months a year do you live here?";
+        ask_int "means" "Household resources last quarter (euros)?";
+        yes_no "student" "Are you a student?";
+        yes_no "sabbatical" "Are you on sabbatical or parental leave?";
+        yes_no "early_retirement" "Do you draw an early-retirement pension?";
+        ask_int "salaried_income" "Salaried income this quarter (euros)?";
+        ask_int "self_employed_income"
+          "Self-employed income this quarter (euros)?";
+        yes_no "partner" "Do you declare a partner?";
+        yes_no "free_housing" "Are you housed free of charge?";
+        yes_no "housing_aid" "Do you receive housing aid?";
+        ask_int "children" "Number of dependent children?";
+      ]
+    ~predicates:
+      [
+        {
+          Form.name = "p1";
+          description = "aged 25 or over";
+          compute = (fun get -> int_answer get "age" >= 25);
+        };
+        {
+          Form.name = "p2";
+          description = "aged 18 to 24";
+          compute =
+            (fun get ->
+              let a = int_answer get "age" in
+              a >= 18 && a < 25);
+        };
+        direct "p3" "worked" "worked two of the last three years";
+        direct "p4" "single_parent" "single parent";
+        direct "p5" "pregnant" "pregnant";
+        direct "p6" "resident" "French resident";
+        {
+          Form.name = "p7";
+          description = "stable residency";
+          compute = (fun get -> int_answer get "months_residence" >= 9);
+        };
+        {
+          Form.name = "p8";
+          description = "means below the RSA ceiling";
+          compute = (fun get -> int_answer get "means" <= 1971);
+        };
+        direct "p9" "student" "student";
+        direct "p10" "sabbatical" "on sabbatical or parental leave";
+        direct "p11" "early_retirement" "early retirement pension";
+        {
+          Form.name = "p12";
+          description = "salaried activity income";
+          compute = (fun get -> int_answer get "salaried_income" > 0);
+        };
+        {
+          Form.name = "p13";
+          description = "self-employed activity income";
+          compute = (fun get -> int_answer get "self_employed_income" > 0);
+        };
+        {
+          Form.name = "p14";
+          description = "no declared partner";
+          compute = (fun get -> not (bool_answer get "partner"));
+        };
+        direct "p15" "free_housing" "housed free of charge";
+        direct "p16" "housing_aid" "receives housing aid";
+        {
+          Form.name = "p17";
+          description = "dependent children";
+          compute = (fun get -> int_answer get "children" > 0);
+        };
+      ]

@@ -1,0 +1,25 @@
+(** The RSA ("revenu de solidarité active", active solidarity income)
+    case study of Section 5.
+
+    The paper reports this scenario's statistics (17 predicates,
+    incrementally granted benefits, 24 MAS, 1296 eligible valuations with
+    up to 12 choices) but does not print its rule set, and the MAS
+    strings of Table 4 are not fully legible in the available source.
+    This module therefore provides a {e synthetic} encoding built from
+    the published RSA eligibility criteria, with 17 predicates and 3
+    incrementally granted benefits, calibrated to reproduce the shape of
+    Tables 2 and 4. The per-number comparison lives in EXPERIMENTS.md. *)
+
+val exposure : unit -> Pet_rules.Exposure.t
+
+val predicates : (string * string) list
+(** Predicate name, human-readable description. *)
+
+val benefits : (string * string) list
+
+val sample_applicant : unit -> Pet_valuation.Total.t
+(** A lone working parent entitled to all three benefits. *)
+
+val form : unit -> Pet_pet.Form.t
+(** The RSA questionnaire: an age, a residency duration, income figures
+    and household facts compiled to the 17 predicates. *)

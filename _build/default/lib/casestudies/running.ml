@@ -1,0 +1,66 @@
+module Universe = Pet_valuation.Universe
+module Total = Pet_valuation.Total
+module Parse = Pet_logic.Parse
+
+let spec =
+  {|# District council benefits (running example, Section 2.2)
+form p1 p2 p3
+benefits b1 b2 b3
+rule b1 := p1 | (p2 & p3)
+rule b2 := p1 & !p2
+rule b3 := p1 & !p3
+|}
+
+let exposure () = Pet_rules.Spec.parse_exn spec
+
+let universe = lazy (Universe.of_names [ "p1"; "p2"; "p3" ])
+
+let v1 () = Total.of_string (Lazy.force universe) "011"
+let v2 () = Total.of_string (Lazy.force universe) "111"
+
+module Form = Pet_pet.Form
+open struct
+  type answer = Form.answer = Abool of bool | Aint of int | Achoice of string
+  type kind = Form.kind = Kbool | Kint | Kchoice of string list
+end
+
+let form () =
+  let int_answer get key =
+    match get key with Aint n -> n | Abool _ | Achoice _ -> assert false
+  in
+  let bool_answer get key =
+    match get key with Abool b -> b | Aint _ | Achoice _ -> assert false
+  in
+  Form.create ~exposure:(exposure ())
+    ~questions:
+      [
+        { key = "age"; text = "How old are you?"; kind = Kint };
+        { key = "unemployed"; text = "Are you unemployed?"; kind = Kbool };
+        {
+          key = "location";
+          text = "Where in the district do you live?";
+          kind = Kchoice [ "suburbs"; "town center" ];
+        };
+      ]
+    ~predicates:
+      [
+        {
+          name = "p1";
+          description = "age <= 25";
+          compute = (fun get -> int_answer get "age" <= 25);
+        };
+        {
+          name = "p2";
+          description = "unemployed";
+          compute = (fun get -> bool_answer get "unemployed");
+        };
+        {
+          name = "p3";
+          description = "lives in the suburbs";
+          compute =
+            (fun get ->
+              match get "location" with
+              | Achoice c -> c = "suburbs"
+              | Aint _ | Abool _ -> assert false);
+        };
+      ]

@@ -1,0 +1,24 @@
+(** The paper's running example (Section 2.2): district council benefits.
+
+    Form predicates: [p1] "age <= 25", [p2] "unemployed", [p3] "suburbs".
+    Benefits: [b1] subsidized public transportation card, [b2] local tax
+    reduction, [b3] free parking card. Rules (Section 3.1):
+
+    {v
+    (p1 | (p2 & p3)) <-> b1
+    (p1 & !p2)       <-> b2
+    (p1 & !p3)       <-> b3
+    v} *)
+
+val exposure : unit -> Pet_rules.Exposure.t
+
+val v1 : unit -> Pet_valuation.Total.t
+(** The paper's first example applicant: age 28, unemployed, suburbs —
+    valuation [011]. *)
+
+val v2 : unit -> Pet_valuation.Total.t
+(** The second example applicant: age 20, unemployed, suburbs — [111]. *)
+
+val form : unit -> Pet_pet.Form.t
+(** The typed questionnaire behind the predicates: an age, an employment
+    status and a location, compiled to [p1..p3]. *)

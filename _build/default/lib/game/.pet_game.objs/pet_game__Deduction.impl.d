@@ -1,0 +1,1 @@
+lib/game/deduction.ml: Fmt List Payoff Pet_minimize Pet_valuation Profile

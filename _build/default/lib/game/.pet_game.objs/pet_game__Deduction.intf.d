@@ -1,0 +1,1 @@
+lib/game/deduction.mli: Fmt Profile

@@ -1,0 +1,1 @@
+lib/game/equilibrium.ml: Fmt Payoff Pet_minimize Profile

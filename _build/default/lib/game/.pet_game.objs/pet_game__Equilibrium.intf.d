@@ -1,0 +1,1 @@
+lib/game/equilibrium.mli: Fmt Payoff Profile

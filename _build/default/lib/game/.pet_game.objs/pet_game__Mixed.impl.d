@@ -1,0 +1,1 @@
+lib/game/mixed.ml: Array Int List Payoff Pet_minimize Profile Random

@@ -1,0 +1,1 @@
+lib/game/mixed.mli: Payoff Pet_minimize Profile

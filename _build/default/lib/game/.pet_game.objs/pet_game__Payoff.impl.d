@@ -1,0 +1,1 @@
+lib/game/payoff.ml: Fmt List Pet_minimize Pet_valuation Profile

@@ -1,0 +1,1 @@
+lib/game/payoff.mli: Fmt Pet_minimize Profile

@@ -1,0 +1,1 @@
+lib/game/profile.ml: Array List Pet_minimize Printf

@@ -1,0 +1,1 @@
+lib/game/profile.mli: Pet_minimize Pet_valuation

@@ -1,0 +1,1 @@
+lib/game/solidarity.ml: Fmt Fun List Payoff Pet_minimize Profile

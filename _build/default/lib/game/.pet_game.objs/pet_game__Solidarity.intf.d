@@ -1,0 +1,1 @@
+lib/game/solidarity.mli: Fmt Profile

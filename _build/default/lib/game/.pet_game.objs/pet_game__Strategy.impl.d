@@ -1,0 +1,1 @@
+lib/game/strategy.ml: Array List Option Payoff Pet_minimize Pet_rules Pet_valuation Profile

@@ -1,0 +1,1 @@
+lib/game/strategy.mli: Payoff Pet_minimize Profile

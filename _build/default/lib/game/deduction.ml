@@ -1,0 +1,35 @@
+module Atlas = Pet_minimize.Atlas
+module Algorithm1 = Pet_minimize.Algorithm1
+module Partial = Pet_valuation.Partial
+
+type disclosure = {
+  published : (string * bool) list;
+  deduced : (string * bool) list;
+  protected : string list;
+  crowd_size : int;
+}
+
+let of_move profile ~mas =
+  let atlas = Profile.atlas profile in
+  let crowd = Profile.crowd profile mas in
+  let w = (Atlas.mas atlas mas).Algorithm1.mas in
+  {
+    published = Partial.bindings w;
+    deduced = Payoff.deduced_blanks atlas ~mas ~crowd;
+    protected = Payoff.undeducible_blanks atlas ~mas ~crowd;
+    crowd_size = List.length crowd;
+  }
+
+let for_player profile ~player =
+  of_move profile ~mas:(Profile.move_of profile player)
+
+let pp ppf d =
+  let pp_lit ppf (name, b) = Fmt.pf ppf "%s=%d" name (if b then 1 else 0) in
+  Fmt.pf ppf
+    "@[<v>published: %a@,deduced by attacker: %a@,protected: %a@,crowd: %d@]"
+    Fmt.(list ~sep:sp pp_lit)
+    d.published
+    Fmt.(list ~sep:sp pp_lit)
+    d.deduced
+    Fmt.(list ~sep:sp string)
+    d.protected d.crowd_size

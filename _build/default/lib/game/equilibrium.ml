@@ -1,0 +1,63 @@
+module Atlas = Pet_minimize.Atlas
+
+type deviation = {
+  player : int;
+  from_mas : int;
+  to_mas : int;
+  current : float;
+  deviated : float;
+}
+
+let find_improvement profile payoff =
+  let atlas = Profile.atlas profile in
+  let n = Atlas.player_count atlas in
+  let rec check_player i =
+    if i >= n then None
+    else
+      let from_mas = Profile.move_of profile i in
+      let current =
+        Payoff.value atlas payoff ~mas:from_mas
+          ~crowd:(Profile.crowd profile from_mas)
+      in
+      let rec check_moves = function
+        | [] -> check_player (i + 1)
+        | m :: rest when m = from_mas -> check_moves rest
+        | m :: rest ->
+          let deviated =
+            Payoff.value atlas payoff ~mas:m
+              ~crowd:(i :: Profile.crowd profile m)
+          in
+          if deviated > current then
+            Some { player = i; from_mas; to_mas = m; current; deviated }
+          else check_moves rest
+      in
+      check_moves (Atlas.choices_of_player atlas i)
+  in
+  check_player 0
+
+let is_nash profile payoff = find_improvement profile payoff = None
+
+let refine ?max_steps profile payoff =
+  let atlas = Profile.atlas profile in
+  let max_steps =
+    match max_steps with
+    | Some s -> s
+    | None -> 20 * max 1 (Atlas.player_count atlas)
+  in
+  let rec go profile steps =
+    if steps >= max_steps then (profile, false)
+    else
+      match find_improvement profile payoff with
+      | None -> (profile, true)
+      | Some d ->
+        let profile' =
+          Profile.make atlas (fun i ->
+              if i = d.player then d.to_mas else Profile.move_of profile i)
+        in
+        go profile' (steps + 1)
+  in
+  go profile 0
+
+let pp_deviation ppf d =
+  Fmt.pf ppf "player %d: MAS %d (%.1f) -> MAS %d (%.1f)" d.player d.from_mas
+    d.current d.to_mas d.deviated

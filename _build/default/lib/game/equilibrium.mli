@@ -1,0 +1,34 @@
+(** Nash-equilibrium verification (Definition 4.2) by exhaustive search
+    over unilateral deviations. *)
+
+type deviation = {
+  player : int;
+  from_mas : int;
+  to_mas : int;
+  current : float;
+  deviated : float;
+}
+
+val find_improvement : Profile.t -> Payoff.kind -> deviation option
+(** The first strictly profitable unilateral deviation, if any. Crowds
+    are adjusted for the deviation: the player leaves their current
+    crowd and joins the target one. *)
+
+val is_nash : Profile.t -> Payoff.kind -> bool
+
+val refine : ?max_steps:int -> Profile.t -> Payoff.kind -> Profile.t * bool
+(** Best-response dynamics: repeatedly apply a profitable unilateral
+    deviation until none remains ([true]) or [max_steps] (default
+    [20 * players]) is exhausted ([false]).
+
+    Algorithm 2 commits players against the crowds committed {e so far},
+    so on adversarial instances a player can end up regretting an early
+    commitment once later players pile onto another move — Theorem 4.6's
+    proof sketch does not cover this coupling, and the paper's own case
+    studies never trigger it (their Algorithm 2 profiles are Nash as-is;
+    the tests pin this). [refine] repairs such profiles. Under [PO_SM]
+    the game is a congestion game with increasing payoffs, so the
+    dynamics always terminate; under [PO_blank] termination is enforced
+    by the budget. See EXPERIMENTS.md. *)
+
+val pp_deviation : deviation Fmt.t

@@ -1,0 +1,41 @@
+(** Prototype of the probabilistic extension sketched in the paper's
+    future work (Section 7): "a probabilistic minimization strategy would
+    potentially allow an increase in the privacy gains with plausible
+    deniability-based metrics because the number of potential valuation
+    predecessors of each MAS would naturally increase".
+
+    A mixed profile gives every player a probability distribution over
+    their MAS. Payoffs of a realized game are the usual crowd payoffs;
+    expected payoffs are estimated by seeded Monte-Carlo sampling (exact
+    evaluation is exponential in the number of mixing players). The
+    H-cov demonstration: when a few players who could play the worst
+    forced move occasionally do, the deducibility of [p12] for that
+    move's crowd vanishes almost surely — the probabilistic counterpart
+    of the solidarity experiment. *)
+
+type t
+
+val of_pure : Profile.t -> t
+(** Every player plays their profile move with probability 1. *)
+
+val atlas : t -> Pet_minimize.Atlas.t
+
+val strategy : t -> player:int -> (int * float) list
+(** The player's distribution: (MAS index, probability), probabilities
+    summing to 1, ascending MAS index. *)
+
+val perturb : t -> player:int -> mas:int -> epsilon:float -> t
+(** Shift probability mass [epsilon] from the player's current
+    distribution (proportionally) onto [mas].
+    @raise Invalid_argument if [mas] is not among the player's choices or
+    [epsilon] is outside [0, 1]. *)
+
+val sample : seed:int -> t -> Profile.t
+(** Draw one pure profile. Deterministic in the seed. *)
+
+val expected_payoff :
+  ?samples:int -> seed:int -> t -> player:int -> Payoff.kind -> float
+(** Monte-Carlo estimate (default 200 samples) of the player's expected
+    payoff: each sample realizes every player's move and evaluates the
+    player's own move against its realized crowd. For a degenerate
+    (pure) profile this is exact. *)

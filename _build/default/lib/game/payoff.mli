@@ -1,0 +1,39 @@
+(** Privacy payoff functions (Section 4.2).
+
+    - [Blank] is [PO_blank] (Definition 4.3): the number of blank
+      predicates of the published MAS that an attacker knowing the game
+      and everyone's strategy cannot deduce — i.e. the blanks on which at
+      least two players of the same move disagree (Proposition 4.4).
+    - [Sm] is [PO_SM] (Definition 4.5): the number of {e other} players
+      making the same move ([k - 1] for a crowd of [k]) — hiding in a
+      crowd, akin to k-anonymity.
+    - [Weighted] is the weighted extension of [PO_blank] sketched in
+      Section 4.2: blanks count with per-predicate sensitivity weights.
+
+    Payoffs are evaluated against a {e crowd}: the set of players assumed
+    to play the move. During Algorithm 2 the crowd grows as players
+    commit; on a final profile it is the move's actual crowd. *)
+
+type kind = Blank | Sm | Weighted of (string -> float)
+
+val undeducible_blanks :
+  Pet_minimize.Atlas.t -> mas:int -> crowd:int list -> string list
+(** Blank predicates of the MAS on which the crowd disagrees, in universe
+    order. Empty for an empty or singleton crowd. *)
+
+val deduced_blanks :
+  Pet_minimize.Atlas.t -> mas:int -> crowd:int list -> (string * bool) list
+(** Blank predicates whose value every crowd member shares — what the
+    attacker deduces in addition to the published literals. Empty crowd:
+    no deductions are defined (the move is never played). *)
+
+val value :
+  Pet_minimize.Atlas.t -> kind -> mas:int -> crowd:int list -> float
+(** The payoff a crowd member gets. [Blank] and [Sm] values are integral
+    (as floats for a uniform interface). *)
+
+val of_profile : Profile.t -> kind -> player:int -> float
+(** The payoff player [player] receives under the profile: their move
+    evaluated against its actual crowd. *)
+
+val pp_kind : kind Fmt.t

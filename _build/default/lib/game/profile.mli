@@ -1,0 +1,25 @@
+(** Strategy profiles: one move (MAS index) per player of an atlas.
+    The game of Section 4 is one-shot and simultaneous; a profile records
+    what every player publishes. *)
+
+type t
+
+val make : Pet_minimize.Atlas.t -> (int -> int) -> t
+(** [make atlas f] assigns MAS [f i] to player [i].
+    @raise Invalid_argument when some [f i] is not among player [i]'s
+    choices. *)
+
+val atlas : t -> Pet_minimize.Atlas.t
+val move_of : t -> int -> int
+(** The MAS index played by a player index. *)
+
+val crowd : t -> int -> int list
+(** Player indices committed to a MAS index, ascending. *)
+
+val crowd_size : t -> int -> int
+
+val move_of_valuation : t -> Pet_valuation.Total.t -> Pet_minimize.Algorithm1.choice
+(** Convenience lookup by valuation.
+    @raise Not_found when the valuation is not a player. *)
+
+val equal : t -> t -> bool

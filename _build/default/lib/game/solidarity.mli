@@ -1,0 +1,46 @@
+(** The "solidarity" extension sketched in the paper's future work
+    (Section 7): sometimes moving very few players onto a move — at a
+    small cost to them — raises the [PO_blank] of everyone forced to play
+    it. In the H-cov study, recruiting a single extra player onto MAS
+    [0_0_1110____] lifts its 24 forced players from [PO_blank = 5] to
+    [6]. *)
+
+type recruit = {
+  player : int;
+  previous_mas : int;
+  previous_payoff : float;  (** the recruit's [PO_blank] before moving *)
+  new_payoff : float;  (** after moving (evaluated on the updated crowds) *)
+}
+
+type result = {
+  mas : int;
+  crowd_before : int;
+  payoff_before : float;
+  payoff_after : float;
+  recruits : recruit list;
+  beneficiaries : int;  (** players of the move before recruiting *)
+}
+
+val improve : ?max_recruits:int -> Profile.t -> mas:int -> result option
+(** Greedily recruit potential players of the move (currently playing
+    something else) that maximize the move's [PO_blank], stopping when no
+    recruit helps or [max_recruits] (default 3) is reached. [None] when
+    no recruit improves the payoff. *)
+
+type plan = {
+  steps : result list;  (** in application order *)
+  final : Profile.t;  (** the profile with all recruits moved *)
+  recruited : int;
+  floor_before : float;  (** worst [PO_blank] over played moves, before *)
+  floor_after : float;
+}
+
+val plan : ?budget:int -> Profile.t -> plan
+(** The "solidarity strategy" sketched in the paper's future work:
+    repeatedly lift the currently worst-off move (lowest [PO_blank]
+    among moves that are actually played) by recruiting volunteers,
+    until no move can be improved or the recruit [budget] (default 5) is
+    spent. Each step re-evaluates the whole profile, so a volunteer's
+    departure lowering their former crowd is accounted for. *)
+
+val pp : result Fmt.t

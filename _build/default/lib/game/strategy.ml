@@ -1,0 +1,149 @@
+module Atlas = Pet_minimize.Atlas
+module Algorithm1 = Pet_minimize.Algorithm1
+module Universe = Pet_valuation.Universe
+module Total = Pet_valuation.Total
+module Partial = Pet_valuation.Partial
+
+let popcount x =
+  let rec go x acc = if x = 0 then acc else go (x lsr 1) (acc + (x land 1)) in
+  go x 0
+
+(* Incremental per-move crowd aggregates, so that scoring a prospective
+   commitment is O(1): [ones]/[zeros] are the bitwise ORs of the committed
+   members' (negated) valuations, [count] their number. *)
+type agg = { mutable ones : int; mutable zeros : int; mutable count : int }
+
+type state = {
+  atlas : Atlas.t;
+  payoff : Payoff.kind;
+  full : int; (* mask of the whole form universe *)
+  universe : Universe.t;
+  blank_mask : int array; (* per MAS *)
+  player_bits : int array;
+  aggs : agg array;
+  committed : int array; (* player -> MAS, -1 while pending *)
+}
+
+let make_state atlas payoff =
+  let nm = Atlas.mas_count atlas in
+  let np = Atlas.player_count atlas in
+  let universe =
+    Pet_rules.Exposure.xp (Pet_rules.Engine.exposure (Atlas.engine atlas))
+  in
+  let full = (1 lsl Universe.size universe) - 1 in
+  {
+    atlas;
+    payoff;
+    full;
+    universe;
+    blank_mask =
+      Array.init nm (fun m ->
+          lnot (Partial.domain_mask (Atlas.mas atlas m).Algorithm1.mas)
+          land full);
+    player_bits =
+      Array.init np (fun i -> Total.bits (Atlas.player atlas i));
+    aggs = Array.init nm (fun _ -> { ones = 0; zeros = 0; count = 0 });
+    committed = Array.make np (-1);
+  }
+
+let commit st i m =
+  st.committed.(i) <- m;
+  let a = st.aggs.(m) in
+  let bits = st.player_bits.(i) in
+  a.ones <- a.ones lor bits;
+  a.zeros <- a.zeros lor (lnot bits land st.full);
+  a.count <- a.count + 1
+
+(* Payoff of player [i] if they joined move [m]'s committed crowd. *)
+let score st i m =
+  let a = st.aggs.(m) in
+  let bits = st.player_bits.(i) in
+  let disagreement =
+    (a.ones lor bits)
+    land (a.zeros lor (lnot bits land st.full))
+    land st.blank_mask.(m)
+  in
+  match st.payoff with
+  | Payoff.Sm -> float_of_int a.count
+  | Payoff.Blank -> float_of_int (popcount disagreement)
+  | Payoff.Weighted weight ->
+    let total = ref 0. in
+    List.iteri
+      (fun k name ->
+        if (disagreement lsr k) land 1 = 1 then total := !total +. weight name)
+      (Universe.names st.universe);
+    !total
+
+(* Best move of a player: highest score; ties broken by the lexicographic
+   order on moves (MAS indices are in lexicographic order). [dominant]
+   tells whether the best strictly beats every other move. *)
+let best_move st i choices =
+  let rec go best dominant = function
+    | [] -> (best, dominant)
+    | m :: rest ->
+      let s = score st i m in
+      let bm, bs = best in
+      if s > bs then go (m, s) true rest
+      else if s = bs && m <> bm then go best false rest
+      else go best dominant rest
+  in
+  match choices with
+  | [] -> assert false (* every player has at least one choice *)
+  | m :: rest -> go (m, score st i m) true rest
+
+let compute ?(payoff = Payoff.Blank) atlas =
+  let st = make_state atlas payoff in
+  let n = Atlas.player_count atlas in
+  (* Players with a single possible move play it outright (lines 1-3 of
+     Algorithm 2). *)
+  let pending = ref [] in
+  for i = n - 1 downto 0 do
+    match Atlas.choices_of_player atlas i with
+    | [ m ] -> commit st i m
+    | choices -> pending := (i, choices) :: !pending
+  done;
+  (* Main loop. A player commits as soon as one of their moves strictly
+     dominates their alternatives under the current crowds ("wait until
+     the payoff of best move dominates all other to play it"); committing
+     changes the crowds, so the scan restarts. When nobody has a
+     dominating move, the deadlock is broken as in lines 11-16: the
+     player/move pair with the globally best payoff — ties resolved by
+     the lexicographic order on moves, then on players — commits. *)
+  while !pending <> [] do
+    let dominant =
+      List.find_opt
+        (fun (i, choices) -> snd (best_move st i choices))
+        !pending
+    in
+    let i, m =
+      match dominant with
+      | Some (i, choices) -> (i, fst (fst (best_move st i choices)))
+      | None ->
+        let take acc (i, choices) =
+          let (m, s), _ = best_move st i choices in
+          match acc with
+          | Some (_, m', s') when s' > s || (s' = s && m' <= m) -> acc
+          | _ -> Some (i, m, s)
+        in
+        let i, m, _ = Option.get (List.fold_left take None !pending) in
+        (i, m)
+    in
+    commit st i m;
+    pending := List.filter (fun (j, _) -> j <> i) !pending
+  done;
+  Profile.make atlas (fun i -> st.committed.(i))
+
+let best_move_of_player ?(payoff = Payoff.Blank) profile i =
+  let atlas = Profile.atlas profile in
+  let current = Profile.move_of profile i in
+  let consider best m =
+    let crowd = Profile.crowd profile m in
+    let crowd = if m = current then crowd else i :: crowd in
+    let s = Payoff.value atlas payoff ~mas:m ~crowd in
+    match best with
+    | Some (_, s') when s' >= s -> best
+    | _ -> Some (m, s)
+  in
+  match List.fold_left consider None (Atlas.choices_of_player atlas i) with
+  | Some best -> best
+  | None -> assert false

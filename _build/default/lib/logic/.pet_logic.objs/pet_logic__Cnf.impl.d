@@ -1,0 +1,1 @@
+lib/logic/cnf.ml: Fmt Formula List Literal Nnf Stdlib

@@ -1,0 +1,1 @@
+lib/logic/cnf.mli: Fmt Formula Literal

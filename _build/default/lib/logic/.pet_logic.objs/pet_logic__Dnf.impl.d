@@ -1,0 +1,1 @@
+lib/logic/dnf.ml: Fmt Formula List Literal Nnf Set Stdlib String

@@ -1,0 +1,1 @@
+lib/logic/dnf.mli: Fmt Formula Literal

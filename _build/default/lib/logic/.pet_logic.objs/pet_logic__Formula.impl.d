@@ -1,0 +1,1 @@
+lib/logic/formula.ml: Array Bool Fmt List Set Stdlib String Sys

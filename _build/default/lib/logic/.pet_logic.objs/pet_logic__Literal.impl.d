@@ -1,0 +1,1 @@
+lib/logic/literal.ml: Bool Fmt Formula String

@@ -1,0 +1,1 @@
+lib/logic/literal.mli: Fmt Formula

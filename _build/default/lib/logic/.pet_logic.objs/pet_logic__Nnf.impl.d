@@ -1,0 +1,1 @@
+lib/logic/nnf.ml: Formula

@@ -1,0 +1,1 @@
+lib/logic/parse.ml: Formula List Printf String

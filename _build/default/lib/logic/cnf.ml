@@ -1,0 +1,103 @@
+type clause = Literal.t list
+type t = clause list
+
+let normalize_clause lits =
+  let sorted = List.sort_uniq Literal.compare lits in
+  let tautological =
+    List.exists (fun l -> List.mem (Literal.negate l) sorted) sorted
+  in
+  if tautological then None else Some sorted
+
+let remove_subsumed cnf =
+  let subsumes c c' = List.for_all (fun l -> List.mem l c') c in
+  let keep c =
+    not
+      (List.exists
+         (fun c' -> (not (List.equal Literal.equal c c')) && subsumes c' c)
+         cnf)
+  in
+  List.filter keep (List.sort_uniq Stdlib.compare cnf)
+
+let of_formula f =
+  let rec go = function
+    | Formula.True -> []
+    | Formula.False -> [ [] ]
+    | Formula.Var x -> [ [ Literal.pos x ] ]
+    | Formula.Not (Formula.Var x) -> [ [ Literal.neg x ] ]
+    | Formula.And (a, b) -> go a @ go b
+    | Formula.Or (a, b) ->
+      let cas = go a and cbs = go b in
+      List.concat_map
+        (fun ca -> List.filter_map (fun cb -> normalize_clause (ca @ cb)) cbs)
+        cas
+    | Formula.Not _ | Formula.Implies _ | Formula.Iff _ ->
+      assert false (* input is NNF *)
+  in
+  remove_subsumed (go (Nnf.of_formula f))
+
+let clause_to_formula c = Formula.disj (List.map Literal.to_formula c)
+let to_formula cnf = Formula.conj (List.map clause_to_formula cnf)
+
+let holds rho cnf =
+  List.for_all (fun c -> List.exists (Literal.holds rho) c) cnf
+
+(* Plaisted–Greenbaum style Tseitin on the NNF: since the input is in NNF,
+   only the "definition implies subformula" direction of each definitional
+   equivalence is needed for equisatisfiability, but we emit the full
+   equivalences so that models project exactly. *)
+let tseitin ~fresh_prefix f =
+  let counter = ref 0 in
+  let clauses = ref [] in
+  let emit c = clauses := c :: !clauses in
+  let fresh () =
+    incr counter;
+    fresh_prefix ^ string_of_int !counter
+  in
+  (* [go f] returns a literal equivalent to [f] under the emitted
+     definitional clauses. *)
+  let rec go = function
+    | Formula.True ->
+      let x = fresh () in
+      emit [ Literal.pos x ];
+      Literal.pos x
+    | Formula.False ->
+      let x = fresh () in
+      emit [ Literal.neg x ];
+      Literal.pos x
+    | Formula.Var x -> Literal.pos x
+    | Formula.Not (Formula.Var x) -> Literal.neg x
+    | Formula.And (a, b) ->
+      let la = go a and lb = go b in
+      let x = Literal.pos (fresh ()) in
+      (* x <-> la & lb *)
+      emit [ Literal.negate x; la ];
+      emit [ Literal.negate x; lb ];
+      emit [ x; Literal.negate la; Literal.negate lb ];
+      x
+    | Formula.Or (a, b) ->
+      let la = go a and lb = go b in
+      let x = Literal.pos (fresh ()) in
+      (* x <-> la | lb *)
+      emit [ Literal.negate x; la; lb ];
+      emit [ x; Literal.negate la ];
+      emit [ x; Literal.negate lb ];
+      x
+    | Formula.Not _ | Formula.Implies _ | Formula.Iff _ ->
+      assert false (* input is NNF *)
+  in
+  match Nnf.of_formula f with
+  | Formula.True -> []
+  | Formula.False -> [ [] ]
+  | nnf ->
+    let root = go nnf in
+    emit [ root ];
+    List.rev !clauses
+
+let pp ppf = function
+  | [] -> Fmt.string ppf "true"
+  | cnf ->
+    let pp_clause ppf = function
+      | [] -> Fmt.string ppf "false"
+      | c -> Fmt.pf ppf "(%a)" Fmt.(list ~sep:(any " | ") Literal.pp) c
+    in
+    Fmt.(list ~sep:(any " & ") pp_clause) ppf cnf

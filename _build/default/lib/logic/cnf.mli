@@ -1,0 +1,23 @@
+(** Conjunctive normal form: a conjunction of clauses (disjunctions of
+    literals). Two translations are provided: naive distribution
+    (equivalent formula, exponential) and Tseitin (equisatisfiable, linear,
+    introduces fresh variables) — the latter feeds the SAT encoder. *)
+
+type clause = Literal.t list
+type t = clause list
+
+val of_formula : Formula.t -> t
+(** Equivalent CNF by NNF + distribution, with tautological clauses dropped
+    and subsumed clauses removed. *)
+
+val to_formula : t -> Formula.t
+val holds : (string -> bool) -> t -> bool
+
+val tseitin : fresh_prefix:string -> Formula.t -> t
+(** Equisatisfiable CNF. Fresh variables are named
+    [fresh_prefix ^ string_of_int k]; the caller must ensure the prefix
+    cannot collide with variables of the input formula. Every model of the
+    result restricted to the original variables is a model of the input and
+    every model of the input extends to a model of the result. *)
+
+val pp : t Fmt.t

@@ -1,0 +1,156 @@
+type t =
+  | True
+  | False
+  | Var of string
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Implies of t * t
+  | Iff of t * t
+
+let rec equal a b =
+  match a, b with
+  | True, True | False, False -> true
+  | Var x, Var y -> String.equal x y
+  | Not a, Not b -> equal a b
+  | And (a1, a2), And (b1, b2)
+  | Or (a1, a2), Or (b1, b2)
+  | Implies (a1, a2), Implies (b1, b2)
+  | Iff (a1, a2), Iff (b1, b2) -> equal a1 b1 && equal a2 b2
+  | (True | False | Var _ | Not _ | And _ | Or _ | Implies _ | Iff _), _ ->
+    false
+
+let compare = Stdlib.compare
+
+let var x = Var x
+
+let neg = function
+  | True -> False
+  | False -> True
+  | Not f -> f
+  | f -> Not f
+
+let and_ a b =
+  match a, b with
+  | True, f | f, True -> f
+  | False, _ | _, False -> False
+  | _ -> And (a, b)
+
+let or_ a b =
+  match a, b with
+  | False, f | f, False -> f
+  | True, _ | _, True -> True
+  | _ -> Or (a, b)
+
+let imp a b =
+  match a, b with
+  | False, _ -> True
+  | True, f -> f
+  | _, True -> True
+  | f, False -> neg f
+  | _ -> Implies (a, b)
+
+let iff a b =
+  match a, b with
+  | True, f | f, True -> f
+  | False, f | f, False -> neg f
+  | _ -> Iff (a, b)
+
+let conj fs = List.fold_left and_ True fs
+let disj fs = List.fold_left or_ False fs
+
+let rec eval rho = function
+  | True -> true
+  | False -> false
+  | Var x -> rho x
+  | Not f -> not (eval rho f)
+  | And (a, b) -> eval rho a && eval rho b
+  | Or (a, b) -> eval rho a || eval rho b
+  | Implies (a, b) -> (not (eval rho a)) || eval rho b
+  | Iff (a, b) -> Bool.equal (eval rho a) (eval rho b)
+
+module Sset = Set.Make (String)
+
+let vars f =
+  let rec go acc = function
+    | True | False -> acc
+    | Var x -> Sset.add x acc
+    | Not f -> go acc f
+    | And (a, b) | Or (a, b) | Implies (a, b) | Iff (a, b) -> go (go acc a) b
+  in
+  Sset.elements (go Sset.empty f)
+
+let rec size = function
+  | True | False | Var _ -> 1
+  | Not f -> 1 + size f
+  | And (a, b) | Or (a, b) | Implies (a, b) | Iff (a, b) ->
+    1 + size a + size b
+
+let rec map_vars s = function
+  | True -> True
+  | False -> False
+  | Var x -> s x
+  | Not f -> neg (map_vars s f)
+  | And (a, b) -> and_ (map_vars s a) (map_vars s b)
+  | Or (a, b) -> or_ (map_vars s a) (map_vars s b)
+  | Implies (a, b) -> imp (map_vars s a) (map_vars s b)
+  | Iff (a, b) -> iff (map_vars s a) (map_vars s b)
+
+let all_assignments names =
+  let names = Array.of_list names in
+  let n = Array.length names in
+  if n > Sys.int_size - 2 then
+    invalid_arg "Formula.all_assignments: too many variables";
+  let assignment bits x =
+    let rec find i =
+      if i >= n then raise Not_found
+      else if String.equal names.(i) x then (bits lsr i) land 1 = 1
+      else find (i + 1)
+    in
+    find 0
+  in
+  List.init (1 lsl n) assignment
+
+let tautology f = List.for_all (fun rho -> eval rho f) (all_assignments (vars f))
+
+let satisfiable f = List.exists (fun rho -> eval rho f) (all_assignments (vars f))
+
+let merge_vars f g =
+  Sset.elements (Sset.union (Sset.of_list (vars f)) (Sset.of_list (vars g)))
+
+let entails f g =
+  List.for_all
+    (fun rho -> (not (eval rho f)) || eval rho g)
+    (all_assignments (merge_vars f g))
+
+let equivalent f g =
+  List.for_all
+    (fun rho -> Bool.equal (eval rho f) (eval rho g))
+    (all_assignments (merge_vars f g))
+
+(* Printing with minimal parentheses. Precedences, tightest first:
+   atoms/negation, conjunction, disjunction, implication (right
+   associative), equivalence. *)
+let pp ppf f =
+  let rec go prec ppf f =
+    let paren p body = if p < prec then Fmt.pf ppf "(%t)" body else body ppf in
+    match f with
+    | True -> Fmt.string ppf "true"
+    | False -> Fmt.string ppf "false"
+    | Var x -> Fmt.string ppf x
+    | Not f -> paren 4 (fun ppf -> Fmt.pf ppf "!%a" (go 5) f)
+    | And (a, b) -> paren 3 (fun ppf -> Fmt.pf ppf "%a & %a" (go 3) a (go 4) b)
+    | Or (a, b) -> paren 2 (fun ppf -> Fmt.pf ppf "%a | %a" (go 2) a (go 3) b)
+    | Implies (a, b) ->
+      paren 1 (fun ppf -> Fmt.pf ppf "%a -> %a" (go 2) a (go 1) b)
+    | Iff (a, b) ->
+      paren 0 (fun ppf -> Fmt.pf ppf "%a <-> %a" (go 1) a (go 1) b)
+  in
+  go 0 ppf f
+
+let to_string f = Fmt.str "%a" pp f
+
+let ( && ) = and_
+let ( || ) = or_
+let ( => ) = imp
+let ( <=> ) = iff

@@ -1,0 +1,40 @@
+module F = Formula
+
+let and_nnf a b =
+  match a, b with
+  | F.True, f | f, F.True -> f
+  | F.False, _ | _, F.False -> F.False
+  | _ -> F.And (a, b)
+
+let or_nnf a b =
+  match a, b with
+  | F.False, f | f, F.False -> f
+  | F.True, _ | _, F.True -> F.True
+  | _ -> F.Or (a, b)
+
+let rec pos = function
+  | F.True -> F.True
+  | F.False -> F.False
+  | F.Var x -> F.Var x
+  | F.Not f -> negf f
+  | F.And (a, b) -> and_nnf (pos a) (pos b)
+  | F.Or (a, b) -> or_nnf (pos a) (pos b)
+  | F.Implies (a, b) -> or_nnf (negf a) (pos b)
+  | F.Iff (a, b) -> and_nnf (or_nnf (negf a) (pos b)) (or_nnf (negf b) (pos a))
+
+and negf = function
+  | F.True -> F.False
+  | F.False -> F.True
+  | F.Var x -> F.Not (F.Var x)
+  | F.Not f -> pos f
+  | F.And (a, b) -> or_nnf (negf a) (negf b)
+  | F.Or (a, b) -> and_nnf (negf a) (negf b)
+  | F.Implies (a, b) -> and_nnf (pos a) (negf b)
+  | F.Iff (a, b) -> or_nnf (and_nnf (pos a) (negf b)) (and_nnf (negf a) (pos b))
+
+let of_formula = pos
+
+let rec is_nnf = function
+  | F.True | F.False | F.Var _ | F.Not (F.Var _) -> true
+  | F.Not _ | F.Implies _ | F.Iff _ -> false
+  | F.And (a, b) | F.Or (a, b) -> is_nnf a && is_nnf b

@@ -1,0 +1,7 @@
+(** Negation normal form. *)
+
+val of_formula : Formula.t -> Formula.t
+(** Semantically equivalent formula using only [And], [Or] and literals
+    (plus the constants). Implications and equivalences are expanded. *)
+
+val is_nnf : Formula.t -> bool

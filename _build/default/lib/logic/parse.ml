@@ -1,0 +1,189 @@
+exception Error of { position : int; message : string }
+
+type token =
+  | Tident of string
+  | Ttrue
+  | Tfalse
+  | Tnot
+  | Tand
+  | Tor
+  | Timp
+  | Tiff
+  | Tlpar
+  | Trpar
+  | Teof
+
+let token_name = function
+  | Tident x -> Printf.sprintf "identifier %S" x
+  | Ttrue -> "'true'"
+  | Tfalse -> "'false'"
+  | Tnot -> "'!'"
+  | Tand -> "'&'"
+  | Tor -> "'|'"
+  | Timp -> "'->'"
+  | Tiff -> "'<->'"
+  | Tlpar -> "'('"
+  | Trpar -> "')'"
+  | Teof -> "end of input"
+
+let error position message = raise (Error { position; message })
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') || c = '\''
+
+(* Lex the whole input to a list of positioned tokens. *)
+let lex input =
+  let n = String.length input in
+  let rec go i acc =
+    if i >= n then List.rev ((Teof, i) :: acc)
+    else
+      match input.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> go (i + 1) acc
+      | '(' -> go (i + 1) ((Tlpar, i) :: acc)
+      | ')' -> go (i + 1) ((Trpar, i) :: acc)
+      | '!' | '~' -> go (i + 1) ((Tnot, i) :: acc)
+      | '&' ->
+        let j = if i + 1 < n && input.[i + 1] = '&' then i + 2 else i + 1 in
+        go j ((Tand, i) :: acc)
+      | '|' ->
+        let j = if i + 1 < n && input.[i + 1] = '|' then i + 2 else i + 1 in
+        go j ((Tor, i) :: acc)
+      | '-' ->
+        if i + 1 < n && input.[i + 1] = '>' then go (i + 2) ((Timp, i) :: acc)
+        else error i "expected '->'"
+      | '<' ->
+        if i + 2 < n && input.[i + 1] = '-' && input.[i + 2] = '>' then
+          go (i + 3) ((Tiff, i) :: acc)
+        else error i "expected '<->'"
+      | c when is_ident_start c ->
+        let j = ref (i + 1) in
+        while !j < n && is_ident_char input.[!j] do
+          incr j
+        done;
+        let word = String.sub input i (!j - i) in
+        let tok =
+          match word with
+          | "true" -> Ttrue
+          | "false" -> Tfalse
+          | "not" -> Tnot
+          | "and" -> Tand
+          | "or" -> Tor
+          | _ -> Tident word
+        in
+        go !j ((tok, i) :: acc)
+      | c -> error i (Printf.sprintf "unexpected character %C" c)
+  in
+  go 0 []
+
+type state = { mutable tokens : (token * int) list }
+
+let peek st =
+  match st.tokens with
+  | tok :: _ -> tok
+  | [] -> assert false (* Teof is a sentinel *)
+
+let advance st =
+  match st.tokens with
+  | _ :: rest when rest <> [] -> st.tokens <- rest
+  | _ -> ()
+
+let expect st tok =
+  let got, pos = peek st in
+  if got = tok then advance st
+  else
+    error pos
+      (Printf.sprintf "expected %s but found %s" (token_name tok)
+         (token_name got))
+
+let rec parse_iff st =
+  let lhs = parse_imp st in
+  match peek st with
+  | Tiff, _ ->
+    advance st;
+    let rhs = parse_imp st in
+    parse_iff_rest st (Formula.Iff (lhs, rhs))
+  | _ -> lhs
+
+and parse_iff_rest st acc =
+  match peek st with
+  | Tiff, _ ->
+    advance st;
+    let rhs = parse_imp st in
+    parse_iff_rest st (Formula.Iff (acc, rhs))
+  | _ -> acc
+
+and parse_imp st =
+  let lhs = parse_or st in
+  match peek st with
+  | Timp, _ ->
+    advance st;
+    let rhs = parse_imp st in
+    Formula.Implies (lhs, rhs)
+  | _ -> lhs
+
+and parse_or st =
+  let lhs = parse_and st in
+  let rec rest acc =
+    match peek st with
+    | Tor, _ ->
+      advance st;
+      let rhs = parse_and st in
+      rest (Formula.Or (acc, rhs))
+    | _ -> acc
+  in
+  rest lhs
+
+and parse_and st =
+  let lhs = parse_unary st in
+  let rec rest acc =
+    match peek st with
+    | Tand, _ ->
+      advance st;
+      let rhs = parse_unary st in
+      rest (Formula.And (acc, rhs))
+    | _ -> acc
+  in
+  rest lhs
+
+and parse_unary st =
+  match peek st with
+  | Tnot, _ ->
+    advance st;
+    Formula.Not (parse_unary st)
+  | _ -> parse_atom st
+
+and parse_atom st =
+  match peek st with
+  | Ttrue, _ ->
+    advance st;
+    Formula.True
+  | Tfalse, _ ->
+    advance st;
+    Formula.False
+  | Tident x, _ ->
+    advance st;
+    Formula.Var x
+  | Tlpar, _ ->
+    advance st;
+    let f = parse_iff st in
+    expect st Trpar;
+    f
+  | tok, pos ->
+    error pos (Printf.sprintf "expected a formula but found %s" (token_name tok))
+
+let formula input =
+  let st = { tokens = lex input } in
+  let f = parse_iff st in
+  (match peek st with
+  | Teof, _ -> ()
+  | tok, pos ->
+    error pos (Printf.sprintf "trailing input: found %s" (token_name tok)));
+  f
+
+let formula_result input =
+  match formula input with
+  | f -> Ok f
+  | exception Error { position; message } ->
+    Error (Printf.sprintf "parse error at offset %d: %s" position message)

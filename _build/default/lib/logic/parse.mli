@@ -1,0 +1,15 @@
+(** Parser for the concrete formula syntax used by rule files and the CLI.
+
+    Grammar (loosest to tightest): [<->], [->] (right associative), [|],
+    [&], [!], atoms. Atoms are [true], [false], identifiers
+    (letters, digits, underscores), or parenthesised formulas. *)
+
+exception Error of { position : int; message : string }
+(** [position] is a 0-based character offset into the input. *)
+
+val formula : string -> Formula.t
+(** @raise Error on syntax errors. *)
+
+val formula_result : string -> (Formula.t, string) result
+(** Like {!formula} but with the error rendered as a human-readable
+    message including the offending position. *)

@@ -1,0 +1,1 @@
+lib/minimize/algorithm1.ml: Hashtbl List Pet_logic Pet_rules Pet_valuation String

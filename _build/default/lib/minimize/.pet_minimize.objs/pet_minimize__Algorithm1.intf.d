@@ -1,0 +1,1 @@
+lib/minimize/algorithm1.mli: Pet_rules Pet_valuation

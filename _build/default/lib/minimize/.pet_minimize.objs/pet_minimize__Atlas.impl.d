@@ -1,0 +1,1 @@
+lib/minimize/atlas.ml: Algorithm1 Array Fmt Hashtbl Int List Map Option Pet_rules Pet_valuation

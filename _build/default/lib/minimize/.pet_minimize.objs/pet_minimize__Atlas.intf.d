@@ -1,0 +1,1 @@
+lib/minimize/atlas.mli: Algorithm1 Fmt Pet_rules Pet_valuation

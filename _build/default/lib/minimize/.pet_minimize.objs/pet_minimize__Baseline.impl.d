@@ -1,0 +1,1 @@
+lib/minimize/baseline.ml: List Pet_logic Pet_rules Pet_valuation

@@ -1,0 +1,1 @@
+lib/minimize/baseline.mli: Pet_rules Pet_valuation

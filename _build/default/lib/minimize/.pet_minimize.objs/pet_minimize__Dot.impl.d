@@ -1,0 +1,1 @@
+lib/minimize/dot.ml: Algorithm1 Atlas Buffer Hashtbl Int Lattice List Pet_valuation Printf String

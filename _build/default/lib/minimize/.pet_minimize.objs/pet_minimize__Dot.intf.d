@@ -1,0 +1,1 @@
+lib/minimize/dot.mli: Atlas Lattice Pet_valuation

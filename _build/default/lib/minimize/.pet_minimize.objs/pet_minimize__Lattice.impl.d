@@ -1,0 +1,1 @@
+lib/minimize/lattice.ml: Algorithm1 Atlas Fmt Fun List Pet_rules Pet_valuation String

@@ -1,0 +1,1 @@
+lib/minimize/lattice.mli: Atlas Fmt Pet_valuation

@@ -1,0 +1,1 @@
+lib/minimize/symbolic.ml: Algorithm1 Array Fmt Fun Hashtbl Int List Option Pet_bdd Pet_logic Pet_rules Pet_valuation String

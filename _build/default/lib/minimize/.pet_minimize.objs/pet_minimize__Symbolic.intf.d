@@ -1,0 +1,1 @@
+lib/minimize/symbolic.mli: Algorithm1 Fmt Pet_rules Pet_valuation

@@ -1,0 +1,146 @@
+module Dnf = Pet_logic.Dnf
+module Universe = Pet_valuation.Universe
+module Total = Pet_valuation.Total
+module Partial = Pet_valuation.Partial
+module Engine = Pet_rules.Engine
+module Exposure = Pet_rules.Exposure
+module Rule = Pet_rules.Rule
+
+type mode = Chain | Entail | Exact
+
+type choice = { mas : Partial.t; benefits : string list }
+
+let is_accurate engine v w =
+  let v' = Partial.of_total v in
+  Partial.subvaluation w v'
+  && List.equal String.equal (Engine.benefits engine v') (Engine.benefits engine w)
+
+(* The candidate subvaluations of Algorithm 1, lines 5-13: the Cartesian
+   product, across the benefits granted to [v], of the conjunctions of each
+   benefit's DNF that [v] satisfies — each candidate being [v] restricted
+   to the predicates of the chosen conjunctions. *)
+let raw_candidates exposure v granted =
+  let xp = Exposure.xp exposure in
+  let rho = Total.rho v in
+  let conjunction_restriction c =
+    (* v satisfies c, so restricting v to c's variables is c itself. *)
+    Partial.of_assoc xp
+      (List.map (fun (l : Pet_logic.Literal.t) -> (l.var, l.sign)) c)
+  in
+  let satisfied_restrictions b =
+    Rule.conjunctions (Exposure.rule_for exposure b)
+    |> List.filter (Dnf.conjunction_holds rho)
+    |> List.map conjunction_restriction
+  in
+  let combine acc restrictions =
+    List.concat_map
+      (fun w ->
+        List.map
+          (fun r ->
+            match Partial.merge w r with
+            | Some m -> m
+            | None -> assert false (* both below v *))
+          restrictions)
+      acc
+  in
+  List.fold_left combine
+    [ Partial.empty xp ]
+    (List.map satisfied_restrictions granted)
+  |> List.sort_uniq Partial.compare
+
+let chain_close exposure w =
+  let implications = Exposure.implications exposure in
+  let holds w (l : Pet_logic.Literal.t) = Partial.value w l.var = Some l.sign in
+  let step w =
+    List.fold_left
+      (fun w (premises, consequences) ->
+        if List.for_all (holds w) premises then
+          List.fold_left
+            (fun w (l : Pet_logic.Literal.t) ->
+              try Partial.set w l.var l.sign
+              with Invalid_argument _ ->
+                invalid_arg "Algorithm1.chain_close: contradictory chaining")
+            w consequences
+        else w)
+      w implications
+  in
+  let rec fixpoint w =
+    let w' = step w in
+    if Partial.equal w w' then w else fixpoint w'
+  in
+  fixpoint w
+
+let entail_close engine w =
+  List.fold_left
+    (fun acc (p, value) -> Partial.set acc p value)
+    w
+    (Engine.deduced_literals engine w)
+
+let keep_minimal candidates =
+  let candidates = List.sort_uniq Partial.compare candidates in
+  List.filter
+    (fun w ->
+      not (List.exists (fun w' -> Partial.strict_subvaluation w' w) candidates))
+    candidates
+
+(* Exhaustive enumeration of Definition 3.13 for [Exact] mode: all subsets
+   of v's domain, keeping accurate subvaluations none of whose strict
+   subvaluations is accurate. *)
+let exhaustive_minimal engine v granted =
+  let exposure = Engine.exposure engine in
+  let xp = Exposure.xp exposure in
+  let n = Universe.size xp in
+  if n > 16 then invalid_arg "Algorithm1.mas_of ~mode:Exact: universe too large";
+  let bits = Total.bits v in
+  let accurate = Hashtbl.create 256 in
+  for dom = 0 to (1 lsl n) - 1 do
+    let w = Partial.of_masks xp ~dom ~bits:(bits land dom) in
+    if List.equal String.equal (Engine.benefits engine w) granted then
+      Hashtbl.add accurate dom w
+  done;
+  let is_accurate_dom d = Hashtbl.mem accurate d in
+  Hashtbl.fold
+    (fun dom w acc ->
+      let has_smaller =
+        (* strict sub-domains of dom *)
+        let rec go sub =
+          sub <> dom && (is_accurate_dom sub || go ((sub - 1) land dom))
+        in
+        go ((dom - 1) land dom)
+      in
+      if has_smaller then acc else w :: acc)
+    accurate []
+
+let mas_of ?(mode = Chain) engine v =
+  let exposure = Engine.exposure engine in
+  if not (Exposure.satisfies_constraints exposure v) then
+    invalid_arg "Algorithm1.mas_of: valuation violates the constraints";
+  let granted = Engine.benefits_of_total engine v in
+  let xp = Exposure.xp exposure in
+  let selected =
+    if granted = [] then [ Partial.empty xp ]
+    else
+      match mode with
+      | Exact -> exhaustive_minimal engine v granted
+      | Chain | Entail ->
+        let close =
+          match mode with
+          | Chain -> chain_close exposure
+          | Entail | Exact -> entail_close engine
+        in
+        raw_candidates exposure v granted
+        |> List.map close
+        |> List.filter (fun w ->
+               List.equal String.equal (Engine.benefits engine w) granted)
+        |> keep_minimal
+  in
+  selected
+  |> List.sort Partial.compare_lex
+  |> List.map (fun mas -> { mas; benefits = granted })
+
+let potential_players engine m =
+  let proves = Engine.benefits engine m in
+  List.filter
+    (fun v ->
+      List.equal String.equal (Engine.benefits_of_total engine v) proves)
+    (Partial.extensions m)

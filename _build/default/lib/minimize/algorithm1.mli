@@ -1,0 +1,65 @@
+(** Algorithm 1 of the paper: informed data minimization.
+
+    For a user's fully filled form [v], compute the minimal accurate
+    subvaluations (MAS, Definition 3.13) and the data the bipartite
+    valuation/MAS graph is built from.
+
+    Candidate construction follows the paper: one satisfied conjunction
+    per benefit obtained by [v] (Cartesian product across benefits),
+    closed under the consistency rules [R_ADD]. Candidates proving a
+    different benefit set than [v] are discarded, then non-minimal
+    candidates are filtered out.
+
+    Three closure modes are offered; they only differ in how much of
+    [R_ADD] is folded into the published MAS (an attacker derives the
+    same information in all three cases, so they are privacy-equivalent):
+
+    - {!Chain} (the paper's prototype): forward-chain the directed
+      implications of [R_ADD] — the H-cov MAS of Table 3 such as
+      [0_110_______] carry exactly the forward consequences of their
+      conjunction, not the contrapositive ones;
+    - {!Entail}: full logical closure — every form literal entailed by
+      the candidate and [R];
+    - {!Exact}: no closure at all; instead enumerate the subvaluations
+      that are set-inclusion minimal among {e all} accurate
+      subvaluations (Definition 3.13 verbatim). Exponential; only for
+      small universes. *)
+
+type mode = Chain | Entail | Exact
+
+type choice = {
+  mas : Pet_valuation.Partial.t;
+  benefits : string list;
+      (** benefits proven by the MAS, in benefit-universe order *)
+}
+
+val mas_of :
+  ?mode:mode -> Pet_rules.Engine.t -> Pet_valuation.Total.t -> choice list
+(** The MAS of [v], sorted in the paper's lexicographic order. [mode]
+    defaults to {!Chain}. For a valuation granting no benefit the result
+    is a single empty-domain choice (nothing needs to be sent).
+    @raise Invalid_argument when [v] violates the problem's constraints
+    (the form of an applicant is assumed realistic), or in {!Exact} mode
+    on universes above 16 predicates. *)
+
+val is_accurate :
+  Pet_rules.Engine.t ->
+  Pet_valuation.Total.t ->
+  Pet_valuation.Partial.t ->
+  bool
+(** Definition 3.13: [w <= v] and [w] proves exactly the benefits [v]
+    triggers. Used by tests and by the best-minimizer checks. *)
+
+val chain_close :
+  Pet_rules.Exposure.t -> Pet_valuation.Partial.t -> Pet_valuation.Partial.t
+(** Forward-chain the directed implications of [R_ADD] from the fixed
+    literals of [w] until fixpoint.
+    @raise Invalid_argument when chaining derives a contradiction with
+    [w] (cannot happen for subvaluations of realistic valuations). *)
+
+val potential_players :
+  Pet_rules.Engine.t -> Pet_valuation.Partial.t -> Pet_valuation.Total.t list
+(** Lines 18-23 of Algorithm 1: the candidate valuations of a MAS [m] —
+    every total extension of [m] whose benefit set equals the set [m]
+    proves. These are the players that {e can} play [m] (the paper counts
+    them without re-filtering by [R_ADD]; see DESIGN.md). *)

@@ -1,0 +1,148 @@
+module Total = Pet_valuation.Total
+module Partial = Pet_valuation.Partial
+module Engine = Pet_rules.Engine
+module Exposure = Pet_rules.Exposure
+
+type t = {
+  engine : Engine.t;
+  mas : Algorithm1.choice array; (* lexicographic order *)
+  players : Total.t array; (* increasing bit order *)
+  choices_of_player : int list array; (* ascending MAS indices *)
+  players_of_mas : int list array; (* ascending player indices *)
+}
+
+module Pmap = Map.Make (struct
+  type t = Partial.t
+
+  let compare = Partial.compare
+end)
+
+module Tmap = Map.Make (Total)
+
+let max_enumerable_predicates = 24
+
+let build ?(mode = Algorithm1.Chain) engine =
+  let exposure = Engine.exposure engine in
+  if
+    Pet_valuation.Universe.size (Exposure.xp exposure)
+    > max_enumerable_predicates
+  then
+    invalid_arg
+      "Atlas.build: form too large to enumerate; use Symbolic.build for \
+       the global statistics";
+  (* Collect the deduplicated MAS set over all realistic eligible
+     valuations. *)
+  let mas_set = ref Pmap.empty in
+  List.iter
+    (fun v ->
+      List.iter
+        (fun (c : Algorithm1.choice) ->
+          mas_set := Pmap.add c.mas c !mas_set)
+        (Algorithm1.mas_of ~mode engine v))
+    (Exposure.eligible exposure);
+  let mas =
+    Pmap.bindings !mas_set
+    |> List.map snd
+    |> List.sort (fun (a : Algorithm1.choice) b ->
+           Partial.compare_lex a.mas b.mas)
+    |> Array.of_list
+  in
+  (* Potential players per MAS, then the deduplicated player set. *)
+  let crowd = Array.map (fun c -> Algorithm1.potential_players engine c.Algorithm1.mas) mas in
+  let player_set = ref Tmap.empty in
+  Array.iter
+    (List.iter (fun v -> player_set := Tmap.add v () !player_set))
+    crowd;
+  let players = Array.of_list (List.map fst (Tmap.bindings !player_set)) in
+  let player_index = Hashtbl.create (Array.length players) in
+  Array.iteri (fun i v -> Hashtbl.add player_index (Total.bits v) i) players;
+  let choices_of_player = Array.make (Array.length players) [] in
+  let players_of_mas =
+    Array.map
+      (fun vs ->
+        List.map (fun v -> Hashtbl.find player_index (Total.bits v)) vs)
+      crowd
+  in
+  Array.iteri
+    (fun mi ps ->
+      List.iter
+        (fun pi -> choices_of_player.(pi) <- mi :: choices_of_player.(pi))
+        ps)
+    players_of_mas;
+  let choices_of_player = Array.map List.rev choices_of_player in
+  { engine; mas; players; choices_of_player; players_of_mas }
+
+let engine t = t.engine
+let mas_count t = Array.length t.mas
+
+let mas t i =
+  if i < 0 || i >= Array.length t.mas then invalid_arg "Atlas.mas: out of range";
+  t.mas.(i)
+
+let mas_list t = Array.to_list t.mas
+
+let find_mas t w =
+  let rec go i =
+    if i >= Array.length t.mas then None
+    else if Partial.equal t.mas.(i).Algorithm1.mas w then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let player_count t = Array.length t.players
+
+let player t i =
+  if i < 0 || i >= Array.length t.players then
+    invalid_arg "Atlas.player: out of range";
+  t.players.(i)
+
+let find_player t v =
+  let rec go i =
+    if i >= Array.length t.players then None
+    else if Total.equal t.players.(i) v then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let choices_of_player t i =
+  if i < 0 || i >= Array.length t.choices_of_player then
+    invalid_arg "Atlas.choices_of_player: out of range";
+  t.choices_of_player.(i)
+
+let players_of_mas t i =
+  if i < 0 || i >= Array.length t.players_of_mas then
+    invalid_arg "Atlas.players_of_mas: out of range";
+  t.players_of_mas.(i)
+
+let forced_players_of_mas t i =
+  List.filter
+    (fun pi -> match t.choices_of_player.(pi) with [ _ ] -> true | _ -> false)
+    (players_of_mas t i)
+
+let choice_distribution t =
+  let tbl = Hashtbl.create 8 in
+  Array.iter
+    (fun choices ->
+      let k = List.length choices in
+      Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k)))
+    t.choices_of_player;
+  Hashtbl.fold (fun k n acc -> (k, n) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let domain_size_range t =
+  Array.fold_left
+    (fun (lo, hi) (c : Algorithm1.choice) ->
+      let d = Partial.domain_size c.mas in
+      (min lo d, max hi d))
+    (max_int, 0) t.mas
+
+let pp_summary ppf t =
+  let lo, hi = domain_size_range t in
+  Fmt.pf ppf "@[<v>Number of MAS: %d@,Number of valuations: %d@,"
+    (mas_count t) (player_count t);
+  Fmt.pf ppf "Number of predicates per MAS: %d to %d@," lo hi;
+  List.iter
+    (fun (k, n) ->
+      Fmt.pf ppf "Number of valuations with %d MAS: %d@," k n)
+    (choice_distribution t);
+  Fmt.pf ppf "@]"

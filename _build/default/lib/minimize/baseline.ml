@@ -1,0 +1,53 @@
+module Dnf = Pet_logic.Dnf
+module Total = Pet_valuation.Total
+module Partial = Pet_valuation.Partial
+module Engine = Pet_rules.Engine
+module Exposure = Pet_rules.Exposure
+module Rule = Pet_rules.Rule
+
+type result = { disclosed : Partial.t; claimed_blanks : int }
+
+let minimize engine v =
+  let exposure = Engine.exposure engine in
+  if not (Exposure.satisfies_constraints exposure v) then
+    invalid_arg "Baseline.minimize: valuation violates the constraints";
+  let xp = Exposure.xp exposure in
+  let rho = Total.rho v in
+  let restriction c =
+    Partial.of_assoc xp
+      (List.map (fun (l : Pet_logic.Literal.t) -> (l.var, l.sign)) c)
+  in
+  (* For each granted benefit, greedily pick the satisfied conjunction
+     adding the fewest predicates to what is already disclosed. *)
+  let disclose acc b =
+    let satisfied =
+      Rule.conjunctions (Exposure.rule_for exposure b)
+      |> List.filter (Dnf.conjunction_holds rho)
+      |> List.map restriction
+    in
+    let cost w =
+      List.length
+        (List.filter (fun p -> not (Partial.defines acc p)) (Partial.domain w))
+    in
+    let best =
+      List.fold_left
+        (fun best w ->
+          match best with
+          | None -> Some w
+          | Some b' -> if cost w < cost b' then Some w else best)
+        None satisfied
+    in
+    match best with
+    | None -> acc (* unreachable for granted benefits *)
+    | Some w -> (
+      match Partial.merge acc w with
+      | Some m -> m
+      | None -> assert false (* both below v *))
+  in
+  let granted = Engine.benefits_of_total engine v in
+  let disclosed =
+    List.fold_left disclose (Partial.empty xp) granted
+  in
+  { disclosed; claimed_blanks = Partial.blank_count disclosed }
+
+let rule_level_leak engine w = List.length (Engine.deduced_literals engine w)

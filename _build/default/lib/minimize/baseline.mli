@@ -1,0 +1,22 @@
+(** The PST-2012 baseline minimizer ([3] in the paper): pick one satisfied
+    conjunction per granted benefit and reveal exactly those predicates,
+    greedily preferring conjunctions that add the fewest new predicates.
+
+    Unlike Algorithm 1 it neither closes candidates under the deductions a
+    reasoning attacker can make, nor checks that the disclosed form proves
+    no extra benefit — so the number of blanks it reports ("claimed
+    privacy") overestimates the real protection. The ablation benches
+    quantify that gap. *)
+
+type result = {
+  disclosed : Pet_valuation.Partial.t;
+  claimed_blanks : int;  (** raw blank count, the baseline's privacy claim *)
+}
+
+val minimize : Pet_rules.Engine.t -> Pet_valuation.Total.t -> result
+(** @raise Invalid_argument when the valuation violates the constraints. *)
+
+val rule_level_leak : Pet_rules.Engine.t -> Pet_valuation.Partial.t -> int
+(** Number of blanks of a disclosed form whose value is already forced by
+    the rule set alone — privacy the baseline claims but does not
+    deliver even against an attacker who only reads the rules. *)

@@ -1,0 +1,80 @@
+module Total = Pet_valuation.Total
+module Partial = Pet_valuation.Partial
+
+let escape s = s (* valuation strings only contain [01_] *)
+
+let lattice (l : Lattice.t) =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "digraph exposure {\n  rankdir=BT;\n  node [shape=box];\n";
+  List.iter
+    (fun (n : Lattice.node) ->
+      let label = escape (Partial.to_string n.w) in
+      let attrs =
+        match n.kind with
+        | Lattice.Mas -> "style=bold"
+        | Lattice.Valuation -> "fontname=\"Times-Italic\""
+        | Lattice.Accurate -> "color=gray, fontcolor=gray"
+      in
+      add "  \"%s\" [label=\"%s\\n{%s}\", %s];\n" label label
+        (String.concat "," n.benefits)
+        attrs)
+    l.nodes;
+  List.iter
+    (fun (a, b) ->
+      add "  \"%s\" -> \"%s\";\n" (Partial.to_string a) (Partial.to_string b))
+    l.edges;
+  add "}\n";
+  Buffer.contents buf
+
+(* Connected component of the bipartite graph containing the player. *)
+let component atlas v =
+  let start =
+    match Atlas.find_player atlas v with
+    | Some i -> i
+    | None -> invalid_arg "Dot.component: valuation is not a player"
+  in
+  let seen_players = Hashtbl.create 16 and seen_mas = Hashtbl.create 16 in
+  let rec visit_player p =
+    if not (Hashtbl.mem seen_players p) then begin
+      Hashtbl.add seen_players p ();
+      List.iter visit_mas (Atlas.choices_of_player atlas p)
+    end
+  and visit_mas m =
+    if not (Hashtbl.mem seen_mas m) then begin
+      Hashtbl.add seen_mas m ();
+      List.iter visit_player (Atlas.players_of_mas atlas m)
+    end
+  in
+  visit_player start;
+  let sorted tbl = List.sort Int.compare (Hashtbl.fold (fun k () l -> k :: l) tbl []) in
+  (sorted seen_players, sorted seen_mas)
+
+let choices atlas v =
+  let players, mas = component atlas v in
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "digraph choices {\n  rankdir=BT;\n  node [shape=box];\n";
+  List.iter
+    (fun m ->
+      let c = Atlas.mas atlas m in
+      add "  \"%s\" [style=bold];\n" (Partial.to_string c.Algorithm1.mas))
+    mas;
+  List.iter
+    (fun p ->
+      let w = Atlas.player atlas p in
+      add "  \"%s\" [fontname=\"Times-Italic\"];\n" (Total.to_string w))
+    players;
+  List.iter
+    (fun p ->
+      let w = Atlas.player atlas p in
+      List.iter
+        (fun m ->
+          let c = Atlas.mas atlas m in
+          add "  \"%s\" -> \"%s\";\n"
+            (Partial.to_string c.Algorithm1.mas)
+            (Total.to_string w))
+        (Atlas.choices_of_player atlas p))
+    players;
+  add "}\n";
+  Buffer.contents buf

@@ -1,0 +1,17 @@
+(** Graphviz (DOT) export of the paper's two figures: the
+    accurate-subvaluation digraph (Figure 1) and the "choices of a user"
+    bipartite component (Figure 2). *)
+
+val lattice : Lattice.t -> string
+(** Figure 1: MAS in bold boxes, total valuations in italics, non-minimal
+    accurate subvaluations in gray; edges follow the accurate-subvaluation
+    relation. *)
+
+val choices : Atlas.t -> Pet_valuation.Total.t -> string
+(** Figure 2: the connected component of the given valuation in the
+    bipartite valuation/MAS graph.
+    @raise Invalid_argument when the valuation is not a player. *)
+
+val component :
+  Atlas.t -> Pet_valuation.Total.t -> int list * int list
+(** The player and MAS indices of that connected component (ascending). *)

@@ -1,0 +1,86 @@
+module Universe = Pet_valuation.Universe
+module Partial = Pet_valuation.Partial
+module Engine = Pet_rules.Engine
+module Exposure = Pet_rules.Exposure
+
+type kind = Valuation | Mas | Accurate
+
+type node = { w : Partial.t; benefits : string list; kind : kind }
+
+type t = { nodes : node list; edges : (Partial.t * Partial.t) list }
+
+(* All partial valuations over the universe, by increasing domain size. *)
+let all_partials xp =
+  let n = Universe.size xp in
+  let doms = List.init (1 lsl n) Fun.id in
+  List.concat_map
+    (fun dom ->
+      let rec subsets bits acc =
+        let w = Partial.of_masks xp ~dom ~bits in
+        let acc = w :: acc in
+        if bits = 0 then acc else subsets ((bits - 1) land dom) acc
+      in
+      subsets dom [])
+    doms
+
+let build atlas =
+  let engine = Atlas.engine atlas in
+  let exposure = Engine.exposure engine in
+  let xp = Exposure.xp exposure in
+  if Universe.size xp > 10 then
+    invalid_arg "Lattice.build: universe too large for the full digraph";
+  let mas_set =
+    List.map (fun (c : Algorithm1.choice) -> c.mas) (Atlas.mas_list atlas)
+  in
+  let nodes =
+    List.filter_map
+      (fun w ->
+        match Engine.benefits engine w with
+        | [] -> None
+        | benefits ->
+          let kind =
+            if List.exists (Partial.equal w) mas_set then Mas
+            else if Partial.is_total w then Valuation
+            else Accurate
+          in
+          Some { w; benefits; kind })
+      (all_partials xp)
+  in
+  let nodes =
+    List.sort (fun a b -> Partial.compare_lex a.w b.w) nodes
+  in
+  let edges =
+    List.concat_map
+      (fun a ->
+        List.filter_map
+          (fun b ->
+            if
+              Partial.domain_size b.w = Partial.domain_size a.w + 1
+              && Partial.strict_subvaluation a.w b.w
+              && List.equal String.equal a.benefits b.benefits
+            then Some (a.w, b.w)
+            else None)
+          nodes)
+      nodes
+  in
+  { nodes; edges }
+
+let node_of t w = List.find_opt (fun n -> Partial.equal n.w w) t.nodes
+
+let pp ppf t =
+  let pp_kind ppf = function
+    | Valuation -> Fmt.string ppf "valuation"
+    | Mas -> Fmt.string ppf "MAS"
+    | Accurate -> Fmt.string ppf "accurate"
+  in
+  Fmt.pf ppf "@[<v>";
+  List.iter
+    (fun n ->
+      Fmt.pf ppf "%a [%a] {%a}@," Partial.pp n.w pp_kind n.kind
+        Fmt.(list ~sep:(any ", ") string)
+        n.benefits)
+    t.nodes;
+  List.iter
+    (fun (a, b) -> Fmt.pf ppf "%a -> %a@," Partial.pp a Partial.pp b)
+    t.edges;
+  Fmt.pf ppf "@]"

@@ -1,0 +1,26 @@
+(** The accurate-subvaluation digraph of Figure 1: nodes are the
+    (partial) valuations proving at least one benefit; an edge links a
+    (partial) valuation to an immediate extension proving the same
+    benefit set, i.e. "is an accurate subvaluation of".
+
+    Exponential in the universe size (3^|Xp| partial valuations are
+    scanned), so reserved for pedagogical problems. *)
+
+type kind =
+  | Valuation  (** a total valuation — italic in Figure 1 *)
+  | Mas  (** a minimal accurate subvaluation — bold in Figure 1 *)
+  | Accurate  (** an accurate but non-minimal subvaluation — gray *)
+
+type node = {
+  w : Pet_valuation.Partial.t;
+  benefits : string list;
+  kind : kind;
+}
+
+type t = { nodes : node list; edges : (Pet_valuation.Partial.t * Pet_valuation.Partial.t) list }
+
+val build : Atlas.t -> t
+(** @raise Invalid_argument when the form universe exceeds 10 predicates. *)
+
+val node_of : t -> Pet_valuation.Partial.t -> node option
+val pp : t Fmt.t

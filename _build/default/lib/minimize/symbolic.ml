@@ -1,0 +1,352 @@
+module B = Pet_bdd.Bdd
+module F = Pet_logic.Formula
+module Universe = Pet_valuation.Universe
+module Partial = Pet_valuation.Partial
+module Exposure = Pet_rules.Exposure
+module Engine = Pet_rules.Engine
+module Rule = Pet_rules.Rule
+
+type mas_stats = {
+  mas : Partial.t;
+  benefits : string list;
+  potential : int;
+  forced : int;
+  po_blank_forced : int;
+  po_blank_potential : int;
+}
+
+type t = {
+  stats : mas_stats list;
+  valuation_count : int;
+  choice_distribution : (int * int) list;
+  regions : (int * int list) list;
+      (* player count and ascending MAS indices of each region with an
+         identical, non-empty choice set *)
+}
+
+let max_combos = 4096
+
+(* A candidate MAS together with the pre-closure conjunction unions that
+   generate it (several combos can close to the same valuation). *)
+type candidate = { w : Partial.t; pre : Partial.t list }
+
+let conjunction_restriction xp c =
+  Partial.of_assoc xp
+    (List.map (fun (l : Pet_logic.Literal.t) -> (l.var, l.sign)) c)
+
+(* All merged conjunction products for the benefit set; conflicting
+   combos are dropped (no valuation can satisfy them jointly). *)
+let combos exposure benefit_names =
+  let xp = Exposure.xp exposure in
+  let per_benefit =
+    List.map
+      (fun b ->
+        List.map (conjunction_restriction xp)
+          (Rule.conjunctions (Exposure.rule_for exposure b)))
+      benefit_names
+  in
+  let total =
+    List.fold_left (fun acc l -> acc * List.length l) 1 per_benefit
+  in
+  if total > max_combos then
+    invalid_arg "Symbolic.build: conjunction product too large";
+  List.fold_left
+    (fun acc restrictions ->
+      List.concat_map
+        (fun w ->
+          List.filter_map (fun r -> Partial.merge w r) restrictions)
+        acc)
+    [ Partial.empty xp ] per_benefit
+  |> List.sort_uniq Partial.compare
+
+let build ?(mode = Algorithm1.Chain) exposure =
+  let close =
+    match mode with
+    | Algorithm1.Chain -> fun engine w ->
+        ignore engine;
+        Algorithm1.chain_close exposure w
+    | Algorithm1.Entail ->
+      fun engine w ->
+        List.fold_left
+          (fun acc (p, value) -> Partial.set acc p value)
+          w
+          (Engine.deduced_literals engine w)
+    | Algorithm1.Exact ->
+      invalid_arg "Symbolic.build: Exact mode is not supported"
+  in
+  let xp = Exposure.xp exposure in
+  let xb = Exposure.xb exposure in
+  let np = Universe.size xp in
+  let nb = Universe.size xb in
+  if nb > 16 then invalid_arg "Symbolic.build: too many benefits";
+  let engine = Engine.create ~backend:Engine.Bdd exposure in
+  let man = B.man () in
+  let rec compile = function
+    | F.True -> B.one
+    | F.False -> B.zero
+    | F.Var x -> B.var man (Universe.index xp x)
+    | F.Not f -> B.neg man (compile f)
+    | F.And (a, b) -> B.conj man (compile a) (compile b)
+    | F.Or (a, b) -> B.disj man (compile a) (compile b)
+    | F.Implies (a, b) -> B.imp man (compile a) (compile b)
+    | F.Iff (a, b) -> B.iff man (compile a) (compile b)
+  in
+  let realistic = compile (Exposure.constraints_formula exposure) in
+  let triggers =
+    List.map
+      (fun (r : Rule.t) -> compile (Pet_logic.Dnf.to_formula r.dnf))
+      (Exposure.rules exposure)
+  in
+  let cube w =
+    List.fold_left
+      (fun acc (name, value) ->
+        let v = Universe.index xp name in
+        B.conj man acc (if value then B.var man v else B.nvar man v))
+      B.one (Partial.bindings w)
+  in
+  let pattern fbits =
+    List.fold_left
+      (fun acc (i, trigger) ->
+        if (fbits lsr i) land 1 = 1 then B.conj man acc trigger
+        else B.conj man acc (B.neg man trigger))
+      B.one
+      (List.mapi (fun i trigger -> (i, trigger)) triggers)
+  in
+  let benefit_names fbits =
+    List.filteri (fun i _ -> (fbits lsr i) land 1 = 1) (Universe.names xb)
+  in
+  (* Global MAS discovery per benefit set. *)
+  let collect_for fbits =
+    let names = benefit_names fbits in
+    let candidates =
+      List.filter_map
+        (fun w0 ->
+          match close engine w0 with
+          | w
+            when List.equal String.equal (Engine.benefits engine w) names ->
+            Some (w0, w)
+          | _ -> None
+          | exception Invalid_argument _ -> None)
+        (combos exposure names)
+    in
+    (* Group pre-closure combos by their closed candidate. *)
+    let grouped =
+      List.fold_left
+        (fun acc (w0, w) ->
+          match List.partition (fun c -> Partial.equal c.w w) acc with
+          | [ c ], rest -> { c with pre = w0 :: c.pre } :: rest
+          | _, rest -> { w; pre = [ w0 ] } :: rest)
+        [] candidates
+    in
+    let usable c =
+      List.fold_left (fun acc w0 -> B.disj man acc (cube w0)) B.zero c.pre
+    in
+    let pat = pattern fbits in
+    List.filter_map
+      (fun c ->
+        (* Some realistic valuation with exactly these benefits must use
+           this candidate while no strictly smaller candidate of the same
+           benefit set is available to it. *)
+        let excluded =
+          List.fold_left
+            (fun acc c' ->
+              if Partial.strict_subvaluation c'.w c.w then
+                B.disj man acc (usable c')
+              else acc)
+            B.zero grouped
+        in
+        let survives =
+          B.conj man realistic
+            (B.conj man pat (B.conj man (usable c) (B.neg man excluded)))
+        in
+        if B.is_unsat survives then None
+        else Some (c.w, names, B.conj man (cube c.w) pat))
+      grouped
+  in
+  let all_mas =
+    List.concat_map
+      (fun fbits -> collect_for fbits)
+      (List.filter (( <> ) 0) (List.init (1 lsl nb) Fun.id))
+    |> List.sort (fun (a, _, _) (b, _, _) -> Partial.compare_lex a b)
+  in
+  (* Forced sets via prefix/suffix unions of the player sets. *)
+  let players = Array.of_list (List.map (fun (_, _, p) -> p) all_mas) in
+  let m = Array.length players in
+  let prefix = Array.make (m + 1) B.zero in
+  let suffix = Array.make (m + 1) B.zero in
+  for i = 0 to m - 1 do
+    prefix.(i + 1) <- B.disj man prefix.(i) players.(i)
+  done;
+  for i = m - 1 downto 0 do
+    suffix.(i) <- B.disj man suffix.(i + 1) players.(i)
+  done;
+  let count set = B.count_models man ~nvars:np set in
+  (* PO_blank of a player set: blanks of the MAS on which the set is not
+     constant — both cofactors non-empty. *)
+  let po_blank w set =
+    if B.is_unsat set then 0
+    else
+      List.fold_left
+        (fun acc name ->
+          let v = Universe.index xp name in
+          if
+            (not (B.is_unsat (B.restrict man set v true)))
+            && not (B.is_unsat (B.restrict man set v false))
+          then acc + 1
+          else acc)
+        0 (Partial.blanks w)
+  in
+  let stats =
+    List.mapi
+      (fun i (w, names, player_set) ->
+        let others = B.disj man prefix.(i) suffix.(i + 1) in
+        let forced_set = B.conj man player_set (B.neg man others) in
+        {
+          mas = w;
+          benefits = names;
+          potential = count player_set;
+          forced = count forced_set;
+          po_blank_forced = po_blank w forced_set;
+          po_blank_potential = po_blank w player_set;
+        })
+      all_mas
+  in
+  (* Choice distribution by region splitting: fold the player sets over
+     an initially undivided space, keeping only non-empty regions; the
+     number of regions is bounded by the number of distinct choice sets,
+     not by 2^|MAS|. *)
+  let split_regions =
+    snd
+      (Array.fold_left
+         (fun (i, regions) v_m ->
+           ( i + 1,
+             List.concat_map
+               (fun (set, choices) ->
+                 let inside = B.conj man set v_m in
+                 let outside = B.conj man set (B.neg man v_m) in
+                 List.filter
+                   (fun (r, _) -> not (B.is_unsat r))
+                   [ (inside, i :: choices); (outside, choices) ])
+               regions ))
+         (0, [ (B.one, []) ])
+         players)
+  in
+  let regions =
+    List.filter_map
+      (fun (set, choices) ->
+        match choices with
+        | [] -> None
+        | _ -> Some (count set, List.rev choices))
+      split_regions
+  in
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (n, choices) ->
+      let k = List.length choices in
+      Hashtbl.replace tbl k (n + Option.value ~default:0 (Hashtbl.find_opt tbl k)))
+    regions;
+  let choice_distribution =
+    Hashtbl.fold (fun k n acc -> (k, n) :: acc) tbl []
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  in
+  { stats; valuation_count = count suffix.(0); choice_distribution; regions }
+
+let mas_count t = List.length t.stats
+let choice_distribution t = t.choice_distribution
+let stats t = t.stats
+let valuation_count t = t.valuation_count
+
+let domain_size_range t =
+  List.fold_left
+    (fun (lo, hi) s ->
+      let d = Partial.domain_size s.mas in
+      (min lo d, max hi d))
+    (max_int, 0) t.stats
+
+type equilibrium = { crowds : int list; nash : bool }
+
+(* Bloc Algorithm 2 under PO_SM: a region's members are payoff-symmetric
+   (the payoff of joining a move depends only on its committed count), so
+   whole regions commit together: forced regions play outright, then any
+   region with a strictly dominant move commits and every count is
+   re-evaluated; deadlocks resolve towards the globally best score with
+   the lexicographically smallest move. *)
+let equilibrium t =
+  let nm = List.length t.stats in
+  let committed = Array.make nm 0 in
+  let moves = ref [] in
+  let commit n choices m =
+    committed.(m) <- committed.(m) + n;
+    moves := (choices, m) :: !moves
+  in
+  let pending = ref [] in
+  List.iter
+    (fun (n, choices) ->
+      match choices with
+      | [ m ] -> commit n choices m
+      | _ -> pending := (n, choices) :: !pending)
+    t.regions;
+  pending := List.rev !pending;
+  (* A region's best move: highest committed count, ties to the
+     lexicographically first MAS; dominant when strict. *)
+  let best choices =
+    let rec go best dominant = function
+      | [] -> (best, dominant)
+      | m :: rest ->
+        let bm, bs = best in
+        if committed.(m) > bs then go (m, committed.(m)) true rest
+        else if committed.(m) = bs && m <> bm then go best false rest
+        else go best dominant rest
+    in
+    match choices with
+    | [] -> assert false
+    | m :: rest -> go (m, committed.(m)) true rest
+  in
+  while !pending <> [] do
+    let ((n, choices) as region), m =
+      match
+        List.find_opt (fun (_, choices) -> snd (best choices)) !pending
+      with
+      | Some ((_, choices) as r) -> (r, fst (fst (best choices)))
+      | None ->
+        let take acc ((_, choices) as r) =
+          let (m, s), _ = best choices in
+          match acc with
+          | Some (_, m', s') when s' > s || (s' = s && m' <= m) -> acc
+          | _ -> Some (r, m, s)
+        in
+        let r, m, _ = Option.get (List.fold_left take None !pending) in
+        (r, m)
+    in
+    commit n choices m;
+    pending := List.filter (fun r -> r != region) !pending
+  done;
+  (* Individual-deviation Nash check under PO_SM: a member of a region
+     committed to [m] gets committed(m) - 1 and would get committed(m')
+     by unilaterally moving. *)
+  let nash =
+    List.for_all
+      (fun (choices, m) ->
+        List.for_all
+          (fun m' -> m' = m || committed.(m') <= committed.(m) - 1)
+          choices)
+      !moves
+  in
+  { crowds = Array.to_list committed; nash }
+
+let pp_summary ppf t =
+  let lo, hi = domain_size_range t in
+  Fmt.pf ppf "@[<v>Number of MAS: %d@,Number of valuations: %d@,"
+    (mas_count t) (valuation_count t);
+  Fmt.pf ppf "Number of predicates per MAS: %d to %d@," lo hi;
+  List.iter
+    (fun (k, n) ->
+      Fmt.pf ppf "Number of valuations with %d MAS: %d@," k n)
+    t.choice_distribution;
+  List.iter
+    (fun s ->
+      Fmt.pf ppf "%s: potential %d, forced %d, PO_blank %d (%d)@,"
+        (Partial.to_string s.mas) s.potential s.forced s.po_blank_forced
+        s.po_blank_potential)
+    t.stats;
+  Fmt.pf ppf "@]"

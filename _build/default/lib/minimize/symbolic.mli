@@ -1,0 +1,71 @@
+(** Symbolic (BDD-based) computation of the atlas statistics.
+
+    {!Atlas.build} enumerates every eligible valuation, which caps the
+    form size around 20 predicates. This module derives the same global
+    quantities without enumerating valuations:
+
+    - the global MAS set is generated directly from the rules: for every
+      benefit set [F], the closed Cartesian products of conjunctions
+      (exactly Algorithm 1's candidates), kept when some realistic
+      valuation uses them — a BDD emptiness check;
+    - potential and forced crowd sizes are BDD model counts;
+    - the "number of valuations" of Table 2 is the model count of the
+      union of the per-MAS player sets;
+    - [PO_blank] of the forced and potential crowds (the bracketed
+      values of Tables 3 and 4) comes from per-variable satisfiability
+      probes on those sets.
+
+    Equilibrium crowds (the unbracketed Table 3 values) depend on the
+    strategy dynamics and still require the explicit atlas; everything
+    else scales to forms of 30+ predicates. Agreement with the explicit
+    atlas is checked exhaustively in the test suite. *)
+
+type t
+
+type mas_stats = {
+  mas : Pet_valuation.Partial.t;
+  benefits : string list;
+  potential : int;  (** Table 3 "players": all extensions with [F]'s pattern *)
+  forced : int;  (** players with no other MAS *)
+  po_blank_forced : int;
+  po_blank_potential : int;
+}
+
+val build : ?mode:Algorithm1.mode -> Pet_rules.Exposure.t -> t
+(** [mode] must be [Chain] (default) or [Entail].
+    @raise Invalid_argument on [Exact], or when a benefit set's
+    conjunction product exceeds an internal safety cap. *)
+
+val mas_count : t -> int
+val stats : t -> mas_stats list
+(** In the paper's lexicographic MAS order. *)
+
+val valuation_count : t -> int
+(** Table 2 "number of valuations". *)
+
+val choice_distribution : t -> (int * int) list
+(** Table 2 rows 4+: [(k, n)] — [n] valuations choose among exactly [k]
+    MAS; ascending [k]. Computed by splitting the valuation space into
+    the (few) regions with identical choice sets, so it stays feasible
+    when the counts themselves are astronomical. *)
+
+val domain_size_range : t -> int * int
+
+type equilibrium = {
+  crowds : int list;  (** per MAS, same order as {!stats} *)
+  nash : bool;
+      (** whether no individual player can profit from a unilateral
+          deviation under [PO_SM] *)
+}
+
+val equilibrium : t -> equilibrium
+(** The bloc variant of Algorithm 2 under [PO_SM]: players with identical
+    choice sets are payoff-symmetric, so each such region commits as a
+    bloc — forced regions first, then regions with a strictly dominant
+    move (re-evaluated after every commitment), ties broken towards the
+    lexicographically smallest move. This computes the unbracketed
+    "plays" column of Tables 3 and 4 without enumerating players, at the
+    cost of a (verified) bloc-symmetry assumption; on the paper's case
+    studies it reproduces the explicit Algorithm 2 crowds exactly. *)
+
+val pp_summary : t Fmt.t

@@ -1,0 +1,1 @@
+lib/pet/form.ml: List Pet_rules Pet_valuation String

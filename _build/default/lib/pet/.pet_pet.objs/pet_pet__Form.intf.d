@@ -1,0 +1,1 @@
+lib/pet/form.mli: Pet_rules Pet_valuation

@@ -1,0 +1,1 @@
+lib/pet/json.ml: Buffer Char Float Fmt List Printf String

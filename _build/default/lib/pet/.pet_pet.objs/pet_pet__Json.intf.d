@@ -1,0 +1,1 @@
+lib/pet/json.mli: Fmt

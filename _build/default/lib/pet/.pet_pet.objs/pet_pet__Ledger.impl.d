@@ -1,0 +1,1 @@
+lib/pet/ledger.ml: Int Json List Pet_valuation Workflow

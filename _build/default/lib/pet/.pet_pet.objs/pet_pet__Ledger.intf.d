@@ -1,0 +1,1 @@
+lib/pet/ledger.mli: Json Workflow

@@ -1,0 +1,1 @@
+lib/pet/report.ml: Fmt Json List Option Pet_game Pet_minimize Pet_valuation

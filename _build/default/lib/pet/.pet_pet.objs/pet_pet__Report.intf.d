@@ -1,0 +1,1 @@
+lib/pet/report.mli: Fmt Json Pet_game Pet_minimize Pet_valuation

@@ -1,0 +1,1 @@
+lib/pet/workflow.ml: List Pet_game Pet_minimize Pet_rules Pet_valuation Report String

@@ -1,0 +1,1 @@
+lib/pet/workflow.mli: Pet_game Pet_minimize Pet_rules Pet_valuation Report

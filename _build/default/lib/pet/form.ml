@@ -1,0 +1,77 @@
+module Universe = Pet_valuation.Universe
+module Total = Pet_valuation.Total
+
+type answer = Abool of bool | Aint of int | Achoice of string
+
+type kind = Kbool | Kint | Kchoice of string list
+
+type question = { key : string; text : string; kind : kind }
+
+type predicate = {
+  name : string;
+  description : string;
+  compute : (string -> answer) -> bool;
+}
+
+type t = {
+  exposure : Pet_rules.Exposure.t;
+  questions : question list;
+  predicates : predicate list;
+}
+
+let create ~exposure ~questions ~predicates =
+  let keys = List.map (fun q -> q.key) questions in
+  if List.length (List.sort_uniq String.compare keys) <> List.length keys then
+    invalid_arg "Form.create: duplicate question keys";
+  let xp = Pet_rules.Exposure.xp exposure in
+  List.iter
+    (fun p ->
+      if not (Universe.mem xp p.name) then
+        invalid_arg ("Form.create: predicate " ^ p.name ^ " not in the form"))
+    predicates;
+  List.iter
+    (fun name ->
+      if not (List.exists (fun p -> p.name = name) predicates) then
+        invalid_arg ("Form.create: predicate " ^ name ^ " has no definition"))
+    (Universe.names xp);
+  { exposure; questions; predicates }
+
+let exposure t = t.exposure
+let questions t = t.questions
+
+exception Bad of string
+
+let valuation t answers =
+  let lookup key =
+    let question =
+      match List.find_opt (fun q -> q.key = key) t.questions with
+      | Some q -> q
+      | None -> raise (Bad ("predicate refers to unknown question " ^ key))
+    in
+    let answer =
+      match List.assoc_opt key answers with
+      | Some a -> a
+      | None -> raise (Bad ("missing answer for question " ^ key))
+    in
+    match question.kind, answer with
+    | Kbool, Abool _ | Kint, Aint _ -> answer
+    | Kchoice options, Achoice c ->
+      if List.mem c options then answer
+      else raise (Bad ("answer to " ^ key ^ " is not one of its options"))
+    | (Kbool | Kint | Kchoice _), _ ->
+      raise (Bad ("ill-typed answer for question " ^ key))
+  in
+  match
+    List.iter
+      (fun (key, _) ->
+        if not (List.exists (fun q -> q.key = key) t.questions) then
+          raise (Bad ("answer for unknown question " ^ key)))
+      answers;
+    Total.make
+      (Pet_rules.Exposure.xp t.exposure)
+      (fun name ->
+        let p = List.find (fun p -> p.name = name) t.predicates in
+        p.compute lookup)
+  with
+  | v -> Ok v
+  | exception Bad m -> Error m

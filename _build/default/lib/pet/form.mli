@@ -1,0 +1,40 @@
+(** Typed application forms.
+
+    Users answer concrete questions (an age, a yes/no, a choice); the
+    form compiles the answers into the truth values of the exposure
+    problem's predicates, after which the raw answers can be discarded —
+    "if a user gives the value age = 18, this will mean p1 = true. The
+    exact value of age can thus be deleted" (Section 3.1). *)
+
+type answer = Abool of bool | Aint of int | Achoice of string
+
+type kind = Kbool | Kint | Kchoice of string list
+
+type question = { key : string; text : string; kind : kind }
+
+type predicate = {
+  name : string;  (** a predicate of the exposure problem's form universe *)
+  description : string;
+  compute : (string -> answer) -> bool;
+      (** evaluates the predicate from the answers; looks up question keys *)
+}
+
+type t
+
+val create :
+  exposure:Pet_rules.Exposure.t ->
+  questions:question list ->
+  predicates:predicate list ->
+  t
+(** @raise Invalid_argument when question keys collide, a predicate name
+    is not in the form universe, or a form-universe predicate has no
+    definition. *)
+
+val exposure : t -> Pet_rules.Exposure.t
+val questions : t -> question list
+
+val valuation :
+  t -> (string * answer) list -> (Pet_valuation.Total.t, string) result
+(** Compile raw answers to the predicate valuation. Errors on missing or
+    ill-typed answers, out-of-range choices, and unknown keys; the raw
+    answers never leave this function. *)

@@ -1,0 +1,14 @@
+(** Minimal JSON emission (no parsing) for the machine-readable consent
+    reports. Only what the PET needs; strings are escaped per RFC 8259. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+val pp : t Fmt.t

@@ -1,0 +1,49 @@
+module Partial = Pet_valuation.Partial
+
+type entry = { id : int; grant : Workflow.grant }
+
+type t = { mutable entries : entry list (* newest first *); mutable next : int }
+
+let create () = { entries = []; next = 0 }
+
+let record t grant =
+  let id = t.next in
+  t.next <- id + 1;
+  t.entries <- { id; grant } :: t.entries;
+  id
+
+let entries t = List.rev t.entries
+
+let find t id =
+  List.find_map
+    (fun e -> if e.id = id then Some e.grant else None)
+    t.entries
+
+let size t = t.next
+
+let stored_values t =
+  List.fold_left
+    (fun acc e -> acc + Partial.domain_size e.grant.Workflow.form)
+    0 t.entries
+
+let audit t provider =
+  List.filter_map
+    (fun e -> if Workflow.audit provider e.grant then None else Some e.id)
+    t.entries
+  |> List.sort Int.compare
+
+let to_json t =
+  Json.List
+    (List.map
+       (fun e ->
+         Json.Obj
+           [
+             ("id", Json.Int e.id);
+             ("form", Json.String (Partial.to_string e.grant.Workflow.form));
+             ( "benefits",
+               Json.List
+                 (List.map
+                    (fun b -> Json.String b)
+                    e.grant.Workflow.benefits) );
+           ])
+       (entries t))

@@ -1,0 +1,31 @@
+(** The service provider's archive: the minimized records kept "possibly
+    for several years, as legal proof of the process and/or transaction,
+    or simply to be used for internal audit" (Section 2.1, step 4).
+
+    Only the minimized form and the granted benefits are stored — this
+    is where the storage-limitation payoff of the PET materializes. The
+    archive is append-only; re-auditing never mutates it. *)
+
+type t
+type entry = { id : int; grant : Workflow.grant }
+
+val create : unit -> t
+val record : t -> Workflow.grant -> int
+(** Append a grant; returns its archive id (sequential from 0). *)
+
+val find : t -> int -> Workflow.grant option
+val size : t -> int
+val entries : t -> entry list
+(** In insertion order. *)
+
+val stored_values : t -> int
+(** Total number of predicate values held — the provider's storage
+    footprint, to compare against [size * form width] for the legacy
+    full-form process. *)
+
+val audit : t -> Workflow.t -> int list
+(** Re-verify every archived record against the rules
+    ({!Workflow.audit}); returns the ids of the failing records
+    (tampered or recorded under different rules), ascending. *)
+
+val to_json : t -> Json.t

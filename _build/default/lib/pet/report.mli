@@ -1,0 +1,46 @@
+(** The consent report: everything requirement R3 obliges the PET to show
+    an applicant before they pick which minimized form to send — their
+    options (MAS), each option's privacy payoffs, what each option
+    publishes, what an attacker deduces anyway, and the recommended
+    choice (Algorithm 2). This is the information content of the GUI in
+    the paper's Figure 3. *)
+
+type option_report = {
+  mas : Pet_valuation.Partial.t;
+  benefits : string list;
+  po_blank : float;
+  po_sm : float;
+  po_weighted : float option;
+      (** the weighted PO_blank of Section 4.2, present when the provider
+          evaluates a weighted payoff *)
+  disclosure : Pet_game.Deduction.disclosure;
+      (** published literals, attacker-deduced blanks, protected blanks —
+          evaluated as if the applicant picked this option *)
+  recommended : bool;
+}
+
+type t = {
+  valuation : Pet_valuation.Total.t;
+  granted : string list;
+      (** every benefit due — full accuracy (R1) is preserved by all
+          options *)
+  options : option_report list;  (** lexicographic order; never empty *)
+  minimization_ratio : float;
+      (** blanks of the recommended option / form size (R2) *)
+}
+
+val build :
+  ?weights:(string -> float) ->
+  Pet_minimize.Atlas.t ->
+  Pet_game.Profile.t ->
+  Pet_valuation.Total.t ->
+  t
+(** @raise Invalid_argument when the valuation is not a player of the
+    atlas (i.e. triggers no benefit or is not realistic). *)
+
+val recommended : t -> option_report
+
+val pp : t Fmt.t
+(** Human-readable rendering (the "GUI" of the case study). *)
+
+val to_json : t -> Json.t

@@ -1,0 +1,49 @@
+module Engine = Pet_rules.Engine
+module Atlas = Pet_minimize.Atlas
+module Strategy = Pet_game.Strategy
+
+type t = {
+  engine : Engine.t;
+  atlas : Atlas.t;
+  profile : Pet_game.Profile.t;
+  weights : (string -> float) option;
+}
+
+type grant = { form : Pet_valuation.Partial.t; benefits : string list }
+
+let provider ?(backend = Engine.Bdd) ?(payoff = Pet_game.Payoff.Blank) exposure
+    =
+  let engine = Engine.create ~backend exposure in
+  let atlas = Atlas.build engine in
+  let profile = Strategy.compute ~payoff atlas in
+  let weights =
+    match payoff with Pet_game.Payoff.Weighted w -> Some w | _ -> None
+  in
+  { engine; atlas; profile; weights }
+
+let engine t = t.engine
+let atlas t = t.atlas
+let profile t = t.profile
+
+let report_for t v =
+  match Atlas.find_player t.atlas v with
+  | Some _ -> Ok (Report.build ?weights:t.weights t.atlas t.profile v)
+  | None ->
+    if
+      not
+        (Pet_rules.Exposure.satisfies_constraints
+           (Engine.exposure t.engine) v)
+    then Error "the filled form contradicts the form's consistency rules"
+    else Error "this form grants no benefit; nothing needs to be sent"
+
+let submit t w =
+  if not (Engine.consistent t.engine w) then
+    Error "submitted form is inconsistent with the rules"
+  else
+    match Engine.benefits t.engine w with
+    | [] -> Error "submitted form proves no benefit"
+    | benefits -> Ok { form = w; benefits }
+
+let audit t { form; benefits } =
+  Engine.consistent t.engine form
+  && List.equal String.equal (Engine.benefits t.engine form) benefits

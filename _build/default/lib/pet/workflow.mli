@@ -1,0 +1,40 @@
+(** The end-to-end PET workflow of Figure 3.
+
+    The service provider publishes the rule set once ({!provider}); each
+    applicant obtains a consent report ({!report_for}), picks an option
+    and submits the minimized form ({!submit}); the provider verifies the
+    proof, grants the benefits and archives only the minimized record;
+    {!audit} later re-checks any archived record against the rules —
+    satisfying full accuracy (R1), minimality (R2, only the minimized
+    form is processed and stored) and informed consent (R3, the report). *)
+
+type t
+
+type grant = {
+  form : Pet_valuation.Partial.t;  (** the minimized record, as archived *)
+  benefits : string list;  (** benefits granted, benefit-universe order *)
+}
+
+val provider :
+  ?backend:Pet_rules.Engine.backend ->
+  ?payoff:Pet_game.Payoff.kind ->
+  Pet_rules.Exposure.t ->
+  t
+(** Build the service-provider state: the engine, the MAS atlas and the
+    equilibrium profile. Defaults: [Bdd] backend, [Blank] payoff. *)
+
+val engine : t -> Pet_rules.Engine.t
+val atlas : t -> Pet_minimize.Atlas.t
+val profile : t -> Pet_game.Profile.t
+
+val report_for : t -> Pet_valuation.Total.t -> (Report.t, string) result
+(** The applicant-side consent report; [Error] explains ineligibility. *)
+
+val submit : t -> Pet_valuation.Partial.t -> (grant, string) result
+(** Provider-side processing of a (partially) filled form: reject forms
+    inconsistent with the rules, otherwise grant every benefit the form
+    proves. *)
+
+val audit : t -> grant -> bool
+(** Re-verify an archived record: the stored minimized form must still
+    prove exactly the benefits that were granted. *)

@@ -1,0 +1,1 @@
+lib/rules/engine.ml: Bool Exposure Fmt Hashtbl List Pet_bdd Pet_logic Pet_sat Pet_valuation

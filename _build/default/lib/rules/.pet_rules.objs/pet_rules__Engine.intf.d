@@ -1,0 +1,1 @@
+lib/rules/engine.mli: Exposure Fmt Pet_valuation

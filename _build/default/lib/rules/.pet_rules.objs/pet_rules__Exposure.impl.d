@@ -1,0 +1,1 @@
+lib/rules/exposure.ml: Fmt List Pet_logic Pet_valuation Printf Rule

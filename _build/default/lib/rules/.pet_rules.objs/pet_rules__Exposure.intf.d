@@ -1,0 +1,1 @@
+lib/rules/exposure.mli: Fmt Pet_logic Pet_valuation Rule

@@ -1,0 +1,1 @@
+lib/rules/generate.ml: Exposure List Pet_logic Pet_valuation Printf Random Rule

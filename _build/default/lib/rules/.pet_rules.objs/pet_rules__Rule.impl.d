@@ -1,0 +1,1 @@
+lib/rules/rule.ml: Fmt Pet_logic

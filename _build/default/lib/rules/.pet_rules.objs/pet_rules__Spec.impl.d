@@ -1,0 +1,1 @@
+lib/rules/spec.ml: Exposure Fmt List Pet_logic Pet_valuation Printf Rule String

@@ -1,0 +1,1 @@
+lib/rules/spec.mli: Exposure Fmt

@@ -1,0 +1,191 @@
+module F = Pet_logic.Formula
+module Cnf = Pet_logic.Cnf
+module Universe = Pet_valuation.Universe
+module Total = Pet_valuation.Total
+module Partial = Pet_valuation.Partial
+module Solver = Pet_sat.Solver
+module Lit = Pet_sat.Lit
+module Bdd = Pet_bdd.Bdd
+
+type backend = Brute | Sat | Bdd
+
+type impl =
+  | Ibrute
+  | Isat of { solver : Solver.t; var_of : string -> int }
+  | Ibdd of { man : Bdd.man; r : Bdd.node }
+
+type t = { e : Exposure.t; kind : backend; impl : impl }
+
+(* Variable numbering shared by the SAT and BDD backends: form predicates
+   first (their universe order), then benefits. *)
+let base_index e name =
+  let xp = Exposure.xp e and xb = Exposure.xb e in
+  match Universe.index_opt xp name with
+  | Some i -> Some i
+  | None -> (
+    match Universe.index_opt xb name with
+    | Some i -> Some (Universe.size xp + i)
+    | None -> None)
+
+let fresh_prefix = "@tseitin"
+
+let make_sat e =
+  let solver = Solver.create () in
+  let np = Universe.size (Exposure.xp e) in
+  let nb = Universe.size (Exposure.xb e) in
+  Solver.ensure_nvars solver (np + nb);
+  let aux = Hashtbl.create 64 in
+  let var_of name =
+    match base_index e name with
+    | Some i -> i
+    | None -> (
+      match Hashtbl.find_opt aux name with
+      | Some i -> i
+      | None ->
+        let i = Solver.new_var solver in
+        Hashtbl.add aux name i;
+        i)
+  in
+  let clauses = Cnf.tseitin ~fresh_prefix (Exposure.to_formula e) in
+  List.iter
+    (fun clause ->
+      Solver.add_clause solver
+        (List.map
+           (fun (l : Pet_logic.Literal.t) -> Lit.make (var_of l.var) l.sign)
+           clause))
+    clauses;
+  Isat { solver; var_of }
+
+let make_bdd e =
+  let man = Bdd.man () in
+  let index name =
+    match base_index e name with
+    | Some i -> i
+    | None -> assert false (* formulas only mention Xp u Xb *)
+  in
+  let rec compile = function
+    | F.True -> Bdd.one
+    | F.False -> Bdd.zero
+    | F.Var x -> Bdd.var man (index x)
+    | F.Not f -> Bdd.neg man (compile f)
+    | F.And (a, b) -> Bdd.conj man (compile a) (compile b)
+    | F.Or (a, b) -> Bdd.disj man (compile a) (compile b)
+    | F.Implies (a, b) -> Bdd.imp man (compile a) (compile b)
+    | F.Iff (a, b) -> Bdd.iff man (compile a) (compile b)
+  in
+  Ibdd { man; r = compile (Exposure.to_formula e) }
+
+let create ?(backend = Sat) e =
+  let impl =
+    match backend with
+    | Brute -> Ibrute
+    | Sat -> make_sat e
+    | Bdd -> make_bdd e
+  in
+  { e; kind = backend; impl }
+
+let backend t = t.kind
+let exposure t = t.e
+
+(* --- Brute-force backend ------------------------------------------------ *)
+
+(* Consistent completions of [w] over the form universe. *)
+let brute_completions e w =
+  List.filter (Exposure.satisfies_constraints e) (Partial.extensions w)
+
+let brute_consistent e w = brute_completions e w <> []
+
+let brute_entails_benefit e w b =
+  List.for_all
+    (fun v -> List.mem b (Exposure.benefits_of_assignment e (Total.rho v)))
+    (brute_completions e w)
+
+let brute_entails_literal e w p value =
+  List.for_all
+    (fun v -> Bool.equal (Total.value v p) value)
+    (brute_completions e w)
+
+(* --- SAT backend ---------------------------------------------------------- *)
+
+let sat_assumptions var_of w =
+  List.map (fun (name, b) -> Lit.make (var_of name) b) (Partial.bindings w)
+
+let sat_consistent solver var_of w =
+  Solver.solve ~assumptions:(sat_assumptions var_of w) solver = Solver.Sat
+
+let sat_refutes solver var_of w extra =
+  (* Is [R /\ w /\ extra] unsatisfiable? *)
+  Solver.solve ~assumptions:(extra :: sat_assumptions var_of w) solver
+  = Solver.Unsat
+
+(* --- BDD backend ------------------------------------------------------------ *)
+
+let bdd_restrict_by man r e w =
+  let xp = Exposure.xp e in
+  List.fold_left
+    (fun acc (name, b) -> Bdd.restrict man acc (Universe.index xp name) b)
+    r (Partial.bindings w)
+
+let bdd_consistent man r e w = not (Bdd.is_unsat (bdd_restrict_by man r e w))
+
+let bdd_refutes man r e w var value =
+  (* Is [R /\ w /\ (var = value)] unsatisfiable? *)
+  let restricted = bdd_restrict_by man r e w in
+  Bdd.is_unsat (Bdd.restrict man restricted var value)
+
+(* --- Dispatch ------------------------------------------------------------------ *)
+
+let check_universe t w =
+  if not (Universe.equal (Partial.universe w) (Exposure.xp t.e)) then
+    invalid_arg "Engine: valuation universe differs from the form universe"
+
+let consistent t w =
+  check_universe t w;
+  match t.impl with
+  | Ibrute -> brute_consistent t.e w
+  | Isat { solver; var_of } -> sat_consistent solver var_of w
+  | Ibdd { man; r } -> bdd_consistent man r t.e w
+
+let benefit_index t b =
+  Universe.size (Exposure.xp t.e) + Universe.index (Exposure.xb t.e) b
+
+let entails_benefit t w b =
+  check_universe t w;
+  match t.impl with
+  | Ibrute ->
+    ignore (Universe.index (Exposure.xb t.e) b);
+    brute_entails_benefit t.e w b
+  | Isat { solver; var_of } ->
+    sat_refutes solver var_of w (Lit.make (benefit_index t b) false)
+  | Ibdd { man; r } -> bdd_refutes man r t.e w (benefit_index t b) false
+
+let benefits t w =
+  List.filter (entails_benefit t w) (Universe.names (Exposure.xb t.e))
+
+let benefits_of_total t v =
+  Exposure.benefits_of_assignment t.e (Total.rho v)
+
+let entails_literal t w p value =
+  check_universe t w;
+  let i = Universe.index (Exposure.xp t.e) p in
+  match t.impl with
+  | Ibrute -> brute_entails_literal t.e w p value
+  | Isat { solver; var_of } ->
+    ignore i;
+    sat_refutes solver var_of w (Lit.make (var_of p) (not value))
+  | Ibdd { man; r } -> bdd_refutes man r t.e w i (not value)
+
+let deduced_literals t w =
+  check_universe t w;
+  List.filter_map
+    (fun p ->
+      if Partial.defines w p then None
+      else if entails_literal t w p true then Some (p, true)
+      else if entails_literal t w p false then Some (p, false)
+      else None)
+    (Universe.names (Exposure.xp t.e))
+
+let pp_backend ppf = function
+  | Brute -> Fmt.string ppf "brute"
+  | Sat -> Fmt.string ppf "sat"
+  | Bdd -> Fmt.string ppf "bdd"

@@ -1,0 +1,55 @@
+(** The proof relation of Notation 3.10 — [w, R |= F] — with three
+    interchangeable backends:
+
+    - [Brute]: reference semantics by enumerating every completion of the
+      partial valuation (exponential in the number of blanks; the oracle
+      the others are tested against);
+    - [Sat]: one incremental CDCL query per question — [w, R |= x] iff
+      [R /\ w /\ ~x] is unsatisfiable (the default);
+    - [Bdd]: compile [R] once into a BDD and answer each question by
+      cofactoring — the right choice for bulk workloads such as building
+      the full MAS atlas.
+
+    All three agree on every input; the test suite checks this
+    exhaustively on small universes and randomly on larger ones. *)
+
+type backend = Brute | Sat | Bdd
+
+type t
+
+val create : ?backend:backend -> Exposure.t -> t
+(** Default backend: [Sat]. *)
+
+val backend : t -> backend
+val exposure : t -> Exposure.t
+
+val consistent : t -> Pet_valuation.Partial.t -> bool
+(** Whether [R /\ w] is satisfiable, i.e. the partially filled form can
+    belong to a realistic applicant. *)
+
+val entails_benefit : t -> Pet_valuation.Partial.t -> string -> bool
+(** [entails_benefit t w b] is [w, R |= b]: every completed processed form
+    compatible with [w] grants [b]. Vacuously true when [w] is
+    inconsistent with [R].
+    @raise Not_found for unknown benefit names. *)
+
+val benefits : t -> Pet_valuation.Partial.t -> string list
+(** Benefits proven by [w] under [R], in benefit-universe order. *)
+
+val benefits_of_total : t -> Pet_valuation.Total.t -> string list
+(** Fast path for fully filled forms: evaluate the rule DNFs directly. For
+    valuations satisfying [R_ADD] this agrees with {!benefits}. *)
+
+val entails_literal : t -> Pet_valuation.Partial.t -> string -> bool -> bool
+(** [entails_literal t w p value]: does [R /\ w] force form predicate [p]
+    to [value]?
+    @raise Not_found for unknown predicate names. *)
+
+val deduced_literals :
+  t -> Pet_valuation.Partial.t -> (string * bool) list
+(** Form predicates outside [w]'s domain whose value is nevertheless forced
+    by [R /\ w] — what a reasoning attacker learns from the rule set alone
+    (before even considering other players' strategies). In universe
+    order. *)
+
+val pp_backend : backend Fmt.t

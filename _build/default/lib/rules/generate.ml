@@ -1,0 +1,55 @@
+module F = Pet_logic.Formula
+module Universe = Pet_valuation.Universe
+
+type config = {
+  predicates : int;
+  benefits : int;
+  conjunctions : int;
+  width : int;
+  implications : int;
+}
+
+let default =
+  { predicates = 8; benefits = 2; conjunctions = 3; width = 3; implications = 2 }
+
+let predicate i = Printf.sprintf "p%d" (i + 1)
+let benefit i = Printf.sprintf "b%d" (i + 1)
+
+let random_literal rng n =
+  let v = F.var (predicate (Random.State.int rng n)) in
+  if Random.State.bool rng then v else F.neg v
+
+let random_conjunction rng n width =
+  F.conj (List.init width (fun _ -> random_literal rng n))
+
+let random_dnf rng n ~conjunctions ~width =
+  F.disj (List.init conjunctions (fun _ -> random_conjunction rng n width))
+
+(* premise literal -> consequence literal, over distinct variables so the
+   implication is always satisfiable. *)
+let random_implication rng n =
+  let i = Random.State.int rng n in
+  let j = (i + 1 + Random.State.int rng (n - 1)) mod n in
+  let lit k =
+    let v = F.var (predicate k) in
+    if Random.State.bool rng then v else F.neg v
+  in
+  F.Implies (lit i, lit j)
+
+let exposure ?(config = default) ~seed () =
+  if config.predicates < 2 then invalid_arg "Generate.exposure: predicates < 2";
+  if config.benefits < 1 then invalid_arg "Generate.exposure: benefits < 1";
+  let rng = Random.State.make [| seed; config.predicates; config.benefits |] in
+  let xp = Universe.of_names (List.init config.predicates predicate) in
+  let xb = Universe.of_names (List.init config.benefits benefit) in
+  let rules =
+    List.init config.benefits (fun i ->
+        Rule.of_formula ~benefit:(benefit i)
+          (random_dnf rng config.predicates ~conjunctions:config.conjunctions
+             ~width:config.width))
+  in
+  let constraints =
+    List.init config.implications (fun _ ->
+        random_implication rng config.predicates)
+  in
+  Exposure.create ~xp ~xb ~rules ~constraints ()

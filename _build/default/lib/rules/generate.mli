@@ -1,0 +1,19 @@
+(** Deterministic random exposure-problem generation, for scalability
+    sweeps, fuzzing and stress tests. Problems are reproducible from the
+    seed. *)
+
+type config = {
+  predicates : int;  (** size of the form universe (>= 2) *)
+  benefits : int;  (** number of benefits, one rule each (>= 1) *)
+  conjunctions : int;  (** conjunctions per rule DNF (>= 1) *)
+  width : int;  (** literals per conjunction (>= 1) *)
+  implications : int;  (** chainable [R_ADD] implications (>= 0) *)
+}
+
+val default : config
+(** 8 predicates, 2 benefits, 3 conjunctions of width 3, 2 implications. *)
+
+val exposure : ?config:config -> seed:int -> unit -> Exposure.t
+(** Generate a random exposure problem. The constraints are single-literal
+    implications over distinct variables, so they are always satisfiable
+    and chainable by Algorithm 1. *)

@@ -1,0 +1,11 @@
+module F = Pet_logic.Formula
+module Dnf = Pet_logic.Dnf
+
+type t = { dnf : Dnf.t; benefit : string }
+
+let make ~benefit dnf = { dnf; benefit }
+let of_formula ~benefit f = { dnf = Dnf.of_formula f; benefit }
+let to_formula r = F.Iff (Dnf.to_formula r.dnf, F.Var r.benefit)
+let conjunctions r = r.dnf
+let triggered_by rho r = Dnf.holds rho r.dnf
+let pp ppf r = Fmt.pf ppf "%a <-> %s" Dnf.pp r.dnf r.benefit

@@ -1,0 +1,19 @@
+(** Decision process rules (Definition 3.9): a CPL equivalence whose
+    left-hand side is a DNF over form predicates and whose right-hand side
+    is a single benefit predicate. *)
+
+type t = { dnf : Pet_logic.Dnf.t; benefit : string }
+
+val make : benefit:string -> Pet_logic.Dnf.t -> t
+val of_formula : benefit:string -> Pet_logic.Formula.t -> t
+(** Convert an arbitrary eligibility formula to DNF first. *)
+
+val to_formula : t -> Pet_logic.Formula.t
+(** The equivalence [dnf <-> benefit]. *)
+
+val conjunctions : t -> Pet_logic.Dnf.conjunction list
+val triggered_by : (string -> bool) -> t -> bool
+(** Whether the left-hand side holds under an assignment of the form
+    predicates. *)
+
+val pp : t Fmt.t

@@ -1,0 +1,72 @@
+type problem = { nvars : int; clauses : Lit.t list list }
+
+let parse input =
+  let lines = String.split_on_char '\n' input in
+  let header = ref None in
+  let clauses = ref [] in
+  let current = ref [] in
+  let error fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let exception Fail of string in
+  let fail fmt = Printf.ksprintf (fun m -> raise (Fail m)) fmt in
+  try
+    List.iteri
+      (fun lineno line ->
+        let line = String.trim line in
+        if line = "" || line.[0] = 'c' then ()
+        else if line.[0] = 'p' then begin
+          match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+          | [ "p"; "cnf"; nv; nc ] -> (
+            match int_of_string_opt nv, int_of_string_opt nc with
+            | Some nv, Some nc when nv >= 0 && nc >= 0 ->
+              if !header <> None then fail "line %d: duplicate header" (lineno + 1);
+              header := Some (nv, nc)
+            | _ -> fail "line %d: malformed header" (lineno + 1))
+          | _ -> fail "line %d: malformed header" (lineno + 1)
+        end
+        else begin
+          let nvars =
+            match !header with
+            | Some (nv, _) -> nv
+            | None -> fail "line %d: clause before header" (lineno + 1)
+          in
+          let tokens =
+            String.split_on_char ' ' line
+            |> List.concat_map (String.split_on_char '\t')
+            |> List.filter (( <> ) "")
+          in
+          List.iter
+            (fun tok ->
+              match int_of_string_opt tok with
+              | None -> fail "line %d: bad literal %S" (lineno + 1) tok
+              | Some 0 ->
+                clauses := List.rev !current :: !clauses;
+                current := []
+              | Some k ->
+                if abs k > nvars then
+                  fail "line %d: literal %d out of range" (lineno + 1) k;
+                current := Lit.of_dimacs k :: !current)
+            tokens
+        end)
+      lines;
+    if !current <> [] then raise (Fail "unterminated final clause");
+    match !header with
+    | None -> Error "missing 'p cnf' header"
+    | Some (nvars, nclauses) ->
+      let clauses = List.rev !clauses in
+      if List.length clauses <> nclauses then
+        error "header declares %d clauses but %d found" nclauses
+          (List.length clauses)
+      else Ok { nvars; clauses }
+  with Fail m -> Error m
+
+let print ppf { nvars; clauses } =
+  Fmt.pf ppf "p cnf %d %d@." nvars (List.length clauses);
+  List.iter
+    (fun c ->
+      List.iter (fun l -> Fmt.pf ppf "%d " (Lit.to_dimacs l)) c;
+      Fmt.pf ppf "0@.")
+    clauses
+
+let load_into solver { nvars; clauses } =
+  Solver.ensure_nvars solver nvars;
+  List.iter (Solver.add_clause solver) clauses

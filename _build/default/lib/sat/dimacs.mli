@@ -1,0 +1,14 @@
+(** DIMACS CNF reading and writing, for interoperability and for feeding
+    the solver standard benchmark instances in tests. *)
+
+type problem = { nvars : int; clauses : Lit.t list list }
+
+val parse : string -> (problem, string) result
+(** Parse the contents of a DIMACS CNF file. Accepts comment lines ([c]),
+    a [p cnf <vars> <clauses>] header, and zero-terminated clauses. The
+    declared clause count is checked against the actual one. *)
+
+val print : problem Fmt.t
+
+val load_into : Solver.t -> problem -> unit
+(** Allocate the problem's variables in the solver and add its clauses. *)

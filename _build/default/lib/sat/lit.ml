@@ -1,0 +1,16 @@
+type t = int
+
+let make v sign =
+  if v < 0 then invalid_arg "Lit.make: negative variable";
+  (2 * v) + if sign then 0 else 1
+
+let var l = l lsr 1
+let sign l = l land 1 = 0
+let negate l = l lxor 1
+
+let of_dimacs k =
+  if k = 0 then invalid_arg "Lit.of_dimacs: zero";
+  make (abs k - 1) (k > 0)
+
+let to_dimacs l = if sign l then var l + 1 else -(var l + 1)
+let pp ppf l = Fmt.int ppf (to_dimacs l)

@@ -1,0 +1,19 @@
+(** Solver literals. A literal packs a 0-based variable index and a sign
+    into one integer: [2*v] is the positive literal of variable [v] and
+    [2*v + 1] its negation. *)
+
+type t = int
+
+val make : int -> bool -> t
+(** [make v sign] — [sign = true] for the positive literal. *)
+
+val var : t -> int
+val sign : t -> bool
+val negate : t -> t
+
+val of_dimacs : int -> t
+(** [of_dimacs k] maps the DIMACS literal [k] (non-zero; variable [|k|],
+    1-based) to a solver literal. *)
+
+val to_dimacs : t -> int
+val pp : t Fmt.t

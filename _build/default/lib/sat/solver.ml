@@ -1,0 +1,602 @@
+type result = Sat | Unsat
+
+type stats = {
+  conflicts : int;
+  decisions : int;
+  propagations : int;
+  restarts : int;
+  learnt_literals : int;
+}
+
+type clause = {
+  mutable lits : int array;
+  learnt : bool;
+  mutable activity : float;
+  mutable removed : bool;
+}
+
+let dummy_clause = { lits = [||]; learnt = false; activity = 0.; removed = false }
+
+(* Truth values: 0 = undefined, 1 = true, 2 = false. *)
+let v_undef = 0
+and v_true = 1
+and v_false = 2
+
+type t = {
+  mutable ok : bool;
+  mutable nvars : int;
+  (* Per-variable state, arrays of capacity >= nvars. *)
+  mutable assign : int array;
+  mutable level : int array;
+  mutable reason : clause array; (* dummy_clause = no reason *)
+  mutable var_act : float array;
+  mutable polarity : bool array; (* saved phase *)
+  mutable seen : bool array; (* scratch for conflict analysis *)
+  (* Per-literal state, capacity >= 2 * nvars. *)
+  mutable watches : clause Vec.t array;
+  clauses : clause Vec.t;
+  learnts : clause Vec.t;
+  trail : int Vec.t;
+  trail_lim : int Vec.t;
+  mutable qhead : int;
+  mutable var_inc : float;
+  mutable cla_inc : float;
+  max_learnt_factor : int;
+  mutable last_result : result option;
+  mutable saved_model : bool array;
+  mutable core : int list;
+  (* statistics *)
+  mutable n_conflicts : int;
+  mutable n_decisions : int;
+  mutable n_propagations : int;
+  mutable n_restarts : int;
+  mutable n_learnt_literals : int;
+}
+
+let create ?(max_learnt_factor = 3) () =
+  {
+    ok = true;
+    nvars = 0;
+    assign = Array.make 8 v_undef;
+    level = Array.make 8 0;
+    reason = Array.make 8 dummy_clause;
+    var_act = Array.make 8 0.;
+    polarity = Array.make 8 false;
+    seen = Array.make 8 false;
+    watches = Array.init 16 (fun _ -> Vec.create ~dummy:dummy_clause ());
+    clauses = Vec.create ~dummy:dummy_clause ();
+    learnts = Vec.create ~dummy:dummy_clause ();
+    trail = Vec.create ~dummy:0 ();
+    trail_lim = Vec.create ~dummy:0 ();
+    qhead = 0;
+    var_inc = 1.0;
+    cla_inc = 1.0;
+    max_learnt_factor;
+    last_result = None;
+    saved_model = [||];
+    core = [];
+    n_conflicts = 0;
+    n_decisions = 0;
+    n_propagations = 0;
+    n_restarts = 0;
+    n_learnt_literals = 0;
+  }
+
+let nvars s = s.nvars
+let okay s = s.ok
+
+let grow_array a n dummy =
+  let a' = Array.make n dummy in
+  Array.blit a 0 a' 0 (Array.length a);
+  a'
+
+let new_var s =
+  let v = s.nvars in
+  let cap = Array.length s.assign in
+  if v >= cap then begin
+    let cap' = 2 * cap in
+    s.assign <- grow_array s.assign cap' v_undef;
+    s.level <- grow_array s.level cap' 0;
+    s.reason <- grow_array s.reason cap' dummy_clause;
+    s.var_act <- grow_array s.var_act cap' 0.;
+    s.polarity <- grow_array s.polarity cap' false;
+    s.seen <- grow_array s.seen cap' false;
+    let watches = Array.init (2 * cap') (fun _ -> Vec.create ~dummy:dummy_clause ()) in
+    Array.blit s.watches 0 watches 0 (2 * cap);
+    s.watches <- watches
+  end;
+  s.assign.(v) <- v_undef;
+  s.level.(v) <- 0;
+  s.reason.(v) <- dummy_clause;
+  s.var_act.(v) <- 0.;
+  s.polarity.(v) <- false;
+  s.seen.(v) <- false;
+  Vec.clear s.watches.(2 * v);
+  Vec.clear s.watches.((2 * v) + 1);
+  s.nvars <- v + 1;
+  v
+
+let ensure_nvars s n =
+  while s.nvars < n do
+    ignore (new_var s)
+  done
+
+let check_lit s l =
+  if Lit.var l >= s.nvars then
+    invalid_arg
+      (Printf.sprintf "Solver: literal %d refers to unknown variable"
+         (Lit.to_dimacs l))
+
+let lit_value s l =
+  let a = s.assign.(Lit.var l) in
+  if a = v_undef then v_undef
+  else if Lit.sign l then a
+  else if a = v_true then v_false
+  else v_true
+
+let decision_level s = Vec.size s.trail_lim
+
+(* --- Activities ------------------------------------------------------ *)
+
+let var_decay = 1.0 /. 0.95
+let clause_decay = 1.0 /. 0.999
+
+let rescale_var_activity s =
+  for v = 0 to s.nvars - 1 do
+    s.var_act.(v) <- s.var_act.(v) *. 1e-100
+  done;
+  s.var_inc <- s.var_inc *. 1e-100
+
+let bump_var s v =
+  s.var_act.(v) <- s.var_act.(v) +. s.var_inc;
+  if s.var_act.(v) > 1e100 then rescale_var_activity s
+
+let bump_clause s c =
+  c.activity <- c.activity +. s.cla_inc;
+  if c.activity > 1e100 then begin
+    Vec.iter (fun c -> c.activity <- c.activity *. 1e-100) s.learnts;
+    s.cla_inc <- s.cla_inc *. 1e-100
+  end
+
+let decay_activities s =
+  s.var_inc <- s.var_inc *. var_decay;
+  s.cla_inc <- s.cla_inc *. clause_decay
+
+(* --- Trail ------------------------------------------------------------ *)
+
+let enqueue s l reason =
+  assert (lit_value s l = v_undef);
+  let v = Lit.var l in
+  s.assign.(v) <- (if Lit.sign l then v_true else v_false);
+  s.level.(v) <- decision_level s;
+  s.reason.(v) <- reason;
+  Vec.push s.trail l
+
+let cancel_until s lvl =
+  if decision_level s > lvl then begin
+    let bound = Vec.get s.trail_lim lvl in
+    for i = Vec.size s.trail - 1 downto bound do
+      let l = Vec.get s.trail i in
+      let v = Lit.var l in
+      s.assign.(v) <- v_undef;
+      s.polarity.(v) <- Lit.sign l;
+      s.reason.(v) <- dummy_clause
+    done;
+    Vec.shrink s.trail bound;
+    Vec.shrink s.trail_lim lvl;
+    s.qhead <- bound
+  end
+
+(* --- Watches ---------------------------------------------------------- *)
+
+let attach s c =
+  Vec.push s.watches.(c.lits.(0)) c;
+  Vec.push s.watches.(c.lits.(1)) c
+
+let detach s c =
+  Vec.filter_in_place (fun c' -> c' != c) s.watches.(c.lits.(0));
+  Vec.filter_in_place (fun c' -> c' != c) s.watches.(c.lits.(1))
+
+(* --- Propagation ------------------------------------------------------ *)
+
+let propagate s =
+  let confl = ref None in
+  while !confl = None && s.qhead < Vec.size s.trail do
+    let p = Vec.get s.trail s.qhead in
+    s.qhead <- s.qhead + 1;
+    s.n_propagations <- s.n_propagations + 1;
+    let false_lit = Lit.negate p in
+    let ws = s.watches.(false_lit) in
+    let n = Vec.size ws in
+    let i = ref 0 and j = ref 0 in
+    while !i < n do
+      let c = Vec.get ws !i in
+      incr i;
+      if !confl <> None || c.removed then begin
+        if not c.removed then begin
+          Vec.set ws !j c;
+          incr j
+        end
+      end
+      else begin
+        (* Normalize so the false literal sits at index 1. *)
+        if c.lits.(0) = false_lit then begin
+          c.lits.(0) <- c.lits.(1);
+          c.lits.(1) <- false_lit
+        end;
+        if lit_value s c.lits.(0) = v_true then begin
+          (* Clause already satisfied by the other watch. *)
+          Vec.set ws !j c;
+          incr j
+        end
+        else begin
+          (* Look for a new literal to watch. *)
+          let len = Array.length c.lits in
+          let k = ref 2 in
+          while !k < len && lit_value s c.lits.(!k) = v_false do
+            incr k
+          done;
+          if !k < len then begin
+            c.lits.(1) <- c.lits.(!k);
+            c.lits.(!k) <- false_lit;
+            Vec.push s.watches.(c.lits.(1)) c
+          end
+          else begin
+            (* Unit under the current assignment, or conflicting. *)
+            Vec.set ws !j c;
+            incr j;
+            if lit_value s c.lits.(0) = v_false then confl := Some c
+            else enqueue s c.lits.(0) c
+          end
+        end
+      end
+    done;
+    (* Copy back any watcher skipped because a conflict interrupted us. *)
+    Vec.shrink ws !j
+  done;
+  !confl
+
+(* --- Clause addition --------------------------------------------------- *)
+
+let add_clause s lits =
+  if s.ok then begin
+    assert (decision_level s = 0);
+    List.iter (check_lit s) lits;
+    (* Level-0 simplification: drop satisfied clauses and false literals,
+       detect tautologies. *)
+    let lits = List.sort_uniq Stdlib.compare lits in
+    let tautological =
+      List.exists (fun l -> List.mem (Lit.negate l) lits) lits
+    in
+    let satisfied = List.exists (fun l -> lit_value s l = v_true) lits in
+    if not (tautological || satisfied) then begin
+      let lits = List.filter (fun l -> lit_value s l <> v_false) lits in
+      match lits with
+      | [] -> s.ok <- false
+      | [ l ] ->
+        enqueue s l dummy_clause;
+        if propagate s <> None then s.ok <- false
+      | _ ->
+        let c =
+          {
+            lits = Array.of_list lits;
+            learnt = false;
+            activity = 0.;
+            removed = false;
+          }
+        in
+        Vec.push s.clauses c;
+        attach s c
+    end
+  end
+
+(* --- Conflict analysis ------------------------------------------------- *)
+
+(* First-UIP learning. Reason clauses always carry their implied literal at
+   index 0, which the loop below relies on. Returns the learnt clause
+   (asserting literal first) and the backtracking level. *)
+let analyze s confl =
+  let learnt = ref [] in
+  let to_clear = ref [] in
+  let path = ref 0 in
+  let p = ref (-1) in
+  let confl = ref (Some confl) in
+  let idx = ref (Vec.size s.trail - 1) in
+  let dl = decision_level s in
+  let continue = ref true in
+  while !continue do
+    let c = match !confl with Some c -> c | None -> assert false in
+    if c.learnt then bump_clause s c;
+    let start = if !p = -1 then 0 else 1 in
+    for k = start to Array.length c.lits - 1 do
+      let q = c.lits.(k) in
+      let v = Lit.var q in
+      if (not s.seen.(v)) && s.level.(v) > 0 then begin
+        s.seen.(v) <- true;
+        to_clear := v :: !to_clear;
+        bump_var s v;
+        if s.level.(v) >= dl then incr path else learnt := q :: !learnt
+      end
+    done;
+    (* Walk the trail back to the next marked literal. *)
+    while not s.seen.(Lit.var (Vec.get s.trail !idx)) do
+      decr idx
+    done;
+    p := Vec.get s.trail !idx;
+    decr idx;
+    let v = Lit.var !p in
+    s.seen.(v) <- false;
+    decr path;
+    if !path > 0 then confl := Some s.reason.(v) else continue := false
+  done;
+  (* Clause minimization by self-subsumption: a literal [q] of the learnt
+     clause is redundant when its reason clause only contains literals
+     that are already in the clause (marked seen) or assigned at level 0
+     — resolving on [q] then cannot add anything. The [seen] marks are
+     still set for the kept literals, so this is a single pass. *)
+  let is_redundant q =
+    let v = Lit.var q in
+    let reason = s.reason.(v) in
+    reason != dummy_clause
+    && Array.for_all
+         (fun r ->
+           let w = Lit.var r in
+           w = v || s.seen.(w) || s.level.(w) = 0)
+         reason.lits
+  in
+  let kept = List.filter (fun q -> not (is_redundant q)) !learnt in
+  List.iter (fun v -> s.seen.(v) <- false) !to_clear;
+  let learnt = Lit.negate !p :: kept in
+  (* Backtrack level: the highest level among the non-asserting literals. *)
+  let bt_level =
+    List.fold_left
+      (fun acc q -> max acc s.level.(Lit.var q))
+      0 (List.tl learnt)
+  in
+  learnt, bt_level
+
+(* Install a freshly learnt clause: backtrack, attach, assert. *)
+let record s learnt bt_level =
+  cancel_until s bt_level;
+  s.n_learnt_literals <- s.n_learnt_literals + List.length learnt;
+  match learnt with
+  | [] -> assert false
+  | [ l ] -> enqueue s l dummy_clause
+  | first :: rest ->
+    (* Watch the asserting literal and one literal of the backtrack
+       level, so the clause stays correctly watched after backtracking. *)
+    let rest_arr = Array.of_list rest in
+    let wi = ref 0 in
+    Array.iteri
+      (fun k q -> if s.level.(Lit.var q) = bt_level then wi := k)
+      rest_arr;
+    let tmp = rest_arr.(0) in
+    rest_arr.(0) <- rest_arr.(!wi);
+    rest_arr.(!wi) <- tmp;
+    let c =
+      {
+        lits = Array.append [| first |] rest_arr;
+        learnt = true;
+        activity = 0.;
+        removed = false;
+      }
+    in
+    bump_clause s c;
+    Vec.push s.learnts c;
+    attach s c;
+    enqueue s first c
+
+(* --- Learnt database reduction ----------------------------------------- *)
+
+let locked s c =
+  Array.length c.lits > 0
+  &&
+  let v = Lit.var c.lits.(0) in
+  s.assign.(v) <> v_undef && s.reason.(v) == c
+
+let reduce_db s =
+  let learnts = Vec.to_list s.learnts in
+  let sorted =
+    List.sort (fun a b -> Float.compare a.activity b.activity) learnts
+  in
+  let n = List.length sorted in
+  let removed = ref 0 in
+  let remove c =
+    if (2 * !removed) < n && (not (locked s c)) && Array.length c.lits > 2
+    then begin
+      c.removed <- true;
+      detach s c;
+      incr removed
+    end
+  in
+  List.iter remove sorted;
+  Vec.filter_in_place (fun c -> not c.removed) s.learnts
+
+(* --- Assumption cores --------------------------------------------------- *)
+
+(* The assumption [failing] was found already false on the trail, i.e.
+   [~failing] is entailed by the clauses and the earlier assumptions.
+   Walk the implication graph backwards from [~failing] and collect the
+   trail decisions met on the way — below the assumption levels these are
+   exactly assumption literals — yielding an unsatisfiable subset of the
+   assumptions. *)
+let analyze_final s failing =
+  let core = ref [ failing ] in
+  if decision_level s > 0 then begin
+    let to_clear = ref [] in
+    let mark v =
+      if (not s.seen.(v)) && s.level.(v) > 0 then begin
+        s.seen.(v) <- true;
+        to_clear := v :: !to_clear
+      end
+    in
+    mark (Lit.var failing);
+    for i = Vec.size s.trail - 1 downto Vec.get s.trail_lim 0 do
+      let q = Vec.get s.trail i in
+      let v = Lit.var q in
+      if s.seen.(v) then begin
+        if s.reason.(v) == dummy_clause then core := q :: !core
+        else Array.iter (fun r -> mark (Lit.var r)) s.reason.(v).lits;
+        s.seen.(v) <- false
+      end
+    done;
+    List.iter (fun v -> s.seen.(v) <- false) !to_clear
+  end;
+  List.sort_uniq Stdlib.compare !core
+
+(* --- Search ------------------------------------------------------------ *)
+
+let luby k =
+  (* Luby sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ... *)
+  let rec go size seq k =
+    if size = k + 1 then (1 lsl seq)
+    else
+      let size' = (size - 1) / 2 in
+      if k >= size' then go size' (seq - 1) (k mod size')
+      else go size' (seq - 1) k
+  in
+  let rec bracket size seq =
+    if size >= k + 1 then size, seq else bracket ((2 * size) + 1) (seq + 1)
+  in
+  let size, seq = bracket 1 0 in
+  go size seq k
+
+let pick_branch_var s =
+  let best = ref (-1) in
+  let best_act = ref neg_infinity in
+  for v = 0 to s.nvars - 1 do
+    if s.assign.(v) = v_undef && s.var_act.(v) > !best_act then begin
+      best := v;
+      best_act := s.var_act.(v)
+    end
+  done;
+  !best
+
+exception Answered of result
+
+let max_learnts s =
+  s.max_learnt_factor * max 16 (Vec.size s.clauses)
+
+(* One restart round with a conflict budget; raises [Answered] on a
+   definitive answer, returns () when the budget is exhausted. *)
+let search s assumptions budget =
+  let conflicts = ref 0 in
+  while true do
+    match propagate s with
+    | Some confl ->
+      incr conflicts;
+      s.n_conflicts <- s.n_conflicts + 1;
+      if decision_level s = 0 then begin
+        s.ok <- false;
+        s.core <- [];
+        raise (Answered Unsat)
+      end;
+      let learnt, bt_level = analyze s confl in
+      record s learnt bt_level;
+      decay_activities s
+    | None ->
+      if !conflicts >= budget then begin
+        cancel_until s 0;
+        s.n_restarts <- s.n_restarts + 1;
+        raise Exit
+      end;
+      if Vec.size s.learnts >= max_learnts s then reduce_db s;
+      let dl = decision_level s in
+      if dl < Array.length assumptions then begin
+        (* Re-establish the next pending assumption. *)
+        let p = assumptions.(dl) in
+        match lit_value s p with
+        | a when a = v_true ->
+          (* Already implied: open a dummy decision level for it. *)
+          Vec.push s.trail_lim (Vec.size s.trail)
+        | a when a = v_false ->
+          s.core <- analyze_final s p;
+          raise (Answered Unsat)
+        | _ ->
+          s.n_decisions <- s.n_decisions + 1;
+          Vec.push s.trail_lim (Vec.size s.trail);
+          enqueue s p dummy_clause
+      end
+      else begin
+        match pick_branch_var s with
+        | -1 ->
+          (* All variables assigned: model found. *)
+          s.saved_model <- Array.init s.nvars (fun v -> s.assign.(v) = v_true);
+          raise (Answered Sat)
+        | v ->
+          s.n_decisions <- s.n_decisions + 1;
+          Vec.push s.trail_lim (Vec.size s.trail);
+          enqueue s (Lit.make v s.polarity.(v)) dummy_clause
+      end
+  done
+
+let solve ?(assumptions = []) s =
+  List.iter (check_lit s) assumptions;
+  cancel_until s 0;
+  s.core <- [];
+  let answer =
+    if not s.ok then Unsat
+    else begin
+      let assumptions = Array.of_list assumptions in
+      let rec rounds k =
+        match search s assumptions (100 * luby k) with
+        | () -> assert false
+        | exception Exit -> rounds (k + 1)
+        | exception Answered r -> r
+      in
+      rounds 0
+    end
+  in
+  cancel_until s 0;
+  s.last_result <- Some answer;
+  answer
+
+let value s v =
+  match s.last_result with
+  | Some Sat when v < Array.length s.saved_model -> s.saved_model.(v)
+  | Some Sat -> invalid_arg "Solver.value: variable created after solve"
+  | _ -> invalid_arg "Solver.value: last solve did not return Sat"
+
+let model s =
+  match s.last_result with
+  | Some Sat -> Array.copy s.saved_model
+  | _ -> invalid_arg "Solver.model: last solve did not return Sat"
+
+let unsat_core s =
+  match s.last_result with
+  | Some Unsat -> s.core
+  | _ -> invalid_arg "Solver.unsat_core: last solve did not return Unsat"
+
+let stats s =
+  {
+    conflicts = s.n_conflicts;
+    decisions = s.n_decisions;
+    propagations = s.n_propagations;
+    restarts = s.n_restarts;
+    learnt_literals = s.n_learnt_literals;
+  }
+
+let iter_models ?vars s f =
+  let vars =
+    match vars with Some vs -> vs | None -> List.init s.nvars (fun v -> v)
+  in
+  List.iter (fun v -> check_lit s (Lit.make v true)) vars;
+  let count = ref 0 in
+  let rec go () =
+    match solve s with
+    | Unsat -> ()
+    | Sat ->
+      incr count;
+      let m = model s in
+      f m;
+      let blocking =
+        List.map (fun v -> Lit.make v (not m.(v))) vars
+      in
+      if blocking = [] then () (* single projected model *)
+      else begin
+        add_clause s blocking;
+        go ()
+      end
+  in
+  go ();
+  !count

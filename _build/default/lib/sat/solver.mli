@@ -1,0 +1,71 @@
+(** A CDCL SAT solver built from scratch (conflict-driven clause learning,
+    two-watched-literal propagation, 1UIP conflict analysis with
+    self-subsumption clause minimization, VSIDS-style variable activities
+    with phase saving, Luby restarts, learnt-clause database reduction,
+    and incremental solving under assumptions).
+
+    This is the substrate the paper's prototype delegates to a SAT solver
+    for: deciding the proof relation [w, R |= x] reduces to unsatisfiability
+    of [R /\ w /\ ~x]. The solver is cross-validated against brute-force
+    enumeration in the test suite. *)
+
+type t
+
+type result = Sat | Unsat
+
+type stats = {
+  conflicts : int;
+  decisions : int;
+  propagations : int;
+  restarts : int;
+  learnt_literals : int;
+}
+
+val create : ?max_learnt_factor:int -> unit -> t
+(** [max_learnt_factor] bounds the learnt-clause database at
+    [max_learnt_factor * max 1 (number of problem clauses)] before a
+    reduction pass (default 3). *)
+
+val new_var : t -> int
+(** Allocate a fresh variable; returns its 0-based index. *)
+
+val nvars : t -> int
+
+val ensure_nvars : t -> int -> unit
+(** Allocate variables until at least the given count exist. *)
+
+val add_clause : t -> Lit.t list -> unit
+(** Add a problem clause. May only be called between [solve]s (the solver
+    backtracks to decision level 0 automatically). Adding the empty clause,
+    or a clause falsified at level 0, makes the solver permanently
+    unsatisfiable. *)
+
+val okay : t -> bool
+(** [false] once the clause set is known unsatisfiable regardless of
+    assumptions. *)
+
+val solve : ?assumptions:Lit.t list -> t -> result
+(** Solve the current clause set under the given assumption literals.
+    The solver remains usable afterwards: more clauses and variables can be
+    added and [solve] called again. *)
+
+val value : t -> int -> bool
+(** Model value of a variable after a [Sat] answer.
+    @raise Invalid_argument if the last [solve] did not return [Sat]. *)
+
+val model : t -> bool array
+(** Copy of the full model after a [Sat] answer. *)
+
+val unsat_core : t -> Lit.t list
+(** After an [Unsat] answer to a [solve] with assumptions: a subset of the
+    assumptions that is already unsatisfiable with the clause set. Empty
+    when the clause set is unsatisfiable on its own. *)
+
+val stats : t -> stats
+
+val iter_models : ?vars:int list -> t -> (bool array -> unit) -> int
+(** [iter_models ~vars t f] enumerates assignments to [vars] (default: all
+    variables) extendable to models, calling [f] with the full model found
+    for each, and returns their number. Enumeration works by adding
+    blocking clauses, so it permanently constrains [t]; use a dedicated
+    solver instance when the instance must stay reusable. *)

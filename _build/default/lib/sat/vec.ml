@@ -1,0 +1,84 @@
+type 'a t = { mutable data : 'a array; mutable size : int; dummy : 'a }
+
+let create ?(capacity = 8) ~dummy () =
+  let capacity = max capacity 1 in
+  { data = Array.make capacity dummy; size = 0; dummy }
+
+let size v = v.size
+let is_empty v = v.size = 0
+
+let check v i =
+  if i < 0 || i >= v.size then
+    invalid_arg (Printf.sprintf "Vec: index %d out of bounds (size %d)" i v.size)
+
+let get v i =
+  check v i;
+  Array.unsafe_get v.data i
+
+let set v i x =
+  check v i;
+  Array.unsafe_set v.data i x
+
+let grow v =
+  let data = Array.make (2 * Array.length v.data) v.dummy in
+  Array.blit v.data 0 data 0 v.size;
+  v.data <- data
+
+let push v x =
+  if v.size = Array.length v.data then grow v;
+  Array.unsafe_set v.data v.size x;
+  v.size <- v.size + 1
+
+let pop v =
+  if v.size = 0 then invalid_arg "Vec.pop: empty";
+  v.size <- v.size - 1;
+  let x = Array.unsafe_get v.data v.size in
+  Array.unsafe_set v.data v.size v.dummy;
+  x
+
+let last v =
+  if v.size = 0 then invalid_arg "Vec.last: empty";
+  Array.unsafe_get v.data (v.size - 1)
+
+let shrink v n =
+  if n < 0 || n > v.size then invalid_arg "Vec.shrink";
+  for i = n to v.size - 1 do
+    Array.unsafe_set v.data i v.dummy
+  done;
+  v.size <- n
+
+let clear v = shrink v 0
+
+let iter f v =
+  for i = 0 to v.size - 1 do
+    f (Array.unsafe_get v.data i)
+  done
+
+let fold f acc v =
+  let acc = ref acc in
+  for i = 0 to v.size - 1 do
+    acc := f !acc (Array.unsafe_get v.data i)
+  done;
+  !acc
+
+let exists p v =
+  let rec go i = i < v.size && (p (Array.unsafe_get v.data i) || go (i + 1)) in
+  go 0
+
+let filter_in_place p v =
+  let j = ref 0 in
+  for i = 0 to v.size - 1 do
+    let x = Array.unsafe_get v.data i in
+    if p x then begin
+      Array.unsafe_set v.data !j x;
+      incr j
+    end
+  done;
+  shrink v !j
+
+let to_list v = List.rev (fold (fun acc x -> x :: acc) [] v)
+
+let of_list ~dummy xs =
+  let v = create ~capacity:(max 1 (List.length xs)) ~dummy () in
+  List.iter (push v) xs;
+  v

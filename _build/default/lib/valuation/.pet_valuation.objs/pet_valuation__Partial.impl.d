@@ -1,0 +1,1 @@
+lib/valuation/partial.ml: Bool Fmt Int List Pet_logic String Total Universe

@@ -1,0 +1,1 @@
+lib/valuation/partial.mli: Fmt Pet_logic Total Universe

@@ -1,0 +1,1 @@
+lib/valuation/total.ml: Fmt Int List String Universe

@@ -1,0 +1,1 @@
+lib/valuation/total.mli: Fmt Universe

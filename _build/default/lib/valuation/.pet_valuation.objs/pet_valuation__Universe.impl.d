@@ -1,0 +1,1 @@
+lib/valuation/universe.ml: Array Fmt Hashtbl List String

@@ -1,0 +1,1 @@
+lib/valuation/universe.mli: Fmt

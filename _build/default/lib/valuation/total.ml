@@ -1,0 +1,52 @@
+type t = { u : Universe.t; bits : int }
+
+let universe v = v.u
+let bits v = v.bits
+
+let of_bits u bits =
+  let n = Universe.size u in
+  if bits < 0 || bits lsr n <> 0 then
+    invalid_arg "Total.of_bits: bits outside the universe";
+  { u; bits }
+
+let make u rho =
+  let bits = ref 0 in
+  List.iteri
+    (fun i name -> if rho name then bits := !bits lor (1 lsl i))
+    (Universe.names u);
+  { u; bits = !bits }
+
+let of_string u s =
+  let n = Universe.size u in
+  if String.length s <> n then
+    invalid_arg "Total.of_string: length mismatch";
+  let bits = ref 0 in
+  String.iteri
+    (fun i c ->
+      match c with
+      | '1' -> bits := !bits lor (1 lsl i)
+      | '0' -> ()
+      | _ -> invalid_arg "Total.of_string: expected only '0' and '1'")
+    s;
+  { u; bits = !bits }
+
+let value_at v i =
+  if i < 0 || i >= Universe.size v.u then
+    invalid_arg "Total.value_at: out of range";
+  (v.bits lsr i) land 1 = 1
+
+let value v name = (v.bits lsr Universe.index v.u name) land 1 = 1
+let rho v name = value v name
+
+let all u =
+  let n = Universe.size u in
+  List.init (1 lsl n) (fun bits -> { u; bits })
+
+let equal a b = a.bits = b.bits
+let compare a b = Int.compare a.bits b.bits
+
+let to_string v =
+  String.init (Universe.size v.u) (fun i ->
+      if (v.bits lsr i) land 1 = 1 then '1' else '0')
+
+let pp ppf v = Fmt.string ppf (to_string v)

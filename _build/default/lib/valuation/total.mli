@@ -1,0 +1,36 @@
+(** Total [Omega]-valuations (Definition 3.3): functions from a universe
+    to [{0, 1}], bit-packed. Bit [i] holds the value of the universe's
+    [i]-th variable. *)
+
+type t
+
+val universe : t -> Universe.t
+val bits : t -> int
+
+val of_bits : Universe.t -> int -> t
+(** @raise Invalid_argument when bits outside the universe are set. *)
+
+val make : Universe.t -> (string -> bool) -> t
+val of_string : Universe.t -> string -> t
+(** Parse e.g. ["011"]; the string length must equal the universe size.
+    @raise Invalid_argument on malformed input. *)
+
+val value : t -> string -> bool
+(** @raise Not_found on unknown names. *)
+
+val value_at : t -> int -> bool
+val rho : t -> string -> bool
+(** The valuation as an assignment function usable by {!Pet_logic.Formula.eval}. *)
+
+val all : Universe.t -> t list
+(** All [2^n] valuations, in increasing bit order. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+(** Total order: by bit pattern. Only valuations over equal universes may
+    be compared (unchecked for speed; callers keep universes consistent). *)
+
+val to_string : t -> string
+(** E.g. ["011"], first variable leftmost. *)
+
+val pp : t Fmt.t

@@ -1,0 +1,60 @@
+  $ ../../bin/pet.exe minimize running -v 111
+  $ ../../bin/pet.exe minimize running -v 100
+  $ ../../bin/pet.exe inform running -v 111
+  $ ../../bin/pet.exe inform running -v 011 --json
+  $ ../../bin/pet.exe atlas hcov
+  $ ../../bin/pet.exe graph running --figure lattice | head -5
+  $ ../../bin/pet.exe minimize running -v 11
+  $ ../../bin/pet.exe check /nonexistent/file.rules
+  $ ../../bin/pet.exe inform hcov -v 000011100111 --weight p12=5 | grep recommended
+  $ ../../bin/pet.exe inform hcov -v 000011100111 --weight nosuch=2
+  $ ../../bin/pet.exe simulate running
+  $ cat > parking.rules <<'RULES'
+  > form resident senior disabled electric unused_marital_status
+  > benefits free_parking charging_discount
+  > rule free_parking := resident & (senior | disabled)
+  > rule charging_discount := resident & electric
+  > RULES
+  $ ../../bin/pet.exe check parking.rules
+  $ ../../bin/pet.exe inform parking.rules -v 11010
+  $ cat > broken.rules <<'RULES'
+  > form a b
+  > benefits x
+  > rule x := a &
+  > RULES
+  $ ../../bin/pet.exe check broken.rules
+  $ ../../bin/pet.exe fill hcov <<'ANSWERS'
+  > age = 24
+  > child_welfare = no
+  > broken_ties = no
+  > same_roof = no
+  > separate_tax = yes
+  > alimony = no
+  > has_child = no
+  > student = yes
+  > emergency_aid = yes
+  > separated = yes
+  > ANSWERS
+  $ ../../bin/pet.exe fill hcov <<'ANSWERS'
+  > age = twenty
+  > ANSWERS
+  $ ../../bin/pet.exe fill running <<'ANSWERS'
+  > age = 28
+  > unemployed = yes
+  > ANSWERS
+  $ cat > overcollect.rules <<'RULES'
+  > form p q r
+  > benefits b
+  > rule b := p | (p & q)
+  > RULES
+  $ ../../bin/pet.exe audit overcollect.rules
+  $ ../../bin/pet.exe audit hcov | tail -1
+  $ ../../examples/quickstart.exe
+  $ python3 -c "
+  > names = ' '.join('a%d' % i for i in range(1, 26))
+  > print('form ' + names)
+  > print('benefits b')
+  > print('rule b := a1 | (a2 & a3) | (a4 & a5 & a6)')
+  > " > big.rules
+  $ ../../bin/pet.exe atlas big.rules
+  $ ../../bin/pet.exe audit big.rules | head -3

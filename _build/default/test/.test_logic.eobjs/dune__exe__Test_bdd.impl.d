@@ -1,0 +1,1 @@
+test/test_bdd.ml: Alcotest Array Bool Fun List Pet_bdd Pet_logic QCheck2 QCheck_alcotest Stdlib

@@ -1,0 +1,1 @@
+test/test_casestudies.ml: Alcotest Fmt Fun Lazy List Option Pet_casestudies Pet_game Pet_minimize Pet_pet Pet_rules Pet_valuation String

@@ -1,0 +1,1 @@
+test/test_logic.ml: Alcotest Bool List Pet_logic Printf QCheck2 QCheck_alcotest Stdlib String

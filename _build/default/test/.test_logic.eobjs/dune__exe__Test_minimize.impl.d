@@ -1,0 +1,1 @@
+test/test_minimize.ml: Alcotest Fmt Fun List Option Pet_casestudies Pet_game Pet_logic Pet_minimize Pet_rules Pet_valuation Printf QCheck2 QCheck_alcotest String

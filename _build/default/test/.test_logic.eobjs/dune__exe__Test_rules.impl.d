@@ -1,0 +1,1 @@
+test/test_rules.ml: Alcotest Fmt List Option Pet_casestudies Pet_logic Pet_rules Pet_valuation Printf QCheck2 QCheck_alcotest String

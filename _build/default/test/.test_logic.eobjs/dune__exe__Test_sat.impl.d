@@ -1,0 +1,1 @@
+test/test_sat.ml: Alcotest Array Bool Fmt Fun List Pet_sat Printf QCheck2 QCheck_alcotest Stdlib String

@@ -1,0 +1,1 @@
+test/test_stress.ml: Alcotest Fun List Pet_game Pet_logic Pet_minimize Pet_pet Pet_rules Pet_valuation

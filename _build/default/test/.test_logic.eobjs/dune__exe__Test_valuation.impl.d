@@ -1,0 +1,1 @@
+test/test_valuation.ml: Alcotest Bool List Pet_logic Pet_valuation QCheck2 QCheck_alcotest String

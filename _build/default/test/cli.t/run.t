@@ -1,0 +1,224 @@
+The minimize subcommand prints the MAS of a fully filled form
+(Algorithm 1 on the paper's running example):
+
+  $ ../../bin/pet.exe minimize running -v 111
+  _11  proves {b1}
+  1__  proves {b1}
+
+  $ ../../bin/pet.exe minimize running -v 100
+  100  proves {b1, b2, b3}
+
+The consent report (Algorithm 2 recommendation, payoffs, disclosures):
+
+  $ ../../bin/pet.exe inform running -v 111
+  Your full form:    111
+  Benefits due:      b1
+  You have 2 way(s) to prove eligibility:
+    _11   <- recommended
+      hides 1 predicate(s) from any attacker; 1 other applicant(s) look identical
+    1__
+      hides 0 predicate(s) from any attacker; 0 other applicant(s) look identical
+      note: not sending p2, p3 still reveals p2=1, p3=1
+  Minimization: 33% of the form stays blank
+
+JSON output for machine consumption:
+
+  $ ../../bin/pet.exe inform running -v 011 --json
+  {"valuation":"011","granted":["b1"],"options":[{"mas":"_11","benefits":["b1"],"po_blank":1,"po_sm":1,"po_weighted":null,"published":[{"p2":true},{"p3":true}],"deduced":[],"protected":["p1"],"crowd":2,"recommended":true}],"minimization_ratio":0.33333333333333331}
+
+The atlas subcommand reproduces Tables 2 and 3 for H-cov:
+
+  $ ../../bin/pet.exe atlas hcov
+  Number of MAS: 6
+  Number of valuations: 1560
+  Number of predicates per MAS: 2 to 6
+  Number of valuations with 1 MAS: 1272
+  Number of valuations with 2 MAS: 280
+  Number of valuations with 3 MAS: 8
+  
+  
+  MAS                  potential   forced    plays    payoff
+  0__________1              1024      744     1024        10
+  0_0__1___11_               128       56       64         6
+  0_0_10__1___               128       64       64         6
+  0_0_1110____                64       24       24         5
+  0_110_______               256      128      128         7
+  110_0_______               256      256      256         8
+
+Figure 1 as DOT:
+
+  $ ../../bin/pet.exe graph running --figure lattice | head -5
+  digraph exposure {
+    rankdir=BT;
+    node [shape=box];
+    "_11" [label="_11\n{b1}", style=bold];
+    "011" [label="011\n{b1}", fontname="Times-Italic"];
+
+Errors are reported cleanly:
+
+  $ ../../bin/pet.exe minimize running -v 11
+  pet: Total.of_string: length mismatch
+  [124]
+
+  $ ../../bin/pet.exe check /nonexistent/file.rules
+  pet: /nonexistent/file.rules: No such file or directory
+  [124]
+
+Weighting a sensitive predicate (Section 4.2's extension) can flip the
+recommendation — Alice keeps "separated" deniable at the cost of
+publishing her student path:
+
+  $ ../../bin/pet.exe inform hcov -v 000011100111 --weight p12=5 | grep recommended
+    0_0__1___11_   <- recommended
+
+  $ ../../bin/pet.exe inform hcov -v 000011100111 --weight nosuch=2
+  pet: --weight: unknown predicate nosuch
+  [124]
+
+Population simulation:
+
+  $ ../../bin/pet.exe simulate running
+  population: 5 eligible valuations
+  equilibrium: Algorithm 2, Nash: true
+  average minimization: 26.7% of the form left blank
+
+Checking a user-authored rule file reports statistics and warns about
+collected-but-unused predicates:
+
+  $ cat > parking.rules <<'RULES'
+  > form resident senior disabled electric unused_marital_status
+  > benefits free_parking charging_discount
+  > rule free_parking := resident & (senior | disabled)
+  > rule charging_discount := resident & electric
+  > RULES
+
+  $ ../../bin/pet.exe check parking.rules
+  form resident senior disabled electric unused_marital_status
+  benefits free_parking charging_discount
+  rule free_parking := disabled & resident | resident & senior
+  rule charging_discount := electric & resident
+  
+  # 5 predicates, 2 benefits, 2 rules, 0 constraints
+  # warning: predicate unused_marital_status is collected but never used
+  # 32 realistic valuations, 14 eligible
+
+  $ ../../bin/pet.exe inform parking.rules -v 11010
+  Your full form:    11010
+  Benefits due:      free_parking, charging_discount
+  You have 1 way(s) to prove eligibility:
+    11_1_   <- recommended
+      hides 1 predicate(s) from any attacker; 1 other applicant(s) look identical
+      note: not sending disabled still reveals disabled=0
+  Minimization: 40% of the form stays blank
+
+A malformed rule file fails with the line number:
+
+  $ cat > broken.rules <<'RULES'
+  > form a b
+  > benefits x
+  > rule x := a &
+  > RULES
+
+  $ ../../bin/pet.exe check broken.rules
+  pet: line 3: parse error at offset 4: expected a formula but found end of input
+  [124]
+
+The typed questionnaire (the paper's GUI workflow): Alice answers the
+real H-cov questions; the raw age is compiled to the age-band
+predicates and discarded.
+
+  $ ../../bin/pet.exe fill hcov <<'ANSWERS'
+  > age = 24
+  > child_welfare = no
+  > broken_ties = no
+  > same_roof = no
+  > separate_tax = yes
+  > alimony = no
+  > has_child = no
+  > student = yes
+  > emergency_aid = yes
+  > separated = yes
+  > ANSWERS
+  Your full form:    000011100111
+  Benefits due:      b1
+  You have 3 way(s) to prove eligibility:
+    0__________1   <- recommended
+      hides 10 predicate(s) from any attacker; 1023 other applicant(s) look identical
+    0_0__1___11_
+      hides 7 predicate(s) from any attacker; 64 other applicant(s) look identical
+    0_0_1110____
+      hides 6 predicate(s) from any attacker; 24 other applicant(s) look identical
+  Minimization: 83% of the form stays blank
+
+Ill-typed or missing answers are rejected before anything is computed:
+
+  $ ../../bin/pet.exe fill hcov <<'ANSWERS'
+  > age = twenty
+  > ANSWERS
+  pet: age: expected a number
+  [124]
+
+  $ ../../bin/pet.exe fill running <<'ANSWERS'
+  > age = 28
+  > unemployed = yes
+  > ANSWERS
+  pet: missing answer for question location
+  [124]
+
+The over-collection audit finds predicates that no minimized proof ever
+needs — here q is asked for and even mentioned in the rules, but p
+alone always suffices:
+
+  $ cat > overcollect.rules <<'RULES'
+  > form p q r
+  > benefits b
+  > rule b := p | (p & q)
+  > RULES
+
+  $ ../../bin/pet.exe audit overcollect.rules
+  1 MAS over 4 valuations
+  
+  predicate                  in MAS players needing it
+  p                               1                  4
+  q                               0                  0
+  r                               0                  0
+  
+  over-collection: 2 of 3 predicates are never required by any minimized proof:
+    q, r
+
+  $ ../../bin/pet.exe audit hcov | tail -1
+  every predicate is needed by some minimized proof
+
+The quickstart example runs end to end:
+
+  $ ../../examples/quickstart.exe
+  --- consent report ---
+  Your full form:    011
+  Benefits due:      b1
+  You have 1 way(s) to prove eligibility:
+    _11   <- recommended
+      hides 1 predicate(s) from any attacker; 1 other applicant(s) look identical
+  Minimization: 33% of the form stays blank
+  
+  --- submitting _11 ---
+  granted: b1
+  audit: true
+
+Forms too large to enumerate are refused with a pointer to the symbolic
+audit, which handles them fine:
+
+  $ python3 -c "
+  > names = ' '.join('a%d' % i for i in range(1, 26))
+  > print('form ' + names)
+  > print('benefits b')
+  > print('rule b := a1 | (a2 & a3) | (a4 & a5 & a6)')
+  > " > big.rules
+
+  $ ../../bin/pet.exe atlas big.rules
+  pet: Atlas.build: form too large to enumerate; use Symbolic.build for the global statistics
+  [124]
+
+  $ ../../bin/pet.exe audit big.rules | head -3
+  3 MAS over 22544384 valuations
+  
+  predicate                  in MAS players needing it

@@ -1,0 +1,233 @@
+(* Tests for the ROBDD engine: unit behaviour plus qcheck cross-validation
+   against truth-table semantics of random formulas. *)
+
+module F = Pet_logic.Formula
+module Bdd = Pet_bdd.Bdd
+
+let nvars = 5
+let var_names = [| "p1"; "p2"; "p3"; "p4"; "p5" |]
+
+let index_of name =
+  let rec go i = if var_names.(i) = name then i else go (i + 1) in
+  go 0
+
+(* Compile a formula to a BDD over the fixed variable order. *)
+let rec compile m = function
+  | F.True -> Bdd.one
+  | F.False -> Bdd.zero
+  | F.Var x -> Bdd.var m (index_of x)
+  | F.Not f -> Bdd.neg m (compile m f)
+  | F.And (a, b) -> Bdd.conj m (compile m a) (compile m b)
+  | F.Or (a, b) -> Bdd.disj m (compile m a) (compile m b)
+  | F.Implies (a, b) -> Bdd.imp m (compile m a) (compile m b)
+  | F.Iff (a, b) -> Bdd.iff m (compile m a) (compile m b)
+
+let gen_formula =
+  QCheck2.Gen.(
+    sized_size (int_range 0 6) @@ fix (fun self n ->
+        if n = 0 then
+          oneof
+            [
+              return F.True;
+              return F.False;
+              map F.var (oneofl (Array.to_list var_names));
+            ]
+        else
+          let sub = self (n / 2) in
+          oneof
+            [
+              map F.var (oneofl (Array.to_list var_names));
+              map (fun f -> F.Not f) sub;
+              map2 (fun a b -> F.And (a, b)) sub sub;
+              map2 (fun a b -> F.Or (a, b)) sub sub;
+              map2 (fun a b -> F.Implies (a, b)) sub sub;
+              map2 (fun a b -> F.Iff (a, b)) sub sub;
+            ]))
+
+let rho_of_bits bits name = (bits lsr index_of name) land 1 = 1
+let int_rho_of_bits bits i = (bits lsr i) land 1 = 1
+
+(* --- Unit tests ------------------------------------------------------------ *)
+
+let test_terminals () =
+  Alcotest.(check bool) "taut one" true (Bdd.is_tautology Bdd.one);
+  Alcotest.(check bool) "unsat zero" true (Bdd.is_unsat Bdd.zero);
+  let m = Bdd.man () in
+  Alcotest.(check int) "neg one" Bdd.zero (Bdd.neg m Bdd.one);
+  Alcotest.(check int) "x & !x" Bdd.zero
+    (Bdd.conj m (Bdd.var m 0) (Bdd.nvar m 0));
+  Alcotest.(check int) "x | !x" Bdd.one
+    (Bdd.disj m (Bdd.var m 0) (Bdd.nvar m 0))
+
+let test_hash_consing () =
+  let m = Bdd.man () in
+  let a = Bdd.conj m (Bdd.var m 0) (Bdd.var m 1) in
+  let b = Bdd.conj m (Bdd.var m 1) (Bdd.var m 0) in
+  Alcotest.(check int) "commutative ands share the node" a b;
+  let c = Bdd.neg m (Bdd.disj m (Bdd.nvar m 0) (Bdd.nvar m 1)) in
+  Alcotest.(check int) "de morgan shares the node" a c
+
+let test_restrict () =
+  let m = Bdd.man () in
+  let f = Bdd.disj m (Bdd.var m 0) (Bdd.var m 1) in
+  Alcotest.(check int) "f[x:=1] = 1" Bdd.one (Bdd.restrict m f 0 true);
+  Alcotest.(check int) "f[x:=0] = y" (Bdd.var m 1) (Bdd.restrict m f 0 false)
+
+let test_exists () =
+  let m = Bdd.man () in
+  let f = Bdd.conj m (Bdd.var m 0) (Bdd.var m 1) in
+  Alcotest.(check int) "Ex. x&y = y" (Bdd.var m 1) (Bdd.exists m [ 0 ] f);
+  Alcotest.(check int) "Exy. x&y = 1" Bdd.one (Bdd.exists m [ 0; 1 ] f)
+
+let test_support () =
+  let m = Bdd.man () in
+  let f = Bdd.conj m (Bdd.var m 2) (Bdd.disj m (Bdd.var m 0) Bdd.one) in
+  Alcotest.(check (list int)) "support collapses" [ 2 ] (Bdd.support m f)
+
+let test_count_models () =
+  let m = Bdd.man () in
+  let f = Bdd.disj m (Bdd.var m 0) (Bdd.var m 1) in
+  Alcotest.(check int) "x|y over 2 vars" 3 (Bdd.count_models m ~nvars:2 f);
+  Alcotest.(check int) "x|y over 4 vars" 12 (Bdd.count_models m ~nvars:4 f);
+  Alcotest.(check int) "true over 4 vars" 16
+    (Bdd.count_models m ~nvars:4 Bdd.one);
+  Alcotest.(check int) "false" 0 (Bdd.count_models m ~nvars:4 Bdd.zero)
+
+let test_count_models_bad_nvars () =
+  let m = Bdd.man () in
+  let f = Bdd.var m 3 in
+  Alcotest.(check bool) "support check" true
+    (match Bdd.count_models m ~nvars:2 f with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_any_model () =
+  let m = Bdd.man () in
+  let f = Bdd.conj m (Bdd.var m 0) (Bdd.nvar m 2) in
+  (match Bdd.any_model m ~nvars:3 f with
+  | None -> Alcotest.fail "expected a model"
+  | Some a ->
+    Alcotest.(check bool) "x" true a.(0);
+    Alcotest.(check bool) "!z" false a.(2));
+  Alcotest.(check bool) "unsat has no model" true
+    (Bdd.any_model m ~nvars:3 Bdd.zero = None)
+
+(* --- Properties ------------------------------------------------------------- *)
+
+let prop_semantics =
+  QCheck2.Test.make ~count:500 ~name:"BDD agrees with truth table"
+    ~print:F.to_string gen_formula (fun f ->
+      let m = Bdd.man () in
+      let b = compile m f in
+      List.for_all
+        (fun bits ->
+          Bool.equal
+            (F.eval (rho_of_bits bits) f)
+            (Bdd.eval m b (int_rho_of_bits bits)))
+        (List.init (1 lsl nvars) Fun.id))
+
+let prop_count =
+  QCheck2.Test.make ~count:300 ~name:"count_models agrees with truth table"
+    ~print:F.to_string gen_formula (fun f ->
+      let m = Bdd.man () in
+      let b = compile m f in
+      let expected =
+        List.length
+          (List.filter
+             (fun bits -> F.eval (rho_of_bits bits) f)
+             (List.init (1 lsl nvars) Fun.id))
+      in
+      Bdd.count_models m ~nvars b = expected)
+
+let prop_iter_matches_count =
+  QCheck2.Test.make ~count:300 ~name:"iter_models yields count_models models"
+    ~print:F.to_string gen_formula (fun f ->
+      let m = Bdd.man () in
+      let b = compile m f in
+      let seen = ref [] in
+      Bdd.iter_models m ~nvars b (fun a -> seen := Array.copy a :: !seen);
+      List.length !seen = Bdd.count_models m ~nvars b
+      && List.for_all
+           (fun a -> Bdd.eval m b (fun i -> a.(i)))
+           !seen
+      && List.length (List.sort_uniq Stdlib.compare !seen) = List.length !seen)
+
+let prop_canonicity =
+  QCheck2.Test.make ~count:300 ~name:"equivalent formulas share one node"
+    ~print:(fun (a, b) -> F.to_string a ^ " vs " ^ F.to_string b)
+    QCheck2.Gen.(tup2 gen_formula gen_formula)
+    (fun (f, g) ->
+      let m = Bdd.man () in
+      let bf = compile m f and bg = compile m g in
+      Bool.equal (bf = bg) (F.equivalent f g))
+
+let prop_exists_is_disjunction_of_cofactors =
+  QCheck2.Test.make ~count:300
+    ~name:"exists v. f = f[v:=0] | f[v:=1]" ~print:F.to_string gen_formula
+    (fun f ->
+      let m = Bdd.man () in
+      let b = compile m f in
+      List.for_all
+        (fun v ->
+          Bdd.exists m [ v ] b
+          = Bdd.disj m (Bdd.restrict m b v false) (Bdd.restrict m b v true))
+        (List.init nvars Fun.id))
+
+let prop_support_is_exact =
+  QCheck2.Test.make ~count:300
+    ~name:"support contains exactly the variables that matter"
+    ~print:F.to_string gen_formula (fun f ->
+      let m = Bdd.man () in
+      let b = compile m f in
+      let support = Bdd.support m b in
+      List.for_all
+        (fun v ->
+          let matters =
+            Bdd.restrict m b v false <> Bdd.restrict m b v true
+          in
+          Bool.equal matters (List.mem v support))
+        (List.init nvars Fun.id))
+
+let prop_negation_involutive =
+  QCheck2.Test.make ~count:300 ~name:"neg (neg f) = f" ~print:F.to_string
+    gen_formula (fun f ->
+      let m = Bdd.man () in
+      let b = compile m f in
+      Bdd.neg m (Bdd.neg m b) = b
+      && Bdd.xor m b b = Bdd.zero
+      && Bdd.iff m b b = Bdd.one)
+
+let prop_tautology =
+  QCheck2.Test.make ~count:300 ~name:"is_tautology agrees with enumeration"
+    ~print:F.to_string gen_formula (fun f ->
+      let m = Bdd.man () in
+      Bool.equal (Bdd.is_tautology (compile m f)) (F.tautology f))
+
+let () =
+  let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests) in
+  Alcotest.run "pet_bdd"
+    [
+      ( "bdd-unit",
+        [
+          Alcotest.test_case "terminals" `Quick test_terminals;
+          Alcotest.test_case "hash consing" `Quick test_hash_consing;
+          Alcotest.test_case "restrict" `Quick test_restrict;
+          Alcotest.test_case "exists" `Quick test_exists;
+          Alcotest.test_case "support" `Quick test_support;
+          Alcotest.test_case "count models" `Quick test_count_models;
+          Alcotest.test_case "count models bad nvars" `Quick
+            test_count_models_bad_nvars;
+          Alcotest.test_case "any model" `Quick test_any_model;
+        ] );
+      qsuite "bdd-properties"
+        [
+          prop_semantics;
+          prop_count;
+          prop_iter_matches_count;
+          prop_canonicity;
+          prop_tautology;
+          prop_exists_is_disjunction_of_cofactors;
+          prop_support_is_exact;
+          prop_negation_involutive;
+        ];
+    ]

@@ -1,0 +1,616 @@
+(* Tests for Algorithm 1, the atlas, the baseline and the figure
+   machinery, against the paper's running example (Sections 3.1-3.3,
+   Figures 1 and 2). *)
+
+module F = Pet_logic.Formula
+module Parse = Pet_logic.Parse
+module Universe = Pet_valuation.Universe
+module Total = Pet_valuation.Total
+module Partial = Pet_valuation.Partial
+module Rule = Pet_rules.Rule
+module Exposure = Pet_rules.Exposure
+module Engine = Pet_rules.Engine
+module A1 = Pet_minimize.Algorithm1
+module Atlas = Pet_minimize.Atlas
+module Baseline = Pet_minimize.Baseline
+module Lattice = Pet_minimize.Lattice
+module Dot = Pet_minimize.Dot
+module Running = Pet_casestudies.Running
+module Hcov = Pet_casestudies.Hcov
+
+let running_engine () = Engine.create ~backend:Engine.Bdd (Running.exposure ())
+
+let mas_strings engine ?mode v =
+  List.map
+    (fun (c : A1.choice) -> Partial.to_string c.A1.mas)
+    (A1.mas_of ?mode engine v)
+
+let total s =
+  Total.of_string (Universe.of_names [ "p1"; "p2"; "p3" ]) s
+
+(* --- Algorithm 1 on the running example --------------------------------- *)
+
+let test_mas_running_example () =
+  let engine = running_engine () in
+  (* Figure 1: MAS of each eligible valuation. *)
+  Alcotest.(check (list string)) "111" [ "_11"; "1__" ]
+    (mas_strings engine (total "111"));
+  Alcotest.(check (list string)) "011" [ "_11" ] (mas_strings engine (total "011"));
+  Alcotest.(check (list string)) "110" [ "1_0" ] (mas_strings engine (total "110"));
+  Alcotest.(check (list string)) "101" [ "10_" ] (mas_strings engine (total "101"));
+  Alcotest.(check (list string)) "100" [ "100" ] (mas_strings engine (total "100"));
+  (* Applicants with no benefit send nothing. *)
+  Alcotest.(check (list string)) "000" [ "___" ] (mas_strings engine (total "000"))
+
+let test_mas_benefit_sets () =
+  let engine = running_engine () in
+  let choices = A1.mas_of engine (total "110") in
+  Alcotest.(check (list (list string))) "benefits recorded" [ [ "b1"; "b3" ] ]
+    (List.map (fun (c : A1.choice) -> c.A1.benefits) choices)
+
+let test_exact_mode_agrees_without_constraints () =
+  let engine = running_engine () in
+  List.iter
+    (fun s ->
+      Alcotest.(check (list string))
+        ("exact = chain for " ^ s)
+        (mas_strings engine (total s))
+        (mas_strings engine ~mode:A1.Exact (total s)))
+    [ "111"; "011"; "110"; "101"; "100" ]
+
+let test_is_accurate () =
+  let engine = running_engine () in
+  let w s = Partial.of_string (Universe.of_names [ "p1"; "p2"; "p3" ]) s in
+  (* Figure 1: 11_ is accurate for 111 but not minimal. *)
+  Alcotest.(check bool) "11_ accurate for 111" true
+    (A1.is_accurate engine (total "111") (w "11_"));
+  Alcotest.(check bool) "_11 accurate for 111" true
+    (A1.is_accurate engine (total "111") (w "_11"));
+  Alcotest.(check bool) "_1_ not accurate for 111" false
+    (A1.is_accurate engine (total "111") (w "_1_"));
+  Alcotest.(check bool) "11_ not accurate for 110" false
+    (A1.is_accurate engine (total "110") (w "11_"));
+  Alcotest.(check bool) "not a subvaluation" false
+    (A1.is_accurate engine (total "110") (w "_11"))
+
+let test_unrealistic_rejected () =
+  let engine = Engine.create ~backend:Engine.Bdd (Hcov.exposure ()) in
+  let xp = Exposure.xp (Hcov.exposure ()) in
+  (* p1 (under 16) and p5 (adult below 25) together violate R_ADD. *)
+  let v = Total.of_string xp "100010000000" in
+  Alcotest.(check bool) "rejected" true
+    (match A1.mas_of engine v with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_potential_players () =
+  let engine = running_engine () in
+  let xp = Universe.of_names [ "p1"; "p2"; "p3" ] in
+  let players s =
+    List.map Total.to_string
+      (A1.potential_players engine (Partial.of_string xp s))
+  in
+  (* Figure 2: _11 can be played by 011 and 111; 1__ only by 111. *)
+  Alcotest.(check (list string)) "_11" [ "011"; "111" ] (players "_11");
+  Alcotest.(check (list string)) "1__" [ "111" ] (players "1__");
+  Alcotest.(check (list string)) "1_0" [ "110" ] (players "1_0")
+
+(* --- Chain closure -------------------------------------------------------- *)
+
+let test_chain_close () =
+  let e = Hcov.exposure () in
+  let xp = Exposure.xp e in
+  let close assoc =
+    Partial.to_string (A1.chain_close e (Partial.of_assoc xp assoc))
+  in
+  (* p12 -> !p1. *)
+  Alcotest.(check string) "p12 chains !p1" "0__________1"
+    (close [ ("p12", true) ]);
+  (* p3 -> !p1 & !p5, but no contrapositive chaining: p10 stays blank. *)
+  Alcotest.(check string) "p3 p4 chain" "0_110_______"
+    (close [ ("p3", true); ("p4", true) ]);
+  (* p10 -> !p1 & !p3 (the calibration rule). *)
+  Alcotest.(check string) "p10 chains" "0_0______1__"
+    (close [ ("p10", true) ])
+
+let test_chain_close_idempotent_monotone () =
+  let e = Hcov.exposure () in
+  let xp = Exposure.xp e in
+  (* Idempotence and monotonicity over a sweep of consistent partials. *)
+  List.iter
+    (fun assoc ->
+      let w = Partial.of_assoc xp assoc in
+      let c = A1.chain_close e w in
+      Alcotest.(check bool) "extensive" true (Partial.subvaluation w c);
+      Alcotest.(check bool) "idempotent" true
+        (Partial.equal c (A1.chain_close e c)))
+    [
+      [];
+      [ ("p12", true) ];
+      [ ("p3", true); ("p4", true) ];
+      [ ("p10", true); ("p6", true) ];
+      [ ("p2", false) ];
+    ];
+  (* Contradictory chaining is reported. *)
+  Alcotest.(check bool) "contradiction detected" true
+    (match
+       A1.chain_close e (Partial.of_assoc xp [ ("p12", true); ("p1", true) ])
+     with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* --- Atlas ------------------------------------------------------------------ *)
+
+let test_atlas_running () =
+  let atlas = Atlas.build (running_engine ()) in
+  Alcotest.(check int) "5 MAS" 5 (Atlas.mas_count atlas);
+  Alcotest.(check int) "5 valuations" 5 (Atlas.player_count atlas);
+  Alcotest.(check (list (pair int int))) "choice distribution"
+    [ (1, 4); (2, 1) ]
+    (Atlas.choice_distribution atlas);
+  Alcotest.(check (pair int int)) "domain range" (1, 3)
+    (Atlas.domain_size_range atlas);
+  (* Lexicographic order of the MAS set. *)
+  Alcotest.(check (list string)) "mas order"
+    [ "_11"; "1__"; "1_0"; "10_"; "100" ]
+    (List.map
+       (fun (c : A1.choice) -> Partial.to_string c.A1.mas)
+       (Atlas.mas_list atlas));
+  (* The forced players of _11 are exactly 011. *)
+  let m11 =
+    Option.get
+      (Atlas.find_mas atlas
+         (Partial.of_string (Universe.of_names [ "p1"; "p2"; "p3" ]) "_11"))
+  in
+  Alcotest.(check (list string)) "forced of _11" [ "011" ]
+    (List.map
+       (fun i -> Total.to_string (Atlas.player atlas i))
+       (Atlas.forced_players_of_mas atlas m11))
+
+(* --- Random-problem properties ----------------------------------------------- *)
+
+let gen_problem =
+  QCheck2.Gen.(
+    let gen_lit =
+      let* v = int_range 1 4 in
+      let* sign = bool in
+      return
+        (if sign then F.var (Printf.sprintf "p%d" v)
+         else F.neg (F.var (Printf.sprintf "p%d" v)))
+    in
+    let gen_conj =
+      let* lits = list_size (int_range 1 3) gen_lit in
+      return (F.conj lits)
+    in
+    let gen_dnf =
+      let* conjs = list_size (int_range 1 3) gen_conj in
+      return (F.disj conjs)
+    in
+    let* f1 = gen_dnf in
+    let* f2 = gen_dnf in
+    return (f1, f2))
+
+let make_problem (f1, f2) =
+  let xp = Universe.of_names [ "p1"; "p2"; "p3"; "p4" ] in
+  let xb = Universe.of_names [ "b1"; "b2" ] in
+  Exposure.create ~xp ~xb
+    ~rules:
+      [ Rule.of_formula ~benefit:"b1" f1; Rule.of_formula ~benefit:"b2" f2 ]
+    ()
+
+let print_problem (f1, f2) = Fmt.str "b1:=%a b2:=%a" F.pp f1 F.pp f2
+
+let prop_mas_are_accurate =
+  QCheck2.Test.make ~count:150 ~name:"every MAS is accurate" ~print:print_problem
+    gen_problem (fun fs ->
+      let e = make_problem fs in
+      let engine = Engine.create ~backend:Engine.Bdd e in
+      List.for_all
+        (fun v ->
+          List.for_all
+            (fun (c : A1.choice) -> A1.is_accurate engine v c.A1.mas)
+            (A1.mas_of engine v))
+        (Exposure.eligible e))
+
+let prop_mas_incomparable =
+  QCheck2.Test.make ~count:150 ~name:"MAS of a player are incomparable"
+    ~print:print_problem gen_problem (fun fs ->
+      let e = make_problem fs in
+      let engine = Engine.create ~backend:Engine.Bdd e in
+      List.for_all
+        (fun v ->
+          let mas = List.map (fun c -> c.A1.mas) (A1.mas_of engine v) in
+          List.for_all
+            (fun a ->
+              List.for_all
+                (fun b ->
+                  Partial.equal a b || not (Partial.subvaluation a b))
+                mas)
+            mas)
+        (Exposure.eligible e))
+
+let prop_exact_minimal =
+  QCheck2.Test.make ~count:100
+    ~name:"Exact mode output is minimal among accurate subvaluations"
+    ~print:print_problem gen_problem (fun fs ->
+      let e = make_problem fs in
+      let engine = Engine.create ~backend:Engine.Bdd e in
+      List.for_all
+        (fun v ->
+          let exact = A1.mas_of ~mode:A1.Exact engine v in
+          List.for_all
+            (fun (c : A1.choice) ->
+              (* no strict accurate subvaluation *)
+              let doms = Partial.domain c.A1.mas in
+              List.for_all
+                (fun removed ->
+                  let w' =
+                    Partial.restrict c.A1.mas
+                      (List.filter (( <> ) removed) doms)
+                  in
+                  not (A1.is_accurate engine v w'))
+                doms)
+            exact)
+        (Exposure.eligible e))
+
+(* Theorem 3.17, property (1) in Exact mode: every accurate subvaluation
+   extends some MAS. *)
+let prop_every_accurate_covers_a_mas =
+  QCheck2.Test.make ~count:80
+    ~name:"every accurate subvaluation extends an Exact-mode MAS"
+    ~print:print_problem gen_problem (fun fs ->
+      let e = make_problem fs in
+      let xp = Exposure.xp e in
+      let engine = Engine.create ~backend:Engine.Bdd e in
+      List.for_all
+        (fun v ->
+          let exact =
+            List.map (fun c -> c.A1.mas) (A1.mas_of ~mode:A1.Exact engine v)
+          in
+          let bits = Total.bits v in
+          List.for_all
+            (fun dom ->
+              let w = Partial.of_masks xp ~dom ~bits:(bits land dom) in
+              (not (A1.is_accurate engine v w))
+              || List.exists (fun m -> Partial.subvaluation m w) exact)
+            (List.init 16 Fun.id))
+        (Exposure.eligible e))
+
+let prop_baseline_proves_benefits =
+  QCheck2.Test.make ~count:150
+    ~name:"baseline disclosure grants at least the due benefits"
+    ~print:print_problem gen_problem (fun fs ->
+      let e = make_problem fs in
+      let engine = Engine.create ~backend:Engine.Bdd e in
+      List.for_all
+        (fun v ->
+          let r = Baseline.minimize engine v in
+          let granted = Engine.benefits_of_total engine v in
+          List.for_all
+            (fun b -> List.mem b (Engine.benefits engine r.Baseline.disclosed))
+            granted)
+        (Exposure.eligible e))
+
+let prop_chain_mas_no_bigger_than_baseline_plus_closure =
+  QCheck2.Test.make ~count:150
+    ~name:"algorithm 1 discloses no more than the baseline plus deductions"
+    ~print:print_problem gen_problem (fun fs ->
+      let e = make_problem fs in
+      let engine = Engine.create ~backend:Engine.Bdd e in
+      List.for_all
+        (fun v ->
+          let best_mas =
+            List.fold_left
+              (fun acc (c : A1.choice) ->
+                min acc (Partial.domain_size c.A1.mas))
+              max_int (A1.mas_of engine v)
+          in
+          let b = Baseline.minimize engine v in
+          (* The baseline picks one conjunction per benefit without the
+             closure, so the smallest MAS is at most the baseline
+             disclosure plus its chained consequences. *)
+          best_mas
+          <= Partial.domain_size (A1.chain_close e b.Baseline.disclosed))
+        (Exposure.eligible e))
+
+(* --- Baseline on H-cov ---------------------------------------------------------- *)
+
+let test_baseline_hcov_overestimates () =
+  let e = Hcov.exposure () in
+  let engine = Engine.create ~backend:Engine.Bdd e in
+  let bob = Hcov.bob () in
+  let r = Baseline.minimize engine bob in
+  (* The baseline reveals the young-adult conjunction without the closure
+     literals... *)
+  Alcotest.(check string) "baseline discloses" "____1110____"
+    (Partial.to_string r.Baseline.disclosed);
+  Alcotest.(check int) "claims 8 blanks" 8 r.Baseline.claimed_blanks;
+  (* ...but p1 and p3 are deducible from the rules, so two of the claimed
+     blanks are not protected at all. *)
+  Alcotest.(check int) "2 blanks leak" 2
+    (Baseline.rule_level_leak engine r.Baseline.disclosed)
+
+(* --- Symbolic atlas -------------------------------------------------------------- *)
+
+module Symbolic = Pet_minimize.Symbolic
+
+(* The symbolic statistics equal the enumerated atlas on the case
+   studies, row by row. *)
+let symbolic_agrees exposure =
+  let atlas = Atlas.build (Engine.create ~backend:Engine.Bdd exposure) in
+  let sym = Symbolic.build exposure in
+  Alcotest.(check int) "mas count" (Atlas.mas_count atlas)
+    (Symbolic.mas_count sym);
+  Alcotest.(check int) "valuations" (Atlas.player_count atlas)
+    (Symbolic.valuation_count sym);
+  Alcotest.(check (pair int int)) "domains" (Atlas.domain_size_range atlas)
+    (Symbolic.domain_size_range sym);
+  Alcotest.(check (list (pair int int)))
+    "choice distribution"
+    (Atlas.choice_distribution atlas)
+    (Symbolic.choice_distribution sym);
+  List.iteri
+    (fun i (s : Symbolic.mas_stats) ->
+      let c = Atlas.mas atlas i in
+      Alcotest.(check string)
+        (Fmt.str "mas %d" i)
+        (Partial.to_string c.A1.mas)
+        (Partial.to_string s.Symbolic.mas);
+      Alcotest.(check (list string)) "benefits" c.A1.benefits
+        s.Symbolic.benefits;
+      Alcotest.(check int) "potential"
+        (List.length (Atlas.players_of_mas atlas i))
+        s.Symbolic.potential;
+      let forced = Atlas.forced_players_of_mas atlas i in
+      Alcotest.(check int) "forced" (List.length forced) s.Symbolic.forced;
+      let po crowd =
+        int_of_float
+          (Pet_game.Payoff.value atlas Pet_game.Payoff.Blank ~mas:i ~crowd)
+      in
+      Alcotest.(check int) "po forced" (po forced) s.Symbolic.po_blank_forced;
+      Alcotest.(check int) "po potential"
+        (po (Atlas.players_of_mas atlas i))
+        s.Symbolic.po_blank_potential)
+    (Symbolic.stats sym)
+
+let test_symbolic_casestudies () =
+  symbolic_agrees (Running.exposure ());
+  symbolic_agrees (Hcov.exposure ());
+  symbolic_agrees (Pet_casestudies.Loan.exposure ())
+
+let test_symbolic_modes () =
+  (* Entail mode agrees with the enumerated Entail atlas on H-cov. *)
+  let exposure = Hcov.exposure () in
+  let atlas =
+    Atlas.build ~mode:A1.Entail (Engine.create ~backend:Engine.Bdd exposure)
+  in
+  let sym = Symbolic.build ~mode:A1.Entail exposure in
+  Alcotest.(check int) "entail mas count" (Atlas.mas_count atlas)
+    (Symbolic.mas_count sym);
+  Alcotest.(check int) "entail valuations" (Atlas.player_count atlas)
+    (Symbolic.valuation_count sym);
+  Alcotest.(check bool) "exact rejected" true
+    (match Symbolic.build ~mode:A1.Exact exposure with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_atlas_size_guard () =
+  let exposure =
+    Pet_rules.Generate.exposure
+      ~config:
+        { Pet_rules.Generate.default with Pet_rules.Generate.predicates = 25 }
+      ~seed:1 ()
+  in
+  Alcotest.(check bool) "enumeration refused" true
+    (match Atlas.build (Engine.create ~backend:Engine.Bdd exposure) with
+    | exception Invalid_argument m ->
+      String.length m > 0
+      && String.sub m 0 11 = "Atlas.build"
+    | _ -> false);
+  (* The symbolic path handles the same form. *)
+  Alcotest.(check bool) "symbolic handles it" true
+    (Symbolic.mas_count (Symbolic.build exposure) >= 0)
+
+let test_symbolic_equilibrium () =
+  (* The bloc variant reproduces the explicit Algorithm 2 crowds on the
+     case studies where dominance drives every commitment... *)
+  List.iter
+    (fun exposure ->
+      let atlas = Atlas.build (Engine.create ~backend:Engine.Bdd exposure) in
+      let profile =
+        Pet_game.Strategy.compute ~payoff:Pet_game.Payoff.Sm atlas
+      in
+      let explicit =
+        List.init (Atlas.mas_count atlas) (fun m ->
+            Pet_game.Profile.crowd_size profile m)
+      in
+      let eq = Symbolic.equilibrium (Symbolic.build exposure) in
+      Alcotest.(check (list int)) "crowds" explicit eq.Symbolic.crowds;
+      Alcotest.(check bool) "nash" true eq.Symbolic.nash)
+    [ Running.exposure (); Hcov.exposure (); Pet_casestudies.Loan.exposure () ];
+  (* ...and on RSA it may settle on a different — but still Nash —
+     equilibrium; total play is conserved either way. *)
+  let sym = Symbolic.build (Pet_casestudies.Rsa.exposure ()) in
+  let eq = Symbolic.equilibrium sym in
+  Alcotest.(check bool) "rsa nash" true eq.Symbolic.nash;
+  Alcotest.(check int) "rsa conservation" (Symbolic.valuation_count sym)
+    (List.fold_left ( + ) 0 eq.Symbolic.crowds)
+
+let test_symbolic_scales () =
+  (* A 32-predicate random problem: far beyond enumeration. *)
+  let exposure =
+    Pet_rules.Generate.exposure
+      ~config:
+        { Pet_rules.Generate.default with
+          Pet_rules.Generate.predicates = 32;
+          benefits = 3;
+        }
+      ~seed:42 ()
+  in
+  let sym = Symbolic.build exposure in
+  Alcotest.(check bool) "has MAS" true (Symbolic.mas_count sym > 0);
+  Alcotest.(check bool) "beyond enumeration" true
+    (Symbolic.valuation_count sym > 1_000_000);
+  (* The equilibrium is computable at this scale too, and play is
+     conserved. *)
+  let eq = Symbolic.equilibrium sym in
+  Alcotest.(check int) "conservation" (Symbolic.valuation_count sym)
+    (List.fold_left ( + ) 0 eq.Symbolic.crowds)
+
+let prop_symbolic_matches_atlas =
+  QCheck2.Test.make ~count:100
+    ~name:"symbolic statistics equal the enumerated atlas"
+    ~print:print_problem gen_problem (fun fs ->
+      let e = make_problem fs in
+      let atlas = Atlas.build (Engine.create ~backend:Engine.Bdd e) in
+      let sym = Symbolic.build e in
+      Atlas.mas_count atlas = Symbolic.mas_count sym
+      && Atlas.player_count atlas = Symbolic.valuation_count sym
+      && Atlas.choice_distribution atlas = Symbolic.choice_distribution sym
+      && List.for_all2
+           (fun i (s : Symbolic.mas_stats) ->
+             let c = Atlas.mas atlas i in
+             Partial.equal c.A1.mas s.Symbolic.mas
+             && List.length (Atlas.players_of_mas atlas i) = s.Symbolic.potential
+             && List.length (Atlas.forced_players_of_mas atlas i)
+                = s.Symbolic.forced)
+           (List.init (Atlas.mas_count atlas) Fun.id)
+           (Symbolic.stats sym))
+
+(* --- Lattice & DOT (Figure 1 / Figure 2) -------------------------------------- *)
+
+let test_lattice_matches_figure1 () =
+  let atlas = Atlas.build (running_engine ()) in
+  let lattice = Lattice.build atlas in
+  let nodes =
+    List.sort String.compare
+      (List.map
+         (fun (n : Lattice.node) -> Partial.to_string n.Lattice.w)
+         lattice.Lattice.nodes)
+  in
+  (* Exactly the eleven nodes drawn in Figure 1. *)
+  Alcotest.(check (list string)) "figure 1 nodes"
+    (List.sort String.compare
+       [
+         "111"; "011"; "110"; "101"; "100"; "_11"; "1__"; "11_"; "1_1"; "1_0";
+         "10_";
+       ])
+    nodes;
+  let kind s =
+    match
+      Lattice.node_of lattice
+        (Partial.of_string (Universe.of_names [ "p1"; "p2"; "p3" ]) s)
+    with
+    | Some n -> n.Lattice.kind
+    | None -> Alcotest.fail ("missing node " ^ s)
+  in
+  Alcotest.(check bool) "_11 is MAS" true (kind "_11" = Lattice.Mas);
+  Alcotest.(check bool) "11_ is gray" true (kind "11_" = Lattice.Accurate);
+  Alcotest.(check bool) "111 is valuation" true
+    (kind "111" = Lattice.Valuation);
+  Alcotest.(check bool) "100 is MAS" true (kind "100" = Lattice.Mas);
+  (* Edge spot checks from Figure 1. *)
+  let edge a b =
+    List.exists
+      (fun (x, y) ->
+        Partial.to_string x = a && Partial.to_string y = b)
+      lattice.Lattice.edges
+  in
+  Alcotest.(check bool) "1__ -> 11_" true (edge "1__" "11_");
+  Alcotest.(check bool) "11_ -> 111" true (edge "11_" "111");
+  Alcotest.(check bool) "_11 -> 011" true (edge "_11" "011");
+  Alcotest.(check bool) "_11 -> 111" true (edge "_11" "111");
+  Alcotest.(check bool) "1_0 -> 110" true (edge "1_0" "110");
+  Alcotest.(check bool) "10_ -> 101" true (edge "10_" "101");
+  (* "100 has no accurate subvaluations other than itself". *)
+  Alcotest.(check bool) "nothing -> 100" false
+    (List.exists
+       (fun (_, y) -> Partial.to_string y = "100")
+       lattice.Lattice.edges)
+
+let test_figure2_component () =
+  let atlas = Atlas.build (running_engine ()) in
+  let players, mas = Dot.component atlas (total "111") in
+  Alcotest.(check (list string)) "component players" [ "011"; "111" ]
+    (List.map (fun i -> Total.to_string (Atlas.player atlas i)) players);
+  Alcotest.(check (list string)) "component mas" [ "_11"; "1__" ]
+    (List.map
+       (fun i -> Partial.to_string (Atlas.mas atlas i).A1.mas)
+       mas)
+
+let test_dot_outputs () =
+  let atlas = Atlas.build (running_engine ()) in
+  let contains haystack needle =
+    let nh = String.length haystack and nn = String.length needle in
+    let rec go i =
+      i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1))
+    in
+    go 0
+  in
+  let dot1 = Dot.lattice (Lattice.build atlas) in
+  Alcotest.(check bool) "digraph" true (contains dot1 "digraph");
+  Alcotest.(check bool) "MAS styled bold" true
+    (contains dot1 "\"_11\" [label=\"_11\\n{b1}\", style=bold]");
+  let dot2 = Dot.choices atlas (total "111") in
+  Alcotest.(check bool) "edge _11 -> 111" true
+    (contains dot2 "\"_11\" -> \"111\"");
+  Alcotest.(check bool) "edge _11 -> 011" true
+    (contains dot2 "\"_11\" -> \"011\"");
+  Alcotest.(check bool) "not a player" true
+    (match Dot.choices atlas (total "000") with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let () =
+  let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests) in
+  Alcotest.run "pet_minimize"
+    [
+      ( "algorithm1",
+        [
+          Alcotest.test_case "running example MAS" `Quick
+            test_mas_running_example;
+          Alcotest.test_case "benefit sets" `Quick test_mas_benefit_sets;
+          Alcotest.test_case "exact mode agrees" `Quick
+            test_exact_mode_agrees_without_constraints;
+          Alcotest.test_case "is_accurate" `Quick test_is_accurate;
+          Alcotest.test_case "unrealistic rejected" `Quick
+            test_unrealistic_rejected;
+          Alcotest.test_case "potential players" `Quick test_potential_players;
+          Alcotest.test_case "chain closure" `Quick test_chain_close;
+          Alcotest.test_case "closure laws" `Quick
+            test_chain_close_idempotent_monotone;
+        ] );
+      ("atlas", [ Alcotest.test_case "running example" `Quick test_atlas_running ]);
+      ( "baseline",
+        [
+          Alcotest.test_case "hcov overestimate" `Quick
+            test_baseline_hcov_overestimates;
+        ] );
+      ( "symbolic",
+        [
+          Alcotest.test_case "case studies agree" `Quick
+            test_symbolic_casestudies;
+          Alcotest.test_case "modes" `Quick test_symbolic_modes;
+          Alcotest.test_case "equilibrium" `Quick test_symbolic_equilibrium;
+          Alcotest.test_case "atlas size guard" `Quick test_atlas_size_guard;
+          Alcotest.test_case "scales to 32 predicates" `Quick
+            test_symbolic_scales;
+        ] );
+      ( "figures",
+        [
+          Alcotest.test_case "figure 1 lattice" `Quick
+            test_lattice_matches_figure1;
+          Alcotest.test_case "figure 2 component" `Quick test_figure2_component;
+          Alcotest.test_case "dot outputs" `Quick test_dot_outputs;
+        ] );
+      qsuite "properties"
+        [
+          prop_mas_are_accurate;
+          prop_mas_incomparable;
+          prop_exact_minimal;
+          prop_every_accurate_covers_a_mas;
+          prop_baseline_proves_benefits;
+          prop_chain_mas_no_bigger_than_baseline_plus_closure;
+          prop_symbolic_matches_atlas;
+        ];
+    ]

@@ -1,0 +1,348 @@
+(* Tests for the PET facade: typed forms, consent reports, the Figure-3
+   workflow, and the JSON emitter. *)
+
+module Universe = Pet_valuation.Universe
+module Total = Pet_valuation.Total
+module Partial = Pet_valuation.Partial
+module Engine = Pet_rules.Engine
+module Atlas = Pet_minimize.Atlas
+module Strategy = Pet_game.Strategy
+module Form = Pet_pet.Form
+module Report = Pet_pet.Report
+module Workflow = Pet_pet.Workflow
+module Json = Pet_pet.Json
+module Running = Pet_casestudies.Running
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i =
+    i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1))
+  in
+  go 0
+
+(* --- The district-council typed form (the paper's Section 2.2 data) --------- *)
+
+let district_form () =
+  let open Form in
+  create ~exposure:(Running.exposure ())
+    ~questions:
+      [
+        { key = "age"; text = "How old are you?"; kind = Kint };
+        { key = "unemployed"; text = "Are you unemployed?"; kind = Kbool };
+        {
+          key = "location";
+          text = "Where do you live?";
+          kind = Kchoice [ "suburbs"; "town center" ];
+        };
+      ]
+    ~predicates:
+      [
+        {
+          name = "p1";
+          description = "age <= 25";
+          compute =
+            (fun get ->
+              match get "age" with Aint n -> n <= 25 | _ -> assert false);
+        };
+        {
+          name = "p2";
+          description = "unemployed";
+          compute =
+            (fun get ->
+              match get "unemployed" with Abool b -> b | _ -> assert false);
+        };
+        {
+          name = "p3";
+          description = "lives in the suburbs";
+          compute =
+            (fun get ->
+              match get "location" with
+              | Achoice c -> c = "suburbs"
+              | _ -> assert false);
+        };
+      ]
+
+let test_form_valuations () =
+  let form = district_form () in
+  (* The paper's v1: age 28, unemployed, suburbs -> 011. *)
+  match
+    Form.valuation form
+      [
+        ("age", Form.Aint 28);
+        ("unemployed", Form.Abool true);
+        ("location", Form.Achoice "suburbs");
+      ]
+  with
+  | Error m -> Alcotest.fail m
+  | Ok v ->
+    Alcotest.(check string) "v1" "011" (Total.to_string v);
+    (* v2: age 20 -> 111. *)
+    (match
+       Form.valuation form
+         [
+           ("age", Form.Aint 20);
+           ("unemployed", Form.Abool true);
+           ("location", Form.Achoice "suburbs");
+         ]
+     with
+    | Error m -> Alcotest.fail m
+    | Ok v2 -> Alcotest.(check string) "v2" "111" (Total.to_string v2))
+
+let test_form_errors () =
+  let form = district_form () in
+  let fails answers =
+    match Form.valuation form answers with Error _ -> true | Ok _ -> false
+  in
+  Alcotest.(check bool) "missing answer" true
+    (fails [ ("age", Form.Aint 28) ]);
+  Alcotest.(check bool) "ill-typed" true
+    (fails
+       [
+         ("age", Form.Abool true);
+         ("unemployed", Form.Abool true);
+         ("location", Form.Achoice "suburbs");
+       ]);
+  Alcotest.(check bool) "bad choice" true
+    (fails
+       [
+         ("age", Form.Aint 28);
+         ("unemployed", Form.Abool true);
+         ("location", Form.Achoice "the moon");
+       ]);
+  Alcotest.(check bool) "unknown key" true
+    (fails
+       [
+         ("age", Form.Aint 28);
+         ("unemployed", Form.Abool true);
+         ("location", Form.Achoice "suburbs");
+         ("shoe_size", Form.Aint 43);
+       ])
+
+let test_form_validation () =
+  let exposure = Running.exposure () in
+  let q = { Form.key = "k"; text = "t"; kind = Form.Kbool } in
+  let predicate name =
+    {
+      Form.name;
+      description = "";
+      compute = (fun get -> get "k" = Form.Abool true);
+    }
+  in
+  let fails mk =
+    match mk () with exception Invalid_argument _ -> true | _ -> false
+  in
+  Alcotest.(check bool) "missing predicate" true
+    (fails (fun () ->
+         Form.create ~exposure ~questions:[ q ]
+           ~predicates:[ predicate "p1"; predicate "p2" ]));
+  Alcotest.(check bool) "unknown predicate" true
+    (fails (fun () ->
+         Form.create ~exposure ~questions:[ q ]
+           ~predicates:
+             [ predicate "p1"; predicate "p2"; predicate "p3"; predicate "zz" ]));
+  Alcotest.(check bool) "duplicate keys" true
+    (fails (fun () ->
+         Form.create ~exposure ~questions:[ q; q ]
+           ~predicates:[ predicate "p1"; predicate "p2"; predicate "p3" ]))
+
+(* --- Reports ------------------------------------------------------------------ *)
+
+let running_context () =
+  let atlas = Atlas.build (Engine.create ~backend:Engine.Bdd (Running.exposure ())) in
+  (atlas, Strategy.compute atlas)
+
+let test_report_111 () =
+  let atlas, profile = running_context () in
+  let u3 = Universe.of_names [ "p1"; "p2"; "p3" ] in
+  let r = Report.build atlas profile (Total.of_string u3 "111") in
+  Alcotest.(check (list string)) "granted" [ "b1" ] r.Report.granted;
+  Alcotest.(check int) "two options" 2 (List.length r.Report.options);
+  let rec_opt = Report.recommended r in
+  Alcotest.(check string) "recommended _11" "_11"
+    (Partial.to_string rec_opt.Report.mas);
+  Alcotest.(check (float 0.)) "po_blank 1" 1. rec_opt.Report.po_blank;
+  Alcotest.(check (float 0.)) "po_sm 1" 1. rec_opt.Report.po_sm;
+  (* The rejected option would reveal everything. *)
+  let other =
+    List.find (fun o -> not o.Report.recommended) r.Report.options
+  in
+  Alcotest.(check string) "other is 1__" "1__"
+    (Partial.to_string other.Report.mas);
+  Alcotest.(check (float 0.)) "other po_blank 0" 0. other.Report.po_blank;
+  Alcotest.(check (float 1e-9)) "ratio: 1 blank of 3" (1. /. 3.)
+    r.Report.minimization_ratio;
+  (* Rendering mentions the recommendation. *)
+  let text = Fmt.str "%a" Report.pp r in
+  Alcotest.(check bool) "text mentions recommended" true
+    (contains text "<- recommended")
+
+let test_report_not_player () =
+  let atlas, profile = running_context () in
+  let u3 = Universe.of_names [ "p1"; "p2"; "p3" ] in
+  Alcotest.(check bool) "000 rejected" true
+    (match Report.build atlas profile (Total.of_string u3 "000") with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_report_json () =
+  let atlas, profile = running_context () in
+  let u3 = Universe.of_names [ "p1"; "p2"; "p3" ] in
+  let r = Report.build atlas profile (Total.of_string u3 "111") in
+  let json = Json.to_string (Report.to_json r) in
+  List.iter
+    (fun fragment ->
+      Alcotest.(check bool) ("json contains " ^ fragment) true
+        (contains json fragment))
+    [
+      "\"valuation\":\"111\"";
+      "\"granted\":[\"b1\"]";
+      "\"mas\":\"_11\"";
+      "\"recommended\":true";
+      "\"po_blank\":1";
+    ]
+
+(* --- Workflow ------------------------------------------------------------------- *)
+
+let test_workflow_end_to_end () =
+  let provider = Workflow.provider (Running.exposure ()) in
+  let u3 = Universe.of_names [ "p1"; "p2"; "p3" ] in
+  (* Applicant side. *)
+  let report =
+    match Workflow.report_for provider (Total.of_string u3 "011") with
+    | Ok r -> r
+    | Error m -> Alcotest.fail m
+  in
+  let choice = Report.recommended report in
+  Alcotest.(check string) "011 sends _11" "_11"
+    (Partial.to_string choice.Report.mas);
+  (* Provider side: verification, grant, archive, audit. *)
+  (match Workflow.submit provider choice.Report.mas with
+  | Error m -> Alcotest.fail m
+  | Ok grant ->
+    Alcotest.(check (list string)) "b1 granted" [ "b1" ]
+      grant.Workflow.benefits;
+    Alcotest.(check bool) "audit passes" true (Workflow.audit provider grant);
+    (* A tampered record fails the audit. *)
+    let tampered = { grant with Workflow.benefits = [ "b2" ] } in
+    Alcotest.(check bool) "tampered audit fails" false
+      (Workflow.audit provider tampered))
+
+let test_workflow_rejections () =
+  let provider = Workflow.provider (Running.exposure ()) in
+  let u3 = Universe.of_names [ "p1"; "p2"; "p3" ] in
+  (* Ineligible applicant. *)
+  (match Workflow.report_for provider (Total.of_string u3 "000") with
+  | Ok _ -> Alcotest.fail "expected rejection"
+  | Error m ->
+    Alcotest.(check bool) "no benefit message" true
+      (contains m "no benefit"));
+  (* Unrealistic applicant (H-cov: p1 and p5 are exclusive). *)
+  let hprov = Workflow.provider (Pet_casestudies.Hcov.exposure ()) in
+  let hxp = Pet_rules.Exposure.xp (Pet_casestudies.Hcov.exposure ()) in
+  (match Workflow.report_for hprov (Total.of_string hxp "100010000000") with
+  | Ok _ -> Alcotest.fail "expected rejection"
+  | Error m -> Alcotest.(check bool) "contradiction" true (contains m "contradicts"));
+  (* Submitting an inconsistent form. *)
+  (match
+     Workflow.submit hprov
+       (Partial.of_assoc hxp [ ("p1", true); ("p5", true) ])
+   with
+  | Ok _ -> Alcotest.fail "expected rejection"
+  | Error m -> Alcotest.(check bool) "inconsistent" true (contains m "inconsistent"));
+  (* Submitting a form proving nothing. *)
+  match Workflow.submit provider (Partial.of_string u3 "_1_") with
+  | Ok _ -> Alcotest.fail "expected rejection"
+  | Error m -> Alcotest.(check bool) "proves nothing" true (contains m "proves no")
+
+
+(* The SAT backend drives the whole workflow just as well as the BDD
+   one (integration coverage for the incremental-solver path). *)
+let test_workflow_sat_backend () =
+  let provider =
+    Workflow.provider ~backend:Pet_rules.Engine.Sat (Running.exposure ())
+  in
+  let u3 = Universe.of_names [ "p1"; "p2"; "p3" ] in
+  match Workflow.report_for provider (Total.of_string u3 "111") with
+  | Error m -> Alcotest.fail m
+  | Ok report -> (
+    let choice = Report.recommended report in
+    Alcotest.(check string) "recommended" "_11"
+      (Partial.to_string choice.Report.mas);
+    match Workflow.submit provider choice.Report.mas with
+    | Error m -> Alcotest.fail m
+    | Ok grant ->
+      Alcotest.(check bool) "audit" true (Workflow.audit provider grant))
+
+(* --- Ledger -------------------------------------------------------------------- *)
+
+let test_ledger () =
+  let module Ledger = Pet_pet.Ledger in
+  let provider = Workflow.provider (Running.exposure ()) in
+  let u3 = Universe.of_names [ "p1"; "p2"; "p3" ] in
+  let ledger = Ledger.create () in
+  Alcotest.(check int) "empty" 0 (Ledger.size ledger);
+  let grant w =
+    match Workflow.submit provider (Partial.of_string u3 w) with
+    | Ok g -> g
+    | Error m -> Alcotest.fail m
+  in
+  let id0 = Ledger.record ledger (grant "_11") in
+  let id1 = Ledger.record ledger (grant "1_0") in
+  Alcotest.(check int) "ids sequential" 1 id1;
+  Alcotest.(check int) "size" 2 (Ledger.size ledger);
+  (* Storage footprint: 2 + 2 predicate values instead of 2 x 3. *)
+  Alcotest.(check int) "stored values" 4 (Ledger.stored_values ledger);
+  (match Ledger.find ledger id0 with
+  | Some g ->
+    Alcotest.(check (list string)) "find" [ "b1" ] g.Workflow.benefits
+  | None -> Alcotest.fail "missing record");
+  Alcotest.(check bool) "find missing" true (Ledger.find ledger 99 = None);
+  Alcotest.(check (list int)) "audit clean" [] (Ledger.audit ledger provider);
+  (* Tamper with a record through re-recording a forged grant. *)
+  let forged = { (grant "_11") with Workflow.benefits = [ "b2" ] } in
+  let id2 = Ledger.record ledger forged in
+  Alcotest.(check (list int)) "audit flags the forgery" [ id2 ]
+    (Ledger.audit ledger provider);
+  (* JSON rendering mentions both forms. *)
+  let json = Json.to_string (Ledger.to_json ledger) in
+  Alcotest.(check bool) "json has _11" true (contains json "\"_11\"");
+  Alcotest.(check bool) "json has 1_0" true (contains json "\"1_0\"")
+
+(* --- JSON emitter ------------------------------------------------------------------ *)
+
+let test_json_escaping () =
+  Alcotest.(check string) "escape" "{\"a\\\"b\":\"x\\n\\t\\\\y\"}"
+    (Json.to_string (Json.Obj [ ("a\"b", Json.String "x\n\t\\y") ]));
+  Alcotest.(check string) "control char" "\"\\u0001\""
+    (Json.to_string (Json.String "\001"));
+  Alcotest.(check string) "nested" "[null,true,1,[{}]]"
+    (Json.to_string
+       (Json.List [ Json.Null; Json.Bool true; Json.Int 1; Json.List [ Json.Obj [] ] ]));
+  Alcotest.(check string) "float integral" "2" (Json.to_string (Json.Float 2.));
+  Alcotest.(check string) "float fractional" "0.5"
+    (Json.to_string (Json.Float 0.5))
+
+let () =
+  Alcotest.run "pet_pet"
+    [
+      ( "form",
+        [
+          Alcotest.test_case "valuations" `Quick test_form_valuations;
+          Alcotest.test_case "errors" `Quick test_form_errors;
+          Alcotest.test_case "validation" `Quick test_form_validation;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "user 111" `Quick test_report_111;
+          Alcotest.test_case "not a player" `Quick test_report_not_player;
+          Alcotest.test_case "json" `Quick test_report_json;
+        ] );
+      ( "workflow",
+        [
+          Alcotest.test_case "end to end" `Quick test_workflow_end_to_end;
+          Alcotest.test_case "rejections" `Quick test_workflow_rejections;
+          Alcotest.test_case "sat backend" `Quick test_workflow_sat_backend;
+        ] );
+      ("ledger", [ Alcotest.test_case "ledger" `Quick test_ledger ]);
+      ("json", [ Alcotest.test_case "escaping" `Quick test_json_escaping ]);
+    ]

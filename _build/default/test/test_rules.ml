@@ -1,0 +1,362 @@
+(* Tests for rules, exposure problems, the proof relation (all three
+   backends) and the rule-file parser. *)
+
+module F = Pet_logic.Formula
+module Parse = Pet_logic.Parse
+module Dnf = Pet_logic.Dnf
+module Universe = Pet_valuation.Universe
+module Total = Pet_valuation.Total
+module Partial = Pet_valuation.Partial
+module Rule = Pet_rules.Rule
+module Exposure = Pet_rules.Exposure
+module Engine = Pet_rules.Engine
+module Spec = Pet_rules.Spec
+module Running = Pet_casestudies.Running
+module Hcov = Pet_casestudies.Hcov
+
+let xp3 () = Universe.of_names [ "p1"; "p2"; "p3" ]
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i =
+    i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1))
+  in
+  go 0
+
+(* --- Rule --------------------------------------------------------------- *)
+
+let test_rule_of_formula () =
+  let r = Rule.of_formula ~benefit:"b" (Parse.formula "!(!p1 & !(p2 & p3))") in
+  Alcotest.(check bool) "dnf equivalent" true
+    (F.equivalent (Dnf.to_formula r.dnf) (Parse.formula "p1 | (p2 & p3)"));
+  Alcotest.(check bool) "triggered" true
+    (Rule.triggered_by (fun v -> v = "p1") r);
+  Alcotest.(check bool) "not triggered" false
+    (Rule.triggered_by (fun v -> v = "p2") r)
+
+(* --- Exposure validation -------------------------------------------------- *)
+
+let test_exposure_validation () =
+  let xp = xp3 () and xb = Universe.of_names [ "b1"; "b2" ] in
+  let rule b f = Rule.of_formula ~benefit:b (Parse.formula f) in
+  let fails mk =
+    match mk () with exception Invalid_argument _ -> true | _ -> false
+  in
+  Alcotest.(check bool) "missing rule" true
+    (fails (fun () -> Exposure.create ~xp ~xb ~rules:[ rule "b1" "p1" ] ()));
+  Alcotest.(check bool) "duplicate rule" true
+    (fails (fun () ->
+         Exposure.create ~xp ~xb
+           ~rules:[ rule "b1" "p1"; rule "b1" "p2"; rule "b2" "p3" ]
+           ()));
+  Alcotest.(check bool) "unknown benefit" true
+    (fails (fun () ->
+         Exposure.create ~xp ~xb
+           ~rules:[ rule "b1" "p1"; rule "b2" "p2"; rule "zz" "p3" ]
+           ()));
+  Alcotest.(check bool) "rule uses unknown var" true
+    (fails (fun () ->
+         Exposure.create ~xp ~xb ~rules:[ rule "b1" "q9"; rule "b2" "p2" ] ()));
+  Alcotest.(check bool) "constraint uses benefit" true
+    (fails (fun () ->
+         Exposure.create ~xp ~xb
+           ~rules:[ rule "b1" "p1"; rule "b2" "p2" ]
+           ~constraints:[ Parse.formula "b1 -> p2" ]
+           ()));
+  Alcotest.(check bool) "name collision" true
+    (fails (fun () ->
+         Exposure.create ~xp
+           ~xb:(Universe.of_names [ "p1"; "b2" ])
+           ~rules:[ rule "p1" "p2"; rule "b2" "p3" ]
+           ()))
+
+let test_exposure_accessors () =
+  let e = Running.exposure () in
+  Alcotest.(check int) "3 rules" 3 (List.length (Exposure.rules e));
+  Alcotest.(check string) "rule_for b2" "b2" (Exposure.rule_for e "b2").benefit;
+  Alcotest.(check bool) "rule_for unknown" true
+    (match Exposure.rule_for e "zz" with
+    | exception Not_found -> true
+    | _ -> false);
+  (* The full formula has the right models: count processed valuations. *)
+  let f = Exposure.to_formula e in
+  let models =
+    List.filter
+      (fun rho -> F.eval rho f)
+      (F.all_assignments (F.vars f))
+  in
+  (* One model per p-valuation: benefits are functions of predicates. *)
+  Alcotest.(check int) "8 models" 8 (List.length models)
+
+let test_benefits_of_assignment () =
+  let e = Running.exposure () in
+  let benefits s =
+    let v = Total.of_string (Exposure.xp e) s in
+    Exposure.benefits_of_assignment e (Total.rho v)
+  in
+  Alcotest.(check (list string)) "011" [ "b1" ] (benefits "011");
+  Alcotest.(check (list string)) "111" [ "b1" ] (benefits "111");
+  Alcotest.(check (list string)) "110" [ "b1"; "b3" ] (benefits "110");
+  Alcotest.(check (list string)) "101" [ "b1"; "b2" ] (benefits "101");
+  Alcotest.(check (list string)) "100" [ "b1"; "b2"; "b3" ] (benefits "100");
+  Alcotest.(check (list string)) "000" [] (benefits "000")
+
+let test_realistic_eligible () =
+  let e = Running.exposure () in
+  Alcotest.(check int) "no constraints: all realistic" 8
+    (List.length (Exposure.realistic e));
+  Alcotest.(check int) "5 eligible" 5 (List.length (Exposure.eligible e));
+  let h = Hcov.exposure () in
+  Alcotest.(check bool) "hcov constraints filter" true
+    (List.length (Exposure.realistic h) < 4096)
+
+let test_implications () =
+  let h = Hcov.exposure () in
+  let imps = Exposure.implications h in
+  Alcotest.(check int) "5 implications" 5 (List.length imps);
+  let p12_imp =
+    List.find
+      (fun (premises, _) ->
+        match premises with
+        | [ (l : Pet_logic.Literal.t) ] -> l.var = "p12" && l.sign
+        | _ -> false)
+      imps
+  in
+  Alcotest.(check bool) "p12 -> !p1" true
+    (snd p12_imp = [ Pet_logic.Literal.neg "p1" ])
+
+(* --- Engine: the proof relation ------------------------------------------- *)
+
+let backends = [ Engine.Brute; Engine.Sat; Engine.Bdd ]
+
+(* Section 3.1 of the paper: w1 = _11 proves b1; w2 = _1_ does not. *)
+let test_proof_relation_paper_facts () =
+  let e = Running.exposure () in
+  List.iter
+    (fun backend ->
+      let t = Engine.create ~backend e in
+      let name = Fmt.str "%a" Engine.pp_backend backend in
+      let w s = Partial.of_string (Exposure.xp e) s in
+      Alcotest.(check bool) (name ^ ": w1 proves b1") true
+        (Engine.entails_benefit t (w "_11") "b1");
+      Alcotest.(check bool) (name ^ ": w1 does not prove b2") false
+        (Engine.entails_benefit t (w "_11") "b2");
+      Alcotest.(check bool) (name ^ ": w2 does not prove b1") false
+        (Engine.entails_benefit t (w "_1_") "b1");
+      Alcotest.(check (list string)) (name ^ ": benefits of _11") [ "b1" ]
+        (Engine.benefits t (w "_11"));
+      Alcotest.(check (list string))
+        (name ^ ": benefits of 1_0")
+        [ "b1"; "b3" ]
+        (Engine.benefits t (w "1_0"));
+      Alcotest.(check bool) (name ^ ": consistent") true
+        (Engine.consistent t (w "___")))
+    backends
+
+(* All three backends agree on every partial valuation of the running
+   example (3^3 = 27 of them) for every query type. *)
+let test_backends_agree_exhaustively () =
+  let e = Running.exposure () in
+  let brute = Engine.create ~backend:Engine.Brute e in
+  let sat = Engine.create ~backend:Engine.Sat e in
+  let bdd = Engine.create ~backend:Engine.Bdd e in
+  let xp = Exposure.xp e in
+  let chars = [ '0'; '1'; '_' ] in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          List.iter
+            (fun c ->
+              let w =
+                Partial.of_string xp (Printf.sprintf "%c%c%c" a b c)
+              in
+              let reference = Engine.benefits brute w in
+              Alcotest.(check (list string))
+                (Fmt.str "sat benefits %a" Partial.pp w)
+                reference (Engine.benefits sat w);
+              Alcotest.(check (list string))
+                (Fmt.str "bdd benefits %a" Partial.pp w)
+                reference (Engine.benefits bdd w);
+              let ded = Engine.deduced_literals brute w in
+              Alcotest.(check bool)
+                (Fmt.str "sat deduced %a" Partial.pp w)
+                true
+                (Engine.deduced_literals sat w = ded);
+              Alcotest.(check bool)
+                (Fmt.str "bdd deduced %a" Partial.pp w)
+                true
+                (Engine.deduced_literals bdd w = ded))
+            chars)
+        chars)
+    chars
+
+(* Deduction through the consistency rules (H-cov): publishing p12 = 1
+   forces p1 = 0. *)
+let test_deduced_literals_hcov () =
+  let e = Hcov.exposure () in
+  List.iter
+    (fun backend ->
+      let t = Engine.create ~backend e in
+      let w = Partial.of_assoc (Exposure.xp e) [ ("p12", true) ] in
+      let name = Fmt.str "%a" Engine.pp_backend backend in
+      Alcotest.(check bool) (name ^ ": p1 deduced false") true
+        (List.mem ("p1", false) (Engine.deduced_literals t w));
+      Alcotest.(check bool) (name ^ ": p1 forced") true
+        (Engine.entails_literal t w "p1" false))
+    [ Engine.Sat; Engine.Bdd ]
+
+let test_inconsistent_is_vacuous () =
+  let e = Hcov.exposure () in
+  let t = Engine.create ~backend:Engine.Sat e in
+  (* p1 and p5 cannot both hold. *)
+  let w = Partial.of_assoc (Exposure.xp e) [ ("p1", true); ("p5", true) ] in
+  Alcotest.(check bool) "inconsistent" false (Engine.consistent t w);
+  Alcotest.(check bool) "vacuously proves" true
+    (Engine.entails_benefit t w "b1")
+
+let test_engine_universe_mismatch () =
+  let t = Engine.create (Running.exposure ()) in
+  let other = Universe.of_names [ "q1" ] in
+  Alcotest.(check bool) "universe checked" true
+    (match Engine.consistent t (Partial.empty other) with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* Property: SAT and BDD backends agree with brute force on random rule
+   sets. *)
+let gen_exposure_and_partial =
+  QCheck2.Gen.(
+    let gen_lit =
+      let* v = int_range 1 4 in
+      let* sign = bool in
+      return
+        (if sign then F.var (Printf.sprintf "p%d" v)
+         else F.neg (F.var (Printf.sprintf "p%d" v)))
+    in
+    let gen_conj =
+      let* lits = list_size (int_range 1 3) gen_lit in
+      return (F.conj lits)
+    in
+    let gen_dnf =
+      let* conjs = list_size (int_range 1 3) gen_conj in
+      return (F.disj conjs)
+    in
+    let* f1 = gen_dnf in
+    let* f2 = gen_dnf in
+    let* constraint_opt = option gen_conj in
+    let* dom = int_range 0 15 in
+    let* bits = int_range 0 15 in
+    return ((f1, f2, constraint_opt), (dom, bits land dom)))
+
+let prop_backends_agree_random =
+  QCheck2.Test.make ~count:200 ~name:"backends agree on random rule sets"
+    ~print:(fun ((f1, f2, c), (dom, bits)) ->
+      Fmt.str "b1:=%a b2:=%a c:%a dom=%d bits=%d" F.pp f1 F.pp f2
+        (Fmt.option F.pp) c dom bits)
+    gen_exposure_and_partial
+    (fun ((f1, f2, constraint_opt), (dom, bits)) ->
+      let xp = Universe.of_names [ "p1"; "p2"; "p3"; "p4" ] in
+      let xb = Universe.of_names [ "b1"; "b2" ] in
+      let constraints = Option.to_list constraint_opt in
+      let e =
+        Exposure.create ~xp ~xb
+          ~rules:
+            [
+              Rule.of_formula ~benefit:"b1" f1;
+              Rule.of_formula ~benefit:"b2" f2;
+            ]
+          ~constraints ()
+      in
+      let w = Partial.of_masks xp ~dom ~bits in
+      let brute = Engine.create ~backend:Engine.Brute e in
+      let sat = Engine.create ~backend:Engine.Sat e in
+      let bdd = Engine.create ~backend:Engine.Bdd e in
+      let reference = Engine.benefits brute w in
+      Engine.benefits sat w = reference
+      && Engine.benefits bdd w = reference
+      && Engine.consistent sat w = Engine.consistent brute w
+      && Engine.consistent bdd w = Engine.consistent brute w
+      && Engine.deduced_literals sat w = Engine.deduced_literals brute w
+      && Engine.deduced_literals bdd w = Engine.deduced_literals brute w)
+
+(* --- Spec parser -------------------------------------------------------------- *)
+
+let test_spec_roundtrip () =
+  List.iter
+    (fun e ->
+      let printed = Spec.to_string e in
+      let e' = Spec.parse_exn printed in
+      Alcotest.(check bool) "same universes" true
+        (Universe.equal (Exposure.xp e) (Exposure.xp e')
+        && Universe.equal (Exposure.xb e) (Exposure.xb e'));
+      Alcotest.(check bool) "equivalent formulas" true
+        (F.equivalent (Exposure.to_formula e) (Exposure.to_formula e')))
+    [ Running.exposure (); Hcov.exposure (); Pet_casestudies.Rsa.exposure () ]
+
+let test_spec_errors () =
+  let err s = match Spec.parse s with Error m -> Some m | Ok _ -> None in
+  let check_err name input =
+    Alcotest.(check bool) name true (err input <> None)
+  in
+  check_err "missing form" "benefits b1\nrule b1 := p1\n";
+  check_err "missing benefits" "form p1\nrule b1 := p1\n";
+  check_err "missing rule" "form p1\nbenefits b1\n";
+  check_err "unknown declaration" "form p1\nbenefits b1\nbogus x\n";
+  check_err "bad rule syntax" "form p1\nbenefits b1\nrule b1 = p1\n";
+  check_err "empty rule body" "form p1\nbenefits b1\nrule b1 := \n";
+  check_err "bad formula" "form p1\nbenefits b1\nrule b1 := p1 &\n";
+  check_err "duplicate form" "form p1\nform p2\nbenefits b1\nrule b1 := p1\n";
+  check_err "rule for unknown benefit"
+    "form p1\nbenefits b1\nrule b1 := p1\nrule b9 := p1\n";
+  check_err "constraint on benefit"
+    "form p1\nbenefits b1\nrule b1 := p1\nconstraint b1 -> p1\n";
+  check_err "duplicate predicate" "form p1 p1\nbenefits b1\nrule b1 := p1\n";
+  (* Line numbers are reported. *)
+  match err "form p1\nbenefits b1\nrule b1 := p1 &\n" with
+  | Some m ->
+    Alcotest.(check bool) "mentions line 3" true (contains m "line 3")
+  | None -> Alcotest.fail "expected error"
+
+and test_spec_comments () =
+  let e =
+    Spec.parse_exn
+      "# header\nform p1 # trailing\nbenefits b1\nrule b1 := p1 # why not\n"
+  in
+  Alcotest.(check int) "one predicate" 1 (Universe.size (Exposure.xp e))
+
+let () =
+  let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests) in
+  Alcotest.run "pet_rules"
+    [
+      ("rule", [ Alcotest.test_case "of_formula" `Quick test_rule_of_formula ]);
+      ( "exposure",
+        [
+          Alcotest.test_case "validation" `Quick test_exposure_validation;
+          Alcotest.test_case "accessors" `Quick test_exposure_accessors;
+          Alcotest.test_case "benefits of assignment" `Quick
+            test_benefits_of_assignment;
+          Alcotest.test_case "realistic/eligible" `Quick
+            test_realistic_eligible;
+          Alcotest.test_case "implications" `Quick test_implications;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "paper proof facts" `Quick
+            test_proof_relation_paper_facts;
+          Alcotest.test_case "backends agree exhaustively" `Slow
+            test_backends_agree_exhaustively;
+          Alcotest.test_case "hcov deduction" `Quick test_deduced_literals_hcov;
+          Alcotest.test_case "vacuous entailment" `Quick
+            test_inconsistent_is_vacuous;
+          Alcotest.test_case "universe mismatch" `Quick
+            test_engine_universe_mismatch;
+        ] );
+      ( "spec",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_spec_roundtrip;
+          Alcotest.test_case "errors" `Quick test_spec_errors;
+          Alcotest.test_case "comments" `Quick test_spec_comments;
+        ] );
+      qsuite "engine-properties" [ prop_backends_agree_random ];
+    ]

@@ -1,0 +1,546 @@
+(* Tests for the CDCL solver: hand-written scenarios, classic hard
+   instances, and qcheck cross-validation against brute-force SAT. *)
+
+module Lit = Pet_sat.Lit
+module Solver = Pet_sat.Solver
+module Dimacs = Pet_sat.Dimacs
+
+let lit v sign = Lit.make v sign
+
+(* --- Brute-force reference --------------------------------------------- *)
+
+let clause_holds assignment clause =
+  List.exists
+    (fun l ->
+      let v = Lit.var l in
+      Bool.equal ((assignment lsr v) land 1 = 1) (Lit.sign l))
+    clause
+
+let cnf_holds assignment clauses = List.for_all (clause_holds assignment) clauses
+
+let brute_sat nvars clauses =
+  let rec go a = a < 1 lsl nvars && (cnf_holds a clauses || go (a + 1)) in
+  go 0
+
+let brute_count nvars clauses =
+  let count = ref 0 in
+  for a = 0 to (1 lsl nvars) - 1 do
+    if cnf_holds a clauses then incr count
+  done;
+  !count
+
+let solver_of ?(max_learnt_factor = 3) nvars clauses =
+  let s = Solver.create ~max_learnt_factor () in
+  Solver.ensure_nvars s nvars;
+  List.iter (Solver.add_clause s) clauses;
+  s
+
+(* --- Generators --------------------------------------------------------- *)
+
+let gen_cnf =
+  QCheck2.Gen.(
+    let* nvars = int_range 1 7 in
+    let gen_lit =
+      let* v = int_range 0 (nvars - 1) in
+      let* sign = bool in
+      return (lit v sign)
+    in
+    let gen_clause = list_size (int_range 1 4) gen_lit in
+    let* clauses = list_size (int_range 0 20) gen_clause in
+    return (nvars, clauses))
+
+let print_cnf (nvars, clauses) =
+  Printf.sprintf "nvars=%d cnf=%s" nvars
+    (String.concat " & "
+       (List.map
+          (fun c ->
+            "("
+            ^ String.concat "|" (List.map (fun l -> string_of_int (Lit.to_dimacs l)) c)
+            ^ ")")
+          clauses))
+
+(* --- Unit tests ---------------------------------------------------------- *)
+
+let test_empty () =
+  let s = Solver.create () in
+  Alcotest.(check bool) "empty problem is sat" true (Solver.solve s = Sat)
+
+let test_unit_conflict () =
+  let s = solver_of 1 [ [ lit 0 true ]; [ lit 0 false ] ] in
+  Alcotest.(check bool) "x & ~x unsat" true (Solver.solve s = Unsat);
+  Alcotest.(check bool) "okay is false" false (Solver.okay s)
+
+let test_simple_implication () =
+  (* (~x | y) & x  forces y *)
+  let s = solver_of 2 [ [ lit 0 false; lit 1 true ]; [ lit 0 true ] ] in
+  Alcotest.(check bool) "sat" true (Solver.solve s = Sat);
+  Alcotest.(check bool) "x true" true (Solver.value s 0);
+  Alcotest.(check bool) "y true" true (Solver.value s 1)
+
+let test_empty_clause () =
+  let s = Solver.create () in
+  Solver.add_clause s [];
+  Alcotest.(check bool) "unsat" true (Solver.solve s = Unsat)
+
+let test_tautological_clause_ignored () =
+  let s = solver_of 1 [ [ lit 0 true; lit 0 false ] ] in
+  Alcotest.(check bool) "sat" true (Solver.solve s = Sat)
+
+let test_assumptions_basic () =
+  (* x | y, assume ~x: y must hold. *)
+  let s = solver_of 2 [ [ lit 0 true; lit 1 true ] ] in
+  Alcotest.(check bool) "sat under ~x" true
+    (Solver.solve ~assumptions:[ lit 0 false ] s = Sat);
+  Alcotest.(check bool) "y forced" true (Solver.value s 1);
+  (* Solver stays reusable and the assumption is not permanent. *)
+  Alcotest.(check bool) "sat under x" true
+    (Solver.solve ~assumptions:[ lit 0 true ] s = Sat);
+  Alcotest.(check bool) "still sat without assumptions" true
+    (Solver.solve s = Sat)
+
+let test_assumptions_unsat_core () =
+  (* x -> y, y -> z; assume x, ~z, w: the core must not include w. *)
+  let s =
+    solver_of 4 [ [ lit 0 false; lit 1 true ]; [ lit 1 false; lit 2 true ] ]
+  in
+  let assumptions = [ lit 3 true; lit 0 true; lit 2 false ] in
+  Alcotest.(check bool) "unsat" true (Solver.solve ~assumptions s = Unsat);
+  let core = Solver.unsat_core s in
+  Alcotest.(check bool) "core subset of assumptions" true
+    (List.for_all (fun l -> List.mem l assumptions) core);
+  Alcotest.(check bool) "w not in core" true (not (List.mem (lit 3 true) core));
+  (* The core really is unsatisfiable together with the clauses. *)
+  let s' =
+    solver_of 4 [ [ lit 0 false; lit 1 true ]; [ lit 1 false; lit 2 true ] ]
+  in
+  List.iter (fun l -> Solver.add_clause s' [ l ]) core;
+  Alcotest.(check bool) "core unsat" true (Solver.solve s' = Unsat)
+
+let test_contradictory_assumptions () =
+  let s = solver_of 1 [] in
+  Alcotest.(check bool) "x & ~x assumptions unsat" true
+    (Solver.solve ~assumptions:[ lit 0 true; lit 0 false ] s = Unsat);
+  let core = Solver.unsat_core s in
+  Alcotest.(check int) "core has both" 2 (List.length core)
+
+(* Pigeonhole: n+1 pigeons in n holes, classic unsat family that requires
+   real conflict analysis. *)
+let pigeonhole n =
+  let var p h = (p * n) + h in
+  let nvars = (n + 1) * n in
+  let at_least =
+    List.init (n + 1) (fun p -> List.init n (fun h -> lit (var p h) true))
+  in
+  let at_most =
+    List.concat_map
+      (fun h ->
+        List.concat_map
+          (fun p ->
+            List.filter_map
+              (fun q ->
+                if q > p then Some [ lit (var p h) false; lit (var q h) false ]
+                else None)
+              (List.init (n + 1) Fun.id))
+          (List.init (n + 1) Fun.id))
+      (List.init n Fun.id)
+  in
+  nvars, at_least @ at_most
+
+let test_pigeonhole () =
+  List.iter
+    (fun n ->
+      let nvars, clauses = pigeonhole n in
+      let s = solver_of nvars clauses in
+      Alcotest.(check bool)
+        (Printf.sprintf "php(%d) unsat" n)
+        true
+        (Solver.solve s = Unsat))
+    [ 2; 3; 4; 5 ]
+
+let test_pigeonhole_sat () =
+  (* n pigeons in n holes is satisfiable. *)
+  let n = 4 in
+  let var p h = (p * n) + h in
+  let nvars = n * n in
+  let at_least =
+    List.init n (fun p -> List.init n (fun h -> lit (var p h) true))
+  in
+  let at_most =
+    List.concat_map
+      (fun h ->
+        List.concat_map
+          (fun p ->
+            List.filter_map
+              (fun q ->
+                if q > p then Some [ lit (var p h) false; lit (var q h) false ]
+                else None)
+              (List.init n Fun.id))
+          (List.init n Fun.id))
+      (List.init n Fun.id)
+  in
+  let s = solver_of nvars (at_least @ at_most) in
+  Alcotest.(check bool) "php-sat" true (Solver.solve s = Sat)
+
+(* XOR (parity) chains: x1 (+) x2 (+) ... (+) xn = b as CNF. With an odd
+   constraint on both ends they are unsatisfiable and immune to pure
+   branching luck. *)
+let parity_chain n parity =
+  (* variables 0..n-1 plus chain accumulators n..2n-2 *)
+  let clauses = ref [] in
+  let xor a b c =
+    (* c = a xor b *)
+    clauses :=
+      [ lit a false; lit b false; lit c false ]
+      :: [ lit a true; lit b true; lit c false ]
+      :: [ lit a true; lit b false; lit c true ]
+      :: [ lit a false; lit b true; lit c true ]
+      :: !clauses
+  in
+  let acc = ref 0 in
+  let next = ref n in
+  for i = 1 to n - 1 do
+    xor !acc i !next;
+    acc := !next;
+    incr next
+  done;
+  (!next, [ lit !acc parity ] :: !clauses)
+
+let test_parity_chains () =
+  let n = 12 in
+  (* Sum of all variables even AND odd at once: unsat. *)
+  let nv1, c1 = parity_chain n true in
+  let nv2, c2 =
+    (* re-encode the same chain shifted to fresh accumulators *)
+    let shift = nv1 in
+    let _, c = parity_chain n false in
+    ( nv1 + shift,
+      List.map
+        (List.map (fun l ->
+             let v = Lit.var l in
+             if v >= n then Lit.make (v + shift) (Lit.sign l) else l))
+        c )
+  in
+  let s = solver_of (max nv1 nv2) (c1 @ c2) in
+  Alcotest.(check bool) "contradictory parities unsat" true
+    (Solver.solve s = Unsat);
+  (* A single parity constraint is satisfiable and the model has the
+     right parity. *)
+  let nv, c = parity_chain n true in
+  let s = solver_of nv c in
+  Alcotest.(check bool) "single parity sat" true (Solver.solve s = Sat);
+  let m = Solver.model s in
+  let parity = ref false in
+  for i = 0 to n - 1 do
+    if m.(i) then parity := not !parity
+  done;
+  Alcotest.(check bool) "model parity odd" true !parity
+
+let test_solver_deterministic () =
+  let nvars, clauses = pigeonhole 4 in
+  let run () =
+    let s = solver_of nvars clauses in
+    let r = Solver.solve s in
+    (r, (Solver.stats s).conflicts)
+  in
+  Alcotest.(check bool) "same result and stats" true (run () = run ())
+
+let test_reduce_db_exercised () =
+  (* A tight learnt budget forces database reductions on a hard instance;
+     the answer must stay correct. *)
+  let nvars, clauses = pigeonhole 5 in
+  let s = solver_of ~max_learnt_factor:0 nvars clauses in
+  Alcotest.(check bool) "php(5) unsat with reductions" true
+    (Solver.solve s = Unsat)
+
+let test_incremental () =
+  let s = Solver.create () in
+  Solver.ensure_nvars s 3;
+  Solver.add_clause s [ lit 0 true; lit 1 true ];
+  Alcotest.(check bool) "sat 1" true (Solver.solve s = Sat);
+  Solver.add_clause s [ lit 0 false ];
+  Alcotest.(check bool) "sat 2" true (Solver.solve s = Sat);
+  Alcotest.(check bool) "y forced" true (Solver.value s 1);
+  Solver.add_clause s [ lit 1 false ];
+  Alcotest.(check bool) "unsat 3" true (Solver.solve s = Unsat)
+
+let test_iter_models_projection () =
+  (* x | y over 3 vars, projected on {x, y}: 3 assignments. *)
+  let s = solver_of 3 [ [ lit 0 true; lit 1 true ] ] in
+  let seen = ref [] in
+  let n =
+    Solver.iter_models ~vars:[ 0; 1 ] s (fun m ->
+        seen := (m.(0), m.(1)) :: !seen)
+  in
+  Alcotest.(check int) "3 projections" 3 n;
+  Alcotest.(check int) "3 distinct" 3
+    (List.length (List.sort_uniq Stdlib.compare !seen))
+
+let test_stats_move () =
+  let nvars, clauses = pigeonhole 4 in
+  let s = solver_of nvars clauses in
+  ignore (Solver.solve s);
+  let st = Solver.stats s in
+  Alcotest.(check bool) "conflicts happened" true (st.conflicts > 0);
+  Alcotest.(check bool) "decisions happened" true (st.decisions > 0)
+
+let test_new_var_after_solve () =
+  let s = solver_of 1 [ [ lit 0 true ] ] in
+  Alcotest.(check bool) "sat" true (Solver.solve s = Sat);
+  let v = Solver.new_var s in
+  Solver.add_clause s [ lit v false ];
+  Alcotest.(check bool) "still sat" true (Solver.solve s = Sat);
+  Alcotest.(check bool) "new var false" false (Solver.value s v)
+
+let test_unknown_literal_rejected () =
+  let s = Solver.create () in
+  Alcotest.check_raises "unknown var"
+    (Invalid_argument "Solver: literal 1 refers to unknown variable")
+    (fun () -> Solver.add_clause s [ lit 0 true ])
+
+(* --- Vec ------------------------------------------------------------------ *)
+
+module Vec = Pet_sat.Vec
+
+let test_vec_basics () =
+  let v = Vec.create ~dummy:0 () in
+  Alcotest.(check bool) "empty" true (Vec.is_empty v);
+  for i = 0 to 99 do
+    Vec.push v i
+  done;
+  Alcotest.(check int) "size" 100 (Vec.size v);
+  Alcotest.(check int) "get" 42 (Vec.get v 42);
+  Vec.set v 42 (-1);
+  Alcotest.(check int) "set" (-1) (Vec.get v 42);
+  Alcotest.(check int) "last" 99 (Vec.last v);
+  Alcotest.(check int) "pop" 99 (Vec.pop v);
+  Alcotest.(check int) "size after pop" 99 (Vec.size v);
+  Vec.shrink v 10;
+  Alcotest.(check int) "shrink" 10 (Vec.size v);
+  Vec.clear v;
+  Alcotest.(check bool) "clear" true (Vec.is_empty v)
+
+let test_vec_bounds () =
+  let v = Vec.of_list ~dummy:0 [ 1; 2; 3 ] in
+  let fails f = match f () with exception Invalid_argument _ -> true | _ -> false in
+  Alcotest.(check bool) "get oob" true (fails (fun () -> Vec.get v 3));
+  Alcotest.(check bool) "get negative" true (fails (fun () -> Vec.get v (-1)));
+  Alcotest.(check bool) "set oob" true (fails (fun () -> Vec.set v 5 0));
+  Alcotest.(check bool) "shrink oob" true (fails (fun () -> Vec.shrink v 4));
+  Vec.clear v;
+  Alcotest.(check bool) "pop empty" true (fails (fun () -> Vec.pop v));
+  Alcotest.(check bool) "last empty" true (fails (fun () -> Vec.last v))
+
+let test_vec_iteration () =
+  let v = Vec.of_list ~dummy:0 [ 5; 1; 4; 2; 3 ] in
+  Alcotest.(check (list int)) "to_list" [ 5; 1; 4; 2; 3 ] (Vec.to_list v);
+  Alcotest.(check int) "fold sum" 15 (Vec.fold ( + ) 0 v);
+  Alcotest.(check bool) "exists" true (Vec.exists (fun x -> x = 4) v);
+  Alcotest.(check bool) "not exists" false (Vec.exists (fun x -> x = 9) v);
+  let seen = ref [] in
+  Vec.iter (fun x -> seen := x :: !seen) v;
+  Alcotest.(check (list int)) "iter order" [ 3; 2; 4; 1; 5 ] !seen;
+  Vec.filter_in_place (fun x -> x mod 2 = 1) v;
+  Alcotest.(check (list int)) "filter" [ 5; 1; 3 ] (Vec.to_list v)
+
+let prop_vec_mirrors_list =
+  QCheck2.Test.make ~count:300 ~name:"Vec mirrors list push/pop semantics"
+    ~print:(fun ops -> String.concat ";" (List.map string_of_int ops))
+    QCheck2.Gen.(list_size (int_range 0 40) (int_range (-5) 100))
+    (fun ops ->
+      (* positive = push n; negative = pop (when non-empty) *)
+      let v = Vec.create ~dummy:0 () in
+      let model = ref [] in
+      List.iter
+        (fun op ->
+          if op >= 0 then begin
+            Vec.push v op;
+            model := op :: !model
+          end
+          else
+            match !model with
+            | [] -> ()
+            | x :: rest ->
+              model := rest;
+              if Vec.pop v <> x then failwith "pop mismatch")
+        ops;
+      Vec.to_list v = List.rev !model)
+
+(* --- DIMACS -------------------------------------------------------------- *)
+
+let test_dimacs_parse () =
+  let input = "c comment\np cnf 3 2\n1 -2 0\n2 3 0\n" in
+  match Dimacs.parse input with
+  | Error e -> Alcotest.fail e
+  | Ok p ->
+    Alcotest.(check int) "nvars" 3 p.nvars;
+    Alcotest.(check int) "nclauses" 2 (List.length p.clauses);
+    let s = Solver.create () in
+    Dimacs.load_into s p;
+    Alcotest.(check bool) "sat" true (Solver.solve s = Sat)
+
+let test_dimacs_roundtrip () =
+  let p = { Dimacs.nvars = 4; clauses = [ [ lit 0 true; lit 3 false ]; [] ] } in
+  let printed = Fmt.str "%a" Dimacs.print p in
+  match Dimacs.parse printed with
+  | Error e -> Alcotest.fail e
+  | Ok p' ->
+    Alcotest.(check int) "nvars" p.nvars p'.nvars;
+    Alcotest.(check bool) "clauses equal" true (p.clauses = p'.clauses)
+
+let test_dimacs_errors () =
+  let is_error s = match Dimacs.parse s with Error _ -> true | Ok _ -> false in
+  Alcotest.(check bool) "no header" true (is_error "1 2 0\n");
+  Alcotest.(check bool) "bad count" true (is_error "p cnf 2 5\n1 0\n");
+  Alcotest.(check bool) "out of range" true (is_error "p cnf 1 1\n2 0\n");
+  Alcotest.(check bool) "unterminated" true (is_error "p cnf 2 1\n1 2\n");
+  Alcotest.(check bool) "garbage literal" true (is_error "p cnf 2 1\n1 x 0\n")
+
+(* --- Properties ----------------------------------------------------------- *)
+
+let prop_matches_brute_force =
+  QCheck2.Test.make ~count:500 ~name:"solver agrees with brute force"
+    ~print:print_cnf gen_cnf (fun (nvars, clauses) ->
+      let s = solver_of nvars clauses in
+      let expected = brute_sat nvars clauses in
+      (Solver.solve s = Sat) = expected)
+
+let prop_model_satisfies =
+  QCheck2.Test.make ~count:500 ~name:"returned model satisfies the CNF"
+    ~print:print_cnf gen_cnf (fun (nvars, clauses) ->
+      let s = solver_of nvars clauses in
+      match Solver.solve s with
+      | Unsat -> true
+      | Sat ->
+        let m = Solver.model s in
+        List.for_all
+          (fun c ->
+            List.exists (fun l -> Bool.equal m.(Lit.var l) (Lit.sign l)) c)
+          clauses)
+
+let prop_assumptions_equal_units =
+  QCheck2.Test.make ~count:300
+    ~name:"solving under assumptions = solving with unit clauses"
+    ~print:(fun (cnf, a) ->
+      print_cnf cnf ^ " assuming " ^ String.concat ","
+        (List.map (fun l -> string_of_int (Lit.to_dimacs l)) a))
+    QCheck2.Gen.(
+      let* (nvars, clauses) = gen_cnf in
+      let* assumptions =
+        list_size (int_range 0 3)
+          (let* v = int_range 0 (nvars - 1) in
+           let* sign = bool in
+           return (lit v sign))
+      in
+      return ((nvars, clauses), assumptions))
+    (fun ((nvars, clauses), assumptions) ->
+      let s = solver_of nvars clauses in
+      let with_assumptions = Solver.solve ~assumptions s in
+      let s' = solver_of nvars (clauses @ List.map (fun l -> [ l ]) assumptions) in
+      let with_units = Solver.solve s' in
+      with_assumptions = with_units)
+
+let prop_unsat_core_is_unsat =
+  QCheck2.Test.make ~count:300 ~name:"unsat cores are unsatisfiable subsets"
+    ~print:(fun (cnf, a) ->
+      print_cnf cnf ^ " assuming " ^ String.concat ","
+        (List.map (fun l -> string_of_int (Lit.to_dimacs l)) a))
+    QCheck2.Gen.(
+      let* (nvars, clauses) = gen_cnf in
+      let* assumptions =
+        list_size (int_range 1 4)
+          (let* v = int_range 0 (nvars - 1) in
+           let* sign = bool in
+           return (lit v sign))
+      in
+      return ((nvars, clauses), assumptions))
+    (fun ((nvars, clauses), assumptions) ->
+      let s = solver_of nvars clauses in
+      match Solver.solve ~assumptions s with
+      | Sat -> true
+      | Unsat ->
+        let core = Solver.unsat_core s in
+        List.for_all (fun l -> List.mem l assumptions) core
+        &&
+        let s' =
+          solver_of nvars (clauses @ List.map (fun l -> [ l ]) core)
+        in
+        Solver.solve s' = Unsat)
+
+let prop_model_count =
+  QCheck2.Test.make ~count:200 ~name:"iter_models counts all models"
+    ~print:print_cnf gen_cnf (fun (nvars, clauses) ->
+      let s = solver_of nvars clauses in
+      let n = Solver.iter_models ~vars:(List.init nvars Fun.id) s (fun _ -> ()) in
+      n = brute_count nvars clauses)
+
+let prop_incremental_consistency =
+  QCheck2.Test.make ~count:200
+    ~name:"incremental solving matches from-scratch solving" ~print:print_cnf
+    gen_cnf (fun (nvars, clauses) ->
+      let s = Solver.create () in
+      Solver.ensure_nvars s nvars;
+      List.for_all
+        (fun i ->
+          let prefix = List.filteri (fun j _ -> j < i) clauses in
+          (if i >= 1 then
+             match List.nth_opt clauses (i - 1) with
+             | Some c -> Solver.add_clause s c
+             | None -> ());
+          let expected = brute_sat nvars prefix in
+          (Solver.solve s = Sat) = expected)
+        (List.init (List.length clauses + 1) Fun.id))
+
+let () =
+  let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests) in
+  Alcotest.run "pet_sat"
+    [
+      ( "solver-unit",
+        [
+          Alcotest.test_case "empty problem" `Quick test_empty;
+          Alcotest.test_case "unit conflict" `Quick test_unit_conflict;
+          Alcotest.test_case "implication" `Quick test_simple_implication;
+          Alcotest.test_case "empty clause" `Quick test_empty_clause;
+          Alcotest.test_case "tautology ignored" `Quick
+            test_tautological_clause_ignored;
+          Alcotest.test_case "assumptions basic" `Quick test_assumptions_basic;
+          Alcotest.test_case "assumption core" `Quick
+            test_assumptions_unsat_core;
+          Alcotest.test_case "contradictory assumptions" `Quick
+            test_contradictory_assumptions;
+          Alcotest.test_case "pigeonhole unsat" `Slow test_pigeonhole;
+          Alcotest.test_case "pigeonhole sat" `Quick test_pigeonhole_sat;
+          Alcotest.test_case "parity chains" `Quick test_parity_chains;
+          Alcotest.test_case "deterministic" `Quick test_solver_deterministic;
+          Alcotest.test_case "db reduction" `Slow test_reduce_db_exercised;
+          Alcotest.test_case "incremental" `Quick test_incremental;
+          Alcotest.test_case "model projection" `Quick
+            test_iter_models_projection;
+          Alcotest.test_case "stats move" `Quick test_stats_move;
+          Alcotest.test_case "new var after solve" `Quick
+            test_new_var_after_solve;
+          Alcotest.test_case "unknown literal" `Quick
+            test_unknown_literal_rejected;
+        ] );
+      ( "vec",
+        [
+          Alcotest.test_case "basics" `Quick test_vec_basics;
+          Alcotest.test_case "bounds" `Quick test_vec_bounds;
+          Alcotest.test_case "iteration" `Quick test_vec_iteration;
+          QCheck_alcotest.to_alcotest prop_vec_mirrors_list;
+        ] );
+      ( "dimacs",
+        [
+          Alcotest.test_case "parse" `Quick test_dimacs_parse;
+          Alcotest.test_case "roundtrip" `Quick test_dimacs_roundtrip;
+          Alcotest.test_case "errors" `Quick test_dimacs_errors;
+        ] );
+      qsuite "solver-properties"
+        [
+          prop_matches_brute_force;
+          prop_model_satisfies;
+          prop_assumptions_equal_units;
+          prop_unsat_core_is_unsat;
+          prop_model_count;
+          prop_incremental_consistency;
+        ];
+    ]

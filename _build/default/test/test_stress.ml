@@ -1,0 +1,184 @@
+(* Cross-layer stress tests on generated exposure problems: the whole
+   pipeline (engine -> Algorithm 1 -> atlas -> Algorithm 2 -> reports)
+   holds its invariants on problems none of us wrote by hand. *)
+
+module Universe = Pet_valuation.Universe
+module Total = Pet_valuation.Total
+module Partial = Pet_valuation.Partial
+module Exposure = Pet_rules.Exposure
+module Engine = Pet_rules.Engine
+module Generate = Pet_rules.Generate
+module A1 = Pet_minimize.Algorithm1
+module Atlas = Pet_minimize.Atlas
+module Baseline = Pet_minimize.Baseline
+module Profile = Pet_game.Profile
+module Payoff = Pet_game.Payoff
+module Strategy = Pet_game.Strategy
+module Equilibrium = Pet_game.Equilibrium
+module Report = Pet_pet.Report
+module Workflow = Pet_pet.Workflow
+
+let seeds = [ 1; 2; 3; 4; 5 ]
+
+let configs =
+  [
+    { Generate.default with Generate.predicates = 6 };
+    Generate.default;
+    { Generate.default with Generate.predicates = 10; benefits = 3 };
+  ]
+
+let each_problem ?(configs = configs) f =
+  List.iter
+    (fun config -> List.iter (fun seed -> f (Generate.exposure ~config ~seed ())) seeds)
+    configs
+
+(* Cap per-problem applicant scans so the suite stays fast. *)
+let sample k l = List.filteri (fun i _ -> i < k) l
+
+let test_generator_reproducible () =
+  let a = Generate.exposure ~seed:7 () and b = Generate.exposure ~seed:7 () in
+  Alcotest.(check bool) "same formula" true
+    (Pet_logic.Formula.equal (Exposure.to_formula a) (Exposure.to_formula b));
+  let c = Generate.exposure ~seed:8 () in
+  Alcotest.(check bool) "different seeds differ" false
+    (Pet_logic.Formula.equal (Exposure.to_formula a) (Exposure.to_formula c))
+
+let test_generator_validation () =
+  let fails config =
+    match Generate.exposure ~config ~seed:1 () with
+    | exception Invalid_argument _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "predicates < 2" true
+    (fails { Generate.default with Generate.predicates = 1 });
+  Alcotest.(check bool) "benefits < 1" true
+    (fails { Generate.default with Generate.benefits = 0 })
+
+(* Every generated constraint set is chainable and satisfiable. *)
+let test_constraints_satisfiable () =
+  each_problem (fun e ->
+      Alcotest.(check bool) "has realistic valuations" true
+        (Exposure.realistic e <> []))
+
+(* The full pipeline per problem. *)
+let test_pipeline_invariants () =
+  each_problem (fun e ->
+      let engine = Engine.create ~backend:Engine.Bdd e in
+      let atlas = Atlas.build engine in
+      let n = Atlas.player_count atlas in
+      if n > 0 then begin
+        (* Atlas consistency: crowds and choices are mutually inverse. *)
+        List.iter
+          (fun i ->
+            let choices = Atlas.choices_of_player atlas i in
+            Alcotest.(check bool) "player has a choice" true (choices <> []);
+            List.iter
+              (fun m ->
+                Alcotest.(check bool) "edge symmetric" true
+                  (List.mem i (Atlas.players_of_mas atlas m)))
+              choices)
+          (List.init n Fun.id);
+        (* Every MAS proves what it says (via an independent backend). *)
+        let sat_engine = Engine.create ~backend:Engine.Sat e in
+        List.iter
+          (fun (c : A1.choice) ->
+            Alcotest.(check (list string)) "benefits agree" c.A1.benefits
+              (Engine.benefits sat_engine c.A1.mas))
+          (Atlas.mas_list atlas);
+        (* Algorithm 2 + refinement is a Nash equilibrium. *)
+        let profile = Strategy.compute atlas in
+        let refined, converged = Equilibrium.refine profile Payoff.Blank in
+        Alcotest.(check bool) "refinement converges" true converged;
+        Alcotest.(check bool) "nash" true
+          (Equilibrium.is_nash refined Payoff.Blank);
+        (* Reports build for realistic eligible applicants and keep full
+           accuracy: the recommended form proves all due benefits. *)
+        List.iter
+          (fun v ->
+            match Atlas.find_player atlas v with
+            | None -> ()
+            | Some _ ->
+              let r = Report.build atlas refined v in
+              let recommended = Report.recommended r in
+              Alcotest.(check (list string)) "accuracy preserved"
+                (Engine.benefits_of_total engine v)
+                (Engine.benefits sat_engine recommended.Report.mas))
+          (sample 50 (Exposure.eligible e))
+      end)
+
+(* The provider workflow accepts every recommended submission and the
+   archived record passes the audit. *)
+let test_workflow_on_generated () =
+  List.iter
+    (fun seed ->
+      let e = Generate.exposure ~seed () in
+      let provider = Workflow.provider e in
+      List.iter
+        (fun v ->
+          match Workflow.report_for provider v with
+          | Error _ -> ()
+          | Ok report ->
+            let choice = Report.recommended report in
+            (match Workflow.submit provider choice.Report.mas with
+            | Error m -> Alcotest.fail ("submit rejected a MAS: " ^ m)
+            | Ok grant ->
+              Alcotest.(check bool) "audit" true
+                (Workflow.audit provider grant)))
+        (sample 50 (Exposure.eligible e)))
+    seeds
+
+(* Baseline discloses a superset of some MAS's information need: its
+   claimed blanks never beat the best MAS's blank count. *)
+let test_baseline_never_beats_mas () =
+  (* Exact mode is exponential; keep it on the small configuration. *)
+  each_problem
+    ~configs:[ { Generate.default with Generate.predicates = 6 } ]
+    (fun e ->
+      let engine = Engine.create ~backend:Engine.Bdd e in
+      List.iter
+        (fun v ->
+          if Engine.benefits_of_total engine v <> [] then begin
+            let best_mas_domain =
+              List.fold_left
+                (fun acc (c : A1.choice) ->
+                  min acc (Partial.domain_size c.A1.mas))
+                max_int (A1.mas_of ~mode:A1.Exact engine v)
+            in
+            let b = Baseline.minimize engine v in
+            Alcotest.(check bool) "exact MAS at most baseline size" true
+              (best_mas_domain
+              <= Partial.domain_size b.Baseline.disclosed)
+          end)
+        (sample 40 (Exposure.eligible e)))
+
+(* The rule-file DSL roundtrips every generated problem. *)
+let test_spec_roundtrip_generated () =
+  each_problem (fun e ->
+      let printed = Pet_rules.Spec.to_string e in
+      match Pet_rules.Spec.parse printed with
+      | Error m -> Alcotest.fail m
+      | Ok e' ->
+        Alcotest.(check bool) "equivalent" true
+          (Pet_logic.Formula.equivalent (Exposure.to_formula e)
+             (Exposure.to_formula e')))
+
+let () =
+  Alcotest.run "pet_stress"
+    [
+      ( "generator",
+        [
+          Alcotest.test_case "reproducible" `Quick test_generator_reproducible;
+          Alcotest.test_case "validation" `Quick test_generator_validation;
+          Alcotest.test_case "satisfiable constraints" `Quick
+            test_constraints_satisfiable;
+          Alcotest.test_case "spec roundtrip" `Quick
+            test_spec_roundtrip_generated;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "invariants" `Slow test_pipeline_invariants;
+          Alcotest.test_case "workflow" `Slow test_workflow_on_generated;
+          Alcotest.test_case "baseline vs exact MAS" `Slow
+            test_baseline_never_beats_mas;
+        ] );
+    ]

@@ -1,0 +1,318 @@
+(* Tests for universes and (partial) valuations: Definitions 3.3-3.7. *)
+
+module F = Pet_logic.Formula
+module Universe = Pet_valuation.Universe
+module Total = Pet_valuation.Total
+module Partial = Pet_valuation.Partial
+
+let u3 = Universe.of_names [ "p1"; "p2"; "p3" ]
+
+let total = Alcotest.testable Total.pp Total.equal
+let partial = Alcotest.testable Partial.pp Partial.equal
+
+(* --- Universe --------------------------------------------------------------- *)
+
+let test_universe_basics () =
+  Alcotest.(check int) "size" 3 (Universe.size u3);
+  Alcotest.(check string) "name 1" "p2" (Universe.name u3 1);
+  Alcotest.(check int) "index p3" 2 (Universe.index u3 "p3");
+  Alcotest.(check bool) "mem" true (Universe.mem u3 "p1");
+  Alcotest.(check bool) "not mem" false (Universe.mem u3 "q");
+  Alcotest.(check bool) "index_opt none" true
+    (Universe.index_opt u3 "q" = None);
+  Alcotest.(check bool) "equal" true
+    (Universe.equal u3 (Universe.of_names [ "p1"; "p2"; "p3" ]));
+  Alcotest.(check bool) "not equal" false
+    (Universe.equal u3 (Universe.of_names [ "p1"; "p3"; "p2" ]))
+
+let test_universe_invalid () =
+  let fails f = match f () with exception Invalid_argument _ -> true | _ -> false in
+  Alcotest.(check bool) "duplicate" true
+    (fails (fun () -> Universe.of_names [ "a"; "a" ]));
+  Alcotest.(check bool) "empty" true (fails (fun () -> Universe.of_names []));
+  Alcotest.(check bool) "too many" true
+    (fails (fun () ->
+         Universe.of_names (List.init 61 (fun i -> "x" ^ string_of_int i))))
+
+let test_universe_union () =
+  let v = Universe.union u3 (Universe.of_names [ "b1"; "b2" ]) in
+  Alcotest.(check (list string)) "union order"
+    [ "p1"; "p2"; "p3"; "b1"; "b2" ] (Universe.names v);
+  Alcotest.(check bool) "union clash" true
+    (match Universe.union u3 u3 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* --- Total ------------------------------------------------------------------- *)
+
+let test_total_roundtrip () =
+  let v = Total.of_string u3 "011" in
+  Alcotest.(check bool) "p1" false (Total.value v "p1");
+  Alcotest.(check bool) "p2" true (Total.value v "p2");
+  Alcotest.(check bool) "p3" true (Total.value v "p3");
+  Alcotest.(check string) "to_string" "011" (Total.to_string v);
+  Alcotest.check total "of_bits" v (Total.of_bits u3 0b110);
+  Alcotest.check total "make" v
+    (Total.make u3 (fun n -> n = "p2" || n = "p3"))
+
+let test_total_all () =
+  let all = Total.all u3 in
+  Alcotest.(check int) "8 valuations" 8 (List.length all);
+  Alcotest.(check int) "distinct" 8
+    (List.length (List.sort_uniq Total.compare all))
+
+let test_total_invalid () =
+  let fails f = match f () with exception Invalid_argument _ -> true | _ -> false in
+  Alcotest.(check bool) "bad bits" true
+    (fails (fun () -> Total.of_bits u3 0b1000));
+  Alcotest.(check bool) "bad string" true
+    (fails (fun () -> Total.of_string u3 "01"));
+  Alcotest.(check bool) "bad char" true
+    (fails (fun () -> Total.of_string u3 "01x"))
+
+(* --- Partial ------------------------------------------------------------------ *)
+
+let test_partial_strings () =
+  let w = Partial.of_string u3 "_11" in
+  Alcotest.(check string) "roundtrip" "_11" (Partial.to_string w);
+  Alcotest.(check bool) "p1 blank" true (Partial.value w "p1" = None);
+  Alcotest.(check bool) "p2 set" true (Partial.value w "p2" = Some true);
+  Alcotest.(check (list string)) "domain" [ "p2"; "p3" ] (Partial.domain w);
+  Alcotest.(check (list string)) "blanks" [ "p1" ] (Partial.blanks w);
+  Alcotest.(check int) "domain size" 2 (Partial.domain_size w);
+  Alcotest.(check int) "blank count" 1 (Partial.blank_count w)
+
+let test_partial_of_assoc () =
+  let w = Partial.of_assoc u3 [ ("p2", true); ("p3", true); ("p2", true) ] in
+  Alcotest.check partial "assoc" (Partial.of_string u3 "_11") w;
+  Alcotest.(check bool) "contradiction" true
+    (match Partial.of_assoc u3 [ ("p2", true); ("p2", false) ] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_subvaluation () =
+  (* The paper's running example: w1 = _11 <= v1 = 011 (Section 3.1). *)
+  let v1 = Partial.of_total (Total.of_string u3 "011") in
+  let w1 = Partial.of_string u3 "_11" in
+  let w2 = Partial.of_string u3 "_1_" in
+  Alcotest.(check bool) "w1 <= v1" true (Partial.subvaluation w1 v1);
+  Alcotest.(check bool) "w2 <= w1" true (Partial.subvaluation w2 w1);
+  Alcotest.(check bool) "w2 <= v1" true (Partial.subvaluation w2 v1);
+  Alcotest.(check bool) "v1 not <= w1" false (Partial.subvaluation v1 w1);
+  Alcotest.(check bool) "reflexive" true (Partial.subvaluation w1 w1);
+  Alcotest.(check bool) "strict" true (Partial.strict_subvaluation w2 w1);
+  Alcotest.(check bool) "not strict" false (Partial.strict_subvaluation w1 w1);
+  (* Disagreeing values are not subvaluations. *)
+  let w3 = Partial.of_string u3 "_10" in
+  Alcotest.(check bool) "conflict" false (Partial.subvaluation w3 v1)
+
+let test_extensions () =
+  let w = Partial.of_string u3 "_1_" in
+  let exts = Partial.extensions w in
+  Alcotest.(check int) "4 extensions" 4 (List.length exts);
+  Alcotest.(check int) "count_extensions" 4 (Partial.count_extensions w);
+  List.iter
+    (fun v ->
+      Alcotest.(check bool) "extends" true (Partial.extends_total w v);
+      Alcotest.(check bool) "p2 true" true (Total.value v "p2"))
+    exts;
+  (* A total valuation has itself as only extension. *)
+  let v = Partial.of_total (Total.of_string u3 "101") in
+  Alcotest.(check int) "total" 1 (List.length (Partial.extensions v))
+
+let test_merge () =
+  let a = Partial.of_string u3 "0__" and b = Partial.of_string u3 "_1_" in
+  (match Partial.merge a b with
+  | None -> Alcotest.fail "expected merge"
+  | Some m -> Alcotest.check partial "merge" (Partial.of_string u3 "01_") m);
+  let c = Partial.of_string u3 "1__" in
+  Alcotest.(check bool) "conflicting merge" true (Partial.merge a c = None)
+
+let test_set_unset_restrict () =
+  let w = Partial.of_string u3 "0__" in
+  let w' = Partial.set w "p3" true in
+  Alcotest.check partial "set" (Partial.of_string u3 "0_1") w';
+  Alcotest.check partial "set same" w' (Partial.set w' "p3" true);
+  Alcotest.(check bool) "set conflict" true
+    (match Partial.set w' "p3" false with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Alcotest.check partial "unset" w (Partial.unset w' "p3");
+  Alcotest.check partial "restrict"
+    (Partial.of_string u3 "0__")
+    (Partial.restrict w' [ "p1"; "p2"; "unknown" ])
+
+let test_to_total () =
+  Alcotest.(check bool) "partial" true
+    (Partial.to_total (Partial.of_string u3 "0_1") = None);
+  match Partial.to_total (Partial.of_string u3 "001") with
+  | None -> Alcotest.fail "expected total"
+  | Some v -> Alcotest.check total "total" (Total.of_string u3 "001") v
+
+let test_compare_lex () =
+  (* _ < 0 < 1 per position, first variable most significant. *)
+  let w s = Partial.of_string u3 s in
+  Alcotest.(check bool) "_11 < 011" true
+    (Partial.compare_lex (w "_11") (w "011") < 0);
+  Alcotest.(check bool) "011 < 1__" true
+    (Partial.compare_lex (w "011") (w "1__") < 0);
+  Alcotest.(check bool) "1_0 < 1_1" true
+    (Partial.compare_lex (w "1_0") (w "1_1") < 0);
+  Alcotest.(check bool) "10_ < 100" true
+    (Partial.compare_lex (w "10_") (w "100") < 0);
+  Alcotest.(check int) "equal" 0 (Partial.compare_lex (w "01_") (w "01_"))
+
+let test_to_formula () =
+  let w = Partial.of_string u3 "0_1" in
+  let f = Partial.to_formula w in
+  Alcotest.(check bool) "equivalent to !p1 & p3" true
+    (F.equivalent f (Pet_logic.Parse.formula "!p1 & p3"));
+  Alcotest.(check bool) "empty gives true" true
+    (F.equal (Partial.to_formula (Partial.empty u3)) F.True)
+
+(* --- Properties ------------------------------------------------------------------ *)
+
+let gen_partial =
+  QCheck2.Gen.(
+    let* dom = int_range 0 7 in
+    let* bits = int_range 0 7 in
+    return (Partial.of_masks u3 ~dom ~bits:(bits land dom)))
+
+let print_partial w = Partial.to_string w
+
+let prop_string_roundtrip =
+  QCheck2.Test.make ~count:200 ~name:"of_string (to_string w) = w"
+    ~print:print_partial gen_partial (fun w ->
+      Partial.equal w (Partial.of_string u3 (Partial.to_string w)))
+
+let prop_subvaluation_partial_order =
+  QCheck2.Test.make ~count:200 ~name:"subvaluation is a partial order"
+    ~print:(fun (a, b, c) ->
+      String.concat " " (List.map print_partial [ a; b; c ]))
+    QCheck2.Gen.(tup3 gen_partial gen_partial gen_partial)
+    (fun (a, b, c) ->
+      Partial.subvaluation a a
+      && ((not (Partial.subvaluation a b && Partial.subvaluation b a))
+         || Partial.equal a b)
+      && ((not (Partial.subvaluation a b && Partial.subvaluation b c))
+         || Partial.subvaluation a c))
+
+let prop_extensions_are_extensions =
+  QCheck2.Test.make ~count:200 ~name:"extensions extend and are complete"
+    ~print:print_partial gen_partial (fun w ->
+      let exts = Partial.extensions w in
+      List.length exts = Partial.count_extensions w
+      && List.for_all (Partial.extends_total w) exts
+      && List.for_all
+           (fun v ->
+             Bool.equal
+               (Partial.extends_total w v)
+               (List.exists (Total.equal v) exts))
+           (Total.all u3))
+
+let prop_merge_is_lub =
+  QCheck2.Test.make ~count:200 ~name:"merge is the least upper bound"
+    ~print:(fun (a, b) -> print_partial a ^ " " ^ print_partial b)
+    QCheck2.Gen.(tup2 gen_partial gen_partial)
+    (fun (a, b) ->
+      match Partial.merge a b with
+      | Some m ->
+        Partial.subvaluation a m && Partial.subvaluation b m
+        && Partial.domain_size m
+           = Partial.domain_size a + Partial.domain_size b
+             - List.length
+                 (List.filter (Partial.defines b) (Partial.domain a))
+      | None ->
+        (* A conflict means no common extension at all. *)
+        not
+          (List.exists
+             (fun v -> Partial.extends_total a v && Partial.extends_total b v)
+             (Total.all u3)))
+
+let prop_lex_total_order =
+  QCheck2.Test.make ~count:200 ~name:"compare_lex is a total order"
+    ~print:(fun (a, b, c) ->
+      String.concat " " (List.map print_partial [ a; b; c ]))
+    QCheck2.Gen.(tup3 gen_partial gen_partial gen_partial)
+    (fun (a, b, c) ->
+      let ( <=? ) x y = Partial.compare_lex x y <= 0 in
+      (* antisymmetry up to equality, totality, transitivity *)
+      ((not (a <=? b && b <=? a)) || Partial.equal a b)
+      && (a <=? b || b <=? a)
+      && ((not (a <=? b && b <=? c)) || a <=? c))
+
+let prop_restrict_shrinks =
+  QCheck2.Test.make ~count:200 ~name:"restrict keeps a subvaluation"
+    ~print:print_partial gen_partial (fun w ->
+      List.for_all
+        (fun names ->
+          let r = Partial.restrict w names in
+          Partial.subvaluation r w
+          && List.for_all
+               (fun p -> List.mem p names || not (Partial.defines r p))
+               (Partial.domain w))
+        [ []; [ "p1" ]; [ "p1"; "p3" ]; [ "p1"; "p2"; "p3" ] ])
+
+let prop_set_unset_inverse =
+  QCheck2.Test.make ~count:200 ~name:"unset after set restores the valuation"
+    ~print:print_partial gen_partial (fun w ->
+      List.for_all
+        (fun name ->
+          Partial.defines w name
+          || List.for_all
+               (fun value ->
+                 Partial.equal w (Partial.unset (Partial.set w name value) name))
+               [ true; false ])
+        [ "p1"; "p2"; "p3" ])
+
+let prop_to_formula_extensions =
+  QCheck2.Test.make ~count:200
+    ~name:"to_formula models = extensions" ~print:print_partial gen_partial
+    (fun w ->
+      let f = Partial.to_formula w in
+      List.for_all
+        (fun v ->
+          Bool.equal (F.eval (Total.rho v) f) (Partial.extends_total w v))
+        (Total.all u3))
+
+let () =
+  let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests) in
+  Alcotest.run "pet_valuation"
+    [
+      ( "universe",
+        [
+          Alcotest.test_case "basics" `Quick test_universe_basics;
+          Alcotest.test_case "invalid" `Quick test_universe_invalid;
+          Alcotest.test_case "union" `Quick test_universe_union;
+        ] );
+      ( "total",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_total_roundtrip;
+          Alcotest.test_case "all" `Quick test_total_all;
+          Alcotest.test_case "invalid" `Quick test_total_invalid;
+        ] );
+      ( "partial",
+        [
+          Alcotest.test_case "strings" `Quick test_partial_strings;
+          Alcotest.test_case "of_assoc" `Quick test_partial_of_assoc;
+          Alcotest.test_case "subvaluation" `Quick test_subvaluation;
+          Alcotest.test_case "extensions" `Quick test_extensions;
+          Alcotest.test_case "merge" `Quick test_merge;
+          Alcotest.test_case "set/unset/restrict" `Quick
+            test_set_unset_restrict;
+          Alcotest.test_case "to_total" `Quick test_to_total;
+          Alcotest.test_case "lexicographic order" `Quick test_compare_lex;
+          Alcotest.test_case "to_formula" `Quick test_to_formula;
+        ] );
+      qsuite "partial-properties"
+        [
+          prop_string_roundtrip;
+          prop_subvaluation_partial_order;
+          prop_extensions_are_extensions;
+          prop_merge_is_lub;
+          prop_to_formula_extensions;
+          prop_lex_total_order;
+          prop_restrict_shrinks;
+          prop_set_unset_inverse;
+        ];
+    ]

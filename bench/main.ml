@@ -3,8 +3,8 @@
    DESIGN.md, and measures timings with bechamel.
 
    Usage: dune exec bench/main.exe [-- SECTION ...]
-   Sections: tables figures solidarity ablations timings sweep symbolic all
-   (default: all). *)
+   Sections: tables figures solidarity ablations timings sweep symbolic
+   server all (default: all). *)
 
 module Universe = Pet_valuation.Universe
 module Total = Pet_valuation.Total
@@ -484,6 +484,83 @@ let symbolic () =
         dt max_choices eq.Pet_minimize.Symbolic.nash)
     [ 14; 20; 24; 28; 32; 40 ]
 
+(* --- Server: service-loop throughput ------------------------------------------------------------- *)
+
+(* Replay whole populations through the collection service (the same
+   code path as `pet serve`): for each respondent a new_session by
+   digest, a consent report, a choice and a submission — measuring
+   end-to-end requests/second including JSON decode/encode, and the
+   registry hit rate across sessions. *)
+let server () =
+  section "Server: pet serve request throughput (line-delimited JSON)";
+  let escape s = Pet_pet.Json.to_string (Pet_pet.Json.String s) in
+  let run_case name exposure respondents =
+    let tick = ref 0. in
+    let service =
+      Pet_server.Service.create ~capacity:4 ~ttl:0.
+        ~now:(fun () -> tick := !tick +. 1.; !tick)
+        ()
+    in
+    let text = Pet_rules.Spec.to_string exposure in
+    let _, publish_dt =
+      time_once (fun () ->
+          Pet_server.Service.handle_line service
+            (Printf.sprintf
+               {|{"pet":1,"id":0,"method":"publish_rules","params":{"rules":%s}}|}
+               (escape text)))
+    in
+    let digest = Pet_server.Registry.digest text in
+    let population = Array.of_list (Exposure.eligible exposure) in
+    let errors = ref 0 in
+    let requests = ref 0 in
+    let send line =
+      incr requests;
+      let response = Pet_server.Service.handle_line service line in
+      (* Error responses carry an "error" object instead of "ok". *)
+      match Pet_pet.Json.parse response with
+      | Ok obj when Pet_pet.Json.member "ok" obj <> None -> ()
+      | _ -> incr errors
+    in
+    let _, dt =
+      time_once (fun () ->
+          for i = 0 to respondents - 1 do
+            let v = population.(i mod Array.length population) in
+            let session = Printf.sprintf "s%d" i in
+            send
+              (Printf.sprintf
+                 {|{"pet":1,"method":"new_session","params":{"digest":%s}}|}
+                 (escape digest));
+            send
+              (Printf.sprintf
+                 {|{"pet":1,"method":"get_report","params":{"session":%s,"valuation":%s}}|}
+                 (escape session)
+                 (escape (Total.to_string v)));
+            send
+              (Printf.sprintf
+                 {|{"pet":1,"method":"choose_option","params":{"session":%s,"option":0}}|}
+                 (escape session));
+            send
+              (Printf.sprintf
+                 {|{"pet":1,"method":"submit_form","params":{"session":%s}}|}
+                 (escape session))
+          done)
+    in
+    let stats = Pet_server.Service.registry_stats service in
+    let hit_rate =
+      100.
+      *. float_of_int stats.Pet_server.Registry.hits
+      /. float_of_int (stats.Pet_server.Registry.hits + stats.Pet_server.Registry.misses)
+    in
+    Fmt.pr
+      "%-8s publish (compile): %.3fs; %d respondents, %d requests in %.3fs \
+       = %.0f requests/s; %d errors; registry hit rate %.1f%%@."
+      name publish_dt respondents !requests dt
+      (float_of_int !requests /. dt)
+      !errors hit_rate
+  in
+  run_case "H-cov" (Lazy.force hcov) 1560;
+  run_case "RSA" (Lazy.force rsa) 300
+
 (* --- Main ---------------------------------------------------------------------------------------- *)
 
 let () =
@@ -496,6 +573,7 @@ let () =
       ("timings", timings);
       ("sweep", sweep);
       ("symbolic", symbolic);
+      ("server", server);
     ]
   in
   let requested =

@@ -510,6 +510,71 @@ let fill_cmd =
     (Cmd.info "fill" ~doc)
     Term.(ret (const run $ source_arg $ payoff_arg $ weights_arg $ json_arg))
 
+(* --- serve ------------------------------------------------------------------------ *)
+
+let serve_cmd =
+  let deterministic_arg =
+    let doc =
+      "Use a logical clock (advancing 1s per clock read) instead of wall \
+       time, making latencies and expiry reproducible for testing."
+    in
+    Arg.(value & flag & info [ "deterministic" ] ~doc)
+  in
+  let cache_arg =
+    let doc = "Capacity of the compiled-engine LRU cache." in
+    Arg.(value & opt int 16 & info [ "cache" ] ~docv:"N" ~doc)
+  in
+  let ttl_arg =
+    let doc = "Session idle timeout in seconds (0 disables expiry)." in
+    Arg.(value & opt float 3600. & info [ "ttl" ] ~docv:"SECONDS" ~doc)
+  in
+  let run backend payoff deterministic cache ttl =
+    let now =
+      if deterministic then (
+        let tick = ref 0 in
+        fun () ->
+          incr tick;
+          float_of_int !tick)
+      else Unix.gettimeofday
+    in
+    let resolve name =
+      match load_exposure name with
+      | Ok exposure when List.mem name [ "running"; "hcov"; "rsa"; "loan" ] ->
+        Some (Spec.to_string exposure)
+      | _ -> None
+    in
+    let service =
+      Pet_server.Service.create ~backend ~payoff ~capacity:cache ~ttl ~resolve
+        ~now ()
+    in
+    let rec loop () =
+      match In_channel.input_line stdin with
+      | None -> ()
+      | Some line ->
+        if String.trim line <> "" then begin
+          print_endline (Pet_server.Service.handle_line service line);
+          flush stdout
+        end;
+        loop ()
+    in
+    loop ();
+    `Ok ()
+  in
+  let doc =
+    "Run the collection service: read one JSON request per line from \
+     standard input, write one JSON response per line to standard output \
+     (methods: publish_rules, new_session, get_report, choose_option, \
+     submit_form, audit, stats). Compiled rule engines are cached across \
+     sessions; sessions expire after $(b,--ttl) idle seconds; raw \
+     valuations are erased the moment an option is chosen."
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc)
+    Term.(
+      ret
+        (const run $ backend_arg $ payoff_arg $ deterministic_arg $ cache_arg
+       $ ttl_arg))
+
 (* --- main -------------------------------------------------------------------------- *)
 
 let () =
@@ -526,4 +591,5 @@ let () =
             atlas_cmd;
             graph_cmd;
             simulate_cmd;
+            serve_cmd;
           ]))

@@ -60,3 +60,255 @@ let to_string j =
   Buffer.contents buf
 
 let pp ppf j = Fmt.string ppf (to_string j)
+
+(* --- Parsing --------------------------------------------------------------- *)
+
+(* A hand-rolled recursive-descent parser (RFC 8259). Errors carry the
+   1-based line and column of the offending byte so protocol clients get
+   actionable diagnostics; the depth guard keeps hostile inputs from
+   overflowing the stack. *)
+
+exception Error of int * string (* offset, message *)
+
+let max_depth = 512
+
+type parser_state = { input : string; mutable pos : int }
+
+let fail st message = raise (Error (st.pos, message))
+
+let peek st =
+  if st.pos < String.length st.input then Some st.input.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let skip_ws st =
+  while
+    st.pos < String.length st.input
+    &&
+    match st.input.[st.pos] with
+    | ' ' | '\t' | '\n' | '\r' -> true
+    | _ -> false
+  do
+    advance st
+  done
+
+let expect st c =
+  match peek st with
+  | Some d when d = c -> advance st
+  | Some d -> fail st (Printf.sprintf "expected '%c' but found '%c'" c d)
+  | None -> fail st (Printf.sprintf "expected '%c' but found end of input" c)
+
+let literal st word value =
+  let n = String.length word in
+  if
+    st.pos + n <= String.length st.input
+    && String.sub st.input st.pos n = word
+  then begin
+    st.pos <- st.pos + n;
+    value
+  end
+  else fail st (Printf.sprintf "expected %s" word)
+
+(* Encode a Unicode scalar value as UTF-8 into [buf]. *)
+let add_utf8 buf u =
+  if u < 0x80 then Buffer.add_char buf (Char.chr u)
+  else if u < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (u lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
+  end
+  else if u < 0x10000 then begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (u lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xF0 lor (u lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 12) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
+  end
+
+let hex4 st =
+  let digit () =
+    match peek st with
+    | Some ('0' .. '9' as c) -> advance st; Char.code c - Char.code '0'
+    | Some ('a' .. 'f' as c) -> advance st; Char.code c - Char.code 'a' + 10
+    | Some ('A' .. 'F' as c) -> advance st; Char.code c - Char.code 'A' + 10
+    | _ -> fail st "expected four hex digits after \\u"
+  in
+  let a = digit () in
+  let b = digit () in
+  let c = digit () in
+  let d = digit () in
+  (a lsl 12) lor (b lsl 8) lor (c lsl 4) lor d
+
+let parse_string st =
+  expect st '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> fail st "unterminated string"
+    | Some '"' -> advance st; Buffer.contents buf
+    | Some '\\' -> (
+      advance st;
+      match peek st with
+      | Some '"' -> advance st; Buffer.add_char buf '"'; go ()
+      | Some '\\' -> advance st; Buffer.add_char buf '\\'; go ()
+      | Some '/' -> advance st; Buffer.add_char buf '/'; go ()
+      | Some 'b' -> advance st; Buffer.add_char buf '\b'; go ()
+      | Some 'f' -> advance st; Buffer.add_char buf '\012'; go ()
+      | Some 'n' -> advance st; Buffer.add_char buf '\n'; go ()
+      | Some 'r' -> advance st; Buffer.add_char buf '\r'; go ()
+      | Some 't' -> advance st; Buffer.add_char buf '\t'; go ()
+      | Some 'u' ->
+        advance st;
+        let u = hex4 st in
+        let u =
+          if u >= 0xD800 && u <= 0xDBFF then begin
+            (* High surrogate: require the paired low surrogate. *)
+            expect st '\\';
+            expect st 'u';
+            let lo = hex4 st in
+            if lo < 0xDC00 || lo > 0xDFFF then
+              fail st "invalid low surrogate in \\u escape pair"
+            else 0x10000 + (((u - 0xD800) lsl 10) lor (lo - 0xDC00))
+          end
+          else if u >= 0xDC00 && u <= 0xDFFF then
+            fail st "unpaired low surrogate in \\u escape"
+          else u
+        in
+        add_utf8 buf u;
+        go ()
+      | Some c -> fail st (Printf.sprintf "invalid escape '\\%c'" c)
+      | None -> fail st "unterminated string")
+    | Some c when Char.code c < 0x20 ->
+      fail st "unescaped control character in string"
+    | Some c -> advance st; Buffer.add_char buf c; go ()
+  in
+  go ()
+
+let parse_number st =
+  let start = st.pos in
+  let digits () =
+    let d0 = st.pos in
+    while
+      st.pos < String.length st.input
+      && match st.input.[st.pos] with '0' .. '9' -> true | _ -> false
+    do
+      advance st
+    done;
+    if st.pos = d0 then fail st "expected a digit"
+  in
+  if peek st = Some '-' then advance st;
+  digits ();
+  let is_float = ref false in
+  if peek st = Some '.' then begin
+    is_float := true;
+    advance st;
+    digits ()
+  end;
+  (match peek st with
+  | Some ('e' | 'E') ->
+    is_float := true;
+    advance st;
+    (match peek st with Some ('+' | '-') -> advance st | _ -> ());
+    digits ()
+  | _ -> ());
+  let text = String.sub st.input start (st.pos - start) in
+  if !is_float then Float (float_of_string text)
+  else
+    match int_of_string_opt text with
+    | Some i -> Int i
+    | None -> Float (float_of_string text) (* out of native int range *)
+
+let rec parse_value st depth =
+  if depth > max_depth then fail st "value is nested too deeply";
+  skip_ws st;
+  match peek st with
+  | None -> fail st "expected a value but found end of input"
+  | Some 'n' -> literal st "null" Null
+  | Some 't' -> literal st "true" (Bool true)
+  | Some 'f' -> literal st "false" (Bool false)
+  | Some '"' -> String (parse_string st)
+  | Some ('-' | '0' .. '9') -> parse_number st
+  | Some '[' ->
+    advance st;
+    skip_ws st;
+    if peek st = Some ']' then begin
+      advance st;
+      List []
+    end
+    else
+      let rec items acc =
+        let item = parse_value st (depth + 1) in
+        skip_ws st;
+        match peek st with
+        | Some ',' -> advance st; items (item :: acc)
+        | Some ']' -> advance st; List (List.rev (item :: acc))
+        | _ -> fail st "expected ',' or ']' in array"
+      in
+      items []
+  | Some '{' ->
+    advance st;
+    skip_ws st;
+    if peek st = Some '}' then begin
+      advance st;
+      Obj []
+    end
+    else
+      let field () =
+        skip_ws st;
+        if peek st <> Some '"' then fail st "expected a string object key";
+        let key = parse_string st in
+        skip_ws st;
+        expect st ':';
+        let value = parse_value st (depth + 1) in
+        (key, value)
+      in
+      let rec fields acc =
+        let f = field () in
+        skip_ws st;
+        match peek st with
+        | Some ',' -> advance st; fields (f :: acc)
+        | Some '}' -> advance st; Obj (List.rev (f :: acc))
+        | _ -> fail st "expected ',' or '}' in object"
+      in
+      fields []
+  | Some c -> fail st (Printf.sprintf "unexpected character '%c'" c)
+
+let position_of_offset input offset =
+  let line = ref 1 and col = ref 1 in
+  for i = 0 to min offset (String.length input) - 1 do
+    if input.[i] = '\n' then begin
+      incr line;
+      col := 1
+    end
+    else incr col
+  done;
+  (!line, !col)
+
+let parse input =
+  let st = { input; pos = 0 } in
+  match
+    let v = parse_value st 0 in
+    skip_ws st;
+    (match peek st with
+    | Some _ -> fail st "trailing garbage after value"
+    | None -> ());
+    v
+  with
+  | v -> Ok v
+  | exception Error (offset, message) ->
+    let line, col = position_of_offset input offset in
+    Error
+      (Printf.sprintf "line %d, column %d (offset %d): %s" line col offset
+         message)
+
+let parse_exn input =
+  match parse input with Ok v -> v | Error m -> invalid_arg m
+
+(* --- Accessors -------------------------------------------------------------- *)
+
+let member name = function Obj fields -> List.assoc_opt name fields | _ -> None
+let string_opt = function String s -> Some s | _ -> None
+let int_opt = function Int i -> Some i | _ -> None

@@ -1,5 +1,7 @@
-(** Minimal JSON emission (no parsing) for the machine-readable consent
-    reports. Only what the PET needs; strings are escaped per RFC 8259. *)
+(** JSON emission and parsing (RFC 8259) for the machine-readable consent
+    reports and the collection-service protocol. Only what the PET needs;
+    strings are escaped on emission, and parse errors report the exact
+    line/column/offset of the offending byte. *)
 
 type t =
   | Null
@@ -12,3 +14,22 @@ type t =
 
 val to_string : t -> string
 val pp : t Fmt.t
+
+val parse : string -> (t, string) result
+(** Parse a complete JSON document. Integral numbers without a fraction
+    or exponent become [Int] (falling back to [Float] past the native
+    range); [\u] escapes are decoded to UTF-8, including surrogate
+    pairs. The error string carries the 1-based line and column plus the
+    0-based byte offset, e.g.
+    ["line 1, column 9 (offset 8): expected ',' or '}' in object"].
+    Nesting beyond 512 levels is rejected rather than risking a stack
+    overflow on hostile input. *)
+
+val parse_exn : string -> t
+(** @raise Invalid_argument with the {!parse} error message. *)
+
+val member : string -> t -> t option
+(** [member name j] is the field [name] of an [Obj], else [None]. *)
+
+val string_opt : t -> string option
+val int_opt : t -> int option

@@ -1,0 +1,188 @@
+module Json = Pet_pet.Json
+
+let version = 1
+
+type rules_ref = Text of string | Source of string | Digest of string
+type choice_ref = Index of int | Mas of string
+
+type request =
+  | Publish_rules of rules_ref
+  | New_session of rules_ref
+  | Get_report of { session : string; valuation : string }
+  | Choose_option of { session : string; choice : choice_ref }
+  | Submit_form of { session : string }
+  | Audit of rules_ref
+  | Stats
+
+type code =
+  | Parse_error
+  | Invalid_request
+  | Unknown_method
+  | Invalid_params
+  | Unknown_rules
+  | Unknown_source
+  | Unknown_session
+  | Session_expired
+  | Bad_state
+  | Ineligible
+  | Rejected
+
+let code_name = function
+  | Parse_error -> "parse_error"
+  | Invalid_request -> "invalid_request"
+  | Unknown_method -> "unknown_method"
+  | Invalid_params -> "invalid_params"
+  | Unknown_rules -> "unknown_rules"
+  | Unknown_source -> "unknown_source"
+  | Unknown_session -> "unknown_session"
+  | Session_expired -> "session_expired"
+  | Bad_state -> "bad_state"
+  | Ineligible -> "ineligible"
+  | Rejected -> "rejected"
+
+type error = { code : code; message : string }
+
+let error code message = { code; message }
+let errorf code fmt = Printf.ksprintf (error code) fmt
+
+type envelope = { id : Json.t; request : request }
+
+let method_name = function
+  | Publish_rules _ -> "publish_rules"
+  | New_session _ -> "new_session"
+  | Get_report _ -> "get_report"
+  | Choose_option _ -> "choose_option"
+  | Submit_form _ -> "submit_form"
+  | Audit _ -> "audit"
+  | Stats -> "stats"
+
+(* --- Decoding --------------------------------------------------------------- *)
+
+let ( let* ) = Result.bind
+
+let string_field params name =
+  match Json.member name params with
+  | Some (Json.String s) -> Ok s
+  | Some _ -> Error (errorf Invalid_params "%S must be a string" name)
+  | None -> Error (errorf Invalid_params "missing %S parameter" name)
+
+let rules_ref params ~allow_digest =
+  let pick =
+    List.filter_map
+      (fun name ->
+        Option.map (fun v -> (name, v)) (Json.member name params))
+      [ "rules"; "source"; "digest" ]
+  in
+  match pick with
+  | [ ("rules", Json.String s) ] -> Ok (Text s)
+  | [ ("source", Json.String s) ] -> Ok (Source s)
+  | [ ("digest", Json.String s) ] when allow_digest -> Ok (Digest s)
+  | [ ("digest", Json.String _) ] ->
+    Error (error Invalid_params "this method requires \"rules\" or \"source\"")
+  | [ (name, _) ] ->
+    Error (errorf Invalid_params "%S must be a string" name)
+  | [] ->
+    Error
+      (errorf Invalid_params "expected one of %s"
+         (if allow_digest then "\"rules\", \"source\" or \"digest\""
+          else "\"rules\" or \"source\""))
+  | _ :: _ :: _ ->
+    Error
+      (error Invalid_params
+         "\"rules\", \"source\" and \"digest\" are mutually exclusive")
+
+let choice_ref params =
+  match (Json.member "option" params, Json.member "mas" params) with
+  | Some (Json.Int i), None -> Ok (Index i)
+  | None, Some (Json.String s) -> Ok (Mas s)
+  | None, None ->
+    Error
+      (error Invalid_params
+         "expected \"option\" (an index into the report's options) or \
+          \"mas\" (the minimized form itself)")
+  | Some _, Some _ ->
+    Error (error Invalid_params "\"option\" and \"mas\" are mutually exclusive")
+  | Some _, None -> Error (error Invalid_params "\"option\" must be an integer")
+  | None, Some _ -> Error (error Invalid_params "\"mas\" must be a string")
+
+let decode_request name params =
+  match name with
+  | "publish_rules" ->
+    let* rules = rules_ref params ~allow_digest:false in
+    Ok (Publish_rules rules)
+  | "new_session" ->
+    let* rules = rules_ref params ~allow_digest:true in
+    Ok (New_session rules)
+  | "get_report" ->
+    let* session = string_field params "session" in
+    let* valuation = string_field params "valuation" in
+    Ok (Get_report { session; valuation })
+  | "choose_option" ->
+    let* session = string_field params "session" in
+    let* choice = choice_ref params in
+    Ok (Choose_option { session; choice })
+  | "submit_form" ->
+    let* session = string_field params "session" in
+    Ok (Submit_form { session })
+  | "audit" ->
+    let* rules = rules_ref params ~allow_digest:true in
+    Ok (Audit rules)
+  | "stats" -> Ok Stats
+  | other -> Error (errorf Unknown_method "unknown method %S" other)
+
+let decode line =
+  match Json.parse line with
+  | Error m -> Error (Json.Null, error Parse_error m)
+  | Ok (Json.Obj _ as obj) -> (
+    let id =
+      match Json.member "id" obj with
+      | Some ((Json.Int _ | Json.String _ | Json.Null) as id) -> id
+      | Some _ | None -> Json.Null
+    in
+    let fail e = Error (id, e) in
+    match Json.member "pet" obj with
+    | Some (Json.Int v) when v = version -> (
+      match Json.member "method" obj with
+      | Some (Json.String name) -> (
+        let params =
+          match Json.member "params" obj with
+          | Some (Json.Obj _ as params) -> Ok params
+          | None -> Ok (Json.Obj [])
+          | Some _ -> Error (error Invalid_request "\"params\" must be an object")
+        in
+        match params with
+        | Error e -> fail e
+        | Ok params -> (
+          match decode_request name params with
+          | Ok request -> Ok { id; request }
+          | Error e -> fail e))
+      | Some _ -> fail (error Invalid_request "\"method\" must be a string")
+      | None -> fail (error Invalid_request "missing \"method\""))
+    | Some (Json.Int v) ->
+      fail
+        (errorf Invalid_request "unsupported protocol version %d (this is %d)"
+           v version)
+    | Some _ -> fail (error Invalid_request "\"pet\" must be an integer")
+    | None ->
+      fail (error Invalid_request "missing \"pet\" protocol-version field"))
+  | Ok _ -> Error (Json.Null, error Invalid_request "request must be a JSON object")
+
+(* --- Encoding --------------------------------------------------------------- *)
+
+let ok_response ~id result =
+  Json.to_string
+    (Json.Obj [ ("pet", Json.Int version); ("id", id); ("ok", result) ])
+
+let error_response ~id { code; message } =
+  Json.to_string
+    (Json.Obj
+       [
+         ("pet", Json.Int version);
+         ("id", id);
+         ( "error",
+           Json.Obj
+             [
+               ("code", Json.String (code_name code));
+               ("message", Json.String message);
+             ] );
+       ])

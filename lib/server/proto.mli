@@ -1,0 +1,73 @@
+(** The collection-service wire protocol: versioned request/response
+    envelopes over line-delimited JSON.
+
+    One request per line, one response line per request, always in
+    order — the framing works identically over stdin/stdout (the [pet
+    serve] subcommand, cram-testable) and over any socket transport
+    wrapped around {!Service.handle_line} later.
+
+    Requests: [{"pet":1, "id":ID, "method":M, "params":{…}}] where [ID]
+    is an integer, string or null echo token. Responses:
+    [{"pet":1,"id":ID,"ok":RESULT}] or
+    [{"pet":1,"id":ID,"error":{"code":C,"message":S}}].
+
+    Methods and their parameters:
+    - [publish_rules] — [rules] (spec text) or [source] (built-in name)
+    - [new_session] — [rules], [source] or [digest] (a published rule set)
+    - [get_report] — [session], [valuation] (the filled form as bits)
+    - [choose_option] — [session], and [option] (index) or [mas] (string)
+    - [submit_form] — [session]
+    - [audit] — [rules], [source] or [digest]
+    - [stats] — no parameters *)
+
+module Json = Pet_pet.Json
+
+val version : int
+
+type rules_ref =
+  | Text of string  (** the rule-spec text itself *)
+  | Source of string  (** a name the host resolves (built-in case studies) *)
+  | Digest of string  (** a previously published rule set *)
+
+type choice_ref = Index of int | Mas of string
+
+type request =
+  | Publish_rules of rules_ref
+  | New_session of rules_ref
+  | Get_report of { session : string; valuation : string }
+  | Choose_option of { session : string; choice : choice_ref }
+  | Submit_form of { session : string }
+  | Audit of rules_ref
+  | Stats
+
+type code =
+  | Parse_error  (** the line is not valid JSON (message has the position) *)
+  | Invalid_request  (** not a protocol envelope *)
+  | Unknown_method
+  | Invalid_params
+  | Unknown_rules  (** digest not in the registry (never published or evicted) *)
+  | Unknown_source  (** no built-in rule set of that name *)
+  | Unknown_session
+  | Session_expired
+  | Bad_state  (** the session is not in a state accepting this method *)
+  | Ineligible  (** the form grants no benefit or contradicts the rules *)
+  | Rejected  (** provider-side refusal of a submitted form *)
+
+val code_name : code -> string
+
+type error = { code : code; message : string }
+
+val error : code -> string -> error
+val errorf : code -> ('a, unit, string, error) format4 -> 'a
+
+type envelope = { id : Json.t (* Int, String or Null *); request : request }
+
+val method_name : request -> string
+(** The wire name, used as the stats bucket. *)
+
+val decode : string -> (envelope, Json.t * error) result
+(** Decode one request line. On failure the best-effort request id is
+    returned alongside the error so the response can still be correlated. *)
+
+val ok_response : id:Json.t -> Json.t -> string
+val error_response : id:Json.t -> error -> string

@@ -1,0 +1,45 @@
+(** The compiled-engine cache.
+
+    Building a provider ({!Pet_pet.Workflow.provider}) means compiling
+    the rules into an engine, enumerating the MAS atlas and solving the
+    equilibrium — seconds of work for real forms. The service therefore
+    compiles each distinct rule set once and shares the result across
+    every session that uses it, keyed by {!digest} of the canonical rule
+    text. The cache is LRU-bounded and instrumented: hit/miss/eviction
+    counters feed the [stats] endpoint. *)
+
+type 'a t
+
+type stats = {
+  size : int;
+  capacity : int;
+  hits : int;
+  misses : int;
+  evictions : int;
+}
+
+val digest : string -> string
+(** Content digest of a rule-spec text (32 hex chars). Callers digest the
+    {e canonical} rendering ({!Pet_rules.Spec.to_string} of the parsed
+    problem) so that formatting or rule-order differences map to the same
+    key. *)
+
+val create : ?capacity:int -> unit -> 'a t
+(** Default capacity 16. @raise Invalid_argument when [capacity < 1]. *)
+
+val find : 'a t -> string -> 'a option
+(** Counting lookup: updates the hit/miss counters and the LRU clock. *)
+
+val peek : 'a t -> string -> 'a option
+(** Non-counting lookup for internal re-reads (a [get_report] fetching
+    the engine its session already resolved); still refreshes the LRU
+    clock so live rule sets are not evicted under sessions using them. *)
+
+val add : 'a t -> string -> 'a -> unit
+(** Insert (replacing any previous binding), evicting the least recently
+    used entry when the cache is full. *)
+
+val find_or_add : 'a t -> string -> (unit -> 'a) -> 'a * bool
+(** Counting lookup-or-build; the boolean is [true] on a hit. *)
+
+val stats : 'a t -> stats

@@ -1,0 +1,370 @@
+module Json = Pet_pet.Json
+module Spec = Pet_rules.Spec
+module Exposure = Pet_rules.Exposure
+module Engine = Pet_rules.Engine
+module Atlas = Pet_minimize.Atlas
+module Payoff = Pet_game.Payoff
+module Workflow = Pet_pet.Workflow
+module Report = Pet_pet.Report
+module Ledger = Pet_pet.Ledger
+module Total = Pet_valuation.Total
+module Partial = Pet_valuation.Partial
+module Universe = Pet_valuation.Universe
+
+type compiled = {
+  digest : string;
+  exposure : Exposure.t;
+  provider : Workflow.t;
+}
+
+type method_stats = {
+  mutable count : int;
+  mutable errors : int;
+  mutable total_latency : float;
+  mutable max_latency : float;
+}
+
+type t = {
+  backend : Engine.backend;
+  payoff : Payoff.kind;
+  now : unit -> float;
+  resolve : string -> string option;
+  registry : compiled Registry.t;
+  ledgers : (string, Ledger.t) Hashtbl.t;
+      (* archives outlive engine evictions: the cache bounds compute, not
+         the legally retained records *)
+  store : Session.store;
+  methods : (string, method_stats) Hashtbl.t;
+  mutable requests : int;
+  mutable submitted : int;
+}
+
+let create ?(backend = Engine.Bdd) ?(payoff = Payoff.Blank) ?capacity ?ttl
+    ?(resolve = fun _ -> None) ~now () =
+  {
+    backend;
+    payoff;
+    now;
+    resolve;
+    registry = Registry.create ?capacity ();
+    ledgers = Hashtbl.create 8;
+    store = Session.create_store ?ttl ();
+    methods = Hashtbl.create 8;
+    requests = 0;
+    submitted = 0;
+  }
+
+let ( let* ) = Result.bind
+
+(* --- Rule-set resolution ----------------------------------------------------- *)
+
+let compile t text =
+  match Spec.parse text with
+  | Error m -> Error (Proto.errorf Proto.Invalid_params "rules: %s" m)
+  | Ok exposure -> (
+    let canonical = Spec.to_string exposure in
+    let digest = Registry.digest canonical in
+    match Registry.find_or_add t.registry digest (fun () ->
+            let provider = Workflow.provider ~backend:t.backend ~payoff:t.payoff exposure in
+            { digest; exposure; provider })
+    with
+    | compiled, hit -> Ok (compiled, hit)
+    | exception Invalid_argument m ->
+      Error (Proto.errorf Proto.Invalid_params "rules: %s" m))
+
+(* Counting resolution (publish_rules / new_session / audit): cache hits
+   and misses here measure how often a compilation was saved. *)
+let resolve_rules t = function
+  | Proto.Text text -> compile t text
+  | Proto.Source name -> (
+    match t.resolve name with
+    | Some text -> compile t text
+    | None ->
+      Error (Proto.errorf Proto.Unknown_source "unknown rule source %S" name))
+  | Proto.Digest digest -> (
+    match Registry.find t.registry digest with
+    | Some compiled -> Ok (compiled, true)
+    | None ->
+      Error
+        (Proto.errorf Proto.Unknown_rules
+           "no rule set with digest %s (never published, or evicted — \
+            republish the rules)"
+           digest))
+
+(* Non-counting engine re-read for a session that already resolved its
+   rule set; only fails if the engine was evicted underneath it. *)
+let engine_of_session t (session : Session.t) =
+  match Registry.peek t.registry session.Session.digest with
+  | Some compiled -> Ok compiled
+  | None ->
+    Error
+      (Proto.errorf Proto.Unknown_rules
+         "the engine for this session's rules was evicted from the cache; \
+          republish the rules and retry"
+         )
+
+let ledger_for t digest =
+  match Hashtbl.find_opt t.ledgers digest with
+  | Some ledger -> ledger
+  | None ->
+    let ledger = Ledger.create () in
+    Hashtbl.add t.ledgers digest ledger;
+    ledger
+
+let find_session t id ~now =
+  match Session.find t.store id ~now with
+  | Ok session -> Ok session
+  | Error `Unknown ->
+    Error (Proto.errorf Proto.Unknown_session "unknown session %S" id)
+  | Error `Expired ->
+    Error (Proto.errorf Proto.Session_expired "session %S has expired" id)
+
+let require_state (session : Session.t) allowed ~verb =
+  if List.mem session.Session.state allowed then Ok ()
+  else
+    Error
+      (Proto.errorf Proto.Bad_state "cannot %s a session in state %S" verb
+         (Session.state_name session.Session.state))
+
+(* --- Handlers ----------------------------------------------------------------- *)
+
+let rules_summary compiled ~cached =
+  let atlas = Workflow.atlas compiled.provider in
+  Json.Obj
+    [
+      ("digest", Json.String compiled.digest);
+      ("cached", Json.Bool cached);
+      ("predicates", Json.Int (Universe.size (Exposure.xp compiled.exposure)));
+      ("benefits", Json.Int (Universe.size (Exposure.xb compiled.exposure)));
+      ("mas", Json.Int (Atlas.mas_count atlas));
+      ("eligible", Json.Int (Atlas.player_count atlas));
+    ]
+
+let publish_rules t rules =
+  let* compiled, cached = resolve_rules t rules in
+  Ok (rules_summary compiled ~cached)
+
+let new_session t rules ~now =
+  let* compiled, cached = resolve_rules t rules in
+  let session = Session.create t.store ~digest:compiled.digest ~now in
+  Ok
+    (Json.Obj
+       [
+         ("session", Json.String session.Session.id);
+         ("digest", Json.String compiled.digest);
+         ("cached", Json.Bool cached);
+       ])
+
+let get_report t ~session:sid ~valuation ~now =
+  let* session = find_session t sid ~now in
+  let* () =
+    require_state session [ Session.Created; Session.Reported ]
+      ~verb:"get_report"
+  in
+  let* compiled = engine_of_session t session in
+  let* v =
+    match Total.of_string (Exposure.xp compiled.exposure) valuation with
+    | v -> Ok v
+    | exception Invalid_argument m ->
+      Error (Proto.errorf Proto.Invalid_params "valuation: %s" m)
+  in
+  match Workflow.report_for compiled.provider v with
+  | Error m -> Error (Proto.error Proto.Ineligible m)
+  | Ok report ->
+    session.Session.valuation <- Some v;
+    session.Session.options <-
+      List.map
+        (fun (o : Report.option_report) -> (o.Report.mas, o.Report.benefits))
+        report.Report.options;
+    session.Session.state <- Session.Reported;
+    Session.touch session ~now;
+    Ok (Report.to_json report)
+
+let choose_option t ~session:sid ~choice ~now =
+  let* session = find_session t sid ~now in
+  let* () = require_state session [ Session.Reported ] ~verb:"choose_option" in
+  let options = session.Session.options in
+  let* mas, benefits =
+    match choice with
+    | Proto.Index i -> (
+      match List.nth_opt options i with
+      | Some option -> Ok option
+      | None ->
+        Error
+          (Proto.errorf Proto.Invalid_params
+             "option %d is out of range (the report offered %d options)" i
+             (List.length options)))
+    | Proto.Mas s -> (
+      match
+        List.find_opt (fun (mas, _) -> Partial.to_string mas = s) options
+      with
+      | Some option -> Ok option
+      | None ->
+        Error
+          (Proto.errorf Proto.Invalid_params
+             "%S is not one of the options offered by the report" s))
+  in
+  (* Requirement R2 enforced here: the full valuation and the unchosen
+     options die; from now on only the minimized form exists. *)
+  session.Session.valuation <- None;
+  session.Session.options <- [];
+  session.Session.chosen <- Some (mas, benefits);
+  session.Session.state <- Session.Chosen;
+  Session.touch session ~now;
+  Ok
+    (Json.Obj
+       [
+         ("mas", Json.String (Partial.to_string mas));
+         ("benefits", Json.List (List.map (fun b -> Json.String b) benefits));
+       ])
+
+let submit_form t ~session:sid ~now =
+  let* session = find_session t sid ~now in
+  let* () = require_state session [ Session.Chosen ] ~verb:"submit_form" in
+  let* compiled = engine_of_session t session in
+  let mas, _ = Option.get session.Session.chosen in
+  match Workflow.submit compiled.provider mas with
+  | Error m -> Error (Proto.error Proto.Rejected m)
+  | Ok grant ->
+    let ledger = ledger_for t session.Session.digest in
+    let grant_id = Ledger.record ledger grant in
+    session.Session.grant_id <- Some grant_id;
+    session.Session.state <- Session.Submitted;
+    t.submitted <- t.submitted + 1;
+    Session.touch session ~now;
+    Ok
+      (Json.Obj
+         [
+           ("grant", Json.Int grant_id);
+           ("form", Json.String (Partial.to_string grant.Workflow.form));
+           ( "benefits",
+             Json.List
+               (List.map (fun b -> Json.String b) grant.Workflow.benefits) );
+         ])
+
+let audit t rules =
+  let* compiled, _ = resolve_rules t rules in
+  let ledger = ledger_for t compiled.digest in
+  let failures = Ledger.audit ledger compiled.provider in
+  Ok
+    (Json.Obj
+       [
+         ("digest", Json.String compiled.digest);
+         ("records", Json.Int (Ledger.size ledger));
+         ("stored_values", Json.Int (Ledger.stored_values ledger));
+         ("failures", Json.List (List.map (fun i -> Json.Int i) failures));
+       ])
+
+(* --- Stats ---------------------------------------------------------------------- *)
+
+let registry_stats t = Registry.stats t.registry
+
+let stats_json t =
+  let r = Registry.stats t.registry in
+  let s = Session.counters t.store in
+  let by_method =
+    Hashtbl.fold (fun name m acc -> (name, m) :: acc) t.methods []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    |> List.map (fun (name, m) ->
+           ( name,
+             Json.Obj
+               [
+                 ("count", Json.Int m.count);
+                 ("errors", Json.Int m.errors);
+                 ( "latency_s",
+                   Json.Obj
+                     [
+                       ("total", Json.Float m.total_latency);
+                       ("max", Json.Float m.max_latency);
+                     ] );
+               ] ))
+  in
+  let records, stored_values =
+    Hashtbl.fold
+      (fun _ ledger (records, values) ->
+        (records + Ledger.size ledger, values + Ledger.stored_values ledger))
+      t.ledgers (0, 0)
+  in
+  Json.Obj
+    [
+      ( "requests",
+        Json.Obj
+          [ ("total", Json.Int t.requests); ("by_method", Json.Obj by_method) ]
+      );
+      ( "registry",
+        Json.Obj
+          [
+            ("size", Json.Int r.Registry.size);
+            ("capacity", Json.Int r.Registry.capacity);
+            ("hits", Json.Int r.Registry.hits);
+            ("misses", Json.Int r.Registry.misses);
+            ("evictions", Json.Int r.Registry.evictions);
+          ] );
+      ( "sessions",
+        Json.Obj
+          [
+            ("active", Json.Int s.Session.active);
+            ("created", Json.Int s.Session.created);
+            ("expired", Json.Int s.Session.expired);
+            ("submitted", Json.Int t.submitted);
+          ] );
+      ( "ledger",
+        Json.Obj
+          [
+            ("rule_sets", Json.Int (Hashtbl.length t.ledgers));
+            ("records", Json.Int records);
+            ("stored_values", Json.Int stored_values);
+          ] );
+    ]
+
+(* --- Dispatch --------------------------------------------------------------------- *)
+
+let handle_request t request ~now =
+  match request with
+  | Proto.Publish_rules rules -> publish_rules t rules
+  | Proto.New_session rules -> new_session t rules ~now
+  | Proto.Get_report { session; valuation } ->
+    get_report t ~session ~valuation ~now
+  | Proto.Choose_option { session; choice } ->
+    choose_option t ~session ~choice ~now
+  | Proto.Submit_form { session } -> submit_form t ~session ~now
+  | Proto.Audit rules -> audit t rules
+  | Proto.Stats -> Ok (stats_json t)
+
+let record_method t name ~latency ~failed =
+  let m =
+    match Hashtbl.find_opt t.methods name with
+    | Some m -> m
+    | None ->
+      let m =
+        { count = 0; errors = 0; total_latency = 0.; max_latency = 0. }
+      in
+      Hashtbl.add t.methods name m;
+      m
+  in
+  m.count <- m.count + 1;
+  if failed then m.errors <- m.errors + 1;
+  m.total_latency <- m.total_latency +. latency;
+  m.max_latency <- Float.max m.max_latency latency
+
+let handle_line t line =
+  let start = t.now () in
+  t.requests <- t.requests + 1;
+  let id, name, result =
+    match Proto.decode line with
+    | Error (id, e) -> (id, "invalid", Error e)
+    | Ok { Proto.id; request } ->
+      (id, Proto.method_name request, handle_request t request ~now:start)
+  in
+  let response =
+    match result with
+    | Ok payload -> Proto.ok_response ~id payload
+    | Error e -> Proto.error_response ~id e
+  in
+  let finish = t.now () in
+  (* Sweep after the handler, so an expired session's own lookup still
+     answers [session_expired] before the sweep turns it into an unknown
+     id for everyone else. *)
+  ignore (Session.sweep t.store ~now:finish);
+  record_method t name ~latency:(finish -. start) ~failed:(Result.is_error result);
+  response

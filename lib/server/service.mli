@@ -1,0 +1,49 @@
+(** The collection-service core: a pure request router over the PET
+    workflow.
+
+    One [Service.t] serves many concurrent respondent sessions over many
+    published rule sets. It owns the compiled-engine {!Registry} (one
+    {!Pet_pet.Workflow.provider} per distinct rule set, shared by every
+    session), the {!Session} store (per-respondent state machines with
+    TTL expiry, swept on every request), and one {!Pet_pet.Ledger} per
+    rule set (archives survive engine evictions — the cache bounds
+    compute, not the legally retained records).
+
+    The core is transport-agnostic and deliberately synchronous:
+    {!handle_line} maps one request line to one response line, so any
+    driver — the [pet serve] stdin/stdout loop, a socket accept loop, a
+    test harness — provides the I/O and, if it wants parallelism, the
+    locking around a service instance. Determinism is preserved by
+    injecting the clock: tests and cram transcripts pass a logical
+    clock, production passes wall time. *)
+
+type t
+
+val create :
+  ?backend:Pet_rules.Engine.backend ->
+  ?payoff:Pet_game.Payoff.kind ->
+  ?capacity:int ->
+  ?ttl:float ->
+  ?resolve:(string -> string option) ->
+  now:(unit -> float) ->
+  unit ->
+  t
+(** [capacity] bounds the engine registry (default 16); [ttl] is the
+    session idle timeout in seconds (default 3600, [<= 0.] disables);
+    [resolve] maps [source] names in requests to rule-spec text (the CLI
+    wires the built-in case studies here); [now] is called exactly twice
+    per request (entry and exit), so a logical clock advancing 1.0 per
+    call yields fully deterministic latencies and expiry. *)
+
+val handle_line : t -> string -> string
+(** Process one request line, return the response line (no trailing
+    newline). Never raises: every failure becomes a structured protocol
+    error. Also sweeps expired sessions and updates the per-endpoint
+    counters/latency aggregates reported by the [stats] method. *)
+
+val stats_json : t -> Pet_pet.Json.t
+(** The [stats] payload: request totals and per-method count/error/latency
+    aggregates, registry size/hits/misses/evictions, session
+    active/created/expired/submitted counts, and archive totals. *)
+
+val registry_stats : t -> Registry.stats

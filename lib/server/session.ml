@@ -1,0 +1,91 @@
+module Total = Pet_valuation.Total
+module Partial = Pet_valuation.Partial
+
+type state = Created | Reported | Chosen | Submitted
+
+let state_name = function
+  | Created -> "created"
+  | Reported -> "reported"
+  | Chosen -> "chosen"
+  | Submitted -> "submitted"
+
+type t = {
+  id : string;
+  digest : string;
+  created_at : float;
+  mutable last_active : float;
+  mutable state : state;
+  mutable valuation : Total.t option;
+  mutable options : (Partial.t * string list) list;
+  mutable chosen : (Partial.t * string list) option;
+  mutable grant_id : int option;
+}
+
+type store = {
+  ttl : float;
+  sessions : (string, t) Hashtbl.t;
+  mutable next_id : int;
+  mutable created : int;
+  mutable expired : int;
+}
+
+type counters = { active : int; created : int; expired : int }
+
+let create_store ?(ttl = 3600.) () =
+  { ttl; sessions = Hashtbl.create 64; next_id = 0; created = 0; expired = 0 }
+
+let create store ~digest ~now =
+  let id = Printf.sprintf "s%d" store.next_id in
+  store.next_id <- store.next_id + 1;
+  store.created <- store.created + 1;
+  let session =
+    {
+      id;
+      digest;
+      created_at = now;
+      last_active = now;
+      state = Created;
+      valuation = None;
+      options = [];
+      chosen = None;
+      grant_id = None;
+    }
+  in
+  Hashtbl.replace store.sessions id session;
+  session
+
+let is_expired store session ~now =
+  store.ttl > 0. && now -. session.last_active > store.ttl
+
+let expire store session =
+  Hashtbl.remove store.sessions session.id;
+  store.expired <- store.expired + 1
+
+let find store id ~now =
+  match Hashtbl.find_opt store.sessions id with
+  | None -> Error `Unknown
+  | Some session ->
+    if is_expired store session ~now then begin
+      expire store session;
+      Error `Expired
+    end
+    else Ok session
+
+let touch session ~now = session.last_active <- now
+
+let sweep store ~now =
+  let stale =
+    Hashtbl.fold
+      (fun _ session acc ->
+        if is_expired store session ~now then session :: acc else acc)
+      store.sessions []
+  in
+  List.iter (expire store) stale;
+  List.length stale
+
+let counters store =
+  {
+    active = Hashtbl.length store.sessions;
+    created = store.created;
+    expired = store.expired;
+  }

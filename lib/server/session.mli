@@ -1,0 +1,56 @@
+(** Per-respondent session state.
+
+    A session walks the Figure-3 applicant side as a state machine:
+
+    {v Created --get_report--> Reported --choose_option--> Chosen
+                                   |                          |
+                                   +-----(re-report)          +--submit_form--> Submitted v}
+
+    The full valuation exists only in the [Reported] state; the moment an
+    option is chosen the valuation (and the other options) are erased and
+    only the minimized form survives — the service-side enforcement of
+    requirement R2. Sessions idle longer than the store's TTL are swept,
+    which also erases any un-chosen full valuation. *)
+
+type state = Created | Reported | Chosen | Submitted
+
+val state_name : state -> string
+
+type t = {
+  id : string;
+  digest : string;  (** the rule set this session applies under *)
+  created_at : float;
+  mutable last_active : float;
+  mutable state : state;
+  mutable valuation : Pet_valuation.Total.t option;
+      (** the full form; [Some] only while [Reported] *)
+  mutable options : (Pet_valuation.Partial.t * string list) list;
+      (** the offered MAS (with their benefits), report order; only while
+          [Reported] *)
+  mutable chosen : (Pet_valuation.Partial.t * string list) option;
+      (** the minimized form; [Some] from [Chosen] on *)
+  mutable grant_id : int option;  (** archive id once [Submitted] *)
+}
+
+type store
+type counters = { active : int; created : int; expired : int }
+
+val create_store : ?ttl:float -> unit -> store
+(** [ttl] in seconds, default 3600; [ttl <= 0.] disables expiry. *)
+
+val create : store -> digest:string -> now:float -> t
+(** Fresh session in state [Created], with a sequential id ["s0"],
+    ["s1"], … (deterministic by design: ids order the transcript, they
+    are not authentication tokens — a fronting transport would wrap them
+    in its own opaque handles). *)
+
+val find : store -> string -> now:float -> (t, [ `Unknown | `Expired ]) result
+(** Expired sessions are removed on lookup and reported as [`Expired]. *)
+
+val touch : t -> now:float -> unit
+(** Refresh the idle clock (called on every successful request). *)
+
+val sweep : store -> now:float -> int
+(** Remove every expired session; returns how many were removed. *)
+
+val counters : store -> counters

@@ -310,6 +310,95 @@ let test_ledger () =
 
 (* --- JSON emitter ------------------------------------------------------------------ *)
 
+let test_json_parse () =
+  let parses input expected =
+    match Json.parse input with
+    | Ok j -> Alcotest.(check string) input expected (Json.to_string j)
+    | Error m -> Alcotest.failf "%s: %s" input m
+  in
+  parses "null" "null";
+  parses " true " "true";
+  parses "-42" "-42";
+  parses "0.5" "0.5";
+  parses "1e3" "1000";
+  parses "[1, [2, {}], {\"a\": null}]" "[1,[2,{}],{\"a\":null}]";
+  parses "{\"k\" : \"v\", \"l\": [true,false]}" "{\"k\":\"v\",\"l\":[true,false]}";
+  (* Escapes: named, \u BMP, and a surrogate pair (U+1F600, 4 UTF-8 bytes). *)
+  parses "\"a\\n\\t\\\"b\\\\\"" "\"a\\n\\t\\\"b\\\\\"";
+  (match Json.parse "\"\\u0041\\u00e9\"" with
+  | Ok (Json.String s) -> Alcotest.(check string) "utf8 decode" "A\xc3\xa9" s
+  | _ -> Alcotest.fail "expected a string");
+  (match Json.parse "\"\\ud83d\\ude00\"" with
+  | Ok (Json.String s) ->
+    Alcotest.(check string) "surrogate pair" "\xf0\x9f\x98\x80" s
+  | _ -> Alcotest.fail "expected a string");
+  (* Integral numbers become Int, fractional/exponent Float. *)
+  Alcotest.(check bool) "int" true (Json.parse "7" = Ok (Json.Int 7));
+  Alcotest.(check bool) "float" true (Json.parse "7.0" = Ok (Json.Float 7.))
+
+let test_json_parse_errors () =
+  let fails_at input fragment =
+    match Json.parse input with
+    | Ok _ -> Alcotest.failf "%s: expected a parse error" input
+    | Error m ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: %S in %S" input fragment m)
+        true (contains m fragment)
+  in
+  fails_at "" "end of input";
+  fails_at "tru" "expected true";
+  fails_at "[1,2" "expected ',' or ']'";
+  fails_at "{\"a\":1," "expected a string object key";
+  fails_at "{\"a\" 1}" "expected ':'";
+  fails_at "\"abc" "unterminated string";
+  fails_at "\"a\\q\"" "invalid escape";
+  fails_at "\"\\ud800x\"" "expected";
+  fails_at "1 2" "trailing garbage";
+  fails_at "\"a\nb\"" "control character";
+  (* Positions are 1-based line/column. *)
+  (match Json.parse "[1,\n2,\nxyz]" with
+  | Error m ->
+    Alcotest.(check bool) "line 3" true (contains m "line 3, column 1")
+  | Ok _ -> Alcotest.fail "expected error");
+  (* The depth guard rejects hostile nesting instead of overflowing. *)
+  let deep = String.concat "" (List.init 600 (fun _ -> "[")) in
+  fails_at deep "nested too deeply"
+
+(* Random JSON documents: emission followed by parsing is the identity on
+   the emitted text (the canonical-form round trip). *)
+let gen_json =
+  QCheck2.Gen.(
+    sized @@ fix (fun self n ->
+        let scalar =
+          oneof
+            [
+              return Json.Null;
+              map (fun b -> Json.Bool b) bool;
+              map (fun i -> Json.Int i) int;
+              map (fun f -> Json.Float f) (float_bound_inclusive 1000.);
+              map (fun s -> Json.String s) (string_size ~gen:printable (int_bound 12));
+            ]
+        in
+        if n = 0 then scalar
+        else
+          oneof
+            [
+              scalar;
+              map (fun l -> Json.List l) (list_size (int_bound 4) (self (n / 2)));
+              map
+                (fun kvs -> Json.Obj kvs)
+                (list_size (int_bound 4)
+                   (pair (string_size ~gen:printable (int_bound 8)) (self (n / 2))));
+            ]))
+
+let prop_json_roundtrip =
+  QCheck2.Test.make ~count:500 ~name:"to_string |> parse |> to_string is stable"
+    ~print:Json.to_string gen_json (fun j ->
+      let once = Json.to_string j in
+      match Json.parse once with
+      | Error m -> QCheck2.Test.fail_reportf "no parse: %s" m
+      | Ok j' -> Json.to_string j' = once)
+
 let test_json_escaping () =
   Alcotest.(check string) "escape" "{\"a\\\"b\":\"x\\n\\t\\\\y\"}"
     (Json.to_string (Json.Obj [ ("a\"b", Json.String "x\n\t\\y") ]));
@@ -344,5 +433,11 @@ let () =
           Alcotest.test_case "sat backend" `Quick test_workflow_sat_backend;
         ] );
       ("ledger", [ Alcotest.test_case "ledger" `Quick test_ledger ]);
-      ("json", [ Alcotest.test_case "escaping" `Quick test_json_escaping ]);
+      ( "json",
+        [
+          Alcotest.test_case "escaping" `Quick test_json_escaping;
+          Alcotest.test_case "parse" `Quick test_json_parse;
+          Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+          QCheck_alcotest.to_alcotest prop_json_roundtrip;
+        ] );
     ]

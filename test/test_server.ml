@@ -1,0 +1,451 @@
+(* Tests for the collection-service core: protocol decode/encode,
+   registry cache behaviour, session lifecycle and expiry, and the
+   request router end to end. *)
+
+module Json = Pet_pet.Json
+module Spec = Pet_rules.Spec
+module Proto = Pet_server.Proto
+module Registry = Pet_server.Registry
+module Session = Pet_server.Session
+module Service = Pet_server.Service
+module Running = Pet_casestudies.Running
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i =
+    i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1))
+  in
+  go 0
+
+(* --- Protocol ------------------------------------------------------------------ *)
+
+let decode_ok line =
+  match Proto.decode line with
+  | Ok envelope -> envelope
+  | Error (_, e) ->
+    Alcotest.failf "unexpected decode error %s: %s" (Proto.code_name e.code)
+      e.message
+
+let decode_err line =
+  match Proto.decode line with
+  | Ok _ -> Alcotest.fail "expected a decode error"
+  | Error (id, e) -> (id, e)
+
+let test_proto_decode () =
+  (match
+     (decode_ok
+        {|{"pet":1,"id":7,"method":"publish_rules","params":{"rules":"form a\nbenefits b\nrule b := a"}}|})
+       .request
+   with
+  | Proto.Publish_rules (Proto.Text text) ->
+    Alcotest.(check bool) "rules text" true (contains text "benefits b")
+  | _ -> Alcotest.fail "wrong request");
+  (match
+     (decode_ok {|{"pet":1,"method":"new_session","params":{"digest":"abc"}}|})
+       .request
+   with
+  | Proto.New_session (Proto.Digest "abc") -> ()
+  | _ -> Alcotest.fail "wrong request");
+  (match
+     (decode_ok
+        {|{"pet":1,"method":"get_report","params":{"session":"s0","valuation":"011"}}|})
+       .request
+   with
+  | Proto.Get_report { session = "s0"; valuation = "011" } -> ()
+  | _ -> Alcotest.fail "wrong request");
+  (match
+     (decode_ok
+        {|{"pet":1,"method":"choose_option","params":{"session":"s0","mas":"_11"}}|})
+       .request
+   with
+  | Proto.Choose_option { choice = Proto.Mas "_11"; _ } -> ()
+  | _ -> Alcotest.fail "wrong request");
+  (match (decode_ok {|{"pet":1,"method":"stats"}|}).request with
+  | Proto.Stats -> ()
+  | _ -> Alcotest.fail "wrong request");
+  (* The id is carried through for correlation. *)
+  let envelope = decode_ok {|{"pet":1,"id":"abc","method":"stats"}|} in
+  Alcotest.(check string) "string id" "\"abc\"" (Json.to_string envelope.id)
+
+let test_proto_decode_errors () =
+  let code line =
+    let _, e = decode_err line in
+    Proto.code_name e.Proto.code
+  in
+  Alcotest.(check string) "malformed json" "parse_error" (code "{oops");
+  Alcotest.(check string) "not an object" "invalid_request" (code "[1,2]");
+  Alcotest.(check string) "missing version" "invalid_request"
+    (code {|{"method":"stats"}|});
+  Alcotest.(check string) "wrong version" "invalid_request"
+    (code {|{"pet":99,"method":"stats"}|});
+  Alcotest.(check string) "missing method" "invalid_request"
+    (code {|{"pet":1}|});
+  Alcotest.(check string) "unknown method" "unknown_method"
+    (code {|{"pet":1,"method":"frobnicate"}|});
+  Alcotest.(check string) "missing session" "invalid_params"
+    (code {|{"pet":1,"method":"submit_form"}|});
+  Alcotest.(check string) "digest not allowed for publish" "invalid_params"
+    (code {|{"pet":1,"method":"publish_rules","params":{"digest":"d"}}|});
+  Alcotest.(check string) "two rule refs" "invalid_params"
+    (code
+       {|{"pet":1,"method":"new_session","params":{"rules":"x","source":"y"}}|});
+  Alcotest.(check string) "option and mas" "invalid_params"
+    (code
+       {|{"pet":1,"method":"choose_option","params":{"session":"s0","option":1,"mas":"_1"}}|});
+  (* Parse errors report the position. *)
+  let _, e = decode_err "{\"pet\":1," in
+  Alcotest.(check bool) "position in message" true
+    (contains e.Proto.message "column");
+  (* The id survives a bad request when it is parseable. *)
+  let id, _ = decode_err {|{"pet":1,"id":42,"method":"frobnicate"}|} in
+  Alcotest.(check string) "id kept" "42" (Json.to_string id)
+
+let test_proto_encode () =
+  Alcotest.(check string) "ok envelope"
+    {|{"pet":1,"id":3,"ok":{"x":true}}|}
+    (Proto.ok_response ~id:(Json.Int 3) (Json.Obj [ ("x", Json.Bool true) ]));
+  let line =
+    Proto.error_response ~id:Json.Null
+      (Proto.error Proto.Bad_state "wrong state")
+  in
+  Alcotest.(check string) "error envelope"
+    {|{"pet":1,"id":null,"error":{"code":"bad_state","message":"wrong state"}}|}
+    line;
+  (* Responses are themselves valid protocol JSON. *)
+  match Json.parse line with
+  | Ok j ->
+    Alcotest.(check bool) "error member" true (Json.member "error" j <> None)
+  | Error m -> Alcotest.fail m
+
+(* --- Registry ------------------------------------------------------------------- *)
+
+let test_registry_counters () =
+  let r = Registry.create ~capacity:4 () in
+  Alcotest.(check bool) "miss on empty" true (Registry.find r "a" = None);
+  Registry.add r "a" 1;
+  Alcotest.(check bool) "hit" true (Registry.find r "a" = Some 1);
+  let v, hit = Registry.find_or_add r "b" (fun () -> 2) in
+  Alcotest.(check bool) "built" true (v = 2 && not hit);
+  let v, hit = Registry.find_or_add r "b" (fun () -> 99) in
+  Alcotest.(check bool) "cached" true (v = 2 && hit);
+  (* peek does not count. *)
+  Alcotest.(check bool) "peek" true (Registry.peek r "a" = Some 1);
+  let s = Registry.stats r in
+  Alcotest.(check int) "hits" 2 s.Registry.hits;
+  Alcotest.(check int) "misses" 2 s.Registry.misses;
+  Alcotest.(check int) "size" 2 s.Registry.size
+
+let test_registry_lru () =
+  let r = Registry.create ~capacity:2 () in
+  Registry.add r "a" 1;
+  Registry.add r "b" 2;
+  (* Touch "a" so "b" is the least recently used. *)
+  ignore (Registry.find r "a");
+  Registry.add r "c" 3;
+  Alcotest.(check bool) "b evicted" true (Registry.peek r "b" = None);
+  Alcotest.(check bool) "a kept" true (Registry.peek r "a" = Some 1);
+  Alcotest.(check bool) "c kept" true (Registry.peek r "c" = Some 3);
+  let s = Registry.stats r in
+  Alcotest.(check int) "one eviction" 1 s.Registry.evictions;
+  Alcotest.(check int) "bounded" 2 s.Registry.size;
+  (* Re-adding an existing key replaces without evicting. *)
+  Registry.add r "c" 30;
+  Alcotest.(check bool) "replaced" true (Registry.peek r "c" = Some 30);
+  Alcotest.(check int) "still bounded" 2 (Registry.stats r).Registry.size;
+  Alcotest.(check int) "no extra eviction" 1 (Registry.stats r).Registry.evictions
+
+let test_registry_digest () =
+  let d = Registry.digest "form a\nbenefits b\nrule b := a" in
+  Alcotest.(check int) "hex length" 32 (String.length d);
+  Alcotest.(check string) "stable" d
+    (Registry.digest "form a\nbenefits b\nrule b := a");
+  Alcotest.(check bool) "content-sensitive" true
+    (d <> Registry.digest "form a\nbenefits b\nrule b := !a")
+
+(* --- Sessions --------------------------------------------------------------------- *)
+
+let test_session_lifecycle () =
+  let store = Session.create_store ~ttl:10. () in
+  let s0 = Session.create store ~digest:"d" ~now:0. in
+  let s1 = Session.create store ~digest:"d" ~now:0. in
+  Alcotest.(check string) "sequential ids s0" "s0" s0.Session.id;
+  Alcotest.(check string) "sequential ids s1" "s1" s1.Session.id;
+  Alcotest.(check bool) "starts created" true (s0.Session.state = Session.Created);
+  (match Session.find store "s0" ~now:5. with
+  | Ok s -> Alcotest.(check string) "found" "s0" s.Session.id
+  | Error _ -> Alcotest.fail "expected to find s0");
+  Alcotest.(check bool) "unknown" true
+    (Session.find store "zz" ~now:0. = Error `Unknown)
+
+let test_session_expiry () =
+  let store = Session.create_store ~ttl:10. () in
+  let s0 = Session.create store ~digest:"d" ~now:0. in
+  let _s1 = Session.create store ~digest:"d" ~now:8. in
+  (* Touching resets the idle clock. *)
+  Session.touch s0 ~now:9.;
+  Alcotest.(check int) "nothing stale yet" 0 (Session.sweep store ~now:15.);
+  Alcotest.(check bool) "s0 alive at 15" true
+    (Result.is_ok (Session.find store "s0" ~now:15.));
+  (* At t=25 both are idle beyond the ttl. *)
+  Alcotest.(check bool) "expired on lookup" true
+    (Session.find store "s1" ~now:25. = Error `Expired);
+  Alcotest.(check int) "sweep removes the rest" 1 (Session.sweep store ~now:25.);
+  let c = Session.counters store in
+  Alcotest.(check int) "none active" 0 c.Session.active;
+  Alcotest.(check int) "created" 2 c.Session.created;
+  Alcotest.(check int) "expired" 2 c.Session.expired;
+  (* ttl 0 disables expiry. *)
+  let eternal = Session.create_store ~ttl:0. () in
+  let _ = Session.create eternal ~digest:"d" ~now:0. in
+  Alcotest.(check bool) "no expiry" true
+    (Result.is_ok (Session.find eternal "s0" ~now:1e12))
+
+(* --- Service ----------------------------------------------------------------------- *)
+
+(* A service over a logical clock advancing 1s per read (two reads per
+   request), with the running example available as a source. *)
+let make_service ?capacity ?ttl () =
+  let tick = ref 0 in
+  let now () =
+    incr tick;
+    float_of_int !tick
+  in
+  let resolve = function
+    | "running" -> Some (Spec.to_string (Running.exposure ()))
+    | _ -> None
+  in
+  Service.create ?capacity ?ttl ~resolve ~now ()
+
+let request service ?(id = 1) method_ params =
+  let line =
+    Json.to_string
+      (Json.Obj
+         [
+           ("pet", Json.Int Proto.version);
+           ("id", Json.Int id);
+           ("method", Json.String method_);
+           ("params", Json.Obj params);
+         ])
+  in
+  match Json.parse (Service.handle_line service line) with
+  | Ok response -> response
+  | Error m -> Alcotest.failf "response is not JSON: %s" m
+
+let ok_of response =
+  match Json.member "ok" response with
+  | Some payload -> payload
+  | None -> Alcotest.failf "expected ok, got %s" (Json.to_string response)
+
+let error_code response =
+  match Json.member "error" response with
+  | Some e -> (
+    match Option.bind (Json.member "code" e) Json.string_opt with
+    | Some c -> c
+    | None -> Alcotest.fail "error without code")
+  | None -> Alcotest.failf "expected error, got %s" (Json.to_string response)
+
+let str field payload =
+  match Option.bind (Json.member field payload) Json.string_opt with
+  | Some s -> s
+  | None -> Alcotest.failf "missing string field %S" field
+
+let test_service_lifecycle () =
+  let service = make_service () in
+  let published =
+    ok_of (request service "publish_rules" [ ("source", Json.String "running") ])
+  in
+  let digest = str "digest" published in
+  Alcotest.(check bool) "first publish compiles" true
+    (Json.member "cached" published = Some (Json.Bool false));
+  (* Session against the published digest: a cache hit. *)
+  let opened =
+    ok_of
+      (request service "new_session" [ ("digest", Json.String digest) ])
+  in
+  Alcotest.(check bool) "new_session hits the cache" true
+    (Json.member "cached" opened = Some (Json.Bool true));
+  let sid = str "session" opened in
+  let report =
+    ok_of
+      (request service "get_report"
+         [ ("session", Json.String sid); ("valuation", Json.String "011") ])
+  in
+  Alcotest.(check string) "report echoes the valuation" "011"
+    (str "valuation" report);
+  let chosen =
+    ok_of
+      (request service "choose_option"
+         [ ("session", Json.String sid); ("option", Json.Int 0) ])
+  in
+  Alcotest.(check string) "minimized form" "_11" (str "mas" chosen);
+  (* Once chosen, the raw valuation is gone: re-reporting is refused. *)
+  Alcotest.(check string) "valuation erased after choice" "bad_state"
+    (error_code
+       (request service "get_report"
+          [ ("session", Json.String sid); ("valuation", Json.String "011") ]));
+  let grant =
+    ok_of (request service "submit_form" [ ("session", Json.String sid) ])
+  in
+  Alcotest.(check string) "archived form is minimized" "_11" (str "form" grant);
+  Alcotest.(check string) "double submit" "bad_state"
+    (error_code (request service "submit_form" [ ("session", Json.String sid) ]));
+  (* The audit sees one clean record. *)
+  let audit =
+    ok_of (request service "audit" [ ("digest", Json.String digest) ])
+  in
+  Alcotest.(check bool) "one record" true
+    (Json.member "records" audit = Some (Json.Int 1));
+  Alcotest.(check bool) "no failures" true
+    (Json.member "failures" audit = Some (Json.List []));
+  (* Stats reflect all of it. *)
+  let stats = ok_of (request service "stats" []) in
+  let registry = Option.get (Json.member "registry" stats) in
+  (* new_session and audit each resolved the digest from the cache. *)
+  Alcotest.(check bool) "stats: two hits" true
+    (Json.member "hits" registry = Some (Json.Int 2));
+  Alcotest.(check bool) "stats: a miss" true
+    (Json.member "misses" registry = Some (Json.Int 1));
+  let sessions = Option.get (Json.member "sessions" stats) in
+  Alcotest.(check bool) "stats: submitted" true
+    (Json.member "submitted" sessions = Some (Json.Int 1))
+
+let test_service_errors () =
+  let service = make_service () in
+  Alcotest.(check string) "unknown source" "unknown_source"
+    (error_code
+       (request service "new_session" [ ("source", Json.String "nope") ]));
+  Alcotest.(check string) "unknown digest" "unknown_rules"
+    (error_code
+       (request service "new_session" [ ("digest", Json.String "beef") ]));
+  Alcotest.(check string) "bad rules text" "invalid_params"
+    (error_code
+       (request service "publish_rules" [ ("rules", Json.String "form a\noops") ]));
+  Alcotest.(check string) "unknown session" "unknown_session"
+    (error_code
+       (request service "submit_form" [ ("session", Json.String "s9") ]));
+  let opened =
+    ok_of (request service "new_session" [ ("source", Json.String "running") ])
+  in
+  let sid = str "session" opened in
+  Alcotest.(check string) "submit before report" "bad_state"
+    (error_code (request service "submit_form" [ ("session", Json.String sid) ]));
+  Alcotest.(check string) "malformed valuation" "invalid_params"
+    (error_code
+       (request service "get_report"
+          [ ("session", Json.String sid); ("valuation", Json.String "01") ]));
+  Alcotest.(check string) "ineligible valuation" "ineligible"
+    (error_code
+       (request service "get_report"
+          [ ("session", Json.String sid); ("valuation", Json.String "000") ]));
+  ignore
+    (ok_of
+       (request service "get_report"
+          [ ("session", Json.String sid); ("valuation", Json.String "011") ]));
+  Alcotest.(check string) "choice out of range" "invalid_params"
+    (error_code
+       (request service "choose_option"
+          [ ("session", Json.String sid); ("option", Json.Int 5) ]));
+  Alcotest.(check string) "choice not offered" "invalid_params"
+    (error_code
+       (request service "choose_option"
+          [ ("session", Json.String sid); ("mas", Json.String "1__") ]))
+
+let test_service_expiry () =
+  (* Each request advances the logical clock by 2s; a 5s ttl expires a
+     session after two unrelated requests. *)
+  let service = make_service ~ttl:5. () in
+  let opened =
+    ok_of (request service "new_session" [ ("source", Json.String "running") ])
+  in
+  let sid = str "session" opened in
+  for _ = 1 to 2 do
+    ignore (request service "stats" [])
+  done;
+  Alcotest.(check string) "expired" "session_expired"
+    (error_code
+       (request service "get_report"
+          [ ("session", Json.String sid); ("valuation", Json.String "011") ]));
+  let stats = ok_of (request service "stats" []) in
+  let sessions = Option.get (Json.member "sessions" stats) in
+  Alcotest.(check bool) "counted as expired" true
+    (Json.member "expired" sessions = Some (Json.Int 1))
+
+let test_service_eviction () =
+  (* A capacity-1 registry: publishing a second rule set evicts the
+     first; sessions on the evicted engine fail with unknown_rules. *)
+  let service = make_service ~capacity:1 () in
+  let first =
+    ok_of (request service "publish_rules" [ ("source", Json.String "running") ])
+  in
+  let digest = str "digest" first in
+  let opened =
+    ok_of (request service "new_session" [ ("digest", Json.String digest) ])
+  in
+  let sid = str "session" opened in
+  ignore
+    (ok_of
+       (request service "publish_rules"
+         [
+           ( "rules",
+             Json.String "form a b\nbenefits z\nrule z := a & b" );
+         ]));
+  Alcotest.(check string) "digest evicted" "unknown_rules"
+    (error_code
+       (request service "new_session" [ ("digest", Json.String digest) ]));
+  Alcotest.(check string) "session engine evicted" "unknown_rules"
+    (error_code
+       (request service "get_report"
+          [ ("session", Json.String sid); ("valuation", Json.String "011") ]))
+
+let test_service_canonical_digest () =
+  (* Formatting-only differences in the rule text map to the same digest:
+     the second publish is a cache hit. *)
+  let service = make_service () in
+  let a =
+    ok_of
+      (request service "publish_rules"
+         [ ("rules", Json.String "form a b\nbenefits z\nrule z := a & b") ])
+  in
+  let b =
+    ok_of
+      (request service "publish_rules"
+         [
+           ( "rules",
+             Json.String "form  a   b\nbenefits z\n# comment\nrule z := b & a"
+           );
+         ])
+  in
+  Alcotest.(check string) "same digest" (str "digest" a) (str "digest" b);
+  Alcotest.(check bool) "second is cached" true
+    (Json.member "cached" b = Some (Json.Bool true))
+
+let () =
+  Alcotest.run "pet_server"
+    [
+      ( "proto",
+        [
+          Alcotest.test_case "decode" `Quick test_proto_decode;
+          Alcotest.test_case "decode errors" `Quick test_proto_decode_errors;
+          Alcotest.test_case "encode" `Quick test_proto_encode;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "counters" `Quick test_registry_counters;
+          Alcotest.test_case "lru" `Quick test_registry_lru;
+          Alcotest.test_case "digest" `Quick test_registry_digest;
+        ] );
+      ( "session",
+        [
+          Alcotest.test_case "lifecycle" `Quick test_session_lifecycle;
+          Alcotest.test_case "expiry" `Quick test_session_expiry;
+        ] );
+      ( "service",
+        [
+          Alcotest.test_case "lifecycle" `Quick test_service_lifecycle;
+          Alcotest.test_case "errors" `Quick test_service_errors;
+          Alcotest.test_case "expiry" `Quick test_service_expiry;
+          Alcotest.test_case "eviction" `Quick test_service_eviction;
+          Alcotest.test_case "canonical digest" `Quick
+            test_service_canonical_digest;
+        ] );
+    ]

@@ -561,6 +561,42 @@ let server () =
   run_case "H-cov" (Lazy.force hcov) 1560;
   run_case "RSA" (Lazy.force rsa) 300
 
+(* --- Check: correctness-harness throughput --------------------------------------------------- *)
+
+(* How much cross-validation a CI minute buys: differential + metamorphic
+   + oracle checks per second on generated problems, and mutated protocol
+   requests per second against an in-process service. *)
+let check () =
+  section "Check: correctness harness & fuzz throughput";
+  let seeds = List.init 25 (fun i -> i + 1) in
+  let results, dt =
+    time_once (fun () -> Pet_check.Harness.run seeds)
+  in
+  let checks =
+    List.fold_left
+      (fun acc (_, (r : Pet_check.Finding.report)) -> acc + r.Pet_check.Finding.checks)
+      0 results
+  in
+  let failed =
+    List.filter (fun (_, r) -> not (Pet_check.Finding.ok r)) results
+  in
+  Fmt.pr
+    "harness: %d seeds, %d checks in %.3fs = %.0f checks/s; %d seeds failing@."
+    (List.length seeds) checks dt
+    (float_of_int checks /. dt)
+    (List.length failed);
+  let stats, fuzz_dt =
+    time_once (fun () -> Pet_check.Fuzz.run ~seed:0 ~count:20_000 ())
+  in
+  Fmt.pr
+    "fuzz: %d requests in %.3fs = %.0f requests/s; %d ok, %d structured \
+     errors, %d invalid, %d crashes@."
+    stats.Pet_check.Fuzz.requests fuzz_dt
+    (float_of_int stats.Pet_check.Fuzz.requests /. fuzz_dt)
+    stats.Pet_check.Fuzz.ok stats.Pet_check.Fuzz.errors
+    stats.Pet_check.Fuzz.invalid_responses
+    (List.length stats.Pet_check.Fuzz.crashes)
+
 (* --- Main ---------------------------------------------------------------------------------------- *)
 
 let () =
@@ -574,6 +610,7 @@ let () =
       ("sweep", sweep);
       ("symbolic", symbolic);
       ("server", server);
+      ("check", check);
     ]
   in
   let requested =

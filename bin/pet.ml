@@ -135,32 +135,179 @@ let guarded f = match f () with r -> r | exception Invalid_argument m -> `Error 
 (* --- check ------------------------------------------------------------------ *)
 
 let check_cmd =
-  let run source =
-    with_exposure source (fun exposure ->
-        let xp = Exposure.xp exposure in
-        Fmt.pr "%a@." Spec.print exposure;
-        Fmt.pr "# %d predicates, %d benefits, %d rules, %d constraints@."
-          (Universe.size xp)
-          (Universe.size (Exposure.xb exposure))
-          (List.length (Exposure.rules exposure))
-          (List.length (Exposure.constraints exposure));
-        let used =
-          List.concat_map
-            (fun (r : Pet_rules.Rule.t) -> Pet_logic.Dnf.vars r.dnf)
-            (Exposure.rules exposure)
-        in
-        List.iter
-          (fun p ->
-            if not (List.mem p used) then
-              Fmt.pr "# warning: predicate %s is collected but never used@." p)
-          (Universe.names xp);
-        Fmt.pr "# %d realistic valuations, %d eligible@."
-          (List.length (Exposure.realistic exposure))
-          (List.length (Exposure.eligible exposure));
-        `Ok ())
+  let source_opt_arg =
+    let doc =
+      "Rule file to load, or one of the built-in case studies ($(b,running), \
+       $(b,hcov), $(b,rsa), $(b,loan)). Optional when $(b,--seeds) or \
+       $(b,--fuzz) is given."
+    in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"RULES" ~doc)
   in
-  let doc = "Parse and validate a rule file; report basic statistics." in
-  Cmd.v (Cmd.info "check" ~doc) Term.(ret (const run $ source_arg))
+  let seeds_arg =
+    let doc =
+      "Run the correctness harness — differential testing of the brute, \
+       sat and bdd backends, metamorphic transformations and \
+       definition-level oracles — on randomly generated problems, one per \
+       seed. $(docv) is a comma-separated list of integers and inclusive \
+       ranges, e.g. $(b,1-50) or $(b,3,7,20-25). Failures are shrunk to a \
+       minimal rule-DSL reproducer."
+    in
+    Arg.(value & opt (some string) None & info [ "seeds" ] ~docv:"SPEC" ~doc)
+  in
+  let fuzz_arg =
+    let doc =
+      "Feed $(docv) mutated, truncated and malformed protocol lines into \
+       an in-process collection service and verify every one gets a \
+       well-formed response — a result or a structured error, never a \
+       crash."
+    in
+    Arg.(value & opt (some int) None & info [ "fuzz" ] ~docv:"N" ~doc)
+  in
+  let fuzz_seed_arg =
+    let doc = "Seed for the $(b,--fuzz) mutation stream." in
+    Arg.(value & opt int 0 & info [ "fuzz-seed" ] ~docv:"SEED" ~doc)
+  in
+  let samples_arg =
+    let doc = "Differential entailment samples per problem." in
+    Arg.(
+      value
+      & opt int Pet_check.Diff.default_samples
+      & info [ "samples" ] ~docv:"N" ~doc)
+  in
+  let full_arg =
+    let doc =
+      "With $(i,RULES): run the full correctness harness on the loaded \
+       problem instead of only validating it. The oracles recheck every \
+       published MAS against brute force, so this is exponential in the \
+       form size — intended for small and medium problems."
+    in
+    Arg.(value & flag & info [ "full" ] ~doc)
+  in
+  let validate exposure =
+    let xp = Exposure.xp exposure in
+    Fmt.pr "%a@." Spec.print exposure;
+    Fmt.pr "# %d predicates, %d benefits, %d rules, %d constraints@."
+      (Universe.size xp)
+      (Universe.size (Exposure.xb exposure))
+      (List.length (Exposure.rules exposure))
+      (List.length (Exposure.constraints exposure));
+    let used =
+      List.concat_map
+        (fun (r : Pet_rules.Rule.t) -> Pet_logic.Dnf.vars r.dnf)
+        (Exposure.rules exposure)
+    in
+    List.iter
+      (fun p ->
+        if not (List.mem p used) then
+          Fmt.pr "# warning: predicate %s is collected but never used@." p)
+      (Universe.names xp);
+    Fmt.pr "# %d realistic valuations, %d eligible@."
+      (List.length (Exposure.realistic exposure))
+      (List.length (Exposure.eligible exposure))
+  in
+  (* A harness crash (e.g. the atlas refusing a 30-predicate form) is
+     itself a reportable finding, not a CLI backtrace. *)
+  let guarded_report f =
+    match f () with
+    | r -> r
+    | exception Invalid_argument m ->
+      {
+        Pet_check.Finding.checks = 1;
+        findings = [ { Pet_check.Finding.stage = "harness/crash"; detail = m } ];
+      }
+  in
+  let run source seeds fuzz fuzz_seed samples payoff full =
+    let config = { Pet_check.Harness.default_config with samples; payoff } in
+    let failures = ref 0 in
+    let print_report ~label ?exposure (r : Pet_check.Finding.report) =
+      if Pet_check.Finding.ok r then Fmt.pr "%s: ok (%d checks)@." label r.checks
+      else begin
+        incr failures;
+        Fmt.pr "%s: FAILED (%d of %d checks)@." label
+          (List.length r.findings)
+          r.checks;
+        List.iter (fun f -> Fmt.pr "  %a@." Pet_check.Finding.pp f) r.findings;
+        Option.iter
+          (fun e ->
+            match Pet_check.Harness.reproduce ~config e with
+            | None -> ()
+            | Some (_, dsl) ->
+              Fmt.pr "  minimal reproducer:@.";
+              List.iter
+                (fun l -> if String.trim l <> "" then Fmt.pr "    %s@." l)
+                (String.split_on_char '\n' dsl))
+          exposure
+      end
+    in
+    let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e in
+    let result =
+      if source = None && seeds = None && fuzz = None then
+        Error (true, "expected a RULES source, --seeds or --fuzz")
+      else
+        let* () =
+          match source with
+          | None -> Ok ()
+          | Some src -> (
+            match load_exposure src with
+            | Error m -> Error (false, m)
+            | Ok exposure ->
+              if full then
+                print_report ~label:src ~exposure
+                  (guarded_report (fun () ->
+                       Pet_check.Harness.check_exposure ~config exposure))
+              else validate exposure;
+              Ok ())
+        in
+        let* () =
+          match seeds with
+          | None -> Ok ()
+          | Some spec -> (
+            match Pet_check.Harness.seeds_of_string spec with
+            | Error m -> Error (false, "--seeds: " ^ m)
+            | Ok seeds ->
+              List.iter
+                (fun seed ->
+                  let exposure, report =
+                    Pet_check.Harness.run_seed ~config seed
+                  in
+                  print_report
+                    ~label:(Printf.sprintf "seed %d" seed)
+                    ~exposure report)
+                seeds;
+              Ok ())
+        in
+        let* () =
+          match fuzz with
+          | None -> Ok ()
+          | Some count ->
+            let stats = Pet_check.Fuzz.run ~seed:fuzz_seed ~count () in
+            Fmt.pr "%a@." Pet_check.Fuzz.pp stats;
+            if stats.crashes <> [] || stats.invalid_responses > 0 then
+              incr failures;
+            Ok ()
+        in
+        if !failures = 0 then Ok ()
+        else
+          Error
+            ( false,
+              Printf.sprintf "%d check run%s failed" !failures
+                (if !failures = 1 then "" else "s") )
+    in
+    match result with Ok () -> `Ok () | Error e -> `Error e
+  in
+  let doc =
+    "Validate a rule file and report basic statistics; with $(b,--seeds), \
+     $(b,--fuzz) or $(b,--full), run the self-check harness: differential \
+     testing across the three entailment backends, metamorphic \
+     transformations, definition-level oracles for accuracy, minimality \
+     and Nash equilibria, with failing problems shrunk to minimal \
+     reproducers, and protocol fuzzing of the collection service."
+  in
+  Cmd.v (Cmd.info "check" ~doc)
+    Term.(
+      ret
+        (const run $ source_opt_arg $ seeds_arg $ fuzz_arg $ fuzz_seed_arg
+       $ samples_arg $ payoff_arg $ full_arg))
 
 (* --- minimize ----------------------------------------------------------------- *)
 

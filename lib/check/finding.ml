@@ -1,0 +1,31 @@
+type t = { stage : string; detail : string }
+
+type report = { checks : int; findings : t list }
+
+let empty = { checks = 0; findings = [] }
+
+let merge a b =
+  { checks = a.checks + b.checks; findings = a.findings @ b.findings }
+
+let merge_all reports = List.fold_left merge empty reports
+let ok report = report.findings = []
+
+type tally = { mutable checks : int; mutable rev_findings : t list }
+
+let tally () = { checks = 0; rev_findings = [] }
+
+let report t = { checks = t.checks; findings = List.rev t.rev_findings }
+
+let check t ~stage cond detail =
+  t.checks <- t.checks + 1;
+  if not cond then
+    t.rev_findings <- { stage; detail = detail () } :: t.rev_findings
+
+let fail t ~stage detail =
+  t.checks <- t.checks + 1;
+  t.rev_findings <- { stage; detail } :: t.rev_findings
+
+let stages report =
+  List.sort_uniq String.compare (List.map (fun f -> f.stage) report.findings)
+
+let pp ppf f = Fmt.pf ppf "[%s] %s" f.stage f.detail

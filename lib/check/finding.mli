@@ -1,0 +1,36 @@
+(** Findings: one record per violated obligation, tagged with the stage
+    ("diff/atlas", "oracle/minimal", …) that detected it. The stage tags
+    double as the shrinker's failure fingerprint: a candidate reproducer
+    must re-trigger one of the original stages, so shrinking cannot drift
+    onto an unrelated bug. *)
+
+type t = { stage : string; detail : string }
+
+type report = { checks : int; findings : t list }
+(** [checks] counts every elementary obligation verified, passed or not —
+    the number the CLI prints so a silent run is distinguishable from a
+    vacuous one. *)
+
+val empty : report
+val merge : report -> report -> report
+val merge_all : report list -> report
+val ok : report -> bool
+
+val stages : report -> string list
+(** Distinct stages of the failed obligations, sorted. *)
+
+(** Mutable accumulator used while a check module runs. *)
+
+type tally
+
+val tally : unit -> tally
+val report : tally -> report
+
+val check : tally -> stage:string -> bool -> (unit -> string) -> unit
+(** [check t ~stage cond detail] counts one obligation and records a
+    finding (lazily rendering [detail]) when [cond] is false. *)
+
+val fail : tally -> stage:string -> string -> unit
+(** Count one obligation and record it as failed. *)
+
+val pp : t Fmt.t

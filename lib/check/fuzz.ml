@@ -1,0 +1,208 @@
+module Json = Pet_pet.Json
+module Spec = Pet_rules.Spec
+module Exposure = Pet_rules.Exposure
+module Total = Pet_valuation.Total
+module Generate = Pet_rules.Generate
+module Service = Pet_server.Service
+module Registry = Pet_server.Registry
+module Proto = Pet_server.Proto
+
+type stats = {
+  requests : int;
+  ok : int;
+  errors : int;
+  invalid_responses : int;
+  crashes : (string * string) list;
+  by_code : (string * int) list;
+}
+
+(* Small generated rule sets so compiled providers are cheap and the
+   registry sees several distinct digests (exercising LRU eviction). *)
+let spec_config =
+  {
+    Generate.predicates = 5;
+    benefits = 2;
+    conjunctions = 2;
+    width = 2;
+    implications = 1;
+  }
+
+let truncate_for_display line =
+  if String.length line <= 120 then line else String.sub line 0 120 ^ "…"
+
+let printable = "abcdefghijklmnopqrstuvwxyz0123456789_:{}[]\",\\ &|!()=->\n"
+
+let run ?(seed = 0) ~count () =
+  let rng = Random.State.make [| 0xf022; seed; count |] in
+  let tick = ref 0. in
+  let service =
+    Service.create ~capacity:4 ~ttl:500.
+      ~resolve:(fun _ -> None)
+      ~now:(fun () -> tick := !tick +. 1.; !tick)
+      ()
+  in
+  let corpora =
+    List.map
+      (fun i ->
+        let e = Generate.exposure ~config:spec_config ~seed:(seed + i) () in
+        let text = Spec.to_string e in
+        (text, Registry.digest text, Array.of_list (Exposure.eligible e)))
+      [ 0; 1; 2; 3; 4; 5 ]
+  in
+  let pick l = List.nth l (Random.State.int rng (List.length l)) in
+  let pick_corpus () = pick corpora in
+  let junk n =
+    String.init
+      (Random.State.int rng (max 1 n))
+      (fun _ ->
+        if Random.State.bool rng then
+          printable.[Random.State.int rng (String.length printable)]
+        else Char.chr (Random.State.int rng 256))
+  in
+  let session () = Printf.sprintf "s%d" (Random.State.int rng 24) in
+  let valuation () =
+    match Random.State.int rng 3 with
+    | 0 ->
+      (* The right length for the generated universes. *)
+      String.init spec_config.Generate.predicates (fun _ ->
+          if Random.State.bool rng then '1' else '0')
+    | 1 -> junk 8
+    | _ ->
+      let _, _, eligible = pick_corpus () in
+      if Array.length eligible = 0 then junk 5
+      else Total.to_string eligible.(Random.State.int rng (Array.length eligible))
+  in
+  let envelope method_ params =
+    Json.to_string
+      (Json.Obj
+         [
+           ("pet", Json.Int Proto.version);
+           ("id", Json.Int (Random.State.int rng 1000));
+           ("method", Json.String method_);
+           ("params", Json.Obj params);
+         ])
+  in
+  let rules_params () =
+    match Random.State.int rng 4 with
+    | 0 ->
+      let text, _, _ = pick_corpus () in
+      [ ("rules", Json.String text) ]
+    | 1 ->
+      let _, digest, _ = pick_corpus () in
+      [ ("digest", Json.String digest) ]
+    | 2 -> [ ("source", Json.String (junk 6)) ]
+    | _ -> [ ("rules", Json.String (junk 60)) ]
+  in
+  let base_line () =
+    match Random.State.int rng 10 with
+    | 0 -> envelope "publish_rules" (rules_params ())
+    | 1 -> envelope "new_session" (rules_params ())
+    | 2 ->
+      envelope "get_report"
+        [
+          ("session", Json.String (session ()));
+          ("valuation", Json.String (valuation ()));
+        ]
+    | 3 ->
+      envelope "choose_option"
+        (("session", Json.String (session ()))
+        ::
+        (if Random.State.bool rng then
+           [ ("option", Json.Int (Random.State.int rng 12 - 3)) ]
+         else [ ("mas", Json.String (junk 6)) ]))
+    | 4 -> envelope "submit_form" [ ("session", Json.String (session ())) ]
+    | 5 -> envelope "audit" (rules_params ())
+    | 6 -> envelope "stats" []
+    | 7 -> envelope (junk 10) [ (junk 4, Json.String (junk 4)) ]
+    | 8 ->
+      (* Wrong or missing envelope versions and shapes. *)
+      (match Random.State.int rng 4 with
+      | 0 -> {|{"pet":99,"method":"stats"}|}
+      | 1 -> {|{"method":"stats"}|}
+      | 2 -> {|[1,2,3]|}
+      | _ -> {|{"pet":"one","method":"stats","params":7}|})
+    | _ -> junk 80
+  in
+  (* Expensive lines built once and replayed. *)
+  let oversized = String.make (Proto.max_line_bytes + 1) 'x' in
+  let deep = String.concat "" (List.init 600 (fun _ -> "[")) in
+  let mutate line =
+    match Random.State.int rng 12 with
+    | 0 when String.length line > 1 ->
+      String.sub line 0 (Random.State.int rng (String.length line))
+    | 1 ->
+      String.mapi
+        (fun _ c ->
+          if Random.State.int rng 20 = 0 then Char.chr (Random.State.int rng 256)
+          else c)
+        line
+    | 2 ->
+      let i = Random.State.int rng (String.length line + 1) in
+      String.sub line 0 i ^ junk 12
+      ^ String.sub line i (String.length line - i)
+    | 3 -> line ^ line
+    | 4 -> deep
+    | 5 when Random.State.int rng 50 = 0 -> oversized
+    | _ -> line
+  in
+  let requests = ref 0
+  and ok = ref 0
+  and errors = ref 0
+  and invalid = ref 0
+  and crashes = ref []
+  and codes = Hashtbl.create 16 in
+  let feed line =
+    incr requests;
+    match Service.handle_line service line with
+    | exception exn ->
+      crashes := (truncate_for_display line, Printexc.to_string exn) :: !crashes
+    | response -> (
+      match Json.parse response with
+      | Ok (Json.Obj _ as o) -> (
+        match (Json.member "ok" o, Json.member "error" o) with
+        | Some _, None -> incr ok
+        | None, Some e ->
+          incr errors;
+          let code =
+            match Option.bind (Json.member "code" e) Json.string_opt with
+            | Some c -> c
+            | None -> "<uncoded>"
+          in
+          Hashtbl.replace codes code
+            (1 + Option.value ~default:0 (Hashtbl.find_opt codes code))
+        | _ -> incr invalid)
+      | Ok _ | Error _ -> incr invalid)
+  in
+  (* Seed real state so mutated requests land on live sessions too. *)
+  let text, digest, eligible = pick_corpus () in
+  feed (envelope "publish_rules" [ ("rules", Json.String text) ]);
+  feed (envelope "new_session" [ ("digest", Json.String digest) ]);
+  if Array.length eligible > 0 then
+    feed
+      (envelope "get_report"
+         [
+           ("session", Json.String "s0");
+           ("valuation", Json.String (Total.to_string eligible.(0)));
+         ]);
+  while !requests < count do
+    feed (mutate (base_line ()))
+  done;
+  {
+    requests = !requests;
+    ok = !ok;
+    errors = !errors;
+    invalid_responses = !invalid;
+    crashes = List.rev !crashes;
+    by_code =
+      Hashtbl.fold (fun c n acc -> (c, n) :: acc) codes []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b);
+  }
+
+let pp ppf s =
+  Fmt.pf ppf
+    "fuzz: %d requests, %d ok, %d structured errors, %d invalid responses, \
+     %d crashes"
+    s.requests s.ok s.errors s.invalid_responses (List.length s.crashes);
+  List.iter
+    (fun (line, exn) -> Fmt.pf ppf "@.crash: %s@.  on: %s" exn line)
+    s.crashes

@@ -1,0 +1,29 @@
+(** Protocol fuzzing of {!Pet_server.Service}: feed seeded random,
+    mutated and malformed request lines into a live service instance and
+    assert the router's contract — {e every} line gets exactly one
+    response line that parses as a protocol envelope carrying ["ok"] or a
+    structured ["error"], and nothing ever raises.
+
+    The generator mixes well-formed requests over a pool of small
+    generated rule sets (so real sessions, engine compilations and LRU
+    evictions happen) with byte-level mutations: truncations, bit flips,
+    junk insertions, doubled lines, wrong envelope versions, 600-deep
+    nesting (the JSON parser caps at 512) and oversized lines (the
+    {!Pet_server.Proto.max_line_bytes} guard). Fully deterministic for a
+    given [seed] and [count]. *)
+
+type stats = {
+  requests : int;
+  ok : int;
+  errors : int;  (** structured protocol errors — expected outcomes *)
+  invalid_responses : int;
+      (** responses that are not valid envelopes — contract violations *)
+  crashes : (string * string) list;
+      (** (offending line, exception) — contract violations *)
+  by_code : (string * int) list;  (** error-code histogram, sorted *)
+}
+
+val run : ?seed:int -> count:int -> unit -> stats
+
+val pp : stats Fmt.t
+(** One summary line, plus one line per crash. *)

@@ -1,0 +1,78 @@
+module Generate = Pet_rules.Generate
+module Exposure = Pet_rules.Exposure
+module Payoff = Pet_game.Payoff
+
+type config = {
+  gen : Generate.config;
+  samples : int;
+  payoff : Payoff.kind;
+  metamorphic : bool;
+  oracle : bool;
+}
+
+let default_config =
+  {
+    gen = Generate.default;
+    samples = Diff.default_samples;
+    payoff = Payoff.Blank;
+    metamorphic = true;
+    oracle = true;
+  }
+
+let check_exposure ?(config = default_config) ?(seed = 0) e =
+  Finding.merge_all
+    [
+      Diff.check ~payoff:config.payoff ~samples:config.samples ~seed e;
+      (if config.metamorphic then Metamorphic.check ~payoff:config.payoff e
+       else Finding.empty);
+      (if config.oracle then Oracle.check ~payoff:config.payoff e
+       else Finding.empty);
+    ]
+
+let run_seed ?(config = default_config) seed =
+  let e = Generate.exposure ~config:config.gen ~seed () in
+  (e, check_exposure ~config ~seed e)
+
+let run ?(config = default_config) seeds =
+  List.map (fun seed -> (seed, snd (run_seed ~config seed))) seeds
+
+(* "1-50", "3", "1,4,9-12" — inclusive ranges, comma-separated. *)
+let seeds_of_string s =
+  let item part =
+    match String.index_opt part '-' with
+    | None -> (
+      match int_of_string_opt (String.trim part) with
+      | Some n -> Ok [ n ]
+      | None -> Error (Printf.sprintf "bad seed %S" part))
+    | Some i -> (
+      let lo = String.trim (String.sub part 0 i) in
+      let hi =
+        String.trim (String.sub part (i + 1) (String.length part - i - 1))
+      in
+      match (int_of_string_opt lo, int_of_string_opt hi) with
+      | Some lo, Some hi when lo <= hi -> Ok (List.init (hi - lo + 1) (( + ) lo))
+      | Some _, Some _ -> Error (Printf.sprintf "empty seed range %S" part)
+      | _ -> Error (Printf.sprintf "bad seed range %S" part))
+  in
+  let rec all = function
+    | [] -> Ok []
+    | p :: ps -> (
+      match (item p, all ps) with
+      | Ok l, Ok ls -> Ok (l @ ls)
+      | (Error _ as e), _ | _, (Error _ as e) -> e)
+  in
+  match String.split_on_char ',' s with
+  | [] | [ "" ] -> Error "empty seed spec"
+  | parts -> all parts
+
+let reproduce ?(config = default_config) ?(seed = 0) e =
+  let original = check_exposure ~config ~seed e in
+  if Finding.ok original then None
+  else
+    let fingerprint = Finding.stages original in
+    let still_fails e' =
+      let r = check_exposure ~config ~seed e' in
+      List.exists (fun s -> List.mem s fingerprint) (Finding.stages r)
+    in
+    let shrunk = Shrink.shrink ~still_fails e in
+    Some (shrunk, Shrink.to_dsl shrunk)

@@ -1,0 +1,40 @@
+(** The harness ties the pieces together: generate a problem from a
+    seed, run the differential, metamorphic and oracle checks on it, and
+    — on failure — shrink the problem to a minimal rule-DSL reproducer
+    whose failure fingerprint (the set of failing stages) matches the
+    original. *)
+
+type config = {
+  gen : Pet_rules.Generate.config;  (** shape of generated problems *)
+  samples : int;  (** differential entailment samples per problem *)
+  payoff : Pet_game.Payoff.kind;
+  metamorphic : bool;
+  oracle : bool;
+}
+
+val default_config : config
+
+val check_exposure :
+  ?config:config -> ?seed:int -> Pet_rules.Exposure.t -> Finding.report
+(** All enabled checks on one (possibly hand-written) exposure problem.
+    [seed] only steers {!Diff}'s valuation sampling. *)
+
+val run_seed :
+  ?config:config -> int -> Pet_rules.Exposure.t * Finding.report
+(** Generate the problem for one seed and check it. *)
+
+val run : ?config:config -> int list -> (int * Finding.report) list
+
+val seeds_of_string : string -> (int list, string) result
+(** Parse a seed spec: comma-separated integers and inclusive ranges,
+    e.g. ["1-50"] or ["3,7,20-25"]. *)
+
+val reproduce :
+  ?config:config ->
+  ?seed:int ->
+  Pet_rules.Exposure.t ->
+  (Pet_rules.Exposure.t * string) option
+(** [None] if the problem passes all checks. Otherwise greedily shrink
+    it ({!Shrink.shrink}) under the constraint that some originally
+    failing stage still fails, and return the 1-minimal problem together
+    with its rule-DSL text. *)

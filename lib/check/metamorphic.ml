@@ -1,0 +1,202 @@
+module F = Pet_logic.Formula
+module Literal = Pet_logic.Literal
+module Universe = Pet_valuation.Universe
+module Total = Pet_valuation.Total
+module Partial = Pet_valuation.Partial
+module Exposure = Pet_rules.Exposure
+module Rule = Pet_rules.Rule
+module Engine = Pet_rules.Engine
+module A1 = Pet_minimize.Algorithm1
+module Atlas = Pet_minimize.Atlas
+module Profile = Pet_game.Profile
+module Payoff = Pet_game.Payoff
+module Strategy = Pet_game.Strategy
+module Equilibrium = Pet_game.Equilibrium
+
+type transformed = {
+  name : string;
+  exposure : Exposure.t;
+  back_pred : string -> string;
+  back_benefit : string -> string;
+  exact : bool;
+}
+
+(* --- The transformations --------------------------------------------------------- *)
+
+let prefix = "mm_"
+
+let strip name =
+  if String.length name > 3 && String.sub name 0 3 = prefix then
+    String.sub name 3 (String.length name - 3)
+  else name
+
+(* Bijectively rename every predicate and benefit, keeping universe
+   positions. Everything — atlas, payoffs, Algorithm 2 tie-breaking
+   (which orders moves positionally, not by name) — must be invariant. *)
+let renamed e =
+  let ren n = prefix ^ n in
+  let ren_formula f = F.map_vars (fun v -> F.var (ren v)) f in
+  let xp = Universe.of_names (List.map ren (Universe.names (Exposure.xp e))) in
+  let xb = Universe.of_names (List.map ren (Universe.names (Exposure.xb e))) in
+  let rules =
+    List.map
+      (fun (r : Rule.t) ->
+        Rule.of_formula ~benefit:(ren r.benefit)
+          (ren_formula (Pet_logic.Dnf.to_formula r.dnf)))
+      (Exposure.rules e)
+  in
+  let constraints = List.map ren_formula (Exposure.constraints e) in
+  {
+    name = "rename";
+    exposure = Exposure.create ~xp ~xb ~rules ~constraints ();
+    back_pred = strip;
+    back_benefit = strip;
+    exact = true;
+  }
+
+let identity_maps name exposure ~exact =
+  { name; exposure; back_pred = Fun.id; back_benefit = Fun.id; exact }
+
+(* Rule and constraint declaration order is not part of the semantics. *)
+let rules_permuted e =
+  identity_maps "rule-permutation"
+    (Exposure.create ~xp:(Exposure.xp e) ~xb:(Exposure.xb e)
+       ~rules:(List.rev (Exposure.rules e))
+       ~constraints:(List.rev (Exposure.constraints e))
+       ())
+    ~exact:true
+
+(* Rebuild every DNF from a formula with its disjuncts and literals
+   reversed: the normalization pipeline must produce the same rule. *)
+let literals_shuffled e =
+  let rules =
+    List.map
+      (fun (r : Rule.t) ->
+        let formula =
+          F.disj
+            (List.rev_map
+               (fun c -> F.conj (List.rev_map Literal.to_formula c))
+               (Rule.conjunctions r))
+        in
+        Rule.of_formula ~benefit:r.benefit formula)
+      (Exposure.rules e)
+  in
+  identity_maps "literal-reorder"
+    (Exposure.create ~xp:(Exposure.xp e) ~xb:(Exposure.xb e) ~rules
+       ~constraints:(Exposure.constraints e) ())
+    ~exact:true
+
+(* Duplicate the first conjunction of the first rule, bypassing the
+   normalizing constructors: a disjunction with a repeated disjunct is
+   semantically the same rule, whatever the backends make of it. *)
+let conjunction_duplicated e =
+  let rules =
+    match Exposure.rules e with
+    | [] -> []
+    | (r : Rule.t) :: rest -> (
+      match Rule.conjunctions r with
+      | [] -> r :: rest
+      | c :: _ as conjs -> Rule.make ~benefit:r.benefit (conjs @ [ c ]) :: rest)
+  in
+  identity_maps "duplicate-rule"
+    (Exposure.create ~xp:(Exposure.xp e) ~xb:(Exposure.xb e) ~rules
+       ~constraints:(Exposure.constraints e) ())
+    ~exact:true
+
+(* Reverse the form-universe order. The atlas must be the same set of
+   (bindings, benefits) pairs; Algorithm 2's lexicographic tie-breaking
+   legitimately depends on the order, so only atlas-level invariance and
+   Nash-ness of the resulting profile are required. *)
+let universe_permuted e =
+  let xp = Universe.of_names (List.rev (Universe.names (Exposure.xp e))) in
+  identity_maps "universe-permutation"
+    (Exposure.create ~xp ~xb:(Exposure.xb e) ~rules:(Exposure.rules e)
+       ~constraints:(Exposure.constraints e) ())
+    ~exact:false
+
+let transforms e =
+  [
+    renamed e;
+    rules_permuted e;
+    literals_shuffled e;
+    conjunction_duplicated e;
+    universe_permuted e;
+  ]
+
+(* --- The invariants ---------------------------------------------------------------- *)
+
+(* Everything compared through the inverse renaming, as canonical sorted
+   structures, so the relation is "equal up to the transformation". *)
+let canon_bindings back w =
+  List.sort compare (List.map (fun (n, v) -> (back n, v)) (Partial.bindings w))
+
+let canon_atlas ~back_pred ~back_benefit atlas =
+  List.mapi
+    (fun i (c : A1.choice) ->
+      ( canon_bindings back_pred c.mas,
+        List.sort String.compare (List.map back_benefit c.benefits),
+        List.length (Atlas.players_of_mas atlas i),
+        List.length (Atlas.forced_players_of_mas atlas i) ))
+    (Atlas.mas_list atlas)
+  |> List.sort compare
+
+let canon_players ~back_pred atlas =
+  List.init (Atlas.player_count atlas) (fun i ->
+      canon_bindings back_pred (Partial.of_total (Atlas.player atlas i)))
+  |> List.sort compare
+
+let canon_equilibrium ~back_pred atlas payoff =
+  let profile = Strategy.compute ~payoff atlas in
+  List.init (Atlas.player_count atlas) (fun i ->
+      ( canon_bindings back_pred (Partial.of_total (Atlas.player atlas i)),
+        canon_bindings back_pred
+          (Atlas.mas atlas (Profile.move_of profile i)).A1.mas,
+        Payoff.of_profile profile payoff ~player:i ))
+  |> List.sort compare
+
+let check ?(payoff = Payoff.Blank) ?(backend = Engine.Bdd) e =
+  let tally = Finding.tally () in
+  let base_atlas = Atlas.build (Engine.create ~backend e) in
+  let base_canon =
+    canon_atlas ~back_pred:Fun.id ~back_benefit:Fun.id base_atlas
+  in
+  let base_players = canon_players ~back_pred:Fun.id base_atlas in
+  let base_equilibrium = canon_equilibrium ~back_pred:Fun.id base_atlas payoff in
+  List.iter
+    (fun t ->
+      let stage = "metamorphic/" ^ t.name in
+      match Atlas.build (Engine.create ~backend t.exposure) with
+      | exception exn ->
+        Finding.fail tally ~stage
+          (Fmt.str "transformed problem crashed the pipeline: %s"
+             (Printexc.to_string exn))
+      | atlas ->
+        Finding.check tally ~stage
+          (canon_players ~back_pred:t.back_pred atlas = base_players)
+          (fun () ->
+            Fmt.str "player set not invariant (%d players vs %d)"
+              (Atlas.player_count atlas)
+              (List.length base_players));
+        Finding.check tally ~stage
+          (canon_atlas ~back_pred:t.back_pred ~back_benefit:t.back_benefit
+             atlas
+          = base_canon)
+          (fun () ->
+            Fmt.str "MAS atlas not invariant (%d MAS vs %d)"
+              (Atlas.mas_count atlas) (List.length base_canon));
+        if t.exact then
+          Finding.check tally ~stage
+            (canon_equilibrium ~back_pred:t.back_pred atlas payoff
+            = base_equilibrium)
+            (fun () -> "Algorithm 2 equilibrium not invariant")
+        else begin
+          (* Tie-breaking may legitimately pick another equilibrium; it
+             must still be an equilibrium. *)
+          let profile = Strategy.compute ~payoff atlas in
+          let refined, converged = Equilibrium.refine profile payoff in
+          Finding.check tally ~stage
+            (converged && Equilibrium.is_nash refined payoff)
+            (fun () -> "transformed problem's profile does not refine to Nash")
+        end)
+    (transforms e);
+  Finding.report tally

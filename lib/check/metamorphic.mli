@@ -1,0 +1,37 @@
+(** Metamorphic testing: semantics-preserving transformations of an
+    exposure problem under which the published artifacts must be
+    invariant (up to the transformation's own renaming).
+
+    Five transformations are applied:
+    - [rename] — bijective renaming of predicates and benefits (universe
+      positions kept): the atlas, payoffs and the Algorithm 2 equilibrium
+      must match through the inverse renaming;
+    - [rule-permutation] — reversed rule/constraint declaration order;
+    - [literal-reorder] — every DNF rebuilt from a formula with its
+      disjuncts and literals reversed (exercises normalization);
+    - [duplicate-rule] — a repeated conjunction inserted past the
+      normalizing constructors (a disjunction with a duplicate disjunct
+      is the same rule);
+    - [universe-permutation] — reversed form-universe order: the MAS set
+      (as bindings), benefits and crowd sizes must be invariant, while
+      Algorithm 2 may tie-break differently and is only required to
+      yield a profile that refines to Nash. *)
+
+type transformed = {
+  name : string;
+  exposure : Pet_rules.Exposure.t;
+  back_pred : string -> string;  (** transformed name -> original name *)
+  back_benefit : string -> string;
+  exact : bool;
+      (** positions preserved: the equilibrium must match move-for-move *)
+}
+
+val transforms : Pet_rules.Exposure.t -> transformed list
+
+val check :
+  ?payoff:Pet_game.Payoff.kind ->
+  ?backend:Pet_rules.Engine.backend ->
+  Pet_rules.Exposure.t ->
+  Finding.report
+(** Stages: ["metamorphic/<transform name>"]. [backend] defaults to
+    [Bdd]; backend equivalence itself is {!Diff}'s job. *)

@@ -1,0 +1,82 @@
+module Universe = Pet_valuation.Universe
+module Total = Pet_valuation.Total
+module Partial = Pet_valuation.Partial
+module Exposure = Pet_rules.Exposure
+module Engine = Pet_rules.Engine
+module A1 = Pet_minimize.Algorithm1
+module Atlas = Pet_minimize.Atlas
+module Payoff = Pet_game.Payoff
+module Strategy = Pet_game.Strategy
+module Equilibrium = Pet_game.Equilibrium
+
+let default_player_samples = 8
+
+let strings = Fmt.(list ~sep:(any ", ") string)
+
+(* Keep a deterministic spread of a MAS's potential players rather than
+   its first few (which share a bit prefix). *)
+let spread k l =
+  let n = List.length l in
+  if n <= k then l
+  else List.filteri (fun i _ -> i mod (n / k) = 0) l |> List.filteri (fun i _ -> i < k)
+
+let check ?(mode = A1.Chain) ?(payoff = Payoff.Blank)
+    ?(player_samples = default_player_samples) e =
+  let tally = Finding.tally () in
+  let brute = Engine.create ~backend:Engine.Brute e in
+  let atlas = Atlas.build ~mode (Engine.create ~backend:Engine.Bdd e) in
+  List.iteri
+    (fun i (c : A1.choice) ->
+      (* Accuracy, definition-level: the published MAS proves exactly the
+         benefits it claims, per the brute-force reference semantics. *)
+      Finding.check tally ~stage:"oracle/accurate"
+        (List.equal String.equal (Engine.benefits brute c.mas) c.benefits)
+        (fun () ->
+          Fmt.str "MAS %a claims {%a} but brute-force proves {%a}" Partial.pp
+            c.mas strings c.benefits strings
+            (Engine.benefits brute c.mas));
+      (* ... and for each sampled player: exactly the player's own due
+         benefits (Definition 3.13's accuracy, per valuation). Potential
+         players include constraint-violating extensions (the attacker's
+         candidate set); accuracy is only defined for real applicants, so
+         sample the constraint-satisfying ones. *)
+      let applicants =
+        List.filter
+          (fun pi ->
+            Exposure.satisfies_constraints e (Atlas.player atlas pi))
+          (Atlas.players_of_mas atlas i)
+      in
+      List.iter
+        (fun pi ->
+          let v = Atlas.player atlas pi in
+          Finding.check tally ~stage:"oracle/accurate"
+            (A1.is_accurate brute v c.mas)
+            (fun () ->
+              Fmt.str "MAS %a is not accurate for player %a" Partial.pp c.mas
+                Total.pp v))
+        (spread player_samples applicants);
+      (* Minimality: no single binding can be dropped (modulo closure)
+         while proving the same benefits. *)
+      Finding.check tally ~stage:"oracle/minimal"
+        (A1.is_minimal ~mode brute c.mas ~benefits:c.benefits)
+        (fun () ->
+          Fmt.str "MAS %a is not ≤-minimal: a binding can be dropped while \
+                   still proving {%a}"
+            Partial.pp c.mas strings c.benefits))
+    (Atlas.mas_list atlas);
+  (* Algorithm 2: the committed profile must refine (in zero or more
+     best-response steps) to a verified Nash equilibrium, and under the
+     equilibrium every move is a best response. *)
+  if Atlas.player_count atlas > 0 then begin
+    let profile = Strategy.compute ~payoff atlas in
+    let refined, converged = Equilibrium.refine profile payoff in
+    Finding.check tally ~stage:"oracle/nash" converged (fun () ->
+        "best-response dynamics did not converge");
+    Finding.check tally ~stage:"oracle/nash"
+      (Equilibrium.is_nash refined payoff)
+      (fun () ->
+        Fmt.str "refined profile is not Nash: %a"
+          Fmt.(list ~sep:(any "; ") Equilibrium.pp_deviation)
+          (spread 4 (Equilibrium.deviations refined payoff)))
+  end;
+  Finding.report tally

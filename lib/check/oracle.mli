@@ -1,0 +1,23 @@
+(** Property oracles: definition-level rechecks against the brute-force
+    reference backend, independent of how Algorithm 1 and Algorithm 2
+    computed their answers.
+
+    - {e accuracy} (Definition 3.13): every published MAS proves exactly
+      the benefits it claims under brute-force semantics, and is accurate
+      for a deterministic spread of its potential players;
+    - {e ≤-minimality}: no single binding of a MAS can be dropped (modulo
+      the closure mode's rederivable literals) while proving the same
+      benefit set — {!Pet_minimize.Algorithm1.is_minimal};
+    - {e best response}: the Algorithm 2 profile refines to a profile
+      where no unilateral deviation is profitable
+      ({!Pet_game.Equilibrium.is_nash}); failures print the regret list. *)
+
+val default_player_samples : int
+
+val check :
+  ?mode:Pet_minimize.Algorithm1.mode ->
+  ?payoff:Pet_game.Payoff.kind ->
+  ?player_samples:int ->
+  Pet_rules.Exposure.t ->
+  Finding.report
+(** Stages: ["oracle/accurate"], ["oracle/minimal"], ["oracle/nash"]. *)

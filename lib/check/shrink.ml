@@ -1,0 +1,112 @@
+module Universe = Pet_valuation.Universe
+module Exposure = Pet_rules.Exposure
+module Rule = Pet_rules.Rule
+module Spec = Pet_rules.Spec
+module Dnf = Pet_logic.Dnf
+module F = Pet_logic.Formula
+
+(* Rebuilding a mutilated problem can violate Exposure's invariants
+   (an empty universe, a constraint over a dropped predicate); such
+   candidates are simply not offered. *)
+let rebuild ~xp ~xb ~rules ~constraints =
+  match Exposure.create ~xp ~xb ~rules ~constraints () with
+  | e -> Some e
+  | exception Invalid_argument _ -> None
+
+let remove_nth n l = List.filteri (fun i _ -> i <> n) l
+
+(* One shrinking step's candidates, most aggressive first: drop a whole
+   rule (with its benefit), drop a constraint, drop one conjunction of a
+   rule, drop one literal of a conjunction, then drop every predicate no
+   rule or constraint mentions any more. *)
+let candidates e =
+  let xp = Exposure.xp e in
+  let xb = Exposure.xb e in
+  let rules = Exposure.rules e in
+  let constraints = Exposure.constraints e in
+  let drop_rule =
+    if List.length rules <= 1 then []
+    else
+      List.mapi
+        (fun i (r : Rule.t) ->
+          let xb' =
+            Universe.of_names
+              (List.filter (fun b -> b <> r.benefit) (Universe.names xb))
+          in
+          rebuild ~xp ~xb:xb' ~rules:(remove_nth i rules) ~constraints)
+        rules
+  in
+  let drop_constraint =
+    List.mapi
+      (fun i _ -> rebuild ~xp ~xb ~rules ~constraints:(remove_nth i constraints))
+      constraints
+  in
+  let drop_conjunction =
+    List.concat
+      (List.mapi
+         (fun i (r : Rule.t) ->
+           let conjs = Rule.conjunctions r in
+           if List.length conjs <= 1 then []
+           else
+             List.mapi
+               (fun j _ ->
+                 let r' = Rule.make ~benefit:r.benefit (remove_nth j conjs) in
+                 rebuild ~xp ~xb
+                   ~rules:(List.mapi (fun k r0 -> if k = i then r' else r0) rules)
+                   ~constraints)
+               conjs)
+         rules)
+  in
+  let drop_literal =
+    List.concat
+      (List.mapi
+         (fun i (r : Rule.t) ->
+           let conjs = Rule.conjunctions r in
+           List.concat
+             (List.mapi
+                (fun j c ->
+                  if List.length c <= 1 then []
+                  else
+                    List.mapi
+                      (fun k _ ->
+                        let conjs' =
+                          List.mapi
+                            (fun j' c' -> if j' = j then remove_nth k c else c')
+                            conjs
+                        in
+                        let r' = Rule.make ~benefit:r.benefit conjs' in
+                        rebuild ~xp ~xb
+                          ~rules:
+                            (List.mapi
+                               (fun k' r0 -> if k' = i then r' else r0)
+                               rules)
+                          ~constraints)
+                      c)
+                conjs))
+         rules)
+  in
+  let narrow_universe =
+    let used =
+      List.concat_map (fun (r : Rule.t) -> Dnf.vars r.dnf) rules
+      @ List.concat_map F.vars constraints
+    in
+    let kept = List.filter (fun p -> List.mem p used) (Universe.names xp) in
+    if List.length kept = Universe.size xp || kept = [] then []
+    else [ rebuild ~xp:(Universe.of_names kept) ~xb ~rules ~constraints ]
+  in
+  List.filter_map Fun.id
+    (drop_rule @ drop_constraint @ drop_conjunction @ drop_literal
+   @ narrow_universe)
+
+let shrink ~still_fails e =
+  (* A candidate that crashes the predicate itself is not adopted: the
+     caller's predicate owns the definition of "the same failure". *)
+  let fails e = match still_fails e with b -> b | exception _ -> false in
+  let rec go e =
+    match List.find_opt fails (candidates e) with
+    | Some smaller -> go smaller
+    | None -> e
+  in
+  go e
+
+let to_dsl = Spec.to_string

@@ -1,0 +1,26 @@
+(** Greedy shrinking of a failing exposure problem to a minimal
+    reproducer.
+
+    Each step offers every one-element reduction of the problem — drop a
+    rule (with its benefit), drop a constraint, drop one conjunction of a
+    rule's DNF, drop one literal of a conjunction, drop the predicates no
+    rule or constraint mentions — and commits to the first reduction on
+    which [still_fails] still holds, repeating until no reduction
+    reproduces the failure. Termination is by the strictly decreasing
+    problem size; the result is locally minimal (1-minimal), which in
+    practice is a handful of rules ready to paste into a unit test. *)
+
+val shrink :
+  still_fails:(Pet_rules.Exposure.t -> bool) ->
+  Pet_rules.Exposure.t ->
+  Pet_rules.Exposure.t
+(** [still_fails] should re-run the checks that originally failed and
+    answer whether the {e same} failure (same stage) reoccurs — see
+    {!Harness.reproduce}, which wires the stage fingerprint for you. A
+    candidate on which [still_fails] raises is not adopted. *)
+
+val candidates : Pet_rules.Exposure.t -> Pet_rules.Exposure.t list
+(** One step's reductions, most aggressive first (exposed for tests). *)
+
+val to_dsl : Pet_rules.Exposure.t -> string
+(** The reproducer as rule-DSL text ({!Pet_rules.Spec.to_string}). *)

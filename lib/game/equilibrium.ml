@@ -37,6 +37,30 @@ let find_improvement profile payoff =
 
 let is_nash profile payoff = find_improvement profile payoff = None
 
+let deviations profile payoff =
+  let atlas = Profile.atlas profile in
+  let n = Atlas.player_count atlas in
+  List.concat_map
+    (fun i ->
+      let from_mas = Profile.move_of profile i in
+      let current =
+        Payoff.value atlas payoff ~mas:from_mas
+          ~crowd:(Profile.crowd profile from_mas)
+      in
+      List.filter_map
+        (fun m ->
+          if m = from_mas then None
+          else
+            let deviated =
+              Payoff.value atlas payoff ~mas:m
+                ~crowd:(i :: Profile.crowd profile m)
+            in
+            if deviated > current then
+              Some { player = i; from_mas; to_mas = m; current; deviated }
+            else None)
+        (Atlas.choices_of_player atlas i))
+    (List.init n Fun.id)
+
 let refine ?max_steps profile payoff =
   let atlas = Profile.atlas profile in
   let max_steps =

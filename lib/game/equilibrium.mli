@@ -16,6 +16,11 @@ val find_improvement : Profile.t -> Payoff.kind -> deviation option
 
 val is_nash : Profile.t -> Payoff.kind -> bool
 
+val deviations : Profile.t -> Payoff.kind -> deviation list
+(** Every strictly profitable unilateral deviation, by player then target
+    move — the full regret list the correctness harness prints when a
+    profile that should be Nash is not. Empty iff {!is_nash}. *)
+
 val refine : ?max_steps:int -> Profile.t -> Payoff.kind -> Profile.t * bool
 (** Best-response dynamics: repeatedly apply a profitable unilateral
     deviation until none remains ([true]) or [max_steps] (default

@@ -138,6 +138,53 @@ let mas_of ?(mode = Chain) engine v =
   |> List.sort Partial.compare_lex
   |> List.map (fun mas -> { mas; benefits = granted })
 
+(* Benefits proven by direct conjunction satisfaction: some conjunction of
+   the benefit's DNF has all its literals bound with the right sign. This
+   is the proof notion under which Algorithm 1's Chain/Entail modes are
+   minimal: their candidates are products of directly satisfied
+   conjunctions, so minimality must be judged against direct proofs, not
+   against full entailment (a constraint can make a strictly smaller
+   subvaluation entail the same benefits without directly proving them). *)
+let directly_proven exposure w =
+  let holds (l : Pet_logic.Literal.t) = Partial.value w l.var = Some l.sign in
+  List.filter_map
+    (fun (r : Rule.t) ->
+      if List.exists (List.for_all holds) (Rule.conjunctions r) then
+        Some r.benefit
+      else None)
+    (Exposure.rules exposure)
+
+let same_benefits a b =
+  List.equal String.equal
+    (List.sort String.compare a)
+    (List.sort String.compare b)
+
+let is_minimal ?(mode = Chain) engine w ~benefits =
+  let exposure = Engine.exposure engine in
+  match mode with
+  | Exact ->
+    (* Accuracy is interval-closed (benefits grow monotonically with the
+       subvaluation), so 1-minimality equals Definition 3.13 minimality. *)
+    List.for_all
+      (fun p ->
+        not
+          (same_benefits (Engine.benefits engine (Partial.unset w p)) benefits))
+      (Partial.domain w)
+  | Chain | Entail ->
+    let close =
+      match mode with
+      | Chain -> chain_close exposure
+      | Entail | Exact -> entail_close engine
+    in
+    List.for_all
+      (fun p ->
+        let smaller = close (Partial.unset w p) in
+        (* A dropped literal the closure rederives does not yield a
+           strictly smaller published MAS. *)
+        Partial.equal smaller w
+        || not (same_benefits (directly_proven exposure smaller) benefits))
+      (Partial.domain w)
+
 let potential_players engine m =
   let proves = Engine.benefits engine m in
   List.filter

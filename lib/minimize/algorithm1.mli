@@ -50,6 +50,27 @@ val is_accurate :
 (** Definition 3.13: [w <= v] and [w] proves exactly the benefits [v]
     triggers. Used by tests and by the best-minimizer checks. *)
 
+val is_minimal :
+  ?mode:mode ->
+  Pet_rules.Engine.t ->
+  Pet_valuation.Partial.t ->
+  benefits:string list ->
+  bool
+(** Definition-level ≤-minimality recheck, used by the correctness
+    harness: no single binding of [w] can be dropped while still proving
+    exactly [benefits]. In {!Chain} ({!Entail}) mode the shrunken
+    candidate is first re-closed, because a dropped literal that the
+    closure rederives does not make the {e published} MAS smaller —
+    closure literals are derivable by any attacker and carry no extra
+    information — and proofs are judged by {e direct} conjunction
+    satisfaction, the proof notion the algorithm's candidates are built
+    from (a constraint can make a strictly smaller subvaluation entail
+    the same benefits without directly proving them, and such
+    subvaluations are not candidates). In {!Exact} mode proofs are full
+    entailment, matching the exhaustive enumeration; accuracy is
+    interval-closed, so the 1-step check decides Definition 3.13
+    minimality exactly. [mode] defaults to {!Chain}. *)
+
 val chain_close :
   Pet_rules.Exposure.t -> Pet_valuation.Partial.t -> Pet_valuation.Partial.t
 (** Forward-chain the directed implications of [R_ADD] from the fixed

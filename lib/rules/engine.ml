@@ -185,7 +185,7 @@ let deduced_literals t w =
       else None)
     (Universe.names (Exposure.xp t.e))
 
-let pp_backend ppf = function
-  | Brute -> Fmt.string ppf "brute"
-  | Sat -> Fmt.string ppf "sat"
-  | Bdd -> Fmt.string ppf "bdd"
+let all_backends = [ Brute; Sat; Bdd ]
+
+let backend_name = function Brute -> "brute" | Sat -> "sat" | Bdd -> "bdd"
+let pp_backend ppf b = Fmt.string ppf (backend_name b)

@@ -15,6 +15,13 @@
 
 type backend = Brute | Sat | Bdd
 
+val all_backends : backend list
+(** [[Brute; Sat; Bdd]] — the order the differential harness reports
+    them in. *)
+
+val backend_name : backend -> string
+(** ["brute"], ["sat"] or ["bdd"]. *)
+
 type t
 
 val create : ?backend:backend -> Exposure.t -> t

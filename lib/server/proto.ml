@@ -130,7 +130,15 @@ let decode_request name params =
   | "stats" -> Ok Stats
   | other -> Error (errorf Unknown_method "unknown method %S" other)
 
+let max_line_bytes = 1 lsl 20
+
 let decode line =
+  if String.length line > max_line_bytes then
+    Error
+      ( Json.Null,
+        errorf Invalid_request "oversized request line (%d bytes, max %d)"
+          (String.length line) max_line_bytes )
+  else
   match Json.parse line with
   | Error m -> Error (Json.Null, error Parse_error m)
   | Ok (Json.Obj _ as obj) -> (

@@ -65,9 +65,15 @@ type envelope = { id : Json.t (* Int, String or Null *); request : request }
 val method_name : request -> string
 (** The wire name, used as the stats bucket. *)
 
+val max_line_bytes : int
+(** Request lines longer than this (1 MiB) are rejected with
+    [Invalid_request] before being parsed — a hostile client cannot make
+    the service buffer unbounded JSON. *)
+
 val decode : string -> (envelope, Json.t * error) result
 (** Decode one request line. On failure the best-effort request id is
-    returned alongside the error so the response can still be correlated. *)
+    returned alongside the error so the response can still be correlated.
+    Lines over {!max_line_bytes} are refused without parsing. *)
 
 val ok_response : id:Json.t -> Json.t -> string
 val error_response : id:Json.t -> error -> string

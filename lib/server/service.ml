@@ -187,7 +187,9 @@ let choose_option t ~session:sid ~choice ~now =
   let* mas, benefits =
     match choice with
     | Proto.Index i -> (
-      match List.nth_opt options i with
+      (* [List.nth_opt] raises on negative indices rather than returning
+         [None], so guard explicitly. *)
+      match if i < 0 then None else List.nth_opt options i with
       | Some option -> Ok option
       | None ->
         Error

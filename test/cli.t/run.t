@@ -247,9 +247,17 @@ Protocol-level failures are structured errors, never crashes:
   $ ../../bin/pet.exe serve --deterministic <<'REQUESTS'
   > {"pet":1,"id":13
   > {"pet":1,"id":14,"method":"submit_form","params":{"session":"s9"}}
+  > {"pet":99,"id":15,"method":"stats"}
   > REQUESTS
   {"pet":1,"id":null,"error":{"code":"parse_error","message":"line 1, column 17 (offset 16): expected ',' or '}' in object"}}
   {"pet":1,"id":14,"error":{"code":"unknown_session","message":"unknown session \"s9\""}}
+  {"pet":1,"id":15,"error":{"code":"invalid_request","message":"unsupported protocol version 99 (this is 1)"}}
+
+An oversized request line (over 1 MiB) is rejected before it is even
+parsed, so a misbehaving client cannot make the service buffer garbage:
+
+  $ python3 -c "print('x' * 1100000)" | ../../bin/pet.exe serve --deterministic
+  {"pet":1,"id":null,"error":{"code":"invalid_request","message":"oversized request line (1100000 bytes, max 1048576)"}}
 
 Forms too large to enumerate are refused with a pointer to the symbolic
 audit, which handles them fine:
@@ -269,3 +277,25 @@ audit, which handles them fine:
   3 MAS over 22544384 valuations
   
   predicate                  in MAS players needing it
+
+The self-check harness cross-validates the three entailment backends on
+generated problems — differential, metamorphic and oracle passes — and
+fuzzes the collection service with mutated protocol lines. Both runs are
+seeded and deterministic:
+
+  $ ../../bin/pet.exe check --seeds 1-3
+  seed 1: ok (619 checks)
+  seed 2: ok (527 checks)
+  seed 3: ok (513 checks)
+
+  $ ../../bin/pet.exe check --fuzz 2000
+  fuzz: 2000 requests, 274 ok, 1726 structured errors, 0 invalid responses, 0 crashes
+
+Without a rule file, a seed range or a fuzz budget there is nothing to
+check:
+
+  $ ../../bin/pet.exe check
+  pet: expected a RULES source, --seeds or --fuzz
+  Usage: pet check [OPTION]… [RULES]
+  Try 'pet check --help' or 'pet --help' for more information.
+  [124]

@@ -397,6 +397,144 @@ let test_service_eviction () =
        (request service "get_report"
           [ ("session", Json.String sid); ("valuation", Json.String "011") ]))
 
+let test_service_out_of_order () =
+  (* Requests in every wrong order get structured bad_state errors and
+     leave the session usable for the correct flow afterwards. *)
+  let service = make_service () in
+  let opened =
+    ok_of (request service "new_session" [ ("source", Json.String "running") ])
+  in
+  let sid = str "session" opened in
+  (* choose_option before get_report: there are no options yet. *)
+  Alcotest.(check string) "choose before report" "bad_state"
+    (error_code
+       (request service "choose_option"
+          [ ("session", Json.String sid); ("option", Json.Int 0) ]));
+  Alcotest.(check string) "submit before report" "bad_state"
+    (error_code (request service "submit_form" [ ("session", Json.String sid) ]));
+  ignore
+    (ok_of
+       (request service "get_report"
+          [ ("session", Json.String sid); ("valuation", Json.String "011") ]));
+  (* Negative option index: a structured error, not an exception. *)
+  Alcotest.(check string) "negative option" "invalid_params"
+    (error_code
+       (request service "choose_option"
+          [ ("session", Json.String sid); ("option", Json.Int (-3)) ]));
+  ignore
+    (ok_of
+       (request service "choose_option"
+          [ ("session", Json.String sid); ("option", Json.Int 0) ]));
+  (* choose_option twice: the options died with the raw valuation. *)
+  Alcotest.(check string) "choose twice" "bad_state"
+    (error_code
+       (request service "choose_option"
+          [ ("session", Json.String sid); ("option", Json.Int 0) ]));
+  ignore (ok_of (request service "submit_form" [ ("session", Json.String sid) ]))
+
+let test_service_ledger_survives_eviction () =
+  (* Consent records are keyed by rule digest, not by the compiled
+     engine: evicting and recompiling the engine must not lose them. *)
+  let service = make_service ~capacity:1 () in
+  let published =
+    ok_of (request service "publish_rules" [ ("source", Json.String "running") ])
+  in
+  let digest = str "digest" published in
+  let sid =
+    str "session"
+      (ok_of (request service "new_session" [ ("digest", Json.String digest) ]))
+  in
+  ignore
+    (ok_of
+       (request service "get_report"
+          [ ("session", Json.String sid); ("valuation", Json.String "011") ]));
+  ignore
+    (ok_of
+       (request service "choose_option"
+          [ ("session", Json.String sid); ("option", Json.Int 0) ]));
+  ignore (ok_of (request service "submit_form" [ ("session", Json.String sid) ]));
+  (* Evict the running engine from the capacity-1 registry... *)
+  ignore
+    (ok_of
+       (request service "publish_rules"
+          [ ("rules", Json.String "form a b\nbenefits z\nrule z := a & b") ]));
+  Alcotest.(check string) "engine gone" "unknown_rules"
+    (error_code (request service "audit" [ ("digest", Json.String digest) ]));
+  (* ... republish the same rules (same canonical digest, recompiled): the
+     grant recorded before the eviction is still audited. *)
+  let republished =
+    ok_of (request service "publish_rules" [ ("source", Json.String "running") ])
+  in
+  Alcotest.(check string) "same digest" digest (str "digest" republished);
+  Alcotest.(check bool) "recompiled, not cached" true
+    (Json.member "cached" republished = Some (Json.Bool false));
+  let audit =
+    ok_of (request service "audit" [ ("digest", Json.String digest) ])
+  in
+  Alcotest.(check bool) "record survived the eviction" true
+    (Json.member "records" audit = Some (Json.Int 1));
+  Alcotest.(check bool) "still clean" true
+    (Json.member "failures" audit = Some (Json.List []))
+
+let test_registry_randomized_counters () =
+  (* Randomized finds/adds against a naive model: contents, hit/miss and
+     eviction counters must all agree. *)
+  let capacity = 4 in
+  let r = Registry.create ~capacity () in
+  let rng = Random.State.make [| 0xc0de |] in
+  let keys = [| "a"; "b"; "c"; "d"; "e"; "f"; "g" |] in
+  (* Model: association list in most-recently-used-first order. *)
+  let model = ref [] in
+  let hits = ref 0 and misses = ref 0 and evictions = ref 0 in
+  let model_find k =
+    match List.assoc_opt k !model with
+    | Some v ->
+      incr hits;
+      model := (k, v) :: List.remove_assoc k !model;
+      Some v
+    | None ->
+      incr misses;
+      None
+  in
+  let model_add k v =
+    let without = List.remove_assoc k !model in
+    if List.mem_assoc k !model then model := (k, v) :: without
+    else begin
+      if List.length without >= capacity then begin
+        incr evictions;
+        model :=
+          (k, v) :: List.filteri (fun i _ -> i < capacity - 1) without
+      end
+      else model := (k, v) :: without
+    end
+  in
+  for i = 1 to 500 do
+    let k = keys.(Random.State.int rng (Array.length keys)) in
+    if Random.State.bool rng then begin
+      let got = Registry.find r k in
+      Alcotest.(check bool)
+        (Printf.sprintf "step %d: find %s agrees" i k)
+        true
+        (got = model_find k)
+    end
+    else begin
+      Registry.add r k i;
+      model_add k i
+    end
+  done;
+  let s = Registry.stats r in
+  Alcotest.(check int) "hits" !hits s.Registry.hits;
+  Alcotest.(check int) "misses" !misses s.Registry.misses;
+  Alcotest.(check int) "evictions" !evictions s.Registry.evictions;
+  Alcotest.(check int) "size" (List.length !model) s.Registry.size;
+  List.iter
+    (fun (k, v) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "final content %s" k)
+        true
+        (Registry.peek r k = Some v))
+    !model
+
 let test_service_canonical_digest () =
   (* Formatting-only differences in the rule text map to the same digest:
      the second publish is a cache hit. *)
@@ -432,6 +570,8 @@ let () =
         [
           Alcotest.test_case "counters" `Quick test_registry_counters;
           Alcotest.test_case "lru" `Quick test_registry_lru;
+          Alcotest.test_case "randomized counters" `Quick
+            test_registry_randomized_counters;
           Alcotest.test_case "digest" `Quick test_registry_digest;
         ] );
       ( "session",
@@ -444,7 +584,10 @@ let () =
           Alcotest.test_case "lifecycle" `Quick test_service_lifecycle;
           Alcotest.test_case "errors" `Quick test_service_errors;
           Alcotest.test_case "expiry" `Quick test_service_expiry;
+          Alcotest.test_case "out of order" `Quick test_service_out_of_order;
           Alcotest.test_case "eviction" `Quick test_service_eviction;
+          Alcotest.test_case "ledger survives eviction" `Quick
+            test_service_ledger_survives_eviction;
           Alcotest.test_case "canonical digest" `Quick
             test_service_canonical_digest;
         ] );

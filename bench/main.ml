@@ -491,6 +491,14 @@ let symbolic () =
    digest, a consent report, a choice and a submission — measuring
    end-to-end requests/second including JSON decode/encode, and the
    registry hit rate across sessions. *)
+(* Machine-readable results for CI trending: each section that feeds a
+   dashboard writes a BENCH_<name>.json next to the human output. *)
+let write_json file json =
+  Out_channel.with_open_bin file (fun oc ->
+      Out_channel.output_string oc (Pet_pet.Json.to_string json);
+      Out_channel.output_char oc '\n');
+  Fmt.pr "wrote %s@." file
+
 let server () =
   section "Server: pet serve request throughput (line-delimited JSON)";
   let escape s = Pet_pet.Json.to_string (Pet_pet.Json.String s) in
@@ -556,10 +564,123 @@ let server () =
        = %.0f requests/s; %d errors; registry hit rate %.1f%%@."
       name publish_dt respondents !requests dt
       (float_of_int !requests /. dt)
-      !errors hit_rate
+      !errors hit_rate;
+    Pet_pet.Json.Obj
+      [
+        ("case", Pet_pet.Json.String name);
+        ("respondents", Pet_pet.Json.Int respondents);
+        ("requests", Pet_pet.Json.Int !requests);
+        ("errors", Pet_pet.Json.Int !errors);
+        ("publish_compile_s", Pet_pet.Json.Float publish_dt);
+        ("seconds", Pet_pet.Json.Float dt);
+        ("requests_per_s", Pet_pet.Json.Float (float_of_int !requests /. dt));
+        ("cache_hit_rate", Pet_pet.Json.Float (hit_rate /. 100.));
+      ]
   in
-  run_case "H-cov" (Lazy.force hcov) 1560;
-  run_case "RSA" (Lazy.force rsa) 300
+  let hcov_case = run_case "H-cov" (Lazy.force hcov) 1560 in
+  let rsa_case = run_case "RSA" (Lazy.force rsa) 300 in
+  let cases = [ hcov_case; rsa_case ] in
+  write_json "BENCH_server.json" (Pet_pet.Json.Obj [ ("cases", Pet_pet.Json.List cases) ])
+
+(* --- Store: append and recovery throughput ------------------------------------------------------- *)
+
+(* The durability tax and the restart cost: events/second through the
+   write-ahead log (with and without fsync) and the wall-clock to
+   recover a 100k-event log — the figure that bounds restart time. *)
+let store () =
+  section "Store: write-ahead-log append and recovery";
+  let module Persist = Pet_server.Persist in
+  let module Store = Pet_store.Store in
+  let rec remove_tree path =
+    if Sys.file_exists path then
+      if Sys.is_directory path then begin
+        Array.iter
+          (fun entry -> remove_tree (Filename.concat path entry))
+          (Sys.readdir path);
+        Sys.rmdir path
+      end
+      else Sys.remove path
+  in
+  let event i =
+    (* A realistic mix: mostly session transitions, a grant every forth
+       event, a fresh rule set every 10k. *)
+    let id = Printf.sprintf "s%d" (i / 4) in
+    match i mod 4 with
+    | 0 -> Persist.Session_created { id; digest = "bench"; at = float_of_int i }
+    | 1 ->
+      Persist.Session_chosen
+        { id; mas = "0_1_10_0__1_"; benefits = [ "b1"; "b2" ]; at = float_of_int i }
+    | 2 ->
+      Persist.Grant
+        { digest = "bench"; grant_id = i / 4; form = "0_1_10_0__1_"; benefits = [ "b1" ] }
+    | _ ->
+      if i mod 10_000 = 3 then
+        Persist.Rules
+          { digest = Printf.sprintf "d%d" i; text = String.make 400 'r' }
+      else Persist.Session_submitted { id; grant_id = i / 4; at = float_of_int i }
+  in
+  let appends ~fsync ~count =
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "pet_bench_store_%d_%b" (Unix.getpid ()) fsync)
+    in
+    remove_tree dir;
+    match Store.open_dir ~fsync ~auto_compact_segments:0 dir with
+    | Error m -> failwith m
+    | Ok (st, _) ->
+      let _, dt =
+        time_once (fun () ->
+            for i = 0 to count - 1 do
+              Store.append st (event i)
+            done)
+      in
+      Store.close st;
+      (dir, dt)
+  in
+  (* fsync-per-append is the durable configuration; a small run keeps
+     the benchmark tolerable on slow disks. *)
+  let fsync_count = 2_000 in
+  let fsync_dir, fsync_dt = appends ~fsync:true ~count:fsync_count in
+  remove_tree fsync_dir;
+  Fmt.pr "append (fsync each): %d events in %.3fs = %.0f appends/s@."
+    fsync_count fsync_dt
+    (float_of_int fsync_count /. fsync_dt);
+  let count = 100_000 in
+  let dir, dt = appends ~fsync:false ~count in
+  Fmt.pr "append (buffered):   %d events in %.3fs = %.0f appends/s@." count dt
+    (float_of_int count /. dt);
+  let log_bytes =
+    Array.fold_left
+      (fun acc f ->
+        acc + (Unix.stat (Filename.concat dir f)).Unix.st_size)
+      0 (Sys.readdir dir)
+  in
+  let recovery, recovery_dt =
+    time_once (fun () ->
+        match Store.read dir with Ok r -> r | Error m -> failwith m)
+  in
+  Fmt.pr
+    "recovery:            %d events (%d segments, %.1f MiB) in %.3fs = %.1f \
+     ms per 10k events@."
+    (List.length recovery.Store.events)
+    recovery.Store.files
+    (float_of_int log_bytes /. 1048576.)
+    recovery_dt
+    (recovery_dt *. 1000. /. (float_of_int count /. 10_000.));
+  remove_tree dir;
+  write_json "BENCH_store.json"
+    (Pet_pet.Json.Obj
+       [
+         ("fsync_appends", Pet_pet.Json.Int fsync_count);
+         ( "fsync_appends_per_s",
+           Pet_pet.Json.Float (float_of_int fsync_count /. fsync_dt) );
+         ("appends", Pet_pet.Json.Int count);
+         ("appends_per_s", Pet_pet.Json.Float (float_of_int count /. dt));
+         ("log_bytes", Pet_pet.Json.Int log_bytes);
+         ("recovered_events", Pet_pet.Json.Int (List.length recovery.Store.events));
+         ("recovery_ms", Pet_pet.Json.Float (recovery_dt *. 1000.));
+       ])
 
 (* --- Check: correctness-harness throughput --------------------------------------------------- *)
 
@@ -610,6 +731,7 @@ let () =
       ("sweep", sweep);
       ("symbolic", symbolic);
       ("server", server);
+      ("store", store);
       ("check", check);
     ]
   in

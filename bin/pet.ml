@@ -164,8 +164,18 @@ let check_cmd =
     Arg.(value & opt (some int) None & info [ "fuzz" ] ~docv:"N" ~doc)
   in
   let fuzz_seed_arg =
-    let doc = "Seed for the $(b,--fuzz) mutation stream." in
+    let doc = "Seed for the $(b,--fuzz) and $(b,--fuzz-store) mutation streams." in
     Arg.(value & opt int 0 & info [ "fuzz-seed" ] ~docv:"SEED" ~doc)
+  in
+  let fuzz_store_arg =
+    let doc =
+      "Generate $(docv) write-ahead logs, corrupt them (bit flips, \
+       truncations, zeroed ranges, spliced bytes) and verify the \
+       durable store's recovery contract: recovery never crashes, \
+       in-place damage yields a clean prefix, losses are localized with \
+       byte offsets, and the log stays appendable."
+    in
+    Arg.(value & opt (some int) None & info [ "fuzz-store" ] ~docv:"N" ~doc)
   in
   let samples_arg =
     let doc = "Differential entailment samples per problem." in
@@ -216,7 +226,7 @@ let check_cmd =
         findings = [ { Pet_check.Finding.stage = "harness/crash"; detail = m } ];
       }
   in
-  let run source seeds fuzz fuzz_seed samples payoff full =
+  let run source seeds fuzz fuzz_store fuzz_seed samples payoff full =
     let config = { Pet_check.Harness.default_config with samples; payoff } in
     let failures = ref 0 in
     let print_report ~label ?exposure (r : Pet_check.Finding.report) =
@@ -241,8 +251,8 @@ let check_cmd =
     in
     let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e in
     let result =
-      if source = None && seeds = None && fuzz = None then
-        Error (true, "expected a RULES source, --seeds or --fuzz")
+      if source = None && seeds = None && fuzz = None && fuzz_store = None then
+        Error (true, "expected a RULES source, --seeds, --fuzz or --fuzz-store")
       else
         let* () =
           match source with
@@ -286,6 +296,15 @@ let check_cmd =
               incr failures;
             Ok ()
         in
+        let* () =
+          match fuzz_store with
+          | None -> Ok ()
+          | Some count ->
+            let stats = Pet_check.Fuzz.run_store ~seed:fuzz_seed ~count () in
+            Fmt.pr "%a@." Pet_check.Fuzz.pp_store stats;
+            if stats.store_violations <> [] then incr failures;
+            Ok ()
+        in
         if !failures = 0 then Ok ()
         else
           Error
@@ -306,7 +325,8 @@ let check_cmd =
   Cmd.v (Cmd.info "check" ~doc)
     Term.(
       ret
-        (const run $ source_opt_arg $ seeds_arg $ fuzz_arg $ fuzz_seed_arg
+        (const run $ source_opt_arg $ seeds_arg $ fuzz_arg $ fuzz_store_arg
+       $ fuzz_seed_arg
        $ samples_arg $ payoff_arg $ full_arg))
 
 (* --- minimize ----------------------------------------------------------------- *)
@@ -675,7 +695,22 @@ let serve_cmd =
     let doc = "Session idle timeout in seconds (0 disables expiry)." in
     Arg.(value & opt float 3600. & info [ "ttl" ] ~docv:"SECONDS" ~doc)
   in
-  let run backend payoff deterministic cache ttl =
+  let data_dir_arg =
+    let doc =
+      "Persist every rule set, session transition and grant to a \
+       write-ahead log in $(docv), and recover the pre-crash state from \
+       it on start. Without it the service is purely in-memory."
+    in
+    Arg.(value & opt (some string) None & info [ "data-dir" ] ~docv:"DIR" ~doc)
+  in
+  let no_fsync_arg =
+    let doc =
+      "Do not fsync each append (benchmarks only: an OS crash may then \
+       lose acknowledged records; a process crash still cannot)."
+    in
+    Arg.(value & flag & info [ "no-fsync" ] ~doc)
+  in
+  let run backend payoff deterministic cache ttl data_dir no_fsync =
     let now =
       if deterministic then (
         let tick = ref 0 in
@@ -692,19 +727,72 @@ let serve_cmd =
     in
     let service =
       Pet_server.Service.create ~backend ~payoff ~capacity:cache ~ttl ~resolve
-        ~now ()
+        ~durable:(data_dir <> None) ~now ()
     in
+    let with_store k =
+      match data_dir with
+      | None -> k None
+      | Some dir -> (
+        match Pet_store.Store.open_dir ~fsync:(not no_fsync) dir with
+        | Error m -> `Error (false, Printf.sprintf "--data-dir %s: %s" dir m)
+        | Ok (store, recovery) ->
+          let replay_errors =
+            List.fold_left
+              (fun errors event ->
+                match Pet_server.Service.apply_event service event with
+                | Ok () -> errors
+                | Error m ->
+                  Fmt.epr "store: replay error: %s@." m;
+                  errors + 1)
+              0 recovery.Pet_store.Store.events
+          in
+          Option.iter
+            (fun (d : Pet_store.Store.damage) ->
+              Fmt.epr
+                "store: torn tail truncated at byte %d of %s (%s)@."
+                d.Pet_store.Store.offset d.Pet_store.Store.file
+                d.Pet_store.Store.reason)
+            recovery.Pet_store.Store.truncated;
+          List.iter
+            (fun (d : Pet_store.Store.damage) ->
+              Fmt.epr
+                "store: damage at byte %d of %s: %s — replay stopped there \
+                 (run `pet store verify %s`)@."
+                d.Pet_store.Store.offset d.Pet_store.Store.file
+                d.Pet_store.Store.reason dir)
+            recovery.Pet_store.Store.damage;
+          Fmt.epr "store: recovered %d event(s) from %d file(s)%s@."
+            (List.length recovery.Pet_store.Store.events)
+            recovery.Pet_store.Store.files
+            (if replay_errors > 0 then
+               Printf.sprintf ", %d replay error(s)" replay_errors
+             else "");
+          Pet_server.Service.set_sink service (Pet_store.Store.sink store);
+          k (Some store))
+    in
+    with_store @@ fun store ->
     let rec loop () =
       match In_channel.input_line stdin with
       | None -> ()
       | Some line ->
         if String.trim line <> "" then begin
           print_endline (Pet_server.Service.handle_line service line);
-          flush stdout
+          flush stdout;
+          Option.iter
+            (fun store ->
+              if Pet_store.Store.wants_compaction store then
+                match
+                  Pet_store.Store.compact store
+                    ~events:(Pet_server.Service.state_events service)
+                with
+                | Ok _ -> ()
+                | Error m -> Fmt.epr "store: compaction failed: %s@." m)
+            store
         end;
         loop ()
     in
     loop ();
+    Option.iter Pet_store.Store.close store;
     `Ok ()
   in
   let doc =
@@ -713,14 +801,174 @@ let serve_cmd =
      (methods: publish_rules, new_session, get_report, choose_option, \
      submit_form, audit, stats). Compiled rule engines are cached across \
      sessions; sessions expire after $(b,--ttl) idle seconds; raw \
-     valuations are erased the moment an option is chosen."
+     valuations are erased the moment an option is chosen. With \
+     $(b,--data-dir) the service is durable: every state change is \
+     appended to a checksummed write-ahead log before it is acknowledged, \
+     and a restart recovers the rule sets, sessions and consent archive \
+     (ids continuing where they left off)."
   in
   Cmd.v
     (Cmd.info "serve" ~doc)
     Term.(
       ret
         (const run $ backend_arg $ payoff_arg $ deterministic_arg $ cache_arg
-       $ ttl_arg))
+       $ ttl_arg $ data_dir_arg $ no_fsync_arg))
+
+(* --- store ------------------------------------------------------------------------ *)
+
+let store_dir_arg =
+  let doc = "The data directory of a durable collection service." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR" ~doc)
+
+let store_inspect_cmd =
+  let run dir =
+    match Pet_store.Store.scan dir with
+    | Error m -> `Error (false, m)
+    | Ok reports ->
+      let records = ref 0 and bytes = ref 0 and kinds = Hashtbl.create 8 in
+      List.iter
+        (fun (r : Pet_store.Store.file_report) ->
+          records := !records + r.Pet_store.Store.records;
+          bytes := !bytes + r.Pet_store.Store.bytes;
+          List.iter
+            (fun (kind, n) ->
+              Hashtbl.replace kinds kind
+                (n + Option.value ~default:0 (Hashtbl.find_opt kinds kind)))
+            r.Pet_store.Store.kinds;
+          Fmt.pr "%-16s %8d bytes %6d record(s)%s@." r.Pet_store.Store.file
+            r.Pet_store.Store.bytes r.Pet_store.Store.records
+            (match r.Pet_store.Store.damage with
+            | [] -> ""
+            | damage -> Printf.sprintf "  %d damaged" (List.length damage)))
+        reports;
+      Fmt.pr "total: %d file(s), %d bytes, %d record(s)@." (List.length reports)
+        !bytes !records;
+      Hashtbl.fold (fun kind n acc -> (kind, n) :: acc) kinds []
+      |> List.sort compare
+      |> List.iter (fun (kind, n) -> Fmt.pr "  %-18s %6d@." kind n);
+      `Ok ()
+  in
+  let doc = "List the snapshot and segments with record and event counts." in
+  Cmd.v (Cmd.info "inspect" ~doc) Term.(ret (const run $ store_dir_arg))
+
+let store_verify_cmd =
+  let run dir =
+    match Pet_store.Store.scan dir with
+    | Error m -> `Error (false, m)
+    | Ok reports ->
+      let records =
+        List.fold_left
+          (fun acc (r : Pet_store.Store.file_report) ->
+            acc + r.Pet_store.Store.records)
+          0 reports
+      in
+      let faults =
+        List.concat_map
+          (fun (r : Pet_store.Store.file_report) ->
+            List.map (fun d -> ("damage", d)) r.Pet_store.Store.damage
+            @ List.map (fun v -> ("R2 violation", v)) r.Pet_store.Store.r2)
+          reports
+      in
+      List.iter
+        (fun (label, (d : Pet_store.Store.damage)) ->
+          Fmt.pr "%s: %s at byte %d: %s@." label d.Pet_store.Store.file
+            d.Pet_store.Store.offset d.Pet_store.Store.reason)
+        faults;
+      if faults = [] then begin
+        Fmt.pr
+          "ok: %d record(s) in %d file(s); every checksum holds and no \
+           decoded event carries a raw valuation (R2 on disk)@."
+          records (List.length reports);
+        `Ok ()
+      end
+      else
+        `Error
+          ( false,
+            Printf.sprintf "%d fault(s) in %d file(s)" (List.length faults)
+              (List.length reports) )
+  in
+  let doc =
+    "Check every record: framing, CRC-32 checksums (damage is reported \
+     with its byte offset, torn tails included) and the R2-on-disk \
+     invariant that no decoded event contains a full valuation."
+  in
+  Cmd.v (Cmd.info "verify" ~doc) Term.(ret (const run $ store_dir_arg))
+
+let store_replay_cmd =
+  let run dir =
+    match Pet_store.Store.read dir with
+    | Error m -> `Error (false, m)
+    | Ok recovery ->
+      List.iter
+        (fun event ->
+          print_endline (Json.to_string (Pet_server.Persist.to_json event)))
+        recovery.Pet_store.Store.events;
+      (match recovery.Pet_store.Store.damage with
+      | [] -> `Ok ()
+      | (d : Pet_store.Store.damage) :: _ ->
+        `Error
+          ( false,
+            Printf.sprintf "replay stopped at byte %d of %s: %s"
+              d.Pet_store.Store.offset d.Pet_store.Store.file
+              d.Pet_store.Store.reason ))
+  in
+  let doc =
+    "Print the recovered event stream (the longest clean prefix) as one \
+     JSON object per line, without modifying the directory."
+  in
+  Cmd.v (Cmd.info "replay" ~doc) Term.(ret (const run $ store_dir_arg))
+
+let store_compact_cmd =
+  let ttl_arg =
+    let doc =
+      "Drop sessions idle longer than $(docv) seconds (relative to the \
+       newest event in the log; 0 keeps every session). Grants and rule \
+       sets are always kept."
+    in
+    Arg.(value & opt float 3600. & info [ "ttl" ] ~docv:"SECONDS" ~doc)
+  in
+  let run dir ttl =
+    match Pet_store.Store.open_dir dir with
+    | Error m -> `Error (false, m)
+    | Ok (store, recovery) ->
+      (match recovery.Pet_store.Store.damage with
+      | (d : Pet_store.Store.damage) :: _ ->
+        Fmt.epr
+          "warning: replay stopped at byte %d of %s (%s); compacting the \
+           clean prefix@."
+          d.Pet_store.Store.offset d.Pet_store.Store.file
+          d.Pet_store.Store.reason
+      | [] -> ());
+      let compactor = Pet_store.Store.Compactor.create () in
+      List.iter
+        (Pet_store.Store.Compactor.add compactor)
+        recovery.Pet_store.Store.events;
+      let events = Pet_store.Store.Compactor.events ~ttl compactor in
+      (match Pet_store.Store.compact store ~events with
+      | Error m ->
+        Pet_store.Store.close store;
+        `Error (false, m)
+      | Ok removed ->
+        Pet_store.Store.close store;
+        Fmt.pr "compacted %d event(s) into a snapshot of %d; %d file(s) retired@."
+          (List.length recovery.Pet_store.Store.events)
+          (List.length events) removed;
+        `Ok ())
+  in
+  let doc =
+    "Squash the log into a snapshot (rule sets, grants and surviving \
+     sessions) and retire the replaced segments."
+  in
+  Cmd.v (Cmd.info "compact" ~doc) Term.(ret (const run $ store_dir_arg $ ttl_arg))
+
+let store_cmd =
+  let doc =
+    "Inspect, verify, replay or compact the write-ahead log behind a \
+     durable collection service ($(b,pet serve --data-dir))."
+  in
+  Cmd.group
+    (Cmd.info "store" ~doc)
+    [ store_inspect_cmd; store_verify_cmd; store_replay_cmd; store_compact_cmd ]
 
 (* --- main -------------------------------------------------------------------------- *)
 
@@ -739,4 +987,5 @@ let () =
             graph_cmd;
             simulate_cmd;
             serve_cmd;
+            store_cmd;
           ]))

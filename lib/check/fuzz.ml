@@ -206,3 +206,312 @@ let pp ppf s =
   List.iter
     (fun (line, exn) -> Fmt.pf ppf "@.crash: %s@.  on: %s" exn line)
     s.crashes
+
+(* --- Store fuzzing -------------------------------------------------------------- *)
+
+module Persist = Pet_server.Persist
+module Store = Pet_store.Store
+
+type store_stats = {
+  logs : int;
+  mutations : (string * int) list;
+  recovered_events : int;
+  damage_reports : int;
+  torn_tails : int;
+  replay_errors : int;
+  store_violations : (string * string) list;
+}
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let write_file path contents =
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc contents)
+
+let rec remove_tree path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter
+        (fun entry -> remove_tree (Filename.concat path entry))
+        (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+(* A deterministic event stream over generated rule sets: rule
+   registrations, session lifecycles and sequential grants — the same
+   shapes a durable service writes, without compiling any engine. *)
+let generate_events rng ~seed =
+  let exposure = Generate.exposure ~config:spec_config ~seed () in
+  let text = Spec.to_string exposure in
+  let digest = Pet_server.Registry.digest text in
+  let predicates =
+    Pet_valuation.Universe.size (Pet_rules.Exposure.xp exposure)
+  in
+  let events = ref [ Persist.Rules { digest; text } ] in
+  let grants = ref 0 in
+  let sessions = 3 + Random.State.int rng 6 in
+  for i = 0 to sessions - 1 do
+    let id = Printf.sprintf "s%d" i in
+    let at = float_of_int (i * 10) in
+    events := Persist.Session_created { id; digest; at } :: !events;
+    if Random.State.int rng 4 > 0 then begin
+      let mas =
+        String.init predicates (fun _ ->
+            match Random.State.int rng 3 with
+            | 0 -> '0'
+            | 1 -> '1'
+            | _ -> '_')
+      in
+      let benefits = [ Printf.sprintf "b%d" (1 + Random.State.int rng 2) ] in
+      events :=
+        Persist.Session_chosen { id; mas; benefits; at = at +. 1. } :: !events;
+      if Random.State.bool rng then begin
+        let grant_id = !grants in
+        incr grants;
+        events :=
+          Persist.Session_submitted { id; grant_id; at = at +. 2. }
+          :: Persist.Grant { digest; grant_id; form = mas; benefits }
+          :: !events
+      end
+    end
+  done;
+  List.rev !events
+
+let run_store ?(seed = 0) ~count () =
+  let rng = Random.State.make [| 0x570e; seed; count |] in
+  let root =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "pet_fuzz_store_%d" (Unix.getpid ()))
+  in
+  remove_tree root;
+  Unix.mkdir root 0o755;
+  let mutation_counts = Hashtbl.create 8 in
+  let tally kind =
+    Hashtbl.replace mutation_counts kind
+      (1 + Option.value ~default:0 (Hashtbl.find_opt mutation_counts kind))
+  in
+  let recovered = ref 0 and damage = ref 0 and torn = ref 0 in
+  let replay_errors = ref 0 in
+  let violations = ref [] in
+  let violate label detail = violations := (label, detail) :: !violations in
+  for i = 0 to count - 1 do
+    let dir = Filename.concat root (Printf.sprintf "log%d" i) in
+    (* Small segments so mutations regularly land on later segments and
+       on segment boundaries. *)
+    (match
+       Store.open_dir ~segment_bytes:(256 + Random.State.int rng 512)
+         ~fsync:false dir
+     with
+    | Error m -> violate "open_dir on a fresh directory failed" m
+    | Ok (store, _) ->
+      let events = generate_events rng ~seed:(seed + i) in
+      List.iter (Store.append store) events;
+      Store.close store;
+      let pristine = List.map Persist.to_json events in
+      let files =
+        Sys.readdir dir |> Array.to_list |> List.sort String.compare
+      in
+      let mutation = Random.State.int rng 4 in
+      (* Truncation models a crash, and crashes only ever tear the
+         *active* (last) segment — sealed segments are fsynced before a
+         record in a later one is acknowledged. Bit rot (flips, zeroed
+         ranges, splices) can land anywhere. *)
+      let target =
+        if mutation = 1 then List.nth files (List.length files - 1)
+        else List.nth files (Random.State.int rng (List.length files))
+      in
+      let path = Filename.concat dir target in
+      let bytes = read_file path in
+      let size = String.length bytes in
+      let boundaries =
+        let t = Hashtbl.create 16 in
+        let rec collect offset =
+          Hashtbl.replace t offset ();
+          match Pet_store.Record.read bytes offset with
+          | Pet_store.Record.Record { next; _ } -> collect next
+          | _ -> ()
+        in
+        collect 0;
+        t
+      in
+      (* One mutation per log. [prefix_expected]: the recovered stream
+         must be a prefix of what was written (false for splices, which
+         can shift valid records into new positions). [detectable]: the
+         mutation destroys at least one whole record in a way the
+         framing can see, so any event loss must be reported — false
+         for no-ops and for truncation exactly on a record boundary,
+         which is indistinguishable from a log that simply ends
+         there. *)
+      let prefix_expected, detectable =
+        if size = 0 then begin
+          tally "noop";
+          (true, false)
+        end
+        else
+          match mutation with
+          | 0 ->
+            tally "bitflip";
+            let b = Bytes.of_string bytes in
+            for _ = 0 to Random.State.int rng 4 do
+              let at = Random.State.int rng size in
+              Bytes.set b at
+                (Char.chr
+                   (Char.code (Bytes.get b at) lxor (1 lsl Random.State.int rng 8)))
+            done;
+            write_file path (Bytes.to_string b);
+            (true, Bytes.to_string b <> bytes)
+          | 1 ->
+            tally "truncate";
+            let cut = Random.State.int rng size in
+            write_file path (String.sub bytes 0 cut);
+            (true, not (Hashtbl.mem boundaries cut))
+          | 2 ->
+            tally "zero";
+            let b = Bytes.of_string bytes in
+            let at = Random.State.int rng size in
+            let len = min (size - at) (1 + Random.State.int rng 16) in
+            Bytes.fill b at len '\000';
+            write_file path (Bytes.to_string b);
+            (true, Bytes.to_string b <> bytes)
+          | _ ->
+            tally "splice";
+            let at = Random.State.int rng (size + 1) in
+            let injected =
+              String.init
+                (1 + Random.State.int rng 24)
+                (fun _ -> Char.chr (Random.State.int rng 256))
+            in
+            write_file path
+              (String.sub bytes 0 at ^ injected
+              ^ String.sub bytes at (size - at));
+            (false, false)
+      in
+      (* Invariant 1: recovery never raises, whatever the bytes. *)
+      (match Store.read dir with
+      | exception e ->
+        violate "recovery raised"
+          (Printf.sprintf "%s on %s" (Printexc.to_string e) target)
+      | Error m -> violate "recovery failed outright" m
+      | Ok r ->
+        recovered := !recovered + List.length r.Store.events;
+        damage := !damage + List.length r.Store.damage;
+        if r.Store.truncated <> None then incr torn;
+        (* Invariant 2: for in-place mutations the clean prefix is a
+           prefix of what was written (splices can legitimately decode
+           shifted-but-valid records, so they only get invariant 1/3). *)
+        if prefix_expected then
+          List.iteri
+            (fun j event ->
+              match List.nth_opt pristine j with
+              | Some expected
+                when Json.to_string expected
+                     = Json.to_string (Persist.to_json event) ->
+                ()
+              | _ ->
+                violate "recovered stream is not a prefix"
+                  (Printf.sprintf "log %d, event %d differs" i j))
+            r.Store.events;
+        (* Invariant 3: losses are localized — fewer events than written
+           means verify names damage or a torn tail, with an offset
+           inside the file. *)
+        if List.length r.Store.events < List.length pristine then begin
+          match Store.scan dir with
+          | exception e -> violate "scan raised" (Printexc.to_string e)
+          | Error m -> violate "scan failed" m
+          | Ok reports ->
+            let faults =
+              List.concat_map
+                (fun (f : Store.file_report) ->
+                  List.map (fun d -> (f, d)) f.Store.damage)
+                reports
+            in
+            if detectable && faults = [] && r.Store.truncated = None then
+              violate "silent loss"
+                (Printf.sprintf
+                   "log %d: recovered %d of %d events, no damage reported" i
+                   (List.length r.Store.events)
+                   (List.length pristine))
+            else
+              List.iter
+                (fun ((f : Store.file_report), (d : Store.damage)) ->
+                  if d.Store.offset < 0 || d.Store.offset > f.Store.bytes then
+                    violate "damage offset out of bounds"
+                      (Printf.sprintf "%s: %d (file is %d bytes)" d.Store.file
+                         d.Store.offset f.Store.bytes))
+                faults
+        end;
+        (* Invariant 4: the surviving stream replays into a service
+           without raising (structured replay errors are possible for
+           spliced logs, e.g. a duplicated grant record, and counted). *)
+        let service =
+          Pet_server.Service.create ~durable:true
+            ~resolve:(fun _ -> None)
+            ~now:(fun () -> 0.)
+            ()
+        in
+        List.iter
+          (fun event ->
+            match Pet_server.Service.apply_event service event with
+            | Ok () -> ()
+            | Error _ -> incr replay_errors
+            | exception e ->
+              violate "apply_event raised" (Printexc.to_string e))
+          r.Store.events;
+        (* Invariant 5: the directory stays writable — open (truncating
+           any torn tail), append, and the appended record recovers. *)
+        match Store.open_dir ~fsync:false dir with
+        | exception e -> violate "re-open raised" (Printexc.to_string e)
+        | Error m -> violate "re-open failed" m
+        | Ok (store, _) -> (
+          let marker =
+            Persist.Rules
+              { digest = Printf.sprintf "marker%d" i; text = "marker" }
+          in
+          Store.append store marker;
+          Store.close store;
+          match Store.read dir with
+          | Error m -> violate "read-after-append failed" m
+          | Ok r' ->
+            (* Mid-chain corruption still stops replay before the fresh
+               segment holding the marker; the marker must be there
+               whenever replay reaches the end of the chain. *)
+            if
+              r'.Store.damage = []
+              && not
+                   (List.exists
+                      (fun e ->
+                        Json.to_string (Persist.to_json e)
+                        = Json.to_string (Persist.to_json marker))
+                      r'.Store.events)
+            then
+              violate "append after recovery lost"
+                (Printf.sprintf "log %d: marker not recovered" i))));
+    remove_tree dir
+  done;
+  remove_tree root;
+  {
+    logs = count;
+    mutations =
+      Hashtbl.fold (fun k n acc -> (k, n) :: acc) mutation_counts []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b);
+    recovered_events = !recovered;
+    damage_reports = !damage;
+    torn_tails = !torn;
+    replay_errors = !replay_errors;
+    store_violations = List.rev !violations;
+  }
+
+let pp_store ppf s =
+  Fmt.pf ppf
+    "fuzz-store: %d mutated logs (%a), %d events recovered, %d damage \
+     reports, %d torn tails, %d replay errors, %d violations"
+    s.logs
+    Fmt.(list ~sep:(any ", ") (pair ~sep:(any " ") string int))
+    (List.map (fun (k, n) -> (k, n)) s.mutations)
+    s.recovered_events s.damage_reports s.torn_tails s.replay_errors
+    (List.length s.store_violations);
+  List.iter
+    (fun (label, detail) -> Fmt.pf ppf "@.violation: %s@.  %s" label detail)
+    s.store_violations

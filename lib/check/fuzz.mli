@@ -27,3 +27,31 @@ val run : ?seed:int -> count:int -> unit -> stats
 
 val pp : stats Fmt.t
 (** One summary line, plus one line per crash. *)
+
+(** {1 Store fuzzing}
+
+    Corruption fuzzing of the durable store ({!Pet_store.Store}):
+    generate event logs, then bit-flip, truncate, zero and splice their
+    bytes, and assert the recovery contract — recovery {e never} raises,
+    in-place damage yields a clean {e prefix} of what was written, any
+    loss is localized by [scan] with an in-bounds byte offset (never
+    silent), the surviving stream replays into a service without
+    raising, and the directory remains appendable afterwards. Fully
+    deterministic for a given [seed] and [count]. *)
+
+type store_stats = {
+  logs : int;  (** mutated log directories exercised *)
+  mutations : (string * int) list;  (** mutation-kind histogram, sorted *)
+  recovered_events : int;
+  damage_reports : int;
+  torn_tails : int;
+  replay_errors : int;
+      (** structured [apply_event] errors (possible for spliced logs) *)
+  store_violations : (string * string) list;
+      (** (invariant, detail) — contract violations; must be empty *)
+}
+
+val run_store : ?seed:int -> count:int -> unit -> store_stats
+
+val pp_store : store_stats Fmt.t
+(** One summary line, plus one line per violation. *)

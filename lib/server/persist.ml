@@ -1,0 +1,143 @@
+module Json = Pet_pet.Json
+
+type event =
+  | Rules of { digest : string; text : string }
+  | Session_created of { id : string; digest : string; at : float }
+  | Session_chosen of {
+      id : string;
+      mas : string;
+      benefits : string list;
+      at : float;
+    }
+  | Session_submitted of { id : string; grant_id : int; at : float }
+  | Grant of {
+      digest : string;
+      grant_id : int;
+      form : string;
+      benefits : string list;
+    }
+
+let kind = function
+  | Rules _ -> "rules"
+  | Session_created _ -> "session_created"
+  | Session_chosen _ -> "session_chosen"
+  | Session_submitted _ -> "session_submitted"
+  | Grant _ -> "grant"
+
+let benefits_json benefits = Json.List (List.map (fun b -> Json.String b) benefits)
+
+let to_json event =
+  let tag = ("ev", Json.String (kind event)) in
+  match event with
+  | Rules { digest; text } ->
+    Json.Obj [ tag; ("digest", Json.String digest); ("text", Json.String text) ]
+  | Session_created { id; digest; at } ->
+    Json.Obj
+      [
+        tag;
+        ("id", Json.String id);
+        ("digest", Json.String digest);
+        ("at", Json.Float at);
+      ]
+  | Session_chosen { id; mas; benefits; at } ->
+    Json.Obj
+      [
+        tag;
+        ("id", Json.String id);
+        ("mas", Json.String mas);
+        ("benefits", benefits_json benefits);
+        ("at", Json.Float at);
+      ]
+  | Session_submitted { id; grant_id; at } ->
+    Json.Obj
+      [
+        tag;
+        ("id", Json.String id);
+        ("grant", Json.Int grant_id);
+        ("at", Json.Float at);
+      ]
+  | Grant { digest; grant_id; form; benefits } ->
+    Json.Obj
+      [
+        tag;
+        ("digest", Json.String digest);
+        ("grant", Json.Int grant_id);
+        ("form", Json.String form);
+        ("benefits", benefits_json benefits);
+      ]
+
+let ( let* ) = Result.bind
+
+let field name j =
+  match Json.member name j with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let string_field name j =
+  let* v = field name j in
+  match Json.string_opt v with
+  | Some s -> Ok s
+  | None -> Error (Printf.sprintf "field %S is not a string" name)
+
+let int_field name j =
+  let* v = field name j in
+  match Json.int_opt v with
+  | Some i -> Ok i
+  | None -> Error (Printf.sprintf "field %S is not an integer" name)
+
+(* Integral floats are emitted as JSON integers, so accept both. *)
+let float_field name j =
+  let* v = field name j in
+  match v with
+  | Json.Float f -> Ok f
+  | Json.Int i -> Ok (float_of_int i)
+  | _ -> Error (Printf.sprintf "field %S is not a number" name)
+
+let benefits_field j =
+  let* v = field "benefits" j in
+  match v with
+  | Json.List items ->
+    List.fold_left
+      (fun acc item ->
+        let* acc = acc in
+        match Json.string_opt item with
+        | Some s -> Ok (s :: acc)
+        | None -> Error "field \"benefits\" contains a non-string")
+      (Ok []) items
+    |> Result.map List.rev
+  | _ -> Error "field \"benefits\" is not a list"
+
+let of_json j =
+  let* tag = string_field "ev" j in
+  match tag with
+  | "rules" ->
+    let* digest = string_field "digest" j in
+    let* text = string_field "text" j in
+    Ok (Rules { digest; text })
+  | "session_created" ->
+    let* id = string_field "id" j in
+    let* digest = string_field "digest" j in
+    let* at = float_field "at" j in
+    Ok (Session_created { id; digest; at })
+  | "session_chosen" ->
+    let* id = string_field "id" j in
+    let* mas = string_field "mas" j in
+    let* benefits = benefits_field j in
+    let* at = float_field "at" j in
+    Ok (Session_chosen { id; mas; benefits; at })
+  | "session_submitted" ->
+    let* id = string_field "id" j in
+    let* grant_id = int_field "grant" j in
+    let* at = float_field "at" j in
+    Ok (Session_submitted { id; grant_id; at })
+  | "grant" ->
+    let* digest = string_field "digest" j in
+    let* grant_id = int_field "grant" j in
+    let* form = string_field "form" j in
+    let* benefits = benefits_field j in
+    Ok (Grant { digest; grant_id; form; benefits })
+  | other -> Error (Printf.sprintf "unknown event kind %S" other)
+
+type sink = { emit : event -> unit }
+
+let null = { emit = (fun _ -> ()) }

@@ -1,0 +1,51 @@
+(** Durable events and the sink interface between the service and any
+    persistence backend ({!Pet_store} in this repo, a no-op by default).
+
+    Every state change the service must survive a restart is expressed
+    as one of these events; the service emits them to its sink as the
+    change commits, and recovery replays them through
+    {!Service.apply_event}. The events are the durability boundary of
+    requirement R2: a full valuation is {e representable in no event} —
+    only rule texts, minimized forms ([mas]/[form] partial-valuation
+    strings, possibly with blanks) and grants appear, so nothing a crash
+    leaves on disk can contain more than the provider was ever allowed
+    to keep. The [Reported] session state (the only state holding a raw
+    valuation) is deliberately not persisted: such a session recovers as
+    [Created] and the respondent re-requests the report. *)
+
+module Json = Pet_pet.Json
+
+type event =
+  | Rules of { digest : string; text : string }
+      (** A rule set entered service: [text] is the canonical rendering
+          whose {!Registry.digest} is [digest]. Logged once per digest. *)
+  | Session_created of { id : string; digest : string; at : float }
+  | Session_chosen of {
+      id : string;
+      mas : string;  (** the minimized form, e.g. ["0_1_"] *)
+      benefits : string list;
+      at : float;
+    }
+  | Session_submitted of { id : string; grant_id : int; at : float }
+  | Grant of {
+      digest : string;
+      grant_id : int;  (** sequential per digest, from 0 *)
+      form : string;  (** the archived minimized record *)
+      benefits : string list;
+    }
+
+val kind : event -> string
+(** The wire tag: ["rules"], ["session_created"], ["session_chosen"],
+    ["session_submitted"] or ["grant"]. *)
+
+val to_json : event -> Json.t
+val of_json : Json.t -> (event, string) result
+(** Inverse of {!to_json}; [Error] explains the first malformed field. *)
+
+type sink = { emit : event -> unit }
+(** Called synchronously after the state change it describes has been
+    applied in memory and before the response is sent — a durable sink
+    must have the event on stable storage when [emit] returns. *)
+
+val null : sink
+(** The no-op sink: today's pure in-memory service. *)

@@ -35,12 +35,18 @@ type t = {
          the legally retained records *)
   store : Session.store;
   methods : (string, method_stats) Hashtbl.t;
+  durable : bool;
+  rule_texts : (string, string) Hashtbl.t;
+      (* durable mode only: digest -> canonical text for every rule set
+         ever compiled, so evicted engines can be recompiled instead of
+         erroring — the log, not the LRU cache, is the source of truth *)
+  mutable sink : Persist.sink;
   mutable requests : int;
   mutable submitted : int;
 }
 
 let create ?(backend = Engine.Bdd) ?(payoff = Payoff.Blank) ?capacity ?ttl
-    ?(resolve = fun _ -> None) ~now () =
+    ?(resolve = fun _ -> None) ?(durable = false) ~now () =
   {
     backend;
     payoff;
@@ -50,9 +56,14 @@ let create ?(backend = Engine.Bdd) ?(payoff = Payoff.Blank) ?capacity ?ttl
     ledgers = Hashtbl.create 8;
     store = Session.create_store ?ttl ();
     methods = Hashtbl.create 8;
+    durable;
+    rule_texts = Hashtbl.create 8;
+    sink = Persist.null;
     requests = 0;
     submitted = 0;
   }
+
+let set_sink t sink = t.sink <- sink
 
 let ( let* ) = Result.bind
 
@@ -68,7 +79,15 @@ let compile t text =
             let provider = Workflow.provider ~backend:t.backend ~payoff:t.payoff exposure in
             { digest; exposure; provider })
     with
-    | compiled, hit -> Ok (compiled, hit)
+    | compiled, hit ->
+      (* Durable mode retains the canonical text and logs each rule set
+         the first time it compiles; replay refills [rule_texts] before
+         the sink is attached, so recovered rule sets are not re-logged. *)
+      if t.durable && not (Hashtbl.mem t.rule_texts digest) then begin
+        Hashtbl.replace t.rule_texts digest canonical;
+        t.sink.emit (Persist.Rules { digest; text = canonical })
+      end;
+      Ok (compiled, hit)
     | exception Invalid_argument m ->
       Error (Proto.errorf Proto.Invalid_params "rules: %s" m))
 
@@ -84,24 +103,33 @@ let resolve_rules t = function
   | Proto.Digest digest -> (
     match Registry.find t.registry digest with
     | Some compiled -> Ok (compiled, true)
-    | None ->
-      Error
-        (Proto.errorf Proto.Unknown_rules
-           "no rule set with digest %s (never published, or evicted — \
-            republish the rules)"
-           digest))
+    | None -> (
+      (* Durable mode never forgets a published rule set: recompile it
+         from the retained canonical text instead of erroring. *)
+      match Hashtbl.find_opt t.rule_texts digest with
+      | Some text -> compile t text
+      | None ->
+        Error
+          (Proto.errorf Proto.Unknown_rules
+             "no rule set with digest %s (never published, or evicted — \
+              republish the rules)"
+             digest)))
 
 (* Non-counting engine re-read for a session that already resolved its
-   rule set; only fails if the engine was evicted underneath it. *)
+   rule set; fails only if the engine was evicted underneath it and no
+   durable rule text is retained to recompile it from. *)
 let engine_of_session t (session : Session.t) =
   match Registry.peek t.registry session.Session.digest with
   | Some compiled -> Ok compiled
-  | None ->
-    Error
-      (Proto.errorf Proto.Unknown_rules
-         "the engine for this session's rules was evicted from the cache; \
-          republish the rules and retry"
-         )
+  | None -> (
+    match Hashtbl.find_opt t.rule_texts session.Session.digest with
+    | Some text -> Result.map fst (compile t text)
+    | None ->
+      Error
+        (Proto.errorf Proto.Unknown_rules
+           "the engine for this session's rules was evicted from the cache; \
+            republish the rules and retry"
+           ))
 
 let ledger_for t digest =
   match Hashtbl.find_opt t.ledgers digest with
@@ -147,6 +175,9 @@ let publish_rules t rules =
 let new_session t rules ~now =
   let* compiled, cached = resolve_rules t rules in
   let session = Session.create t.store ~digest:compiled.digest ~now in
+  t.sink.emit
+    (Persist.Session_created
+       { id = session.Session.id; digest = compiled.digest; at = now });
   Ok
     (Json.Obj
        [
@@ -213,6 +244,17 @@ let choose_option t ~session:sid ~choice ~now =
   session.Session.chosen <- Some (mas, benefits);
   session.Session.state <- Session.Chosen;
   Session.touch session ~now;
+  (* Only the minimized form reaches the log — the raw valuation just
+     died in memory and was never representable as an event (R2 on
+     disk). *)
+  t.sink.emit
+    (Persist.Session_chosen
+       {
+         id = session.Session.id;
+         mas = Partial.to_string mas;
+         benefits;
+         at = now;
+       });
   Ok
     (Json.Obj
        [
@@ -234,6 +276,17 @@ let submit_form t ~session:sid ~now =
     session.Session.state <- Session.Submitted;
     t.submitted <- t.submitted + 1;
     Session.touch session ~now;
+    t.sink.emit
+      (Persist.Grant
+         {
+           digest = session.Session.digest;
+           grant_id;
+           form = Partial.to_string grant.Workflow.form;
+           benefits = grant.Workflow.benefits;
+         });
+    t.sink.emit
+      (Persist.Session_submitted
+         { id = session.Session.id; grant_id; at = now });
     Ok
       (Json.Obj
          [
@@ -256,6 +309,148 @@ let audit t rules =
          ("stored_values", Json.Int (Ledger.stored_values ledger));
          ("failures", Json.List (List.map (fun i -> Json.Int i) failures));
        ])
+
+(* --- Recovery: replaying and snapshotting durable events ----------------------- *)
+
+let compiled_of_digest t digest =
+  match Registry.peek t.registry digest with
+  | Some compiled -> Ok compiled
+  | None -> (
+    match Hashtbl.find_opt t.rule_texts digest with
+    | Some text -> (
+      match compile t text with
+      | Ok (compiled, _) -> Ok compiled
+      | Error e -> Error e.Proto.message)
+    | None -> Error (Printf.sprintf "unknown rule set %s" digest))
+
+(* Replay one recovered event. The log records only transitions that
+   committed, so replay bypasses the request-level guards (state checks,
+   expiry at the replay clock) and re-applies the state change directly;
+   any failure here means the log disagrees with the semantics (corrupt
+   or reordered) and is reported, never raised. *)
+let apply_event t event =
+  let ( let* ) = Result.bind in
+  let session_of id =
+    match Session.peek t.store id with
+    | Some session -> Ok session
+    | None -> Error (Printf.sprintf "event for unknown session %S" id)
+  in
+  let partial_of compiled s =
+    match Partial.of_string (Exposure.xp compiled.exposure) s with
+    | p -> Ok p
+    | exception Invalid_argument m -> Error m
+  in
+  match event with
+  | Persist.Rules { digest; text } -> (
+    match compile t text with
+    | Error e -> Error e.Proto.message
+    | Ok (compiled, _) ->
+      if compiled.digest = digest then Ok ()
+      else
+        Error
+          (Printf.sprintf
+             "rules event digest %s does not match the recompiled text (%s)"
+             digest compiled.digest))
+  | Persist.Session_created { id; digest; at } ->
+    ignore (Session.restore t.store ~id ~digest ~now:at);
+    Ok ()
+  | Persist.Session_chosen { id; mas; benefits; at } ->
+    let* session = session_of id in
+    let* compiled = compiled_of_digest t session.Session.digest in
+    let* mas = partial_of compiled mas in
+    session.Session.valuation <- None;
+    session.Session.options <- [];
+    session.Session.chosen <- Some (mas, benefits);
+    session.Session.state <- Session.Chosen;
+    Session.touch session ~now:at;
+    Ok ()
+  | Persist.Session_submitted { id; grant_id; at } ->
+    let* session = session_of id in
+    session.Session.grant_id <- Some grant_id;
+    session.Session.state <- Session.Submitted;
+    Session.touch session ~now:at;
+    Ok ()
+  | Persist.Grant { digest; grant_id; form; benefits } ->
+    let* compiled = compiled_of_digest t digest in
+    let* form = partial_of compiled form in
+    let ledger = ledger_for t digest in
+    if Ledger.size ledger <> grant_id then
+      Error
+        (Printf.sprintf
+           "grant %d for rule set %s arrived out of order (ledger at %d)"
+           grant_id digest (Ledger.size ledger))
+    else begin
+      ignore (Ledger.record ledger { Workflow.form; benefits });
+      t.submitted <- t.submitted + 1;
+      Ok ()
+    end
+
+(* The live state as an equivalent event sequence — what a snapshot
+   stores. Replaying [state_events] recreates every rule set, archived
+   grant and live session (a [Reported] session reverts to [Created]:
+   its raw valuation is exactly what must not be persisted). Ordering:
+   rule sets first, then grants in id order per rule set, then sessions
+   in id order, so replay dependencies always point backwards. *)
+let state_events t =
+  let sorted_bindings table =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) table []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  let rules =
+    List.map
+      (fun (digest, text) -> Persist.Rules { digest; text })
+      (sorted_bindings t.rule_texts)
+  in
+  let grants =
+    List.concat_map
+      (fun (digest, ledger) ->
+        List.map
+          (fun (e : Ledger.entry) ->
+            Persist.Grant
+              {
+                digest;
+                grant_id = e.Ledger.id;
+                form = Partial.to_string e.Ledger.grant.Workflow.form;
+                benefits = e.Ledger.grant.Workflow.benefits;
+              })
+          (Ledger.entries ledger))
+      (sorted_bindings t.ledgers)
+  in
+  let session_key (s : Session.t) =
+    (String.length s.Session.id, s.Session.id)
+  in
+  let sessions =
+    Session.all t.store
+    |> List.sort (fun a b -> compare (session_key a) (session_key b))
+    |> List.concat_map (fun (s : Session.t) ->
+           Persist.Session_created
+             {
+               id = s.Session.id;
+               digest = s.Session.digest;
+               at = s.Session.created_at;
+             }
+           :: (match s.Session.chosen with
+              | Some (mas, benefits) ->
+                [
+                  Persist.Session_chosen
+                    {
+                      id = s.Session.id;
+                      mas = Partial.to_string mas;
+                      benefits;
+                      at = s.Session.last_active;
+                    };
+                ]
+              | None -> [])
+           @
+           match (s.Session.state, s.Session.grant_id) with
+           | Session.Submitted, Some grant_id ->
+             [
+               Persist.Session_submitted
+                 { id = s.Session.id; grant_id; at = s.Session.last_active };
+             ]
+           | _ -> [])
+  in
+  rules @ grants @ sessions
 
 (* --- Stats ---------------------------------------------------------------------- *)
 
@@ -366,7 +561,9 @@ let handle_line t line =
   let finish = t.now () in
   (* Sweep after the handler, so an expired session's own lookup still
      answers [session_expired] before the sweep turns it into an unknown
-     id for everyone else. *)
-  ignore (Session.sweep t.store ~now:finish);
+     id for everyone else. The sweep is incremental — a bounded number
+     of sessions per request — so abandoned sessions are reclaimed in
+     amortized O(budget) instead of a full O(sessions) scan per line. *)
+  ignore (Session.sweep_step t.store ~now:finish);
   record_method t name ~latency:(finish -. start) ~failed:(Result.is_error result);
   response

@@ -25,6 +25,7 @@ val create :
   ?capacity:int ->
   ?ttl:float ->
   ?resolve:(string -> string option) ->
+  ?durable:bool ->
   now:(unit -> float) ->
   unit ->
   t
@@ -33,7 +34,32 @@ val create :
     [resolve] maps [source] names in requests to rule-spec text (the CLI
     wires the built-in case studies here); [now] is called exactly twice
     per request (entry and exit), so a logical clock advancing 1.0 per
-    call yields fully deterministic latencies and expiry. *)
+    call yields fully deterministic latencies and expiry.
+
+    [durable] (default false) prepares the service for a persistence
+    backend: the canonical text of every compiled rule set is retained
+    (so an engine evicted from the LRU cache is recompiled transparently
+    instead of failing with [unknown_rules]) and each first compilation
+    is announced to the {!Persist.sink}. The default keeps today's pure
+    in-memory semantics, including eviction errors. *)
+
+val set_sink : t -> Persist.sink -> unit
+(** Install the persistence sink (initially {!Persist.null}). Attached
+    {e after} recovery replay so recovered events are not re-logged. *)
+
+val apply_event : t -> Persist.event -> (unit, string) result
+(** Replay one recovered event into the service state, without emitting
+    it back to the sink. Replay bypasses request-level guards (the log
+    only holds transitions that committed) and never raises; [Error]
+    means the event contradicts the accumulated state — a damaged or
+    reordered log — and identifies the contradiction. *)
+
+val state_events : t -> Persist.event list
+(** The current state as an equivalent event sequence — the content of a
+    snapshot. Replaying it through {!apply_event} on a fresh service
+    reproduces every rule set, archived grant and live session; sessions
+    in the transient [Reported] state revert to [Created] because their
+    raw valuation is never persisted (R2). Deterministically ordered. *)
 
 val handle_line : t -> string -> string
 (** Process one request line, return the response line (no trailing

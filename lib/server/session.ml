@@ -27,17 +27,24 @@ type store = {
   mutable next_id : int;
   mutable created : int;
   mutable expired : int;
+  mutable cursor : string list;
+      (* ids still to visit in the current incremental sweep round;
+         refilled from the live table when exhausted *)
 }
 
 type counters = { active : int; created : int; expired : int }
 
 let create_store ?(ttl = 3600.) () =
-  { ttl; sessions = Hashtbl.create 64; next_id = 0; created = 0; expired = 0 }
+  {
+    ttl;
+    sessions = Hashtbl.create 64;
+    next_id = 0;
+    created = 0;
+    expired = 0;
+    cursor = [];
+  }
 
-let create store ~digest ~now =
-  let id = Printf.sprintf "s%d" store.next_id in
-  store.next_id <- store.next_id + 1;
-  store.created <- store.created + 1;
+let fresh store ~id ~digest ~now =
   let session =
     {
       id;
@@ -52,7 +59,26 @@ let create store ~digest ~now =
     }
   in
   Hashtbl.replace store.sessions id session;
+  store.created <- store.created + 1;
   session
+
+let create store ~digest ~now =
+  let id = Printf.sprintf "s%d" store.next_id in
+  store.next_id <- store.next_id + 1;
+  fresh store ~id ~digest ~now
+
+let restore store ~id ~digest ~now =
+  (* Recovered ids keep their original names; the sequence continues
+     past the highest numeric id seen so far, so post-restart sessions
+     never collide with replayed ones. *)
+  (match
+     if String.length id > 1 && id.[0] = 's' then
+       int_of_string_opt (String.sub id 1 (String.length id - 1))
+     else None
+   with
+  | Some n when n >= store.next_id -> store.next_id <- n + 1
+  | _ -> ());
+  fresh store ~id ~digest ~now
 
 let is_expired store session ~now =
   store.ttl > 0. && now -. session.last_active > store.ttl
@@ -60,6 +86,8 @@ let is_expired store session ~now =
 let expire store session =
   Hashtbl.remove store.sessions session.id;
   store.expired <- store.expired + 1
+
+let peek store id = Hashtbl.find_opt store.sessions id
 
 let find store id ~now =
   match Hashtbl.find_opt store.sessions id with
@@ -82,6 +110,39 @@ let sweep store ~now =
   in
   List.iter (expire store) stale;
   List.length stale
+
+(* Incremental expiry: visit at most [budget] sessions per call, resuming
+   where the last call stopped. A full pass over [n] live sessions
+   completes every [n / budget] calls, so abandoned sessions — ones no
+   [find] will ever touch again — are reclaimed in amortized O(budget)
+   per request instead of O(n), and [counters.active] stays bounded
+   under churn. *)
+let sweep_step ?(budget = 32) store ~now =
+  if store.ttl <= 0. then 0
+  else begin
+    if store.cursor = [] then
+      store.cursor <-
+        Hashtbl.fold (fun id _ acc -> id :: acc) store.sessions [];
+    let swept = ref 0 in
+    let rec go remaining =
+      if remaining > 0 then
+        match store.cursor with
+        | [] -> ()
+        | id :: rest ->
+          store.cursor <- rest;
+          (match Hashtbl.find_opt store.sessions id with
+          | Some session when is_expired store session ~now ->
+            expire store session;
+            incr swept
+          | _ -> ());
+          go (remaining - 1)
+    in
+    go budget;
+    !swept
+  end
+
+let all store =
+  Hashtbl.fold (fun _ session acc -> session :: acc) store.sessions []
 
 let counters store =
   {

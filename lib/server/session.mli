@@ -44,13 +44,33 @@ val create : store -> digest:string -> now:float -> t
     are not authentication tokens — a fronting transport would wrap them
     in its own opaque handles). *)
 
+val restore : store -> id:string -> digest:string -> now:float -> t
+(** Recreate a recovered session under its original id (state [Created];
+    the caller replays later transitions). Advances the id sequence past
+    any numeric ["s<n>"] id so new sessions continue where the replayed
+    log left off. *)
+
 val find : store -> string -> now:float -> (t, [ `Unknown | `Expired ]) result
 (** Expired sessions are removed on lookup and reported as [`Expired]. *)
+
+val peek : store -> string -> t option
+(** Lookup without the expiry check — log replay must reach sessions at
+    the clock of the event being replayed, not of the replay itself. *)
 
 val touch : t -> now:float -> unit
 (** Refresh the idle clock (called on every successful request). *)
 
 val sweep : store -> now:float -> int
 (** Remove every expired session; returns how many were removed. *)
+
+val sweep_step : ?budget:int -> store -> now:float -> int
+(** Incremental {!sweep}: examine at most [budget] (default 32) sessions,
+    resuming where the previous call stopped and restarting a pass over
+    the live table when one completes. Amortized O(budget) per call;
+    called on every request so abandoned sessions are reclaimed even if
+    nothing ever looks them up again. *)
+
+val all : store -> t list
+(** Every live session, in no particular order (snapshot/compaction). *)
 
 val counters : store -> counters

@@ -1,0 +1,10 @@
+(** CRC-32 (IEEE 802.3, the zlib/PNG polynomial), table-driven, pure
+    OCaml — the record checksum of the write-ahead log. Values fit the
+    native [int] (always non-negative, below [2^32]). *)
+
+val string : string -> int
+(** [string s] is the CRC-32 of all of [s]. *)
+
+val sub : string -> int -> int -> int
+(** [sub s pos len] is the CRC-32 of the slice [s.[pos .. pos+len-1]].
+    @raise Invalid_argument on an out-of-bounds slice. *)

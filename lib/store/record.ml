@@ -1,0 +1,66 @@
+let header_bytes = 8
+let max_payload_bytes = 16 * 1024 * 1024
+
+let put_le32 bytes pos v =
+  Bytes.set_int32_le bytes pos (Int32.of_int (v land 0xFFFFFFFF))
+
+let get_le32 s pos =
+  Int32.to_int (String.get_int32_le s pos) land 0xFFFFFFFF
+
+let frame payload =
+  let len = String.length payload in
+  if len > max_payload_bytes then invalid_arg "Record.frame: payload too large";
+  let record = Bytes.create (header_bytes + len) in
+  put_le32 record 0 len;
+  put_le32 record 4 (Crc32.string payload);
+  Bytes.blit_string payload 0 record header_bytes len;
+  Bytes.unsafe_to_string record
+
+type scan =
+  | Record of { payload : string; next : int }
+  | End
+  | Torn of { offset : int; reason : string }
+  | Corrupt of { offset : int; reason : string }
+
+let read buf offset =
+  let total = String.length buf in
+  if offset = total then End
+  else if total - offset < header_bytes then
+    Torn
+      {
+        offset;
+        reason =
+          Printf.sprintf "truncated header (%d of %d bytes)" (total - offset)
+            header_bytes;
+      }
+  else
+    let len = get_le32 buf offset in
+    let crc = get_le32 buf (offset + 4) in
+    if len > max_payload_bytes then
+      Corrupt
+        { offset; reason = Printf.sprintf "implausible record length %d" len }
+    else if offset + header_bytes + len > total then
+      Torn
+        {
+          offset;
+          reason =
+            Printf.sprintf "truncated payload (%d of %d bytes)"
+              (total - offset - header_bytes)
+              len;
+        }
+    else
+      let actual = Crc32.sub buf (offset + header_bytes) len in
+      if actual <> crc then
+        Corrupt
+          {
+            offset;
+            reason =
+              Printf.sprintf "checksum mismatch (stored %08x, computed %08x)"
+                crc actual;
+          }
+      else
+        Record
+          {
+            payload = String.sub buf (offset + header_bytes) len;
+            next = offset + header_bytes + len;
+          }

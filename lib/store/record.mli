@@ -1,0 +1,40 @@
+(** Record framing for log segments.
+
+    Every record is length-prefixed and checksummed:
+
+    {v
+    +----------------+----------------+=================+
+    | length (LE32)  | CRC-32 (LE32)  | payload bytes   |
+    +----------------+----------------+=================+
+          4 bytes          4 bytes       [length] bytes
+    v}
+
+    The CRC covers the payload only; the length field is validated by
+    plausibility (a bound) and, transitively, by the CRC of whatever it
+    delimits. Scanning classifies every anomaly as either {e torn} (the
+    record runs past the end of the buffer — the signature of a crash
+    mid-append, recoverable by truncating to the last whole record) or
+    {e corrupt} (the bytes are all there but wrong — bit rot or
+    tampering, reported with its offset, never silently skipped). *)
+
+val header_bytes : int
+(** 8. *)
+
+val max_payload_bytes : int
+(** 16 MiB — a corrupted length field must not become an allocation. *)
+
+val frame : string -> string
+(** [frame payload] is the encoded record (header + payload).
+    @raise Invalid_argument past {!max_payload_bytes}. *)
+
+type scan =
+  | Record of { payload : string; next : int }
+      (** a whole, checksummed record; the next record starts at [next] *)
+  | End  (** clean end of buffer, exactly at a record boundary *)
+  | Torn of { offset : int; reason : string }
+      (** the buffer ends inside the record starting at [offset] *)
+  | Corrupt of { offset : int; reason : string }
+      (** checksum mismatch or implausible length at [offset] *)
+
+val read : string -> int -> scan
+(** [read buf offset] scans the record starting at [offset]. *)

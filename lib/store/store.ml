@@ -1,0 +1,450 @@
+module Persist = Pet_server.Persist
+module Json = Pet_pet.Json
+
+type damage = { file : string; offset : int; reason : string }
+
+type recovery = {
+  events : Persist.event list;
+  files : int;
+  records : int;
+  truncated : damage option;
+  damage : damage list;
+}
+
+type t = {
+  dir : string;
+  segment_bytes : int;
+  auto_compact_segments : int;
+  fsync : bool;
+  mutable seg : int;
+  mutable channel : (Unix.file_descr * out_channel) option;
+  mutable written : int;
+  mutable sealed : int;  (* full segments since the last snapshot *)
+}
+
+(* --- Directory layout ------------------------------------------------------- *)
+
+let wal_name n = Printf.sprintf "wal-%06d.log" n
+let snap_name n = Printf.sprintf "snap-%06d.log" n
+
+let parse_name name =
+  let numbered prefix =
+    let pl = String.length prefix and nl = String.length name in
+    if nl = pl + 10 && String.sub name 0 pl = prefix
+       && String.sub name (nl - 4) 4 = ".log"
+    then int_of_string_opt (String.sub name pl 6)
+    else None
+  in
+  match numbered "wal-" with
+  | Some n -> Some (`Wal n)
+  | None -> (
+    match numbered "snap-" with Some n -> Some (`Snap n) | None -> None)
+
+let rec mkdir_p dir =
+  if dir <> "" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+let listing dir =
+  Array.to_list (Sys.readdir dir)
+  |> List.filter_map (fun name ->
+         match parse_name name with
+         | Some kind -> Some (kind, name)
+         | None -> None)
+
+(* Replay order: the newest snapshot, then every segment after it. Stale
+   files (segments at or below the snapshot, older snapshots) are
+   leftovers of an interrupted compaction — already folded into the
+   snapshot, so skipped for replay though [scan] still checks them. *)
+let replay_files files =
+  let snap =
+    List.fold_left
+      (fun acc (kind, _) ->
+        match kind with `Snap n -> max acc n | `Wal _ -> acc)
+      (-1) files
+  in
+  let wals =
+    List.filter_map
+      (fun (kind, name) ->
+        match kind with
+        | `Wal n when n > snap -> Some (n, name)
+        | _ -> None)
+      files
+    |> List.sort compare |> List.map snd
+  in
+  let chain =
+    if snap >= 0 then snap_name snap :: wals else wals
+  in
+  (snap, chain)
+
+let next_segment files =
+  List.fold_left
+    (fun acc (kind, _) ->
+      match kind with `Wal n | `Snap n -> max acc (n + 1))
+    0 files
+
+(* --- Event codec -------------------------------------------------------------- *)
+
+let encode event = Json.to_string (Persist.to_json event)
+
+let decode payload =
+  match Json.parse payload with
+  | Error m -> Error ("invalid JSON: " ^ m)
+  | Ok json -> Persist.of_json json
+
+(* --- Recovery ------------------------------------------------------------------- *)
+
+let read_file path =
+  In_channel.with_open_bin path In_channel.input_all
+
+(* Replay the file chain into the longest clean prefix of events. A torn
+   tail is legitimate only on the last file (the one being appended when
+   the process died); torn bytes anywhere else, checksum failures and
+   undecodable events are damage: replay stops there so the recovered
+   state never builds on bytes after a hole. *)
+let recover_chain dir chain =
+  let events = ref [] and records = ref 0 in
+  let truncated = ref None and damage = ref [] in
+  let rec through_files = function
+    | [] -> ()
+    | file :: rest ->
+      let buf = read_file (Filename.concat dir file) in
+      let last = rest = [] in
+      let rec through_records offset =
+        match Record.read buf offset with
+        | Record.End -> `Continue
+        | Record.Record { payload; next } -> (
+          match decode payload with
+          | Ok event ->
+            events := event :: !events;
+            incr records;
+            through_records next
+          | Error reason ->
+            `Stop { file; offset; reason = "undecodable event: " ^ reason })
+        | Record.Torn { offset; reason } ->
+          if last then begin
+            truncated := Some { file; offset; reason };
+            `Continue
+          end
+          else `Stop { file; offset; reason = "torn mid-log: " ^ reason }
+        | Record.Corrupt { offset; reason } -> `Stop { file; offset; reason }
+      in
+      (match through_records 0 with
+      | `Continue -> through_files rest
+      | `Stop d -> damage := [ d ])
+  in
+  through_files chain;
+  {
+    events = List.rev !events;
+    files = List.length chain;
+    records = !records;
+    truncated = !truncated;
+    damage = !damage;
+  }
+
+let guard f = match f () with v -> Ok v | exception Sys_error m -> Error m
+
+let read dir =
+  guard (fun () ->
+      let _, chain = replay_files (listing dir) in
+      recover_chain dir chain)
+
+let open_dir ?(segment_bytes = 1 lsl 20) ?(auto_compact_segments = 8)
+    ?(fsync = true) dir =
+  guard (fun () ->
+      mkdir_p dir;
+      let files = listing dir in
+      let snap, chain = replay_files files in
+      let recovery = recover_chain dir chain in
+      (* Cut the torn tail so the damage cannot be misread twice; new
+         appends go to a fresh segment either way. *)
+      Option.iter
+        (fun d -> Unix.truncate (Filename.concat dir d.file) d.offset)
+        recovery.truncated;
+      let sealed =
+        List.length
+          (List.filter
+             (fun (kind, _) ->
+               match kind with `Wal n -> n > snap | `Snap _ -> false)
+             files)
+      in
+      let t =
+        {
+          dir;
+          segment_bytes;
+          auto_compact_segments;
+          fsync;
+          seg = next_segment files;
+          channel = None;
+          written = 0;
+          sealed;
+        }
+      in
+      (t, recovery))
+
+(* --- Appending -------------------------------------------------------------------- *)
+
+let channel t =
+  match t.channel with
+  | Some (fd, oc) -> (fd, oc)
+  | None ->
+    let path = Filename.concat t.dir (wal_name t.seg) in
+    let fd = Unix.openfile path [ O_WRONLY; O_CREAT; O_APPEND ] 0o644 in
+    let oc = Unix.out_channel_of_descr fd in
+    t.channel <- Some (fd, oc);
+    (fd, oc)
+
+let seal t =
+  match t.channel with
+  | None -> ()
+  | Some (_, oc) ->
+    close_out oc;
+    t.channel <- None;
+    t.seg <- t.seg + 1;
+    t.written <- 0;
+    t.sealed <- t.sealed + 1
+
+let append t event =
+  let record = Record.frame (encode event) in
+  let fd, oc = channel t in
+  output_string oc record;
+  flush oc;
+  if t.fsync then Unix.fsync fd;
+  t.written <- t.written + String.length record;
+  if t.written >= t.segment_bytes then seal t
+
+let sink t = { Persist.emit = (fun event -> append t event) }
+
+let wants_compaction t =
+  t.auto_compact_segments > 0 && t.sealed >= t.auto_compact_segments
+
+let close t =
+  match t.channel with
+  | None -> ()
+  | Some (_, oc) ->
+    close_out oc;
+    t.channel <- None
+
+(* --- Compaction --------------------------------------------------------------------- *)
+
+let fsync_dir dir =
+  match Unix.openfile dir [ O_RDONLY ] 0 with
+  | fd ->
+    (try Unix.fsync fd with Unix.Unix_error _ -> ());
+    Unix.close fd
+  | exception Unix.Unix_error _ -> ()
+
+let compact t ~events =
+  guard (fun () ->
+      (* The snapshot covers everything below the next segment number,
+         including the active segment being abandoned. *)
+      close t;
+      let cover = t.seg in
+      let tmp = Filename.concat t.dir "snap.tmp" in
+      let fd = Unix.openfile tmp [ O_WRONLY; O_CREAT; O_TRUNC ] 0o644 in
+      let oc = Unix.out_channel_of_descr fd in
+      List.iter (fun event -> output_string oc (Record.frame (encode event))) events;
+      flush oc;
+      Unix.fsync fd;
+      close_out oc;
+      Sys.rename tmp (Filename.concat t.dir (snap_name cover));
+      fsync_dir t.dir;
+      let removed =
+        List.fold_left
+          (fun removed (kind, name) ->
+            let stale =
+              match kind with `Wal n -> n <= cover | `Snap n -> n < cover
+            in
+            if stale then begin
+              Sys.remove (Filename.concat t.dir name);
+              removed + 1
+            end
+            else removed)
+          0 (listing t.dir)
+      in
+      t.seg <- cover + 1;
+      t.written <- 0;
+      t.sealed <- 0;
+      removed)
+
+(* --- Offline inspection ---------------------------------------------------------------- *)
+
+type file_report = {
+  file : string;
+  bytes : int;
+  records : int;
+  kinds : (string * int) list;
+  damage : damage list;
+  r2 : damage list;
+}
+
+let rec has_key name = function
+  | Json.Obj fields ->
+    List.exists (fun (k, v) -> k = name || has_key name v) fields
+  | Json.List items -> List.exists (has_key name) items
+  | _ -> false
+
+let scan_file dir file =
+  let buf = read_file (Filename.concat dir file) in
+  let records = ref 0 and kinds = Hashtbl.create 8 in
+  let damage = ref [] and r2 = ref [] in
+  let tally kind =
+    Hashtbl.replace kinds kind
+      (1 + Option.value ~default:0 (Hashtbl.find_opt kinds kind))
+  in
+  let rec go offset =
+    match Record.read buf offset with
+    | Record.End -> ()
+    | Record.Record { payload; next } ->
+      incr records;
+      (match Json.parse payload with
+      | Error m ->
+        damage :=
+          { file; offset; reason = "record holds invalid JSON: " ^ m }
+          :: !damage
+      | Ok json -> (
+        if has_key "valuation" json then
+          r2 :=
+            {
+              file;
+              offset;
+              reason = "decoded event carries a \"valuation\" field";
+            }
+            :: !r2;
+        match Persist.of_json json with
+        | Ok event -> tally (Persist.kind event)
+        | Error m ->
+          damage :=
+            { file; offset; reason = "not a known event: " ^ m } :: !damage));
+      go next
+    | Record.Torn { offset; reason } ->
+      damage := { file; offset; reason = "torn: " ^ reason } :: !damage
+    | Record.Corrupt { offset; reason } ->
+      damage := { file; offset; reason } :: !damage
+  in
+  go 0;
+  {
+    file;
+    bytes = String.length buf;
+    records = !records;
+    kinds =
+      Hashtbl.fold (fun k n acc -> (k, n) :: acc) kinds []
+      |> List.sort compare;
+    damage = List.rev !damage;
+    r2 = List.rev !r2;
+  }
+
+let scan dir =
+  guard (fun () ->
+      let files = listing dir in
+      let order (kind, name) =
+        match kind with `Snap n -> (0, n, name) | `Wal n -> (1, n, name)
+      in
+      List.sort (fun a b -> compare (order a) (order b)) files
+      |> List.map (fun (_, name) -> scan_file dir name))
+
+(* --- Offline compaction ------------------------------------------------------------------ *)
+
+module Compactor = struct
+  type sess = {
+    digest : string;
+    created_at : float;
+    mutable chosen : (string * string list * float) option;
+    mutable submitted : (int * float) option;
+    mutable last : float;
+  }
+
+  type state = {
+    rules : (string, string) Hashtbl.t;
+    grants : (string, (int * string * string list) list ref) Hashtbl.t;
+    sessions : (string, sess) Hashtbl.t;
+    mutable clock : float;  (* newest timestamp seen *)
+  }
+
+  let create () =
+    {
+      rules = Hashtbl.create 8;
+      grants = Hashtbl.create 8;
+      sessions = Hashtbl.create 64;
+      clock = 0.;
+    }
+
+  let tick state at = if at > state.clock then state.clock <- at
+
+  let add state = function
+    | Persist.Rules { digest; text } ->
+      if not (Hashtbl.mem state.rules digest) then
+        Hashtbl.replace state.rules digest text
+    | Persist.Session_created { id; digest; at } ->
+      tick state at;
+      Hashtbl.replace state.sessions id
+        { digest; created_at = at; chosen = None; submitted = None; last = at }
+    | Persist.Session_chosen { id; mas; benefits; at } ->
+      tick state at;
+      Option.iter
+        (fun sess ->
+          sess.chosen <- Some (mas, benefits, at);
+          sess.last <- at)
+        (Hashtbl.find_opt state.sessions id)
+    | Persist.Session_submitted { id; grant_id; at } ->
+      tick state at;
+      Option.iter
+        (fun sess ->
+          sess.submitted <- Some (grant_id, at);
+          sess.last <- at)
+        (Hashtbl.find_opt state.sessions id)
+    | Persist.Grant { digest; grant_id; form; benefits } ->
+      let cell =
+        match Hashtbl.find_opt state.grants digest with
+        | Some cell -> cell
+        | None ->
+          let cell = ref [] in
+          Hashtbl.add state.grants digest cell;
+          cell
+      in
+      cell := (grant_id, form, benefits) :: !cell
+
+  let sorted_bindings table =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) table []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+  let events ?(ttl = 3600.) state =
+    let rules =
+      List.map
+        (fun (digest, text) -> Persist.Rules { digest; text })
+        (sorted_bindings state.rules)
+    in
+    let grants =
+      List.concat_map
+        (fun (digest, cell) ->
+          List.rev !cell
+          |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+          |> List.map (fun (grant_id, form, benefits) ->
+                 Persist.Grant { digest; grant_id; form; benefits }))
+        (sorted_bindings state.grants)
+    in
+    let live (sess : sess) =
+      ttl <= 0. || state.clock -. sess.last <= ttl
+    in
+    let sessions =
+      sorted_bindings state.sessions
+      |> List.sort (fun ((a, _) : string * sess) (b, _) ->
+             compare (String.length a, a) (String.length b, b))
+      |> List.concat_map (fun (id, sess) ->
+             if not (live sess) then []
+             else
+               Persist.Session_created
+                 { id; digest = sess.digest; at = sess.created_at }
+               :: (match sess.chosen with
+                  | Some (mas, benefits, at) ->
+                    [ Persist.Session_chosen { id; mas; benefits; at } ]
+                  | None -> [])
+               @
+               match sess.submitted with
+               | Some (grant_id, at) ->
+                 [ Persist.Session_submitted { id; grant_id; at } ]
+               | None -> [])
+    in
+    rules @ grants @ sessions
+end

@@ -1,0 +1,117 @@
+(** The durable, crash-safe persistence layer: an append-only, segmented
+    write-ahead log of {!Pet_server.Persist} events, plus snapshots.
+
+    Layout of a data directory:
+    - [wal-NNNNNN.log] — log segments, appended in order; a fresh
+      segment is started on every open and whenever the active one
+      passes the size threshold.
+    - [snap-NNNNNN.log] — at most one snapshot (same record framing):
+      the live state as events, equivalent to replaying every segment
+      numbered [<= N]. Compaction writes the snapshot and retires those
+      segments.
+
+    Records are length-prefixed and CRC-32 checksummed ({!Record}), and
+    every append is flushed (and by default fsynced) before the emitting
+    request is answered — killing the process at any byte loses at most
+    the record being appended. Recovery replays the snapshot and the
+    segments after it, truncates a torn tail after the last whole record
+    (never raises), and surfaces any mid-log corruption as data, with
+    the recovered state being the longest clean prefix. *)
+
+module Persist = Pet_server.Persist
+
+type t
+
+type damage = { file : string; offset : int; reason : string }
+
+type recovery = {
+  events : Persist.event list;  (** the clean prefix, oldest first *)
+  files : int;  (** snapshot + segments read *)
+  records : int;
+  truncated : damage option;
+      (** a torn tail was found (and, via {!open_dir}, cut off) *)
+  damage : damage list;
+      (** mid-log corruption; replay stopped at the first instance *)
+}
+
+val open_dir :
+  ?segment_bytes:int ->
+  ?auto_compact_segments:int ->
+  ?fsync:bool ->
+  string ->
+  (t * recovery, string) result
+(** Open (creating if needed) a data directory and recover its contents.
+    A torn tail on the last segment is truncated in place. Appending
+    always starts a fresh segment, so recovery never writes into bytes
+    it just validated. [segment_bytes] (default 1 MiB) bounds a segment;
+    after [auto_compact_segments] (default 8, [0] disables) sealed
+    segments accumulate, {!wants_compaction} turns true. [fsync]
+    (default true) syncs every append — turn it off for benchmarks
+    only. *)
+
+val read : string -> (recovery, string) result
+(** Recover read-only: same replay as {!open_dir} but nothing on disk is
+    touched (a torn tail is reported in [truncated], not cut). *)
+
+val append : t -> Persist.event -> unit
+(** Frame, write, flush and (unless disabled) fsync one event. Rotates
+    to a new segment past the size threshold. I/O failure raises
+    [Sys_error]: a durable service must not acknowledge what the disk
+    refused. *)
+
+val sink : t -> Persist.sink
+(** The store as a service sink ({!Pet_server.Service.set_sink}). *)
+
+val wants_compaction : t -> bool
+(** Enough sealed segments have accumulated that the driver should call
+    {!compact} with the live state
+    ({!Pet_server.Service.state_events}). *)
+
+val compact : t -> events:Persist.event list -> (int, string) result
+(** Write [events] as the new snapshot (atomically: temp file, fsync,
+    rename), then retire every segment it covers and any older snapshot.
+    Returns the number of files removed. *)
+
+val close : t -> unit
+
+(** {1 Offline inspection} *)
+
+type file_report = {
+  file : string;
+  bytes : int;
+  records : int;  (** whole, checksummed records *)
+  kinds : (string * int) list;  (** decoded event kinds, sorted *)
+  damage : damage list;
+      (** framing damage (offset + reason); scanning a file stops at the
+          first framing fault since record boundaries are lost, but
+          undecodable payloads inside intact framing are localized and
+          skipped *)
+  r2 : damage list;
+      (** R2-on-disk violations: records whose decoded JSON carries a
+          ["valuation"] field — the raw form must never be persisted *)
+}
+
+val scan : string -> (file_report list, string) result
+(** Scan every snapshot and segment in the directory, in replay order —
+    the engine of [pet store verify] and [pet store inspect]. *)
+
+(** {1 Offline compaction}
+
+    Squashes an event stream without compiling any rule engine: rule
+    sets are deduplicated, grants accumulated, and each session reduced
+    to its surviving transitions. [pet store compact] uses this; the
+    online path snapshots the service state directly. *)
+
+module Compactor : sig
+  type state
+
+  val create : unit -> state
+  val add : state -> Persist.event -> unit
+
+  val events : ?ttl:float -> state -> Persist.event list
+  (** The squashed stream, deterministically ordered (rule sets, then
+      grants, then sessions). Sessions idle for more than [ttl] seconds
+      (default 3600) before the newest event timestamp are dropped —
+      they would only expire again on recovery; their grants are kept
+      regardless. [ttl <= 0.] keeps every session. *)
+end

@@ -295,7 +295,7 @@ Without a rule file, a seed range or a fuzz budget there is nothing to
 check:
 
   $ ../../bin/pet.exe check
-  pet: expected a RULES source, --seeds or --fuzz
+  pet: expected a RULES source, --seeds, --fuzz or --fuzz-store
   Usage: pet check [OPTION]… [RULES]
   Try 'pet check --help' or 'pet --help' for more information.
   [124]

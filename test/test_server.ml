@@ -200,6 +200,35 @@ let test_session_expiry () =
   Alcotest.(check bool) "no expiry" true
     (Result.is_ok (Session.find eternal "s0" ~now:1e12))
 
+let test_session_sweep_step () =
+  let store = Session.create_store ~ttl:0.01 () in
+  for _ = 1 to 100 do
+    ignore (Session.create store ~digest:"d" ~now:0.)
+  done;
+  (* Each step examines at most [budget] sessions; a bounded number of
+     steps reclaims everything even though nothing looks the sessions
+     up again. *)
+  let steps = ref 0 in
+  while (Session.counters store).Session.active > 0 && !steps < 25 do
+    incr steps;
+    let swept = Session.sweep_step ~budget:10 store ~now:1. in
+    Alcotest.(check bool) "bounded work per step" true (swept <= 10)
+  done;
+  let c = Session.counters store in
+  Alcotest.(check int) "all reclaimed" 0 c.Session.active;
+  Alcotest.(check int) "counted as expired" 100 c.Session.expired;
+  Alcotest.(check bool)
+    (Printf.sprintf "needed about 100/budget steps, took %d" !steps)
+    true
+    (!steps <= 12);
+  (* ttl 0 disables the incremental sweep as well. *)
+  let eternal = Session.create_store ~ttl:0. () in
+  ignore (Session.create eternal ~digest:"d" ~now:0.);
+  Alcotest.(check int) "no sweeping without a ttl" 0
+    (Session.sweep_step eternal ~now:1e12);
+  Alcotest.(check int) "still active" 1
+    (Session.counters eternal).Session.active
+
 (* --- Service ----------------------------------------------------------------------- *)
 
 (* A service over a logical clock advancing 1s per read (two reads per
@@ -369,6 +398,33 @@ let test_service_expiry () =
   let sessions = Option.get (Json.member "sessions" stats) in
   Alcotest.(check bool) "counted as expired" true
     (Json.member "expired" sessions = Some (Json.Int 1))
+
+(* Regression: abandoned sessions must not accumulate. Every request
+   runs an incremental sweep, so a client opening sessions and never
+   touching them again keeps [counters.active] bounded — before, an
+   abandoned session survived until something looked up its id. *)
+let test_service_abandoned_sessions_swept () =
+  let service = make_service ~ttl:0.01 () in
+  for i = 1 to 200 do
+    ignore
+      (ok_of
+         (request service ~id:i "new_session"
+            [ ("source", Json.String "running") ]))
+  done;
+  let stats = ok_of (request service "stats" []) in
+  let sessions = Option.get (Json.member "sessions" stats) in
+  let field name =
+    match Json.member name sessions with
+    | Some (Json.Int n) -> n
+    | _ -> Alcotest.failf "missing sessions.%s" name
+  in
+  Alcotest.(check int) "all were created" 200 (field "created");
+  Alcotest.(check bool)
+    (Printf.sprintf "active stays bounded (%d)" (field "active"))
+    true
+    (field "active" <= 2);
+  Alcotest.(check int) "every abandoned session is accounted for" 200
+    (field "active" + field "expired")
 
 let test_service_eviction () =
   (* A capacity-1 registry: publishing a second rule set evicts the
@@ -578,12 +634,15 @@ let () =
         [
           Alcotest.test_case "lifecycle" `Quick test_session_lifecycle;
           Alcotest.test_case "expiry" `Quick test_session_expiry;
+          Alcotest.test_case "incremental sweep" `Quick test_session_sweep_step;
         ] );
       ( "service",
         [
           Alcotest.test_case "lifecycle" `Quick test_service_lifecycle;
           Alcotest.test_case "errors" `Quick test_service_errors;
           Alcotest.test_case "expiry" `Quick test_service_expiry;
+          Alcotest.test_case "abandoned sessions swept" `Quick
+            test_service_abandoned_sessions_swept;
           Alcotest.test_case "out of order" `Quick test_service_out_of_order;
           Alcotest.test_case "eviction" `Quick test_service_eviction;
           Alcotest.test_case "ledger survives eviction" `Quick

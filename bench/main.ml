@@ -499,10 +499,13 @@ let write_json file json =
       Out_channel.output_char oc '\n');
   Fmt.pr "wrote %s@." file
 
-let server () =
-  section "Server: pet serve request throughput (line-delimited JSON)";
+(* One full service workload (shared by the [server] and [obs]
+   sections): publish once, then per respondent a new_session by digest,
+   a consent report, a choice and a submission. Returns the summary
+   JSON, the measured requests/second, and the service (so callers can
+   read its metrics afterwards). *)
+let server_case name exposure respondents =
   let escape s = Pet_pet.Json.to_string (Pet_pet.Json.String s) in
-  let run_case name exposure respondents =
     let tick = ref 0. in
     let service =
       Pet_server.Service.create ~capacity:4 ~ttl:0.
@@ -565,6 +568,8 @@ let server () =
       name publish_dt respondents !requests dt
       (float_of_int !requests /. dt)
       !errors hit_rate;
+  let rps = float_of_int !requests /. dt in
+  let json =
     Pet_pet.Json.Obj
       [
         ("case", Pet_pet.Json.String name);
@@ -573,14 +578,86 @@ let server () =
         ("errors", Pet_pet.Json.Int !errors);
         ("publish_compile_s", Pet_pet.Json.Float publish_dt);
         ("seconds", Pet_pet.Json.Float dt);
-        ("requests_per_s", Pet_pet.Json.Float (float_of_int !requests /. dt));
+        ("requests_per_s", Pet_pet.Json.Float rps);
         ("cache_hit_rate", Pet_pet.Json.Float (hit_rate /. 100.));
       ]
+  in
+  (json, rps, service)
+
+let server () =
+  section "Server: pet serve request throughput (line-delimited JSON)";
+  let run_case name exposure respondents =
+    let json, _, _ = server_case name exposure respondents in
+    json
   in
   let hcov_case = run_case "H-cov" (Lazy.force hcov) 1560 in
   let rsa_case = run_case "RSA" (Lazy.force rsa) 300 in
   let cases = [ hcov_case; rsa_case ] in
   write_json "BENCH_server.json" (Pet_pet.Json.Obj [ ("cases", Pet_pet.Json.List cases) ])
+
+(* --- Obs: instrumentation overhead ---------------------------------------------------------------- *)
+
+(* The price of the observability layer, measured on the server workload
+   it instruments most densely: the H-cov request loop with metrics off
+   (the library default) vs fully on. Also dumps the enabled run's
+   snapshot, so CI trends the same counters the [metrics] endpoint
+   serves. Uses an ABBA run schedule so machine drift cancels out of a
+   ratio whose acceptance bound is 3%. *)
+let obs () =
+  section "Obs: instrumentation overhead and metrics snapshot";
+  let module Obs = Pet_obs.Metrics in
+  Obs.set_clock Unix.gettimeofday;
+  let workload name = server_case name (Lazy.force hcov) 1560 in
+  (* Run-to-run throughput on this workload drifts by ±10% (heap
+     growth, frequency scaling), dwarfing the effect we measure, so the
+     schedule must cancel drift rather than hope it averages out: ABBA
+     blocks (on,off,off,on) cancel any linear drift exactly, and the
+     ratio compares total time over all runs, not best-of. Each block
+     ends on an enabled run, so the registry still holds that run's
+     samples when we snapshot it below. *)
+  let blocks = 3 in
+  let t_off = ref 0. and t_on = ref 0. in
+  let service = ref None in
+  let run enabled tag =
+    if enabled then Obs.enable () else Obs.disable ();
+    Obs.reset ();
+    Pet_obs.Span.reset ();
+    let _, rps, s = workload tag in
+    (* Every run issues the same request count, so summing 1/rps sums
+       per-request time. *)
+    if enabled then begin
+      t_on := !t_on +. (1. /. rps);
+      service := Some s
+    end
+    else t_off := !t_off +. (1. /. rps)
+  in
+  for _ = 1 to blocks do
+    run true "H-cov (obs on)";
+    run false "H-cov (obs off)";
+    run false "H-cov (obs off)";
+    run true "H-cov (obs on)"
+  done;
+  let rps_off = float_of_int (2 * blocks) /. !t_off in
+  let rps_on = float_of_int (2 * blocks) /. !t_on in
+  let service = Option.get !service in
+  let payload =
+    Pet_server.Service.metrics_payload service Pet_server.Proto.Mjson
+  in
+  Obs.disable ();
+  let overhead = 1. -. (rps_on /. rps_off) in
+  Fmt.pr
+    "obs overhead on H-cov: %.0f req/s off, %.0f req/s on = %.2f%% \
+     (acceptance < 3%%)@."
+    rps_off rps_on (100. *. overhead);
+  write_json "BENCH_obs.json"
+    (Pet_pet.Json.Obj
+       [
+         ("case", Pet_pet.Json.String "H-cov");
+         ("requests_per_s_disabled", Pet_pet.Json.Float rps_off);
+         ("requests_per_s_enabled", Pet_pet.Json.Float rps_on);
+         ("overhead", Pet_pet.Json.Float overhead);
+         ("metrics", payload);
+       ])
 
 (* --- Store: append and recovery throughput ------------------------------------------------------- *)
 
@@ -731,6 +808,7 @@ let () =
       ("sweep", sweep);
       ("symbolic", symbolic);
       ("server", server);
+      ("obs", obs);
       ("store", store);
       ("check", check);
     ]

@@ -710,7 +710,16 @@ let serve_cmd =
     in
     Arg.(value & flag & info [ "no-fsync" ] ~doc)
   in
-  let run backend payoff deterministic cache ttl data_dir no_fsync =
+  let metrics_interval_arg =
+    let doc =
+      "Every $(docv) handled requests, print a one-line metrics snapshot \
+       (counters, gauges, latency p50/p99) to standard error. 0 disables \
+       the heartbeat; the $(b,metrics) protocol method works either way."
+    in
+    Arg.(value & opt int 0 & info [ "metrics-interval" ] ~docv:"N" ~doc)
+  in
+  let run backend payoff deterministic cache ttl data_dir no_fsync
+      metrics_interval =
     let now =
       if deterministic then (
         let tick = ref 0 in
@@ -719,6 +728,18 @@ let serve_cmd =
           float_of_int !tick)
       else Unix.gettimeofday
     in
+    (* Observability is always on under [serve]. It gets its own clock:
+       in deterministic mode a separate logical counter, so instrumented
+       code reading the obs clock (store appends, spans) cannot perturb
+       the service clock that request latencies, session expiry and the
+       cram transcripts depend on. *)
+    Pet_obs.Metrics.enable ();
+    if deterministic then (
+      let tick = ref 0 in
+      Pet_obs.Metrics.set_clock (fun () ->
+          incr tick;
+          float_of_int !tick))
+    else Pet_obs.Metrics.set_clock Unix.gettimeofday;
     let resolve name =
       match load_exposure name with
       | Ok exposure when List.mem name [ "running"; "hcov"; "rsa"; "loan" ] ->
@@ -771,6 +792,7 @@ let serve_cmd =
           k (Some store))
     in
     with_store @@ fun store ->
+    let handled = ref 0 in
     let rec loop () =
       match In_channel.input_line stdin with
       | None -> ()
@@ -778,6 +800,12 @@ let serve_cmd =
         if String.trim line <> "" then begin
           print_endline (Pet_server.Service.handle_line service line);
           flush stdout;
+          incr handled;
+          if metrics_interval > 0 && !handled mod metrics_interval = 0 then begin
+            Pet_server.Service.sync_gauges service;
+            Fmt.epr "metrics: %s@."
+              (Pet_obs.Export.line (Pet_obs.Metrics.snapshot ()))
+          end;
           Option.iter
             (fun store ->
               if Pet_store.Store.wants_compaction store then
@@ -799,7 +827,7 @@ let serve_cmd =
     "Run the collection service: read one JSON request per line from \
      standard input, write one JSON response per line to standard output \
      (methods: publish_rules, new_session, get_report, choose_option, \
-     submit_form, audit, stats). Compiled rule engines are cached across \
+     submit_form, audit, stats, metrics). Compiled rule engines are cached across \
      sessions; sessions expire after $(b,--ttl) idle seconds; raw \
      valuations are erased the moment an option is chosen. With \
      $(b,--data-dir) the service is durable: every state change is \
@@ -812,7 +840,7 @@ let serve_cmd =
     Term.(
       ret
         (const run $ backend_arg $ payoff_arg $ deterministic_arg $ cache_arg
-       $ ttl_arg $ data_dir_arg $ no_fsync_arg))
+       $ ttl_arg $ data_dir_arg $ no_fsync_arg $ metrics_interval_arg))
 
 (* --- store ------------------------------------------------------------------------ *)
 
@@ -970,6 +998,59 @@ let store_cmd =
     (Cmd.info "store" ~doc)
     [ store_inspect_cmd; store_verify_cmd; store_replay_cmd; store_compact_cmd ]
 
+(* --- profile ----------------------------------------------------------------------- *)
+
+let profile_cmd =
+  let samples_arg =
+    let doc =
+      "Build a consent report for at most $(docv) eligible applicants \
+       (0 profiles the construction phases only)."
+    in
+    Arg.(value & opt int 50 & info [ "samples" ] ~docv:"N" ~doc)
+  in
+  let run source backend payoff samples =
+    match load_exposure source with
+    | Error m -> `Error (false, m)
+    | Ok exposure ->
+      Pet_obs.Metrics.enable ();
+      let wall0 = Unix.gettimeofday () in
+      (* Everything measurable runs under one root span, so the tree's
+         per-phase totals account for the whole profiled wall-clock (the
+         residue outside the root is the harness's own bookkeeping). *)
+      let provider = ref None in
+      Pet_obs.Span.enter "profile" (fun () ->
+          let p = Workflow.provider ~backend ~payoff exposure in
+          provider := Some p;
+          let atlas = Workflow.atlas p in
+          let n = min samples (Pet_minimize.Atlas.player_count atlas) in
+          Pet_obs.Span.enter "reports" (fun () ->
+              for i = 0 to n - 1 do
+                ignore
+                  (Workflow.report_for p (Pet_minimize.Atlas.player atlas i))
+              done));
+      let wall = Unix.gettimeofday () -. wall0 in
+      Option.iter (fun p -> Engine.sync_obs (Workflow.engine p)) !provider;
+      let profiled = Pet_obs.Span.total () in
+      Fmt.pr "profile %s (backend %s)@." source (Engine.backend_name backend);
+      Fmt.pr "%s" (Pet_obs.Span.render ~out_total:wall ());
+      Fmt.pr "profiled %.6fs of %.6fs wall-clock (%.1f%%)@." profiled wall
+        (if wall > 0. then 100. *. profiled /. wall else 100.);
+      Fmt.pr "counters: %s@."
+        (Pet_obs.Export.line (Pet_obs.Metrics.snapshot ()));
+      `Ok ()
+  in
+  let doc =
+    "Profile the PET pipeline on a rule set: compile the engine, build \
+     the MAS atlas (Algorithm 1 per applicant), compute the equilibrium \
+     profile (Algorithm 2) and build consent reports, then print the \
+     span-tree cost breakdown with per-phase totals, self-times and \
+     shares of wall-clock, plus the solver/engine counters."
+  in
+  Cmd.v
+    (Cmd.info "profile" ~doc)
+    Term.(
+      ret (const run $ source_arg $ backend_arg $ payoff_arg $ samples_arg))
+
 (* --- main -------------------------------------------------------------------------- *)
 
 let () =
@@ -988,4 +1069,5 @@ let () =
             simulate_cmd;
             serve_cmd;
             store_cmd;
+            profile_cmd;
           ]))

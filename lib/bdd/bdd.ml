@@ -14,6 +14,8 @@ type man = {
   mutable next : int; (* next free node index *)
   unique : (int * int * int, int) Hashtbl.t;
   ite_cache : (int * int * int, int) Hashtbl.t;
+  mutable n_ite : int; (* memoized [ite] entries (cheap cases excluded) *)
+  mutable n_ite_hits : int; (* of which answered from [ite_cache] *)
 }
 
 let man () =
@@ -26,6 +28,8 @@ let man () =
       next = 2;
       unique = Hashtbl.create 1024;
       ite_cache = Hashtbl.create 1024;
+      n_ite = 0;
+      n_ite_hits = 0;
     }
   in
   m.vars.(0) <- terminal_var;
@@ -82,10 +86,13 @@ let rec ite m f g h =
   else if f = zero then h
   else if g = h then g
   else if g = one && h = zero then f
-  else
+  else begin
+    m.n_ite <- m.n_ite + 1;
     let key = (f, g, h) in
     match Hashtbl.find_opt m.ite_cache key with
-    | Some r -> r
+    | Some r ->
+      m.n_ite_hits <- m.n_ite_hits + 1;
+      r
     | None ->
       let v = min (var_of m f) (min (var_of m g) (var_of m h)) in
       let f0, f1 = cofactors m f v in
@@ -96,6 +103,7 @@ let rec ite m f g h =
       let r = mk m v r0 r1 in
       Hashtbl.add m.ite_cache key r;
       r
+  end
 
 let neg m f = ite m f zero one
 let conj m a b = ite m a b zero
@@ -232,3 +240,12 @@ let size m n =
   Hashtbl.length seen
 
 let node_count m = m.next
+
+type stats = {
+  nodes : int;
+  ite_calls : int;
+  ite_cache_hits : int;
+}
+
+let stats m =
+  { nodes = m.next; ite_calls = m.n_ite; ite_cache_hits = m.n_ite_hits }

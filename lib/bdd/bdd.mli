@@ -63,3 +63,17 @@ val size : man -> node -> int
 
 val node_count : man -> int
 (** Total number of nodes allocated in the manager (arena usage). *)
+
+type stats = {
+  nodes : int;  (** same as {!node_count} *)
+  ite_calls : int;
+      (** memoized [ite] entries since manager creation; the constant-time
+          short-circuit cases ([f] terminal, [g = h], ...) are not
+          counted *)
+  ite_cache_hits : int;  (** of which were answered from the cache *)
+}
+
+val stats : man -> stats
+(** Per-manager operation counters, maintained unconditionally (an
+    integer increment each — too cheap to gate). The observability layer
+    surfaces them as gauges; see [Pet_rules.Engine.sync_obs]. *)

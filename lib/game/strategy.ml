@@ -92,6 +92,7 @@ let best_move st i choices =
   | m :: rest -> go (m, score st i m) true rest
 
 let compute ?(payoff = Payoff.Blank) atlas =
+  Pet_obs.Span.enter "algorithm2" @@ fun () ->
   let st = make_state atlas payoff in
   let n = Atlas.player_count atlas in
   (* Players with a single possible move play it outright (lines 1-3 of

@@ -111,7 +111,12 @@ let exhaustive_minimal engine v granted =
       if has_smaller then acc else w :: acc)
     accurate []
 
+let obs_runs = Pet_obs.Metrics.counter "pet_algorithm1_runs_total"
+let obs_mas = Pet_obs.Metrics.counter "pet_algorithm1_mas_total"
+
 let mas_of ?(mode = Chain) engine v =
+  Pet_obs.Span.enter "algorithm1" @@ fun () ->
+  Pet_obs.Metrics.incr obs_runs;
   let exposure = Engine.exposure engine in
   if not (Exposure.satisfies_constraints exposure v) then
     invalid_arg "Algorithm1.mas_of: valuation violates the constraints";
@@ -134,6 +139,7 @@ let mas_of ?(mode = Chain) engine v =
                List.equal String.equal (Engine.benefits engine w) granted)
         |> keep_minimal
   in
+  Pet_obs.Metrics.add obs_mas (List.length selected);
   selected
   |> List.sort Partial.compare_lex
   |> List.map (fun mas -> { mas; benefits = granted })

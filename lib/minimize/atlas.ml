@@ -21,7 +21,11 @@ module Tmap = Map.Make (Total)
 
 let max_enumerable_predicates = 24
 
+let obs_mas_gauge = Pet_obs.Metrics.gauge "pet_atlas_mas"
+let obs_players_gauge = Pet_obs.Metrics.gauge "pet_atlas_players"
+
 let build ?(mode = Algorithm1.Chain) engine =
+  Pet_obs.Span.enter "atlas.build" @@ fun () ->
   let exposure = Engine.exposure engine in
   if
     Pet_valuation.Universe.size (Exposure.xp exposure)
@@ -70,6 +74,9 @@ let build ?(mode = Algorithm1.Chain) engine =
         ps)
     players_of_mas;
   let choices_of_player = Array.map List.rev choices_of_player in
+  Pet_obs.Metrics.set_gauge obs_mas_gauge (float_of_int (Array.length mas));
+  Pet_obs.Metrics.set_gauge obs_players_gauge
+    (float_of_int (Array.length players));
   { engine; mas; players; choices_of_player; players_of_mas }
 
 let engine t = t.engine

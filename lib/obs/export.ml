@@ -1,0 +1,92 @@
+(* Prometheus float rendering: integral values print without an
+   exponent so the common case (counts, logical-clock sums) stays
+   readable and byte-stable; everything else uses %.9g. *)
+let float_str v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.9g" v
+
+let le_str bound = if bound = infinity then "+Inf" else float_str bound
+
+(* "name{a="b"}" -> ("name", Some "a=\"b\"") *)
+let split_labels rendered =
+  match String.index_opt rendered '{' with
+  | None -> (rendered, None)
+  | Some i ->
+    ( String.sub rendered 0 i,
+      Some (String.sub rendered (i + 1) (String.length rendered - i - 2)) )
+
+(* [sample base ~suffix ~labels ~extra] renders "base_suffix{labels,extra}". *)
+let sample base ~suffix ~labels ~extra =
+  let labelset =
+    match (labels, extra) with
+    | None, None -> ""
+    | Some l, None -> Printf.sprintf "{%s}" l
+    | None, Some e -> Printf.sprintf "{%s}" e
+    | Some l, Some e -> Printf.sprintf "{%s,%s}" l e
+  in
+  base ^ suffix ^ labelset
+
+(* Emit a [# TYPE] comment once per family, in first-seen order. *)
+let type_line buf seen family kind =
+  if not (Hashtbl.mem seen family) then begin
+    Hashtbl.add seen family ();
+    Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" family kind)
+  end
+
+let prometheus (s : Metrics.snapshot) =
+  let buf = Buffer.create 1024 in
+  let seen = Hashtbl.create 16 in
+  let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  List.iter
+    (fun (name, v) ->
+      type_line buf seen (fst (split_labels name)) "counter";
+      addf "%s %d\n" name v)
+    s.counters;
+  List.iter
+    (fun (name, v) ->
+      type_line buf seen (fst (split_labels name)) "gauge";
+      addf "%s %s\n" name (float_str v))
+    s.gauges;
+  List.iter
+    (fun (name, (h : Metrics.hist_stats)) ->
+      let base, labels = split_labels name in
+      type_line buf seen base "histogram";
+      let cum = ref 0 in
+      List.iter
+        (fun (bound, n) ->
+          cum := !cum + n;
+          addf "%s %d\n"
+            (sample base ~suffix:"_bucket" ~labels
+               ~extra:(Some (Printf.sprintf "le=%S" (le_str bound))))
+            !cum)
+        h.buckets;
+      addf "%s %d\n"
+        (sample base ~suffix:"_bucket" ~labels ~extra:(Some "le=\"+Inf\""))
+        h.count;
+      addf "%s %s\n" (sample base ~suffix:"_sum" ~labels ~extra:None)
+        (float_str h.sum);
+      addf "%s %d\n" (sample base ~suffix:"_count" ~labels ~extra:None) h.count)
+    s.histograms;
+  Buffer.contents buf
+
+let line (s : Metrics.snapshot) =
+  let parts = ref [] in
+  List.iter
+    (fun (name, (h : Metrics.hist_stats)) ->
+      if h.count > 0 then
+        parts :=
+          Printf.sprintf "%s.p99=%s" name (float_str (Metrics.quantile h 0.99))
+          :: Printf.sprintf "%s.p50=%s" name (float_str (Metrics.quantile h 0.5))
+          :: Printf.sprintf "%s.count=%d" name h.count
+          :: !parts)
+    (List.rev s.histograms);
+  List.iter
+    (fun (name, v) ->
+      parts := Printf.sprintf "%s=%s" name (float_str v) :: !parts)
+    (List.rev s.gauges);
+  List.iter
+    (fun (name, v) ->
+      if v > 0 then parts := Printf.sprintf "%s=%d" name v :: !parts)
+    (List.rev s.counters);
+  String.concat " " !parts

@@ -1,0 +1,20 @@
+(** Text exporters for {!Metrics.snapshot}.
+
+    Neither function touches the global registry — pass them a snapshot
+    — so exporting is side-effect free and easy to test. *)
+
+val prometheus : Metrics.snapshot -> string
+(** Prometheus text exposition (version 0.0.4 subset): one
+    [# TYPE name kind] comment per metric family, counters as [_total]
+    samples, gauges as plain samples, histograms expanded into
+    cumulative [name_bucket{le="..."}] samples plus [name_sum] and
+    [name_count]. Names with labels merge the [le] label into the
+    existing label set. Sorted input yields byte-stable output. *)
+
+val line : Metrics.snapshot -> string
+(** A compact single-line [k=v] summary (counters and gauges verbatim,
+    histograms as [name.count/.p50/.p99]), for
+    [pet serve --metrics-interval] stderr heartbeats. Zero counters and
+    never-observed histograms are omitted — the quiet parts of the
+    system don't drown the active ones; gauges are always shown. No
+    trailing newline. *)

@@ -1,0 +1,185 @@
+let on = ref false
+
+let enabled () = !on
+let enable () = on := true
+let disable () = on := false
+
+let clock = ref Unix.gettimeofday
+let set_clock f = clock := f
+let now () = !clock ()
+
+(* Rendered identity: name{k="v",...} with labels in the given order.
+   Call sites pass stable label lists, so no sorting is needed for
+   idempotence — the same call site always renders the same key. *)
+let render name labels =
+  match labels with
+  | [] -> name
+  | _ ->
+    let fields =
+      List.map (fun (k, v) -> Printf.sprintf "%s=%S" k v) labels
+    in
+    Printf.sprintf "%s{%s}" name (String.concat "," fields)
+
+(* --- Buckets -------------------------------------------------------------- *)
+
+let n_buckets = 40
+
+let bucket_bounds =
+  Array.init n_buckets (fun i ->
+      if i = n_buckets - 1 then infinity
+      else 1e-6 *. float_of_int (1 lsl i))
+
+let bucket_of v =
+  let v = if v < 0. then 0. else v in
+  let rec go i =
+    if i >= n_buckets - 1 || v <= bucket_bounds.(i) then i else go (i + 1)
+  in
+  go 0
+
+(* --- Instruments ----------------------------------------------------------- *)
+
+type counter = { mutable c : int }
+type gauge = { mutable g : float }
+
+type histogram = {
+  counts : int array;
+  mutable n : int;
+  mutable sum : float;
+  mutable hmax : float;
+}
+
+type instrument =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+
+let registry : (string, instrument) Hashtbl.t = Hashtbl.create 64
+
+let register key make cast =
+  match Hashtbl.find_opt registry key with
+  | Some i -> (
+    match cast i with
+    | Some v -> v
+    | None -> invalid_arg ("Metrics: " ^ key ^ " registered with another type"))
+  | None ->
+    let v = make () in
+    Hashtbl.add registry key
+      (match v with
+      | `C c -> Counter c
+      | `G g -> Gauge g
+      | `H h -> Histogram h);
+    (match cast (Hashtbl.find registry key) with
+    | Some v -> v
+    | None -> assert false)
+
+let counter ?(labels = []) name =
+  register (render name labels)
+    (fun () -> `C { c = 0 })
+    (function Counter c -> Some c | _ -> None)
+
+let incr c = if !on then c.c <- c.c + 1
+let add c n = if !on && n > 0 then c.c <- c.c + n
+let counter_value c = c.c
+
+let gauge ?(labels = []) name =
+  register (render name labels)
+    (fun () -> `G { g = 0. })
+    (function Gauge g -> Some g | _ -> None)
+
+let set_gauge g v = if !on then g.g <- v
+let gauge_value g = g.g
+
+let histogram ?(labels = []) name =
+  register (render name labels)
+    (fun () -> `H { counts = Array.make n_buckets 0; n = 0; sum = 0.; hmax = 0. })
+    (function Histogram h -> Some h | _ -> None)
+
+let observe h v =
+  if !on then begin
+    let v = if v < 0. then 0. else v in
+    let b = bucket_of v in
+    h.counts.(b) <- h.counts.(b) + 1;
+    h.n <- h.n + 1;
+    h.sum <- h.sum +. v;
+    if v > h.hmax then h.hmax <- v
+  end
+
+let time h f =
+  if not !on then f ()
+  else begin
+    let t0 = now () in
+    match f () with
+    | r ->
+      observe h (now () -. t0);
+      r
+    | exception e ->
+      observe h (now () -. t0);
+      raise e
+  end
+
+(* --- Snapshots ---------------------------------------------------------------- *)
+
+type hist_stats = {
+  count : int;
+  sum : float;
+  max : float;
+  buckets : (float * int) list;
+}
+
+let quantile h q =
+  if h.count = 0 then 0.
+  else begin
+    let rank =
+      let r = int_of_float (ceil (q *. float_of_int h.count)) in
+      if r < 1 then 1 else if r > h.count then h.count else r
+    in
+    let rec go seen = function
+      | [] -> h.max
+      | (bound, n) :: rest ->
+        if seen + n >= rank then Float.min bound h.max else go (seen + n) rest
+    in
+    go 0 h.buckets
+  end
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  histograms : (string * hist_stats) list;
+}
+
+let hist_stats h =
+  let buckets = ref [] in
+  for i = n_buckets - 1 downto 0 do
+    if h.counts.(i) > 0 then
+      buckets := (bucket_bounds.(i), h.counts.(i)) :: !buckets
+  done;
+  { count = h.n; sum = h.sum; max = h.hmax; buckets = !buckets }
+
+let snapshot () =
+  let counters = ref [] and gauges = ref [] and histograms = ref [] in
+  Hashtbl.iter
+    (fun key instrument ->
+      match instrument with
+      | Counter c -> counters := (key, c.c) :: !counters
+      | Gauge g -> gauges := (key, g.g) :: !gauges
+      | Histogram h -> histograms := (key, hist_stats h) :: !histograms)
+    registry;
+  let by_name (a, _) (b, _) = String.compare a b in
+  {
+    counters = List.sort by_name !counters;
+    gauges = List.sort by_name !gauges;
+    histograms = List.sort by_name !histograms;
+  }
+
+let reset () =
+  Hashtbl.iter
+    (fun _ instrument ->
+      match instrument with
+      | Counter c -> c.c <- 0
+      | Gauge g -> g.g <- 0.
+      | Histogram h ->
+        Array.fill h.counts 0 n_buckets 0;
+        h.n <- 0;
+        h.sum <- 0.;
+        h.hmax <- 0.)
+    registry

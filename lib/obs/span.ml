@@ -1,0 +1,116 @@
+type frame = {
+  fname : string;
+  mutable fcount : int;
+  mutable ftotal : float;
+  mutable kids_rev : frame list;
+  kid_index : (string, frame) Hashtbl.t;
+}
+
+let make_frame name =
+  {
+    fname = name;
+    fcount = 0;
+    ftotal = 0.;
+    kids_rev = [];
+    kid_index = Hashtbl.create 4;
+  }
+
+(* Sentinel root: its children are the top-level spans. The stack always
+   has the root at the bottom, so the innermost running span is the
+   head. A frame can never be on the stack twice (each stack entry is a
+   distinct child of the one below), so accumulating [ftotal] at exit
+   never double-counts, even under recursion. *)
+let root = make_frame "<root>"
+let stack = ref [ root ]
+
+let child_of parent name =
+  match Hashtbl.find_opt parent.kid_index name with
+  | Some f -> f
+  | None ->
+    let f = make_frame name in
+    Hashtbl.add parent.kid_index name f;
+    parent.kids_rev <- f :: parent.kids_rev;
+    f
+
+let enter name f =
+  if not (Metrics.enabled ()) then f ()
+  else begin
+    let parent = match !stack with p :: _ -> p | [] -> root in
+    let frame = child_of parent name in
+    frame.fcount <- frame.fcount + 1;
+    stack := frame :: !stack;
+    let t0 = Metrics.now () in
+    Fun.protect
+      ~finally:(fun () ->
+        frame.ftotal <- frame.ftotal +. (Metrics.now () -. t0);
+        match !stack with _ :: rest -> stack := rest | [] -> ())
+      f
+  end
+
+type node = {
+  name : string;
+  count : int;
+  total : float;
+  self : float;
+  children : node list;
+}
+
+let rec node_of frame =
+  let children = List.rev_map node_of frame.kids_rev in
+  let kids_total = List.fold_left (fun acc n -> acc +. n.total) 0. children in
+  {
+    name = frame.fname;
+    count = frame.fcount;
+    total = frame.ftotal;
+    self = Float.max 0. (frame.ftotal -. kids_total);
+    children;
+  }
+
+let roots () = List.rev_map node_of root.kids_rev
+
+let total () = List.fold_left (fun acc n -> acc +. n.total) 0. (roots ())
+
+let reset () =
+  root.kids_rev <- [];
+  Hashtbl.reset root.kid_index;
+  stack := [ root ]
+
+let render ?out_total () =
+  let nodes = roots () in
+  let out_total =
+    match out_total with Some t -> t | None -> total ()
+  in
+  let buf = Buffer.create 256 in
+  let pct t =
+    if out_total > 0. then Printf.sprintf "%5.1f%%" (100. *. t /. out_total)
+    else "    -%"
+  in
+  let rec go prefix is_last n =
+    let branch, extend =
+      match prefix with
+      | None -> ("", "")
+      | Some p -> ((p ^ if is_last then "`-- " else "|-- "),
+                   (p ^ if is_last then "    " else "|   "))
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "%s%-*s %s total=%.6fs self=%.6fs count=%d\n" branch
+         (max 1 (32 - String.length branch))
+         n.name (pct n.total) n.total n.self n.count);
+    let rec kids = function
+      | [] -> ()
+      | [ last ] -> go (Some extend) true last
+      | k :: rest ->
+        go (Some extend) false k;
+        kids rest
+    in
+    kids n.children
+  in
+  let rec tops = function
+    | [] -> ()
+    | [ last ] -> go None true last
+    | n :: rest ->
+      go None false n;
+      tops rest
+  in
+  tops nodes;
+  Buffer.contents buf

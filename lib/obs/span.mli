@@ -1,0 +1,51 @@
+(** Lightweight hierarchical spans for profiling.
+
+    A span measures one named region of execution; spans opened while
+    another span is running become its children, so a run of the
+    workflow produces a tree like:
+
+    {v
+    profile                       total 12.4ms
+    ├── engine.compile             9.1ms
+    │   └── engine.compile.bdd     8.0ms
+    └── atlas.build                2.9ms
+        └── algorithm1             2.6ms
+    v}
+
+    Aggregation is by path: entering the same name twice under the same
+    parent accumulates into one node ([count] grows). Recursion is
+    supported — a span may appear on the stack more than once; each
+    nested entry nests one level deeper in the tree.
+
+    Like {!Metrics}, spans share the global enabled switch and clock and
+    are single-threaded. When disabled, {!enter} runs the thunk without
+    reading the clock. *)
+
+val enter : string -> (unit -> 'a) -> 'a
+(** [enter name f] runs [f], timing it as a child of the innermost
+    running span (or as a root). Exceptions propagate after the span is
+    closed. *)
+
+type node = {
+  name : string;
+  count : int;  (** entries aggregated into this node *)
+  total : float;  (** inclusive seconds, children included *)
+  self : float;  (** [total] minus children's totals, clamped at 0 *)
+  children : node list;  (** in first-entered order *)
+}
+
+val roots : unit -> node list
+(** Completed top-level spans, in first-entered order. A span still on
+    the stack is not reported until it closes. *)
+
+val total : unit -> float
+(** Sum of the root totals — the instrumented wall-clock. *)
+
+val reset : unit -> unit
+(** Drop all recorded spans. Must not be called while a span is open. *)
+
+val render : ?out_total:float -> unit -> string
+(** ASCII tree of {!roots} with per-node totals, self-time and percent
+    of [out_total] (default {!total}). Durations are printed with
+    [%.6f] seconds, so a deterministic clock yields byte-stable
+    output. *)

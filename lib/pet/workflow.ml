@@ -13,9 +13,11 @@ type grant = { form : Pet_valuation.Partial.t; benefits : string list }
 
 let provider ?(backend = Engine.Bdd) ?(payoff = Pet_game.Payoff.Blank) exposure
     =
+  Pet_obs.Span.enter "provider.create" @@ fun () ->
   let engine = Engine.create ~backend exposure in
   let atlas = Atlas.build engine in
   let profile = Strategy.compute ~payoff atlas in
+  Engine.sync_obs engine;
   let weights =
     match payoff with Pet_game.Payoff.Weighted w -> Some w | _ -> None
   in

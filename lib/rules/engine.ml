@@ -75,12 +75,29 @@ let make_bdd e =
   in
   Ibdd { man; r = compile (Exposure.to_formula e) }
 
+let backend_name = function Brute -> "brute" | Sat -> "sat" | Bdd -> "bdd"
+
+let obs_queries kind =
+  Pet_obs.Metrics.counter
+    ~labels:[ ("backend", backend_name kind) ]
+    "pet_engine_queries_total"
+
+let obs_queries_brute = obs_queries Brute
+let obs_queries_sat = obs_queries Sat
+let obs_queries_bdd = obs_queries Bdd
+let obs_bdd_nodes = Pet_obs.Metrics.gauge "pet_bdd_nodes"
+let obs_bdd_ite = Pet_obs.Metrics.gauge "pet_bdd_ite_calls"
+let obs_bdd_hits = Pet_obs.Metrics.gauge "pet_bdd_ite_cache_hits"
+
 let create ?(backend = Sat) e =
   let impl =
-    match backend with
-    | Brute -> Ibrute
-    | Sat -> make_sat e
-    | Bdd -> make_bdd e
+    Pet_obs.Span.enter
+      ("engine.compile." ^ backend_name backend)
+      (fun () ->
+        match backend with
+        | Brute -> Ibrute
+        | Sat -> make_sat e
+        | Bdd -> make_bdd e)
   in
   { e; kind = backend; impl }
 
@@ -139,8 +156,26 @@ let check_universe t w =
   if not (Universe.equal (Partial.universe w) (Exposure.xp t.e)) then
     invalid_arg "Engine: valuation universe differs from the form universe"
 
+let count_query t =
+  if Pet_obs.Metrics.enabled () then
+    Pet_obs.Metrics.incr
+      (match t.kind with
+      | Brute -> obs_queries_brute
+      | Sat -> obs_queries_sat
+      | Bdd -> obs_queries_bdd)
+
+let sync_obs t =
+  match t.impl with
+  | Ibdd { man; _ } ->
+    let s = Bdd.stats man in
+    Pet_obs.Metrics.set_gauge obs_bdd_nodes (float_of_int s.Bdd.nodes);
+    Pet_obs.Metrics.set_gauge obs_bdd_ite (float_of_int s.Bdd.ite_calls);
+    Pet_obs.Metrics.set_gauge obs_bdd_hits (float_of_int s.Bdd.ite_cache_hits)
+  | Ibrute | Isat _ -> ()
+
 let consistent t w =
   check_universe t w;
+  count_query t;
   match t.impl with
   | Ibrute -> brute_consistent t.e w
   | Isat { solver; var_of } -> sat_consistent solver var_of w
@@ -151,6 +186,7 @@ let benefit_index t b =
 
 let entails_benefit t w b =
   check_universe t w;
+  count_query t;
   match t.impl with
   | Ibrute ->
     ignore (Universe.index (Exposure.xb t.e) b);
@@ -167,6 +203,7 @@ let benefits_of_total t v =
 
 let entails_literal t w p value =
   check_universe t w;
+  count_query t;
   let i = Universe.index (Exposure.xp t.e) p in
   match t.impl with
   | Ibrute -> brute_entails_literal t.e w p value
@@ -186,6 +223,4 @@ let deduced_literals t w =
     (Universe.names (Exposure.xp t.e))
 
 let all_backends = [ Brute; Sat; Bdd ]
-
-let backend_name = function Brute -> "brute" | Sat -> "sat" | Bdd -> "bdd"
 let pp_backend ppf b = Fmt.string ppf (backend_name b)

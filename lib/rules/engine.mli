@@ -30,6 +30,13 @@ val create : ?backend:backend -> Exposure.t -> t
 val backend : t -> backend
 val exposure : t -> Exposure.t
 
+val sync_obs : t -> unit
+(** Push this engine's backend statistics into the global
+    {!Pet_obs.Metrics} registry (currently the BDD manager's node/cache
+    gauges; a no-op for the other backends — SAT pushes its own deltas
+    from [Solver.solve]). Call after a batch of queries, e.g. when the
+    service answers a [metrics] request. *)
+
 val consistent : t -> Pet_valuation.Partial.t -> bool
 (** Whether [R /\ w] is satisfiable, i.e. the partially filled form can
     belong to a realistic applicant. *)

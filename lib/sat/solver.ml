@@ -530,10 +530,23 @@ let search s assumptions budget =
       end
   done
 
+(* Observability: the search loop keeps its native per-instance
+   counters (no obs calls on the hot path); each [solve] pushes the
+   deltas it caused into the process-global metrics afterwards. *)
+let obs_solves = Pet_obs.Metrics.counter "pet_sat_solves_total"
+let obs_conflicts = Pet_obs.Metrics.counter "pet_sat_conflicts_total"
+let obs_decisions = Pet_obs.Metrics.counter "pet_sat_decisions_total"
+let obs_propagations = Pet_obs.Metrics.counter "pet_sat_propagations_total"
+let obs_restarts = Pet_obs.Metrics.counter "pet_sat_restarts_total"
+
 let solve ?(assumptions = []) s =
   List.iter (check_lit s) assumptions;
   cancel_until s 0;
   s.core <- [];
+  let c0 = s.n_conflicts
+  and d0 = s.n_decisions
+  and p0 = s.n_propagations
+  and r0 = s.n_restarts in
   let answer =
     if not s.ok then Unsat
     else begin
@@ -549,6 +562,13 @@ let solve ?(assumptions = []) s =
   in
   cancel_until s 0;
   s.last_result <- Some answer;
+  if Pet_obs.Metrics.enabled () then begin
+    Pet_obs.Metrics.incr obs_solves;
+    Pet_obs.Metrics.add obs_conflicts (s.n_conflicts - c0);
+    Pet_obs.Metrics.add obs_decisions (s.n_decisions - d0);
+    Pet_obs.Metrics.add obs_propagations (s.n_propagations - p0);
+    Pet_obs.Metrics.add obs_restarts (s.n_restarts - r0)
+  end;
   answer
 
 let value s v =

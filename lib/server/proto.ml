@@ -4,6 +4,7 @@ let version = 1
 
 type rules_ref = Text of string | Source of string | Digest of string
 type choice_ref = Index of int | Mas of string
+type metrics_format = Mjson | Mprometheus
 
 type request =
   | Publish_rules of rules_ref
@@ -13,6 +14,7 @@ type request =
   | Submit_form of { session : string }
   | Audit of rules_ref
   | Stats
+  | Metrics of metrics_format
 
 type code =
   | Parse_error
@@ -55,6 +57,7 @@ let method_name = function
   | Submit_form _ -> "submit_form"
   | Audit _ -> "audit"
   | Stats -> "stats"
+  | Metrics _ -> "metrics"
 
 (* --- Decoding --------------------------------------------------------------- *)
 
@@ -128,6 +131,16 @@ let decode_request name params =
     let* rules = rules_ref params ~allow_digest:true in
     Ok (Audit rules)
   | "stats" -> Ok Stats
+  | "metrics" -> (
+    match Json.member "format" params with
+    | None | Some (Json.String "json") -> Ok (Metrics Mjson)
+    | Some (Json.String "prometheus") -> Ok (Metrics Mprometheus)
+    | Some (Json.String other) ->
+      Error
+        (errorf Invalid_params
+           "unknown metrics format %S (expected \"json\" or \"prometheus\")"
+           other)
+    | Some _ -> Error (error Invalid_params "\"format\" must be a string"))
   | other -> Error (errorf Unknown_method "unknown method %S" other)
 
 let max_line_bytes = 1 lsl 20

@@ -18,7 +18,9 @@
     - [choose_option] — [session], and [option] (index) or [mas] (string)
     - [submit_form] — [session]
     - [audit] — [rules], [source] or [digest]
-    - [stats] — no parameters *)
+    - [stats] — no parameters
+    - [metrics] — optional [format]: ["json"] (default) or
+      ["prometheus"] *)
 
 module Json = Pet_pet.Json
 
@@ -31,6 +33,10 @@ type rules_ref =
 
 type choice_ref = Index of int | Mas of string
 
+type metrics_format = Mjson | Mprometheus
+(** Response shape for the [metrics] method: a structured JSON snapshot
+    or a Prometheus text exposition (shipped as one JSON string). *)
+
 type request =
   | Publish_rules of rules_ref
   | New_session of rules_ref
@@ -39,6 +45,7 @@ type request =
   | Submit_form of { session : string }
   | Audit of rules_ref
   | Stats
+  | Metrics of metrics_format
 
 type code =
   | Parse_error  (** the line is not valid JSON (message has the position) *)

@@ -452,6 +452,108 @@ let state_events t =
   in
   rules @ grants @ sessions
 
+(* --- Observability ---------------------------------------------------------------- *)
+
+module Obs = Pet_obs.Metrics
+
+(* Requests are counted on arrival (before dispatch), so a [metrics]
+   response includes the request that asked for it; latencies are
+   observed after the response is built. Histograms are cached per
+   method so the per-request path does no label rendering. *)
+let obs_requests = Obs.counter "pet_server_requests_total"
+let obs_errors = Obs.counter "pet_server_errors_total"
+let obs_swept = Obs.counter "pet_server_sessions_swept_total"
+
+let latency_hist name =
+  Obs.histogram ~labels:[ ("method", name) ] "pet_server_request_seconds"
+
+(* One histogram per wire method, resolved by a static match so the
+   per-request path does no hashing or label rendering. *)
+let obs_lat_publish_rules = latency_hist "publish_rules"
+let obs_lat_new_session = latency_hist "new_session"
+let obs_lat_get_report = latency_hist "get_report"
+let obs_lat_choose_option = latency_hist "choose_option"
+let obs_lat_submit_form = latency_hist "submit_form"
+let obs_lat_audit = latency_hist "audit"
+let obs_lat_stats = latency_hist "stats"
+let obs_lat_metrics = latency_hist "metrics"
+let obs_lat_invalid = latency_hist "invalid"
+
+let obs_latency = function
+  | "publish_rules" -> obs_lat_publish_rules
+  | "new_session" -> obs_lat_new_session
+  | "get_report" -> obs_lat_get_report
+  | "choose_option" -> obs_lat_choose_option
+  | "submit_form" -> obs_lat_submit_form
+  | "audit" -> obs_lat_audit
+  | "stats" -> obs_lat_stats
+  | "metrics" -> obs_lat_metrics
+  | _ -> obs_lat_invalid
+
+let obs_registry_size = Obs.gauge "pet_registry_engines"
+let obs_registry_hits = Obs.gauge "pet_registry_hits"
+let obs_registry_misses = Obs.gauge "pet_registry_misses"
+let obs_registry_evictions = Obs.gauge "pet_registry_evictions"
+let obs_sessions_active = Obs.gauge "pet_sessions_active"
+let obs_sessions_created = Obs.gauge "pet_sessions_created"
+let obs_sessions_expired = Obs.gauge "pet_sessions_expired"
+let obs_submitted = Obs.gauge "pet_grants_submitted"
+let obs_ledger_records = Obs.gauge "pet_ledger_records"
+
+(* The service owns these aggregates, so rather than pushing deltas on
+   every request it mirrors them into gauges when a snapshot is taken —
+   stale-free and free on the request path. *)
+let sync_gauges t =
+  let r = Registry.stats t.registry in
+  Obs.set_gauge obs_registry_size (float_of_int r.Registry.size);
+  Obs.set_gauge obs_registry_hits (float_of_int r.Registry.hits);
+  Obs.set_gauge obs_registry_misses (float_of_int r.Registry.misses);
+  Obs.set_gauge obs_registry_evictions (float_of_int r.Registry.evictions);
+  let s = Session.counters t.store in
+  Obs.set_gauge obs_sessions_active (float_of_int s.Session.active);
+  Obs.set_gauge obs_sessions_created (float_of_int s.Session.created);
+  Obs.set_gauge obs_sessions_expired (float_of_int s.Session.expired);
+  Obs.set_gauge obs_submitted (float_of_int t.submitted);
+  let records =
+    Hashtbl.fold (fun _ l acc -> acc + Ledger.size l) t.ledgers 0
+  in
+  Obs.set_gauge obs_ledger_records (float_of_int records)
+
+let json_of_hist (h : Obs.hist_stats) =
+  Json.Obj
+    [
+      ("count", Json.Int h.Obs.count);
+      ("sum", Json.Float h.Obs.sum);
+      ("max", Json.Float h.Obs.max);
+      ("p50", Json.Float (Obs.quantile h 0.5));
+      ("p90", Json.Float (Obs.quantile h 0.9));
+      ("p99", Json.Float (Obs.quantile h 0.99));
+    ]
+
+let metrics_payload t format =
+  sync_gauges t;
+  let snapshot = Obs.snapshot () in
+  match format with
+  | Proto.Mprometheus -> Json.String (Pet_obs.Export.prometheus snapshot)
+  | Proto.Mjson ->
+    Json.Obj
+      [
+        ("enabled", Json.Bool (Obs.enabled ()));
+        ( "counters",
+          Json.Obj
+            (List.map (fun (n, v) -> (n, Json.Int v)) snapshot.Obs.counters)
+        );
+        ( "gauges",
+          Json.Obj
+            (List.map (fun (n, v) -> (n, Json.Float v)) snapshot.Obs.gauges)
+        );
+        ( "histograms",
+          Json.Obj
+            (List.map
+               (fun (n, h) -> (n, json_of_hist h))
+               snapshot.Obs.histograms) );
+      ]
+
 (* --- Stats ---------------------------------------------------------------------- *)
 
 let registry_stats t = Registry.stats t.registry
@@ -527,6 +629,7 @@ let handle_request t request ~now =
   | Proto.Submit_form { session } -> submit_form t ~session ~now
   | Proto.Audit rules -> audit t rules
   | Proto.Stats -> Ok (stats_json t)
+  | Proto.Metrics format -> Ok (metrics_payload t format)
 
 let record_method t name ~latency ~failed =
   let m =
@@ -547,6 +650,7 @@ let record_method t name ~latency ~failed =
 let handle_line t line =
   let start = t.now () in
   t.requests <- t.requests + 1;
+  Obs.incr obs_requests;
   let id, name, result =
     match Proto.decode line with
     | Error (id, e) -> (id, "invalid", Error e)
@@ -564,6 +668,11 @@ let handle_line t line =
      id for everyone else. The sweep is incremental — a bounded number
      of sessions per request — so abandoned sessions are reclaimed in
      amortized O(budget) instead of a full O(sessions) scan per line. *)
-  ignore (Session.sweep_step t.store ~now:finish);
+  let swept = Session.sweep_step t.store ~now:finish in
   record_method t name ~latency:(finish -. start) ~failed:(Result.is_error result);
+  if Obs.enabled () then begin
+    Obs.add obs_swept swept;
+    if Result.is_error result then Obs.incr obs_errors;
+    Obs.observe (obs_latency name) (finish -. start)
+  end;
   response

@@ -73,3 +73,16 @@ val stats_json : t -> Pet_pet.Json.t
     active/created/expired/submitted counts, and archive totals. *)
 
 val registry_stats : t -> Registry.stats
+
+val sync_gauges : t -> unit
+(** Mirror the service-owned aggregates (registry, sessions, ledgers)
+    into the global {!Pet_obs.Metrics} gauges. The [metrics] request
+    handler does this automatically; drivers that export snapshots out
+    of band ([pet serve --metrics-interval], the bench harness) call it
+    before {!Pet_obs.Metrics.snapshot} so gauges are never stale. *)
+
+val metrics_payload : t -> Proto.metrics_format -> Pet_pet.Json.t
+(** The [metrics] response payload: the full observability snapshot
+    (after {!sync_gauges}), either as structured JSON
+    ([counters]/[gauges]/[histograms] with p50/p90/p99) or as a
+    Prometheus text exposition wrapped in one JSON string. *)

@@ -150,13 +150,22 @@ let read dir =
       let _, chain = replay_files (listing dir) in
       recover_chain dir chain)
 
+let obs_recovery_h = Pet_obs.Metrics.histogram "pet_store_recovery_seconds"
+let obs_recovered = Pet_obs.Metrics.gauge "pet_store_recovered_records"
+
 let open_dir ?(segment_bytes = 1 lsl 20) ?(auto_compact_segments = 8)
     ?(fsync = true) dir =
   guard (fun () ->
       mkdir_p dir;
       let files = listing dir in
       let snap, chain = replay_files files in
-      let recovery = recover_chain dir chain in
+      let recovery =
+        Pet_obs.Span.enter "store.recover" (fun () ->
+            Pet_obs.Metrics.time obs_recovery_h (fun () ->
+                recover_chain dir chain))
+      in
+      Pet_obs.Metrics.set_gauge obs_recovered
+        (float_of_int recovery.records);
       (* Cut the torn tail so the damage cannot be misread twice; new
          appends go to a fresh segment either way. *)
       Option.iter
@@ -205,14 +214,27 @@ let seal t =
     t.written <- 0;
     t.sealed <- t.sealed + 1
 
+let obs_appends = Pet_obs.Metrics.counter "pet_store_appends_total"
+let obs_append_bytes = Pet_obs.Metrics.counter "pet_store_append_bytes_total"
+let obs_append_h = Pet_obs.Metrics.histogram "pet_store_append_seconds"
+let obs_fsync_h = Pet_obs.Metrics.histogram "pet_store_fsync_seconds"
+let obs_segments = Pet_obs.Metrics.gauge "pet_store_segments"
+
 let append t event =
+  Pet_obs.Metrics.time obs_append_h @@ fun () ->
   let record = Record.frame (encode event) in
   let fd, oc = channel t in
   output_string oc record;
   flush oc;
-  if t.fsync then Unix.fsync fd;
+  if t.fsync then Pet_obs.Metrics.time obs_fsync_h (fun () -> Unix.fsync fd);
   t.written <- t.written + String.length record;
-  if t.written >= t.segment_bytes then seal t
+  if t.written >= t.segment_bytes then seal t;
+  if Pet_obs.Metrics.enabled () then begin
+    Pet_obs.Metrics.incr obs_appends;
+    Pet_obs.Metrics.add obs_append_bytes (String.length record);
+    (* sealed segments plus the active one *)
+    Pet_obs.Metrics.set_gauge obs_segments (float_of_int (t.sealed + 1))
+  end
 
 let sink t = { Persist.emit = (fun event -> append t event) }
 

@@ -1,0 +1,324 @@
+(* Tests for the observability core: disabled-by-default no-ops,
+   histogram bucket boundaries and quantile estimates, span
+   nesting/reentrancy, exporter output, and snapshot determinism under
+   a logical clock. *)
+
+module Metrics = Pet_obs.Metrics
+module Span = Pet_obs.Span
+module Export = Pet_obs.Export
+
+(* Every test runs against the same process-global registry, so each
+   starts from a clean, enabled slate with a fresh logical clock. *)
+let fresh () =
+  Metrics.reset ();
+  Span.reset ();
+  Metrics.enable ();
+  let t = ref 0. in
+  Metrics.set_clock (fun () ->
+      t := !t +. 1.0;
+      !t)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i =
+    i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1))
+  in
+  go 0
+
+(* --- Enabled switch ------------------------------------------------------------ *)
+
+let test_disabled_noop () =
+  fresh ();
+  Metrics.disable ();
+  let c = Metrics.counter "obs_test_off_total" in
+  let g = Metrics.gauge "obs_test_off_gauge" in
+  let h = Metrics.histogram "obs_test_off_seconds" in
+  Metrics.incr c;
+  Metrics.add c 41;
+  Metrics.set_gauge g 3.5;
+  Metrics.observe h 0.25;
+  let r = Metrics.time h (fun () -> 42) in
+  Alcotest.(check int) "thunk result" 42 r;
+  Alcotest.(check int) "counter untouched" 0 (Metrics.counter_value c);
+  Alcotest.(check (float 0.)) "gauge untouched" 0. (Metrics.gauge_value g);
+  let s = Metrics.snapshot () in
+  let hs = List.assoc "obs_test_off_seconds" s.histograms in
+  Alcotest.(check int) "histogram untouched" 0 hs.count;
+  (* Spans are equally inert: the thunk runs, nothing is recorded. *)
+  let r = Span.enter "off" (fun () -> 7) in
+  Alcotest.(check int) "span thunk result" 7 r;
+  Alcotest.(check int) "no roots" 0 (List.length (Span.roots ()));
+  Metrics.enable ()
+
+let test_disabled_skips_clock () =
+  fresh ();
+  Metrics.disable ();
+  let reads = ref 0 in
+  Metrics.set_clock (fun () ->
+      Stdlib.incr reads;
+      float_of_int !reads);
+  let h = Metrics.histogram "obs_test_clock_seconds" in
+  ignore (Metrics.time h (fun () -> ()));
+  Span.enter "off" (fun () -> ());
+  Alcotest.(check int) "clock never read when disabled" 0 !reads;
+  Metrics.enable ()
+
+(* --- Counters / gauges --------------------------------------------------------- *)
+
+let test_counter_gauge () =
+  fresh ();
+  let c = Metrics.counter "obs_test_total" in
+  Metrics.incr c;
+  Metrics.add c 9;
+  Metrics.add c (-5);
+  Alcotest.(check int) "negative add ignored" 10 (Metrics.counter_value c);
+  let c' = Metrics.counter "obs_test_total" in
+  Metrics.incr c';
+  Alcotest.(check int) "registration is idempotent" 11
+    (Metrics.counter_value c);
+  let g = Metrics.gauge ~labels:[ ("kind", "x") ] "obs_test_gauge" in
+  Metrics.set_gauge g 2.5;
+  Alcotest.(check (float 0.)) "gauge set" 2.5 (Metrics.gauge_value g);
+  let s = Metrics.snapshot () in
+  Alcotest.(check bool) "labelled name rendered" true
+    (List.mem_assoc {|obs_test_gauge{kind="x"}|} s.gauges)
+
+(* --- Histogram buckets --------------------------------------------------------- *)
+
+let test_bucket_bounds () =
+  let b = Metrics.bucket_bounds in
+  Alcotest.(check int) "40 buckets" 40 (Array.length b);
+  Alcotest.(check (float 0.)) "first bound is 1us" 1e-6 b.(0);
+  Alcotest.(check (float 0.)) "doubling" (2. *. b.(10)) b.(11);
+  Alcotest.(check bool) "last is +inf" true (b.(39) = infinity);
+  (* A value exactly on a bound lands in that bucket; just above goes
+     to the next. *)
+  fresh ();
+  let h = Metrics.histogram "obs_test_bounds_seconds" in
+  Metrics.observe h 1e-6;
+  Metrics.observe h 1.0000001e-6;
+  Metrics.observe h (-3.);
+  (* clamps to 0, first bucket *)
+  Metrics.observe h 1e9;
+  (* beyond the finite bounds: overflow bucket *)
+  let s = Metrics.snapshot () in
+  let hs = List.assoc "obs_test_bounds_seconds" s.histograms in
+  Alcotest.(check int) "count" 4 hs.count;
+  Alcotest.(check (float 0.)) "max" 1e9 hs.max;
+  let count_at bound =
+    match List.assoc_opt bound hs.buckets with Some n -> n | None -> 0
+  in
+  Alcotest.(check int) "on-bound + clamp in bucket 0" 2 (count_at 1e-6);
+  Alcotest.(check int) "just-above in bucket 1" 1 (count_at 2e-6);
+  Alcotest.(check int) "overflow bucket" 1 (count_at infinity)
+
+let test_quantiles () =
+  fresh ();
+  let h = Metrics.histogram "obs_test_q_seconds" in
+  (* 100 observations of 1.0s: every quantile is the bucket upper bound
+     containing 1.0 (2^20us = 1.048576s), capped at the observed max. *)
+  for _ = 1 to 100 do
+    Metrics.observe h 1.0
+  done;
+  let s = Metrics.snapshot () in
+  let hs = List.assoc "obs_test_q_seconds" s.histograms in
+  Alcotest.(check (float 0.)) "p50 capped at max" 1.0
+    (Metrics.quantile hs 0.5);
+  Alcotest.(check (float 0.)) "p99 capped at max" 1.0
+    (Metrics.quantile hs 0.99);
+  (* A spread: 90 fast (1ms) + 10 slow (2s). p50/p90 sit in the fast
+     bucket, p99 in the slow one. *)
+  Metrics.reset ();
+  for _ = 1 to 90 do
+    Metrics.observe h 0.001
+  done;
+  for _ = 1 to 10 do
+    Metrics.observe h 2.0
+  done;
+  let s = Metrics.snapshot () in
+  let hs = List.assoc "obs_test_q_seconds" s.histograms in
+  let fast_ub = 1e-6 *. float_of_int (1 lsl 10) (* 1.024ms *) in
+  Alcotest.(check (float 1e-12)) "p50 in fast bucket" fast_ub
+    (Metrics.quantile hs 0.5);
+  Alcotest.(check (float 1e-12)) "p90 in fast bucket" fast_ub
+    (Metrics.quantile hs 0.9);
+  Alcotest.(check (float 0.)) "p99 capped at slow max" 2.0
+    (Metrics.quantile hs 0.99);
+  let empty =
+    { Metrics.count = 0; buckets = []; sum = 0.; max = 0. }
+  in
+  Alcotest.(check (float 0.)) "empty histogram" 0.
+    (Metrics.quantile empty 0.99)
+
+let test_time_and_sum () =
+  fresh ();
+  (* Logical clock ticks +1 per read: [time] reads twice, so every
+     sample is exactly 1.0s. *)
+  let h = Metrics.histogram "obs_test_time_seconds" in
+  for _ = 1 to 3 do
+    ignore (Metrics.time h (fun () -> ()))
+  done;
+  let s = Metrics.snapshot () in
+  let hs = List.assoc "obs_test_time_seconds" s.histograms in
+  Alcotest.(check int) "count" 3 hs.count;
+  Alcotest.(check (float 0.)) "sum" 3.0 hs.sum;
+  (* An exception still records the sample, then propagates. *)
+  (try Metrics.time h (fun () -> failwith "boom") with Failure _ -> ());
+  let hs = List.assoc "obs_test_time_seconds" (Metrics.snapshot ()).histograms in
+  Alcotest.(check int) "exception observed" 4 hs.count
+
+(* --- Spans --------------------------------------------------------------------- *)
+
+let test_span_nesting () =
+  fresh ();
+  (* Logical clock: every [enter] reads the clock twice (start/end), so
+     with children the timings are deterministic small integers. *)
+  Span.enter "outer" (fun () ->
+      Span.enter "inner" (fun () -> ());
+      Span.enter "inner" (fun () -> ()));
+  let roots = Span.roots () in
+  Alcotest.(check int) "one root" 1 (List.length roots);
+  let outer = List.hd roots in
+  Alcotest.(check string) "root name" "outer" outer.Span.name;
+  Alcotest.(check int) "root count" 1 outer.Span.count;
+  Alcotest.(check int) "children aggregated by name" 1
+    (List.length outer.Span.children);
+  let inner = List.hd outer.Span.children in
+  Alcotest.(check int) "inner count" 2 inner.Span.count;
+  (* outer spans reads 1..6: start=1 end=6 → total 5; inner entries are
+     (2,3) and (4,5) → total 2; self = 3. *)
+  Alcotest.(check (float 0.)) "outer total" 5. outer.Span.total;
+  Alcotest.(check (float 0.)) "inner total" 2. inner.Span.total;
+  Alcotest.(check (float 0.)) "outer self" 3. outer.Span.self;
+  Alcotest.(check (float 0.)) "grand total" 5. (Span.total ())
+
+let test_span_reentrancy () =
+  fresh ();
+  (* Direct recursion nests one level deeper each time rather than
+     crashing or merging into the same frame. *)
+  let rec go n = if n > 0 then Span.enter "rec" (fun () -> go (n - 1)) in
+  go 3;
+  let rec depth (n : Span.node) =
+    match n.Span.children with [] -> 1 | c :: _ -> 1 + depth c
+  in
+  let roots = Span.roots () in
+  Alcotest.(check int) "one root" 1 (List.length roots);
+  Alcotest.(check int) "nested three deep" 3 (depth (List.hd roots));
+  (* Exceptions close the span. *)
+  Span.reset ();
+  (try Span.enter "explode" (fun () -> failwith "boom")
+   with Failure _ -> ());
+  Alcotest.(check int) "span closed on exception" 1
+    (List.length (Span.roots ()));
+  Span.enter "after" (fun () -> ());
+  Alcotest.(check int) "stack balanced after exception" 2
+    (List.length (Span.roots ()))
+
+let test_span_render () =
+  fresh ();
+  Span.enter "a" (fun () -> Span.enter "b" (fun () -> ()));
+  Span.enter "c" (fun () -> ());
+  let r = Span.render () in
+  Alcotest.(check bool) "renders a" true (contains r "a");
+  Alcotest.(check bool) "renders branch for b" true (contains r "`-- b");
+  Alcotest.(check bool) "renders count" true (contains r "count=1");
+  Alcotest.(check bool) "renders percent" true (contains r "%")
+
+(* --- Exporters ----------------------------------------------------------------- *)
+
+let test_prometheus_export () =
+  fresh ();
+  let c = Metrics.counter "pet_obs_test_reqs_total" in
+  Metrics.add c 5;
+  let g = Metrics.gauge "pet_obs_test_depth" in
+  Metrics.set_gauge g 2.;
+  let h =
+    Metrics.histogram ~labels:[ ("method", "stats") ]
+      "pet_obs_test_latency_seconds"
+  in
+  Metrics.observe h 1.0;
+  Metrics.observe h 1.0;
+  let text = Export.prometheus (Metrics.snapshot ()) in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("prometheus contains " ^ needle) true
+        (contains text needle))
+    [
+      "# TYPE pet_obs_test_reqs_total counter";
+      "pet_obs_test_reqs_total 5";
+      "# TYPE pet_obs_test_depth gauge";
+      "pet_obs_test_depth 2";
+      "# TYPE pet_obs_test_latency_seconds histogram";
+      {|pet_obs_test_latency_seconds_bucket{method="stats",le="1.048576"} 2|};
+      {|pet_obs_test_latency_seconds_bucket{method="stats",le="+Inf"} 2|};
+      {|pet_obs_test_latency_seconds_sum{method="stats"} 2|};
+      {|pet_obs_test_latency_seconds_count{method="stats"} 2|};
+    ]
+
+let test_line_export () =
+  fresh ();
+  let c = Metrics.counter "reqs_total" in
+  Metrics.incr c;
+  let h = Metrics.histogram "lat_seconds" in
+  Metrics.observe h 1.0;
+  let l = Export.line (Metrics.snapshot ()) in
+  Alcotest.(check bool) "counter in line" true (contains l "reqs_total=1");
+  Alcotest.(check bool) "histogram count in line" true
+    (contains l "lat_seconds.count=1");
+  Alcotest.(check bool) "p50 in line" true (contains l "lat_seconds.p50=");
+  Alcotest.(check bool) "single line" false (contains l "\n")
+
+(* --- Snapshot determinism ------------------------------------------------------ *)
+
+let test_snapshot_determinism () =
+  (* Two identical recorded histories — in different registration
+     orders — export byte-identically under the logical clock. *)
+  let record () =
+    fresh ();
+    let names = [ "z_total"; "a_total"; "m_total" ] in
+    List.iter (fun n -> Metrics.add (Metrics.counter n) 3) names;
+    let h = Metrics.histogram "w_seconds" in
+    ignore (Metrics.time h (fun () -> ()));
+    Export.prometheus (Metrics.snapshot ())
+  in
+  let record_rev () =
+    fresh ();
+    let names = [ "m_total"; "a_total"; "z_total" ] in
+    List.iter (fun n -> Metrics.add (Metrics.counter n) 3) names;
+    let h = Metrics.histogram "w_seconds" in
+    ignore (Metrics.time h (fun () -> ()));
+    Export.prometheus (Metrics.snapshot ())
+  in
+  Alcotest.(check string) "byte-identical exports" (record ()) (record_rev ())
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "switch",
+        [
+          Alcotest.test_case "disabled is a no-op" `Quick test_disabled_noop;
+          Alcotest.test_case "disabled never reads the clock" `Quick
+            test_disabled_skips_clock;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counters and gauges" `Quick test_counter_gauge;
+          Alcotest.test_case "bucket boundaries" `Quick test_bucket_bounds;
+          Alcotest.test_case "quantiles" `Quick test_quantiles;
+          Alcotest.test_case "time and sum" `Quick test_time_and_sum;
+        ] );
+      ( "spans",
+        [
+          Alcotest.test_case "nesting and aggregation" `Quick test_span_nesting;
+          Alcotest.test_case "reentrancy and exceptions" `Quick
+            test_span_reentrancy;
+          Alcotest.test_case "render" `Quick test_span_render;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "prometheus text" `Quick test_prometheus_export;
+          Alcotest.test_case "stderr line" `Quick test_line_export;
+          Alcotest.test_case "snapshot determinism" `Quick
+            test_snapshot_determinism;
+        ] );
+    ]

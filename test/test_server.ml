@@ -613,6 +613,58 @@ let test_service_canonical_digest () =
   Alcotest.(check bool) "second is cached" true
     (Json.member "cached" b = Some (Json.Bool true))
 
+let test_service_metrics () =
+  (* Requests are counted on arrival, so a metrics response includes the
+     very request that asked for it. *)
+  let module Obs = Pet_obs.Metrics in
+  Obs.reset ();
+  Obs.enable ();
+  let obs_tick = ref 0 in
+  Obs.set_clock (fun () ->
+      incr obs_tick;
+      float_of_int !obs_tick);
+  Fun.protect ~finally:(fun () -> Obs.disable ()) @@ fun () ->
+  let service = make_service () in
+  let _ =
+    ok_of (request service "publish_rules" [ ("source", Json.String "running") ])
+  in
+  let counter_of payload name =
+    match Option.bind (Json.member "counters" payload) (Json.member name) with
+    | Some (Json.Int n) -> n
+    | _ -> Alcotest.failf "metrics payload lacks counter %s" name
+  in
+  let m1 = ok_of (request service "metrics" []) in
+  Alcotest.(check int) "metrics counts its own request" 2
+    (counter_of m1 "pet_server_requests_total");
+  (* A second snapshot moves: one more request arrived. *)
+  let m2 = ok_of (request service "metrics" []) in
+  Alcotest.(check int) "next snapshot includes the next request" 3
+    (counter_of m2 "pet_server_requests_total");
+  (* The per-method latency histogram saw the earlier metrics call
+     (logical obs clock: every request lasts exactly 1s). *)
+  (match
+     Option.bind
+       (Json.member "histograms" m2)
+       (Json.member "pet_server_request_seconds{method=\"metrics\"}")
+   with
+  | Some h ->
+    Alcotest.(check bool) "latency histogram counted the metrics call" true
+      (Json.member "count" h = Some (Json.Int 1))
+  | None -> Alcotest.fail "no latency histogram for the metrics method");
+  (* The prometheus rendering carries the same counter. *)
+  match ok_of (request service "metrics" [ ("format", Json.String "prometheus") ])
+  with
+  | Json.String text ->
+    Alcotest.(check bool) "prometheus sample present" true
+      (let sub = "pet_server_requests_total 4" in
+       let rec contains i =
+         i + String.length sub <= String.length text
+         && (String.sub text i (String.length sub) = sub || contains (i + 1))
+       in
+       contains 0)
+  | other ->
+    Alcotest.failf "prometheus format is not a string: %s" (Json.to_string other)
+
 let () =
   Alcotest.run "pet_server"
     [
@@ -649,5 +701,6 @@ let () =
             test_service_ledger_survives_eviction;
           Alcotest.test_case "canonical digest" `Quick
             test_service_canonical_digest;
+          Alcotest.test_case "metrics endpoint" `Quick test_service_metrics;
         ] );
     ]

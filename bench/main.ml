@@ -813,10 +813,15 @@ let () =
       ("check", check);
     ]
   in
+  (* "all" expands to every section wherever it appears, so one
+     invocation runs every scenario and writes every BENCH_*.json. *)
   let requested =
     match List.tl (Array.to_list Sys.argv) with
-    | [] | [ "all" ] -> List.map fst sections
-    | args -> args
+    | [] -> List.map fst sections
+    | args ->
+      List.concat_map
+        (fun arg -> if arg = "all" then List.map fst sections else [ arg ])
+        args
   in
   List.iter
     (fun name ->

@@ -679,6 +679,13 @@ let fill_cmd =
 
 (* --- serve ------------------------------------------------------------------------ *)
 
+module Log = Pet_obs.Log
+
+(* Structured-log field builders (the closed Trace.value type keeps
+   valuations out of log lines by construction). *)
+let fstr k v = (k, Pet_obs.Trace.String v)
+let fint k v = (k, Pet_obs.Trace.Int v)
+
 let serve_cmd =
   let deterministic_arg =
     let doc =
@@ -718,8 +725,33 @@ let serve_cmd =
     in
     Arg.(value & opt int 0 & info [ "metrics-interval" ] ~docv:"N" ~doc)
   in
+  let trace_slow_arg =
+    let doc =
+      "Also keep any request lasting at least $(docv) milliseconds in \
+       the slow-trace ring (0 keeps every request there). Tracing itself \
+       is always on under serve — every response carries a trace id and \
+       the $(b,trace) protocol method reads the captures back; this flag \
+       only sets the slow threshold (default: nothing is classified \
+       slow)."
+    in
+    Arg.(value & opt (some float) None & info [ "trace-slow" ] ~docv:"MS" ~doc)
+  in
+  let log_level_arg =
+    let doc =
+      "Minimum level for structured log events on standard error: \
+       $(b,debug), $(b,info), $(b,warn) or $(b,error)."
+    in
+    Arg.(value & opt string "info" & info [ "log-level" ] ~docv:"LEVEL" ~doc)
+  in
+  let log_json_arg =
+    let doc =
+      "Emit log events as JSON objects (ts, level, event, trace id, \
+       fields) instead of the human-readable shape."
+    in
+    Arg.(value & flag & info [ "log-json" ] ~doc)
+  in
   let run backend payoff deterministic cache ttl data_dir no_fsync
-      metrics_interval =
+      metrics_interval trace_slow log_level log_json =
     let now =
       if deterministic then (
         let tick = ref 0 in
@@ -740,6 +772,21 @@ let serve_cmd =
           incr tick;
           float_of_int !tick))
     else Pet_obs.Metrics.set_clock Unix.gettimeofday;
+    (* Tracing rides on the obs clock above: always on under serve, one
+       capture per request, the slow threshold set from --trace-slow. *)
+    Pet_obs.Trace.enable ();
+    Option.iter
+      (fun ms -> Pet_obs.Trace.set_slow_threshold (ms /. 1000.))
+      trace_slow;
+    Log.set_json log_json;
+    match Log.level_of_string log_level with
+    | None ->
+      `Error
+        ( false,
+          Printf.sprintf
+            "--log-level %s: expected debug, info, warn or error" log_level )
+    | Some level ->
+    Log.set_level level;
     let resolve name =
       match load_exposure name with
       | Ok exposure when List.mem name [ "running"; "hcov"; "rsa"; "loan" ] ->
@@ -763,31 +810,42 @@ let serve_cmd =
                 match Pet_server.Service.apply_event service event with
                 | Ok () -> errors
                 | Error m ->
-                  Fmt.epr "store: replay error: %s@." m;
+                  Log.error "store.replay_error" ~fields:[ fstr "reason" m ];
                   errors + 1)
               0 recovery.Pet_store.Store.events
           in
           Option.iter
             (fun (d : Pet_store.Store.damage) ->
-              Fmt.epr
-                "store: torn tail truncated at byte %d of %s (%s)@."
-                d.Pet_store.Store.offset d.Pet_store.Store.file
-                d.Pet_store.Store.reason)
+              Log.warn "store.torn_tail"
+                ~fields:
+                  [
+                    fstr "file" d.Pet_store.Store.file;
+                    fint "offset" d.Pet_store.Store.offset;
+                    fstr "reason" d.Pet_store.Store.reason;
+                  ])
             recovery.Pet_store.Store.truncated;
           List.iter
             (fun (d : Pet_store.Store.damage) ->
-              Fmt.epr
-                "store: damage at byte %d of %s: %s — replay stopped there \
-                 (run `pet store verify %s`)@."
-                d.Pet_store.Store.offset d.Pet_store.Store.file
-                d.Pet_store.Store.reason dir)
+              Log.error "store.damage"
+                ~fields:
+                  [
+                    fstr "file" d.Pet_store.Store.file;
+                    fint "offset" d.Pet_store.Store.offset;
+                    fstr "reason" d.Pet_store.Store.reason;
+                    fstr "hint"
+                      (Printf.sprintf
+                         "replay stopped there; run `pet store verify %s`" dir);
+                  ])
             recovery.Pet_store.Store.damage;
-          Fmt.epr "store: recovered %d event(s) from %d file(s)%s@."
-            (List.length recovery.Pet_store.Store.events)
-            recovery.Pet_store.Store.files
-            (if replay_errors > 0 then
-               Printf.sprintf ", %d replay error(s)" replay_errors
-             else "");
+          Log.info "store.recovered"
+            ~fields:
+              ([
+                 fint "events" (List.length recovery.Pet_store.Store.events);
+                 fint "files" recovery.Pet_store.Store.files;
+               ]
+              @
+              if replay_errors > 0 then [ fint "replay_errors" replay_errors ]
+              else []);
           Pet_server.Service.set_sink service (Pet_store.Store.sink store);
           k (Some store))
     in
@@ -803,8 +861,12 @@ let serve_cmd =
           incr handled;
           if metrics_interval > 0 && !handled mod metrics_interval = 0 then begin
             Pet_server.Service.sync_gauges service;
-            Fmt.epr "metrics: %s@."
-              (Pet_obs.Export.line (Pet_obs.Metrics.snapshot ()))
+            Log.info "metrics.snapshot"
+              ~fields:
+                [
+                  fstr "line"
+                    (Pet_obs.Export.line (Pet_obs.Metrics.snapshot ()));
+                ]
           end;
           Option.iter
             (fun store ->
@@ -814,7 +876,9 @@ let serve_cmd =
                     ~events:(Pet_server.Service.state_events service)
                 with
                 | Ok _ -> ()
-                | Error m -> Fmt.epr "store: compaction failed: %s@." m)
+                | Error m ->
+                  Log.error "store.compaction_failed"
+                    ~fields:[ fstr "reason" m ])
             store
         end;
         loop ()
@@ -827,7 +891,7 @@ let serve_cmd =
     "Run the collection service: read one JSON request per line from \
      standard input, write one JSON response per line to standard output \
      (methods: publish_rules, new_session, get_report, choose_option, \
-     submit_form, audit, stats, metrics). Compiled rule engines are cached across \
+     submit_form, audit, stats, metrics, trace). Compiled rule engines are cached across \
      sessions; sessions expire after $(b,--ttl) idle seconds; raw \
      valuations are erased the moment an option is chosen. With \
      $(b,--data-dir) the service is durable: every state change is \
@@ -840,7 +904,8 @@ let serve_cmd =
     Term.(
       ret
         (const run $ backend_arg $ payoff_arg $ deterministic_arg $ cache_arg
-       $ ttl_arg $ data_dir_arg $ no_fsync_arg $ metrics_interval_arg))
+       $ ttl_arg $ data_dir_arg $ no_fsync_arg $ metrics_interval_arg
+       $ trace_slow_arg $ log_level_arg $ log_json_arg))
 
 (* --- store ------------------------------------------------------------------------ *)
 
@@ -1051,6 +1116,132 @@ let profile_cmd =
     Term.(
       ret (const run $ source_arg $ backend_arg $ payoff_arg $ samples_arg))
 
+(* --- trace ------------------------------------------------------------------------- *)
+
+let trace_cmd =
+  let chrome_arg =
+    let doc =
+      "Also write the capture as Chrome trace_event JSON to $(docv) \
+       (load it in chrome://tracing or Perfetto)."
+    in
+    Arg.(value & opt (some string) None & info [ "chrome" ] ~docv:"FILE" ~doc)
+  in
+  let deterministic_arg =
+    let doc =
+      "Time the capture with a logical clock (1s per clock read) instead \
+       of wall time, making the output byte-stable for tests."
+    in
+    Arg.(value & flag & info [ "deterministic" ] ~doc)
+  in
+  let run source backend payoff chrome deterministic =
+    match load_exposure source with
+    | Error m -> `Error (false, m)
+    | Ok exposure -> (
+      Pet_obs.Metrics.enable ();
+      Pet_obs.Trace.enable ();
+      if deterministic then (
+        let tick = ref 0 in
+        Pet_obs.Metrics.set_clock (fun () ->
+            incr tick;
+            float_of_int !tick))
+      else Pet_obs.Metrics.set_clock Unix.gettimeofday;
+      let module Trace = Pet_obs.Trace in
+      let id = Trace.generate_id () in
+      Trace.run ~id (fun () ->
+          Trace.annotate "source" (Trace.String source);
+          Trace.annotate "backend"
+            (Trace.String (Engine.backend_name backend));
+          let p = Workflow.provider ~backend ~payoff exposure in
+          let atlas = Workflow.atlas p in
+          if Pet_minimize.Atlas.player_count atlas > 0 then
+            ignore (Workflow.report_for p (Pet_minimize.Atlas.player atlas 0)));
+      match Trace.find id with
+      | None -> `Error (false, "the capture was not recorded")
+      | Some tr ->
+        Fmt.pr "%s" (Trace.render tr);
+        (match chrome with
+        | None -> ()
+        | Some file ->
+          Out_channel.with_open_bin file (fun oc ->
+              Out_channel.output_string oc (Trace.chrome tr);
+              Out_channel.output_char oc '\n');
+          Fmt.pr "wrote %s@." file);
+        `Ok ())
+  in
+  let doc =
+    "Run the full PET pipeline once on a rule set — compile the engine, \
+     build the MAS atlas, produce one consent report — under a \
+     request-scoped trace capture, and print the span tree with exact \
+     per-entry timings (what happened, in order — where $(b,pet \
+     profile) prints aggregates). The capture carries only identifiers \
+     (source name, backend), never form data."
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc)
+    Term.(
+      ret
+        (const run $ source_arg $ backend_arg $ payoff_arg $ chrome_arg
+       $ deterministic_arg))
+
+(* --- bench diff -------------------------------------------------------------------- *)
+
+let bench_cmd =
+  let diff_cmd =
+    let file_arg index docv which =
+      let doc = Printf.sprintf "The %s BENCH_*.json file." which in
+      Arg.(required & pos index (some string) None & info [] ~docv ~doc)
+    in
+    let threshold_arg =
+      let doc =
+        "Fractional change (in percent) past which a directional value \
+         counts as a regression."
+      in
+      Arg.(value & opt float 25. & info [ "threshold" ] ~docv:"PCT" ~doc)
+    in
+    let run old_file new_file threshold =
+      let load file =
+        match In_channel.with_open_text file In_channel.input_all with
+        | exception Sys_error m -> Error m
+        | contents -> (
+          match Json.parse contents with
+          | Ok json -> Ok json
+          | Error m -> Error (Printf.sprintf "%s: %s" file m))
+      in
+      match (load old_file, load new_file) with
+      | Error m, _ | _, Error m -> `Error (false, m)
+      | Ok old_json, Ok new_json ->
+        let findings =
+          Pet_pet.Benchdiff.diff ~threshold:(threshold /. 100.) old_json
+            new_json
+        in
+        Fmt.pr "%s" (Pet_pet.Benchdiff.render findings);
+        if Pet_pet.Benchdiff.has_regression findings then
+          `Error (false, "performance regression past the threshold")
+        else `Ok ()
+    in
+    let doc =
+      "Compare two bench summaries (BENCH_*.json) and exit non-zero if \
+       any throughput dropped or any cost grew by more than \
+       $(b,--threshold) percent. Keys are classified by name: \
+       $(i,…per_s…)/$(i,…rate…) must not drop; $(i,…_s), $(i,…_ms), \
+       $(i,…seconds…), $(i,…overhead…), $(i,…latency…), $(i,…errors…) \
+       must not grow; everything else is informational."
+    in
+    Cmd.v
+      (Cmd.info "diff" ~doc)
+      Term.(
+        ret
+          (const run
+          $ file_arg 0 "OLD" "baseline"
+          $ file_arg 1 "NEW" "candidate"
+          $ threshold_arg))
+  in
+  let doc =
+    "Work with the bench harness's machine-readable output (the \
+     BENCH_*.json files written by $(b,dune exec bench/main.exe))."
+  in
+  Cmd.group (Cmd.info "bench" ~doc) [ diff_cmd ]
+
 (* --- main -------------------------------------------------------------------------- *)
 
 let () =
@@ -1070,4 +1261,6 @@ let () =
             serve_cmd;
             store_cmd;
             profile_cmd;
+            trace_cmd;
+            bench_cmd;
           ]))

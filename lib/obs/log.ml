@@ -1,0 +1,80 @@
+type level = Debug | Info | Warn | Error
+
+let level_name = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+let level_of_string s =
+  match String.lowercase_ascii s with
+  | "debug" -> Some Debug
+  | "info" -> Some Info
+  | "warn" | "warning" -> Some Warn
+  | "error" -> Some Error
+  | _ -> None
+
+let rank = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+
+let min_level = ref Info
+let set_level l = min_level := l
+let level () = !min_level
+
+let json = ref false
+let set_json b = json := b
+
+let sink = ref prerr_endline
+let set_sink f = sink := f
+
+(* Reuse the trace exporter's escaping so both captures and logs render
+   strings identically. *)
+let escape = Trace.json_escape
+
+let json_value = function
+  | Trace.String s -> Printf.sprintf {|"%s"|} (escape s)
+  | Trace.Int i -> string_of_int i
+  | Trace.Bool b -> string_of_bool b
+  | Trace.Float f -> Printf.sprintf "%.6f" f
+
+let human_value = function
+  | Trace.String s -> Printf.sprintf "%S" s
+  | Trace.Int i -> string_of_int i
+  | Trace.Bool b -> string_of_bool b
+  | Trace.Float f -> Printf.sprintf "%.6f" f
+
+let log lvl ?(fields = []) event =
+  if rank lvl >= rank !min_level then begin
+    let trace = Trace.current () in
+    let line =
+      if !json then
+        let buf = Buffer.create 128 in
+        let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+        addf {|{"ts":%.6f,"level":"%s","event":"%s"|} (Metrics.now ())
+          (level_name lvl) (escape event);
+        Option.iter (fun id -> addf {|,"trace":"%s"|} (escape id)) trace;
+        List.iter
+          (fun (k, v) -> addf {|,"%s":%s|} (escape k) (json_value v))
+          fields;
+        Buffer.add_char buf '}';
+        Buffer.contents buf
+      else
+        let buf = Buffer.create 128 in
+        Buffer.add_string buf
+          (Printf.sprintf "[%s] %s" (level_name lvl) event);
+        Option.iter
+          (fun id -> Buffer.add_string buf (Printf.sprintf " trace=%s" id))
+          trace;
+        List.iter
+          (fun (k, v) ->
+            Buffer.add_string buf
+              (Printf.sprintf " %s=%s" k (human_value v)))
+          fields;
+        Buffer.contents buf
+    in
+    !sink line
+  end
+
+let debug ?fields event = log Debug ?fields event
+let info ?fields event = log Info ?fields event
+let warn ?fields event = log Warn ?fields event
+let error ?fields event = log Error ?fields event

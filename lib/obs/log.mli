@@ -1,0 +1,49 @@
+(** Leveled structured logging, correlated with {!Trace}.
+
+    One event per line, machine-splittable in both shapes:
+    - human (default): [[level] event key=value …]
+    - JSON (set {!set_json}):
+      [{"ts":…,"level":"…","event":"…","trace":"…",key:value,…}]
+
+    Every line logged while a trace capture is running carries that
+    trace's id (the [trace=…] key / ["trace"] field), so an operator can
+    jump from a log line to the matching [trace get] capture and back.
+    Fields use the closed {!Trace.value} type — like trace annotations,
+    logs carry identifiers, never valuations (DESIGN.md §12).
+
+    The timestamp is read from {!Metrics.now} and only in JSON mode, so
+    a deterministic run ([pet serve --deterministic]) logs byte-stable
+    lines in either shape: the human shape reads no clock at all, the
+    JSON shape reads the logical obs clock.
+
+    Lines go to the sink (default: standard error, line-buffered via
+    [prerr_endline]); tests and embedders install their own with
+    {!set_sink}. Events below {!level} cost one comparison. *)
+
+type level = Debug | Info | Warn | Error
+
+val level_name : level -> string
+(** ["debug"], ["info"], ["warn"], ["error"]. *)
+
+val level_of_string : string -> level option
+(** Inverse of {!level_name} (case-insensitive). *)
+
+val set_level : level -> unit
+(** Minimum level that is emitted (default [Info]). *)
+
+val level : unit -> level
+
+val set_json : bool -> unit
+(** Emit JSON object lines instead of the human shape (default false). *)
+
+val set_sink : (string -> unit) -> unit
+(** Replace the line consumer (the line has no trailing newline).
+    Default writes to standard error. *)
+
+val log : level -> ?fields:(string * Trace.value) list -> string -> unit
+(** [log lvl ~fields event] emits one line if [lvl >= level ()]. *)
+
+val debug : ?fields:(string * Trace.value) list -> string -> unit
+val info : ?fields:(string * Trace.value) list -> string -> unit
+val warn : ?fields:(string * Trace.value) list -> string -> unit
+val error : ?fields:(string * Trace.value) list -> string -> unit

@@ -23,6 +23,18 @@ let make_frame name =
 let root = make_frame "<root>"
 let stack = ref [ root ]
 
+(* A secondary recorder (installed by {!Trace} while a request-scoped
+   capture is active) sees every span entry and exit with the timestamps
+   this module already read — attaching a trace costs no extra clock
+   reads on the span path. *)
+type recorder = {
+  r_enter : string -> float -> unit;  (** name, start time *)
+  r_exit : float -> unit;  (** end time of the innermost open span *)
+}
+
+let recorder : recorder option ref = ref None
+let set_recorder r = recorder := r
+
 let child_of parent name =
   match Hashtbl.find_opt parent.kid_index name with
   | Some f -> f
@@ -40,9 +52,12 @@ let enter name f =
     frame.fcount <- frame.fcount + 1;
     stack := frame :: !stack;
     let t0 = Metrics.now () in
+    (match !recorder with Some r -> r.r_enter name t0 | None -> ());
     Fun.protect
       ~finally:(fun () ->
-        frame.ftotal <- frame.ftotal +. (Metrics.now () -. t0);
+        let t1 = Metrics.now () in
+        frame.ftotal <- frame.ftotal +. (t1 -. t0);
+        (match !recorder with Some r -> r.r_exit t1 | None -> ());
         match !stack with _ :: rest -> stack := rest | [] -> ())
       f
   end
@@ -71,6 +86,15 @@ let roots () = List.rev_map node_of root.kids_rev
 let total () = List.fold_left (fun acc n -> acc +. n.total) 0. (roots ())
 
 let reset () =
+  (match !stack with
+  | [] | [ _ ] -> ()
+  | stack ->
+    invalid_arg
+      (Printf.sprintf
+         "Span.reset: %d span(s) still open (innermost %S) — reset may only \
+          run between spans"
+         (List.length stack - 1)
+         (match stack with f :: _ -> f.fname | [] -> "?")));
   root.kids_rev <- [];
   Hashtbl.reset root.kid_index;
   stack := [ root ]

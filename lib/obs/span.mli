@@ -42,7 +42,28 @@ val total : unit -> float
 (** Sum of the root totals — the instrumented wall-clock. *)
 
 val reset : unit -> unit
-(** Drop all recorded spans. Must not be called while a span is open. *)
+(** Drop all recorded spans. Must not be called while a span is open:
+    doing so raises [Invalid_argument] naming the innermost open span
+    (silently resetting under an open span would corrupt the stack and
+    double-count its eventual exit). *)
+
+(** {1 Recorders}
+
+    A recorder is a secondary listener on the span stream — {!Trace}
+    installs one while a request-scoped capture is active, so per-request
+    trees can be cut out of the same instrumentation without touching the
+    global aggregate. Timestamps are the ones {!enter} already read;
+    recording adds no clock reads. *)
+
+type recorder = {
+  r_enter : string -> float -> unit;  (** span name and start time *)
+  r_exit : float -> unit;  (** end time of the innermost open span *)
+}
+
+val set_recorder : recorder option -> unit
+(** Install (or with [None] remove) the recorder. At most one is active;
+    installing while spans are open is allowed — the recorder simply
+    sees exits it never saw enter, and must tolerate them. *)
 
 val render : ?out_total:float -> unit -> string
 (** ASCII tree of {!roots} with per-node totals, self-time and percent

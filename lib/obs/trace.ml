@@ -1,0 +1,304 @@
+type value = String of string | Int of int | Bool of bool | Float of float
+
+type span = {
+  name : string;
+  start : float;
+  dur : float;
+  children : span list;
+}
+
+type t = {
+  id : string;
+  started : float;
+  duration : float;
+  slow : bool;
+  annotations : (string * value) list;
+  spans : span list;
+}
+
+(* --- Switch and configuration ------------------------------------------------ *)
+
+let on = ref false
+let enabled () = !on
+let enable () = on := true
+let disable () = on := false
+
+let threshold = ref infinity
+let set_slow_threshold s = threshold := s
+let slow_threshold () = !threshold
+
+(* --- Rings ------------------------------------------------------------------- *)
+
+(* A fixed-size overwrite-oldest ring. [next] is the slot the next add
+   writes; once [filled] the slot being overwritten is an eviction. *)
+type ring = {
+  mutable buf : t option array;
+  mutable next : int;
+  mutable filled : bool;
+  mutable evicted : int;
+}
+
+let ring_make cap =
+  if cap <= 0 then invalid_arg "Trace: ring capacity must be positive";
+  { buf = Array.make cap None; next = 0; filled = false; evicted = 0 }
+
+let ring_add r x =
+  if r.filled then r.evicted <- r.evicted + 1;
+  r.buf.(r.next) <- Some x;
+  r.next <- r.next + 1;
+  if r.next = Array.length r.buf then begin
+    r.next <- 0;
+    r.filled <- true
+  end
+
+(* Newest first: walk backwards from the slot before [next]. *)
+let ring_list r =
+  let cap = Array.length r.buf in
+  let n = if r.filled then cap else r.next in
+  List.filter_map
+    (fun i -> r.buf.((r.next - 1 - i + (2 * cap)) mod cap))
+    (List.init n Fun.id)
+
+let recent_ring = ref (ring_make 64)
+let slow_ring = ref (ring_make 32)
+
+let configure ?(recent = 64) ?(slow = 32) () =
+  recent_ring := ring_make recent;
+  slow_ring := ring_make slow
+
+(* --- Capture ----------------------------------------------------------------- *)
+
+(* The tree under construction: one mutable frame per open or closed
+   span. Unlike {!Span}'s aggregate frames, repeated entries of the same
+   name become distinct nodes — a trace shows what happened, in order,
+   not a rollup. *)
+type bframe = {
+  bname : string;
+  bstart : float;
+  mutable bdur : float;
+  mutable bkids_rev : bframe list;
+}
+
+type active = {
+  aid : string;
+  astart : float;
+  mutable aroots_rev : bframe list;
+  mutable astack : bframe list;
+  mutable anns_rev : (string * value) list;
+}
+
+let active : active option ref = ref None
+
+let ids = ref 0
+
+let generate_id () =
+  let id = Printf.sprintf "t%d" !ids in
+  incr ids;
+  id
+
+let annotate key v =
+  match !active with
+  | None -> ()
+  | Some a -> a.anns_rev <- (key, v) :: a.anns_rev
+
+let current () = match !active with None -> None | Some a -> Some a.aid
+
+let on_enter a name t0 =
+  let frame = { bname = name; bstart = t0; bdur = 0.; bkids_rev = [] } in
+  (match a.astack with
+  | parent :: _ -> parent.bkids_rev <- frame :: parent.bkids_rev
+  | [] -> a.aroots_rev <- frame :: a.aroots_rev);
+  a.astack <- frame :: a.astack
+
+let on_exit a t1 =
+  match a.astack with
+  | frame :: rest ->
+    frame.bdur <- t1 -. frame.bstart;
+    a.astack <- rest
+  | [] -> ()
+(* an exit whose enter predates the recorder: ignore *)
+
+let rec node_of frame =
+  {
+    name = frame.bname;
+    start = frame.bstart;
+    dur = frame.bdur;
+    children = List.rev_map node_of frame.bkids_rev;
+  }
+
+let run ~id f =
+  if not !on then f ()
+  else
+    match !active with
+    | Some _ -> f () (* nested capture joins the enclosing trace *)
+    | None ->
+      let a =
+        {
+          aid = id;
+          astart = Metrics.now ();
+          aroots_rev = [];
+          astack = [];
+          anns_rev = [];
+        }
+      in
+      active := Some a;
+      Span.set_recorder
+        (Some { Span.r_enter = on_enter a; r_exit = on_exit a });
+      Fun.protect
+        ~finally:(fun () ->
+          Span.set_recorder None;
+          active := None;
+          let finish = Metrics.now () in
+          (* Frames an exception left open close at the capture end —
+             the span's own protect already ran, so this only fires if
+             the recorder was torn down mid-span. *)
+          List.iter (fun fr -> fr.bdur <- finish -. fr.bstart) a.astack;
+          let duration = finish -. a.astart in
+          let slow = duration >= !threshold in
+          let trace =
+            {
+              id = a.aid;
+              started = a.astart;
+              duration;
+              slow;
+              annotations = List.rev a.anns_rev;
+              spans = List.rev_map node_of a.aroots_rev;
+            }
+          in
+          ring_add !recent_ring trace;
+          if slow then ring_add !slow_ring trace)
+        f
+
+(* --- Completed traces --------------------------------------------------------- *)
+
+let recent () = ring_list !recent_ring
+let slow () = ring_list !slow_ring
+
+let find id =
+  let by_id t = t.id = id in
+  match List.find_opt by_id (ring_list !recent_ring) with
+  | Some _ as found -> found
+  | None -> List.find_opt by_id (ring_list !slow_ring)
+
+let evictions () = (!recent_ring.evicted, !slow_ring.evicted)
+
+let reset () =
+  let reset_ring r =
+    Array.fill r.buf 0 (Array.length r.buf) None;
+    r.next <- 0;
+    r.filled <- false;
+    r.evicted <- 0
+  in
+  reset_ring !recent_ring;
+  reset_ring !slow_ring;
+  ids := 0
+
+(* --- Export -------------------------------------------------------------------- *)
+
+let value_str = function
+  | String s -> Printf.sprintf "%S" s
+  | Int i -> string_of_int i
+  | Bool b -> string_of_bool b
+  | Float f -> Printf.sprintf "%.6f" f
+
+let render t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "trace %s%s duration=%.6fs\n" t.id
+       (if t.slow then " (slow)" else "")
+       t.duration);
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string buf (Printf.sprintf "  %s=%s\n" k (value_str v)))
+    t.annotations;
+  let rec go prefix is_last s =
+    let branch, extend =
+      ( (prefix ^ if is_last then "`-- " else "|-- "),
+        (prefix ^ if is_last then "    " else "|   ") )
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "%s%-*s +%.6fs dur=%.6fs\n" branch
+         (max 1 (32 - String.length branch))
+         s.name
+         (s.start -. t.started)
+         s.dur);
+    let rec kids = function
+      | [] -> ()
+      | [ last ] -> go extend true last
+      | k :: rest ->
+        go extend false k;
+        kids rest
+    in
+    kids s.children
+  in
+  let rec tops = function
+    | [] -> ()
+    | [ last ] -> go "" true last
+    | s :: rest ->
+      go "" false s;
+      tops rest
+  in
+  tops t.spans;
+  Buffer.contents buf
+
+(* Minimal JSON string escaping — enough for span names and annotation
+   values (which are identifiers and digests, but a hostile rule-set
+   name must not break the export). *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Timestamps relative to the trace start, in microseconds — what the
+   trace_event format expects. %.3f keeps sub-microsecond precision and
+   byte-stability under a logical clock. *)
+let us t0 t = Printf.sprintf "%.3f" ((t -. t0) *. 1e6)
+
+let chrome t =
+  let buf = Buffer.create 1024 in
+  let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let sep = ref "" in
+  let event ~name ~ts ~dur ~args =
+    addf
+      {|%s{"name":"%s","cat":"pet","ph":"X","pid":1,"tid":1,"ts":%s,"dur":%s%s}|}
+      !sep (json_escape name) ts dur
+      (match args with "" -> "" | a -> Printf.sprintf {|,"args":{%s}|} a);
+    sep := ","
+  in
+  Buffer.add_string buf {|{"displayTimeUnit":"ms","traceEvents":[|};
+  let args =
+    String.concat ","
+      (Printf.sprintf {|"trace_id":"%s"|} (json_escape t.id)
+      :: List.map
+           (fun (k, v) ->
+             Printf.sprintf {|"%s":%s|} (json_escape k)
+               (match v with
+               | String s -> Printf.sprintf {|"%s"|} (json_escape s)
+               | Int i -> string_of_int i
+               | Bool b -> string_of_bool b
+               | Float f -> Printf.sprintf "%.6f" f))
+           t.annotations)
+  in
+  event ~name:"request" ~ts:"0.000"
+    ~dur:(Printf.sprintf "%.3f" (t.duration *. 1e6))
+    ~args;
+  let rec walk s =
+    event ~name:s.name ~ts:(us t.started s.start)
+      ~dur:(Printf.sprintf "%.3f" (s.dur *. 1e6))
+      ~args:"";
+    List.iter walk s.children
+  in
+  List.iter walk t.spans;
+  Buffer.add_string buf "]}";
+  Buffer.contents buf

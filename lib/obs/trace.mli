@@ -1,0 +1,128 @@
+(** Request-scoped tracing: per-request span trees with typed
+    annotations, kept in fixed-size rings and exportable as a readable
+    tree or Chrome [trace_event] JSON.
+
+    {!Metrics} and {!Span} answer "what does the process do overall";
+    a trace answers "what did {e this request} do": which spans ran, in
+    what order, how long each took, and a handful of typed annotations
+    (wire method, rule-set digest, backend, session id). Annotations are
+    the {e only} free-form data a trace carries, and call sites only
+    annotate identifiers — a raw valuation is never representable as a
+    span name and never passed as an annotation, so captures are
+    valuation-free by construction (DESIGN.md §12; a test greps captures
+    for bit-vectors after a full workflow).
+
+    Completed traces land in two rings: every trace in the [recent]
+    ring, and those at least {!slow_threshold} seconds long also in the
+    [slow] ring, so a burst of fast requests cannot flush the one slow
+    request an operator is hunting. Both rings evict oldest-first and
+    count their evictions.
+
+    Like the rest of the layer this module is single-threaded and
+    clock-agnostic (it reads {!Metrics.now}, two reads per traced
+    request). Tracing has its own switch on top of the global one:
+    {!run} is a single branch when disabled, and span capture
+    piggybacks on the timestamps {!Span.enter} already reads. *)
+
+(** {1 Switch and configuration} *)
+
+val enabled : unit -> bool
+
+val enable : unit -> unit
+(** Turn tracing on. Spans are only captured while {!Metrics.enabled}
+    is also true — the span instrumentation itself is behind the global
+    switch. *)
+
+val disable : unit -> unit
+
+val set_slow_threshold : float -> unit
+(** Traces lasting at least this many seconds are also kept in the slow
+    ring (default [infinity]: nothing is classified slow). [0.] keeps
+    every trace — useful for deterministic transcripts. *)
+
+val slow_threshold : unit -> float
+
+val configure : ?recent:int -> ?slow:int -> unit -> unit
+(** Resize the rings (default 64 recent, 32 slow), dropping current
+    contents and zeroing the eviction counters. Capacities must be
+    positive. *)
+
+(** {1 Capturing} *)
+
+val generate_id : unit -> string
+(** Sequential ids ["t0"], ["t1"], … — deterministic by design, like
+    session ids: they correlate a transcript, they are not secrets. *)
+
+val run : id:string -> (unit -> 'a) -> 'a
+(** [run ~id f] runs [f] capturing one trace: every {!Span.enter} under
+    it becomes a node of the trace's own tree (exact per-entry timings,
+    not aggregates), and {!annotate} attaches fields to it. The capture
+    is completed — classified, ring-buffered — even if [f] raises.
+    When tracing is disabled this is one branch and a tail call of [f];
+    a nested [run] joins the enclosing capture instead of starting a
+    second one. *)
+
+type value = String of string | Int of int | Bool of bool | Float of float
+(** The closed annotation type: call sites cannot smuggle structures
+    (or valuations) into a capture, only tagged scalars. *)
+
+val annotate : string -> value -> unit
+(** Attach a field to the active trace; a no-op when no trace is
+    running. Annotation order is preserved. *)
+
+val current : unit -> string option
+(** The active trace id, if any — {!Log} stamps it on every line logged
+    while a request is being traced. *)
+
+(** {1 Completed traces} *)
+
+type span = {
+  name : string;
+  start : float;  (** seconds since the trace started *)
+  dur : float;
+  children : span list;  (** in entry order *)
+}
+
+type t = {
+  id : string;
+  started : float;  (** clock reading at capture start *)
+  duration : float;
+  slow : bool;  (** duration reached {!slow_threshold} at capture time *)
+  annotations : (string * value) list;
+  spans : span list;  (** top-level spans, in entry order *)
+}
+
+val recent : unit -> t list
+(** Ring contents, newest first. *)
+
+val slow : unit -> t list
+(** Slow-ring contents, newest first. *)
+
+val find : string -> t option
+(** Look a trace up by id in either ring. *)
+
+val evictions : unit -> int * int
+(** Traces evicted so far from (recent, slow) — how much history the
+    rings have already forgotten. *)
+
+val reset : unit -> unit
+(** Empty both rings, zero the eviction counters and restart the id
+    sequence. Does not change {!enabled}, the threshold or capacities. *)
+
+(** {1 Export} *)
+
+val render : t -> string
+(** Readable multi-line form: an id/duration/annotations header, then
+    the span tree with [%.6f] durations — byte-stable under a logical
+    clock. *)
+
+val chrome : t -> string
+(** The trace as Chrome [trace_event] JSON (one complete — ["ph":"X"] —
+    event per span plus one for the whole request, microsecond
+    timestamps relative to the trace start), loadable in
+    [chrome://tracing] and Perfetto. Self-contained JSON text; this
+    module has no JSON library and needs none. *)
+
+val json_escape : string -> string
+(** JSON string-body escaping (quotes, backslashes, control characters)
+    shared with {!Log} so captures and log lines render identically. *)

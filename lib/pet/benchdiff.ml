@@ -1,0 +1,114 @@
+type direction = Higher_better | Lower_better | Info
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let ends_with s suffix =
+  let ns = String.length s and nx = String.length suffix in
+  ns >= nx && String.sub s (ns - nx) nx = suffix
+
+(* Throughput patterns are tested first: "requests_per_s" ends in "_s"
+   but is a rate, not a duration. *)
+let direction_of_key key =
+  let k = String.lowercase_ascii key in
+  if contains k "per_s" || contains k "rate" then Higher_better
+  else if
+    ends_with k "_s" || ends_with k "_ms" || contains k "seconds"
+    || contains k "overhead" || contains k "latency" || contains k "errors"
+  then Lower_better
+  else Info
+
+type finding = {
+  path : string;
+  old_value : float;
+  new_value : float;
+  change : float;
+  direction : direction;
+  regression : bool;
+}
+
+let number = function
+  | Json.Int i -> Some (float_of_int i)
+  | Json.Float f -> Some f
+  | Json.Null | Json.Bool _ | Json.String _ | Json.List _ | Json.Obj _ -> None
+
+let diff ?(threshold = 0.25) old_json new_json =
+  let findings = ref [] in
+  let leaf path key old_value new_value =
+    let change =
+      if old_value = new_value then 0.
+      else if old_value = 0. then infinity
+      else (new_value -. old_value) /. old_value
+    in
+    let direction = direction_of_key key in
+    let regression =
+      match direction with
+      | Higher_better -> change < -.threshold
+      | Lower_better -> change > threshold
+      | Info -> false
+    in
+    findings :=
+      { path; old_value; new_value; change; direction; regression }
+      :: !findings
+  in
+  let rec walk path key o n =
+    match (o, n) with
+    | Json.Obj olds, Json.Obj news ->
+      List.iter
+        (fun (k, ov) ->
+          match List.assoc_opt k news with
+          | Some nv -> walk (path ^ "." ^ k) k ov nv
+          | None -> ())
+        olds
+    | Json.List olds, Json.List news ->
+      List.iteri
+        (fun i ov ->
+          match List.nth_opt news i with
+          | Some nv -> walk (Printf.sprintf "%s[%d]" path i) key ov nv
+          | None -> ())
+        olds
+    | o, n -> (
+      match (number o, number n) with
+      | Some ov, Some nv -> leaf path key ov nv
+      | _ -> ())
+  in
+  (match (old_json, new_json) with
+  | Json.Obj _, Json.Obj _ | Json.List _, Json.List _ ->
+    walk "" "" old_json new_json
+  | o, n -> walk "value" "value" o n);
+  List.rev !findings
+
+let has_regression = List.exists (fun f -> f.regression)
+
+let render findings =
+  let buf = Buffer.create 256 in
+  let directional =
+    List.filter (fun f -> f.direction <> Info) findings
+  in
+  let pct f =
+    if f.change = infinity then "+inf%"
+    else Printf.sprintf "%+.1f%%" (100. *. f.change)
+  in
+  List.iter
+    (fun f ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-12s %-48s %14.6g -> %14.6g  %s\n"
+           (if f.regression then "REGRESSION" else "ok")
+           f.path f.old_value f.new_value (pct f)))
+    directional;
+  let info = List.length findings - List.length directional in
+  if info > 0 then
+    Buffer.add_string buf
+      (Printf.sprintf "(%d informational value(s) compared)\n" info);
+  let regressions = List.filter (fun f -> f.regression) directional in
+  Buffer.add_string buf
+    (match regressions with
+    | [] ->
+      Printf.sprintf "no regressions across %d directional value(s)\n"
+        (List.length directional)
+    | rs ->
+      Printf.sprintf "%d regression(s) across %d directional value(s)\n"
+        (List.length rs) (List.length directional));
+  Buffer.contents buf

@@ -1,0 +1,47 @@
+(** Perf-trajectory comparison of two BENCH_*.json files.
+
+    The bench harness writes machine-readable summaries
+    ([BENCH_server.json], [BENCH_obs.json], [BENCH_store.json]); this
+    module walks two such documents in parallel, compares every numeric
+    leaf that appears in both, and classifies each change using the
+    key's name: throughput keys ([…per_s…], […rate…]) should not drop,
+    cost keys ([…_s], […_ms], […seconds…], […overhead…], […latency…],
+    […errors…]) should not grow, and everything else ([requests],
+    [respondents], …) is informational. A change past the threshold in
+    the bad direction is a regression — [pet bench diff] prints the
+    findings and exits non-zero on any, which is the CI perf-smoke
+    gate. *)
+
+type direction =
+  | Higher_better  (** throughput: a drop is a regression *)
+  | Lower_better  (** cost: a rise is a regression *)
+  | Info  (** compared and reported, never a regression *)
+
+val direction_of_key : string -> direction
+(** Classification by key name alone (case-insensitive). Throughput
+    patterns win over cost patterns, so [requests_per_s] is
+    [Higher_better] despite ending in [_s]. *)
+
+type finding = {
+  path : string;  (** dotted path to the leaf, [\[i\]] for list indices *)
+  old_value : float;
+  new_value : float;
+  change : float;
+      (** signed fractional change [(new - old) / old]; [infinity] when
+          the old value was zero and the new one is not *)
+  direction : direction;
+  regression : bool;
+}
+
+val diff : ?threshold:float -> Json.t -> Json.t -> finding list
+(** Compare every numeric leaf present in both documents (objects match
+    by key, arrays by index; leaves present on only one side are
+    ignored). [threshold] is the fractional change past which a
+    directional finding becomes a regression (default [0.25] = 25%). *)
+
+val has_regression : finding list -> bool
+
+val render : finding list -> string
+(** Human summary: one line per directional finding (regressions marked
+    [REGRESSION]), then a count of informational changes and a verdict
+    line. *)

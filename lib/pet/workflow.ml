@@ -18,6 +18,12 @@ let provider ?(backend = Engine.Bdd) ?(payoff = Pet_game.Payoff.Blank) exposure
   let atlas = Atlas.build engine in
   let profile = Strategy.compute ~payoff atlas in
   Engine.sync_obs engine;
+  (* If a request trace is being captured, record what was built —
+     sizes and the backend name, never form contents. *)
+  Pet_obs.Trace.annotate "provider.backend"
+    (Pet_obs.Trace.String (Engine.backend_name backend));
+  Pet_obs.Trace.annotate "provider.players"
+    (Pet_obs.Trace.Int (Atlas.player_count atlas));
   let weights =
     match payoff with Pet_game.Payoff.Weighted w -> Some w | _ -> None
   in

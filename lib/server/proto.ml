@@ -5,6 +5,8 @@ let version = 1
 type rules_ref = Text of string | Source of string | Digest of string
 type choice_ref = Index of int | Mas of string
 type metrics_format = Mjson | Mprometheus
+type trace_query = Tlast | Tslow | Tget of string
+type trace_format = Ttree | Tchrome
 
 type request =
   | Publish_rules of rules_ref
@@ -15,6 +17,7 @@ type request =
   | Audit of rules_ref
   | Stats
   | Metrics of metrics_format
+  | Trace_req of { query : trace_query; format : trace_format }
 
 type code =
   | Parse_error
@@ -47,7 +50,7 @@ type error = { code : code; message : string }
 let error code message = { code; message }
 let errorf code fmt = Printf.ksprintf (error code) fmt
 
-type envelope = { id : Json.t; request : request }
+type envelope = { id : Json.t; trace : string option; request : request }
 
 let method_name = function
   | Publish_rules _ -> "publish_rules"
@@ -58,6 +61,7 @@ let method_name = function
   | Audit _ -> "audit"
   | Stats -> "stats"
   | Metrics _ -> "metrics"
+  | Trace_req _ -> "trace"
 
 (* --- Decoding --------------------------------------------------------------- *)
 
@@ -141,6 +145,42 @@ let decode_request name params =
            "unknown metrics format %S (expected \"json\" or \"prometheus\")"
            other)
     | Some _ -> Error (error Invalid_params "\"format\" must be a string"))
+  | "trace" ->
+    let* query =
+      match (Json.member "which" params, Json.member "id" params) with
+      | (None | Some (Json.String "last")), None -> Ok Tlast
+      | Some (Json.String "slow"), None -> Ok Tslow
+      | Some (Json.String "get"), Some (Json.String id) -> Ok (Tget id)
+      | Some (Json.String "get"), Some _ ->
+        Error (error Invalid_params "\"id\" must be a string")
+      | Some (Json.String "get"), None ->
+        Error (error Invalid_params "\"which\":\"get\" requires an \"id\"")
+      | None, Some (Json.String id) -> Ok (Tget id)
+      | _, Some _ when Json.member "which" params <> None ->
+        Error
+          (error Invalid_params
+             "\"id\" only applies to \"which\":\"get\"")
+      | Some (Json.String other), _ ->
+        Error
+          (errorf Invalid_params
+             "unknown trace query %S (expected \"last\", \"slow\" or \
+              \"get\")"
+             other)
+      | Some _, _ -> Error (error Invalid_params "\"which\" must be a string")
+      | None, Some _ -> Error (error Invalid_params "\"id\" must be a string")
+    in
+    let* format =
+      match Json.member "format" params with
+      | None | Some (Json.String "tree") -> Ok Ttree
+      | Some (Json.String "chrome") -> Ok Tchrome
+      | Some (Json.String other) ->
+        Error
+          (errorf Invalid_params
+             "unknown trace format %S (expected \"tree\" or \"chrome\")"
+             other)
+      | Some _ -> Error (error Invalid_params "\"format\" must be a string")
+    in
+    Ok (Trace_req { query; format })
   | other -> Error (errorf Unknown_method "unknown method %S" other)
 
 let max_line_bytes = 1 lsl 20
@@ -149,18 +189,26 @@ let decode line =
   if String.length line > max_line_bytes then
     Error
       ( Json.Null,
+        None,
         errorf Invalid_request "oversized request line (%d bytes, max %d)"
           (String.length line) max_line_bytes )
   else
   match Json.parse line with
-  | Error m -> Error (Json.Null, error Parse_error m)
+  | Error m -> Error (Json.Null, None, error Parse_error m)
   | Ok (Json.Obj _ as obj) -> (
     let id =
       match Json.member "id" obj with
       | Some ((Json.Int _ | Json.String _ | Json.Null) as id) -> id
       | Some _ | None -> Json.Null
     in
-    let fail e = Error (id, e) in
+    (* Best-effort like [id]: a malformed request still gets its trace
+       id echoed so the client can correlate the error. *)
+    let trace =
+      match Json.member "trace" obj with
+      | Some (Json.String t) -> Some t
+      | Some _ | None -> None
+    in
+    let fail e = Error (id, trace, e) in
     match Json.member "pet" obj with
     | Some (Json.Int v) when v = version -> (
       match Json.member "method" obj with
@@ -175,7 +223,7 @@ let decode line =
         | Error e -> fail e
         | Ok params -> (
           match decode_request name params with
-          | Ok request -> Ok { id; request }
+          | Ok request -> Ok { id; trace; request }
           | Error e -> fail e))
       | Some _ -> fail (error Invalid_request "\"method\" must be a string")
       | None -> fail (error Invalid_request "missing \"method\""))
@@ -186,24 +234,31 @@ let decode line =
     | Some _ -> fail (error Invalid_request "\"pet\" must be an integer")
     | None ->
       fail (error Invalid_request "missing \"pet\" protocol-version field"))
-  | Ok _ -> Error (Json.Null, error Invalid_request "request must be a JSON object")
+  | Ok _ ->
+    Error (Json.Null, None, error Invalid_request "request must be a JSON object")
 
 (* --- Encoding --------------------------------------------------------------- *)
 
-let ok_response ~id result =
-  Json.to_string
-    (Json.Obj [ ("pet", Json.Int version); ("id", id); ("ok", result) ])
+let trace_field = function
+  | None -> []
+  | Some t -> [ ("trace", Json.String t) ]
 
-let error_response ~id { code; message } =
+let ok_response ~id ?trace result =
   Json.to_string
     (Json.Obj
-       [
-         ("pet", Json.Int version);
-         ("id", id);
-         ( "error",
-           Json.Obj
-             [
-               ("code", Json.String (code_name code));
-               ("message", Json.String message);
-             ] );
-       ])
+       (("pet", Json.Int version) :: ("id", id)
+       :: (trace_field trace @ [ ("ok", result) ])))
+
+let error_response ~id ?trace { code; message } =
+  Json.to_string
+    (Json.Obj
+       (("pet", Json.Int version) :: ("id", id)
+       :: trace_field trace
+       @ [
+           ( "error",
+             Json.Obj
+               [
+                 ("code", Json.String (code_name code));
+                 ("message", Json.String message);
+               ] );
+         ]))

@@ -20,7 +20,17 @@
     - [audit] — [rules], [source] or [digest]
     - [stats] — no parameters
     - [metrics] — optional [format]: ["json"] (default) or
-      ["prometheus"] *)
+      ["prometheus"]
+    - [trace] — optional [which]: ["last"] (default), ["slow"], or
+      ["get"] with [id]; optional [format]: ["tree"] (default) or
+      ["chrome"]
+
+    Any request may carry an optional ["trace":ID] string field; the
+    service echoes it on the matching response (ok {e and} error) and
+    labels the request's capture with it. Absent the field the service
+    generates an id, so responses always carry one when tracing is on.
+    Requests without the field are unchanged on the wire — the field is
+    additive and version-compatible. *)
 
 module Json = Pet_pet.Json
 
@@ -37,6 +47,16 @@ type metrics_format = Mjson | Mprometheus
 (** Response shape for the [metrics] method: a structured JSON snapshot
     or a Prometheus text exposition (shipped as one JSON string). *)
 
+type trace_query =
+  | Tlast  (** the most recently completed capture *)
+  | Tslow  (** summaries of the slow ring, plus eviction counters *)
+  | Tget of string  (** a capture by trace id *)
+
+type trace_format = Ttree | Tchrome
+(** Rendering of a returned capture: readable tree, or Chrome
+    [trace_event] JSON shipped as one string (like the Prometheus
+    exposition). *)
+
 type request =
   | Publish_rules of rules_ref
   | New_session of rules_ref
@@ -46,6 +66,7 @@ type request =
   | Audit of rules_ref
   | Stats
   | Metrics of metrics_format
+  | Trace_req of { query : trace_query; format : trace_format }
 
 type code =
   | Parse_error  (** the line is not valid JSON (message has the position) *)
@@ -67,7 +88,11 @@ type error = { code : code; message : string }
 val error : code -> string -> error
 val errorf : code -> ('a, unit, string, error) format4 -> 'a
 
-type envelope = { id : Json.t (* Int, String or Null *); request : request }
+type envelope = {
+  id : Json.t;  (** Int, String or Null *)
+  trace : string option;  (** client-supplied trace id, echoed back *)
+  request : request;
+}
 
 val method_name : request -> string
 (** The wire name, used as the stats bucket. *)
@@ -77,10 +102,13 @@ val max_line_bytes : int
     [Invalid_request] before being parsed — a hostile client cannot make
     the service buffer unbounded JSON. *)
 
-val decode : string -> (envelope, Json.t * error) result
-(** Decode one request line. On failure the best-effort request id is
-    returned alongside the error so the response can still be correlated.
-    Lines over {!max_line_bytes} are refused without parsing. *)
+val decode : string -> (envelope, Json.t * string option * error) result
+(** Decode one request line. On failure the best-effort request id and
+    trace id are returned alongside the error so the response can still
+    be correlated. Lines over {!max_line_bytes} are refused without
+    parsing. *)
 
-val ok_response : id:Json.t -> Json.t -> string
-val error_response : id:Json.t -> error -> string
+val ok_response : id:Json.t -> ?trace:string -> Json.t -> string
+val error_response : id:Json.t -> ?trace:string -> error -> string
+(** Responses carry a ["trace":ID] field exactly when [?trace] is given;
+    without it the encoding is byte-identical to the pre-trace protocol. *)

@@ -455,6 +455,7 @@ let state_events t =
 (* --- Observability ---------------------------------------------------------------- *)
 
 module Obs = Pet_obs.Metrics
+module Trace = Pet_obs.Trace
 
 (* Requests are counted on arrival (before dispatch), so a [metrics]
    response includes the request that asked for it; latencies are
@@ -477,6 +478,7 @@ let obs_lat_submit_form = latency_hist "submit_form"
 let obs_lat_audit = latency_hist "audit"
 let obs_lat_stats = latency_hist "stats"
 let obs_lat_metrics = latency_hist "metrics"
+let obs_lat_trace = latency_hist "trace"
 let obs_lat_invalid = latency_hist "invalid"
 
 let obs_latency = function
@@ -488,6 +490,7 @@ let obs_latency = function
   | "audit" -> obs_lat_audit
   | "stats" -> obs_lat_stats
   | "metrics" -> obs_lat_metrics
+  | "trace" -> obs_lat_trace
   | _ -> obs_lat_invalid
 
 let obs_registry_size = Obs.gauge "pet_registry_engines"
@@ -553,6 +556,81 @@ let metrics_payload t format =
                (fun (n, h) -> (n, json_of_hist h))
                snapshot.Obs.histograms) );
       ]
+
+(* --- Traces --------------------------------------------------------------------- *)
+
+let json_of_ann = function
+  | Trace.String s -> Json.String s
+  | Trace.Int i -> Json.Int i
+  | Trace.Bool b -> Json.Bool b
+  | Trace.Float f -> Json.Float f
+
+let annotations_json (tr : Trace.t) =
+  Json.Obj (List.map (fun (k, v) -> (k, json_of_ann v)) tr.Trace.annotations)
+
+(* The Chrome export ships as one JSON string, like the Prometheus
+   exposition: the client writes it to a file and loads it in a viewer. *)
+let trace_capture_json format (tr : Trace.t) =
+  match format with
+  | Proto.Tchrome ->
+    Json.Obj
+      [
+        ("id", Json.String tr.Trace.id);
+        ("chrome", Json.String (Trace.chrome tr));
+      ]
+  | Proto.Ttree ->
+    Json.Obj
+      [
+        ("id", Json.String tr.Trace.id);
+        ("duration_s", Json.Float tr.Trace.duration);
+        ("slow", Json.Bool tr.Trace.slow);
+        ("annotations", annotations_json tr);
+        ("tree", Json.String (Trace.render tr));
+      ]
+
+(* [trace] runs while its own capture is still open, so "last" and the
+   slow listing describe the previous requests, never the [trace] call
+   itself. *)
+let trace_payload query format =
+  if not (Trace.enabled ()) then
+    Error
+      (Proto.error Proto.Bad_state
+         "tracing is disabled on this server (serve with --trace-slow)")
+  else
+    match query with
+    | Proto.Tlast -> (
+      match Trace.recent () with
+      | tr :: _ -> Ok (trace_capture_json format tr)
+      | [] -> Error (Proto.error Proto.Invalid_params "no traces captured yet"))
+    | Proto.Tget id -> (
+      match Trace.find id with
+      | Some tr -> Ok (trace_capture_json format tr)
+      | None ->
+        Error
+          (Proto.errorf Proto.Invalid_params
+             "no capture with trace id %S (never captured, or evicted)" id))
+    | Proto.Tslow ->
+      let recent_ev, slow_ev = Trace.evictions () in
+      Ok
+        (Json.Obj
+           [
+             ( "slow",
+               Json.List
+                 (List.map
+                    (fun (tr : Trace.t) ->
+                      Json.Obj
+                        [
+                          ("id", Json.String tr.Trace.id);
+                          ("duration_s", Json.Float tr.Trace.duration);
+                          ("annotations", annotations_json tr);
+                        ])
+                    (Trace.slow ())) );
+             ( "evictions",
+               Json.Obj
+                 [
+                   ("recent", Json.Int recent_ev); ("slow", Json.Int slow_ev);
+                 ] );
+           ])
 
 (* --- Stats ---------------------------------------------------------------------- *)
 
@@ -630,6 +708,7 @@ let handle_request t request ~now =
   | Proto.Audit rules -> audit t rules
   | Proto.Stats -> Ok (stats_json t)
   | Proto.Metrics format -> Ok (metrics_payload t format)
+  | Proto.Trace_req { query; format } -> trace_payload query format
 
 let record_method t name ~latency ~failed =
   let m =
@@ -647,20 +726,70 @@ let record_method t name ~latency ~failed =
   m.total_latency <- m.total_latency +. latency;
   m.max_latency <- Float.max m.max_latency latency
 
+(* Identifier annotations only: sessions, digests and source names go on
+   the capture; rule text and valuations never do (DESIGN.md §12). *)
+let annotate_request request =
+  (match request with
+  | Proto.Get_report { session; _ }
+  | Proto.Choose_option { session; _ }
+  | Proto.Submit_form { session } ->
+    Trace.annotate "session" (Trace.String session)
+  | Proto.Publish_rules _ | Proto.New_session _ | Proto.Audit _
+  | Proto.Stats | Proto.Metrics _ | Proto.Trace_req _ -> ());
+  match request with
+  | Proto.Publish_rules r | Proto.New_session r | Proto.Audit r -> (
+    match r with
+    | Proto.Digest d -> Trace.annotate "digest" (Trace.String d)
+    | Proto.Source s -> Trace.annotate "source" (Trace.String s)
+    | Proto.Text _ -> ())
+  | _ -> ()
+
 let handle_line t line =
   let start = t.now () in
   t.requests <- t.requests + 1;
   Obs.incr obs_requests;
+  let decoded = Proto.decode line in
+  let tracing = Trace.enabled () in
+  (* A client-supplied trace id is echoed even with tracing off; with
+     tracing on every request gets one, generated if absent. *)
+  let trace_id =
+    match decoded with
+    | Ok { Proto.trace = Some tid; _ } | Error (_, Some tid, _) -> Some tid
+    | _ -> if tracing then Some (Trace.generate_id ()) else None
+  in
+  let dispatch () =
+    match decoded with
+    | Error (id, _, e) ->
+      if tracing then begin
+        Trace.annotate "method" (Trace.String "invalid");
+        Trace.annotate "error" (Trace.String (Proto.code_name e.Proto.code))
+      end;
+      (id, "invalid", Error e)
+    | Ok { Proto.id; request; _ } ->
+      let name = Proto.method_name request in
+      if tracing then begin
+        Trace.annotate "method" (Trace.String name);
+        Trace.annotate "backend"
+          (Trace.String (Engine.backend_name t.backend));
+        annotate_request request
+      end;
+      let result = handle_request t request ~now:start in
+      (if tracing then
+         match result with
+         | Error e ->
+           Trace.annotate "error" (Trace.String (Proto.code_name e.Proto.code))
+         | Ok _ -> ());
+      (id, name, result)
+  in
   let id, name, result =
-    match Proto.decode line with
-    | Error (id, e) -> (id, "invalid", Error e)
-    | Ok { Proto.id; request } ->
-      (id, Proto.method_name request, handle_request t request ~now:start)
+    match trace_id with
+    | Some tid -> Trace.run ~id:tid dispatch
+    | None -> dispatch ()
   in
   let response =
     match result with
-    | Ok payload -> Proto.ok_response ~id payload
-    | Error e -> Proto.error_response ~id e
+    | Ok payload -> Proto.ok_response ~id ?trace:trace_id payload
+    | Error e -> Proto.error_response ~id ?trace:trace_id e
   in
   let finish = t.now () in
   (* Sweep after the handler, so an expired session's own lookup still

@@ -65,7 +65,16 @@ val handle_line : t -> string -> string
 (** Process one request line, return the response line (no trailing
     newline). Never raises: every failure becomes a structured protocol
     error. Also sweeps expired sessions and updates the per-endpoint
-    counters/latency aggregates reported by the [stats] method. *)
+    counters/latency aggregates reported by the [stats] method.
+
+    When {!Pet_obs.Trace} is enabled the whole dispatch runs under a
+    capture labelled with the request's trace id (client-supplied
+    ["trace"] field, else generated), annotated with identifiers only
+    (method, backend, session id, digest/source, error code), and the id
+    is echoed on the response — ok {e and} error — so a client can fetch
+    the capture with the [trace] method. With tracing disabled the only
+    per-request cost is one branch, and a client-supplied trace id is
+    still echoed. *)
 
 val stats_json : t -> Pet_pet.Json.t
 (** The [stats] payload: request totals and per-method count/error/latency

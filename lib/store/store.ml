@@ -212,7 +212,13 @@ let seal t =
     t.channel <- None;
     t.seg <- t.seg + 1;
     t.written <- 0;
-    t.sealed <- t.sealed + 1
+    t.sealed <- t.sealed + 1;
+    Pet_obs.Log.debug "store.segment_sealed"
+      ~fields:
+        [
+          ("next_segment", Pet_obs.Trace.Int t.seg);
+          ("sealed", Pet_obs.Trace.Int t.sealed);
+        ]
 
 let obs_appends = Pet_obs.Metrics.counter "pet_store_appends_total"
 let obs_append_bytes = Pet_obs.Metrics.counter "pet_store_append_bytes_total"
@@ -288,6 +294,12 @@ let compact t ~events =
       t.seg <- cover + 1;
       t.written <- 0;
       t.sealed <- 0;
+      Pet_obs.Log.debug "store.compacted"
+        ~fields:
+          [
+            ("snapshot", Pet_obs.Trace.Int cover);
+            ("removed_files", Pet_obs.Trace.Int removed);
+          ];
       removed)
 
 (* --- Offline inspection ---------------------------------------------------------------- *)

@@ -226,18 +226,18 @@ The logical clock (--deterministic) makes latencies and ids reproducible:
   > {"pet":1,"id":11,"method":"audit","params":{"source":"hcov"}}
   > {"pet":1,"id":12,"method":"stats"}
   > REQUESTS
-  {"pet":1,"id":1,"ok":{"digest":"3c35afd5c479736f19224c053ec534bb","cached":false,"predicates":12,"benefits":1,"mas":6,"eligible":1560}}
-  {"pet":1,"id":2,"ok":{"session":"s0","digest":"3c35afd5c479736f19224c053ec534bb","cached":true}}
-  {"pet":1,"id":3,"ok":{"session":"s1","digest":"3c35afd5c479736f19224c053ec534bb","cached":true}}
-  {"pet":1,"id":4,"ok":{"valuation":"000011100000","granted":["b1"],"options":[{"mas":"0_0_1110____","benefits":["b1"],"po_blank":5,"po_sm":23,"po_weighted":null,"published":[{"p1":false},{"p3":false},{"p5":true},{"p6":true},{"p7":true},{"p8":false}],"deduced":[{"p12":false}],"protected":["p2","p4","p9","p10","p11"],"crowd":24,"recommended":true}],"minimization_ratio":0.5}}
-  {"pet":1,"id":5,"ok":{"valuation":"000011100111","granted":["b1"],"options":[{"mas":"0__________1","benefits":["b1"],"po_blank":10,"po_sm":1023,"po_weighted":null,"published":[{"p1":false},{"p12":true}],"deduced":[],"protected":["p2","p3","p4","p5","p6","p7","p8","p9","p10","p11"],"crowd":1024,"recommended":true},{"mas":"0_0__1___11_","benefits":["b1"],"po_blank":7,"po_sm":64,"po_weighted":null,"published":[{"p1":false},{"p3":false},{"p6":true},{"p10":true},{"p11":true}],"deduced":[],"protected":["p2","p4","p5","p7","p8","p9","p12"],"crowd":65,"recommended":false},{"mas":"0_0_1110____","benefits":["b1"],"po_blank":6,"po_sm":24,"po_weighted":null,"published":[{"p1":false},{"p3":false},{"p5":true},{"p6":true},{"p7":true},{"p8":false}],"deduced":[],"protected":["p2","p4","p9","p10","p11","p12"],"crowd":25,"recommended":false}],"minimization_ratio":0.83333333333333337}}
-  {"pet":1,"id":6,"ok":{"mas":"0__________1","benefits":["b1"]}}
-  {"pet":1,"id":7,"ok":{"mas":"0_0_1110____","benefits":["b1"]}}
-  {"pet":1,"id":8,"ok":{"grant":0,"form":"0_0_1110____","benefits":["b1"]}}
-  {"pet":1,"id":9,"ok":{"grant":1,"form":"0__________1","benefits":["b1"]}}
-  {"pet":1,"id":10,"error":{"code":"bad_state","message":"cannot get_report a session in state \"submitted\""}}
-  {"pet":1,"id":11,"ok":{"digest":"3c35afd5c479736f19224c053ec534bb","records":2,"stored_values":8,"failures":[]}}
-  {"pet":1,"id":12,"ok":{"requests":{"total":12,"by_method":{"audit":{"count":1,"errors":0,"latency_s":{"total":1,"max":1}},"choose_option":{"count":2,"errors":0,"latency_s":{"total":2,"max":1}},"get_report":{"count":3,"errors":1,"latency_s":{"total":3,"max":1}},"new_session":{"count":2,"errors":0,"latency_s":{"total":2,"max":1}},"publish_rules":{"count":1,"errors":0,"latency_s":{"total":1,"max":1}},"submit_form":{"count":2,"errors":0,"latency_s":{"total":2,"max":1}}}},"registry":{"size":1,"capacity":16,"hits":3,"misses":1,"evictions":0},"sessions":{"active":2,"created":2,"expired":0,"submitted":2},"ledger":{"rule_sets":1,"records":2,"stored_values":8}}}
+  {"pet":1,"id":1,"trace":"t0","ok":{"digest":"3c35afd5c479736f19224c053ec534bb","cached":false,"predicates":12,"benefits":1,"mas":6,"eligible":1560}}
+  {"pet":1,"id":2,"trace":"t1","ok":{"session":"s0","digest":"3c35afd5c479736f19224c053ec534bb","cached":true}}
+  {"pet":1,"id":3,"trace":"t2","ok":{"session":"s1","digest":"3c35afd5c479736f19224c053ec534bb","cached":true}}
+  {"pet":1,"id":4,"trace":"t3","ok":{"valuation":"000011100000","granted":["b1"],"options":[{"mas":"0_0_1110____","benefits":["b1"],"po_blank":5,"po_sm":23,"po_weighted":null,"published":[{"p1":false},{"p3":false},{"p5":true},{"p6":true},{"p7":true},{"p8":false}],"deduced":[{"p12":false}],"protected":["p2","p4","p9","p10","p11"],"crowd":24,"recommended":true}],"minimization_ratio":0.5}}
+  {"pet":1,"id":5,"trace":"t4","ok":{"valuation":"000011100111","granted":["b1"],"options":[{"mas":"0__________1","benefits":["b1"],"po_blank":10,"po_sm":1023,"po_weighted":null,"published":[{"p1":false},{"p12":true}],"deduced":[],"protected":["p2","p3","p4","p5","p6","p7","p8","p9","p10","p11"],"crowd":1024,"recommended":true},{"mas":"0_0__1___11_","benefits":["b1"],"po_blank":7,"po_sm":64,"po_weighted":null,"published":[{"p1":false},{"p3":false},{"p6":true},{"p10":true},{"p11":true}],"deduced":[],"protected":["p2","p4","p5","p7","p8","p9","p12"],"crowd":65,"recommended":false},{"mas":"0_0_1110____","benefits":["b1"],"po_blank":6,"po_sm":24,"po_weighted":null,"published":[{"p1":false},{"p3":false},{"p5":true},{"p6":true},{"p7":true},{"p8":false}],"deduced":[],"protected":["p2","p4","p9","p10","p11","p12"],"crowd":25,"recommended":false}],"minimization_ratio":0.83333333333333337}}
+  {"pet":1,"id":6,"trace":"t5","ok":{"mas":"0__________1","benefits":["b1"]}}
+  {"pet":1,"id":7,"trace":"t6","ok":{"mas":"0_0_1110____","benefits":["b1"]}}
+  {"pet":1,"id":8,"trace":"t7","ok":{"grant":0,"form":"0_0_1110____","benefits":["b1"]}}
+  {"pet":1,"id":9,"trace":"t8","ok":{"grant":1,"form":"0__________1","benefits":["b1"]}}
+  {"pet":1,"id":10,"trace":"t9","error":{"code":"bad_state","message":"cannot get_report a session in state \"submitted\""}}
+  {"pet":1,"id":11,"trace":"t10","ok":{"digest":"3c35afd5c479736f19224c053ec534bb","records":2,"stored_values":8,"failures":[]}}
+  {"pet":1,"id":12,"trace":"t11","ok":{"requests":{"total":12,"by_method":{"audit":{"count":1,"errors":0,"latency_s":{"total":1,"max":1}},"choose_option":{"count":2,"errors":0,"latency_s":{"total":2,"max":1}},"get_report":{"count":3,"errors":1,"latency_s":{"total":3,"max":1}},"new_session":{"count":2,"errors":0,"latency_s":{"total":2,"max":1}},"publish_rules":{"count":1,"errors":0,"latency_s":{"total":1,"max":1}},"submit_form":{"count":2,"errors":0,"latency_s":{"total":2,"max":1}}}},"registry":{"size":1,"capacity":16,"hits":3,"misses":1,"evictions":0},"sessions":{"active":2,"created":2,"expired":0,"submitted":2},"ledger":{"rule_sets":1,"records":2,"stored_values":8}}}
 
 Note the audit stores 8 predicate values for two applicants instead of
 2 x 12 for the legacy full-form process, and `get_report` after the
@@ -249,15 +249,15 @@ Protocol-level failures are structured errors, never crashes:
   > {"pet":1,"id":14,"method":"submit_form","params":{"session":"s9"}}
   > {"pet":99,"id":15,"method":"stats"}
   > REQUESTS
-  {"pet":1,"id":null,"error":{"code":"parse_error","message":"line 1, column 17 (offset 16): expected ',' or '}' in object"}}
-  {"pet":1,"id":14,"error":{"code":"unknown_session","message":"unknown session \"s9\""}}
-  {"pet":1,"id":15,"error":{"code":"invalid_request","message":"unsupported protocol version 99 (this is 1)"}}
+  {"pet":1,"id":null,"trace":"t0","error":{"code":"parse_error","message":"line 1, column 17 (offset 16): expected ',' or '}' in object"}}
+  {"pet":1,"id":14,"trace":"t1","error":{"code":"unknown_session","message":"unknown session \"s9\""}}
+  {"pet":1,"id":15,"trace":"t2","error":{"code":"invalid_request","message":"unsupported protocol version 99 (this is 1)"}}
 
 An oversized request line (over 1 MiB) is rejected before it is even
 parsed, so a misbehaving client cannot make the service buffer garbage:
 
   $ python3 -c "print('x' * 1100000)" | ../../bin/pet.exe serve --deterministic
-  {"pet":1,"id":null,"error":{"code":"invalid_request","message":"oversized request line (1100000 bytes, max 1048576)"}}
+  {"pet":1,"id":null,"trace":"t0","error":{"code":"invalid_request","message":"oversized request line (1100000 bytes, max 1048576)"}}
 
 Forms too large to enumerate are refused with a pointer to the symbolic
 audit, which handles them fine:

@@ -12,14 +12,14 @@ exits:
   > {"pet":1,"id":4,"method":"choose_option","params":{"session":"s0","option":0}}
   > {"pet":1,"id":5,"method":"submit_form","params":{"session":"s0"}}
   > REQUESTS
-  {"pet":1,"id":1,"ok":{"digest":"3c35afd5c479736f19224c053ec534bb","cached":false,"predicates":12,"benefits":1,"mas":6,"eligible":1560}}
-  {"pet":1,"id":2,"ok":{"session":"s0","digest":"3c35afd5c479736f19224c053ec534bb","cached":true}}
-  {"pet":1,"id":3,"ok":{"valuation":"000011100111","granted":["b1"],"options":[{"mas":"0__________1","benefits":["b1"],"po_blank":10,"po_sm":1023,"po_weighted":null,"published":[{"p1":false},{"p12":true}],"deduced":[],"protected":["p2","p3","p4","p5","p6","p7","p8","p9","p10","p11"],"crowd":1024,"recommended":true},{"mas":"0_0__1___11_","benefits":["b1"],"po_blank":7,"po_sm":64,"po_weighted":null,"published":[{"p1":false},{"p3":false},{"p6":true},{"p10":true},{"p11":true}],"deduced":[],"protected":["p2","p4","p5","p7","p8","p9","p12"],"crowd":65,"recommended":false},{"mas":"0_0_1110____","benefits":["b1"],"po_blank":6,"po_sm":24,"po_weighted":null,"published":[{"p1":false},{"p3":false},{"p5":true},{"p6":true},{"p7":true},{"p8":false}],"deduced":[],"protected":["p2","p4","p9","p10","p11","p12"],"crowd":25,"recommended":false}],"minimization_ratio":0.83333333333333337}}
-  {"pet":1,"id":4,"ok":{"mas":"0__________1","benefits":["b1"]}}
-  {"pet":1,"id":5,"ok":{"grant":0,"form":"0__________1","benefits":["b1"]}}
+  {"pet":1,"id":1,"trace":"t0","ok":{"digest":"3c35afd5c479736f19224c053ec534bb","cached":false,"predicates":12,"benefits":1,"mas":6,"eligible":1560}}
+  {"pet":1,"id":2,"trace":"t1","ok":{"session":"s0","digest":"3c35afd5c479736f19224c053ec534bb","cached":true}}
+  {"pet":1,"id":3,"trace":"t2","ok":{"valuation":"000011100111","granted":["b1"],"options":[{"mas":"0__________1","benefits":["b1"],"po_blank":10,"po_sm":1023,"po_weighted":null,"published":[{"p1":false},{"p12":true}],"deduced":[],"protected":["p2","p3","p4","p5","p6","p7","p8","p9","p10","p11"],"crowd":1024,"recommended":true},{"mas":"0_0__1___11_","benefits":["b1"],"po_blank":7,"po_sm":64,"po_weighted":null,"published":[{"p1":false},{"p3":false},{"p6":true},{"p10":true},{"p11":true}],"deduced":[],"protected":["p2","p4","p5","p7","p8","p9","p12"],"crowd":65,"recommended":false},{"mas":"0_0_1110____","benefits":["b1"],"po_blank":6,"po_sm":24,"po_weighted":null,"published":[{"p1":false},{"p3":false},{"p5":true},{"p6":true},{"p7":true},{"p8":false}],"deduced":[],"protected":["p2","p4","p9","p10","p11","p12"],"crowd":25,"recommended":false}],"minimization_ratio":0.83333333333333337}}
+  {"pet":1,"id":4,"trace":"t3","ok":{"mas":"0__________1","benefits":["b1"]}}
+  {"pet":1,"id":5,"trace":"t4","ok":{"grant":0,"form":"0__________1","benefits":["b1"]}}
 
   $ cat server.log
-  store: recovered 0 event(s) from 0 file(s)
+  [info] store.recovered events=0 files=0
 
 A new process over the same directory recovers everything the old one
 acknowledged: the stats and the audit reflect Alice's pre-restart
@@ -34,15 +34,15 @@ his grant gets id 1):
   > {"pet":1,"id":5,"method":"choose_option","params":{"session":"s1","option":0}}
   > {"pet":1,"id":6,"method":"submit_form","params":{"session":"s1"}}
   > REQUESTS
-  {"pet":1,"id":1,"ok":{"requests":{"total":1,"by_method":{}},"registry":{"size":1,"capacity":16,"hits":0,"misses":1,"evictions":0},"sessions":{"active":1,"created":1,"expired":0,"submitted":1},"ledger":{"rule_sets":1,"records":1,"stored_values":2}}}
-  {"pet":1,"id":2,"ok":{"digest":"3c35afd5c479736f19224c053ec534bb","records":1,"stored_values":2,"failures":[]}}
-  {"pet":1,"id":3,"ok":{"session":"s1","digest":"3c35afd5c479736f19224c053ec534bb","cached":true}}
-  {"pet":1,"id":4,"ok":{"valuation":"000011100000","granted":["b1"],"options":[{"mas":"0_0_1110____","benefits":["b1"],"po_blank":5,"po_sm":23,"po_weighted":null,"published":[{"p1":false},{"p3":false},{"p5":true},{"p6":true},{"p7":true},{"p8":false}],"deduced":[{"p12":false}],"protected":["p2","p4","p9","p10","p11"],"crowd":24,"recommended":true}],"minimization_ratio":0.5}}
-  {"pet":1,"id":5,"ok":{"mas":"0_0_1110____","benefits":["b1"]}}
-  {"pet":1,"id":6,"ok":{"grant":1,"form":"0_0_1110____","benefits":["b1"]}}
+  {"pet":1,"id":1,"trace":"t0","ok":{"requests":{"total":1,"by_method":{}},"registry":{"size":1,"capacity":16,"hits":0,"misses":1,"evictions":0},"sessions":{"active":1,"created":1,"expired":0,"submitted":1},"ledger":{"rule_sets":1,"records":1,"stored_values":2}}}
+  {"pet":1,"id":2,"trace":"t1","ok":{"digest":"3c35afd5c479736f19224c053ec534bb","records":1,"stored_values":2,"failures":[]}}
+  {"pet":1,"id":3,"trace":"t2","ok":{"session":"s1","digest":"3c35afd5c479736f19224c053ec534bb","cached":true}}
+  {"pet":1,"id":4,"trace":"t3","ok":{"valuation":"000011100000","granted":["b1"],"options":[{"mas":"0_0_1110____","benefits":["b1"],"po_blank":5,"po_sm":23,"po_weighted":null,"published":[{"p1":false},{"p3":false},{"p5":true},{"p6":true},{"p7":true},{"p8":false}],"deduced":[{"p12":false}],"protected":["p2","p4","p9","p10","p11"],"crowd":24,"recommended":true}],"minimization_ratio":0.5}}
+  {"pet":1,"id":5,"trace":"t4","ok":{"mas":"0_0_1110____","benefits":["b1"]}}
+  {"pet":1,"id":6,"trace":"t5","ok":{"grant":1,"form":"0_0_1110____","benefits":["b1"]}}
 
   $ cat server.log
-  store: recovered 5 event(s) from 1 file(s)
+  [info] store.recovered events=5 files=1
 
 `pet store` works the log over offline. Inspect lists the segments
 (each serving process starts a fresh one) with decoded event counts;
@@ -84,11 +84,11 @@ record and carries on; nothing acknowledged is lost:
   $ ../../bin/pet.exe serve --deterministic --data-dir data 2>server.log <<'REQUESTS'
   > {"pet":1,"id":1,"method":"stats"}
   > REQUESTS
-  {"pet":1,"id":1,"ok":{"requests":{"total":1,"by_method":{}},"registry":{"size":1,"capacity":16,"hits":0,"misses":1,"evictions":0},"sessions":{"active":2,"created":2,"expired":0,"submitted":2},"ledger":{"rule_sets":1,"records":2,"stored_values":8}}}
+  {"pet":1,"id":1,"trace":"t0","ok":{"requests":{"total":1,"by_method":{}},"registry":{"size":1,"capacity":16,"hits":0,"misses":1,"evictions":0},"sessions":{"active":2,"created":2,"expired":0,"submitted":2},"ledger":{"rule_sets":1,"records":2,"stored_values":8}}}
 
   $ cat server.log
-  store: torn tail truncated at byte 358 of wal-000001.log (truncated header (3 of 8 bytes))
-  store: recovered 9 event(s) from 2 file(s)
+  [warn] store.torn_tail file="wal-000001.log" offset=358 reason="truncated header (3 of 8 bytes)"
+  [info] store.recovered events=9 files=2
 
 Compaction squashes the log into one snapshot holding the rule set,
 the grants and the surviving sessions, and retires the segments:

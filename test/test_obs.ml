@@ -6,6 +6,8 @@
 module Metrics = Pet_obs.Metrics
 module Span = Pet_obs.Span
 module Export = Pet_obs.Export
+module Trace = Pet_obs.Trace
+module Log = Pet_obs.Log
 
 (* Every test runs against the same process-global registry, so each
    starts from a clean, enabled slate with a fresh logical clock. *)
@@ -268,6 +270,245 @@ let test_line_export () =
   Alcotest.(check bool) "p50 in line" true (contains l "lat_seconds.p50=");
   Alcotest.(check bool) "single line" false (contains l "\n")
 
+(* --- Traces -------------------------------------------------------------------- *)
+
+(* Trace state is process-global like the registry: start each test from
+   empty default-capacity rings with tracing on, and leave tracing off. *)
+let fresh_trace () =
+  fresh ();
+  Trace.configure ();
+  Trace.reset ();
+  Trace.set_slow_threshold infinity;
+  Trace.enable ()
+
+let teardown_trace () =
+  Trace.disable ();
+  Trace.set_slow_threshold infinity
+
+let test_trace_capture () =
+  fresh_trace ();
+  Alcotest.(check (option string)) "no active trace" None (Trace.current ());
+  let r =
+    Trace.run ~id:"t-cap" (fun () ->
+        Alcotest.(check (option string))
+          "current inside run" (Some "t-cap") (Trace.current ());
+        Trace.annotate "method" (Trace.String "stats");
+        Span.enter "outer" (fun () ->
+            Span.enter "inner" (fun () -> ());
+            Span.enter "inner" (fun () -> ()));
+        17)
+  in
+  Alcotest.(check int) "run returns the thunk's result" 17 r;
+  Alcotest.(check (option string)) "no active trace after" None
+    (Trace.current ());
+  match Trace.recent () with
+  | [ tr ] ->
+    Alcotest.(check string) "id" "t-cap" tr.Trace.id;
+    Alcotest.(check bool) "found by id" true (Trace.find "t-cap" = Some tr);
+    Alcotest.(check bool) "not slow under infinity" false tr.Trace.slow;
+    (match tr.Trace.annotations with
+    | [ ("method", Trace.String "stats") ] -> ()
+    | _ -> Alcotest.fail "wrong annotations");
+    (* Unlike Span's aggregate, repeated entries stay distinct nodes. *)
+    (match tr.Trace.spans with
+    | [ ({ Trace.name = "outer"; children = [ i1; i2 ]; _ } as outer) ] ->
+      Alcotest.(check string) "first child" "inner" i1.Trace.name;
+      Alcotest.(check string) "second child" "inner" i2.Trace.name;
+      (* Clock reads: run start=1, outer=(2,7), inners (3,4) and (5,6),
+         run finish=8. *)
+      Alcotest.(check (float 0.)) "outer dur" 5. outer.Trace.dur;
+      Alcotest.(check (float 0.)) "inner1 start" 3. i1.Trace.start;
+      Alcotest.(check (float 0.)) "inner1 dur" 1. i1.Trace.dur;
+      Alcotest.(check (float 0.)) "trace duration" 7. tr.Trace.duration
+    | _ -> Alcotest.fail "wrong span tree");
+    teardown_trace ()
+  | l -> Alcotest.failf "expected one capture, got %d" (List.length l)
+
+let test_trace_disabled_passthrough () =
+  fresh_trace ();
+  Trace.disable ();
+  let r = Trace.run ~id:"t-off" (fun () -> Span.enter "s" (fun () -> 3)) in
+  Alcotest.(check int) "thunk result" 3 r;
+  Alcotest.(check int) "nothing captured" 0 (List.length (Trace.recent ()));
+  teardown_trace ()
+
+let test_trace_ring_eviction () =
+  fresh_trace ();
+  Trace.configure ~recent:3 ~slow:2 ();
+  for i = 1 to 5 do
+    Trace.run ~id:(Printf.sprintf "t%d" i) (fun () -> ())
+  done;
+  (* Oldest evicted first; listing is newest first. *)
+  Alcotest.(check (list string)) "newest first, oldest evicted"
+    [ "t5"; "t4"; "t3" ]
+    (List.map (fun tr -> tr.Trace.id) (Trace.recent ()));
+  Alcotest.(check (pair int int)) "two recent evictions, slow empty" (2, 0)
+    (Trace.evictions ());
+  Alcotest.(check bool) "evicted id unfindable" true (Trace.find "t1" = None);
+  teardown_trace ()
+
+let test_trace_slow_classification () =
+  fresh_trace ();
+  (* Every trace costs 2 clock reads (1s each) plus 2 per span: a
+     spanless request lasts 1s, one with two spans 5s. *)
+  Trace.set_slow_threshold 3.;
+  Trace.run ~id:"fast" (fun () -> ());
+  Trace.run ~id:"slow" (fun () ->
+      Span.enter "a" (fun () -> ());
+      Span.enter "b" (fun () -> ()));
+  Alcotest.(check (list string)) "only the slow one" [ "slow" ]
+    (List.map (fun tr -> tr.Trace.id) (Trace.slow ()));
+  Alcotest.(check int) "both in recent" 2 (List.length (Trace.recent ()));
+  Alcotest.(check bool) "slow flag set" true
+    (match Trace.find "slow" with Some tr -> tr.Trace.slow | None -> false);
+  (* Threshold 0 (pet serve --trace-slow 0) classifies everything. *)
+  Trace.set_slow_threshold 0.;
+  Trace.run ~id:"any" (fun () -> ());
+  Alcotest.(check bool) "threshold 0 catches all" true
+    (match Trace.find "any" with Some tr -> tr.Trace.slow | None -> false);
+  teardown_trace ()
+
+let test_trace_nested_run_joins () =
+  fresh_trace ();
+  Trace.run ~id:"outer" (fun () ->
+      Trace.run ~id:"inner" (fun () ->
+          Alcotest.(check (option string))
+            "inner run joins outer" (Some "outer") (Trace.current ())));
+  Alcotest.(check int) "one capture" 1 (List.length (Trace.recent ()));
+  teardown_trace ()
+
+let test_trace_render_and_chrome () =
+  fresh_trace ();
+  Trace.run ~id:"t-render" (fun () ->
+      Trace.annotate "source" (Trace.String "running");
+      Trace.annotate "players" (Trace.Int 5);
+      Span.enter "compile" (fun () -> Span.enter "atlas" (fun () -> ())));
+  let tr = Option.get (Trace.find "t-render") in
+  let tree = Trace.render tr in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("render contains " ^ needle) true
+        (contains tree needle))
+    [ "trace t-render"; {|source="running"|}; "players=5"; "compile";
+      "`-- atlas"; "dur=" ];
+  (* The Chrome export must be valid JSON with one complete event per
+     span plus the request itself. *)
+  let chrome = Trace.chrome tr in
+  (match Pet_pet.Json.parse chrome with
+  | Error m -> Alcotest.failf "chrome export is not valid JSON: %s" m
+  | Ok json -> (
+    match Pet_pet.Json.member "traceEvents" json with
+    | Some (Pet_pet.Json.List events) ->
+      Alcotest.(check int) "request + 2 spans" 3 (List.length events);
+      List.iter
+        (fun e ->
+          match Pet_pet.Json.member "ph" e with
+          | Some (Pet_pet.Json.String "X") -> ()
+          | _ -> Alcotest.fail "expected complete events")
+        events
+    | _ -> Alcotest.fail "missing traceEvents"));
+  (* A hostile span name cannot break the JSON. *)
+  Trace.run ~id:{|t-"quote"|} (fun () ->
+      Trace.annotate "note" (Trace.String "line\nbreak\"quote\\"));
+  let tr = Option.get (Trace.find {|t-"quote"|}) in
+  (match Pet_pet.Json.parse (Trace.chrome tr) with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "escaping broken: %s" m);
+  teardown_trace ()
+
+(* --- Span.reset precondition ---------------------------------------------------- *)
+
+let test_span_reset_precondition () =
+  fresh ();
+  Span.enter "open" (fun () ->
+      match Span.reset () with
+      | () -> Alcotest.fail "reset inside an open span must raise"
+      | exception Invalid_argument m ->
+        Alcotest.(check bool) "message names the span" true
+          (contains m "open"));
+  (* Between spans it is legal, including right after the exception. *)
+  Span.reset ();
+  Alcotest.(check int) "reset cleared" 0 (List.length (Span.roots ()))
+
+(* --- Logging -------------------------------------------------------------------- *)
+
+let with_log_capture f =
+  let lines = ref [] in
+  Log.set_sink (fun l -> lines := l :: !lines);
+  Fun.protect
+    ~finally:(fun () ->
+      Log.set_sink prerr_endline;
+      Log.set_level Log.Info;
+      Log.set_json false)
+    (fun () ->
+      f ();
+      List.rev !lines)
+
+let test_log_levels () =
+  fresh ();
+  let lines =
+    with_log_capture (fun () ->
+        Log.set_level Log.Warn;
+        Log.debug "hidden.debug";
+        Log.info "hidden.info";
+        Log.warn "shown.warn" ~fields:[ ("n", Trace.Int 2) ];
+        Log.error "shown.error")
+  in
+  Alcotest.(check int) "only warn and error emitted" 2 (List.length lines);
+  Alcotest.(check bool) "human shape" true
+    (contains (List.nth lines 0) "[warn] shown.warn n=2");
+  Alcotest.(check (option Alcotest.string)) "level round-trip"
+    (Some "warn")
+    (Option.map Log.level_name (Log.level_of_string "WARNING"))
+
+let test_log_json_shape () =
+  fresh ();
+  let lines =
+    with_log_capture (fun () ->
+        Log.set_json true;
+        Log.info "store.recovered"
+          ~fields:
+            [
+              ("events", Trace.Int 9);
+              ("file", Trace.String "wal-000001.log");
+              ("ok", Trace.Bool true);
+            ])
+  in
+  match lines with
+  | [ line ] -> (
+    match Pet_pet.Json.parse line with
+    | Error m -> Alcotest.failf "log line is not valid JSON: %s" m
+    | Ok json ->
+      let str k =
+        match Pet_pet.Json.member k json with
+        | Some (Pet_pet.Json.String s) -> s
+        | _ -> Alcotest.failf "missing %s" k
+      in
+      Alcotest.(check string) "level" "info" (str "level");
+      Alcotest.(check string) "event" "store.recovered" (str "event");
+      Alcotest.(check string) "string field" "wal-000001.log" (str "file");
+      Alcotest.(check bool) "ts present" true
+        (Pet_pet.Json.member "ts" json <> None);
+      Alcotest.(check bool) "int field" true
+        (Pet_pet.Json.member "events" json = Some (Pet_pet.Json.Int 9)))
+  | l -> Alcotest.failf "expected one line, got %d" (List.length l)
+
+let test_log_carries_trace_id () =
+  fresh_trace ();
+  let lines =
+    with_log_capture (fun () ->
+        Trace.run ~id:"t-log" (fun () -> Log.info "inside");
+        Log.info "outside")
+  in
+  teardown_trace ();
+  match lines with
+  | [ inside; outside ] ->
+    Alcotest.(check bool) "trace id attached" true
+      (contains inside "trace=t-log");
+    Alcotest.(check bool) "no trace id outside a capture" false
+      (contains outside "trace=")
+  | l -> Alcotest.failf "expected two lines, got %d" (List.length l)
+
 (* --- Snapshot determinism ------------------------------------------------------ *)
 
 let test_snapshot_determinism () =
@@ -313,6 +554,29 @@ let () =
           Alcotest.test_case "reentrancy and exceptions" `Quick
             test_span_reentrancy;
           Alcotest.test_case "render" `Quick test_span_render;
+          Alcotest.test_case "reset precondition" `Quick
+            test_span_reset_precondition;
+        ] );
+      ( "traces",
+        [
+          Alcotest.test_case "capture" `Quick test_trace_capture;
+          Alcotest.test_case "disabled pass-through" `Quick
+            test_trace_disabled_passthrough;
+          Alcotest.test_case "ring eviction order" `Quick
+            test_trace_ring_eviction;
+          Alcotest.test_case "slow classification" `Quick
+            test_trace_slow_classification;
+          Alcotest.test_case "nested run joins" `Quick
+            test_trace_nested_run_joins;
+          Alcotest.test_case "render and chrome export" `Quick
+            test_trace_render_and_chrome;
+        ] );
+      ( "log",
+        [
+          Alcotest.test_case "levels and human shape" `Quick test_log_levels;
+          Alcotest.test_case "json shape" `Quick test_log_json_shape;
+          Alcotest.test_case "trace correlation" `Quick
+            test_log_carries_trace_id;
         ] );
       ( "export",
         [

@@ -411,6 +411,78 @@ let test_json_escaping () =
   Alcotest.(check string) "float fractional" "0.5"
     (Json.to_string (Json.Float 0.5))
 
+(* --- Bench diff ----------------------------------------------------------------- *)
+
+let test_benchdiff_directions () =
+  let module B = Pet_pet.Benchdiff in
+  let check_dir name expected key =
+    Alcotest.(check bool) name true (B.direction_of_key key = expected)
+  in
+  check_dir "throughput wins over _s suffix" B.Higher_better "requests_per_s";
+  check_dir "rates are throughput" B.Higher_better "cache_hit_rate";
+  check_dir "durations are cost" B.Lower_better "publish_compile_s";
+  check_dir "overhead is cost" B.Lower_better "overhead";
+  check_dir "errors are cost" B.Lower_better "errors";
+  check_dir "counts are info" B.Info "respondents"
+
+let test_benchdiff_regression () =
+  let module B = Pet_pet.Benchdiff in
+  let doc rps seconds =
+    Json.Obj
+      [
+        ( "cases",
+          Json.List
+            [
+              Json.Obj
+                [
+                  ("case", Json.String "H-cov");
+                  ("respondents", Json.Int 1560);
+                  ("requests_per_s", Json.Float rps);
+                  ("seconds", Json.Float seconds);
+                ];
+            ] );
+      ]
+  in
+  (* An injected 2x slowdown trips both the throughput drop and the
+     duration growth at a 40% threshold. *)
+  let findings = B.diff ~threshold:0.4 (doc 60000. 0.1) (doc 30000. 0.2) in
+  Alcotest.(check bool) "2x slowdown detected" true (B.has_regression findings);
+  let regressed =
+    List.filter_map
+      (fun (f : B.finding) -> if f.regression then Some f.path else None)
+      findings
+  in
+  Alcotest.(check (list string)) "both directional keys trip"
+    [ ".cases[0].requests_per_s"; ".cases[0].seconds" ]
+    regressed;
+  (* The same drift under the threshold passes. *)
+  let findings = B.diff ~threshold:0.4 (doc 60000. 0.1) (doc 50000. 0.12) in
+  Alcotest.(check bool) "small drift passes" false (B.has_regression findings);
+  (* Improvements never regress, string/info fields never trip, and the
+     rendering names the regression. *)
+  let findings = B.diff ~threshold:0.4 (doc 30000. 0.2) (doc 60000. 0.1) in
+  Alcotest.(check bool) "improvement passes" false (B.has_regression findings);
+  let findings = B.diff ~threshold:0.4 (doc 60000. 0.1) (doc 30000. 0.2) in
+  let rendered = B.render findings in
+  Alcotest.(check bool) "render flags it" true
+    (let contains hay needle =
+       let nh = String.length hay and nn = String.length needle in
+       let rec go i =
+         i + nn <= nh && (String.sub hay i nn = needle || go (i + 1))
+       in
+       go 0
+     in
+     contains rendered "REGRESSION" && contains rendered "requests_per_s")
+
+let test_benchdiff_zero_baseline () =
+  let module B = Pet_pet.Benchdiff in
+  let doc errors = Json.Obj [ ("errors", Json.Int errors) ] in
+  (* Zero -> zero is no change; zero -> nonzero is an infinite rise. *)
+  Alcotest.(check bool) "0 -> 0 passes" false
+    (B.has_regression (B.diff (doc 0) (doc 0)));
+  Alcotest.(check bool) "0 -> 3 regresses" true
+    (B.has_regression (B.diff (doc 0) (doc 3)))
+
 let () =
   Alcotest.run "pet_pet"
     [
@@ -439,5 +511,12 @@ let () =
           Alcotest.test_case "parse" `Quick test_json_parse;
           Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
           QCheck_alcotest.to_alcotest prop_json_roundtrip;
+        ] );
+      ( "benchdiff",
+        [
+          Alcotest.test_case "key directions" `Quick test_benchdiff_directions;
+          Alcotest.test_case "2x slowdown detected" `Quick
+            test_benchdiff_regression;
+          Alcotest.test_case "zero baseline" `Quick test_benchdiff_zero_baseline;
         ] );
     ]

@@ -22,14 +22,14 @@ let contains haystack needle =
 let decode_ok line =
   match Proto.decode line with
   | Ok envelope -> envelope
-  | Error (_, e) ->
+  | Error (_, _, e) ->
     Alcotest.failf "unexpected decode error %s: %s" (Proto.code_name e.code)
       e.message
 
 let decode_err line =
   match Proto.decode line with
   | Ok _ -> Alcotest.fail "expected a decode error"
-  | Error (id, e) -> (id, e)
+  | Error (id, _, e) -> (id, e)
 
 let test_proto_decode () =
   (match
@@ -665,6 +665,211 @@ let test_service_metrics () =
   | other ->
     Alcotest.failf "prometheus format is not a string: %s" (Json.to_string other)
 
+(* --- Tracing through the service --------------------------------------------------- *)
+
+module Trace = Pet_obs.Trace
+
+(* The trace layer is process-global state, like the metrics registry:
+   run each test against a clean enabled slate and always disable on the
+   way out. *)
+let with_tracing f =
+  let module Obs = Pet_obs.Metrics in
+  Obs.reset ();
+  Obs.enable ();
+  let obs_tick = ref 0 in
+  Obs.set_clock (fun () ->
+      incr obs_tick;
+      float_of_int !obs_tick);
+  Trace.configure ();
+  Trace.reset ();
+  Trace.set_slow_threshold 0.;
+  Trace.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.disable ();
+      Trace.set_slow_threshold infinity;
+      Obs.disable ())
+    f
+
+let raw_request service ?(id = 1) ?trace method_ params =
+  let line =
+    Json.to_string
+      (Json.Obj
+         (("pet", Json.Int Proto.version) :: ("id", Json.Int id)
+         :: (match trace with
+            | Some t -> [ ("trace", Json.String t) ]
+            | None -> [])
+         @ [ ("method", Json.String method_); ("params", Json.Obj params) ]))
+  in
+  Service.handle_line service line
+
+let trace_of response =
+  match Json.parse response with
+  | Ok obj -> Option.bind (Json.member "trace" obj) Json.string_opt
+  | Error m -> Alcotest.failf "response is not JSON: %s" m
+
+let test_proto_trace_roundtrip () =
+  (* The trace field is carried through decode... *)
+  let envelope = decode_ok {|{"pet":1,"id":1,"trace":"abc","method":"stats"}|} in
+  Alcotest.(check (option string)) "trace decoded" (Some "abc") envelope.trace;
+  let envelope = decode_ok {|{"pet":1,"id":1,"method":"stats"}|} in
+  Alcotest.(check (option string)) "absent trace" None envelope.trace;
+  (* ...survives a failed decode, best-effort like the id... *)
+  (match Proto.decode {|{"pet":1,"trace":"abc","method":"frobnicate"}|} with
+  | Error (_, trace, _) ->
+    Alcotest.(check (option string)) "trace kept on error" (Some "abc") trace
+  | Ok _ -> Alcotest.fail "expected a decode error");
+  (* ...and is emitted exactly when given. *)
+  Alcotest.(check string) "ok with trace"
+    {|{"pet":1,"id":3,"trace":"t9","ok":{}}|}
+    (Proto.ok_response ~id:(Json.Int 3) ~trace:"t9" (Json.Obj []));
+  Alcotest.(check string) "error with trace"
+    {|{"pet":1,"id":3,"trace":"t9","error":{"code":"bad_state","message":"m"}}|}
+    (Proto.error_response ~id:(Json.Int 3) ~trace:"t9"
+       (Proto.error Proto.Bad_state "m"));
+  (* The trace method's own parameters decode. *)
+  (match
+     (decode_ok
+        {|{"pet":1,"method":"trace","params":{"which":"get","id":"t4","format":"chrome"}}|})
+       .request
+   with
+  | Proto.Trace_req { query = Proto.Tget "t4"; format = Proto.Tchrome } -> ()
+  | _ -> Alcotest.fail "wrong trace request");
+  match (decode_ok {|{"pet":1,"method":"trace"}|}).request with
+  | Proto.Trace_req { query = Proto.Tlast; format = Proto.Ttree } -> ()
+  | _ -> Alcotest.fail "wrong trace defaults"
+
+let test_service_trace_echo () =
+  with_tracing @@ fun () ->
+  let service = make_service () in
+  (* Generated ids are sequential and echoed on ok responses... *)
+  Alcotest.(check (option string)) "generated id echoed" (Some "t0")
+    (trace_of (raw_request service "stats" []));
+  (* ...and on error responses, including undecodable requests. *)
+  Alcotest.(check (option string)) "echoed on error" (Some "t1")
+    (trace_of (raw_request service "frobnicate" []));
+  Alcotest.(check (option string)) "client id echoed" (Some "cli-1")
+    (trace_of (raw_request service ~trace:"cli-1" "stats" []));
+  Alcotest.(check (option string)) "client id echoed on error" (Some "cli-2")
+    (trace_of
+       (raw_request service ~trace:"cli-2" "submit_form"
+          [ ("session", Json.String "s9") ]));
+  (* The capture exists under the echoed id and names the method. *)
+  (match Trace.find "cli-1" with
+  | Some tr ->
+    Alcotest.(check bool) "method annotated" true
+      (List.mem ("method", Trace.String "stats") tr.Trace.annotations)
+  | None -> Alcotest.fail "no capture for cli-1");
+  (* With tracing off no id is generated, but a client id still echoes. *)
+  Trace.disable ();
+  Alcotest.(check (option string)) "no generated id when off" None
+    (trace_of (raw_request service "stats" []));
+  Alcotest.(check (option string)) "client id still echoed when off"
+    (Some "cli-3")
+    (trace_of (raw_request service ~trace:"cli-3" "stats" []))
+
+let test_service_trace_method () =
+  with_tracing @@ fun () ->
+  let service = make_service () in
+  let _ =
+    ok_of (request service "publish_rules" [ ("source", Json.String "running") ])
+  in
+  (* "last" returns the most recently *completed* capture — the publish,
+     not the trace call itself — with the span tree rendered. *)
+  let last = ok_of (request service "trace" []) in
+  Alcotest.(check string) "last is the publish" "t0" (str "id" last);
+  let tree = str "tree" last in
+  Alcotest.(check bool) "tree shows the compile" true
+    (contains tree "provider.create");
+  let anns = Option.get (Json.member "annotations" last) in
+  Alcotest.(check bool) "method annotation" true
+    (Json.member "method" anns = Some (Json.String "publish_rules"));
+  Alcotest.(check bool) "backend annotation" true
+    (Json.member "backend" anns = Some (Json.String "bdd"));
+  (* "get" by the echoed id; "slow" lists both (threshold 0). *)
+  let got =
+    ok_of (request service "trace" [ ("id", Json.String "t0") ])
+  in
+  Alcotest.(check string) "get by id" "t0" (str "id" got);
+  let slow = ok_of (request service "trace" [ ("which", Json.String "slow") ]) in
+  (match Json.member "slow" slow with
+  | Some (Json.List (_ :: _)) -> ()
+  | _ -> Alcotest.fail "slow listing empty");
+  Alcotest.(check bool) "evictions reported" true
+    (Json.member "evictions" slow <> None);
+  (* Chrome format is valid JSON shipped as one string. *)
+  (match
+     ok_of
+       (request service "trace"
+          [ ("id", Json.String "t0"); ("format", Json.String "chrome") ])
+   with
+  | payload -> (
+    match Json.member "chrome" payload with
+    | Some (Json.String chrome) -> (
+      match Json.parse chrome with
+      | Ok _ -> ()
+      | Error m -> Alcotest.failf "chrome payload not JSON: %s" m)
+    | _ -> Alcotest.fail "no chrome string"));
+  Alcotest.(check string) "unknown id" "invalid_params"
+    (error_code (request service "trace" [ ("id", Json.String "t999") ]));
+  (* Disabled tracing refuses cleanly. *)
+  Trace.disable ();
+  Alcotest.(check string) "disabled" "bad_state"
+    (error_code (request service "trace" []))
+
+let test_trace_privacy () =
+  (* R2 for observability: run the full workflow — the raw valuation
+     crosses get_report — then grep every capture in both rings, in both
+     export formats, for the bit-vector. It must never appear: span
+     names are static and annotations are identifiers only. *)
+  with_tracing @@ fun () ->
+  let service = make_service () in
+  let published =
+    ok_of (request service "publish_rules" [ ("source", Json.String "running") ])
+  in
+  let digest = str "digest" published in
+  let opened =
+    ok_of (request service "new_session" [ ("digest", Json.String digest) ])
+  in
+  let sid = str "session" opened in
+  let valuation = "011" in
+  let _ =
+    ok_of
+      (request service "get_report"
+         [ ("session", Json.String sid); ("valuation", Json.String valuation) ])
+  in
+  let _ =
+    ok_of
+      (request service "choose_option"
+         [ ("session", Json.String sid); ("option", Json.Int 0) ])
+  in
+  let _ =
+    ok_of (request service "submit_form" [ ("session", Json.String sid) ])
+  in
+  let captures = Trace.recent () @ Trace.slow () in
+  Alcotest.(check bool) "captures exist" true (captures <> []);
+  List.iter
+    (fun tr ->
+      let rendered = Trace.render tr and chrome = Trace.chrome tr in
+      Alcotest.(check bool)
+        ("no raw valuation in tree of " ^ tr.Trace.id)
+        false
+        (contains rendered valuation);
+      Alcotest.(check bool)
+        ("no raw valuation in chrome of " ^ tr.Trace.id)
+        false (contains chrome valuation);
+      (* The session id, by contrast, is expected — identifiers are the
+         point of a capture. *)
+      List.iter
+        (fun (_, v) ->
+          match v with
+          | Trace.String s ->
+            Alcotest.(check bool) "no valuation annotation" false
+              (s = valuation)
+          | _ -> ())
+        tr.Trace.annotations)
+    captures
+
 let () =
   Alcotest.run "pet_server"
     [
@@ -702,5 +907,14 @@ let () =
           Alcotest.test_case "canonical digest" `Quick
             test_service_canonical_digest;
           Alcotest.test_case "metrics endpoint" `Quick test_service_metrics;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "envelope round-trip" `Quick
+            test_proto_trace_roundtrip;
+          Alcotest.test_case "id echo" `Quick test_service_trace_echo;
+          Alcotest.test_case "trace method" `Quick test_service_trace_method;
+          Alcotest.test_case "captures are valuation-free" `Quick
+            test_trace_privacy;
         ] );
     ]

@@ -1,0 +1,73 @@
+Request-scoped tracing through the collection service. Under
+--deterministic both clocks are logical (the service clock for request
+latencies, the obs clock for captures), so the transcript is
+byte-stable. Tracing is always on under `pet serve`: every response
+carries a trace id — generated t0, t1, … when the request has none,
+echoed verbatim when the client supplies "trace":ID (ok and error
+responses alike). With --trace-slow 0 every capture also lands in the
+slow ring.
+
+  $ ../../bin/pet.exe serve --deterministic --trace-slow 0 <<'REQUESTS'
+  > {"pet":1,"id":1,"method":"publish_rules","params":{"source":"running"}}
+  > {"pet":1,"id":2,"trace":"alice-1","method":"new_session","params":{"digest":"4e572ccd978d507d92c1b8a548038954"}}
+  > {"pet":1,"id":3,"trace":"alice-err","method":"submit_form","params":{"session":"s9"}}
+  > {"pet":1,"id":4,"method":"trace","params":{"which":"get","id":"alice-1"}}
+  > {"pet":1,"id":5,"method":"trace","params":{"which":"slow"}}
+  > REQUESTS
+  {"pet":1,"id":1,"trace":"t0","ok":{"digest":"4e572ccd978d507d92c1b8a548038954","cached":false,"predicates":3,"benefits":3,"mas":5,"eligible":5}}
+  {"pet":1,"id":2,"trace":"alice-1","ok":{"session":"s0","digest":"4e572ccd978d507d92c1b8a548038954","cached":true}}
+  {"pet":1,"id":3,"trace":"alice-err","error":{"code":"unknown_session","message":"unknown session \"s9\""}}
+  {"pet":1,"id":4,"trace":"t1","ok":{"id":"alice-1","duration_s":1,"slow":true,"annotations":{"method":"new_session","backend":"bdd","digest":"4e572ccd978d507d92c1b8a548038954"},"tree":"trace alice-1 (slow) duration=1.000000s\n  method=\"new_session\"\n  backend=\"bdd\"\n  digest=\"4e572ccd978d507d92c1b8a548038954\"\n"}}
+  {"pet":1,"id":5,"trace":"t2","ok":{"slow":[{"id":"t1","duration_s":1,"annotations":{"method":"trace","backend":"bdd"}},{"id":"alice-err","duration_s":1,"annotations":{"method":"submit_form","backend":"bdd","session":"s9","error":"unknown_session"}},{"id":"alice-1","duration_s":1,"annotations":{"method":"new_session","backend":"bdd","digest":"4e572ccd978d507d92c1b8a548038954"}},{"id":"t0","duration_s":19,"annotations":{"method":"publish_rules","backend":"bdd","source":"running","provider.backend":"bdd","provider.players":5}}],"evictions":{"recent":0,"slow":0}}}
+
+The publish capture (t0) carries the compiled span tree — which phases
+ran, in entry order, with exact per-entry timings (the aggregate view
+is `pet profile`). Reading it back as a tree:
+
+  $ ../../bin/pet.exe serve --deterministic --trace-slow 0 <<'REQUESTS' | python3 -c 'import json,sys; [print(json.loads(l)["ok"]["tree"], end="") for l in sys.stdin if "tree" in json.loads(l).get("ok",{})]'
+  > {"pet":1,"id":1,"method":"publish_rules","params":{"source":"running"}}
+  > {"pet":1,"id":2,"method":"trace","params":{"which":"get","id":"t0"}}
+  > REQUESTS
+  trace t0 (slow) duration=19.000000s
+    method="publish_rules"
+    backend="bdd"
+    source="running"
+    provider.backend="bdd"
+    provider.players=5
+  `-- provider.create              +1.000000s dur=17.000000s
+      |-- engine.compile.bdd       +2.000000s dur=1.000000s
+      |-- atlas.build              +4.000000s dur=11.000000s
+      |   |-- algorithm1           +5.000000s dur=1.000000s
+      |   |-- algorithm1           +7.000000s dur=1.000000s
+      |   |-- algorithm1           +9.000000s dur=1.000000s
+      |   |-- algorithm1           +11.000000s dur=1.000000s
+      |   `-- algorithm1           +13.000000s dur=1.000000s
+      `-- algorithm2               +16.000000s dur=1.000000s
+
+The Chrome trace_event export is valid JSON with one complete event per
+span plus one for the request:
+
+  $ ../../bin/pet.exe serve --deterministic --trace-slow 0 <<'REQUESTS' | python3 -c 'import json,sys; chrome=[json.loads(l)["ok"]["chrome"] for l in sys.stdin if "chrome" in json.loads(l).get("ok","")]; doc=json.loads(chrome[0]); print(len(doc["traceEvents"]), "events, phases", sorted({e["ph"] for e in doc["traceEvents"]}))'
+  > {"pet":1,"id":1,"method":"publish_rules","params":{"source":"running"}}
+  > {"pet":1,"id":2,"method":"trace","params":{"which":"get","id":"t0","format":"chrome"}}
+  > REQUESTS
+  10 events, phases ['X']
+
+The one-shot `pet trace` command captures a full workflow run (compile,
+atlas, one consent report) without standing a server up:
+
+  $ ../../bin/pet.exe trace running --deterministic
+  trace t0 duration=19.000000s
+    source="running"
+    backend="bdd"
+    provider.backend="bdd"
+    provider.players=5
+  `-- provider.create              +1.000000s dur=17.000000s
+      |-- engine.compile.bdd       +2.000000s dur=1.000000s
+      |-- atlas.build              +4.000000s dur=11.000000s
+      |   |-- algorithm1           +5.000000s dur=1.000000s
+      |   |-- algorithm1           +7.000000s dur=1.000000s
+      |   |-- algorithm1           +9.000000s dur=1.000000s
+      |   |-- algorithm1           +11.000000s dur=1.000000s
+      |   `-- algorithm1           +13.000000s dur=1.000000s
+      `-- algorithm2               +16.000000s dur=1.000000s

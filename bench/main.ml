@@ -584,6 +584,227 @@ let server_case name exposure respondents =
   in
   (json, rps, service)
 
+(* --- TCP scaling: domains vs durable throughput -------------------------------------
+
+   The scenario the sharded transport exists for: concurrent clients
+   each opening a session (one durable event per request, fsync ON).
+   A single domain is fsync-bound — every request pays the full
+   flush+fsync alone. With N domains the requests land on N shards
+   whose appends meet in the single writer domain and share one fsync
+   per batch, so throughput scales with the batch size even on one
+   core (the fsync wait is mostly CPU-idle time). *)
+
+let tcp_temp_dir =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "pet_bench_tcp_%d_%d" (Unix.getpid ()) !counter)
+    in
+    let rec remove path =
+      if Sys.is_directory path then begin
+        Array.iter
+          (fun entry -> remove (Filename.concat path entry))
+          (Sys.readdir path);
+        Sys.rmdir path
+      end
+      else Sys.remove path
+    in
+    if Sys.file_exists dir then remove dir;
+    dir
+
+let tcp_config ~clients ~per_client domains =
+  (* A roomy minor heap keeps stop-the-world minor collections — which
+     every domain must join, painful when domains outnumber cores —
+     out of the measurement. *)
+  Gc.set { (Gc.get ()) with minor_heap_size = 4 * 1024 * 1024 };
+  let dir = tcp_temp_dir () in
+  match Pet_store.Store.open_dir ~fsync:true dir with
+  | Error m -> failwith ("tcp bench: " ^ m)
+  | Ok (store, _) ->
+    let server =
+      match
+        Pet_net.Server.start ~store ~sweep_interval:0. ~domains ~port:0
+          ~now:Unix.gettimeofday ()
+      with
+      | Ok server -> server
+      | Error m -> failwith ("tcp bench: " ^ m)
+    in
+    let port = Pet_net.Server.port server in
+    let connect () =
+      let fd = Unix.socket ~cloexec:true PF_INET SOCK_STREAM 0 in
+      Unix.connect fd (ADDR_INET (Unix.inet_addr_loopback, port));
+      (fd, Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd)
+    in
+    let text = Pet_rules.Spec.to_string (Lazy.force running) in
+    let escape s = Pet_pet.Json.to_string (Pet_pet.Json.String s) in
+    let new_session_line =
+      Printf.sprintf
+        {|{"pet":1,"method":"new_session","params":{"digest":%s}}|}
+        (escape (Pet_server.Registry.digest text))
+    in
+    let errors = Atomic.make 0 in
+    (* Substring check, not a JSON parse: the clients share the machine
+       with the server, so client-side CPU is overhead under test. Every
+       error response carries an "error" object and no "ok". *)
+    let is_ok response =
+      let h = String.length response in
+      let rec go i =
+        i + 4 <= h
+        && ((response.[i] = '"'
+            && response.[i + 1] = 'o'
+            && response.[i + 2] = 'k'
+            && response.[i + 3] = '"')
+           || go (i + 1))
+      in
+      go 0
+    in
+    let request ic oc line =
+      output_string oc line;
+      output_char oc '\n';
+      flush oc;
+      match In_channel.input_line ic with
+      | Some response when is_ok response -> ()
+      | _ -> Atomic.incr errors
+    in
+    (* Warm up: publish once, then enough sessions that every shard has
+       compiled its engine before the timed window. *)
+    let fd, ic, oc = connect () in
+    request ic oc
+      (Printf.sprintf
+         {|{"pet":1,"id":0,"method":"publish_rules","params":{"rules":%s}}|}
+         (escape text));
+    for _ = 1 to 2 * domains do
+      request ic oc new_session_line
+    done;
+    Unix.close fd;
+    let before =
+      match Pet_net.Server.batch_stats server with
+      | Some stats -> stats
+      | None -> failwith "tcp bench: no batch stats"
+    in
+    (* Pipelined client: fire every request, then read every response
+       (the protocol correlates them by id; this client only counts
+       errors). Pipelining is what keeps all shards loaded at once, so
+       the writer's group commits actually batch. *)
+    let client () =
+      let fd, _ic, oc = connect () in
+      for _ = 1 to per_client do
+        output_string oc new_session_line;
+        output_char oc '\n'
+      done;
+      flush oc;
+      (* Bulk read: count response lines and "error" keys in one pass —
+         no per-line allocation, the cheapest correct client possible. *)
+      let buf = Bytes.create 65536 in
+      let seen = ref 0 and bad = ref 0 in
+      while !seen < per_client do
+        match Unix.read fd buf 0 (Bytes.length buf) with
+        | 0 ->
+          bad := !bad + (per_client - !seen);
+          seen := per_client
+        | n ->
+          for i = 0 to n - 1 do
+            match Bytes.unsafe_get buf i with
+            | '\n' -> incr seen
+            | 'r' ->
+              (* 'r' only ever appears inside "error" in these replies *)
+              if i + 3 < n
+                 && Bytes.unsafe_get buf (i + 1) = 'r'
+                 && Bytes.unsafe_get buf (i + 2) = 'o'
+                 && Bytes.unsafe_get buf (i + 3) = 'r'
+              then incr bad
+            | _ -> ()
+          done
+      done;
+      if !bad > 0 then Atomic.fetch_and_add errors !bad |> ignore;
+      Unix.close fd
+    in
+    (* Wall clock, not [time_once]'s CPU clock: the point of group
+       commit is overlapping the fsync's idle wait, which CPU time
+       cannot see. *)
+    let t0 = Unix.gettimeofday () in
+    List.init clients (fun _ -> Thread.create client ())
+    |> List.iter Thread.join;
+    let dt = Unix.gettimeofday () -. t0 in
+    let after =
+      match Pet_net.Server.batch_stats server with
+      | Some stats -> stats
+      | None -> failwith "tcp bench: no batch stats"
+    in
+    Pet_net.Server.stop server;
+    Pet_store.Store.close store;
+    ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir)));
+    let requests = clients * per_client in
+    let rps = float_of_int requests /. dt in
+    let batches = after.Pet_net.Group_commit.batches - before.Pet_net.Group_commit.batches in
+    let events = after.Pet_net.Group_commit.events - before.Pet_net.Group_commit.events in
+    let avg_batch =
+      if batches = 0 then 0. else float_of_int events /. float_of_int batches
+    in
+    Fmt.pr
+      "tcp      %d domain(s): %d clients x %d sessions = %d requests in \
+       %.3fs = %.0f requests/s; %d errors; %d fsync batches, avg %.1f \
+       events/batch (max %d)@."
+      domains clients per_client requests dt rps (Atomic.get errors) batches
+      avg_batch after.Pet_net.Group_commit.max_batch;
+    let json =
+      Pet_pet.Json.Obj
+        [
+          ("domains", Pet_pet.Json.Int domains);
+          ("clients", Pet_pet.Json.Int clients);
+          ("requests", Pet_pet.Json.Int requests);
+          ("errors", Pet_pet.Json.Int (Atomic.get errors));
+          (* "elapsed", not "seconds": requests/requests_per_s already
+             implies it, and a second directional key on the same
+             quantity would double-gate the perf diff at an
+             accidentally tighter effective threshold. *)
+          ("elapsed", Pet_pet.Json.Float dt);
+          ("requests_per_s", Pet_pet.Json.Float rps);
+          ( "commit",
+            Pet_pet.Json.Obj
+              [
+                ("batches", Pet_pet.Json.Int batches);
+                ("events", Pet_pet.Json.Int events);
+                ("max_batch", Pet_pet.Json.Int after.Pet_net.Group_commit.max_batch);
+                ("avg_batch", Pet_pet.Json.Float avg_batch);
+              ] );
+        ]
+    in
+    (json, rps)
+
+let tcp_scaling () =
+  let clients = 8 and per_client = 450 in
+  let configs = [ 1; 2; 4 ] in
+  (* Best of three interleaved rounds: fsync wall latency on shared
+     storage is noisy and dominates both sides of the ratio. Running
+     1→2→4 per round (rather than three of each back to back) spreads
+     any storage-speed drift across all configs, and the fastest round
+     per config is its least noise-contaminated measurement. *)
+  let rounds =
+    List.init 3 (fun _ -> List.map (tcp_config ~clients ~per_client) configs)
+  in
+  let best i =
+    List.map (fun round -> List.nth round i) rounds
+    |> List.sort (fun (_, a) (_, b) -> Float.compare b a)
+    |> List.hd
+  in
+  let results = List.mapi (fun i _ -> best i) configs in
+  let rps_of n =
+    List.nth results (Option.get (List.find_index (Int.equal n) configs))
+    |> snd
+  in
+  let speedup = rps_of 4 /. rps_of 1 in
+  Fmt.pr "tcp      4-domain speedup over 1 domain: %.2fx@." speedup;
+  Pet_pet.Json.Obj
+    [
+      ("scenario", Pet_pet.Json.String "durable new_session churn, localhost TCP");
+      ("configs", Pet_pet.Json.List (List.map fst results));
+      ("tcp_speedup_4_domains", Pet_pet.Json.Float speedup);
+    ]
+
 let server () =
   section "Server: pet serve request throughput (line-delimited JSON)";
   let run_case name exposure respondents =
@@ -593,7 +814,10 @@ let server () =
   let hcov_case = run_case "H-cov" (Lazy.force hcov) 1560 in
   let rsa_case = run_case "RSA" (Lazy.force rsa) 300 in
   let cases = [ hcov_case; rsa_case ] in
-  write_json "BENCH_server.json" (Pet_pet.Json.Obj [ ("cases", Pet_pet.Json.List cases) ])
+  let tcp = tcp_scaling () in
+  write_json "BENCH_server.json"
+    (Pet_pet.Json.Obj
+       [ ("cases", Pet_pet.Json.List cases); ("tcp", tcp) ])
 
 (* --- Obs: instrumentation overhead ---------------------------------------------------------------- *)
 

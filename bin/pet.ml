@@ -750,14 +750,49 @@ let serve_cmd =
     in
     Arg.(value & flag & info [ "log-json" ] ~doc)
   in
+  let stdio_arg =
+    let doc =
+      "Serve requests over standard input/output, one JSON line each way \
+       (the default transport)."
+    in
+    Arg.(value & flag & info [ "stdio" ] ~doc)
+  in
+  let tcp_arg =
+    let doc =
+      "Serve requests over TCP on 127.0.0.1:$(docv) instead of standard \
+       input/output ($(docv) 0 picks an ephemeral port; see \
+       $(b,--port-file)). Same line protocol; a bare $(b,quit) line \
+       closes the connection."
+    in
+    Arg.(value & opt (some int) None & info [ "tcp" ] ~docv:"PORT" ~doc)
+  in
+  let domains_arg =
+    let doc =
+      "Number of worker domains for the TCP server. Sessions are sharded \
+       by respondent-id hash, one shard per domain; all write-ahead-log \
+       appends go through a single writer domain that group-commits \
+       across shards."
+    in
+    Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N" ~doc)
+  in
+  let port_file_arg =
+    let doc =
+      "Write the bound TCP port (one decimal line) to $(docv) once the \
+       server is listening — how scripts find an ephemeral $(b,--tcp 0) \
+       port."
+    in
+    Arg.(value & opt (some string) None & info [ "port-file" ] ~docv:"FILE" ~doc)
+  in
   let run backend payoff deterministic cache ttl data_dir no_fsync
-      metrics_interval trace_slow log_level log_json =
+      metrics_interval trace_slow log_level log_json stdio tcp domains
+      port_file =
+    (* The deterministic clocks are atomic so the TCP server's shards
+       share one logical timeline; under --stdio the single consumer
+       makes the sequence identical to the old [ref]-based one. *)
     let now =
       if deterministic then (
-        let tick = ref 0 in
-        fun () ->
-          incr tick;
-          float_of_int !tick)
+        let tick = Atomic.make 0 in
+        fun () -> float_of_int (Atomic.fetch_and_add tick 1 + 1))
       else Unix.gettimeofday
     in
     (* Observability is always on under [serve]. It gets its own clock:
@@ -767,10 +802,9 @@ let serve_cmd =
        cram transcripts depend on. *)
     Pet_obs.Metrics.enable ();
     if deterministic then (
-      let tick = ref 0 in
+      let tick = Atomic.make 0 in
       Pet_obs.Metrics.set_clock (fun () ->
-          incr tick;
-          float_of_int !tick))
+          float_of_int (Atomic.fetch_and_add tick 1 + 1)))
     else Pet_obs.Metrics.set_clock Unix.gettimeofday;
     (* Tracing rides on the obs clock above: always on under serve, one
        capture per request, the slow threshold set from --trace-slow. *)
@@ -793,6 +827,78 @@ let serve_cmd =
         Some (Spec.to_string exposure)
       | _ -> None
     in
+    if stdio && tcp <> None then
+      `Error (false, "--stdio and --tcp are mutually exclusive")
+    else if tcp = None && domains <> 1 then
+      `Error (false, "--domains only applies to the TCP server (--tcp)")
+    else
+    match tcp with
+    | Some tcp_port -> (
+      (* TCP: recovery replay happens inside Server.start so each event
+         lands on the shard that will own its session; torn-tail and
+         damage reporting stays here, identical to stdio. *)
+      let open_store k =
+        match data_dir with
+        | None -> k None []
+        | Some dir -> (
+          match Pet_store.Store.open_dir ~fsync:(not no_fsync) dir with
+          | Error m -> `Error (false, Printf.sprintf "--data-dir %s: %s" dir m)
+          | Ok (store, recovery) ->
+            Option.iter
+              (fun (d : Pet_store.Store.damage) ->
+                Log.warn "store.torn_tail"
+                  ~fields:
+                    [
+                      fstr "file" d.Pet_store.Store.file;
+                      fint "offset" d.Pet_store.Store.offset;
+                      fstr "reason" d.Pet_store.Store.reason;
+                    ])
+              recovery.Pet_store.Store.truncated;
+            List.iter
+              (fun (d : Pet_store.Store.damage) ->
+                Log.error "store.damage"
+                  ~fields:
+                    [
+                      fstr "file" d.Pet_store.Store.file;
+                      fint "offset" d.Pet_store.Store.offset;
+                      fstr "reason" d.Pet_store.Store.reason;
+                      fstr "hint"
+                        (Printf.sprintf
+                           "replay stopped there; run `pet store verify %s`"
+                           dir);
+                    ])
+              recovery.Pet_store.Store.damage;
+            Log.info "store.recovered"
+              ~fields:
+                [
+                  fint "events" (List.length recovery.Pet_store.Store.events);
+                  fint "files" recovery.Pet_store.Store.files;
+                ];
+            k (Some store) recovery.Pet_store.Store.events)
+      in
+      open_store @@ fun store recovery ->
+      match
+        Pet_net.Server.start ~backend ~payoff ~capacity:cache ~ttl ~resolve
+          ?store ~recovery
+          ~sweep_interval:(if deterministic then 0. else 1.)
+          ~domains ~port:tcp_port ~now ()
+      with
+      | Error m ->
+        Option.iter Pet_store.Store.close store;
+        `Error (false, m)
+      | Ok server ->
+        Option.iter
+          (fun file ->
+            Out_channel.with_open_text file (fun oc ->
+                Printf.fprintf oc "%d\n" (Pet_net.Server.port server)))
+          port_file;
+        let result = Pet_net.Server.wait server in
+        Pet_net.Server.stop server;
+        Option.iter Pet_store.Store.close store;
+        match result with
+        | Ok () -> `Ok ()
+        | Error m -> `Error (false, m))
+    | None ->
     let service =
       Pet_server.Service.create ~backend ~payoff ~capacity:cache ~ttl ~resolve
         ~durable:(data_dir <> None) ~now ()
@@ -897,7 +1003,10 @@ let serve_cmd =
      $(b,--data-dir) the service is durable: every state change is \
      appended to a checksummed write-ahead log before it is acknowledged, \
      and a restart recovers the rule sets, sessions and consent archive \
-     (ids continuing where they left off)."
+     (ids continuing where they left off). With $(b,--tcp) the same \
+     protocol is served over localhost TCP by $(b,--domains) worker \
+     domains (sessions sharded by id, log appends group-committed \
+     through a single writer domain)."
   in
   Cmd.v
     (Cmd.info "serve" ~doc)
@@ -905,7 +1014,88 @@ let serve_cmd =
       ret
         (const run $ backend_arg $ payoff_arg $ deterministic_arg $ cache_arg
        $ ttl_arg $ data_dir_arg $ no_fsync_arg $ metrics_interval_arg
-       $ trace_slow_arg $ log_level_arg $ log_json_arg))
+       $ trace_slow_arg $ log_level_arg $ log_json_arg $ stdio_arg $ tcp_arg
+       $ domains_arg $ port_file_arg))
+
+(* --- ping ------------------------------------------------------------------------- *)
+
+let ping_cmd =
+  let addr_arg =
+    let doc = "Server address, e.g. 127.0.0.1:7464." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"HOST:PORT" ~doc)
+  in
+  let run addr =
+    let split =
+      match String.rindex_opt addr ':' with
+      | None -> None
+      | Some i ->
+        let host = String.sub addr 0 i in
+        let host = if host = "" || host = "localhost" then "127.0.0.1" else host in
+        Option.map
+          (fun port -> (host, port))
+          (int_of_string_opt
+             (String.sub addr (i + 1) (String.length addr - i - 1)))
+    in
+    match split with
+    | None ->
+      `Error (false, Printf.sprintf "%s: expected HOST:PORT" addr)
+    | Some (host, port) -> (
+      match
+        let inet =
+          try Unix.inet_addr_of_string host
+          with Failure _ -> (Unix.gethostbyname host).h_addr_list.(0)
+        in
+        let fd = Unix.socket ~cloexec:true PF_INET SOCK_STREAM 0 in
+        (try Unix.connect fd (ADDR_INET (inet, port))
+         with e -> Unix.close fd; raise e);
+        fd
+      with
+      | exception Unix.Unix_error (e, _, _) ->
+        `Error
+          (false, Printf.sprintf "cannot connect to %s:%d: %s" host port
+               (Unix.error_message e))
+      | exception Not_found ->
+        `Error (false, Printf.sprintf "cannot resolve host %s" host)
+      | fd ->
+        let ic = Unix.in_channel_of_descr fd in
+        let oc = Unix.out_channel_of_descr fd in
+        (* One request line in, one response line out — the transport's
+           own contract — so interleaving stays lockstep and transcripts
+           are deterministic. *)
+        let rec pump () =
+          match In_channel.input_line stdin with
+          | None -> `Ok ()
+          | Some line ->
+            if String.trim line = "" then pump ()
+            else begin
+              output_string oc line;
+              output_char oc '\n';
+              flush oc;
+              if String.trim line = "quit" then `Ok ()
+              else
+                match In_channel.input_line ic with
+                | Some response ->
+                  print_endline response;
+                  flush stdout;
+                  pump ()
+                | None ->
+                  `Error (false, "server closed the connection")
+            end
+        in
+        let result =
+          try pump () with
+          | Sys_error m -> `Error (false, m)
+          | End_of_file -> `Error (false, "server closed the connection")
+        in
+        close_out_noerr oc;
+        result)
+  in
+  let doc =
+    "Line-protocol smoke client for $(b,pet serve --tcp): connect, \
+     forward each standard-input line as a request, print each response \
+     line; a bare $(b,quit) line closes the connection."
+  in
+  Cmd.v (Cmd.info "ping" ~doc) Term.(ret (const run $ addr_arg))
 
 (* --- store ------------------------------------------------------------------------ *)
 
@@ -1259,6 +1449,7 @@ let () =
             graph_cmd;
             simulate_cmd;
             serve_cmd;
+            ping_cmd;
             store_cmd;
             profile_cmd;
             trace_cmd;

@@ -1,0 +1,183 @@
+module Persist = Pet_server.Persist
+module Store = Pet_store.Store
+module Obs = Pet_obs.Metrics
+
+type outcome = Pending | Done | Failed of string
+
+type job = {
+  events : Persist.event list;
+  jm : Mutex.t;
+  jc : Condition.t;
+  mutable outcome : outcome;
+}
+
+type stats = { batches : int; events : int; max_batch : int }
+
+type t = {
+  store : Store.t;
+  m : Mutex.t;
+  c : Condition.t;
+  queue : job Queue.t;
+  batch_target : int;
+  gather_s : float;
+  (* self-pipe: submitters write a byte when the queue reaches
+     [batch_target], waking a writer that is mid-gather in [select] *)
+  pipe_r : Unix.file_descr;
+  pipe_w : Unix.file_descr;
+  mutable stopping : bool;
+  mutable batches : int;
+  mutable events_total : int;
+  mutable max_batch : int;
+  mutable writer : unit Domain.t option;
+}
+
+let obs_batches = Obs.counter "pet_net_commit_batches_total"
+let obs_events = Obs.counter "pet_net_commit_events_total"
+let obs_queue_depth = Obs.gauge "pet_net_commit_queue_depth"
+let obs_max_batch = Obs.gauge "pet_net_commit_batch_max"
+
+let drain_pipe t =
+  let buf = Bytes.create 64 in
+  let rec go () =
+    match Unix.read t.pipe_r buf 0 64 with
+    | 64 -> go ()
+    | _ -> ()
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error (EINTR, _, _) -> go ()
+  in
+  go ()
+
+(* The writer drains whatever accumulated while the previous fsync was
+   in flight — that is the core mechanism: the deeper the backlog, the
+   more events share one fsync. On a single core the scheduler tends to
+   wake the writer the instant the first shard submits, before the
+   other shards have had their turn, so a bare drain degenerates to
+   one-event batches. The gather wait counters that: having found the
+   queue non-empty but below [batch_target], the writer parks in
+   [select] on the self-pipe — yielding the core to the shards — until
+   the submitter that completes the batch writes its wakeup byte or
+   [gather_s] elapses. The wait is bounded well under one fsync, so
+   the worst case adds a fraction of the latency it saves. *)
+let gather t =
+  drain_pipe t;
+  let deadline = Unix.gettimeofday () +. t.gather_s in
+  let rec wait () =
+    if Queue.length t.queue >= t.batch_target || t.stopping then ()
+    else begin
+      let remaining = deadline -. Unix.gettimeofday () in
+      if remaining > 0. then begin
+        Mutex.unlock t.m;
+        (try ignore (Unix.select [ t.pipe_r ] [] [] remaining)
+         with Unix.Unix_error (EINTR, _, _) -> ());
+        drain_pipe t;
+        Mutex.lock t.m;
+        wait ()
+      end
+    end
+  in
+  wait ()
+
+let rec writer_loop t =
+  Mutex.lock t.m;
+  while Queue.is_empty t.queue && not t.stopping do
+    Condition.wait t.c t.m
+  done;
+  if Queue.is_empty t.queue then Mutex.unlock t.m (* stopping, drained *)
+  else begin
+    if t.batch_target > 1 then gather t;
+    let jobs = List.of_seq (Queue.to_seq t.queue) in
+    Queue.clear t.queue;
+    Obs.set_gauge obs_queue_depth 0.;
+    Mutex.unlock t.m;
+    let events = List.concat_map (fun (job : job) -> job.events) jobs in
+    let outcome =
+      match Store.append_batch t.store events with
+      | () -> Done
+      | exception Sys_error m -> Failed m
+    in
+    let n = List.length events in
+    t.batches <- t.batches + 1;
+    t.events_total <- t.events_total + n;
+    if n > t.max_batch then t.max_batch <- n;
+    Obs.incr obs_batches;
+    Obs.add obs_events n;
+    Obs.set_gauge obs_max_batch (float_of_int t.max_batch);
+    List.iter
+      (fun job ->
+        Mutex.lock job.jm;
+        job.outcome <- outcome;
+        Condition.signal job.jc;
+        Mutex.unlock job.jm)
+      jobs;
+    writer_loop t
+  end
+
+let start ?(batch_target = 1) ?(gather_s = 2e-4) store =
+  let pipe_r, pipe_w = Unix.pipe ~cloexec:true () in
+  Unix.set_nonblock pipe_r;
+  let t =
+    {
+      store;
+      m = Mutex.create ();
+      c = Condition.create ();
+      queue = Queue.create ();
+      batch_target = max 1 batch_target;
+      gather_s;
+      pipe_r;
+      pipe_w;
+      stopping = false;
+      batches = 0;
+      events_total = 0;
+      max_batch = 0;
+      writer = None;
+    }
+  in
+  t.writer <- Some (Domain.spawn (fun () -> writer_loop t));
+  t
+
+let submit t events =
+  match events with
+  | [] -> ()
+  | events ->
+    let job =
+      { events; jm = Mutex.create (); jc = Condition.create (); outcome = Pending }
+    in
+    Mutex.lock t.m;
+    if t.stopping then begin
+      Mutex.unlock t.m;
+      raise (Sys_error "group-commit writer is stopped")
+    end;
+    Queue.add job t.queue;
+    let depth = Queue.length t.queue in
+    Obs.set_gauge obs_queue_depth (float_of_int depth);
+    if depth = 1 then Condition.signal t.c;
+    if depth = t.batch_target && t.batch_target > 1 then
+      (* completes the batch a gathering writer is waiting for *)
+      (try ignore (Unix.write_substring t.pipe_w "x" 0 1)
+       with Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EPIPE | EBADF), _, _) ->
+         ());
+    Mutex.unlock t.m;
+    Mutex.lock job.jm;
+    while job.outcome = Pending do
+      Condition.wait job.jc job.jm
+    done;
+    let outcome = job.outcome in
+    Mutex.unlock job.jm;
+    (match outcome with
+    | Done | Pending -> ()
+    | Failed m -> raise (Sys_error m))
+
+let stop t =
+  Mutex.lock t.m;
+  t.stopping <- true;
+  Condition.broadcast t.c;
+  (try ignore (Unix.write_substring t.pipe_w "x" 0 1)
+   with Unix.Unix_error (_, _, _) -> ());
+  Mutex.unlock t.m;
+  Option.iter Domain.join t.writer;
+  t.writer <- None;
+  Unix.close t.pipe_r;
+  Unix.close t.pipe_w
+
+let stats t =
+  { batches = t.batches; events = t.events_total; max_batch = t.max_batch }

@@ -1,0 +1,444 @@
+module Json = Pet_pet.Json
+module Proto = Pet_server.Proto
+module Service = Pet_server.Service
+module Session = Pet_server.Session
+module Shared = Pet_server.Shared
+module Persist = Pet_server.Persist
+module Store = Pet_store.Store
+module Obs = Pet_obs.Metrics
+module Log = Pet_obs.Log
+module Trace = Pet_obs.Trace
+
+(* --- Wiring -------------------------------------------------------------------
+
+   Threads and domains:
+   - the main domain runs the acceptor thread plus one thread per
+     connection (blocking line I/O releases the runtime lock, so they
+     interleave freely);
+   - each shard is a domain running a plain queue-drain loop over its
+     own [Service.t] — sessions never leave their shard, so the service
+     needs no locking;
+   - one writer domain ([Group_commit]) owns every WAL append.
+
+   A request travels: connection thread → (queue) shard domain →
+   (submit) writer domain → back to the shard, which writes the
+   response line to the socket itself, after the commit. The reading
+   and writing halves of a connection are decoupled on purpose: the
+   reader can queue further requests (up to [max_outstanding]) while
+   earlier ones commit, which is what keeps every shard loaded and the
+   writer's batches full. A client that pipelines must correlate
+   responses by their echoed "id" — responses to requests that landed
+   on different shards may interleave; a lockstep client (one request
+   in flight, like `pet ping`) always sees strict request order. *)
+
+(* One live connection. The reader thread owns the descriptor's
+   lifetime; shards share the write side under [wm]. [outstanding]
+   counts requests queued but not yet answered: the reader blocks at
+   [max_outstanding] (backpressure), and close waits for it to drain to
+   zero so no shard can ever write to a recycled descriptor. *)
+type conn = {
+  oc : out_channel;
+  wm : Mutex.t;
+  cm : Mutex.t;
+  cc : Condition.t;
+  mutable outstanding : int;
+}
+
+let max_outstanding = 64
+
+type job = Request of { line : string; conn : conn } | Tick
+
+type shard = {
+  index : int;
+  service : Service.t;
+  q : job Queue.t;
+  qm : Mutex.t;
+  qc : Condition.t;
+  pending : Persist.event list ref;
+      (* events the request being handled emitted, newest first; the
+         shard flushes them to the writer before replying *)
+  obs_requests : Obs.counter;
+  obs_active : Obs.gauge;
+  obs_queue : Obs.gauge;
+  mutable stopped : bool;
+  mutable domain : unit Domain.t option;
+}
+
+type t = {
+  shards : shard array;
+  shared : Shared.t;
+  writer : Group_commit.t option;
+  listen : Unix.file_descr;
+  port : int;
+  rr : int Atomic.t;  (* round-robin for sessionless requests *)
+  conns : int Atomic.t;
+  stop_flag : bool Atomic.t;
+  failure : string option ref;
+  fm : Mutex.t;
+  fc : Condition.t;
+  mutable acceptor : Thread.t option;
+  mutable ticker : Thread.t option;
+}
+
+let obs_accepted = Obs.counter "pet_net_accepted_total"
+let obs_conns = Obs.gauge "pet_net_connections"
+
+(* --- Routing ------------------------------------------------------------------- *)
+
+(* Cheap scan for a top-level ["session":"<id>"] pair without parsing
+   the JSON on the connection thread — the shard parses for real. A
+   false positive (the pattern inside some string value) can only route
+   the request to a shard that does not know the session, which answers
+   [unknown_session] exactly as a wrong id would; it cannot crash or
+   cross state between shards. *)
+let session_hint line =
+  let key = {|"session"|} in
+  let len = String.length line and klen = String.length key in
+  let is_ws c = c = ' ' || c = '\t' in
+  let rec skip_ws i = if i < len && is_ws line.[i] then skip_ws (i + 1) else i in
+  let rec search from =
+    if from + klen > len then None
+    else if String.sub line from klen <> key then search (from + 1)
+    else
+      let i = skip_ws (from + klen) in
+      if i >= len || line.[i] <> ':' then search (from + 1)
+      else
+        let i = skip_ws (i + 1) in
+        if i >= len || line.[i] <> '"' then search (from + 1)
+        else
+          match String.index_from_opt line (i + 1) '"' with
+          | Some j when j > i + 1 -> Some (String.sub line (i + 1) (j - i - 1))
+          | _ -> search (from + 1)
+  in
+  search 0
+
+let route t line =
+  let shards = Array.length t.shards in
+  if shards = 1 then 0
+  else
+    match session_hint line with
+    | Some id -> Shard_map.owner ~shards id
+    | None -> Atomic.fetch_and_add t.rr 1 mod shards
+
+(* --- Failure ------------------------------------------------------------------- *)
+
+(* A WAL failure is fatal: the shard answers the one affected client
+   with an [internal] error (its state change is in memory but was never
+   durable) and flags the server; [wait] returns so the driver can shut
+   down. Matches the stdio server, where the same [Sys_error] kills the
+   serving loop. *)
+let fail t reason =
+  Mutex.lock t.fm;
+  if !(t.failure) = None then t.failure := Some reason;
+  Condition.broadcast t.fc;
+  Mutex.unlock t.fm
+
+let wait t =
+  Mutex.lock t.fm;
+  while !(t.failure) = None && not (Atomic.get t.stop_flag) do
+    Condition.wait t.fc t.fm
+  done;
+  let result = match !(t.failure) with Some m -> Error m | None -> Ok () in
+  Mutex.unlock t.fm;
+  result
+
+(* --- Shard domains -------------------------------------------------------------- *)
+
+let enqueue shard job =
+  Mutex.lock shard.qm;
+  Queue.add job shard.q;
+  Obs.set_gauge shard.obs_queue (float_of_int (Queue.length shard.q));
+  Condition.signal shard.qc;
+  Mutex.unlock shard.qm
+
+let sync_active shard =
+  Obs.set_gauge shard.obs_active
+    (float_of_int (Service.session_counters shard.service).Session.active)
+
+(* Deliver a response line on the connection's write side, then release
+   one slot of its outstanding budget. A write failure means the client
+   went away; its remaining responses are dropped but the accounting
+   still runs, so the reader can drain and close. *)
+let respond conn response =
+  Mutex.lock conn.wm;
+  (try
+     output_string conn.oc response;
+     output_char conn.oc '\n';
+     flush conn.oc
+   with Sys_error _ -> ());
+  Mutex.unlock conn.wm;
+  Mutex.lock conn.cm;
+  conn.outstanding <- conn.outstanding - 1;
+  Condition.broadcast conn.cc;
+  Mutex.unlock conn.cm
+
+let handle_request t shard line conn =
+  Obs.incr shard.obs_requests;
+  let response =
+    let response = Service.handle_line shard.service line in
+    match t.writer with
+    | None -> response
+    | Some writer -> (
+      match List.rev !(shard.pending) with
+      | [] -> response
+      | events -> (
+        shard.pending := [];
+        match Group_commit.submit writer events with
+        | () -> response
+        | exception Sys_error m ->
+          let reason = "write-ahead log failure: " ^ m in
+          Log.error "net.wal_failed" ~fields:[ ("reason", Trace.String m) ];
+          fail t reason;
+          Proto.error_response ~id:Json.Null (Proto.error Proto.Internal reason)
+        ))
+  in
+  sync_active shard;
+  respond conn response
+
+let rec shard_loop t shard =
+  Mutex.lock shard.qm;
+  while Queue.is_empty shard.q && not shard.stopped do
+    Condition.wait shard.qc shard.qm
+  done;
+  if Queue.is_empty shard.q then Mutex.unlock shard.qm (* stopped, drained *)
+  else begin
+    let job = Queue.pop shard.q in
+    Obs.set_gauge shard.obs_queue (float_of_int (Queue.length shard.q));
+    Mutex.unlock shard.qm;
+    (match job with
+    | Tick ->
+      ignore (Service.sweep_tick ~budget:256 shard.service);
+      sync_active shard
+    | Request { line; conn } -> handle_request t shard line conn);
+    shard_loop t shard
+  end
+
+(* --- Connection threads ----------------------------------------------------------- *)
+
+let strip_cr line =
+  let n = String.length line in
+  if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+
+let conn_loop t ic conn =
+  let rec go () =
+    match In_channel.input_line ic with
+    | None -> ()
+    | Some line ->
+      let line = strip_cr line in
+      let trimmed = String.trim line in
+      if trimmed = "" then go ()
+      else if trimmed = "quit" then ()
+      else if Atomic.get t.stop_flag then ()
+      else begin
+        let shard = t.shards.(route t line) in
+        Mutex.lock conn.cm;
+        while conn.outstanding >= max_outstanding do
+          Condition.wait conn.cc conn.cm
+        done;
+        conn.outstanding <- conn.outstanding + 1;
+        Mutex.unlock conn.cm;
+        enqueue shard (Request { line; conn });
+        go ()
+      end
+  in
+  go ()
+
+let handle_conn t fd =
+  Atomic.incr t.conns;
+  Obs.set_gauge obs_conns (float_of_int (Atomic.get t.conns));
+  let ic = Unix.in_channel_of_descr fd in
+  let conn =
+    {
+      oc = Unix.out_channel_of_descr fd;
+      wm = Mutex.create ();
+      cm = Mutex.create ();
+      cc = Condition.create ();
+      outstanding = 0;
+    }
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (* Wait for every queued request's response before closing: a
+         shard must never write to a descriptor that may have been
+         recycled by a newer accept. *)
+      Mutex.lock conn.cm;
+      while conn.outstanding > 0 do
+        Condition.wait conn.cc conn.cm
+      done;
+      Mutex.unlock conn.cm;
+      Atomic.decr t.conns;
+      Obs.set_gauge obs_conns (float_of_int (Atomic.get t.conns));
+      (* Exactly one close: channels and [conn.fd] share the
+         descriptor, and the reader thread is its sole owner. *)
+      close_out_noerr conn.oc)
+    (fun () ->
+      try conn_loop t ic conn with Sys_error _ | End_of_file -> ())
+
+let acceptor_loop t =
+  let rec go () =
+    match Unix.accept ~cloexec:true t.listen with
+    | fd, _ ->
+      Obs.incr obs_accepted;
+      ignore (Thread.create (fun () -> handle_conn t fd) ());
+      go ()
+    | exception Unix.Unix_error (EINTR, _, _) -> go ()
+    | exception Unix.Unix_error _ ->
+      (* [stop] shuts the listener down to wake this thread; anything
+         else on a closed/shut socket also means we are done. *)
+      ()
+  in
+  go ()
+
+let ticker_loop t interval =
+  while not (Atomic.get t.stop_flag) do
+    Thread.delay interval;
+    if not (Atomic.get t.stop_flag) then
+      Array.iter (fun shard -> enqueue shard Tick) t.shards
+  done
+
+(* --- Lifecycle -------------------------------------------------------------------- *)
+
+let start ?backend ?payoff ?capacity ?ttl ?resolve ?store ?(recovery = [])
+    ?(sweep_interval = 1.) ~domains ~port ~now () =
+  let domains = max 1 domains in
+  let shared = Shared.create () in
+  let durable = store <> None in
+  let shards =
+    Array.init domains (fun index ->
+        let owns id = Shard_map.owner ~shards:domains id = index in
+        let labels = [ ("domain", string_of_int index) ] in
+        {
+          index;
+          service =
+            Service.create ?backend ?payoff ?capacity ?ttl ?resolve ~owns
+              ~shared ~durable ~now ();
+          q = Queue.create ();
+          qm = Mutex.create ();
+          qc = Condition.create ();
+          pending = ref [];
+          obs_requests = Obs.counter ~labels "pet_net_shard_requests_total";
+          obs_active = Obs.gauge ~labels "pet_net_shard_sessions_active";
+          obs_queue = Obs.gauge ~labels "pet_net_shard_queue_depth";
+          stopped = false;
+          domain = None;
+        })
+  in
+  (* Replay routes each event to the shard that will serve it — the id
+     hash is stable across runs — before any domain is spawned, so no
+     locking is needed. Rule sets and grants go to shard 0: texts and
+     ledgers land in the shared state either way, and any other shard
+     recompiles lazily from the shared text on first touch. *)
+  List.iter
+    (fun event ->
+      let target =
+        match event with
+        | Persist.Rules _ | Persist.Grant _ -> 0
+        | Persist.Session_created { id; _ }
+        | Persist.Session_chosen { id; _ }
+        | Persist.Session_submitted { id; _ } ->
+          Shard_map.owner ~shards:domains id
+      in
+      match Service.apply_event shards.(target).service event with
+      | Ok () -> ()
+      | Error reason ->
+        Log.error "store.replay_error"
+          ~fields:[ ("reason", Trace.String reason) ])
+    recovery;
+  (match store with
+  | None -> ()
+  | Some _ ->
+    Array.iter
+      (fun shard ->
+        Service.set_sink shard.service
+          {
+            Persist.emit =
+              (fun event -> shard.pending := event :: !(shard.pending));
+          })
+      shards);
+  match
+    let fd = Unix.socket ~cloexec:true PF_INET SOCK_STREAM 0 in
+    Unix.setsockopt fd SO_REUSEADDR true;
+    Unix.bind fd (ADDR_INET (Unix.inet_addr_loopback, port));
+    Unix.listen fd 128;
+    fd
+  with
+  | exception Unix.Unix_error (e, _, _) ->
+    Error (Printf.sprintf "cannot listen on port %d: %s" port
+             (Unix.error_message e))
+  | listen ->
+    let port =
+      match Unix.getsockname listen with
+      | Unix.ADDR_INET (_, p) -> p
+      | _ -> port
+    in
+    let t =
+      {
+        shards;
+        shared;
+        writer = Option.map (Group_commit.start ~batch_target:domains) store;
+        listen;
+        port;
+        rr = Atomic.make 0;
+        conns = Atomic.make 0;
+        stop_flag = Atomic.make false;
+        failure = ref None;
+        fm = Mutex.create ();
+        fc = Condition.create ();
+        acceptor = None;
+        ticker = None;
+      }
+    in
+    Array.iter
+      (fun shard ->
+        shard.domain <- Some (Domain.spawn (fun () -> shard_loop t shard)))
+      t.shards;
+    t.acceptor <- Some (Thread.create (fun () -> acceptor_loop t) ());
+    if sweep_interval > 0. then
+      t.ticker <- Some (Thread.create (fun () -> ticker_loop t sweep_interval) ());
+    Log.info "net.listening"
+      ~fields:
+        [ ("port", Trace.Int port); ("domains", Trace.Int domains) ];
+    Ok t
+
+let port t = t.port
+
+let stop t =
+  if not (Atomic.exchange t.stop_flag true) then begin
+    Mutex.lock t.fm;
+    Condition.broadcast t.fc;
+    Mutex.unlock t.fm;
+    (* Shutting the listener down (not just closing it) wakes the
+       acceptor blocked in [accept]. *)
+    (try Unix.shutdown t.listen Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+    Option.iter Thread.join t.acceptor;
+    t.acceptor <- None;
+    (try Unix.close t.listen with Unix.Unix_error _ -> ());
+    Array.iter
+      (fun shard ->
+        Mutex.lock shard.qm;
+        shard.stopped <- true;
+        Condition.broadcast shard.qc;
+        Mutex.unlock shard.qm)
+      t.shards;
+    Array.iter
+      (fun shard ->
+        Option.iter Domain.join shard.domain;
+        shard.domain <- None)
+      t.shards;
+    Option.iter Group_commit.stop t.writer;
+    Option.iter Thread.join t.ticker;
+    t.ticker <- None
+  end
+
+let batch_stats t = Option.map Group_commit.stats t.writer
+
+let session_totals t =
+  Array.fold_left
+    (fun (active, created, expired) shard ->
+      let c = Service.session_counters shard.service in
+      ( active + c.Session.active,
+        created + c.Session.created,
+        expired + c.Session.expired ))
+    (0, 0, 0) t.shards
+
+let shard_services t = Array.map (fun shard -> shard.service) t.shards

@@ -1,0 +1,75 @@
+(** The TCP front of the collection service.
+
+    One process, [domains] shards: each shard is an OCaml domain that
+    owns a disjoint slice of the session space ({!Shard_map} decides
+    ownership from the id alone), runs its own [Service.t] with no
+    locking, and funnels its durable events through the single
+    {!Group_commit} writer domain. Connection handling stays on the main
+    domain as plain threads: a reader thread per connection parses
+    nothing, routes each request line to its shard (round-robin when the
+    line names no session) and moves on to the next line; the shard
+    writes the response back to the socket itself once the request's
+    events are committed. A connection that pipelines requests may
+    therefore see responses out of order when they land on different
+    shards — the echoed ["id"] correlates them; a client that waits for
+    each response before sending the next sees strict ordering.
+
+    Replies are durable-before-reply: a request whose handling emitted
+    WAL events is only acknowledged after its batch is fsynced.
+
+    Rule-set texts and grant ledgers are shared across shards (see
+    {!Pet_server.Shared}); compiled engines are not — each shard
+    recompiles from the shared canonical text on first use, so BDD
+    memo tables are never touched by two domains. Raw valuations never
+    cross a domain boundary: they live inside the owning shard's
+    session and only the chosen option's digested grant reaches the
+    shared ledger or the wire. *)
+
+type t
+
+val start :
+  ?backend:Pet_rules.Engine.backend ->
+  ?payoff:Pet_game.Payoff.kind ->
+  ?capacity:int ->
+  ?ttl:float ->
+  ?resolve:(string -> string option) ->
+  ?store:Pet_store.Store.t ->
+  ?recovery:Pet_server.Persist.event list ->
+  ?sweep_interval:float ->
+  domains:int ->
+  port:int ->
+  now:(unit -> float) ->
+  unit ->
+  (t, string) result
+(** Bind [127.0.0.1:port] ([port = 0] picks an ephemeral port — read it
+    back with {!port}), replay [recovery] into the owning shards, then
+    spawn the shard domains, the writer domain (when [store] is given),
+    the acceptor thread and the sweep ticker ([sweep_interval <= 0.]
+    disables it; use with deterministic clocks). The caller keeps
+    ownership of [store] and closes it after {!stop}. [Error] only on
+    socket failures; replay errors are logged and skipped, as in stdio
+    recovery. *)
+
+val port : t -> int
+(** The bound port (useful with [port:0]). *)
+
+val wait : t -> (unit, string) result
+(** Block until {!stop} is called ([Ok ()]) or a shard hits a fatal
+    write-ahead-log failure ([Error reason]). *)
+
+val stop : t -> unit
+(** Wake the acceptor, drain and join the shard domains, stop the
+    writer (committing anything queued), join the ticker. Idempotent.
+    Connections still open are not waited for; their threads die with
+    the process or on the next client read. *)
+
+val batch_stats : t -> Group_commit.stats option
+(** Group-commit totals, [None] when running without a store. *)
+
+val session_totals : t -> int * int * int
+(** [(active, created, expired)] summed across shards. Exact when the
+    server is quiescent; monitoring-grade otherwise. *)
+
+val shard_services : t -> Pet_server.Service.t array
+(** The per-shard services, index = shard. For tests and stats
+    endpoints; do not mutate while the shard domains run. *)

@@ -1,0 +1,13 @@
+(* FNV-1a over the session id, folded to 31 bits so the value is a
+   non-negative [int] on every platform. The hash is fixed — it is part
+   of the on-disk contract: recovery routes each replayed session to the
+   shard that will serve it, so the mapping must be stable across runs
+   (and it keeps cram transcripts stable too). *)
+let hash id =
+  let h = ref 0x811c9dc5 in
+  String.iter
+    (fun c -> h := (!h lxor Char.code c) * 0x01000193 land 0x7fffffff)
+    id;
+  !h
+
+let owner ~shards id = if shards <= 1 then 0 else hash id mod shards

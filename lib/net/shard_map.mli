@@ -1,0 +1,13 @@
+(** Session-id → shard mapping.
+
+    Deterministic and stable across processes: the same id always lands
+    on the same shard, which is what lets recovery rebuild each shard's
+    session store before the domains start, and lets every connection
+    thread route a request without consulting any shared state. *)
+
+val hash : string -> int
+(** FNV-1a (31-bit, non-negative). *)
+
+val owner : shards:int -> string -> int
+(** The shard index owning [id] among [shards] shards ([0] when
+    [shards <= 1]). *)

@@ -26,6 +26,10 @@ let set_json b = json := b
 let sink = ref prerr_endline
 let set_sink f = sink := f
 
+(* One emitting domain at a time, so concurrent shards never interleave
+   characters within a line. *)
+let sink_m = Mutex.create ()
+
 (* Reuse the trace exporter's escaping so both captures and logs render
    strings identically. *)
 let escape = Trace.json_escape
@@ -71,7 +75,9 @@ let log lvl ?(fields = []) event =
           fields;
         Buffer.contents buf
     in
-    !sink line
+    Mutex.lock sink_m;
+    Fun.protect ~finally:(fun () -> Mutex.unlock sink_m) (fun () ->
+        !sink line)
   end
 
 let debug ?fields event = log Debug ?fields event

@@ -38,10 +38,17 @@ let bucket_of v =
 
 (* --- Instruments ----------------------------------------------------------- *)
 
-type counter = { mutable c : int }
+(* Domain safety: counters are atomic, histograms take a per-instrument
+   mutex, and the registry itself is guarded for concurrent register /
+   snapshot / reset. Gauges stay plain mutable floats — a float store is
+   a single word in the OCaml memory model, so concurrent writers can
+   only race to last-writer-wins, never tear. *)
+
+type counter = { c : int Atomic.t }
 type gauge = { mutable g : float }
 
 type histogram = {
+  hm : Mutex.t;
   counts : int array;
   mutable n : int;
   mutable sum : float;
@@ -54,8 +61,14 @@ type instrument =
   | Histogram of histogram
 
 let registry : (string, instrument) Hashtbl.t = Hashtbl.create 64
+let registry_m = Mutex.create ()
+
+let locked m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
 
 let register key make cast =
+  locked registry_m @@ fun () ->
   match Hashtbl.find_opt registry key with
   | Some i -> (
     match cast i with
@@ -74,12 +87,12 @@ let register key make cast =
 
 let counter ?(labels = []) name =
   register (render name labels)
-    (fun () -> `C { c = 0 })
+    (fun () -> `C { c = Atomic.make 0 })
     (function Counter c -> Some c | _ -> None)
 
-let incr c = if !on then c.c <- c.c + 1
-let add c n = if !on && n > 0 then c.c <- c.c + n
-let counter_value c = c.c
+let incr c = if !on then Atomic.incr c.c
+let add c n = if !on && n > 0 then ignore (Atomic.fetch_and_add c.c n)
+let counter_value c = Atomic.get c.c
 
 let gauge ?(labels = []) name =
   register (render name labels)
@@ -91,13 +104,22 @@ let gauge_value g = g.g
 
 let histogram ?(labels = []) name =
   register (render name labels)
-    (fun () -> `H { counts = Array.make n_buckets 0; n = 0; sum = 0.; hmax = 0. })
+    (fun () ->
+      `H
+        {
+          hm = Mutex.create ();
+          counts = Array.make n_buckets 0;
+          n = 0;
+          sum = 0.;
+          hmax = 0.;
+        })
     (function Histogram h -> Some h | _ -> None)
 
 let observe h v =
   if !on then begin
     let v = if v < 0. then 0. else v in
     let b = bucket_of v in
+    locked h.hm @@ fun () ->
     h.counts.(b) <- h.counts.(b) + 1;
     h.n <- h.n + 1;
     h.sum <- h.sum +. v;
@@ -148,6 +170,7 @@ type snapshot = {
 }
 
 let hist_stats h =
+  locked h.hm @@ fun () ->
   let buckets = ref [] in
   for i = n_buckets - 1 downto 0 do
     if h.counts.(i) > 0 then
@@ -157,13 +180,14 @@ let hist_stats h =
 
 let snapshot () =
   let counters = ref [] and gauges = ref [] and histograms = ref [] in
-  Hashtbl.iter
-    (fun key instrument ->
-      match instrument with
-      | Counter c -> counters := (key, c.c) :: !counters
-      | Gauge g -> gauges := (key, g.g) :: !gauges
-      | Histogram h -> histograms := (key, hist_stats h) :: !histograms)
-    registry;
+  (locked registry_m @@ fun () ->
+   Hashtbl.iter
+     (fun key instrument ->
+       match instrument with
+       | Counter c -> counters := (key, Atomic.get c.c) :: !counters
+       | Gauge g -> gauges := (key, g.g) :: !gauges
+       | Histogram h -> histograms := (key, hist_stats h) :: !histograms)
+     registry);
   let by_name (a, _) (b, _) = String.compare a b in
   {
     counters = List.sort by_name !counters;
@@ -172,12 +196,14 @@ let snapshot () =
   }
 
 let reset () =
+  locked registry_m @@ fun () ->
   Hashtbl.iter
     (fun _ instrument ->
       match instrument with
-      | Counter c -> c.c <- 0
+      | Counter c -> Atomic.set c.c 0
       | Gauge g -> g.g <- 0.
       | Histogram h ->
+        locked h.hm @@ fun () ->
         Array.fill h.counts 0 n_buckets 0;
         h.n <- 0;
         h.sum <- 0.;

@@ -15,9 +15,12 @@
     identity returns the same instrument, so call sites may register at
     module-initialization time or lazily.
 
-    Everything here is deliberately single-threaded, matching the
-    synchronous service core: no locks, no atomics. A parallel driver
-    must serialize access alongside its {!Pet_server.Service} calls. *)
+    Instruments are domain-safe: counters are atomic, histograms and
+    the registry are mutex-guarded, and gauges are single-word float
+    stores (concurrent writers race only to last-writer-wins — shards
+    wanting distinct values use per-shard labels). The sharded TCP
+    server ({!Pet_net}) increments the same instruments from every
+    worker domain. *)
 
 val enabled : unit -> bool
 val enable : unit -> unit

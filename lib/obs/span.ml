@@ -15,14 +15,6 @@ let make_frame name =
     kid_index = Hashtbl.create 4;
   }
 
-(* Sentinel root: its children are the top-level spans. The stack always
-   has the root at the bottom, so the innermost running span is the
-   head. A frame can never be on the stack twice (each stack entry is a
-   distinct child of the one below), so accumulating [ftotal] at exit
-   never double-counts, even under recursion. *)
-let root = make_frame "<root>"
-let stack = ref [ root ]
-
 (* A secondary recorder (installed by {!Trace} while a request-scoped
    capture is active) sees every span entry and exit with the timestamps
    this module already read — attaching a trace costs no extra clock
@@ -32,8 +24,28 @@ type recorder = {
   r_exit : float -> unit;  (** end time of the innermost open span *)
 }
 
-let recorder : recorder option ref = ref None
-let set_recorder r = recorder := r
+(* Sentinel root: its children are the top-level spans. The stack always
+   has the root at the bottom, so the innermost running span is the
+   head. A frame can never be on the stack twice (each stack entry is a
+   distinct child of the one below), so accumulating [ftotal] at exit
+   never double-counts, even under recursion.
+
+   All of this state is domain-local: each domain profiles its own work
+   and installs its own recorder, so spans never contend across domains
+   and a frame tree never mixes two domains' timings. *)
+type state = {
+  s_root : frame;
+  mutable s_stack : frame list;
+  mutable s_recorder : recorder option;
+}
+
+let state_key =
+  Domain.DLS.new_key (fun () ->
+      let root = make_frame "<root>" in
+      { s_root = root; s_stack = [ root ]; s_recorder = None })
+
+let state () = Domain.DLS.get state_key
+let set_recorder r = (state ()).s_recorder <- r
 
 let child_of parent name =
   match Hashtbl.find_opt parent.kid_index name with
@@ -47,18 +59,19 @@ let child_of parent name =
 let enter name f =
   if not (Metrics.enabled ()) then f ()
   else begin
-    let parent = match !stack with p :: _ -> p | [] -> root in
+    let st = state () in
+    let parent = match st.s_stack with p :: _ -> p | [] -> st.s_root in
     let frame = child_of parent name in
     frame.fcount <- frame.fcount + 1;
-    stack := frame :: !stack;
+    st.s_stack <- frame :: st.s_stack;
     let t0 = Metrics.now () in
-    (match !recorder with Some r -> r.r_enter name t0 | None -> ());
+    (match st.s_recorder with Some r -> r.r_enter name t0 | None -> ());
     Fun.protect
       ~finally:(fun () ->
         let t1 = Metrics.now () in
         frame.ftotal <- frame.ftotal +. (t1 -. t0);
-        (match !recorder with Some r -> r.r_exit t1 | None -> ());
-        match !stack with _ :: rest -> stack := rest | [] -> ())
+        (match st.s_recorder with Some r -> r.r_exit t1 | None -> ());
+        match st.s_stack with _ :: rest -> st.s_stack <- rest | [] -> ())
       f
   end
 
@@ -81,12 +94,13 @@ let rec node_of frame =
     children;
   }
 
-let roots () = List.rev_map node_of root.kids_rev
+let roots () = List.rev_map node_of (state ()).s_root.kids_rev
 
 let total () = List.fold_left (fun acc n -> acc +. n.total) 0. (roots ())
 
 let reset () =
-  (match !stack with
+  let st = state () in
+  (match st.s_stack with
   | [] | [ _ ] -> ()
   | stack ->
     invalid_arg
@@ -95,9 +109,9 @@ let reset () =
           run between spans"
          (List.length stack - 1)
          (match stack with f :: _ -> f.fname | [] -> "?")));
-  root.kids_rev <- [];
-  Hashtbl.reset root.kid_index;
-  stack := [ root ]
+  st.s_root.kids_rev <- [];
+  Hashtbl.reset st.s_root.kid_index;
+  st.s_stack <- [ st.s_root ]
 
 let render ?out_total () =
   let nodes = roots () in

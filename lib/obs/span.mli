@@ -17,9 +17,11 @@
     supported — a span may appear on the stack more than once; each
     nested entry nests one level deeper in the tree.
 
-    Like {!Metrics}, spans share the global enabled switch and clock and
-    are single-threaded. When disabled, {!enter} runs the thunk without
-    reading the clock. *)
+    Like {!Metrics}, spans share the global enabled switch and clock.
+    The span tree, stack and recorder are domain-local state: each
+    domain profiles its own work and {!roots}/{!reset} act on the
+    calling domain's tree. When disabled, {!enter} runs the thunk
+    without reading the clock. *)
 
 val enter : string -> (unit -> 'a) -> 'a
 (** [enter name f] runs [f], timing it as a child of the innermost

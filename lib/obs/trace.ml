@@ -59,10 +59,20 @@ let ring_list r =
     (fun i -> r.buf.((r.next - 1 - i + (2 * cap)) mod cap))
     (List.init n Fun.id)
 
+(* The rings are shared by every domain — a capture finishing on any
+   shard lands in the same recent/slow history — so all ring access goes
+   through one mutex. *)
+let ring_m = Mutex.create ()
+
+let ring_locked f =
+  Mutex.lock ring_m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock ring_m) f
+
 let recent_ring = ref (ring_make 64)
 let slow_ring = ref (ring_make 32)
 
 let configure ?(recent = 64) ?(slow = 32) () =
+  ring_locked @@ fun () ->
   recent_ring := ring_make recent;
   slow_ring := ring_make slow
 
@@ -87,21 +97,24 @@ type active = {
   mutable anns_rev : (string * value) list;
 }
 
-let active : active option ref = ref None
+(* One capture can be open per domain (each shard traces the request it
+   is handling); the id sequence is global so ids stay unique across
+   domains and deterministic under a single sequential client. *)
+let active_key : active option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
 
-let ids = ref 0
+let active () = Domain.DLS.get active_key
 
-let generate_id () =
-  let id = Printf.sprintf "t%d" !ids in
-  incr ids;
-  id
+let ids = Atomic.make 0
+let generate_id () = Printf.sprintf "t%d" (Atomic.fetch_and_add ids 1)
 
 let annotate key v =
-  match !active with
+  match !(active ()) with
   | None -> ()
   | Some a -> a.anns_rev <- (key, v) :: a.anns_rev
 
-let current () = match !active with None -> None | Some a -> Some a.aid
+let current () =
+  match !(active ()) with None -> None | Some a -> Some a.aid
 
 let on_enter a name t0 =
   let frame = { bname = name; bstart = t0; bdur = 0.; bkids_rev = [] } in
@@ -129,6 +142,7 @@ let rec node_of frame =
 let run ~id f =
   if not !on then f ()
   else
+    let active = active () in
     match !active with
     | Some _ -> f () (* nested capture joins the enclosing trace *)
     | None ->
@@ -165,33 +179,37 @@ let run ~id f =
               spans = List.rev_map node_of a.aroots_rev;
             }
           in
-          ring_add !recent_ring trace;
-          if slow then ring_add !slow_ring trace)
+          ring_locked (fun () ->
+              ring_add !recent_ring trace;
+              if slow then ring_add !slow_ring trace))
         f
 
 (* --- Completed traces --------------------------------------------------------- *)
 
-let recent () = ring_list !recent_ring
-let slow () = ring_list !slow_ring
+let recent () = ring_locked (fun () -> ring_list !recent_ring)
+let slow () = ring_locked (fun () -> ring_list !slow_ring)
 
 let find id =
+  ring_locked @@ fun () ->
   let by_id t = t.id = id in
   match List.find_opt by_id (ring_list !recent_ring) with
   | Some _ as found -> found
   | None -> List.find_opt by_id (ring_list !slow_ring)
 
-let evictions () = (!recent_ring.evicted, !slow_ring.evicted)
+let evictions () =
+  ring_locked (fun () -> (!recent_ring.evicted, !slow_ring.evicted))
 
 let reset () =
-  let reset_ring r =
-    Array.fill r.buf 0 (Array.length r.buf) None;
-    r.next <- 0;
-    r.filled <- false;
-    r.evicted <- 0
-  in
-  reset_ring !recent_ring;
-  reset_ring !slow_ring;
-  ids := 0
+  (ring_locked @@ fun () ->
+   let reset_ring r =
+     Array.fill r.buf 0 (Array.length r.buf) None;
+     r.next <- 0;
+     r.filled <- false;
+     r.evicted <- 0
+   in
+   reset_ring !recent_ring;
+   reset_ring !slow_ring);
+  Atomic.set ids 0
 
 (* --- Export -------------------------------------------------------------------- *)
 

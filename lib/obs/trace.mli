@@ -18,9 +18,13 @@
     request an operator is hunting. Both rings evict oldest-first and
     count their evictions.
 
-    Like the rest of the layer this module is single-threaded and
-    clock-agnostic (it reads {!Metrics.now}, two reads per traced
-    request). Tracing has its own switch on top of the global one:
+    Captures are domain-local (each worker domain traces the request it
+    is handling; one capture open per domain) while the id sequence and
+    both rings are shared — ids are atomic and the rings mutex-guarded,
+    so a trace finished on any domain is visible to [trace] queries
+    answered by every other. The module is clock-agnostic (it reads
+    {!Metrics.now}, two reads per traced request). Tracing has its own
+    switch on top of the global one:
     {!run} is a single branch when disabled, and span capture
     piggybacks on the timestamps {!Span.enter} already reads. *)
 

@@ -31,6 +31,7 @@ type code =
   | Bad_state
   | Ineligible
   | Rejected
+  | Internal
 
 let code_name = function
   | Parse_error -> "parse_error"
@@ -44,6 +45,7 @@ let code_name = function
   | Bad_state -> "bad_state"
   | Ineligible -> "ineligible"
   | Rejected -> "rejected"
+  | Internal -> "internal"
 
 type error = { code : code; message : string }
 

@@ -80,6 +80,10 @@ type code =
   | Bad_state  (** the session is not in a state accepting this method *)
   | Ineligible  (** the form grants no benefit or contradicts the rules *)
   | Rejected  (** provider-side refusal of a submitted form *)
+  | Internal
+      (** server-side failure outside the request's control — e.g. the
+          write-ahead log refused the event the request produced; the
+          state change was not acknowledged as durable *)
 
 val code_name : code -> string
 

@@ -40,13 +40,18 @@ type t = {
       (* durable mode only: digest -> canonical text for every rule set
          ever compiled, so evicted engines can be recompiled instead of
          erroring — the log, not the LRU cache, is the source of truth *)
+  shared : Shared.t option;
+      (* sharded deployments route rule texts and ledgers through the
+         process-wide [Shared] state instead of the tables above, so a
+         rule set published on one shard is servable (and auditable,
+         with one grant-id sequence) on every other *)
   mutable sink : Persist.sink;
   mutable requests : int;
   mutable submitted : int;
 }
 
 let create ?(backend = Engine.Bdd) ?(payoff = Payoff.Blank) ?capacity ?ttl
-    ?(resolve = fun _ -> None) ?(durable = false) ~now () =
+    ?owns ?shared ?(resolve = fun _ -> None) ?(durable = false) ~now () =
   {
     backend;
     payoff;
@@ -54,10 +59,11 @@ let create ?(backend = Engine.Bdd) ?(payoff = Payoff.Blank) ?capacity ?ttl
     resolve;
     registry = Registry.create ?capacity ();
     ledgers = Hashtbl.create 8;
-    store = Session.create_store ?ttl ();
+    store = Session.create_store ?ttl ?owns ();
     methods = Hashtbl.create 8;
     durable;
     rule_texts = Hashtbl.create 8;
+    shared;
     sink = Persist.null;
     requests = 0;
     submitted = 0;
@@ -66,6 +72,59 @@ let create ?(backend = Engine.Bdd) ?(payoff = Payoff.Blank) ?capacity ?ttl
 let set_sink t sink = t.sink <- sink
 
 let ( let* ) = Result.bind
+
+(* --- Shard-shared state accessors -------------------------------------------------
+
+   A standalone service owns its rule texts and ledgers; a sharded one
+   defers both to the process-wide [Shared] state. Everything below is
+   written against these four accessors so the handlers read the same
+   either way. *)
+
+(* Retain the canonical text for a digest; [true] when it was new (the
+   caller then owns persisting the [Rules] event exactly once,
+   process-wide). A sharded service retains even when not durable —
+   cross-shard digest resolution needs the text regardless. *)
+let remember_text t ~digest ~text =
+  match t.shared with
+  | Some shared -> Shared.remember_text shared ~digest ~text
+  | None ->
+    t.durable
+    && (not (Hashtbl.mem t.rule_texts digest))
+    &&
+    (Hashtbl.replace t.rule_texts digest text;
+     true)
+
+let retained_text t digest =
+  match t.shared with
+  | Some shared -> Shared.find_text shared digest
+  | None -> Hashtbl.find_opt t.rule_texts digest
+
+let retained_texts t =
+  match t.shared with
+  | Some shared -> Shared.texts shared
+  | None -> Hashtbl.fold (fun d x acc -> (d, x) :: acc) t.rule_texts []
+
+let with_ledger t digest f =
+  match t.shared with
+  | Some shared -> Shared.with_ledger shared digest f
+  | None ->
+    f
+      (match Hashtbl.find_opt t.ledgers digest with
+      | Some ledger -> ledger
+      | None ->
+        let ledger = Ledger.create () in
+        Hashtbl.add t.ledgers digest ledger;
+        ledger)
+
+let fold_ledgers t f init =
+  match t.shared with
+  | Some shared -> Shared.fold_ledgers shared f init
+  | None -> Hashtbl.fold f t.ledgers init
+
+let ledger_count t =
+  match t.shared with
+  | Some shared -> Shared.ledger_count shared
+  | None -> Hashtbl.length t.ledgers
 
 (* --- Rule-set resolution ----------------------------------------------------- *)
 
@@ -81,12 +140,11 @@ let compile t text =
     with
     | compiled, hit ->
       (* Durable mode retains the canonical text and logs each rule set
-         the first time it compiles; replay refills [rule_texts] before
-         the sink is attached, so recovered rule sets are not re-logged. *)
-      if t.durable && not (Hashtbl.mem t.rule_texts digest) then begin
-        Hashtbl.replace t.rule_texts digest canonical;
-        t.sink.emit (Persist.Rules { digest; text = canonical })
-      end;
+         the first time it compiles; replay refills the retained texts
+         before the sink is attached, so recovered rule sets are not
+         re-logged. *)
+      if remember_text t ~digest ~text:canonical && t.durable then
+        t.sink.emit (Persist.Rules { digest; text = canonical });
       Ok (compiled, hit)
     | exception Invalid_argument m ->
       Error (Proto.errorf Proto.Invalid_params "rules: %s" m))
@@ -106,7 +164,7 @@ let resolve_rules t = function
     | None -> (
       (* Durable mode never forgets a published rule set: recompile it
          from the retained canonical text instead of erroring. *)
-      match Hashtbl.find_opt t.rule_texts digest with
+      match retained_text t digest with
       | Some text -> compile t text
       | None ->
         Error
@@ -122,7 +180,7 @@ let engine_of_session t (session : Session.t) =
   match Registry.peek t.registry session.Session.digest with
   | Some compiled -> Ok compiled
   | None -> (
-    match Hashtbl.find_opt t.rule_texts session.Session.digest with
+    match retained_text t session.Session.digest with
     | Some text -> Result.map fst (compile t text)
     | None ->
       Error
@@ -130,14 +188,6 @@ let engine_of_session t (session : Session.t) =
            "the engine for this session's rules was evicted from the cache; \
             republish the rules and retry"
            ))
-
-let ledger_for t digest =
-  match Hashtbl.find_opt t.ledgers digest with
-  | Some ledger -> ledger
-  | None ->
-    let ledger = Ledger.create () in
-    Hashtbl.add t.ledgers digest ledger;
-    ledger
 
 let find_session t id ~now =
   match Session.find t.store id ~now with
@@ -270,8 +320,10 @@ let submit_form t ~session:sid ~now =
   match Workflow.submit compiled.provider mas with
   | Error m -> Error (Proto.error Proto.Rejected m)
   | Ok grant ->
-    let ledger = ledger_for t session.Session.digest in
-    let grant_id = Ledger.record ledger grant in
+    let grant_id =
+      with_ledger t session.Session.digest (fun ledger ->
+          Ledger.record ledger grant)
+    in
     session.Session.grant_id <- Some grant_id;
     session.Session.state <- Session.Submitted;
     t.submitted <- t.submitted + 1;
@@ -299,14 +351,18 @@ let submit_form t ~session:sid ~now =
 
 let audit t rules =
   let* compiled, _ = resolve_rules t rules in
-  let ledger = ledger_for t compiled.digest in
-  let failures = Ledger.audit ledger compiled.provider in
+  let records, stored_values, failures =
+    with_ledger t compiled.digest (fun ledger ->
+        ( Ledger.size ledger,
+          Ledger.stored_values ledger,
+          Ledger.audit ledger compiled.provider ))
+  in
   Ok
     (Json.Obj
        [
          ("digest", Json.String compiled.digest);
-         ("records", Json.Int (Ledger.size ledger));
-         ("stored_values", Json.Int (Ledger.stored_values ledger));
+         ("records", Json.Int records);
+         ("stored_values", Json.Int stored_values);
          ("failures", Json.List (List.map (fun i -> Json.Int i) failures));
        ])
 
@@ -316,7 +372,7 @@ let compiled_of_digest t digest =
   match Registry.peek t.registry digest with
   | Some compiled -> Ok compiled
   | None -> (
-    match Hashtbl.find_opt t.rule_texts digest with
+    match retained_text t digest with
     | Some text -> (
       match compile t text with
       | Ok (compiled, _) -> Ok compiled
@@ -373,17 +429,20 @@ let apply_event t event =
   | Persist.Grant { digest; grant_id; form; benefits } ->
     let* compiled = compiled_of_digest t digest in
     let* form = partial_of compiled form in
-    let ledger = ledger_for t digest in
-    if Ledger.size ledger <> grant_id then
-      Error
-        (Printf.sprintf
-           "grant %d for rule set %s arrived out of order (ledger at %d)"
-           grant_id digest (Ledger.size ledger))
-    else begin
-      ignore (Ledger.record ledger { Workflow.form; benefits });
-      t.submitted <- t.submitted + 1;
-      Ok ()
-    end
+    let* () =
+      with_ledger t digest (fun ledger ->
+          if Ledger.size ledger <> grant_id then
+            Error
+              (Printf.sprintf
+                 "grant %d for rule set %s arrived out of order (ledger at %d)"
+                 grant_id digest (Ledger.size ledger))
+          else begin
+            ignore (Ledger.record ledger { Workflow.form; benefits });
+            Ok ()
+          end)
+    in
+    t.submitted <- t.submitted + 1;
+    Ok ()
 
 (* The live state as an equivalent event sequence — what a snapshot
    stores. Replaying [state_events] recreates every rule set, archived
@@ -392,14 +451,11 @@ let apply_event t event =
    rule sets first, then grants in id order per rule set, then sessions
    in id order, so replay dependencies always point backwards. *)
 let state_events t =
-  let sorted_bindings table =
-    Hashtbl.fold (fun k v acc -> (k, v) :: acc) table []
-    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
-  in
+  let by_key l = List.sort (fun (a, _) (b, _) -> String.compare a b) l in
   let rules =
     List.map
       (fun (digest, text) -> Persist.Rules { digest; text })
-      (sorted_bindings t.rule_texts)
+      (by_key (retained_texts t))
   in
   let grants =
     List.concat_map
@@ -414,7 +470,7 @@ let state_events t =
                 benefits = e.Ledger.grant.Workflow.benefits;
               })
           (Ledger.entries ledger))
-      (sorted_bindings t.ledgers)
+      (by_key (fold_ledgers t (fun d l acc -> (d, l) :: acc) []))
   in
   let session_key (s : Session.t) =
     (String.length s.Session.id, s.Session.id)
@@ -517,9 +573,7 @@ let sync_gauges t =
   Obs.set_gauge obs_sessions_created (float_of_int s.Session.created);
   Obs.set_gauge obs_sessions_expired (float_of_int s.Session.expired);
   Obs.set_gauge obs_submitted (float_of_int t.submitted);
-  let records =
-    Hashtbl.fold (fun _ l acc -> acc + Ledger.size l) t.ledgers 0
-  in
+  let records = fold_ledgers t (fun _ l acc -> acc + Ledger.size l) 0 in
   Obs.set_gauge obs_ledger_records (float_of_int records)
 
 let json_of_hist (h : Obs.hist_stats) =
@@ -635,6 +689,15 @@ let trace_payload query format =
 (* --- Stats ---------------------------------------------------------------------- *)
 
 let registry_stats t = Registry.stats t.registry
+let session_counters t = Session.counters t.store
+
+(* Sweep on demand, at the service clock — the TCP server's ticker
+   enqueues one of these per shard per interval so TTL expiry advances
+   on every shard even when only one of them sees traffic. *)
+let sweep_tick ?budget t =
+  let swept = Session.sweep_step ?budget t.store ~now:(t.now ()) in
+  if Obs.enabled () then Obs.add obs_swept swept;
+  swept
 
 let stats_json t =
   let r = Registry.stats t.registry in
@@ -657,10 +720,10 @@ let stats_json t =
                ] ))
   in
   let records, stored_values =
-    Hashtbl.fold
+    fold_ledgers t
       (fun _ ledger (records, values) ->
         (records + Ledger.size ledger, values + Ledger.stored_values ledger))
-      t.ledgers (0, 0)
+      (0, 0)
   in
   Json.Obj
     [
@@ -688,7 +751,7 @@ let stats_json t =
       ( "ledger",
         Json.Obj
           [
-            ("rule_sets", Json.Int (Hashtbl.length t.ledgers));
+            ("rule_sets", Json.Int (ledger_count t));
             ("records", Json.Int records);
             ("stored_values", Json.Int stored_values);
           ] );

@@ -13,9 +13,12 @@
     {!handle_line} maps one request line to one response line, so any
     driver — the [pet serve] stdin/stdout loop, a socket accept loop, a
     test harness — provides the I/O and, if it wants parallelism, the
-    locking around a service instance. Determinism is preserved by
-    injecting the clock: tests and cram transcripts pass a logical
-    clock, production passes wall time. *)
+    locking around a service instance. The sharded TCP server
+    ({!Pet_net}) runs one instance per worker domain, each serving only
+    the sessions whose ids hash to it ([owns]) and deferring rule texts
+    and grant ledgers to the process-wide {!Shared} state. Determinism
+    is preserved by injecting the clock: tests and cram transcripts pass
+    a logical clock, production passes wall time. *)
 
 type t
 
@@ -24,6 +27,8 @@ val create :
   ?payoff:Pet_game.Payoff.kind ->
   ?capacity:int ->
   ?ttl:float ->
+  ?owns:(string -> bool) ->
+  ?shared:Shared.t ->
   ?resolve:(string -> string option) ->
   ?durable:bool ->
   now:(unit -> float) ->
@@ -35,6 +40,11 @@ val create :
     wires the built-in case studies here); [now] is called exactly twice
     per request (entry and exit), so a logical clock advancing 1.0 per
     call yields fully deterministic latencies and expiry.
+
+    [owns] restricts which session ids this instance creates (see
+    {!Session.create_store}); [shared] routes rule texts and grant
+    ledgers through cross-shard state instead of instance-private
+    tables. Both default to the standalone single-instance behavior.
 
     [durable] (default false) prepares the service for a persistence
     backend: the canonical text of every compiled rule set is retained
@@ -82,6 +92,17 @@ val stats_json : t -> Pet_pet.Json.t
     active/created/expired/submitted counts, and archive totals. *)
 
 val registry_stats : t -> Registry.stats
+
+val session_counters : t -> Session.counters
+(** Live session counters for this instance — a sharded deployment sums
+    them across shards for the process-wide view. *)
+
+val sweep_tick : ?budget:int -> t -> int
+(** Run one incremental expiry step at the service clock, outside any
+    request ({!Session.sweep_step}; [budget] defaults to its). The TCP
+    server's ticker enqueues one per shard per interval, so a shard that
+    sees no traffic still expires its sessions and a hot shard cannot
+    starve the others' sweeps. Returns the number of sessions swept. *)
 
 val sync_gauges : t -> unit
 (** Mirror the service-owned aggregates (registry, sessions, ledgers)

@@ -23,6 +23,10 @@ type t = {
 
 type store = {
   ttl : float;
+  owns : string -> bool;
+      (* shard ownership predicate over session ids: {!create} only
+         hands out ids this store owns, so stores partitioned by a hash
+         of the id (the sharded TCP server) never collide *)
   sessions : (string, t) Hashtbl.t;
   mutable next_id : int;
   mutable created : int;
@@ -34,9 +38,10 @@ type store = {
 
 type counters = { active : int; created : int; expired : int }
 
-let create_store ?(ttl = 3600.) () =
+let create_store ?(ttl = 3600.) ?(owns = fun _ -> true) () =
   {
     ttl;
+    owns;
     sessions = Hashtbl.create 64;
     next_id = 0;
     created = 0;
@@ -63,9 +68,14 @@ let fresh store ~id ~digest ~now =
   session
 
 let create store ~digest ~now =
-  let id = Printf.sprintf "s%d" store.next_id in
-  store.next_id <- store.next_id + 1;
-  fresh store ~id ~digest ~now
+  (* Walk the shared "s<n>" sequence, skipping ids another shard owns.
+     With the default predicate the first candidate always wins. *)
+  let rec pick () =
+    let id = Printf.sprintf "s%d" store.next_id in
+    store.next_id <- store.next_id + 1;
+    if store.owns id then id else pick ()
+  in
+  fresh store ~id:(pick ()) ~digest ~now
 
 let restore store ~id ~digest ~now =
   (* Recovered ids keep their original names; the sequence continues

@@ -35,14 +35,19 @@ type t = {
 type store
 type counters = { active : int; created : int; expired : int }
 
-val create_store : ?ttl:float -> unit -> store
-(** [ttl] in seconds, default 3600; [ttl <= 0.] disables expiry. *)
+val create_store : ?ttl:float -> ?owns:(string -> bool) -> unit -> store
+(** [ttl] in seconds, default 3600; [ttl <= 0.] disables expiry.
+    [owns] (default: everything) restricts which ids {!create} may hand
+    out: a sharded deployment gives each shard's store the predicate
+    "this id hashes to my shard", partitioning the shared ["s<n>"]
+    sequence without coordination. *)
 
 val create : store -> digest:string -> now:float -> t
 (** Fresh session in state [Created], with a sequential id ["s0"],
-    ["s1"], … (deterministic by design: ids order the transcript, they
-    are not authentication tokens — a fronting transport would wrap them
-    in its own opaque handles). *)
+    ["s1"], … skipping ids the store does not own (deterministic by
+    design: ids order the transcript, they are not authentication
+    tokens — a fronting transport would wrap them in its own opaque
+    handles). *)
 
 val restore : store -> id:string -> digest:string -> now:float -> t
 (** Recreate a recovered session under its original id (state [Created];

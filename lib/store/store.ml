@@ -242,6 +242,30 @@ let append t event =
     Pet_obs.Metrics.set_gauge obs_segments (float_of_int (t.sealed + 1))
   end
 
+let append_batch t events =
+  match events with
+  | [] -> ()
+  | events ->
+    Pet_obs.Metrics.time obs_append_h @@ fun () ->
+    let fd, oc = channel t in
+    let bytes =
+      List.fold_left
+        (fun bytes event ->
+          let record = Record.frame (encode event) in
+          output_string oc record;
+          bytes + String.length record)
+        0 events
+    in
+    flush oc;
+    if t.fsync then Pet_obs.Metrics.time obs_fsync_h (fun () -> Unix.fsync fd);
+    t.written <- t.written + bytes;
+    if t.written >= t.segment_bytes then seal t;
+    if Pet_obs.Metrics.enabled () then begin
+      Pet_obs.Metrics.add obs_appends (List.length events);
+      Pet_obs.Metrics.add obs_append_bytes bytes;
+      Pet_obs.Metrics.set_gauge obs_segments (float_of_int (t.sealed + 1))
+    end
+
 let sink t = { Persist.emit = (fun event -> append t event) }
 
 let wants_compaction t =

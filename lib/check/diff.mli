@@ -1,4 +1,4 @@
-(** Differential testing across the three [Engine] backends.
+(** Differential testing across the four [Engine] backends.
 
     The [.mli] of {!Pet_rules.Engine} promises that [Brute], [Sat] and
     [Bdd] agree on every input; this module checks that promise head-on

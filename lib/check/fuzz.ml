@@ -1,11 +1,14 @@
 module Json = Pet_pet.Json
 module Spec = Pet_rules.Spec
 module Exposure = Pet_rules.Exposure
+module Engine = Pet_rules.Engine
 module Total = Pet_valuation.Total
+module Partial = Pet_valuation.Partial
 module Generate = Pet_rules.Generate
 module Service = Pet_server.Service
 module Registry = Pet_server.Registry
 module Proto = Pet_server.Proto
+module Code = Pet_compile.Code
 
 type stats = {
   requests : int;
@@ -14,6 +17,11 @@ type stats = {
   invalid_responses : int;
   crashes : (string * string) list;
   by_code : (string * int) list;
+  cursor_checked : int;
+  cursor_fast : int;
+  cursor_mismatches : (string * string) list;
+  boundary_checks : int;
+  boundary_failures : (string * string) list;
 }
 
 (* Small generated rule sets so compiled providers are cheap and the
@@ -151,8 +159,41 @@ let run ?(seed = 0) ~count () =
   and invalid = ref 0
   and crashes = ref []
   and codes = Hashtbl.create 16 in
+  let cursor_checked = ref 0
+  and cursor_fast = ref 0
+  and cursor_mismatches = ref [] in
+  (* Every fuzzed line also checks the zero-allocation cursor decoder's
+     soundness contract: [decode_fast line = Some env] must imply
+     [decode line = Ok env], structurally. [None] is always fine — the
+     service falls back to the full decoder. *)
+  let check_cursor line =
+    incr cursor_checked;
+    match Proto.decode_fast line with
+    | None -> ()
+    | exception exn ->
+      cursor_mismatches :=
+        ( truncate_for_display line,
+          "decode_fast raised " ^ Printexc.to_string exn )
+        :: !cursor_mismatches
+    | Some fast -> (
+      incr cursor_fast;
+      match Proto.decode line with
+      | Ok full when full = fast -> ()
+      | Ok _ ->
+        cursor_mismatches :=
+          (truncate_for_display line, "fast and full decodes disagree")
+          :: !cursor_mismatches
+      | Error (_, _, err) ->
+        cursor_mismatches :=
+          ( truncate_for_display line,
+            Printf.sprintf "fast decode accepts what the full decoder \
+                            rejects (%s: %s)"
+              (Proto.code_name err.Proto.code) err.Proto.message )
+          :: !cursor_mismatches)
+  in
   let feed line =
     incr requests;
+    check_cursor line;
     match Service.handle_line service line with
     | exception exn ->
       crashes := (truncate_for_display line, Printexc.to_string exn) :: !crashes
@@ -187,6 +228,61 @@ let run ?(seed = 0) ~count () =
   while !requests < count do
     feed (mutate (base_line ()))
   done;
+  (* The compiled backend tabulates forms up to
+     [Code.max_tabulated_predicates] and silently switches to its BDD
+     fallback above, so fuzz exposures on both sides of that line —
+     including >20 predicates, far beyond anything the enumeration-based
+     helpers can touch. Each generated form is checked compiled-vs-SAT
+     (an independent implementation that scales) on random partial
+     valuations; [Exposure.realistic] is useless here because it
+     enumerates all 2^n totals. *)
+  let boundary_checks = ref 0
+  and boundary_failures = ref [] in
+  let tab = Code.max_tabulated_predicates in
+  let boundary_sizes = [ tab - 1; tab; tab + 1; tab + 5 ] in
+  let rounds = max 1 (count / 1000) in
+  List.iter
+    (fun n ->
+      let config =
+        {
+          Generate.predicates = n;
+          benefits = 3;
+          conjunctions = 3;
+          width = 3;
+          implications = 2;
+        }
+      in
+      for round = 0 to rounds - 1 do
+        let form_seed = seed + (n * 1000) + round in
+        let e = Generate.exposure ~config ~seed:form_seed () in
+        let compiled = Engine.create ~backend:Engine.Compiled e in
+        let sat = Engine.create ~backend:Engine.Sat e in
+        let xp = Exposure.xp e in
+        for _ = 0 to 15 do
+          let dom = Random.State.int rng (1 lsl n) in
+          let bits = Random.State.int rng (1 lsl n) land dom in
+          let w = Partial.of_masks xp ~dom ~bits in
+          incr boundary_checks;
+          let fail what =
+            boundary_failures :=
+              ( Printf.sprintf "%d predicates, form seed %d" n form_seed,
+                Printf.sprintf "compiled vs sat diverge on %s of %s" what
+                  (Partial.to_string w) )
+              :: !boundary_failures
+          in
+          if Engine.consistent compiled w <> Engine.consistent sat w then
+            fail "consistent";
+          if
+            not
+              (List.equal String.equal
+                 (Engine.benefits compiled w)
+                 (Engine.benefits sat w))
+          then fail "benefits";
+          if Engine.deduced_literals compiled w <> Engine.deduced_literals sat w
+          then fail "deduced_literals"
+        done
+      done)
+    boundary_sizes;
   {
     requests = !requests;
     ok = !ok;
@@ -196,6 +292,11 @@ let run ?(seed = 0) ~count () =
     by_code =
       Hashtbl.fold (fun c n acc -> (c, n) :: acc) codes []
       |> List.sort (fun (a, _) (b, _) -> String.compare a b);
+    cursor_checked = !cursor_checked;
+    cursor_fast = !cursor_fast;
+    cursor_mismatches = List.rev !cursor_mismatches;
+    boundary_checks = !boundary_checks;
+    boundary_failures = List.rev !boundary_failures;
   }
 
 let pp ppf s =
@@ -203,9 +304,22 @@ let pp ppf s =
     "fuzz: %d requests, %d ok, %d structured errors, %d invalid responses, \
      %d crashes"
     s.requests s.ok s.errors s.invalid_responses (List.length s.crashes);
+  Fmt.pf ppf
+    "@.fuzz: %d/%d lines fast-decoded, %d cursor mismatches; %d boundary \
+     checks, %d failures"
+    s.cursor_fast s.cursor_checked
+    (List.length s.cursor_mismatches)
+    s.boundary_checks
+    (List.length s.boundary_failures);
   List.iter
     (fun (line, exn) -> Fmt.pf ppf "@.crash: %s@.  on: %s" exn line)
-    s.crashes
+    s.crashes;
+  List.iter
+    (fun (line, why) -> Fmt.pf ppf "@.cursor mismatch: %s@.  on: %s" why line)
+    s.cursor_mismatches;
+  List.iter
+    (fun (where, why) -> Fmt.pf ppf "@.boundary failure: %s@.  %s" why where)
+    s.boundary_failures
 
 (* --- Store fuzzing -------------------------------------------------------------- *)
 

@@ -10,7 +10,18 @@
     junk insertions, doubled lines, wrong envelope versions, 600-deep
     nesting (the JSON parser caps at 512) and oversized lines (the
     {!Pet_server.Proto.max_line_bytes} guard). Fully deterministic for a
-    given [seed] and [count]. *)
+    given [seed] and [count].
+
+    Two compiled-fast-path checks ride along. Every generated line also
+    exercises {!Pet_server.Proto.decode_fast}: whenever the one-pass
+    cursor scanner accepts a line, its envelope must be structurally
+    identical to the full decoder's — any disagreement (including lines
+    the full decoder rejects) is a soundness violation. And a
+    fallback-boundary phase generates forms on both sides of
+    {!Pet_compile.Code.max_tabulated_predicates} — including >20
+    predicates, beyond every enumeration-based helper — and differences
+    the compiled backend against the SAT backend on random partial
+    valuations. *)
 
 type stats = {
   requests : int;
@@ -21,6 +32,14 @@ type stats = {
   crashes : (string * string) list;
       (** (offending line, exception) — contract violations *)
   by_code : (string * int) list;  (** error-code histogram, sorted *)
+  cursor_checked : int;  (** lines offered to {!Pet_server.Proto.decode_fast} *)
+  cursor_fast : int;  (** lines the cursor scanner accepted *)
+  cursor_mismatches : (string * string) list;
+      (** (offending line, disagreement) — soundness violations *)
+  boundary_checks : int;
+      (** partial valuations compared across the tabulation boundary *)
+  boundary_failures : (string * string) list;
+      (** (form, divergence) — compiled-vs-SAT violations *)
 }
 
 val run : ?seed:int -> count:int -> unit -> stats

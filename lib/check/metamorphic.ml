@@ -154,7 +154,11 @@ let canon_equilibrium ~back_pred atlas payoff =
         Payoff.of_profile profile payoff ~player:i ))
   |> List.sort compare
 
-let check ?(payoff = Payoff.Blank) ?(backend = Engine.Bdd) e =
+(* Default backend [Compiled]: the metamorphic transformations then
+   exercise the serving fast path (bitmask tables on small forms, BDD
+   fallback above the threshold) rather than re-testing the BDD twice —
+   the differential stages already pin every backend against brute. *)
+let check ?(payoff = Payoff.Blank) ?(backend = Engine.Compiled) e =
   let tally = Finding.tally () in
   let base_atlas = Atlas.build (Engine.create ~backend e) in
   let base_canon =

@@ -34,4 +34,6 @@ val check :
   Pet_rules.Exposure.t ->
   Finding.report
 (** Stages: ["metamorphic/<transform name>"]. [backend] defaults to
-    [Bdd]; backend equivalence itself is {!Diff}'s job. *)
+    [Compiled] (the serving fast path, with its own BDD fallback above
+    the tabulation threshold); backend equivalence itself is {!Diff}'s
+    job. *)

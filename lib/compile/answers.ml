@@ -1,0 +1,118 @@
+module Universe = Pet_valuation.Universe
+module Partial = Pet_valuation.Partial
+
+(* One chainable constraint [premises -> consequences], compiled like a
+   rule conjunction: the premise fires on a candidate domain [dom] of
+   valuation [v] iff [dom] covers [pmask] and [v] carries the premise
+   signs; firing extends the domain by [cmask]. *)
+type impl = { pmask : int; pbits : int; cmask : int; cbits : int }
+
+type t = { code : Code.t; table : int array array }
+
+let code t = t.code
+
+let compile_impl xp (premises, consequences) =
+  let pack ls =
+    List.fold_left
+      (fun (mask, bits) (l : Pet_logic.Literal.t) ->
+        let i = Universe.index xp l.var in
+        (mask lor (1 lsl i), if l.sign then bits lor (1 lsl i) else bits))
+      (0, 0) ls
+  in
+  let pmask, pbits = pack premises in
+  let cmask, cbits = pack consequences in
+  { pmask; pbits; cmask; cbits }
+
+(* [Algorithm1.chain_close] on domain words: the fixpoint is unique, so
+   folding the implications to saturation reproduces it whatever order
+   the steps fire in. *)
+let chain_close impls v dom0 =
+  let dom = ref dom0 in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun { pmask; pbits; cmask; cbits } ->
+        if !dom land pmask = pmask && v land pmask = pbits then begin
+          if v land cmask <> cbits then
+            invalid_arg "Pet_compile.Answers: contradictory chaining";
+          let dom' = !dom lor cmask in
+          if dom' <> !dom then begin
+            dom := dom';
+            changed := true
+          end
+        end)
+      impls
+  done;
+  !dom
+
+(* Algorithm 1 lines 5-13 on words: the Cartesian product, across the
+   granted benefits, of the masks of the conjunctions [v] satisfies. *)
+let raw_candidates code v granted =
+  let acc = ref [ 0 ] in
+  let nb = Code.benefit_count code in
+  for i = 0 to nb - 1 do
+    if granted land (1 lsl i) <> 0 then begin
+      let sat =
+        Array.to_list (Code.conjunctions code i)
+        |> List.filter_map (fun (c : Code.conj) ->
+               if Code.conj_holds c v then Some c.Code.mask else None)
+      in
+      acc :=
+        List.concat_map (fun dom -> List.map (fun m -> dom lor m) sat) !acc
+    end
+  done;
+  List.sort_uniq Int.compare !acc
+
+let keep_minimal doms =
+  let doms = List.sort_uniq Int.compare doms in
+  List.filter
+    (fun dom ->
+      not (List.exists (fun dom' -> dom' <> dom && dom' land dom = dom') doms))
+    doms
+
+let mas_of code impls v =
+  let granted = Code.benefit_bits code v in
+  if granted = 0 then [| 0 |]
+  else
+    let xp = Code.universe code in
+    let selected =
+      raw_candidates code v granted
+      |> List.map (chain_close impls v)
+      |> List.filter (fun dom ->
+             (Code.scan code ~dom ~bits:(v land dom)).Code.benefit_and
+             = granted)
+      |> keep_minimal
+    in
+    selected
+    |> List.map (fun dom -> (Partial.of_masks xp ~dom ~bits:(v land dom), dom))
+    |> List.sort (fun (a, _) (b, _) -> Partial.compare_lex a b)
+    |> List.map snd |> Array.of_list
+
+let build code ~implications =
+  let xp = Code.universe code in
+  let impls = Array.of_list (List.map (compile_impl xp) implications) in
+  let size = 1 lsl Code.predicates code in
+  let table =
+    Array.init size (fun v ->
+        if Code.consistent_bits code v then mas_of code impls v else [||])
+  in
+  { code; table }
+
+let mas_domains t v = t.table.(v)
+
+let mas_list t v =
+  let xp = Code.universe t.code in
+  Array.to_list t.table.(v)
+  |> List.map (fun dom -> Partial.of_masks xp ~dom ~bits:(v land dom))
+
+let granted t v =
+  let mask = Code.benefit_bits t.code v in
+  let rec go i acc =
+    if i < 0 then acc
+    else
+      go (i - 1)
+        (if mask land (1 lsl i) <> 0 then Code.benefit_name t.code i :: acc
+         else acc)
+  in
+  go (Code.benefit_count t.code - 1) []

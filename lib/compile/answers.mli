@@ -1,0 +1,45 @@
+(** The fully tabulated MAS answer table: Algorithm 1 (Chain mode)
+    re-derived at the bitmask level, one entry per consistent total
+    valuation, built once at publish time.
+
+    This is an independent reimplementation of
+    [Pet_minimize.Algorithm1.mas_of ~mode:Chain] over {!Code}'s
+    compiled words: candidates are ORs of satisfied-conjunction masks,
+    forward chaining is mask extension, accuracy is one {!Code.scan},
+    and minimality is subset testing on domain words. The property
+    suite checks it valuation-by-valuation against [Algorithm1] and
+    [Algorithm1.is_minimal] — agreement here is what licenses the
+    compiled fast path to answer [get_report] from a table
+    (DESIGN.md §14). *)
+
+type t
+
+val build :
+  Code.t ->
+  implications:(Pet_logic.Literal.t list * Pet_logic.Literal.t list) list ->
+  t
+(** Tabulate every consistent valuation's MAS list. [implications] are
+    the chainable constraints, as {!Pet_rules.Exposure.implications}
+    reports them.
+    @raise Invalid_argument when an implication mentions a variable
+    outside the code's universe, or when chaining contradicts a
+    valuation (the same condition [Algorithm1.chain_close] rejects). *)
+
+val code : t -> Code.t
+
+val mas_domains : t -> int -> int array
+(** [mas_domains t v] for a consistent valuation word [v]: the domain
+    masks of its minimal accurate subvaluations, in the paper's
+    canonical order ({!Pet_valuation.Partial.compare_lex} of the
+    restrictions of [v]). Each MAS is [Partial.of_masks ~dom
+    ~bits:(v land dom)]. The empty array marks an inconsistent [v]
+    (which has no MAS — [Algorithm1.mas_of] refuses it); a consistent
+    valuation granting no benefit has the single empty-domain MAS
+    [[|0|]]. *)
+
+val mas_list : t -> int -> Pet_valuation.Partial.t list
+(** {!mas_domains} decoded into partial valuations. *)
+
+val granted : t -> int -> string list
+(** Benefits granted to valuation word [v], in benefit-universe
+    order — the benefit list every one of its MAS proves. *)

@@ -1,0 +1,93 @@
+(** Publish-time compilation of a form's rule set into branch-free
+    bitmask tests over the bit-packed valuations of [lib/valuation].
+
+    A decision rule's DNF conjunction [l1 & ... & lk] over the form
+    universe compiles to a pair of machine words: [mask] selects the
+    mentioned predicates, [bits] holds their required signs. A total
+    valuation [v] (as {!Pet_valuation.Total.bits}) satisfies the
+    conjunction iff [(v land mask) = bits] — one AND and one compare,
+    no lists, no hashing, no string lookups.
+
+    For forms up to {!max_tabulated_predicates} predicates the
+    constructor additionally tabulates, for every one of the [2^n]
+    total valuations, whether it satisfies the consistency constraints
+    and which benefits it triggers. Every proof-relation question
+    ([w, R |= _]) then reduces to a walk over the consistent
+    completions of [w] — a submask enumeration reading two flat
+    arrays. This is the compiled engine backend; the brute/SAT/BDD
+    backends differentially test it (DESIGN.md §14). *)
+
+type conj = { mask : int; bits : int }
+(** One compiled conjunction: [v] satisfies it iff
+    [(v land mask) = bits]. The empty conjunction is
+    [{mask = 0; bits = 0}] and holds everywhere. *)
+
+type t
+
+val max_tabulated_predicates : int
+(** [16]: the largest form size whose [2^n] valuation tables are
+    tabulated at publish time (64K entries — microseconds to build,
+    kilobytes to hold). Callers with bigger forms must fall back to a
+    symbolic backend; {!create} refuses them. *)
+
+val create :
+  xp:Pet_valuation.Universe.t ->
+  benefits:string list ->
+  rule:(string -> Pet_logic.Dnf.t) ->
+  constraints:Pet_logic.Formula.t list ->
+  t
+(** Compile the rule set: [benefits] in benefit-universe order, [rule]
+    mapping each benefit to its decision rule's DNF (over [xp] only),
+    [constraints] the [R_ADD] formulas (over [xp] only).
+    @raise Invalid_argument when [xp] exceeds
+    {!max_tabulated_predicates} or a formula mentions a variable
+    outside [xp]. *)
+
+val universe : t -> Pet_valuation.Universe.t
+val predicates : t -> int
+(** Form universe size [n]; valuation words use bits [0..n-1]. *)
+
+val benefit_count : t -> int
+val benefit_name : t -> int -> string
+val full_benefit_mask : t -> int
+(** [(1 lsl benefit_count) - 1]. *)
+
+val conjunctions : t -> int -> conj array
+(** The compiled DNF of benefit [i]'s rule. *)
+
+val conj_holds : conj -> int -> bool
+(** [conj_holds c v] is [(v land c.mask) = c.bits]. *)
+
+val consistent_bits : t -> int -> bool
+(** Table lookup: does total valuation [v] satisfy the constraints? *)
+
+val benefit_bits : t -> int -> int
+(** Table lookup: the bitset of benefits triggered by total valuation
+    [v] (bit [i] = benefit [i] in benefit-universe order). Ignores the
+    constraints, like {!Pet_rules.Exposure.benefits_of_assignment}. *)
+
+type scan = {
+  any : bool;  (** at least one consistent completion exists *)
+  and_bits : int;  (** AND of all consistent completions ([2^n - 1] if none) *)
+  or_bits : int;  (** OR of all consistent completions ([0] if none) *)
+  benefit_and : int;
+      (** AND of their benefit bitsets ({!full_benefit_mask} if none) *)
+}
+
+val scan : t -> dom:int -> bits:int -> scan
+(** One pass over the consistent completions of the partial valuation
+    [(dom, bits)]: enough to answer consistency, every benefit
+    entailment and every literal deduction at once. The vacuous
+    encodings (no consistent completion) make entailment vacuously
+    true, matching the brute-force reference semantics. *)
+
+val consistent : t -> dom:int -> bits:int -> bool
+(** Early-exit: stops at the first consistent completion. *)
+
+val entails_benefit : t -> dom:int -> bits:int -> int -> bool
+(** [entails_benefit t ~dom ~bits i]: do all consistent completions
+    trigger benefit [i]? Early-exits on the first counterexample. *)
+
+val entails_literal : t -> dom:int -> bits:int -> int -> bool -> bool
+(** [entails_literal t ~dom ~bits i value]: do all consistent
+    completions give predicate [i] the value [value]? *)

@@ -298,8 +298,8 @@ let ticker_loop t interval =
 
 (* --- Lifecycle -------------------------------------------------------------------- *)
 
-let start ?backend ?payoff ?capacity ?ttl ?resolve ?store ?(recovery = [])
-    ?(sweep_interval = 1.) ~domains ~port ~now () =
+let start ?backend ?compiled ?payoff ?capacity ?ttl ?resolve ?store
+    ?(recovery = []) ?(sweep_interval = 1.) ~domains ~port ~now () =
   let domains = max 1 domains in
   let shared = Shared.create () in
   let durable = store <> None in
@@ -310,8 +310,8 @@ let start ?backend ?payoff ?capacity ?ttl ?resolve ?store ?(recovery = [])
         {
           index;
           service =
-            Service.create ?backend ?payoff ?capacity ?ttl ?resolve ~owns
-              ~shared ~durable ~now ();
+            Service.create ?backend ?compiled ?payoff ?capacity ?ttl ?resolve
+              ~owns ~shared ~durable ~now ();
           q = Queue.create ();
           qm = Mutex.create ();
           qc = Condition.create ();

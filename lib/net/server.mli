@@ -29,6 +29,7 @@ type t
 
 val start :
   ?backend:Pet_rules.Engine.backend ->
+  ?compiled:bool ->
   ?payoff:Pet_game.Payoff.kind ->
   ?capacity:int ->
   ?ttl:float ->
@@ -42,7 +43,11 @@ val start :
   unit ->
   (t, string) result
 (** Bind [127.0.0.1:port] ([port = 0] picks an ephemeral port — read it
-    back with {!port}), replay [recovery] into the owning shards, then
+    back with {!port}). [backend] and [compiled] are forwarded to every
+    per-shard {!Pet_server.Service.create}, so the compiled fast path's
+    answer tables are per-shard, like the engines (they memoize rendered
+    responses and are never shared across domains). Replay [recovery]
+    into the owning shards, then
     spawn the shard domains, the writer domain (when [store] is given),
     the acceptor thread and the sweep ticker ([sweep_interval <= 0.]
     disables it; use with deterministic clocks). The caller keeps

@@ -312,3 +312,94 @@ let parse_exn input =
 let member name = function Obj fields -> List.assoc_opt name fields | _ -> None
 let string_opt = function String s -> Some s | _ -> None
 let int_opt = function Int i -> Some i | _ -> None
+
+(* --- Pull cursor ------------------------------------------------------------ *)
+
+(* A pull-style scanner over one request line for callers that know the
+   shape they expect and refuse everything else. Every primitive either
+   consumes exactly what {!parse} would have consumed for the same
+   production, or fails — it never accepts a spelling the recursive
+   parser rejects, and the subset it does accept (escape-free strings,
+   plain short integers) decodes to the identical value. That invariant
+   is what lets [Proto.decode_fast] skip the AST on the hot protocol
+   methods and still be byte-for-byte interchangeable with the full
+   decoder; the fuzzer checks it on every generated line. *)
+module Cursor = struct
+  type cursor = { input : string; mutable pos : int }
+
+  let of_string input = { input; pos = 0 }
+  let pos c = c.pos
+
+  let skip_ws c =
+    while
+      c.pos < String.length c.input
+      &&
+      match c.input.[c.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    do
+      c.pos <- c.pos + 1
+    done
+
+  let at_end c = c.pos >= String.length c.input
+
+  (* ['\000'] as the out-of-input sentinel: it is a control byte, so no
+     grammar position treats it as valid input. *)
+  let peek c = if at_end c then '\000' else c.input.[c.pos]
+
+  let accept c ch =
+    if (not (at_end c)) && c.input.[c.pos] = ch then begin
+      c.pos <- c.pos + 1;
+      true
+    end
+    else false
+
+  (* A string literal containing no backslash and no control byte: the
+     span between the quotes IS the decoded value. Anything else —
+     escapes, control bytes, a missing closing quote — is left to the
+     full parser. *)
+  let simple_string c =
+    if not (accept c '"') then None
+    else begin
+      let start = c.pos in
+      let len = String.length c.input in
+      let rec scan i =
+        if i >= len then None
+        else
+          match c.input.[i] with
+          | '"' ->
+            c.pos <- i + 1;
+            Some (String.sub c.input start (i - start))
+          | '\\' -> None
+          | ch when Char.code ch < 0x20 -> None
+          | _ -> scan (i + 1)
+      in
+      scan start
+    end
+
+  (* At most 18 digits keeps the value inside the native [int] range on
+     64-bit, so the decoded value matches [int_of_string] exactly;
+     longer runs, fractions and exponents fall back. Leading zeros are
+     accepted because the full parser accepts them ("007" is [Int 7]). *)
+  let max_int_digits = 18
+
+  let int c =
+    let len = String.length c.input in
+    let negative = accept c '-' in
+    let start = c.pos in
+    let rec digits i =
+      if i < len && match c.input.[i] with '0' .. '9' -> true | _ -> false
+      then digits (i + 1)
+      else i
+    in
+    let stop = digits start in
+    if stop = start || stop - start > max_int_digits then None
+    else
+      match if stop < len then c.input.[stop] else '\000' with
+      | '.' | 'e' | 'E' -> None (* a float literal; not ours to decode *)
+      | _ ->
+        let v = ref 0 in
+        for i = start to stop - 1 do
+          v := (!v * 10) + (Char.code c.input.[i] - Char.code '0')
+        done;
+        c.pos <- stop;
+        Some (if negative then - !v else !v)
+  end

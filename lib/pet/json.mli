@@ -33,3 +33,42 @@ val member : string -> t -> t option
 
 val string_opt : t -> string option
 val int_opt : t -> int option
+
+(** A pull-style cursor over one raw line, for callers that know the
+    envelope shape they expect and want to skip building an AST. Every
+    primitive accepts a strict subset of what {!parse} accepts for the
+    same production and decodes the identical value, or fails without
+    committing — on [None] the caller re-parses the line with the full
+    parser, so using the cursor can never change what a line means,
+    only how fast the common shape decodes. The protocol fuzzer holds
+    the two against each other on every generated line. *)
+module Cursor : sig
+  type cursor
+
+  val of_string : string -> cursor
+  (** A cursor at offset 0. The cursor never copies the input; the only
+      allocations are the [String.sub] of each accepted string span. *)
+
+  val pos : cursor -> int
+  val skip_ws : cursor -> unit
+  (** Skip the parser's whitespace set (space, tab, LF, CR). *)
+
+  val at_end : cursor -> bool
+  val peek : cursor -> char
+  (** The byte at the cursor, or ['\000'] past the end (a control byte,
+      so it never matches a valid grammar position). *)
+
+  val accept : cursor -> char -> bool
+  (** Consume the byte if it matches; no whitespace skipping. *)
+
+  val simple_string : cursor -> string option
+  (** A double-quoted string containing no backslash and no control
+      byte — the span between the quotes is the decoded value. [None]
+      (cursor position unspecified) on anything else, including the
+      escaped strings the full parser would accept. *)
+
+  val int : cursor -> int option
+  (** A plain integer of at most 18 digits with optional leading [-].
+      [None] on longer runs and on fraction/exponent continuations
+      (those are float literals). *)
+end

@@ -6,13 +6,15 @@ module Partial = Pet_valuation.Partial
 module Solver = Pet_sat.Solver
 module Lit = Pet_sat.Lit
 module Bdd = Pet_bdd.Bdd
+module Code = Pet_compile.Code
 
-type backend = Brute | Sat | Bdd
+type backend = Brute | Sat | Bdd | Compiled
 
 type impl =
   | Ibrute
   | Isat of { solver : Solver.t; var_of : string -> int }
   | Ibdd of { man : Bdd.man; r : Bdd.node }
+  | Icode of Code.t
 
 type t = { e : Exposure.t; kind : backend; impl : impl }
 
@@ -75,7 +77,18 @@ let make_bdd e =
   in
   Ibdd { man; r = compile (Exposure.to_formula e) }
 
-let backend_name = function Brute -> "brute" | Sat -> "sat" | Bdd -> "bdd"
+let make_code e =
+  Icode
+    (Code.create ~xp:(Exposure.xp e)
+       ~benefits:(Universe.names (Exposure.xb e))
+       ~rule:(fun b -> (Exposure.rule_for e b).Rule.dnf)
+       ~constraints:(Exposure.constraints e))
+
+let backend_name = function
+  | Brute -> "brute"
+  | Sat -> "sat"
+  | Bdd -> "bdd"
+  | Compiled -> "compiled"
 
 let obs_queries kind =
   Pet_obs.Metrics.counter
@@ -85,6 +98,7 @@ let obs_queries kind =
 let obs_queries_brute = obs_queries Brute
 let obs_queries_sat = obs_queries Sat
 let obs_queries_bdd = obs_queries Bdd
+let obs_queries_compiled = obs_queries Compiled
 let obs_bdd_nodes = Pet_obs.Metrics.gauge "pet_bdd_nodes"
 let obs_bdd_ite = Pet_obs.Metrics.gauge "pet_bdd_ite_calls"
 let obs_bdd_hits = Pet_obs.Metrics.gauge "pet_bdd_ite_cache_hits"
@@ -97,7 +111,17 @@ let create ?(backend = Sat) e =
         match backend with
         | Brute -> Ibrute
         | Sat -> make_sat e
-        | Bdd -> make_bdd e)
+        | Bdd -> make_bdd e
+        | Compiled ->
+          (* Above the tabulation threshold the compiled backend keeps
+             its name but answers through a BDD: callers choose
+             [Compiled] for speed, not for a representation, and the
+             differential harness must be able to drive it at every
+             form size. *)
+          if
+            Universe.size (Exposure.xp e) <= Code.max_tabulated_predicates
+          then make_code e
+          else make_bdd e)
   in
   { e; kind = backend; impl }
 
@@ -162,7 +186,8 @@ let count_query t =
       (match t.kind with
       | Brute -> obs_queries_brute
       | Sat -> obs_queries_sat
-      | Bdd -> obs_queries_bdd)
+      | Bdd -> obs_queries_bdd
+      | Compiled -> obs_queries_compiled)
 
 let sync_obs t =
   match t.impl with
@@ -171,7 +196,7 @@ let sync_obs t =
     Pet_obs.Metrics.set_gauge obs_bdd_nodes (float_of_int s.Bdd.nodes);
     Pet_obs.Metrics.set_gauge obs_bdd_ite (float_of_int s.Bdd.ite_calls);
     Pet_obs.Metrics.set_gauge obs_bdd_hits (float_of_int s.Bdd.ite_cache_hits)
-  | Ibrute | Isat _ -> ()
+  | Ibrute | Isat _ | Icode _ -> ()
 
 let consistent t w =
   check_universe t w;
@@ -180,6 +205,8 @@ let consistent t w =
   | Ibrute -> brute_consistent t.e w
   | Isat { solver; var_of } -> sat_consistent solver var_of w
   | Ibdd { man; r } -> bdd_consistent man r t.e w
+  | Icode c ->
+    Code.consistent c ~dom:(Partial.domain_mask w) ~bits:(Partial.bits w)
 
 let benefit_index t b =
   Universe.size (Exposure.xp t.e) + Universe.index (Exposure.xb t.e) b
@@ -194,6 +221,9 @@ let entails_benefit t w b =
   | Isat { solver; var_of } ->
     sat_refutes solver var_of w (Lit.make (benefit_index t b) false)
   | Ibdd { man; r } -> bdd_refutes man r t.e w (benefit_index t b) false
+  | Icode c ->
+    Code.entails_benefit c ~dom:(Partial.domain_mask w) ~bits:(Partial.bits w)
+      (Universe.index (Exposure.xb t.e) b)
 
 let benefits t w =
   List.filter (entails_benefit t w) (Universe.names (Exposure.xb t.e))
@@ -211,6 +241,9 @@ let entails_literal t w p value =
     ignore i;
     sat_refutes solver var_of w (Lit.make (var_of p) (not value))
   | Ibdd { man; r } -> bdd_refutes man r t.e w i (not value)
+  | Icode c ->
+    Code.entails_literal c ~dom:(Partial.domain_mask w) ~bits:(Partial.bits w)
+      i value
 
 let deduced_literals t w =
   check_universe t w;
@@ -222,5 +255,5 @@ let deduced_literals t w =
       else None)
     (Universe.names (Exposure.xp t.e))
 
-let all_backends = [ Brute; Sat; Bdd ]
+let all_backends = [ Brute; Sat; Bdd; Compiled ]
 let pp_backend ppf b = Fmt.string ppf (backend_name b)

@@ -1,4 +1,4 @@
-(** The proof relation of Notation 3.10 — [w, R |= F] — with three
+(** The proof relation of Notation 3.10 — [w, R |= F] — with four
     interchangeable backends:
 
     - [Brute]: reference semantics by enumerating every completion of the
@@ -8,19 +8,24 @@
       [R /\ w /\ ~x] is unsatisfiable (the default);
     - [Bdd]: compile [R] once into a BDD and answer each question by
       cofactoring — the right choice for bulk workloads such as building
-      the full MAS atlas.
+      the full MAS atlas;
+    - [Compiled]: flatten the rules into branch-free bitmask tests and
+      tabulate the [2^n] valuation answers at construction time
+      ({!Pet_compile.Code}) — the serving fast path. Above
+      {!Pet_compile.Code.max_tabulated_predicates} predicates it keeps
+      the name but falls back to the BDD representation.
 
-    All three agree on every input; the test suite checks this
+    All four agree on every input; the test suite checks this
     exhaustively on small universes and randomly on larger ones. *)
 
-type backend = Brute | Sat | Bdd
+type backend = Brute | Sat | Bdd | Compiled
 
 val all_backends : backend list
-(** [[Brute; Sat; Bdd]] — the order the differential harness reports
-    them in. *)
+(** [[Brute; Sat; Bdd; Compiled]] — the order the differential harness
+    reports them in. *)
 
 val backend_name : backend -> string
-(** ["brute"], ["sat"] or ["bdd"]. *)
+(** ["brute"], ["sat"], ["bdd"] or ["compiled"]. *)
 
 type t
 

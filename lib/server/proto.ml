@@ -239,6 +239,176 @@ let decode line =
   | Ok _ ->
     Error (Json.Null, None, error Invalid_request "request must be a JSON object")
 
+(* --- Fast decoding ----------------------------------------------------------- *)
+
+(* A one-pass scan of the fixed envelope shape over {!Json.Cursor},
+   with no AST. Soundness contract: [decode_fast line = Some env]
+   implies [decode line = Ok env] — every accepted byte sequence is one
+   the full decoder accepts with the same meaning, and anything else
+   (escaped strings, floats, nesting, duplicate keys, cold methods,
+   semantic parameter errors) returns [None] so the caller falls back
+   to {!decode}. The fuzzer checks the implication on every generated
+   line, so the fast path can never change an answer, only skip
+   allocations on the hot methods. *)
+
+module Cursor = Json.Cursor
+
+type fast_value = Fstr of string | Fint of int
+
+(* Scan one scalar parameter value; anything non-scalar bails. *)
+let fast_value cur =
+  Cursor.skip_ws cur;
+  match Cursor.peek cur with
+  | '"' -> Option.map (fun s -> Fstr s) (Cursor.simple_string cur)
+  | '-' | '0' .. '9' -> Option.map (fun i -> Fint i) (Cursor.int cur)
+  | _ -> None
+
+(* Scan a flat object of distinct scalar fields into an assoc list
+   (arrival order). Duplicate keys bail: [Json.member] keeps the first
+   occurrence, and refusing duplicates outright is the cheapest way to
+   stay observationally identical. *)
+let fast_flat_obj cur =
+  let ( let* ) = Option.bind in
+  Cursor.skip_ws cur;
+  if not (Cursor.accept cur '{') then None
+  else begin
+    Cursor.skip_ws cur;
+    if Cursor.accept cur '}' then Some []
+    else
+      let rec fields acc =
+        Cursor.skip_ws cur;
+        let* key = Cursor.simple_string cur in
+        if List.mem_assoc key acc then None
+        else begin
+          Cursor.skip_ws cur;
+          if not (Cursor.accept cur ':') then None
+          else
+            let* value = fast_value cur in
+            let acc = (key, value) :: acc in
+            Cursor.skip_ws cur;
+            if Cursor.accept cur ',' then fields acc
+            else if Cursor.accept cur '}' then Some (List.rev acc)
+            else None
+        end
+      in
+      fields []
+  end
+
+(* The hot methods: the request loop of Figure 3. Everything else —
+   publish_rules (whose rule text needs string escapes anyway), audit,
+   stats, metrics, trace — takes the full decoder. *)
+let fast_request meth params =
+  let str name = match List.assoc_opt name params with
+    | Some (Fstr s) -> Some s
+    | _ -> None
+  in
+  let only names = List.for_all (fun (k, _) -> List.mem k names) params in
+  match meth with
+  | "new_session" -> (
+    if not (only [ "rules"; "source"; "digest" ]) then None
+    else
+      match params with
+      | [ ("rules", Fstr s) ] -> Some (New_session (Text s))
+      | [ ("source", Fstr s) ] -> Some (New_session (Source s))
+      | [ ("digest", Fstr s) ] -> Some (New_session (Digest s))
+      | _ -> None)
+  | "get_report" -> (
+    if not (only [ "session"; "valuation" ]) then None
+    else
+      match (str "session", str "valuation") with
+      | Some session, Some valuation ->
+        Some (Get_report { session; valuation })
+      | _ -> None)
+  | "choose_option" -> (
+    if not (only [ "session"; "option"; "mas" ]) then None
+    else
+      match (str "session", List.assoc_opt "option" params,
+             List.assoc_opt "mas" params)
+      with
+      | Some session, Some (Fint i), None ->
+        Some (Choose_option { session; choice = Index i })
+      | Some session, None, Some (Fstr s) ->
+        Some (Choose_option { session; choice = Mas s })
+      | _ -> None)
+  | "submit_form" -> (
+    if not (only [ "session" ]) then None
+    else
+      match str "session" with
+      | Some session -> Some (Submit_form { session })
+      | _ -> None)
+  | _ -> None
+
+let decode_fast line =
+  if String.length line > max_line_bytes then None
+  else begin
+    let ( let* ) = Option.bind in
+    let cur = Cursor.of_string line in
+    Cursor.skip_ws cur;
+    if not (Cursor.accept cur '{') then None
+    else begin
+      let pet = ref None and id = ref None and trace = ref None in
+      let meth = ref None and params = ref None in
+      let slot r v = match !r with Some _ -> None | None -> r := Some v; Some () in
+      let rec fields first =
+        Cursor.skip_ws cur;
+        if first && Cursor.accept cur '}' then Some ()
+        else
+          let* key = Cursor.simple_string cur in
+          Cursor.skip_ws cur;
+          if not (Cursor.accept cur ':') then None
+          else
+            let* () =
+              match key with
+              | "pet" ->
+                Cursor.skip_ws cur;
+                let* v = Cursor.int cur in
+                slot pet v
+              | "id" -> (
+                Cursor.skip_ws cur;
+                match Cursor.peek cur with
+                | '"' ->
+                  let* s = Cursor.simple_string cur in
+                  slot id (Json.String s)
+                | '-' | '0' .. '9' ->
+                  let* i = Cursor.int cur in
+                  slot id (Json.Int i)
+                | _ -> None)
+              | "trace" ->
+                Cursor.skip_ws cur;
+                let* s = Cursor.simple_string cur in
+                slot trace s
+              | "method" ->
+                Cursor.skip_ws cur;
+                let* s = Cursor.simple_string cur in
+                slot meth s
+              | "params" ->
+                let* fs = fast_flat_obj cur in
+                slot params fs
+              | _ -> None
+            in
+            Cursor.skip_ws cur;
+            if Cursor.accept cur ',' then fields false
+            else if Cursor.accept cur '}' then Some ()
+            else None
+      in
+      let* () = fields true in
+      Cursor.skip_ws cur;
+      if not (Cursor.at_end cur) then None
+      else
+        let* pet = !pet in
+        if pet <> version then None
+        else
+          let* meth = !meth in
+          let* request = fast_request meth (Option.value ~default:[] !params) in
+          Some
+            {
+              id = Option.value ~default:Json.Null !id;
+              trace = !trace;
+              request;
+            }
+    end
+  end
+
 (* --- Encoding --------------------------------------------------------------- *)
 
 let trace_field = function
@@ -250,6 +420,27 @@ let ok_response ~id ?trace result =
     (Json.Obj
        (("pet", Json.Int version) :: ("id", id)
        :: (trace_field trace @ [ ("ok", result) ])))
+
+(* Same bytes as {!ok_response} for a result already rendered by
+   [Json.to_string]: the envelope fields are emitted around the cached
+   payload instead of re-walking its tree. The compiled fast path keeps
+   each tabulated report as its rendered string, so a cache hit reply
+   is a few [Buffer] appends. *)
+let ok_response_text ~id ?trace payload =
+  let buf = Buffer.create (String.length payload + 48) in
+  Buffer.add_string buf "{\"pet\":";
+  Buffer.add_string buf (string_of_int version);
+  Buffer.add_string buf ",\"id\":";
+  Buffer.add_string buf (Json.to_string id);
+  (match trace with
+  | None -> ()
+  | Some t ->
+    Buffer.add_string buf ",\"trace\":";
+    Buffer.add_string buf (Json.to_string (Json.String t)));
+  Buffer.add_string buf ",\"ok\":";
+  Buffer.add_string buf payload;
+  Buffer.add_char buf '}';
+  Buffer.contents buf
 
 let error_response ~id ?trace { code; message } =
   Json.to_string

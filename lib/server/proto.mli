@@ -112,7 +112,23 @@ val decode : string -> (envelope, Json.t * string option * error) result
     be correlated. Lines over {!max_line_bytes} are refused without
     parsing. *)
 
+val decode_fast : string -> envelope option
+(** One-pass scan of the common envelope shape over {!Json.Cursor},
+    building no AST. Sound but partial: [decode_fast line = Some env]
+    implies [decode line = Ok env]; [None] means the line needs the
+    full decoder (escaped strings, floats, duplicate keys, a cold
+    method, or any malformed input — the fast path never produces an
+    error itself). Covers [new_session], [get_report], [choose_option]
+    and [submit_form]; the protocol fuzzer checks the implication on
+    every line it generates. *)
+
 val ok_response : id:Json.t -> ?trace:string -> Json.t -> string
+
+(** [ok_response_text ~id ?trace payload] is [ok_response ~id ?trace]
+    for a result that is already rendered JSON text (as produced by
+    [Json.to_string]): it emits the identical bytes without re-walking
+    the result tree. *)
+val ok_response_text : id:Json.t -> ?trace:string -> string -> string
 val error_response : id:Json.t -> ?trace:string -> error -> string
 (** Responses carry a ["trace":ID] field exactly when [?trace] is given;
     without it the encoding is byte-identical to the pre-trace protocol. *)

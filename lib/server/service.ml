@@ -11,10 +11,26 @@ module Total = Pet_valuation.Total
 module Partial = Pet_valuation.Partial
 module Universe = Pet_valuation.Universe
 
+(* One memoized [get_report] answer: the rendered response payload plus
+   the option list the session must remember for [choose_option]. Both
+   are immutable, so entries are shared freely across sessions. *)
+type report_answer =
+  | Report_payload of {
+      payload : string;  (* [Json.to_string (Report.to_json report)] *)
+      options : (Partial.t * string list) list;
+    }
+  | Report_refused of string  (* the [ineligible] message *)
+
 type compiled = {
   digest : string;
   exposure : Exposure.t;
   provider : Workflow.t;
+  fast : report_answer option array option;
+      (* the compiled fast path's per-valuation answer table, indexed by
+         [Total.bits]: allocated at publish time for tabulable forms
+         (when the service runs with the compiled path on), filled on
+         first computation — cache-hit traffic then answers [get_report]
+         with an array read and a few buffer appends *)
 }
 
 type method_stats = {
@@ -26,6 +42,10 @@ type method_stats = {
 
 type t = {
   backend : Engine.backend;
+  compiled : bool;
+      (* the [--compiled] flag: tabulated report answers for small
+         forms plus the AST-free request decoder; off, every request
+         takes the tree decoder and the full report pipeline *)
   payoff : Payoff.kind;
   now : unit -> float;
   resolve : string -> string option;
@@ -50,10 +70,12 @@ type t = {
   mutable submitted : int;
 }
 
-let create ?(backend = Engine.Bdd) ?(payoff = Payoff.Blank) ?capacity ?ttl
-    ?owns ?shared ?(resolve = fun _ -> None) ?(durable = false) ~now () =
+let create ?(backend = Engine.Compiled) ?(compiled = true)
+    ?(payoff = Payoff.Blank) ?capacity ?ttl ?owns ?shared
+    ?(resolve = fun _ -> None) ?(durable = false) ~now () =
   {
     backend;
+    compiled;
     payoff;
     now;
     resolve;
@@ -136,7 +158,13 @@ let compile t text =
     let digest = Registry.digest canonical in
     match Registry.find_or_add t.registry digest (fun () ->
             let provider = Workflow.provider ~backend:t.backend ~payoff:t.payoff exposure in
-            { digest; exposure; provider })
+            let n = Universe.size (Exposure.xp exposure) in
+            let fast =
+              if t.compiled && n <= Pet_compile.Code.max_tabulated_predicates
+              then Some (Array.make (1 lsl n) None)
+              else None
+            in
+            { digest; exposure; provider; fast })
     with
     | compiled, hit ->
       (* Durable mode retains the canonical text and logs each rule set
@@ -236,6 +264,12 @@ let new_session t rules ~now =
          ("cached", Json.Bool cached);
        ])
 
+(* A handler result: either a JSON tree for the encoder, or (from the
+   compiled answer table) the same JSON already rendered to text —
+   [Proto.ok_response_text] splices it without re-walking the tree,
+   producing byte-identical responses either way. *)
+type payload = Tree of Json.t | Rendered of string
+
 let get_report t ~session:sid ~valuation ~now =
   let* session = find_session t sid ~now in
   let* () =
@@ -249,17 +283,50 @@ let get_report t ~session:sid ~valuation ~now =
     | exception Invalid_argument m ->
       Error (Proto.errorf Proto.Invalid_params "valuation: %s" m)
   in
-  match Workflow.report_for compiled.provider v with
-  | Error m -> Error (Proto.error Proto.Ineligible m)
-  | Ok report ->
+  let reported options payload =
     session.Session.valuation <- Some v;
-    session.Session.options <-
-      List.map
-        (fun (o : Report.option_report) -> (o.Report.mas, o.Report.benefits))
-        report.Report.options;
+    session.Session.options <- options;
     session.Session.state <- Session.Reported;
     Session.touch session ~now;
-    Ok (Report.to_json report)
+    Ok payload
+  in
+  let compute () =
+    match Workflow.report_for compiled.provider v with
+    | Error m -> Error (Proto.error Proto.Ineligible m)
+    | Ok report ->
+      let options =
+        List.map
+          (fun (o : Report.option_report) -> (o.Report.mas, o.Report.benefits))
+          report.Report.options
+      in
+      Ok (report, options)
+  in
+  match compiled.fast with
+  | None -> (
+    match compute () with
+    | Error e -> Error e
+    | Ok (report, options) -> reported options (Tree (Report.to_json report)))
+  | Some table -> (
+    let idx = Total.bits v in
+    match table.(idx) with
+    | Some (Report_payload { payload; options }) ->
+      reported options (Rendered payload)
+    | Some (Report_refused m) -> Error (Proto.error Proto.Ineligible m)
+    | None -> (
+      (* First sight of this valuation: compute once through the full
+         pipeline and keep the rendered bytes — every later respondent
+         with the same form contents replays them. *)
+      match compute () with
+      | Error e ->
+        (match e with
+        | { Proto.code = Proto.Ineligible; message } ->
+          table.(idx) <- Some (Report_refused message)
+        | _ -> ());
+        Error e
+      | Ok (report, options) ->
+        let payload = Json.to_string (Report.to_json report) in
+        table.(idx) <- Some (Report_payload { payload; options });
+        reported options (Rendered payload)))
 
 let choose_option t ~session:sid ~choice ~now =
   let* session = find_session t sid ~now in
@@ -761,17 +828,22 @@ let stats_json t =
 
 let handle_request t request ~now =
   match request with
-  | Proto.Publish_rules rules -> publish_rules t rules
-  | Proto.New_session rules -> new_session t rules ~now
   | Proto.Get_report { session; valuation } ->
     get_report t ~session ~valuation ~now
-  | Proto.Choose_option { session; choice } ->
-    choose_option t ~session ~choice ~now
-  | Proto.Submit_form { session } -> submit_form t ~session ~now
-  | Proto.Audit rules -> audit t rules
-  | Proto.Stats -> Ok (stats_json t)
-  | Proto.Metrics format -> Ok (metrics_payload t format)
-  | Proto.Trace_req { query; format } -> trace_payload query format
+  | _ ->
+    Result.map
+      (fun json -> Tree json)
+      (match request with
+      | Proto.Get_report _ -> assert false (* handled above *)
+      | Proto.Publish_rules rules -> publish_rules t rules
+      | Proto.New_session rules -> new_session t rules ~now
+      | Proto.Choose_option { session; choice } ->
+        choose_option t ~session ~choice ~now
+      | Proto.Submit_form { session } -> submit_form t ~session ~now
+      | Proto.Audit rules -> audit t rules
+      | Proto.Stats -> Ok (stats_json t)
+      | Proto.Metrics format -> Ok (metrics_payload t format)
+      | Proto.Trace_req { query; format } -> trace_payload query format)
 
 let record_method t name ~latency ~failed =
   let m =
@@ -811,7 +883,16 @@ let handle_line t line =
   let start = t.now () in
   t.requests <- t.requests + 1;
   Obs.incr obs_requests;
-  let decoded = Proto.decode line in
+  (* The AST-free scanner first (when the compiled path is on): it
+     either agrees exactly with [Proto.decode] or declines, so the
+     fallback — not the fast path — decides every error. *)
+  let decoded =
+    if t.compiled then
+      match Proto.decode_fast line with
+      | Some envelope -> Ok envelope
+      | None -> Proto.decode line
+    else Proto.decode line
+  in
   let tracing = Trace.enabled () in
   (* A client-supplied trace id is echoed even with tracing off; with
      tracing on every request gets one, generated if absent. *)
@@ -851,7 +932,9 @@ let handle_line t line =
   in
   let response =
     match result with
-    | Ok payload -> Proto.ok_response ~id ?trace:trace_id payload
+    | Ok (Tree payload) -> Proto.ok_response ~id ?trace:trace_id payload
+    | Ok (Rendered payload) ->
+      Proto.ok_response_text ~id ?trace:trace_id payload
     | Error e -> Proto.error_response ~id ?trace:trace_id e
   in
   let finish = t.now () in

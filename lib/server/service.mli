@@ -24,6 +24,7 @@ type t
 
 val create :
   ?backend:Pet_rules.Engine.backend ->
+  ?compiled:bool ->
   ?payoff:Pet_game.Payoff.kind ->
   ?capacity:int ->
   ?ttl:float ->
@@ -34,7 +35,18 @@ val create :
   now:(unit -> float) ->
   unit ->
   t
-(** [capacity] bounds the engine registry (default 16); [ttl] is the
+(** [backend] picks the proof-relation backend for compiled engines
+    (default {!Pet_rules.Engine.Compiled} — the bitmask fast path,
+    which itself falls back to BDDs above the tabulation threshold).
+    [compiled] (default [true]) turns the request-path shortcuts on:
+    published forms small enough to tabulate keep a per-valuation table
+    of rendered [get_report] answers, and request lines in the common
+    envelope shape take the AST-free {!Proto.decode_fast} scanner.
+    Responses are byte-identical either way — [~compiled:false] only
+    disables the caches (see [test/compiled.t], which diffs the two
+    transcripts).
+
+    [capacity] bounds the engine registry (default 16); [ttl] is the
     session idle timeout in seconds (default 3600, [<= 0.] disables);
     [resolve] maps [source] names in requests to rule-spec text (the CLI
     wires the built-in case studies here); [now] is called exactly twice

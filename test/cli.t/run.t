@@ -284,12 +284,13 @@ fuzzes the collection service with mutated protocol lines. Both runs are
 seeded and deterministic:
 
   $ ../../bin/pet.exe check --seeds 1-3
-  seed 1: ok (619 checks)
-  seed 2: ok (527 checks)
-  seed 3: ok (513 checks)
+  seed 1: ok (885 checks)
+  seed 2: ok (754 checks)
+  seed 3: ok (736 checks)
 
   $ ../../bin/pet.exe check --fuzz 2000
   fuzz: 2000 requests, 274 ok, 1726 structured errors, 0 invalid responses, 0 crashes
+  fuzz: 373/2000 lines fast-decoded, 0 cursor mismatches; 128 boundary checks, 0 failures
 
 Without a rule file, a seed range or a fuzz budget there is nothing to
 check:

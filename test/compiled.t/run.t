@@ -1,0 +1,67 @@
+The compiled fast path must be invisible on the wire: `pet serve`
+(compiled on by default — per-valuation answer tables plus the
+zero-allocation request scanner) and `pet serve --no-compiled` (the
+plain engine path) must produce byte-identical transcripts. The
+workload is the paper's Figure 3 H-cov workflow: publish, three
+concurrent sessions — s2 replays Bob's valuation so the second report
+is served from the compiled answer table — then choices, submissions,
+the audit and the stats snapshot.
+
+  $ cat > requests <<'REQUESTS'
+  > {"pet":1,"id":1,"method":"publish_rules","params":{"source":"hcov"}}
+  > {"pet":1,"id":2,"method":"new_session","params":{"source":"hcov"}}
+  > {"pet":1,"id":3,"method":"new_session","params":{"source":"hcov"}}
+  > {"pet":1,"id":4,"method":"new_session","params":{"source":"hcov"}}
+  > {"pet":1,"id":5,"method":"get_report","params":{"session":"s1","valuation":"000011100000"}}
+  > {"pet":1,"id":6,"method":"get_report","params":{"session":"s2","valuation":"000011100000"}}
+  > {"pet":1,"id":7,"method":"get_report","params":{"session":"s0","valuation":"000011100111"}}
+  > {"pet":1,"id":8,"method":"choose_option","params":{"session":"s0","option":0}}
+  > {"pet":1,"id":9,"method":"choose_option","params":{"session":"s1","option":0}}
+  > {"pet":1,"id":10,"method":"submit_form","params":{"session":"s1"}}
+  > {"pet":1,"id":11,"method":"submit_form","params":{"session":"s0"}}
+  > {"pet":1,"id":12,"method":"audit","params":{"source":"hcov"}}
+  > {"pet":1,"id":13,"method":"stats"}
+  > REQUESTS
+
+  $ ../../bin/pet.exe serve --deterministic < requests > with_compiled
+  $ ../../bin/pet.exe serve --deterministic --no-compiled < requests > without_compiled
+
+Byte-identical, one response line per request:
+
+  $ cmp with_compiled without_compiled
+  $ grep -c '^' with_compiled
+  13
+
+The table-served report for s2 equals the computed one for s1 except
+for the envelope (id, trace, and nothing else):
+
+  $ sed -n 5p with_compiled | sed 's/"id":5/"id":6/;s/"trace":"t4"/"trace":"t5"/' > expected_s2
+  $ sed -n 6p with_compiled | cmp expected_s2 -
+
+The rest of the workflow completes as in cli.t — choices erase the raw
+valuations, submissions land in the archive:
+
+  $ sed -n '8,11p' with_compiled
+  {"pet":1,"id":8,"trace":"t7","ok":{"mas":"0__________1","benefits":["b1"]}}
+  {"pet":1,"id":9,"trace":"t8","ok":{"mas":"0_0_1110____","benefits":["b1"]}}
+  {"pet":1,"id":10,"trace":"t9","ok":{"grant":0,"form":"0_0_1110____","benefits":["b1"]}}
+  {"pet":1,"id":11,"trace":"t10","ok":{"grant":1,"form":"0__________1","benefits":["b1"]}}
+
+Malformed, oversized and wrong-shape lines take the slow decode path
+under --compiled and still answer identically to --no-compiled:
+
+  $ cat > junk <<'REQUESTS'
+  > {"pet":1,"id":1
+  > {"pet":1,"id":1.5,"method":"stats"}
+  > {"pet":1,"id":2,"id":2,"method":"stats"}
+  > {"pet":1,"id":3,"method":"submit_form","params":{"session":"s9","extra":0}}
+  > REQUESTS
+
+  $ ../../bin/pet.exe serve --deterministic < junk > junk_compiled
+  $ ../../bin/pet.exe serve --deterministic --no-compiled < junk > junk_engine
+  $ cmp junk_compiled junk_engine
+  $ cat junk_compiled
+  {"pet":1,"id":null,"trace":"t0","error":{"code":"parse_error","message":"line 1, column 16 (offset 15): expected ',' or '}' in object"}}
+  {"pet":1,"id":null,"trace":"t1","ok":{"requests":{"total":2,"by_method":{"invalid":{"count":1,"errors":1,"latency_s":{"total":1,"max":1}}}},"registry":{"size":0,"capacity":16,"hits":0,"misses":0,"evictions":0},"sessions":{"active":0,"created":0,"expired":0,"submitted":0},"ledger":{"rule_sets":0,"records":0,"stored_values":0}}}
+  {"pet":1,"id":2,"trace":"t2","ok":{"requests":{"total":3,"by_method":{"invalid":{"count":1,"errors":1,"latency_s":{"total":1,"max":1}},"stats":{"count":1,"errors":0,"latency_s":{"total":1,"max":1}}}},"registry":{"size":0,"capacity":16,"hits":0,"misses":0,"evictions":0},"sessions":{"active":0,"created":0,"expired":0,"submitted":0},"ledger":{"rule_sets":0,"records":0,"stored_values":0}}}
+  {"pet":1,"id":3,"trace":"t3","error":{"code":"unknown_session","message":"unknown session \"s9\""}}

@@ -785,7 +785,7 @@ let test_service_trace_method () =
   Alcotest.(check bool) "method annotation" true
     (Json.member "method" anns = Some (Json.String "publish_rules"));
   Alcotest.(check bool) "backend annotation" true
-    (Json.member "backend" anns = Some (Json.String "bdd"));
+    (Json.member "backend" anns = Some (Json.String "compiled"));
   (* "get" by the echoed id; "slow" lists both (threshold 0). *)
   let got =
     ok_of (request service "trace" [ ("id", Json.String "t0") ])

@@ -17,8 +17,8 @@ slow ring.
   {"pet":1,"id":1,"trace":"t0","ok":{"digest":"4e572ccd978d507d92c1b8a548038954","cached":false,"predicates":3,"benefits":3,"mas":5,"eligible":5}}
   {"pet":1,"id":2,"trace":"alice-1","ok":{"session":"s0","digest":"4e572ccd978d507d92c1b8a548038954","cached":true}}
   {"pet":1,"id":3,"trace":"alice-err","error":{"code":"unknown_session","message":"unknown session \"s9\""}}
-  {"pet":1,"id":4,"trace":"t1","ok":{"id":"alice-1","duration_s":1,"slow":true,"annotations":{"method":"new_session","backend":"bdd","digest":"4e572ccd978d507d92c1b8a548038954"},"tree":"trace alice-1 (slow) duration=1.000000s\n  method=\"new_session\"\n  backend=\"bdd\"\n  digest=\"4e572ccd978d507d92c1b8a548038954\"\n"}}
-  {"pet":1,"id":5,"trace":"t2","ok":{"slow":[{"id":"t1","duration_s":1,"annotations":{"method":"trace","backend":"bdd"}},{"id":"alice-err","duration_s":1,"annotations":{"method":"submit_form","backend":"bdd","session":"s9","error":"unknown_session"}},{"id":"alice-1","duration_s":1,"annotations":{"method":"new_session","backend":"bdd","digest":"4e572ccd978d507d92c1b8a548038954"}},{"id":"t0","duration_s":19,"annotations":{"method":"publish_rules","backend":"bdd","source":"running","provider.backend":"bdd","provider.players":5}}],"evictions":{"recent":0,"slow":0}}}
+  {"pet":1,"id":4,"trace":"t1","ok":{"id":"alice-1","duration_s":1,"slow":true,"annotations":{"method":"new_session","backend":"compiled","digest":"4e572ccd978d507d92c1b8a548038954"},"tree":"trace alice-1 (slow) duration=1.000000s\n  method=\"new_session\"\n  backend=\"compiled\"\n  digest=\"4e572ccd978d507d92c1b8a548038954\"\n"}}
+  {"pet":1,"id":5,"trace":"t2","ok":{"slow":[{"id":"t1","duration_s":1,"annotations":{"method":"trace","backend":"compiled"}},{"id":"alice-err","duration_s":1,"annotations":{"method":"submit_form","backend":"compiled","session":"s9","error":"unknown_session"}},{"id":"alice-1","duration_s":1,"annotations":{"method":"new_session","backend":"compiled","digest":"4e572ccd978d507d92c1b8a548038954"}},{"id":"t0","duration_s":19,"annotations":{"method":"publish_rules","backend":"compiled","source":"running","provider.backend":"compiled","provider.players":5}}],"evictions":{"recent":0,"slow":0}}}
 
 The publish capture (t0) carries the compiled span tree — which phases
 ran, in entry order, with exact per-entry timings (the aggregate view
@@ -30,12 +30,12 @@ is `pet profile`). Reading it back as a tree:
   > REQUESTS
   trace t0 (slow) duration=19.000000s
     method="publish_rules"
-    backend="bdd"
+    backend="compiled"
     source="running"
-    provider.backend="bdd"
+    provider.backend="compiled"
     provider.players=5
   `-- provider.create              +1.000000s dur=17.000000s
-      |-- engine.compile.bdd       +2.000000s dur=1.000000s
+      |-- engine.compile.compiled  +2.000000s dur=1.000000s
       |-- atlas.build              +4.000000s dur=11.000000s
       |   |-- algorithm1           +5.000000s dur=1.000000s
       |   |-- algorithm1           +7.000000s dur=1.000000s

@@ -499,6 +499,22 @@ let write_json file json =
       Out_channel.output_char oc '\n');
   Fmt.pr "wrote %s@." file
 
+(* BENCH_server.json is co-owned by the [server] and [tenants] sections;
+   each replaces only its own top-level keys so running one section does
+   not wipe the other's baseline figures. *)
+let merge_json file fields =
+  let existing =
+    match In_channel.with_open_text file In_channel.input_all with
+    | exception Sys_error _ -> []
+    | contents -> (
+      match Pet_pet.Json.parse contents with
+      | Ok (Pet_pet.Json.Obj old) -> old
+      | Ok _ | Error _ -> [])
+  in
+  let keys = List.map fst fields in
+  let kept = List.filter (fun (k, _) -> not (List.mem k keys)) existing in
+  write_json file (Pet_pet.Json.Obj (kept @ fields))
+
 (* One full service workload (shared by the [server] and [obs]
    sections): publish once, then per respondent a new_session by digest,
    a consent report, a choice and a submission. Returns the summary
@@ -912,13 +928,165 @@ let server () =
   let cases = [ hcov_case; rsa_case ] in
   let compiled = compiled_hit_case (Lazy.force hcov) in
   let tcp = tcp_scaling () in
-  write_json "BENCH_server.json"
-    (Pet_pet.Json.Obj
-       [
-         ("cases", Pet_pet.Json.List cases);
-         ("compiled", compiled);
-         ("tcp", tcp);
-       ])
+  merge_json "BENCH_server.json"
+    [
+      ("cases", Pet_pet.Json.List cases);
+      ("compiled", compiled);
+      ("tcp", tcp);
+    ]
+
+(* --- Tenants: multi-tenant serving and hot rule migration ---------------------------
+
+   The registry under fleet load: publish a corpus of tenants (every
+   build drains through the single background builder domain), then
+   serve Zipf-distributed respondent traffic across all of them, and
+   hot-swap a busy tenant's rules mid-traffic. Corpus sizes stay at the
+   small end of the band so a 1000-tenant publish finishes in CI time;
+   the shape of the result — per-line p99 under tenant fan-out, swap
+   settle latency — is what the section trends. *)
+
+let tenants () =
+  section "Tenants: multi-tenant registry, Zipf traffic, hot swaps";
+  let module Corpus = Pet_corpus.Corpus in
+  let escape s = Pet_pet.Json.to_string (Pet_pet.Json.String s) in
+  let case count flows =
+    let tick = ref 0. in
+    let service =
+      Pet_server.Service.create ~capacity:(2 * count) ~ttl:0.
+        ~now:(fun () -> tick := !tick +. 1.; !tick)
+        ()
+    in
+    let scenario = Corpus.scenario ~seed:42 ~lo:8 ~hi:12 ~count () in
+    let errors = ref 0 and requests = ref 0 in
+    let latencies = ref [] in
+    let send line =
+      incr requests;
+      let t0 = Unix.gettimeofday () in
+      let response = Pet_server.Service.handle_line service line in
+      latencies := (Unix.gettimeofday () -. t0) :: !latencies;
+      (match Pet_pet.Json.parse response with
+      | Ok obj when Pet_pet.Json.member "ok" obj <> None -> ()
+      | _ -> incr errors);
+      response
+    in
+    let publish (f : Corpus.form) =
+      ignore
+        (send
+           (Printf.sprintf
+              {|{"pet":1,"method":"publish_rules","params":{"rules":%s,"tenant":%s}}|}
+              (escape f.Corpus.text) (escape f.Corpus.name)))
+    in
+    let settle name =
+      ignore
+        (send
+           (Printf.sprintf
+              {|{"pet":1,"method":"tenant","params":{"name":%s,"wait":true}}|}
+              (escape name)))
+    in
+    (* Publish everything, then drain the builder-domain backlog. *)
+    let t0 = Unix.gettimeofday () in
+    Array.iter publish scenario.Corpus.forms;
+    Array.iter (fun (f : Corpus.form) -> settle f.Corpus.name) scenario.Corpus.forms;
+    let publish_dt = Unix.gettimeofday () -. t0 in
+    (* Zipf-distributed respondent flows across the fleet. *)
+    latencies := [];
+    requests := 0;
+    let rng = Random.State.make [| 42; count |] in
+    let t0 = Unix.gettimeofday () in
+    for flow = 0 to flows - 1 do
+      let f = scenario.Corpus.forms.(Corpus.pick rng scenario.Corpus.popularity) in
+      let sid =
+        let response =
+          send
+            (Printf.sprintf
+               {|{"pet":1,"method":"new_session","params":{"tenant":%s}}|}
+               (escape f.Corpus.name))
+        in
+        match Pet_pet.Json.parse response with
+        | Ok obj ->
+          Option.bind
+            (Option.bind (Pet_pet.Json.member "ok" obj)
+               (Pet_pet.Json.member "session"))
+            Pet_pet.Json.string_opt
+        | Error _ -> None
+      in
+      match sid with
+      | None -> incr errors
+      | Some sid ->
+        let report =
+          send
+            (Printf.sprintf
+               {|{"pet":1,"method":"get_report","params":{"session":%s,"valuation":%s}}|}
+               (escape sid)
+               (escape (Corpus.valuation ~seed:flow f 0)))
+        in
+        (* Ineligible respondents are a corpus fact of life, not a bench
+           error: close those sessions without choosing. *)
+        (match Pet_pet.Json.parse report with
+        | Ok obj when Pet_pet.Json.member "ok" obj <> None ->
+          ignore
+            (send
+               (Printf.sprintf
+                  {|{"pet":1,"method":"choose_option","params":{"session":%s,"option":0}}|}
+                  (escape sid)));
+          ignore
+            (send
+               (Printf.sprintf
+                  {|{"pet":1,"method":"submit_form","params":{"session":%s}}|}
+                  (escape sid)))
+        | _ -> decr errors)
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    let rps = float_of_int !requests /. dt in
+    let p99 =
+      let sorted = List.sort compare !latencies in
+      let a = Array.of_list sorted in
+      if Array.length a = 0 then 0.
+      else a.(min (Array.length a - 1) (99 * Array.length a / 100)) *. 1000.
+    in
+    (* Hot rule migration on the busiest tenant, mid-fleet: wall time
+       from update_rules to the new version serving (build drained). *)
+    let swap_ms = ref [] in
+    let hot = ref scenario.Corpus.forms.(0) in
+    for _ = 1 to 5 do
+      hot := Corpus.update !hot;
+      let t0 = Unix.gettimeofday () in
+      ignore
+        (send
+           (Printf.sprintf
+              {|{"pet":1,"method":"update_rules","params":{"tenant":%s,"rules":%s}}|}
+              (escape (!hot).Corpus.name)
+              (escape (!hot).Corpus.text)));
+      settle (!hot).Corpus.name;
+      swap_ms := ((Unix.gettimeofday () -. t0) *. 1000.) :: !swap_ms
+    done;
+    let swap_mean =
+      List.fold_left ( +. ) 0. !swap_ms /. float_of_int (List.length !swap_ms)
+    in
+    let swap_max = List.fold_left max 0. !swap_ms in
+    Pet_server.Service.shutdown service;
+    Fmt.pr
+      "%4d tenants: published+built in %.2fs; %d flow requests = %.0f req/s, \
+       p99 %.2fms; hot swap %.1fms mean / %.1fms max; %d errors@."
+      count publish_dt !requests rps p99 swap_mean swap_max !errors;
+    Pet_pet.Json.Obj
+      [
+        ("tenants", Pet_pet.Json.Int count);
+        ("publish_build_s", Pet_pet.Json.Float publish_dt);
+        ( "builds_per_s",
+          Pet_pet.Json.Float (float_of_int count /. publish_dt) );
+        ("requests", Pet_pet.Json.Int !requests);
+        ("errors", Pet_pet.Json.Int !errors);
+        ("requests_per_s", Pet_pet.Json.Float rps);
+        ("p99_ms", Pet_pet.Json.Float p99);
+        ("hot_swap_mean_ms", Pet_pet.Json.Float swap_mean);
+        ("hot_swap_max_ms", Pet_pet.Json.Float swap_max);
+      ]
+  in
+  let small = case 100 2_000 in
+  let large = case 1_000 2_000 in
+  merge_json "BENCH_server.json"
+    [ ("tenants", Pet_pet.Json.Obj [ ("at_100", small); ("at_1000", large) ]) ]
 
 (* --- Obs: instrumentation overhead ---------------------------------------------------------------- *)
 
@@ -1011,7 +1179,9 @@ let store () =
        event, a fresh rule set every 10k. *)
     let id = Printf.sprintf "s%d" (i / 4) in
     match i mod 4 with
-    | 0 -> Persist.Session_created { id; digest = "bench"; at = float_of_int i }
+    | 0 ->
+      Persist.Session_created
+        { id; digest = "bench"; tenant = None; at = float_of_int i }
     | 1 ->
       Persist.Session_chosen
         { id; mas = "0_1_10_0__1_"; benefits = [ "b1"; "b2" ]; at = float_of_int i }
@@ -1136,6 +1306,7 @@ let () =
       ("sweep", sweep);
       ("symbolic", symbolic);
       ("server", server);
+      ("tenants", tenants);
       ("obs", obs);
       ("store", store);
       ("check", check);

@@ -184,6 +184,18 @@ let check_cmd =
     in
     Arg.(value & opt (some int) None & info [ "fuzz-store" ] ~docv:"N" ~doc)
   in
+  let fuzz_corpus_arg =
+    let doc =
+      "Drive $(docv) tenant-lifecycle requests from the realistic form \
+       corpus — publishes, hot rule updates, sessions, reports, \
+       submissions and hostile tenant traffic — through an in-process \
+       service, and verify the multi-tenant contract: every line gets a \
+       structured response, oversized forms fail their background build \
+       cleanly, and sessions pinned to a version keep answering \
+       byte-identically across hot swaps."
+    in
+    Arg.(value & opt (some int) None & info [ "fuzz-corpus" ] ~docv:"N" ~doc)
+  in
   let samples_arg =
     let doc = "Differential entailment samples per problem." in
     Arg.(
@@ -233,7 +245,8 @@ let check_cmd =
         findings = [ { Pet_check.Finding.stage = "harness/crash"; detail = m } ];
       }
   in
-  let run source seeds fuzz fuzz_store fuzz_seed samples payoff full =
+  let run source seeds fuzz fuzz_store fuzz_corpus fuzz_seed samples payoff full
+      =
     let config = { Pet_check.Harness.default_config with samples; payoff } in
     let failures = ref 0 in
     let print_report ~label ?exposure (r : Pet_check.Finding.report) =
@@ -258,8 +271,14 @@ let check_cmd =
     in
     let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e in
     let result =
-      if source = None && seeds = None && fuzz = None && fuzz_store = None then
-        Error (true, "expected a RULES source, --seeds, --fuzz or --fuzz-store")
+      if
+        source = None && seeds = None && fuzz = None && fuzz_store = None
+        && fuzz_corpus = None
+      then
+        Error
+          ( true,
+            "expected a RULES source, --seeds, --fuzz, --fuzz-store or \
+             --fuzz-corpus" )
       else
         let* () =
           match source with
@@ -316,6 +335,20 @@ let check_cmd =
             if stats.store_violations <> [] then incr failures;
             Ok ()
         in
+        let* () =
+          match fuzz_corpus with
+          | None -> Ok ()
+          | Some count ->
+            let stats = Pet_check.Fuzz.run_corpus ~seed:fuzz_seed ~count () in
+            Fmt.pr "%a@." Pet_check.Fuzz.pp_corpus stats;
+            if
+              stats.corpus_crashes <> []
+              || stats.corpus_invalid > 0
+              || stats.swap_mismatches <> []
+              || stats.corpus_build_failures = 0
+            then incr failures;
+            Ok ()
+        in
         if !failures = 0 then Ok ()
         else
           Error
@@ -337,7 +370,7 @@ let check_cmd =
     Term.(
       ret
         (const run $ source_opt_arg $ seeds_arg $ fuzz_arg $ fuzz_store_arg
-       $ fuzz_seed_arg
+       $ fuzz_corpus_arg $ fuzz_seed_arg
        $ samples_arg $ payoff_arg $ full_arg))
 
 (* --- minimize ----------------------------------------------------------------- *)
@@ -743,6 +776,14 @@ let serve_cmd =
     let doc = "Session idle timeout in seconds (0 disables expiry)." in
     Arg.(value & opt float 3600. & info [ "ttl" ] ~docv:"SECONDS" ~doc)
   in
+  let tenant_quota_arg =
+    let doc =
+      "Default cap on concurrently active sessions per tenant (0 = \
+       unlimited). A tenant's own $(b,quota) parameter on publish_rules \
+       or update_rules overrides it."
+    in
+    Arg.(value & opt int 0 & info [ "tenant-quota" ] ~docv:"N" ~doc)
+  in
   let data_dir_arg =
     let doc =
       "Persist every rule set, session transition and grant to a \
@@ -824,9 +865,9 @@ let serve_cmd =
     in
     Arg.(value & opt (some string) None & info [ "port-file" ] ~docv:"FILE" ~doc)
   in
-  let run backend compiled payoff deterministic cache ttl data_dir no_fsync
-      metrics_interval trace_slow log_level log_json stdio tcp domains
-      port_file =
+  let run backend compiled payoff deterministic cache ttl tenant_quota
+      data_dir no_fsync metrics_interval trace_slow log_level log_json stdio
+      tcp domains port_file =
     (* An explicit --backend wins; otherwise the compiled path brings
        its own engine backend, and --no-compiled reverts to the
        pre-compiled default. *)
@@ -928,7 +969,7 @@ let serve_cmd =
       open_store @@ fun store recovery ->
       match
         Pet_net.Server.start ~backend ~compiled ~payoff ~capacity:cache ~ttl
-          ~resolve ?store ~recovery
+          ~tenant_quota ~resolve ?store ~recovery
           ~sweep_interval:(if deterministic then 0. else 1.)
           ~domains ~port:tcp_port ~now ()
       with
@@ -950,7 +991,7 @@ let serve_cmd =
     | None ->
     let service =
       Pet_server.Service.create ~backend ~compiled ~payoff ~capacity:cache
-        ~ttl ~resolve ~durable:(data_dir <> None) ~now ()
+        ~ttl ~tenant_quota ~resolve ~durable:(data_dir <> None) ~now ()
     in
     let with_store k =
       match data_dir with
@@ -1039,16 +1080,21 @@ let serve_cmd =
         loop ()
     in
     loop ();
+    Pet_server.Service.shutdown service;
     Option.iter Pet_store.Store.close store;
     `Ok ()
   in
   let doc =
     "Run the collection service: read one JSON request per line from \
      standard input, write one JSON response per line to standard output \
-     (methods: publish_rules, new_session, get_report, choose_option, \
-     submit_form, audit, stats, metrics, trace). Compiled rule engines are cached across \
+     (methods: publish_rules, update_rules, new_session, get_report, \
+     choose_option, submit_form, audit, tenant, stats, metrics, trace). \
+     Compiled rule engines are cached across \
      sessions; sessions expire after $(b,--ttl) idle seconds; raw \
-     valuations are erased the moment an option is chosen. With \
+     valuations are erased the moment an option is chosen. Forms published \
+     with a $(b,tenant) parameter become versioned tenants: updates \
+     rebuild in the background and hot-swap atomically, while open \
+     sessions keep the version they started on. With \
      $(b,--data-dir) the service is durable: every state change is \
      appended to a checksummed write-ahead log before it is acknowledged, \
      and a restart recovers the rule sets, sessions and consent archive \
@@ -1062,9 +1108,10 @@ let serve_cmd =
     Term.(
       ret
         (const run $ serve_backend_arg $ compiled_arg $ payoff_arg
-       $ deterministic_arg $ cache_arg $ ttl_arg $ data_dir_arg $ no_fsync_arg
-       $ metrics_interval_arg $ trace_slow_arg $ log_level_arg $ log_json_arg
-       $ stdio_arg $ tcp_arg $ domains_arg $ port_file_arg))
+       $ deterministic_arg $ cache_arg $ ttl_arg $ tenant_quota_arg
+       $ data_dir_arg $ no_fsync_arg $ metrics_interval_arg $ trace_slow_arg
+       $ log_level_arg $ log_json_arg $ stdio_arg $ tcp_arg $ domains_arg
+       $ port_file_arg))
 
 (* --- ping ------------------------------------------------------------------------- *)
 
@@ -1145,6 +1192,344 @@ let ping_cmd =
      line; a bare $(b,quit) line closes the connection."
   in
   Cmd.v (Cmd.info "ping" ~doc) Term.(ret (const run $ addr_arg))
+
+(* --- corpus ----------------------------------------------------------------------- *)
+
+module Corpus = Pet_corpus.Corpus
+
+let corpus_cmd =
+  let seed_arg =
+    let doc = "Corpus seed; every output is a pure function of it." in
+    Arg.(value & opt int 0 & info [ "seed" ] ~docv:"N" ~doc)
+  in
+  let lo_arg =
+    let doc = "Smallest form size (predicates) to generate." in
+    Arg.(value & opt int Corpus.min_size & info [ "lo" ] ~docv:"N" ~doc)
+  in
+  let hi_arg =
+    let doc =
+      "Largest form size to generate. Above 24 predicates a form \
+       publishes but its background build fails (the atlas enumeration \
+       bound) — included in the default band on purpose."
+    in
+    Arg.(value & opt int Corpus.max_size & info [ "hi" ] ~docv:"N" ~doc)
+  in
+  let count_arg =
+    let doc = "Number of tenants in the scenario." in
+    Arg.(value & opt int 20 & info [ "count"; "tenants" ] ~docv:"N" ~doc)
+  in
+  let digest_of text =
+    match Spec.parse text with
+    | Ok exposure -> Pet_server.Registry.digest (Spec.to_string exposure)
+    | Error m -> Printf.sprintf "<parse error: %s>" m
+  in
+  let form_cmd =
+    let index_arg =
+      let doc = "Tenant index (0-based)." in
+      Arg.(required & pos 0 (some int) None & info [] ~docv:"INDEX" ~doc)
+    in
+    let size_arg =
+      let doc = "Exact form size, overriding the seeded size draw." in
+      Arg.(value & opt (some int) None & info [ "size" ] ~docv:"N" ~doc)
+    in
+    let revision_arg =
+      let doc =
+        "Rule revision (1-based): same fields, re-rolled rule bodies — \
+         what an $(b,update_rules) publishes."
+      in
+      Arg.(value & opt int 1 & info [ "revision" ] ~docv:"N" ~doc)
+    in
+    let run seed size revision index =
+      guarded @@ fun () ->
+      let form = Corpus.form ~seed ?size ~revision index in
+      print_string form.Corpus.text;
+      `Ok ()
+    in
+    let doc =
+      "Print one corpus form's rule text (the $(b,publish_rules) \
+       payload) to standard output."
+    in
+    Cmd.v (Cmd.info "form" ~doc)
+      Term.(ret (const run $ seed_arg $ size_arg $ revision_arg $ index_arg))
+  in
+  let scenario_cmd =
+    let run seed lo hi count =
+      guarded @@ fun () ->
+      let scenario = Corpus.scenario ~seed ~lo ~hi ~count () in
+      Array.iteri
+        (fun i (form : Corpus.form) ->
+          Fmt.pr "%-28s size=%-2d share=%5.1f%% digest=%s@." form.Corpus.name
+            form.Corpus.size
+            (100. *. scenario.Corpus.popularity.(i))
+            (digest_of form.Corpus.text))
+        scenario.Corpus.forms;
+      `Ok ()
+    in
+    let doc =
+      "List a scenario's tenants: name, form size, Zipf traffic share \
+       and rule digest, one line each."
+    in
+    Cmd.v (Cmd.info "scenario" ~doc)
+      Term.(ret (const run $ seed_arg $ lo_arg $ hi_arg $ count_arg))
+  in
+  let drive_cmd =
+    let addr_arg =
+      let doc = "Server address, e.g. 127.0.0.1:7464." in
+      Arg.(
+        required & pos 0 (some string) None & info [] ~docv:"HOST:PORT" ~doc)
+    in
+    let sessions_arg =
+      let doc = "Number of respondent sessions to run." in
+      Arg.(value & opt int 200 & info [ "sessions" ] ~docv:"N" ~doc)
+    in
+    let update_every_arg =
+      let doc =
+        "Between sessions, publish a rule update to a Zipf-picked tenant \
+         every $(docv) sessions (0 disables updates)."
+      in
+      Arg.(value & opt int 0 & info [ "update-every" ] ~docv:"K" ~doc)
+    in
+    let run seed lo hi count sessions update_every addr =
+      let split =
+        match String.rindex_opt addr ':' with
+        | None -> None
+        | Some i ->
+          let host = String.sub addr 0 i in
+          let host =
+            if host = "" || host = "localhost" then "127.0.0.1" else host
+          in
+          Option.map
+            (fun port -> (host, port))
+            (int_of_string_opt
+               (String.sub addr (i + 1) (String.length addr - i - 1)))
+      in
+      match split with
+      | None -> `Error (false, Printf.sprintf "%s: expected HOST:PORT" addr)
+      | Some (host, port) -> (
+        match
+          let inet =
+            try Unix.inet_addr_of_string host
+            with Failure _ -> (Unix.gethostbyname host).h_addr_list.(0)
+          in
+          let fd = Unix.socket ~cloexec:true PF_INET SOCK_STREAM 0 in
+          (try Unix.connect fd (ADDR_INET (inet, port))
+           with e ->
+             Unix.close fd;
+             raise e);
+          fd
+        with
+        | exception Unix.Unix_error (e, _, _) ->
+          `Error
+            ( false,
+              Printf.sprintf "cannot connect to %s:%d: %s" host port
+                (Unix.error_message e) )
+        | exception Not_found ->
+          `Error (false, Printf.sprintf "cannot resolve host %s" host)
+        | fd -> (
+          let ic = Unix.in_channel_of_descr fd in
+          let oc = Unix.out_channel_of_descr fd in
+          (* Lockstep request/response over one connection: the driver
+             measures the mix, not concurrency (the bench harness does
+             that). *)
+          let call request =
+            output_string oc (Json.to_string request);
+            output_char oc '\n';
+            flush oc;
+            match In_channel.input_line ic with
+            | Some line -> Json.parse_exn line
+            | None -> failwith "server closed the connection"
+          in
+          let req method_ params =
+            Json.Obj
+              [
+                ("pet", Json.Int 1);
+                ("method", Json.String method_);
+                ("params", Json.Obj params);
+              ]
+          in
+          let error_code response =
+            match Json.member "error" response with
+            | Some e ->
+              Option.bind (Json.member "code" e) Json.string_opt
+            | None -> None
+          in
+          let result_field response name =
+            Option.bind (Json.member "ok" response) (Json.member name)
+          in
+          let scenario = Corpus.scenario ~seed ~lo ~hi ~count () in
+          let forms = Array.map (fun f -> ref f) scenario.Corpus.forms in
+          let rng = Random.State.make [| seed; 11 |] in
+          let published = ref 0
+          and build_failures = ref 0
+          and updates = ref 0
+          and opened = ref 0
+          and ineligible = ref 0
+          and quota_refused = ref 0
+          and submitted = ref 0
+          and unexpected = ref [] in
+          let expect kind response allowed =
+            match error_code response with
+            | None -> true
+            | Some code ->
+              if List.mem code allowed then false
+              else begin
+                unexpected := Printf.sprintf "%s: %s" kind code :: !unexpected;
+                false
+              end
+          in
+          let barrier name =
+            (* tenant+wait blocks until the tenant's builds settle; the
+               response's state tells whether the build survived. *)
+            let response =
+              call
+                (req "tenant"
+                   [ ("name", Json.String name); ("wait", Json.Bool true) ])
+            in
+            match Option.bind (result_field response "state") Json.string_opt with
+            | Some "failed" -> `Failed
+            | Some _ -> `Ready
+            | None -> `Ready
+          in
+          (match
+             for i = 0 to count - 1 do
+               let form = !(forms.(i)) in
+               let response =
+                 call
+                   (req "publish_rules"
+                      [
+                        ("rules", Json.String form.Corpus.text);
+                        ("tenant", Json.String form.Corpus.name);
+                      ])
+               in
+               if expect "publish_rules" response [] then begin
+                 incr published;
+                 match barrier form.Corpus.name with
+                 | `Failed -> incr build_failures
+                 | `Ready -> ()
+               end
+             done;
+             for r = 0 to sessions - 1 do
+               if update_every > 0 && r mod update_every = update_every - 1
+               then begin
+                 let i = Corpus.pick rng scenario.Corpus.popularity in
+                 let next = Corpus.update ~seed !(forms.(i)) in
+                 let response =
+                   call
+                     (req "update_rules"
+                        [
+                          ("tenant", Json.String next.Corpus.name);
+                          ("rules", Json.String next.Corpus.text);
+                        ])
+                 in
+                 if expect "update_rules" response [] then begin
+                   forms.(i) := next;
+                   incr updates;
+                   ignore (barrier next.Corpus.name)
+                 end
+               end;
+               let i = Corpus.pick rng scenario.Corpus.popularity in
+               let form = !(forms.(i)) in
+               let response =
+                 call
+                   (req "new_session"
+                      [ ("tenant", Json.String form.Corpus.name) ])
+               in
+               (match error_code response with
+               | Some "quota_exceeded" -> incr quota_refused
+               | Some "build_failed" -> ()
+                 (* oversized corpus forms fail their build by design *)
+               | Some code ->
+                 unexpected :=
+                   Printf.sprintf "new_session: %s" code :: !unexpected
+               | None -> (
+                 incr opened;
+                 match
+                   Option.bind (result_field response "session")
+                     Json.string_opt
+                 with
+                 | None -> unexpected := "new_session: no id" :: !unexpected
+                 | Some session ->
+                   let response =
+                     call
+                       (req "get_report"
+                          [
+                            ("session", Json.String session);
+                            ( "valuation",
+                              Json.String (Corpus.valuation ~seed form r) );
+                          ])
+                   in
+                   if
+                     expect "get_report" response [ "ineligible" ]
+                   then begin
+                     let response =
+                       call
+                         (req "choose_option"
+                            [
+                              ("session", Json.String session);
+                              ("option", Json.Int 0);
+                            ])
+                     in
+                     if expect "choose_option" response [] then
+                       let response =
+                         call
+                           (req "submit_form"
+                              [ ("session", Json.String session) ])
+                       in
+                       if expect "submit_form" response [] then incr submitted
+                   end
+                   else if error_code response = Some "ineligible" then
+                     incr ineligible))
+             done
+           with
+          | () ->
+            close_out_noerr oc;
+            Fmt.pr "tenants    %d published, %d build failures@." !published
+              !build_failures;
+            Fmt.pr "updates    %d@." !updates;
+            Fmt.pr
+              "sessions   %d opened, %d ineligible, %d quota refusals, %d \
+               submitted@."
+              !opened !ineligible !quota_refused !submitted;
+            let unexpected = List.sort_uniq compare !unexpected in
+            if unexpected = [] then `Ok ()
+            else begin
+              List.iter (Fmt.epr "unexpected error: %s@.") unexpected;
+              `Error (false, "the drive hit unexpected protocol errors")
+            end
+          | exception Failure m ->
+            close_out_noerr oc;
+            `Error (false, m)
+          | exception Sys_error m ->
+            close_out_noerr oc;
+            `Error (false, m)
+          | exception End_of_file ->
+            close_out_noerr oc;
+            `Error (false, "server closed the connection"))))
+    in
+    let doc =
+      "Drive a corpus scenario against a running $(b,pet serve --tcp): \
+       publish every tenant, then run a Zipf-weighted session mix \
+       (new_session, get_report, choose first option, submit_form) with \
+       optional interleaved rule updates, and print the outcome counts. \
+       Exits non-zero on any protocol error other than the expected \
+       $(b,ineligible), $(b,quota_exceeded) and oversized-form \
+       $(b,build_failed) answers."
+    in
+    Cmd.v (Cmd.info "drive" ~doc)
+      Term.(
+        ret
+          (const run $ seed_arg $ lo_arg $ hi_arg $ count_arg $ sessions_arg
+         $ update_every_arg $ addr_arg))
+  in
+  let doc =
+    "Work with the seeded realistic form corpus (contact, demographic, \
+     financial and health field families; sizes 8-40; Zipf tenant \
+     popularity). The same seed reproduces the same forms everywhere: \
+     print them, list scenarios, or drive one against a live server."
+  in
+  Cmd.group
+    (Cmd.info "corpus" ~doc)
+    [ form_cmd; scenario_cmd; drive_cmd ]
 
 (* --- store ------------------------------------------------------------------------ *)
 
@@ -1499,6 +1884,7 @@ let () =
             simulate_cmd;
             serve_cmd;
             ping_cmd;
+            corpus_cmd;
             store_cmd;
             profile_cmd;
             trace_cmd;

@@ -368,7 +368,8 @@ let generate_events rng ~seed =
   for i = 0 to sessions - 1 do
     let id = Printf.sprintf "s%d" i in
     let at = float_of_int (i * 10) in
-    events := Persist.Session_created { id; digest; at } :: !events;
+    events :=
+      Persist.Session_created { id; digest; tenant = None; at } :: !events;
     if Random.State.int rng 4 > 0 then begin
       let mas =
         String.init predicates (fun _ ->
@@ -616,6 +617,285 @@ let run_store ?(seed = 0) ~count () =
     replay_errors = !replay_errors;
     store_violations = List.rev !violations;
   }
+
+(* --- Corpus fuzzing ------------------------------------------------------------- *)
+
+module Corpus = Pet_corpus.Corpus
+
+type corpus_stats = {
+  corpus_requests : int;
+  corpus_ok : int;
+  corpus_errors : int;
+  corpus_invalid : int;
+  corpus_crashes : (string * string) list;
+  corpus_tenants : int;
+  corpus_build_failures : int;
+  corpus_updates : int;
+  swap_checks : int;
+  swap_mismatches : (string * string) list;
+}
+
+let run_corpus ?(seed = 0) ~count () =
+  let rng = Random.State.make [| 0xc09a; seed; count |] in
+  let tick = ref 0. in
+  let service =
+    (* A deliberately small engine cache: nine tenants across revisions
+       overflow six slots, so pinned sessions regularly lose their
+       engine to LRU eviction and must survive the tenant-text
+       recompile fallback. *)
+    Service.create ~capacity:6 ~ttl:5000.
+      ~resolve:(fun _ -> None)
+      ~now:(fun () ->
+        tick := !tick +. 1.;
+        !tick)
+      ()
+  in
+  (* Small servable forms (atlas builds are cheap below 13 predicates)
+     plus one deliberately oversized tenant whose build must fail. *)
+  let scenario = Corpus.scenario ~seed ~lo:8 ~hi:12 ~count:8 () in
+  let oversize = Corpus.form ~seed ~size:30 99 in
+  let forms = Array.map ref scenario.Corpus.forms in
+  let requests = ref 0
+  and ok = ref 0
+  and errors = ref 0
+  and invalid = ref 0
+  and crashes = ref [] in
+  let build_failures = ref 0
+  and updates = ref 0
+  and swap_checks = ref 0
+  and swap_mismatches = ref [] in
+  let next_id = ref 0 in
+  let envelope method_ params =
+    incr next_id;
+    Json.to_string
+      (Json.Obj
+         [
+           ("pet", Json.Int Proto.version);
+           ("id", Json.Int !next_id);
+           ("method", Json.String method_);
+           ("params", Json.Obj params);
+         ])
+  in
+  let feed line =
+    incr requests;
+    match Service.handle_line service line with
+    | exception exn ->
+      crashes := (truncate_for_display line, Printexc.to_string exn) :: !crashes;
+      None
+    | response ->
+      (match Json.parse response with
+      | Ok (Json.Obj _ as o) -> (
+        match (Json.member "ok" o, Json.member "error" o) with
+        | Some _, None -> incr ok
+        | None, Some _ -> incr errors
+        | _ -> incr invalid)
+      | Ok _ | Error _ -> incr invalid);
+      Some response
+  in
+  let result_field response field =
+    match Json.parse response with
+    | Ok o ->
+      Option.bind (Json.member "ok" o) (fun r ->
+          Option.bind (Json.member field r) Json.string_opt)
+    | Error _ -> None
+  in
+  let publish (f : Corpus.form) quota =
+    let params =
+      ("rules", Json.String f.Corpus.text)
+      :: ("tenant", Json.String f.Corpus.name)
+      :: (match quota with None -> [] | Some q -> [ ("quota", Json.Int q) ])
+    in
+    ignore (feed (envelope "publish_rules" params))
+  in
+  let barrier name =
+    match
+      feed (envelope "tenant" [ ("name", Json.String name); ("wait", Json.Bool true) ])
+    with
+    | None -> None
+    | Some response -> result_field response "state"
+  in
+  (* Publish the whole corpus up front, then wait each build out.
+     Tenants 4.. get a small quota so quota refusals happen live. *)
+  Array.iteri
+    (fun i f -> publish !f (if i >= 4 then Some 3 else None))
+    forms;
+  publish oversize None;
+  Array.iter
+    (fun f ->
+      match barrier (!f).Corpus.name with
+      | Some "failed" -> incr build_failures
+      | _ -> ())
+    forms;
+  (match barrier oversize.Corpus.name with
+  | Some "failed" -> incr build_failures
+  | _ -> ());
+  (* Sessions that reported successfully, pinned to the tenant version
+     they opened under: (tenant index, report line, report response). *)
+  let pinned = ref [] in
+  let junk n =
+    String.init
+      (1 + Random.State.int rng n)
+      (fun _ -> printable.[Random.State.int rng (String.length printable)])
+  in
+  let open_and_report i =
+    let f = !(forms.(i)) in
+    match feed (envelope "new_session" [ ("tenant", Json.String f.Corpus.name) ]) with
+    | None -> ()
+    | Some response -> (
+      match result_field response "session" with
+      | None -> ()
+      | Some sid ->
+        let v = Corpus.valuation ~seed:(Random.State.int rng 10000) f 0 in
+        let line =
+          envelope "get_report"
+            [ ("session", Json.String sid); ("valuation", Json.String v) ]
+        in
+        (match feed line with
+        | Some report -> (
+          match Json.parse report with
+          | Ok o when Json.member "ok" o <> None ->
+            pinned := (i, sid, line, report) :: !pinned;
+            if List.length !pinned > 8 then
+              pinned := List.filteri (fun j _ -> j < 8) !pinned
+          | _ -> ())
+        | None -> ()))
+  in
+  (* The hot-swap invariant: a session opened under version [v] keeps
+     answering under [v]'s rules after any number of updates, so
+     replaying its exact report line must return byte-identical
+     bytes (same request id, same pinned engine). *)
+  let swap_check () =
+    List.iter
+      (fun (i, _sid, line, before) ->
+        incr swap_checks;
+        match Service.handle_line service line with
+        | exception exn ->
+          swap_mismatches :=
+            (truncate_for_display line, "re-report raised " ^ Printexc.to_string exn)
+            :: !swap_mismatches
+        | after ->
+          incr requests;
+          if after <> before then
+            swap_mismatches :=
+              ( truncate_for_display line,
+                Printf.sprintf
+                  "pinned session on tenant %s answered differently after a \
+                   version swap"
+                  (!(forms.(i))).Corpus.name )
+              :: !swap_mismatches)
+      !pinned
+  in
+  while !requests < count do
+    let i = Corpus.pick rng scenario.Corpus.popularity in
+    match Random.State.int rng 10 with
+    | 0 | 1 | 2 | 3 -> open_and_report i
+    | 4 | 5 -> (
+      (* Hot rule migration on a live tenant, then verify every pinned
+         session still answers byte-identically. *)
+      let f = Corpus.update !(forms.(i)) in
+      forms.(i) := f;
+      ignore
+        (feed
+           (envelope "update_rules"
+              [
+                ("tenant", Json.String f.Corpus.name);
+                ("rules", Json.String f.Corpus.text);
+              ]));
+      incr updates;
+      match barrier f.Corpus.name with
+      | Some "failed" -> incr build_failures
+      | _ -> swap_check ())
+    | 6 -> (
+      (* Retire a pinned session through choose/submit. *)
+      match !pinned with
+      | [] -> ()
+      | (_, sid, _, _) :: rest ->
+        pinned := rest;
+        ignore
+          (feed
+             (envelope "choose_option"
+                [ ("session", Json.String sid); ("option", Json.Int 0) ]));
+        ignore (feed (envelope "submit_form" [ ("session", Json.String sid) ])))
+    | 7 ->
+      (* The tenant that can never serve: build_failed on every open. *)
+      ignore
+        (feed
+           (envelope "new_session"
+              [ ("tenant", Json.String oversize.Corpus.name) ]))
+    | 8 ->
+      (* Hostile tenant traffic: unknown names, junk updates, republish
+         conflicts. *)
+      let f = !(forms.(i)) in
+      let neighbour = !(forms.((i + 1) mod Array.length forms)) in
+      ignore
+        (feed
+           (match Random.State.int rng 4 with
+           | 0 -> envelope "new_session" [ ("tenant", Json.String (junk 12)) ]
+           | 1 ->
+             envelope "update_rules"
+               [
+                 ("tenant", Json.String (junk 12));
+                 ("rules", Json.String f.Corpus.text);
+               ]
+           | 2 ->
+             envelope "publish_rules"
+               [
+                 ("rules", Json.String f.Corpus.text);
+                 ("tenant", Json.String neighbour.Corpus.name);
+               ]
+           | _ ->
+             envelope "update_rules"
+               [
+                 ("tenant", Json.String f.Corpus.name);
+                 ("rules", Json.String (junk 60));
+               ]))
+    | _ ->
+      (* Byte-mutated tenant requests must still draw structured
+         envelopes. *)
+      let line =
+        envelope "tenant"
+          [ ("name", Json.String (!(forms.(i))).Corpus.name) ]
+      in
+      let b = Bytes.of_string line in
+      for _ = 0 to Random.State.int rng 4 do
+        let at = Random.State.int rng (Bytes.length b) in
+        Bytes.set b at printable.[Random.State.int rng (String.length printable)]
+      done;
+      ignore (feed (Bytes.to_string b))
+  done;
+  ignore (feed (envelope "stats" []));
+  Service.shutdown service;
+  {
+    corpus_requests = !requests;
+    corpus_ok = !ok;
+    corpus_errors = !errors;
+    corpus_invalid = !invalid;
+    corpus_crashes = List.rev !crashes;
+    corpus_tenants = Array.length forms + 1;
+    corpus_build_failures = !build_failures;
+    corpus_updates = !updates;
+    swap_checks = !swap_checks;
+    swap_mismatches = List.rev !swap_mismatches;
+  }
+
+let pp_corpus ppf s =
+  Fmt.pf ppf
+    "fuzz-corpus: %d requests over %d tenants, %d ok, %d structured errors, \
+     %d invalid responses, %d crashes"
+    s.corpus_requests s.corpus_tenants s.corpus_ok s.corpus_errors
+    s.corpus_invalid
+    (List.length s.corpus_crashes);
+  Fmt.pf ppf
+    "@.fuzz-corpus: %d updates, %d build failures, %d swap checks, %d \
+     mismatches"
+    s.corpus_updates s.corpus_build_failures s.swap_checks
+    (List.length s.swap_mismatches);
+  List.iter
+    (fun (line, exn) -> Fmt.pf ppf "@.crash: %s@.  on: %s" exn line)
+    s.corpus_crashes;
+  List.iter
+    (fun (line, why) -> Fmt.pf ppf "@.swap mismatch: %s@.  on: %s" why line)
+    s.swap_mismatches
 
 let pp_store ppf s =
   Fmt.pf ppf

@@ -47,6 +47,44 @@ val run : ?seed:int -> count:int -> unit -> stats
 val pp : stats Fmt.t
 (** One summary line, plus one line per crash. *)
 
+(** {1 Corpus fuzzing}
+
+    Tenant-lifecycle fuzzing over the realistic form corpus
+    ({!Pet_corpus.Corpus}): publish a seeded multi-tenant scenario
+    (including one deliberately oversized form whose background build
+    must fail), then drive a Zipf-weighted mix of session opens,
+    reports, choices, submissions, hot rule updates and hostile tenant
+    traffic through a live service. Beyond the envelope contract
+    (every line answered, nothing raises), it checks the hot-swap
+    invariant: after each [update_rules] settles, replaying a pinned
+    session's exact report line must return byte-identical bytes —
+    in-flight sessions never observe a version swap. The engine cache
+    is kept deliberately small so pinned sessions also survive LRU
+    eviction and the tenant-text recompile fallback. Fully
+    deterministic for a given [seed] and [count]. *)
+
+type corpus_stats = {
+  corpus_requests : int;
+  corpus_ok : int;
+  corpus_errors : int;  (** structured protocol errors — expected outcomes *)
+  corpus_invalid : int;
+      (** responses that are not valid envelopes — contract violations *)
+  corpus_crashes : (string * string) list;
+      (** (offending line, exception) — contract violations *)
+  corpus_tenants : int;  (** tenants published, incl. the oversized one *)
+  corpus_build_failures : int;
+      (** failed background builds observed (≥ 1, from the oversized form) *)
+  corpus_updates : int;  (** hot rule migrations driven *)
+  swap_checks : int;  (** pinned-session replays compared across swaps *)
+  swap_mismatches : (string * string) list;
+      (** (report line, divergence) — hot-swap violations *)
+}
+
+val run_corpus : ?seed:int -> count:int -> unit -> corpus_stats
+
+val pp_corpus : corpus_stats Fmt.t
+(** Two summary lines, plus one line per crash or swap mismatch. *)
+
 (** {1 Store fuzzing}
 
     Corruption fuzzing of the durable store ({!Pet_store.Store}):

@@ -1,0 +1,338 @@
+(* A seeded generator of realistic form/rule mixes, grounded in the
+   field taxonomy of "Understanding Privacy Norms through Web Forms"
+   (PAPERS.md): real-world forms draw from a small number of predicate
+   families — contact, demographic, financial, health — combine them at
+   sizes roughly 8–40, and their popularity across a hosting service is
+   heavily skewed (a few tenants take most of the traffic).
+
+   Everything here is a pure function of the seed: the same
+   [(seed, index, revision)] triple always yields byte-identical rule
+   text, so corpus-driven benches, fuzz runs and CI smoke jobs are
+   reproducible from a single integer. The module deliberately emits
+   rule-DSL *text* rather than [Exposure.t] values — the corpus feeds
+   the protocol surface (publish_rules / update_rules lines), and the
+   server's own parser stays the single authority on meaning. *)
+
+(* --- Predicate families ------------------------------------------------------ *)
+
+(* Within a family, some fields are grouped into mutually exclusive
+   brackets (income bands, employment status): the generator turns
+   those into [constraint a -> !b] pairs, and [valuation] respects them
+   so sampled respondents are always realistic. *)
+type family = {
+  family : string;
+  fields : string array;
+  brackets : string array array;  (* each: at most one may hold *)
+}
+
+let contact =
+  {
+    family = "contact";
+    fields =
+      [|
+        "has_email"; "has_phone"; "has_address"; "has_city"; "has_zip";
+        "has_country"; "has_company"; "has_website"; "has_fax";
+        "newsletter_optin";
+      |];
+    brackets = [||];
+  }
+
+let demographic =
+  {
+    family = "demographic";
+    fields =
+      [|
+        "age_over_18"; "age_over_65"; "is_student"; "is_employed";
+        "is_retired"; "is_married"; "has_children"; "is_veteran";
+        "lives_in_region"; "is_citizen";
+      |];
+    brackets = [| [| "is_student"; "is_employed"; "is_retired" |] |];
+  }
+
+let financial =
+  {
+    family = "financial";
+    fields =
+      [|
+        "income_low"; "income_mid"; "income_high"; "is_homeowner";
+        "has_loan"; "has_savings"; "had_bankruptcy"; "is_self_employed";
+        "has_credit_card"; "owns_vehicle";
+      |];
+    brackets = [| [| "income_low"; "income_mid"; "income_high" |] |];
+  }
+
+let health =
+  {
+    family = "health";
+    fields =
+      [|
+        "has_disability"; "chronic_condition"; "is_smoker"; "is_insured";
+        "recent_hospital_stay"; "is_pregnant"; "is_caregiver";
+        "needs_assistance"; "has_allergies"; "regular_checkups";
+      |];
+    brackets = [||];
+  }
+
+let families = [| contact; demographic; financial; health |]
+
+(* Benefit names by rough domain, cycled as a form needs more. *)
+let benefit_names =
+  [|
+    "newsletter"; "discount"; "support_plan"; "fee_waiver";
+    "priority_access"; "subsidy"; "consultation"; "premium_reduction";
+  |]
+
+let profiles =
+  [| "signup"; "survey"; "loan_application"; "aid_request"; "screening" |]
+
+(* Family mix per profile: how many predicates to draw from each family
+   (weights, normalized against the requested size). *)
+let profile_mix = function
+  | "signup" -> [| 3; 1; 0; 0 |]
+  | "survey" -> [| 1; 2; 1; 1 |]
+  | "loan_application" -> [| 1; 1; 3; 0 |]
+  | "aid_request" -> [| 1; 1; 1; 2 |]
+  | _ (* screening *) -> [| 0; 1; 1; 2 |]
+
+(* --- Forms ------------------------------------------------------------------- *)
+
+type form = {
+  name : string;
+  index : int;
+  revision : int;
+  size : int;
+  predicates : string list;
+  benefits : string list;
+  brackets : string list list;
+  text : string;
+}
+
+let min_size = 8
+let max_size = 40
+
+let rng_of ~seed parts = Random.State.make (Array.of_list (seed :: parts))
+
+(* Sizes follow the corpus shape: mostly small forms, a long tail up to
+   [hi]. Drawing the minimum of two uniforms skews low without ever
+   starving the tail. *)
+let size_of ?(lo = min_size) ?(hi = max_size) ~seed index =
+  if lo < 2 then invalid_arg "Corpus.size_of: lo must be >= 2";
+  if hi < lo then invalid_arg "Corpus.size_of: hi must be >= lo";
+  let rng = rng_of ~seed [ index; 7 ] in
+  let span = hi - lo + 1 in
+  let a = Random.State.int rng span and b = Random.State.int rng span in
+  lo + min a b
+
+(* Draw [size] distinct predicate names according to the profile's
+   family mix, suffixing repeats past a family's vocabulary. *)
+let draw_predicates rng profile size =
+  let mix = profile_mix profile in
+  let total = Array.fold_left ( + ) 0 mix in
+  let counts =
+    Array.mapi (fun i w -> (i, w * size / total)) mix |> Array.to_list
+  in
+  let counts =
+    (* distribute the rounding remainder over the weighted families *)
+    let assigned = List.fold_left (fun acc (_, c) -> acc + c) 0 counts in
+    let rec top_up counts missing =
+      if missing = 0 then counts
+      else
+        match counts with
+        | (i, c) :: rest when mix.(i) > 0 ->
+          (i, c + 1) :: top_up rest (missing - 1)
+        | pair :: rest -> pair :: top_up rest missing
+        | [] -> []
+    in
+    top_up counts (size - assigned)
+  in
+  let picked = ref [] in
+  List.iter
+    (fun (fi, wanted) ->
+      let fam = families.(fi) in
+      let n = Array.length fam.fields in
+      for k = 0 to wanted - 1 do
+        let base = fam.fields.(k mod n) in
+        let name =
+          if k < n then base else Printf.sprintf "%s_%d" base (k / n + 1)
+        in
+        picked := name :: !picked
+      done)
+    counts;
+  let names = Array.of_list (List.rev !picked) in
+  (* Shuffle so the form order interleaves families like real forms do. *)
+  for i = Array.length names - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let tmp = names.(i) in
+    names.(i) <- names.(j);
+    names.(j) <- tmp
+  done;
+  Array.to_list names
+
+let brackets_of predicates =
+  let present = List.filter (fun p -> List.mem p predicates) in
+  Array.to_list families
+  |> List.concat_map (fun (fam : family) ->
+         Array.to_list fam.brackets
+         |> List.filter_map (fun group ->
+                match present (Array.to_list group) with
+                | _ :: _ :: _ as g -> Some g
+                | _ -> None))
+
+(* One DNF rule body: 1–3 conjunctions of 1–3 literals. Predicates from
+   the same exclusion bracket never appear positively together in one
+   conjunction, so every rule stays satisfiable under the constraints. *)
+let rule_body rng predicates brackets =
+  let preds = Array.of_list predicates in
+  let bracket_of p =
+    List.find_opt (fun group -> List.mem p group) brackets
+  in
+  let conjunction () =
+    let width = 1 + Random.State.int rng 3 in
+    let rec pick acc blocked n =
+      if n = 0 then acc
+      else
+        let p = preds.(Random.State.int rng (Array.length preds)) in
+        if List.mem_assoc p acc then pick acc blocked n
+        else
+          let positive = Random.State.int rng 4 < 3 in
+          if positive && List.mem p blocked then pick acc blocked n
+          else
+            let blocked =
+              if positive then
+                match bracket_of p with
+                | Some group -> List.filter (( <> ) p) group @ blocked
+                | None -> blocked
+              else blocked
+            in
+            pick ((p, positive) :: acc) blocked (n - 1)
+    in
+    pick [] [] width |> List.rev
+    |> List.map (fun (p, positive) -> if positive then p else "!" ^ p)
+    |> String.concat " & "
+  in
+  let conjunctions = 1 + Random.State.int rng 3 in
+  List.init conjunctions (fun _ -> conjunction ())
+  |> List.sort_uniq compare
+  |> String.concat " | "
+
+let render ~predicates ~benefits ~rules ~brackets =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf ("form " ^ String.concat " " predicates ^ "\n");
+  Buffer.add_string buf ("benefits " ^ String.concat " " benefits ^ "\n");
+  List.iter
+    (fun (b, body) ->
+      Buffer.add_string buf (Printf.sprintf "rule %s := %s\n" b body))
+    rules;
+  List.iter
+    (fun group ->
+      let rec pairs = function
+        | a :: (b :: _ as rest) ->
+          Buffer.add_string buf (Printf.sprintf "constraint %s -> !%s\n" a b);
+          pairs rest
+        | _ -> ()
+      in
+      pairs group)
+    brackets;
+  Buffer.contents buf
+
+let form ?(seed = 0) ?size ?(revision = 1) index =
+  if index < 0 then invalid_arg "Corpus.form: index must be >= 0";
+  if revision < 1 then invalid_arg "Corpus.form: revision must be >= 1";
+  let rng = rng_of ~seed [ index; 1 ] in
+  let profile = profiles.(Random.State.int rng (Array.length profiles)) in
+  let size = match size with Some s -> s | None -> size_of ~seed index in
+  if size < 2 then invalid_arg "Corpus.form: size must be >= 2";
+  (* The predicate set is a function of (seed, index) only: a revision
+     re-rolls the rules over the *same* form, which is what a real rule
+     update does — respondents' answers stay valid across versions. *)
+  let predicates = draw_predicates rng profile size in
+  let benefit_count = 2 + Random.State.int rng 3 in
+  let benefits =
+    List.init benefit_count (fun i ->
+        let base = benefit_names.(i mod Array.length benefit_names) in
+        if i < Array.length benefit_names then base
+        else Printf.sprintf "%s_%d" base (i / Array.length benefit_names + 1))
+  in
+  let brackets = brackets_of predicates in
+  let rule_rng = rng_of ~seed [ index; 2; revision ] in
+  let rules =
+    List.map (fun b -> (b, rule_body rule_rng predicates brackets)) benefits
+  in
+  let name = Printf.sprintf "t%03d-%s" index profile in
+  {
+    name;
+    index;
+    revision;
+    size;
+    predicates;
+    benefits;
+    brackets;
+    text = render ~predicates ~benefits ~rules ~brackets;
+  }
+
+(* --- Respondents ------------------------------------------------------------- *)
+
+(* A random valuation (bitstring, first predicate leftmost) respecting
+   the form's exclusion brackets: flip fair coins, then keep at most one
+   member of each bracket. Never enumerates the valuation space, so it
+   works at size 40 as readily as at 8. *)
+let valuation ?(seed = 0) form respondent =
+  let rng = rng_of ~seed [ form.index; 3; respondent ] in
+  let bits =
+    List.map (fun p -> (p, Random.State.bool rng)) form.predicates
+  in
+  let bits =
+    List.fold_left
+      (fun bits group ->
+        let holders = List.filter (fun p -> List.assoc p bits) group in
+        match holders with
+        | [] | [ _ ] -> bits
+        | _ ->
+          let keep = List.nth holders (Random.State.int rng (List.length holders)) in
+          List.map
+            (fun (p, v) ->
+              if List.mem p group && p <> keep then (p, false) else (p, v))
+            bits)
+      bits form.brackets
+  in
+  String.concat "" (List.map (fun (_, v) -> if v then "1" else "0") bits)
+
+(* --- Popularity -------------------------------------------------------------- *)
+
+(* Zipf weights: tenant [i] gets 1/(i+1)^exponent of the traffic. The
+   empirical web-form mix is roughly Zipfian with exponent ~1. *)
+let weights ?(exponent = 1.0) count =
+  if count < 1 then invalid_arg "Corpus.weights: count must be >= 1";
+  let w = Array.init count (fun i -> 1. /. Float.pow (float_of_int (i + 1)) exponent) in
+  let total = Array.fold_left ( +. ) 0. w in
+  Array.map (fun x -> x /. total) w
+
+let pick rng weights =
+  let u = Random.State.float rng 1.0 in
+  let n = Array.length weights in
+  let rec go i acc =
+    if i >= n - 1 then n - 1
+    else
+      let acc = acc +. weights.(i) in
+      if u < acc then i else go (i + 1) acc
+  in
+  go 0 0.
+
+(* --- Scenarios --------------------------------------------------------------- *)
+
+type scenario = { seed : int; forms : form array; popularity : float array }
+
+let scenario ?(seed = 0) ?lo ?hi ~count () =
+  if count < 1 then invalid_arg "Corpus.scenario: count must be >= 1";
+  {
+    seed;
+    forms =
+      Array.init count (fun i ->
+          form ~seed ~size:(size_of ?lo ?hi ~seed i) i);
+    popularity = weights count;
+  }
+
+(* Re-roll a form's rules in place: the next revision of the same
+   tenant (same predicates and benefits, new rule bodies). *)
+let update ?(seed = 0) f =
+  form ~seed ~size:f.size ~revision:(f.revision + 1) f.index

@@ -1,0 +1,67 @@
+(** A seeded generator of realistic form/rule mixes.
+
+    Grounded in the field taxonomy of "Understanding Privacy Norms
+    through Web Forms" (PAPERS.md): forms draw predicates from four
+    families — contact, demographic, financial, health — at sizes
+    {!min_size}–{!max_size}, group bracket fields (income bands,
+    employment status) under mutual-exclusion constraints, and spread
+    traffic across tenants with a Zipf popularity curve.
+
+    Everything is a pure function of the seed: the same
+    [(seed, index, revision)] triple yields byte-identical rule text,
+    so corpus-driven benches, fuzz runs and CI smoke jobs reproduce
+    from one integer. The module emits rule-DSL {e text} (the
+    [publish_rules] / [update_rules] wire payload), never parsed
+    values — the server's parser stays the single authority. *)
+
+type form = {
+  name : string;  (** tenant name, e.g. ["t017-loan_application"] *)
+  index : int;
+  revision : int;  (** 1-based; bumped by {!update} *)
+  size : int;  (** number of predicates *)
+  predicates : string list;
+  benefits : string list;
+  brackets : string list list;
+      (** mutually exclusive predicate groups (at most one holds) *)
+  text : string;  (** the rule-DSL source *)
+}
+
+val min_size : int
+(** 8 — the small end of the corpus size band. *)
+
+val max_size : int
+(** 40 — the large end. Forms beyond the atlas enumeration bound
+    (24 predicates) publish fine but fail their background build;
+    the corpus includes them on purpose to exercise that path. *)
+
+val size_of : ?lo:int -> ?hi:int -> seed:int -> int -> int
+(** Deterministic size for tenant [index] in [\[lo, hi\]] (defaults
+    {!min_size}, {!max_size}), skewed toward small forms. *)
+
+val form : ?seed:int -> ?size:int -> ?revision:int -> int -> form
+(** The [index]-th tenant's form. The predicate set depends only on
+    [(seed, index)]; [revision] re-rolls the rule bodies over the same
+    form, which is what a real rule update does. *)
+
+val update : ?seed:int -> form -> form
+(** The next revision of the same tenant: same predicates and
+    benefits, new rule bodies (hence a new digest). *)
+
+val valuation : ?seed:int -> form -> int -> string
+(** A random respondent's answers as a valuation bitstring (first
+    predicate leftmost), respecting the form's exclusion brackets.
+    Constructed directly — never enumerates, so size 40 is as cheap as
+    size 8. The result may still be ineligible under the form's rules;
+    callers drive the protocol and accept [ineligible] answers. *)
+
+val weights : ?exponent:float -> int -> float array
+(** Normalized Zipf weights over [count] tenants (exponent 1.0 by
+    default): tenant [i] receives [1/(i+1)^exponent] of the traffic. *)
+
+val pick : Random.State.t -> float array -> int
+(** Sample an index from a {!weights} distribution. *)
+
+type scenario = { seed : int; forms : form array; popularity : float array }
+
+val scenario : ?seed:int -> ?lo:int -> ?hi:int -> count:int -> unit -> scenario
+(** [count] tenants with sizes in [\[lo, hi\]] and Zipf popularity. *)

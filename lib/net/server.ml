@@ -67,6 +67,9 @@ type shard = {
 type t = {
   shards : shard array;
   shared : Shared.t;
+  tenants : Service.compiled Pet_tenant.Tenant.t;
+      (* process-wide tenant registry, shared by every shard like
+         [shared]; the server owns its builder domain's lifecycle *)
   writer : Group_commit.t option;
   listen : Unix.file_descr;
   port : int;
@@ -298,10 +301,12 @@ let ticker_loop t interval =
 
 (* --- Lifecycle -------------------------------------------------------------------- *)
 
-let start ?backend ?compiled ?payoff ?capacity ?ttl ?resolve ?store
-    ?(recovery = []) ?(sweep_interval = 1.) ~domains ~port ~now () =
+let start ?backend ?compiled ?payoff ?capacity ?ttl ?(tenant_quota = 0)
+    ?resolve ?store ?(recovery = []) ?(sweep_interval = 1.) ~domains ~port
+    ~now () =
   let domains = max 1 domains in
   let shared = Shared.create () in
+  let tenants = Pet_tenant.Tenant.create ~quota:tenant_quota () in
   let durable = store <> None in
   let shards =
     Array.init domains (fun index ->
@@ -311,7 +316,7 @@ let start ?backend ?compiled ?payoff ?capacity ?ttl ?resolve ?store
           index;
           service =
             Service.create ?backend ?compiled ?payoff ?capacity ?ttl ?resolve
-              ~owns ~shared ~durable ~now ();
+              ~owns ~shared ~tenants ~durable ~now ();
           q = Queue.create ();
           qm = Mutex.create ();
           qc = Condition.create ();
@@ -332,7 +337,7 @@ let start ?backend ?compiled ?payoff ?capacity ?ttl ?resolve ?store
     (fun event ->
       let target =
         match event with
-        | Persist.Rules _ | Persist.Grant _ -> 0
+        | Persist.Rules _ | Persist.Tenant_published _ | Persist.Grant _ -> 0
         | Persist.Session_created { id; _ }
         | Persist.Session_chosen { id; _ }
         | Persist.Session_submitted { id; _ } ->
@@ -375,6 +380,7 @@ let start ?backend ?compiled ?payoff ?capacity ?ttl ?resolve ?store
       {
         shards;
         shared;
+        tenants;
         writer = Option.map (Group_commit.start ~batch_target:domains) store;
         listen;
         port;
@@ -426,6 +432,7 @@ let stop t =
         shard.domain <- None)
       t.shards;
     Option.iter Group_commit.stop t.writer;
+    Pet_tenant.Tenant.stop t.tenants;
     Option.iter Thread.join t.ticker;
     t.ticker <- None
   end

@@ -33,6 +33,7 @@ val start :
   ?payoff:Pet_game.Payoff.kind ->
   ?capacity:int ->
   ?ttl:float ->
+  ?tenant_quota:int ->
   ?resolve:(string -> string option) ->
   ?store:Pet_store.Store.t ->
   ?recovery:Pet_server.Persist.event list ->
@@ -53,7 +54,12 @@ val start :
     disables it; use with deterministic clocks). The caller keeps
     ownership of [store] and closes it after {!stop}. [Error] only on
     socket failures; replay errors are logged and skipped, as in stdio
-    recovery. *)
+    recovery.
+
+    Every shard shares one process-wide tenant registry (default
+    per-tenant session cap [tenant_quota], 0 = unlimited), so a tenant
+    published through any connection is servable on every shard; its
+    background builder domain is stopped by {!stop}. *)
 
 val port : t -> int
 (** The bound port (useful with [port:0]). *)

@@ -2,7 +2,24 @@ module Json = Pet_pet.Json
 
 type event =
   | Rules of { digest : string; text : string }
-  | Session_created of { id : string; digest : string; at : float }
+  | Tenant_published of {
+      tenant : string;
+      version : int;
+      digest : string;
+      text : string;
+      quota : int option;
+      at : float;
+    }
+      (* logged on the request path at publish/update time — before the
+         background build runs — so "the latest durable version" is the
+         latest *accepted* version, and recovery re-registers it with a
+         lazy rebuild *)
+  | Session_created of {
+      id : string;
+      digest : string;
+      tenant : string option;
+      at : float;
+    }
   | Session_chosen of {
       id : string;
       mas : string;
@@ -19,6 +36,7 @@ type event =
 
 let kind = function
   | Rules _ -> "rules"
+  | Tenant_published _ -> "tenant_published"
   | Session_created _ -> "session_created"
   | Session_chosen _ -> "session_chosen"
   | Session_submitted _ -> "session_submitted"
@@ -31,14 +49,28 @@ let to_json event =
   match event with
   | Rules { digest; text } ->
     Json.Obj [ tag; ("digest", Json.String digest); ("text", Json.String text) ]
-  | Session_created { id; digest; at } ->
+  | Tenant_published { tenant; version; digest; text; quota; at } ->
     Json.Obj
-      [
-        tag;
-        ("id", Json.String id);
-        ("digest", Json.String digest);
-        ("at", Json.Float at);
-      ]
+      ([
+         tag;
+         ("tenant", Json.String tenant);
+         ("version", Json.Int version);
+         ("digest", Json.String digest);
+         ("text", Json.String text);
+       ]
+      @ (match quota with
+        | Some q -> [ ("quota", Json.Int q) ]
+        | None -> [])
+      @ [ ("at", Json.Float at) ])
+  | Session_created { id; digest; tenant; at } ->
+    (* The tenant field is emitted only when present, so single-tenant
+       logs keep their pre-tenancy bytes. *)
+    Json.Obj
+      ([ tag; ("id", Json.String id); ("digest", Json.String digest) ]
+      @ (match tenant with
+        | Some name -> [ ("tenant", Json.String name) ]
+        | None -> [])
+      @ [ ("at", Json.Float at) ])
   | Session_chosen { id; mas; benefits; at } ->
     Json.Obj
       [
@@ -114,11 +146,30 @@ let of_json j =
     let* digest = string_field "digest" j in
     let* text = string_field "text" j in
     Ok (Rules { digest; text })
+  | "tenant_published" ->
+    let* tenant = string_field "tenant" j in
+    let* version = int_field "version" j in
+    let* digest = string_field "digest" j in
+    let* text = string_field "text" j in
+    let* quota =
+      match Json.member "quota" j with
+      | None -> Ok None
+      | Some (Json.Int q) -> Ok (Some q)
+      | Some _ -> Error "field \"quota\" is not an integer"
+    in
+    let* at = float_field "at" j in
+    Ok (Tenant_published { tenant; version; digest; text; quota; at })
   | "session_created" ->
     let* id = string_field "id" j in
     let* digest = string_field "digest" j in
+    let* tenant =
+      match Json.member "tenant" j with
+      | None -> Ok None
+      | Some (Json.String s) -> Ok (Some s)
+      | Some _ -> Error "field \"tenant\" is not a string"
+    in
     let* at = float_field "at" j in
-    Ok (Session_created { id; digest; at })
+    Ok (Session_created { id; digest; tenant; at })
   | "session_chosen" ->
     let* id = string_field "id" j in
     let* mas = string_field "mas" j in

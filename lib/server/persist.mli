@@ -19,7 +19,29 @@ type event =
   | Rules of { digest : string; text : string }
       (** A rule set entered service: [text] is the canonical rendering
           whose {!Registry.digest} is [digest]. Logged once per digest. *)
-  | Session_created of { id : string; digest : string; at : float }
+  | Tenant_published of {
+      tenant : string;
+      version : int;  (** monotonic per tenant, from 1 *)
+      digest : string;
+      text : string;  (** canonical rendering, as in {!Rules} *)
+      quota : int option;
+      at : float;
+    }
+      (** Tenant [tenant] accepted [version]: logged on the request path
+          at publish/update time — before the background build runs — so
+          the latest durable version is the latest {e accepted} one and
+          recovery re-registers every tenant at its recorded version
+          (rebuilding engines lazily). Subsumes {!Rules} for tenant
+          texts. *)
+  | Session_created of {
+      id : string;
+      digest : string;
+      tenant : string option;
+          (** set for sessions opened by tenant name; the field is
+              omitted from the JSON when absent, so single-tenant logs
+              keep their pre-tenancy bytes *)
+      at : float;
+    }
   | Session_chosen of {
       id : string;
       mas : string;  (** the minimized form, e.g. ["0_1_"] *)
@@ -35,8 +57,8 @@ type event =
     }
 
 val kind : event -> string
-(** The wire tag: ["rules"], ["session_created"], ["session_chosen"],
-    ["session_submitted"] or ["grant"]. *)
+(** The wire tag: ["rules"], ["tenant_published"], ["session_created"],
+    ["session_chosen"], ["session_submitted"] or ["grant"]. *)
 
 val to_json : event -> Json.t
 val of_json : Json.t -> (event, string) result

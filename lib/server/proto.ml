@@ -2,19 +2,34 @@ module Json = Pet_pet.Json
 
 let version = 1
 
-type rules_ref = Text of string | Source of string | Digest of string
+type rules_ref =
+  | Text of string
+  | Source of string
+  | Digest of string
+  | Tenant of string
+      (* the named tenant's active version — resolution may block while
+         the tenant's first build completes *)
+
 type choice_ref = Index of int | Mas of string
 type metrics_format = Mjson | Mprometheus
 type trace_query = Tlast | Tslow | Tget of string
 type trace_format = Ttree | Tchrome
 
 type request =
-  | Publish_rules of rules_ref
+  | Publish_rules of {
+      rules : rules_ref;
+      tenant : string option;  (* create this tenant at version 1 *)
+      quota : int option;  (* per-tenant active-session cap; 0 = unlimited *)
+    }
+  | Update_rules of { tenant : string; rules : rules_ref; quota : int option }
   | New_session of rules_ref
   | Get_report of { session : string; valuation : string }
   | Choose_option of { session : string; choice : choice_ref }
   | Submit_form of { session : string }
   | Audit of rules_ref
+  | Tenant_info of { name : string option; wait : bool }
+      (* one tenant's versions/state/counters (blocking until its
+         builds settle when [wait]), or the tenant listing *)
   | Stats
   | Metrics of metrics_format
   | Trace_req of { query : trace_query; format : trace_format }
@@ -27,10 +42,13 @@ type code =
   | Unknown_rules
   | Unknown_source
   | Unknown_session
+  | Unknown_tenant
   | Session_expired
   | Bad_state
   | Ineligible
   | Rejected
+  | Quota_exceeded
+  | Build_failed
   | Internal
 
 let code_name = function
@@ -41,10 +59,13 @@ let code_name = function
   | Unknown_rules -> "unknown_rules"
   | Unknown_source -> "unknown_source"
   | Unknown_session -> "unknown_session"
+  | Unknown_tenant -> "unknown_tenant"
   | Session_expired -> "session_expired"
   | Bad_state -> "bad_state"
   | Ineligible -> "ineligible"
   | Rejected -> "rejected"
+  | Quota_exceeded -> "quota_exceeded"
+  | Build_failed -> "build_failed"
   | Internal -> "internal"
 
 type error = { code : code; message : string }
@@ -56,11 +77,13 @@ type envelope = { id : Json.t; trace : string option; request : request }
 
 let method_name = function
   | Publish_rules _ -> "publish_rules"
+  | Update_rules _ -> "update_rules"
   | New_session _ -> "new_session"
   | Get_report _ -> "get_report"
   | Choose_option _ -> "choose_option"
   | Submit_form _ -> "submit_form"
   | Audit _ -> "audit"
+  | Tenant_info _ -> "tenant"
   | Stats -> "stats"
   | Metrics _ -> "metrics"
   | Trace_req _ -> "trace"
@@ -75,17 +98,21 @@ let string_field params name =
   | Some _ -> Error (errorf Invalid_params "%S must be a string" name)
   | None -> Error (errorf Invalid_params "missing %S parameter" name)
 
-let rules_ref params ~allow_digest =
+let rules_ref ?(allow_tenant = false) params ~allow_digest =
+  let keys =
+    [ "rules"; "source"; "digest" ] @ if allow_tenant then [ "tenant" ] else []
+  in
   let pick =
     List.filter_map
       (fun name ->
         Option.map (fun v -> (name, v)) (Json.member name params))
-      [ "rules"; "source"; "digest" ]
+      keys
   in
   match pick with
   | [ ("rules", Json.String s) ] -> Ok (Text s)
   | [ ("source", Json.String s) ] -> Ok (Source s)
   | [ ("digest", Json.String s) ] when allow_digest -> Ok (Digest s)
+  | [ ("tenant", Json.String s) ] -> Ok (Tenant s)
   | [ ("digest", Json.String _) ] ->
     Error (error Invalid_params "this method requires \"rules\" or \"source\"")
   | [ (name, _) ] ->
@@ -93,12 +120,17 @@ let rules_ref params ~allow_digest =
   | [] ->
     Error
       (errorf Invalid_params "expected one of %s"
-         (if allow_digest then "\"rules\", \"source\" or \"digest\""
-          else "\"rules\" or \"source\""))
+         (match (allow_digest, allow_tenant) with
+          | true, true -> "\"rules\", \"source\", \"digest\" or \"tenant\""
+          | true, false -> "\"rules\", \"source\" or \"digest\""
+          | false, true -> "\"rules\", \"source\" or \"tenant\""
+          | false, false -> "\"rules\" or \"source\""))
   | _ :: _ :: _ ->
     Error
-      (error Invalid_params
-         "\"rules\", \"source\" and \"digest\" are mutually exclusive")
+      (errorf Invalid_params "%s are mutually exclusive"
+         (if allow_tenant then
+            "\"rules\", \"source\", \"digest\" and \"tenant\""
+          else "\"rules\", \"source\" and \"digest\""))
 
 let choice_ref params =
   match (Json.member "option" params, Json.member "mas" params) with
@@ -114,13 +146,46 @@ let choice_ref params =
   | Some _, None -> Error (error Invalid_params "\"option\" must be an integer")
   | None, Some _ -> Error (error Invalid_params "\"mas\" must be a string")
 
+(* Optional scalar parameters shared by the tenant methods. *)
+let tenant_field params =
+  match Json.member "tenant" params with
+  | None -> Ok None
+  | Some (Json.String s) -> Ok (Some s)
+  | Some _ -> Error (error Invalid_params "\"tenant\" must be a string")
+
+let quota_field params =
+  match Json.member "quota" params with
+  | None -> Ok None
+  | Some (Json.Int q) when q >= 0 -> Ok (Some q)
+  | Some (Json.Int _) ->
+    Error (error Invalid_params "\"quota\" must be >= 0 (0 means unlimited)")
+  | Some _ -> Error (error Invalid_params "\"quota\" must be an integer")
+
 let decode_request name params =
   match name with
   | "publish_rules" ->
     let* rules = rules_ref params ~allow_digest:false in
-    Ok (Publish_rules rules)
+    let* tenant = tenant_field params in
+    let* quota = quota_field params in
+    let* () =
+      if quota <> None && tenant = None then
+        Error
+          (error Invalid_params "\"quota\" requires a \"tenant\" parameter")
+      else Ok ()
+    in
+    Ok (Publish_rules { rules; tenant; quota })
+  | "update_rules" ->
+    let* rules = rules_ref params ~allow_digest:false in
+    let* tenant = tenant_field params in
+    let* quota = quota_field params in
+    let* tenant =
+      match tenant with
+      | Some t -> Ok t
+      | None -> Error (error Invalid_params "missing \"tenant\" parameter")
+    in
+    Ok (Update_rules { tenant; rules; quota })
   | "new_session" ->
-    let* rules = rules_ref params ~allow_digest:true in
+    let* rules = rules_ref params ~allow_digest:true ~allow_tenant:true in
     Ok (New_session rules)
   | "get_report" ->
     let* session = string_field params "session" in
@@ -134,8 +199,27 @@ let decode_request name params =
     let* session = string_field params "session" in
     Ok (Submit_form { session })
   | "audit" ->
-    let* rules = rules_ref params ~allow_digest:true in
+    let* rules = rules_ref params ~allow_digest:true ~allow_tenant:true in
     Ok (Audit rules)
+  | "tenant" ->
+    let* name =
+      match Json.member "name" params with
+      | None -> Ok None
+      | Some (Json.String s) -> Ok (Some s)
+      | Some _ -> Error (error Invalid_params "\"name\" must be a string")
+    in
+    let* wait =
+      match Json.member "wait" params with
+      | None -> Ok false
+      | Some (Json.Bool b) -> Ok b
+      | Some _ -> Error (error Invalid_params "\"wait\" must be a boolean")
+    in
+    let* () =
+      if wait && name = None then
+        Error (error Invalid_params "\"wait\" requires a \"name\" parameter")
+      else Ok ()
+    in
+    Ok (Tenant_info { name; wait })
   | "stats" -> Ok Stats
   | "metrics" -> (
     match Json.member "format" params with
@@ -305,12 +389,13 @@ let fast_request meth params =
   let only names = List.for_all (fun (k, _) -> List.mem k names) params in
   match meth with
   | "new_session" -> (
-    if not (only [ "rules"; "source"; "digest" ]) then None
+    if not (only [ "rules"; "source"; "digest"; "tenant" ]) then None
     else
       match params with
       | [ ("rules", Fstr s) ] -> Some (New_session (Text s))
       | [ ("source", Fstr s) ] -> Some (New_session (Source s))
       | [ ("digest", Fstr s) ] -> Some (New_session (Digest s))
+      | [ ("tenant", Fstr s) ] -> Some (New_session (Tenant s))
       | _ -> None)
   | "get_report" -> (
     if not (only [ "session"; "valuation" ]) then None

@@ -12,12 +12,20 @@
     [{"pet":1,"id":ID,"error":{"code":C,"message":S}}].
 
     Methods and their parameters:
-    - [publish_rules] — [rules] (spec text) or [source] (built-in name)
-    - [new_session] — [rules], [source] or [digest] (a published rule set)
+    - [publish_rules] — [rules] (spec text) or [source] (built-in name);
+      optional [tenant] (create that tenant at version 1, building in
+      the background) and [quota] (per-tenant active-session cap)
+    - [update_rules] — [tenant] plus [rules] or [source]: append a new
+      version to an existing tenant; the previous version keeps serving
+      until the new build lands, then the registry atomically swaps
+    - [new_session] — [rules], [source], [digest] (a published rule
+      set) or [tenant] (that tenant's active version)
     - [get_report] — [session], [valuation] (the filled form as bits)
     - [choose_option] — [session], and [option] (index) or [mas] (string)
     - [submit_form] — [session]
-    - [audit] — [rules], [source] or [digest]
+    - [audit] — [rules], [source], [digest] or [tenant]
+    - [tenant] — optional [name] (omit for the tenant listing) and
+      [wait] (block until the named tenant's builds settle)
     - [stats] — no parameters
     - [metrics] — optional [format]: ["json"] (default) or
       ["prometheus"]
@@ -40,6 +48,9 @@ type rules_ref =
   | Text of string  (** the rule-spec text itself *)
   | Source of string  (** a name the host resolves (built-in case studies) *)
   | Digest of string  (** a previously published rule set *)
+  | Tenant of string
+      (** the named tenant's active version; resolution may block while
+          the tenant's first build completes *)
 
 type choice_ref = Index of int | Mas of string
 
@@ -58,12 +69,23 @@ type trace_format = Ttree | Tchrome
     exposition). *)
 
 type request =
-  | Publish_rules of rules_ref
+  | Publish_rules of {
+      rules : rules_ref;
+      tenant : string option;
+          (** create this tenant at version 1; its build runs on the
+              background builder domain, so the response reports
+              ["building"] *)
+      quota : int option;
+          (** per-tenant cap on concurrently active sessions (0 =
+              unlimited); requires [tenant] *)
+    }
+  | Update_rules of { tenant : string; rules : rules_ref; quota : int option }
   | New_session of rules_ref
   | Get_report of { session : string; valuation : string }
   | Choose_option of { session : string; choice : choice_ref }
   | Submit_form of { session : string }
   | Audit of rules_ref
+  | Tenant_info of { name : string option; wait : bool }
   | Stats
   | Metrics of metrics_format
   | Trace_req of { query : trace_query; format : trace_format }
@@ -73,13 +95,22 @@ type code =
   | Invalid_request  (** not a protocol envelope *)
   | Unknown_method
   | Invalid_params
-  | Unknown_rules  (** digest not in the registry (never published or evicted) *)
+  | Unknown_rules
+      (** digest not in the registry (never published or evicted); the
+          message names the offending digest *)
   | Unknown_source  (** no built-in rule set of that name *)
   | Unknown_session
+  | Unknown_tenant  (** no tenant of that name was ever published *)
   | Session_expired
   | Bad_state  (** the session is not in a state accepting this method *)
   | Ineligible  (** the form grants no benefit or contradicts the rules *)
   | Rejected  (** provider-side refusal of a submitted form *)
+  | Quota_exceeded
+      (** the tenant is at its cap of concurrently active sessions *)
+  | Build_failed
+      (** the tenant version's background build failed (e.g. the form
+          is beyond the atlas enumeration bound); the message carries
+          the builder's error *)
   | Internal
       (** server-side failure outside the request's control — e.g. the
           write-ahead log refused the event the request produced; the
@@ -118,9 +149,9 @@ val decode_fast : string -> envelope option
     implies [decode line = Ok env]; [None] means the line needs the
     full decoder (escaped strings, floats, duplicate keys, a cold
     method, or any malformed input — the fast path never produces an
-    error itself). Covers [new_session], [get_report], [choose_option]
-    and [submit_form]; the protocol fuzzer checks the implication on
-    every line it generates. *)
+    error itself). Covers [new_session] (including by [tenant]),
+    [get_report], [choose_option] and [submit_form]; the protocol
+    fuzzer checks the implication on every line it generates. *)
 
 val ok_response : id:Json.t -> ?trace:string -> Json.t -> string
 

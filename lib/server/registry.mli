@@ -33,7 +33,15 @@ val find : 'a t -> string -> 'a option
 val peek : 'a t -> string -> 'a option
 (** Non-counting lookup for internal re-reads (a [get_report] fetching
     the engine its session already resolved); still refreshes the LRU
-    clock so live rule sets are not evicted under sessions using them. *)
+    clock, which makes a {e recently used} entry safe from the next
+    eviction. That is weaker than a pin: an idle session's engine can
+    still be evicted by enough later inserts — e.g. a burst of tenant
+    version swaps — and the service then recompiles it from the
+    retained rule text (durable store, shard-shared texts, or the
+    tenant registry, all of which outlive the cache) rather than
+    failing the session. Only when no text was retained anywhere does
+    the session's next request fail, with the offending digest in the
+    [unknown_rules] message. *)
 
 val add : 'a t -> string -> 'a -> unit
 (** Insert (replacing any previous binding), evicting the least recently

@@ -10,6 +10,7 @@ module Ledger = Pet_pet.Ledger
 module Total = Pet_valuation.Total
 module Partial = Pet_valuation.Partial
 module Universe = Pet_valuation.Universe
+module Tenant = Pet_tenant.Tenant
 
 (* One memoized [get_report] answer: the rendered response payload plus
    the option list the session must remember for [choose_option]. Both
@@ -65,33 +66,63 @@ type t = {
          process-wide [Shared] state instead of the tables above, so a
          rule set published on one shard is servable (and auditable,
          with one grant-id sequence) on every other *)
+  tenants : compiled Tenant.t;
+      (* the multi-tenant form registry: in a sharded deployment every
+         shard shares one instance (like [shared]), so a tenant
+         published on one shard is servable on every other and the
+         background builder domain is process-wide *)
+  tenants_owned : bool;
+      (* whether [shutdown] should stop the tenant registry's builder
+         domain (false when the registry was passed in by the caller,
+         who then owns its lifecycle) *)
   mutable sink : Persist.sink;
   mutable requests : int;
   mutable submitted : int;
 }
 
 let create ?(backend = Engine.Compiled) ?(compiled = true)
-    ?(payoff = Payoff.Blank) ?capacity ?ttl ?owns ?shared
-    ?(resolve = fun _ -> None) ?(durable = false) ~now () =
-  {
-    backend;
-    compiled;
-    payoff;
-    now;
-    resolve;
-    registry = Registry.create ?capacity ();
-    ledgers = Hashtbl.create 8;
-    store = Session.create_store ?ttl ?owns ();
-    methods = Hashtbl.create 8;
-    durable;
-    rule_texts = Hashtbl.create 8;
-    shared;
-    sink = Persist.null;
-    requests = 0;
-    submitted = 0;
-  }
+    ?(payoff = Payoff.Blank) ?capacity ?ttl ?owns ?shared ?tenants
+    ?(tenant_quota = 0) ?(resolve = fun _ -> None) ?(durable = false) ~now ()
+    =
+  let tenants, tenants_owned =
+    match tenants with
+    | Some registry -> (registry, false)
+    | None -> (Tenant.create ~quota:tenant_quota (), true)
+  in
+  let t =
+    {
+      backend;
+      compiled;
+      payoff;
+      now;
+      resolve;
+      registry = Registry.create ?capacity ();
+      ledgers = Hashtbl.create 8;
+      store = Session.create_store ?ttl ?owns ();
+      methods = Hashtbl.create 8;
+      durable;
+      rule_texts = Hashtbl.create 8;
+      shared;
+      tenants;
+      tenants_owned;
+      sink = Persist.null;
+      requests = 0;
+      submitted = 0;
+    }
+  in
+  (* A swept tenant session frees its quota slot even though nothing
+     ever looked it up again. *)
+  Session.set_on_expire t.store (fun (session : Session.t) ->
+      match session.Session.tenant with
+      | Some name -> Tenant.release t.tenants name
+      | None -> ());
+  t
 
 let set_sink t sink = t.sink <- sink
+let tenant_registry t = t.tenants
+
+let shutdown t =
+  if t.tenants_owned then Tenant.stop t.tenants
 
 let ( let* ) = Result.bind
 
@@ -150,32 +181,74 @@ let ledger_count t =
 
 (* --- Rule-set resolution ----------------------------------------------------- *)
 
-let compile t text =
+(* Build the full artifact for an exposure: compile the engine,
+   enumerate the atlas, solve the equilibrium, allocate the fast table.
+   Pure apart from the allocation — it touches neither the registry nor
+   the sink, so the tenant registry's builder domain can run it off the
+   request path without any locking. *)
+let build_artifact ~backend ~payoff ~tabulate exposure digest =
+  let provider = Workflow.provider ~backend ~payoff exposure in
+  let n = Universe.size (Exposure.xp exposure) in
+  let fast =
+    if tabulate && n <= Pet_compile.Code.max_tabulated_predicates then
+      Some (Array.make (1 lsl n) None)
+    else None
+  in
+  { digest; exposure; provider; fast }
+
+(* [remember:false] for tenant texts: the tenant registry retains them
+   (and [Tenant_published] persists them), so they are neither copied
+   into the rule-text table nor re-logged as [Rules] events. *)
+let compile ?(remember = true) t text =
   match Spec.parse text with
   | Error m -> Error (Proto.errorf Proto.Invalid_params "rules: %s" m)
   | Ok exposure -> (
     let canonical = Spec.to_string exposure in
     let digest = Registry.digest canonical in
     match Registry.find_or_add t.registry digest (fun () ->
-            let provider = Workflow.provider ~backend:t.backend ~payoff:t.payoff exposure in
-            let n = Universe.size (Exposure.xp exposure) in
-            let fast =
-              if t.compiled && n <= Pet_compile.Code.max_tabulated_predicates
-              then Some (Array.make (1 lsl n) None)
-              else None
-            in
-            { digest; exposure; provider; fast })
+            build_artifact ~backend:t.backend ~payoff:t.payoff
+              ~tabulate:t.compiled exposure digest)
     with
     | compiled, hit ->
       (* Durable mode retains the canonical text and logs each rule set
          the first time it compiles; replay refills the retained texts
          before the sink is attached, so recovered rule sets are not
          re-logged. *)
-      if remember_text t ~digest ~text:canonical && t.durable then
+      if remember && remember_text t ~digest ~text:canonical && t.durable then
         t.sink.emit (Persist.Rules { digest; text = canonical });
       Ok (compiled, hit)
     | exception Invalid_argument m ->
       Error (Proto.errorf Proto.Invalid_params "rules: %s" m))
+
+(* Resolve a tenant to its active version's artifact. Blocks only while
+   the tenant's {e first} version is still building (later versions keep
+   serving the previous one); installs a finished background build into
+   the engine cache on first touch, and recompiles from the tenant's
+   retained text if the cache evicted it since. *)
+let resolve_tenant t name =
+  match Tenant.resolve t.tenants name with
+  | `Unknown ->
+    Error
+      (Proto.errorf Proto.Unknown_tenant
+         "unknown tenant %S (publish_rules with a \"tenant\" parameter \
+          creates it)"
+         name)
+  | `Failed (version, m) ->
+    Error
+      (Proto.errorf Proto.Build_failed "tenant %S version %d failed to build: %s"
+         name version m)
+  | `Ready resolved ->
+    let* compiled, cached =
+      match resolved.Tenant.res_artifact with
+      | Some compiled ->
+        Registry.add t.registry resolved.Tenant.res_digest compiled;
+        Ok (compiled, false)
+      | None -> (
+        match Registry.find t.registry resolved.Tenant.res_digest with
+        | Some compiled -> Ok (compiled, true)
+        | None -> compile ~remember:false t resolved.Tenant.res_text)
+    in
+    Ok (resolved, compiled, cached)
 
 (* Counting resolution (publish_rules / new_session / audit): cache hits
    and misses here measure how often a compilation was saved. *)
@@ -186,20 +259,28 @@ let resolve_rules t = function
     | Some text -> compile t text
     | None ->
       Error (Proto.errorf Proto.Unknown_source "unknown rule source %S" name))
+  | Proto.Tenant name ->
+    Result.map (fun (_, compiled, cached) -> (compiled, cached))
+      (resolve_tenant t name)
   | Proto.Digest digest -> (
     match Registry.find t.registry digest with
     | Some compiled -> Ok (compiled, true)
     | None -> (
       (* Durable mode never forgets a published rule set: recompile it
-         from the retained canonical text instead of erroring. *)
+         from the retained canonical text instead of erroring. Tenant
+         versions retain their text in the tenant registry, so a digest
+         of any published tenant version also resolves here. *)
       match retained_text t digest with
       | Some text -> compile t text
-      | None ->
-        Error
-          (Proto.errorf Proto.Unknown_rules
-             "no rule set with digest %s (never published, or evicted — \
-              republish the rules)"
-             digest)))
+      | None -> (
+        match Tenant.text_of_digest t.tenants digest with
+        | Some text -> compile ~remember:false t text
+        | None ->
+          Error
+            (Proto.errorf Proto.Unknown_rules
+               "no rule set with digest %s (never published, or evicted — \
+                republish the rules)"
+               digest))))
 
 (* Non-counting engine re-read for a session that already resolved its
    rule set; fails only if the engine was evicted underneath it and no
@@ -210,12 +291,15 @@ let engine_of_session t (session : Session.t) =
   | None -> (
     match retained_text t session.Session.digest with
     | Some text -> Result.map fst (compile t text)
-    | None ->
-      Error
-        (Proto.errorf Proto.Unknown_rules
-           "the engine for this session's rules was evicted from the cache; \
-            republish the rules and retry"
-           ))
+    | None -> (
+      match Tenant.text_of_digest t.tenants session.Session.digest with
+      | Some text -> Result.map fst (compile ~remember:false t text)
+      | None ->
+        Error
+          (Proto.errorf Proto.Unknown_rules
+             "the engine for this session's rules (digest %s) was evicted \
+              from the cache; republish the rules and retry"
+             session.Session.digest)))
 
 let find_session t id ~now =
   match Session.find t.store id ~now with
@@ -246,23 +330,196 @@ let rules_summary compiled ~cached =
       ("eligible", Json.Int (Atlas.player_count atlas));
     ]
 
-let publish_rules t rules =
-  let* compiled, cached = resolve_rules t rules in
-  Ok (rules_summary compiled ~cached)
+(* --- Tenant handlers ------------------------------------------------------------ *)
+
+(* Parse and canonicalize the rules on the request path (so malformed
+   text errors synchronously), then hand the expensive part — engine,
+   atlas, equilibrium — to the tenant registry's builder domain as a
+   pure closure. *)
+let tenant_text t = function
+  | Proto.Text text -> Ok text
+  | Proto.Source name -> (
+    match t.resolve name with
+    | Some text -> Ok text
+    | None ->
+      Error (Proto.errorf Proto.Unknown_source "unknown rule source %S" name))
+  | Proto.Digest _ | Proto.Tenant _ ->
+    (* unreachable from the wire: the decoder only admits text/source
+       rules for tenant publishes *)
+    Error
+      (Proto.error Proto.Invalid_params
+         "tenant rules must be given as text or a named source")
+
+let tenant_version_json ~name ~version ~digest ~state =
+  Json.Obj
+    [
+      ("tenant", Json.String name);
+      ("version", Json.Int version);
+      ("digest", Json.String digest);
+      ("state", Json.String state);
+    ]
+
+let prepare_tenant_build t rules =
+  let* text = tenant_text t rules in
+  match Spec.parse text with
+  | Error m -> Error (Proto.errorf Proto.Invalid_params "rules: %s" m)
+  | Ok exposure ->
+    let canonical = Spec.to_string exposure in
+    let digest = Registry.digest canonical in
+    let build () =
+      match
+        build_artifact ~backend:t.backend ~payoff:t.payoff
+          ~tabulate:t.compiled exposure digest
+      with
+      | artifact -> Ok artifact
+      | exception Invalid_argument m -> Error m
+      | exception e -> Error (Printexc.to_string e)
+    in
+    Ok (canonical, digest, build)
+
+let publish_tenant t ~name ~quota rules ~now =
+  let* canonical, digest, build = prepare_tenant_build t rules in
+  match Tenant.publish t.tenants ~name ~digest ~text:canonical ?quota ~now
+          ~build ()
+  with
+  | `Created ->
+    (* Durable before the build: the latest accepted version, not the
+       latest built one, is what recovery must restore. *)
+    t.sink.emit
+      (Persist.Tenant_published
+         { tenant = name; version = 1; digest; text = canonical; quota; at = now });
+    (* Rendered from the [`Created] arm, not from a state read, so the
+       response says "building" whether or not the builder already
+       finished — deterministic transcripts under any scheduling. *)
+    Ok (tenant_version_json ~name ~version:1 ~digest ~state:"building")
+  | `Existing (version, state) ->
+    Ok
+      (tenant_version_json ~name ~version ~digest
+         ~state:(Tenant.state_name state))
+  | `Conflict version ->
+    Error
+      (Proto.errorf Proto.Bad_state
+         "tenant %S already serves version %d with a different rule set; \
+          use update_rules to publish a new version"
+         name version)
+
+let update_tenant t ~name ~quota rules ~now =
+  let* canonical, digest, build = prepare_tenant_build t rules in
+  match Tenant.update t.tenants ~name ~digest ~text:canonical ?quota ~now
+          ~build ()
+  with
+  | `Unknown ->
+    Error
+      (Proto.errorf Proto.Unknown_tenant
+         "unknown tenant %S (publish_rules with a \"tenant\" parameter \
+          creates it)"
+         name)
+  | `Queued version ->
+    t.sink.emit
+      (Persist.Tenant_published
+         {
+           tenant = name;
+           version;
+           digest;
+           text = canonical;
+           quota;
+           at = now;
+         });
+    Ok (tenant_version_json ~name ~version ~digest ~state:"building")
+  | `Unchanged (version, state) ->
+    Ok
+      (tenant_version_json ~name ~version ~digest
+         ~state:(Tenant.state_name state))
+
+let tenant_info t ~name ~wait =
+  match name with
+  | None ->
+    let names = Tenant.names t.tenants in
+    Ok
+      (Json.Obj
+         [
+           ("count", Json.Int (List.length names));
+           ("tenants", Json.List (List.map (fun n -> Json.String n) names));
+         ])
+  | Some name -> (
+    (* [wait] is the deterministic barrier: block until every queued
+       build for this tenant settled, then report. *)
+    if wait then Tenant.await t.tenants name;
+    match Tenant.info t.tenants name with
+    | None ->
+      Error (Proto.errorf Proto.Unknown_tenant "unknown tenant %S" name)
+    | Some info ->
+      Ok
+        (Json.Obj
+           [
+             ("tenant", Json.String info.Tenant.info_name);
+             ("versions", Json.Int info.Tenant.versions);
+             ("active", Json.Int info.Tenant.active);
+             ("digest", Json.String info.Tenant.digest);
+             ("state", Json.String (Tenant.state_name info.Tenant.state));
+             ("quota", Json.Int info.Tenant.quota);
+             ( "sessions",
+               Json.Obj
+                 [
+                   ("active", Json.Int info.Tenant.sessions_active);
+                   ("created", Json.Int info.Tenant.sessions_created);
+                   ("submitted", Json.Int info.Tenant.submitted);
+                 ] );
+           ]))
+
+let publish_rules t ~rules ~tenant ~quota ~now =
+  match tenant with
+  | None -> (
+    let* compiled, cached = resolve_rules t rules in
+    Ok (rules_summary compiled ~cached))
+  | Some name -> publish_tenant t ~name ~quota rules ~now
 
 let new_session t rules ~now =
-  let* compiled, cached = resolve_rules t rules in
-  let session = Session.create t.store ~digest:compiled.digest ~now in
-  t.sink.emit
-    (Persist.Session_created
-       { id = session.Session.id; digest = compiled.digest; at = now });
-  Ok
-    (Json.Obj
-       [
-         ("session", Json.String session.Session.id);
-         ("digest", Json.String compiled.digest);
-         ("cached", Json.Bool cached);
-       ])
+  match rules with
+  | Proto.Tenant name ->
+    (* Pin the tenant's active version at open: the session keeps this
+       digest (and its answers) across any later hot swap. *)
+    let* resolved, compiled, _ = resolve_tenant t name in
+    let* () =
+      match Tenant.try_admit t.tenants name with
+      | `Ok -> Ok ()
+      | `Over quota ->
+        Error
+          (Proto.errorf Proto.Quota_exceeded
+             "tenant %S is at its quota of %d active sessions" name quota)
+    in
+    let session =
+      Session.create t.store ~digest:compiled.digest ~tenant:name ~now ()
+    in
+    t.sink.emit
+      (Persist.Session_created
+         {
+           id = session.Session.id;
+           digest = compiled.digest;
+           tenant = Some name;
+           at = now;
+         });
+    Ok
+      (Json.Obj
+         [
+           ("session", Json.String session.Session.id);
+           ("tenant", Json.String name);
+           ("version", Json.Int resolved.Tenant.res_version);
+           ("digest", Json.String compiled.digest);
+         ])
+  | _ ->
+    let* compiled, cached = resolve_rules t rules in
+    let session = Session.create t.store ~digest:compiled.digest ~now () in
+    t.sink.emit
+      (Persist.Session_created
+         { id = session.Session.id; digest = compiled.digest; tenant = None; at = now });
+    Ok
+      (Json.Obj
+         [
+           ("session", Json.String session.Session.id);
+           ("digest", Json.String compiled.digest);
+           ("cached", Json.Bool cached);
+         ])
 
 (* A handler result: either a JSON tree for the encoder, or (from the
    compiled answer table) the same JSON already rendered to text —
@@ -394,6 +651,9 @@ let submit_form t ~session:sid ~now =
     session.Session.grant_id <- Some grant_id;
     session.Session.state <- Session.Submitted;
     t.submitted <- t.submitted + 1;
+    (match session.Session.tenant with
+    | Some name -> Tenant.note_submitted t.tenants name
+    | None -> ());
     Session.touch session ~now;
     t.sink.emit
       (Persist.Grant
@@ -439,12 +699,19 @@ let compiled_of_digest t digest =
   match Registry.peek t.registry digest with
   | Some compiled -> Ok compiled
   | None -> (
-    match retained_text t digest with
-    | Some text -> (
-      match compile t text with
+    let recompile ?remember text =
+      match compile ?remember t text with
       | Ok (compiled, _) -> Ok compiled
-      | Error e -> Error e.Proto.message)
-    | None -> Error (Printf.sprintf "unknown rule set %s" digest))
+      | Error e -> Error e.Proto.message
+    in
+    match retained_text t digest with
+    | Some text -> recompile text
+    | None -> (
+      (* Tenant versions retain their text in the tenant registry, not
+         the plain rule-text table — same fallback as [engine_of_session]. *)
+      match Tenant.text_of_digest t.tenants digest with
+      | Some text -> recompile ~remember:false text
+      | None -> Error (Printf.sprintf "unknown rule set %s" digest)))
 
 (* Replay one recovered event. The log records only transitions that
    committed, so replay bypasses the request-level guards (state checks,
@@ -474,8 +741,18 @@ let apply_event t event =
           (Printf.sprintf
              "rules event digest %s does not match the recompiled text (%s)"
              digest compiled.digest))
-  | Persist.Session_created { id; digest; at } ->
-    ignore (Session.restore t.store ~id ~digest ~now:at);
+  | Persist.Tenant_published { tenant; version; digest; text; quota; at } ->
+    (* Restored versions are [Ready] with no artifact: the engine is
+       recompiled lazily from the retained text on first use, so replay
+       stays cheap no matter how many tenants the log holds. *)
+    Tenant.restore t.tenants ~name:tenant ~version ~digest ~text ?quota
+      ~now:at ();
+    Ok ()
+  | Persist.Session_created { id; digest; tenant; at } ->
+    ignore (Session.restore t.store ~id ~digest ?tenant ~now:at ());
+    (match tenant with
+    | Some name -> Tenant.note_restored t.tenants name
+    | None -> ());
     Ok ()
   | Persist.Session_chosen { id; mas; benefits; at } ->
     let* session = session_of id in
@@ -515,14 +792,26 @@ let apply_event t event =
    stores. Replaying [state_events] recreates every rule set, archived
    grant and live session (a [Reported] session reverts to [Created]:
    its raw valuation is exactly what must not be persisted). Ordering:
-   rule sets first, then grants in id order per rule set, then sessions
-   in id order, so replay dependencies always point backwards. *)
+   rule sets and tenant versions first, then grants in id order per
+   rule set, then sessions in id order, so replay dependencies always
+   point backwards. *)
 let state_events t =
   let by_key l = List.sort (fun (a, _) (b, _) -> String.compare a b) l in
   let rules =
     List.map
       (fun (digest, text) -> Persist.Rules { digest; text })
       (by_key (retained_texts t))
+  in
+  let tenants =
+    List.concat_map
+      (fun (name, quota, versions) ->
+        let quota = if quota = 0 then None else Some quota in
+        List.map
+          (fun (version, digest, text, at) ->
+            Persist.Tenant_published
+              { tenant = name; version; digest; text; quota; at })
+          versions)
+      (Tenant.dump t.tenants)
   in
   let grants =
     List.concat_map
@@ -550,6 +839,7 @@ let state_events t =
              {
                id = s.Session.id;
                digest = s.Session.digest;
+               tenant = s.Session.tenant;
                at = s.Session.created_at;
              }
            :: (match s.Session.chosen with
@@ -573,7 +863,7 @@ let state_events t =
              ]
            | _ -> [])
   in
-  rules @ grants @ sessions
+  rules @ tenants @ grants @ sessions
 
 (* --- Observability ---------------------------------------------------------------- *)
 
@@ -594,6 +884,8 @@ let latency_hist name =
 (* One histogram per wire method, resolved by a static match so the
    per-request path does no hashing or label rendering. *)
 let obs_lat_publish_rules = latency_hist "publish_rules"
+let obs_lat_update_rules = latency_hist "update_rules"
+let obs_lat_tenant = latency_hist "tenant"
 let obs_lat_new_session = latency_hist "new_session"
 let obs_lat_get_report = latency_hist "get_report"
 let obs_lat_choose_option = latency_hist "choose_option"
@@ -606,6 +898,8 @@ let obs_lat_invalid = latency_hist "invalid"
 
 let obs_latency = function
   | "publish_rules" -> obs_lat_publish_rules
+  | "update_rules" -> obs_lat_update_rules
+  | "tenant" -> obs_lat_tenant
   | "new_session" -> obs_lat_new_session
   | "get_report" -> obs_lat_get_report
   | "choose_option" -> obs_lat_choose_option
@@ -625,6 +919,10 @@ let obs_sessions_created = Obs.gauge "pet_sessions_created"
 let obs_sessions_expired = Obs.gauge "pet_sessions_expired"
 let obs_submitted = Obs.gauge "pet_grants_submitted"
 let obs_ledger_records = Obs.gauge "pet_ledger_records"
+let obs_tenants = Obs.gauge "pet_tenants"
+let obs_tenant_builds = Obs.gauge "pet_tenant_builds"
+let obs_tenant_build_failures = Obs.gauge "pet_tenant_build_failures"
+let obs_tenant_building = Obs.gauge "pet_tenant_building"
 
 (* The service owns these aggregates, so rather than pushing deltas on
    every request it mirrors them into gauges when a snapshot is taken —
@@ -641,7 +939,13 @@ let sync_gauges t =
   Obs.set_gauge obs_sessions_expired (float_of_int s.Session.expired);
   Obs.set_gauge obs_submitted (float_of_int t.submitted);
   let records = fold_ledgers t (fun _ l acc -> acc + Ledger.size l) 0 in
-  Obs.set_gauge obs_ledger_records (float_of_int records)
+  Obs.set_gauge obs_ledger_records (float_of_int records);
+  let tt = Tenant.totals t.tenants in
+  Obs.set_gauge obs_tenants (float_of_int tt.Tenant.tenants);
+  Obs.set_gauge obs_tenant_builds (float_of_int tt.Tenant.builds);
+  Obs.set_gauge obs_tenant_build_failures
+    (float_of_int tt.Tenant.build_failures);
+  Obs.set_gauge obs_tenant_building (float_of_int tt.Tenant.building)
 
 let json_of_hist (h : Obs.hist_stats) =
   Json.Obj
@@ -793,7 +1097,7 @@ let stats_json t =
       (0, 0)
   in
   Json.Obj
-    [
+    ([
       ( "requests",
         Json.Obj
           [ ("total", Json.Int t.requests); ("by_method", Json.Obj by_method) ]
@@ -823,6 +1127,39 @@ let stats_json t =
             ("stored_values", Json.Int stored_values);
           ] );
     ]
+    (* The tenants section appears only once a tenant exists, so
+       single-tenant deployments keep their pre-tenancy stats bytes. *)
+    @
+    if Tenant.count t.tenants = 0 then []
+    else
+      let tt = Tenant.totals t.tenants in
+      let by_tenant =
+        List.map
+          (fun (info : Tenant.info) ->
+            ( info.Tenant.info_name,
+              Json.Obj
+                [
+                  ("versions", Json.Int info.Tenant.versions);
+                  ("active_version", Json.Int info.Tenant.active);
+                  ("state", Json.String (Tenant.state_name info.Tenant.state));
+                  ("quota", Json.Int info.Tenant.quota);
+                  ("sessions_active", Json.Int info.Tenant.sessions_active);
+                  ("sessions_created", Json.Int info.Tenant.sessions_created);
+                  ("submitted", Json.Int info.Tenant.submitted);
+                ] ))
+          (Tenant.infos t.tenants)
+      in
+      [
+        ( "tenants",
+          Json.Obj
+            [
+              ("count", Json.Int tt.Tenant.tenants);
+              ("builds", Json.Int tt.Tenant.builds);
+              ("build_failures", Json.Int tt.Tenant.build_failures);
+              ("building", Json.Int tt.Tenant.building);
+              ("by_tenant", Json.Obj by_tenant);
+            ] );
+      ])
 
 (* --- Dispatch --------------------------------------------------------------------- *)
 
@@ -835,12 +1172,16 @@ let handle_request t request ~now =
       (fun json -> Tree json)
       (match request with
       | Proto.Get_report _ -> assert false (* handled above *)
-      | Proto.Publish_rules rules -> publish_rules t rules
+      | Proto.Publish_rules { rules; tenant; quota } ->
+        publish_rules t ~rules ~tenant ~quota ~now
+      | Proto.Update_rules { tenant; rules; quota } ->
+        update_tenant t ~name:tenant ~quota rules ~now
       | Proto.New_session rules -> new_session t rules ~now
       | Proto.Choose_option { session; choice } ->
         choose_option t ~session ~choice ~now
       | Proto.Submit_form { session } -> submit_form t ~session ~now
       | Proto.Audit rules -> audit t rules
+      | Proto.Tenant_info { name; wait } -> tenant_info t ~name ~wait
       | Proto.Stats -> Ok (stats_json t)
       | Proto.Metrics format -> Ok (metrics_payload t format)
       | Proto.Trace_req { query; format } -> trace_payload query format)
@@ -869,13 +1210,24 @@ let annotate_request request =
   | Proto.Choose_option { session; _ }
   | Proto.Submit_form { session } ->
     Trace.annotate "session" (Trace.String session)
-  | Proto.Publish_rules _ | Proto.New_session _ | Proto.Audit _
-  | Proto.Stats | Proto.Metrics _ | Proto.Trace_req _ -> ());
+  | Proto.Publish_rules _ | Proto.Update_rules _ | Proto.New_session _
+  | Proto.Audit _ | Proto.Tenant_info _ | Proto.Stats | Proto.Metrics _
+  | Proto.Trace_req _ -> ());
+  (match request with
+  | Proto.Publish_rules { tenant = Some name; _ }
+  | Proto.Update_rules { tenant = name; _ }
+  | Proto.Tenant_info { name = Some name; _ } ->
+    Trace.annotate "tenant" (Trace.String name)
+  | _ -> ());
   match request with
-  | Proto.Publish_rules r | Proto.New_session r | Proto.Audit r -> (
+  | Proto.Publish_rules { rules = r; _ }
+  | Proto.Update_rules { rules = r; _ }
+  | Proto.New_session r
+  | Proto.Audit r -> (
     match r with
     | Proto.Digest d -> Trace.annotate "digest" (Trace.String d)
     | Proto.Source s -> Trace.annotate "source" (Trace.String s)
+    | Proto.Tenant name -> Trace.annotate "tenant" (Trace.String name)
     | Proto.Text _ -> ())
   | _ -> ()
 

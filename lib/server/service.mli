@@ -22,6 +22,12 @@
 
 type t
 
+type compiled
+(** One fully built rule-set artifact: compiled engine, MAS atlas,
+    solved equilibrium, and (when tabulable) the fast-path answer
+    table. Abstract — it only appears as the artifact type of the
+    tenant registry, [compiled Pet_tenant.Tenant.t]. *)
+
 val create :
   ?backend:Pet_rules.Engine.backend ->
   ?compiled:bool ->
@@ -30,6 +36,8 @@ val create :
   ?ttl:float ->
   ?owns:(string -> bool) ->
   ?shared:Shared.t ->
+  ?tenants:compiled Pet_tenant.Tenant.t ->
+  ?tenant_quota:int ->
   ?resolve:(string -> string option) ->
   ?durable:bool ->
   now:(unit -> float) ->
@@ -63,7 +71,26 @@ val create :
     (so an engine evicted from the LRU cache is recompiled transparently
     instead of failing with [unknown_rules]) and each first compilation
     is announced to the {!Persist.sink}. The default keeps today's pure
-    in-memory semantics, including eviction errors. *)
+    in-memory semantics, including eviction errors.
+
+    [tenants] shares a multi-tenant form registry with other service
+    instances — the sharded TCP server passes one registry to every
+    shard, like [shared] — and leaves its lifecycle (stopping the
+    background builder domain) to the caller. Absent, the service
+    creates a private registry with [tenant_quota] as the default
+    per-tenant active-session cap (default 0 = unlimited) and
+    {!shutdown} stops it. *)
+
+val tenant_registry : t -> compiled Pet_tenant.Tenant.t
+(** The tenant registry this instance serves from (private or shared —
+    drivers use it for out-of-band inspection and to build the shared
+    instance's peers). *)
+
+val shutdown : t -> unit
+(** Stop the private tenant registry's builder domain, if this instance
+    owns one ({!create} without [?tenants]). Idempotent; services
+    handed a shared registry do nothing — the driver that created it
+    stops it. *)
 
 val set_sink : t -> Persist.sink -> unit
 (** Install the persistence sink (initially {!Persist.null}). Attached
@@ -101,7 +128,10 @@ val handle_line : t -> string -> string
 val stats_json : t -> Pet_pet.Json.t
 (** The [stats] payload: request totals and per-method count/error/latency
     aggregates, registry size/hits/misses/evictions, session
-    active/created/expired/submitted counts, and archive totals. *)
+    active/created/expired/submitted counts, and archive totals. Once a
+    tenant exists a [tenants] section is appended (registry totals plus
+    per-tenant versions/state/quota/session counters); single-tenant
+    deployments keep their pre-tenancy payload bytes. *)
 
 val registry_stats : t -> Registry.stats
 

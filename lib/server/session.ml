@@ -12,6 +12,10 @@ let state_name = function
 type t = {
   id : string;
   digest : string;
+  tenant : string option;
+      (* the tenant this session was opened under, if any; the digest
+         pins the tenant *version* it resolved, so a hot rule swap
+         never changes this session's answers *)
   created_at : float;
   mutable last_active : float;
   mutable state : state;
@@ -34,6 +38,9 @@ type store = {
   mutable cursor : string list;
       (* ids still to visit in the current incremental sweep round;
          refilled from the live table when exhausted *)
+  mutable on_expire : t -> unit;
+      (* fires as a session is removed by expiry — the service releases
+         the session's tenant quota slot here *)
 }
 
 type counters = { active : int; created : int; expired : int }
@@ -47,13 +54,17 @@ let create_store ?(ttl = 3600.) ?(owns = fun _ -> true) () =
     created = 0;
     expired = 0;
     cursor = [];
+    on_expire = ignore;
   }
 
-let fresh store ~id ~digest ~now =
+let set_on_expire store f = store.on_expire <- f
+
+let fresh store ~id ~digest ?tenant ~now () =
   let session =
     {
       id;
       digest;
+      tenant;
       created_at = now;
       last_active = now;
       state = Created;
@@ -67,7 +78,7 @@ let fresh store ~id ~digest ~now =
   store.created <- store.created + 1;
   session
 
-let create store ~digest ~now =
+let create store ~digest ?tenant ~now () =
   (* Walk the shared "s<n>" sequence, skipping ids another shard owns.
      With the default predicate the first candidate always wins. *)
   let rec pick () =
@@ -75,9 +86,9 @@ let create store ~digest ~now =
     store.next_id <- store.next_id + 1;
     if store.owns id then id else pick ()
   in
-  fresh store ~id:(pick ()) ~digest ~now
+  fresh store ~id:(pick ()) ~digest ?tenant ~now ()
 
-let restore store ~id ~digest ~now =
+let restore store ~id ~digest ?tenant ~now () =
   (* Recovered ids keep their original names; the sequence continues
      past the highest numeric id seen so far, so post-restart sessions
      never collide with replayed ones. *)
@@ -88,14 +99,15 @@ let restore store ~id ~digest ~now =
    with
   | Some n when n >= store.next_id -> store.next_id <- n + 1
   | _ -> ());
-  fresh store ~id ~digest ~now
+  fresh store ~id ~digest ?tenant ~now ()
 
 let is_expired store session ~now =
   store.ttl > 0. && now -. session.last_active > store.ttl
 
 let expire store session =
   Hashtbl.remove store.sessions session.id;
-  store.expired <- store.expired + 1
+  store.expired <- store.expired + 1;
+  store.on_expire session
 
 let peek store id = Hashtbl.find_opt store.sessions id
 

@@ -19,6 +19,10 @@ val state_name : state -> string
 type t = {
   id : string;
   digest : string;  (** the rule set this session applies under *)
+  tenant : string option;
+      (** the tenant this session was opened under, if any; [digest]
+          pins the tenant {e version} it resolved, so a hot rule swap
+          never changes this session's answers *)
   created_at : float;
   mutable last_active : float;
   mutable state : state;
@@ -42,18 +46,24 @@ val create_store : ?ttl:float -> ?owns:(string -> bool) -> unit -> store
     "this id hashes to my shard", partitioning the shared ["s<n>"]
     sequence without coordination. *)
 
-val create : store -> digest:string -> now:float -> t
+val create : store -> digest:string -> ?tenant:string -> now:float -> unit -> t
 (** Fresh session in state [Created], with a sequential id ["s0"],
     ["s1"], … skipping ids the store does not own (deterministic by
     design: ids order the transcript, they are not authentication
     tokens — a fronting transport would wrap them in its own opaque
     handles). *)
 
-val restore : store -> id:string -> digest:string -> now:float -> t
+val restore :
+  store -> id:string -> digest:string -> ?tenant:string -> now:float -> unit -> t
 (** Recreate a recovered session under its original id (state [Created];
     the caller replays later transitions). Advances the id sequence past
     any numeric ["s<n>"] id so new sessions continue where the replayed
     log left off. *)
+
+val set_on_expire : store -> (t -> unit) -> unit
+(** Called as a session is removed by expiry (from {!find}, {!sweep} or
+    {!sweep_step}) — the service releases the session's tenant quota
+    slot here. Default: nothing. *)
 
 val find : store -> string -> now:float -> (t, [ `Unknown | `Expired ]) result
 (** Expired sessions are removed on lookup and reported as [`Expired]. *)

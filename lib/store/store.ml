@@ -407,6 +407,7 @@ let scan dir =
 module Compactor = struct
   type sess = {
     digest : string;
+    tenant : string option;
     created_at : float;
     mutable chosen : (string * string list * float) option;
     mutable submitted : (int * float) option;
@@ -415,6 +416,10 @@ module Compactor = struct
 
   type state = {
     rules : (string, string) Hashtbl.t;
+    tenants : (string, (int * string * string * int option * float) list ref) Hashtbl.t;
+        (* tenant -> (version, digest, text, quota, at), every version
+           kept: recovery needs them all so pinned sessions can resolve
+           pre-swap digests *)
     grants : (string, (int * string * string list) list ref) Hashtbl.t;
     sessions : (string, sess) Hashtbl.t;
     mutable clock : float;  (* newest timestamp seen *)
@@ -423,6 +428,7 @@ module Compactor = struct
   let create () =
     {
       rules = Hashtbl.create 8;
+      tenants = Hashtbl.create 8;
       grants = Hashtbl.create 8;
       sessions = Hashtbl.create 64;
       clock = 0.;
@@ -434,10 +440,32 @@ module Compactor = struct
     | Persist.Rules { digest; text } ->
       if not (Hashtbl.mem state.rules digest) then
         Hashtbl.replace state.rules digest text
-    | Persist.Session_created { id; digest; at } ->
+    | Persist.Tenant_published { tenant; version; digest; text; quota; at } ->
+      tick state at;
+      let cell =
+        match Hashtbl.find_opt state.tenants tenant with
+        | Some cell -> cell
+        | None ->
+          let cell = ref [] in
+          Hashtbl.add state.tenants tenant cell;
+          cell
+      in
+      (* replaying the same version twice (snapshot + tail) keeps the
+         newest record *)
+      cell :=
+        (version, digest, text, quota, at)
+        :: List.filter (fun (v, _, _, _, _) -> v <> version) !cell
+    | Persist.Session_created { id; digest; tenant; at } ->
       tick state at;
       Hashtbl.replace state.sessions id
-        { digest; created_at = at; chosen = None; submitted = None; last = at }
+        {
+          digest;
+          tenant;
+          created_at = at;
+          chosen = None;
+          submitted = None;
+          last = at;
+        }
     | Persist.Session_chosen { id; mas; benefits; at } ->
       tick state at;
       Option.iter
@@ -473,6 +501,15 @@ module Compactor = struct
         (fun (digest, text) -> Persist.Rules { digest; text })
         (sorted_bindings state.rules)
     in
+    let tenants =
+      List.concat_map
+        (fun (tenant, cell) ->
+          List.sort (fun (a, _, _, _, _) (b, _, _, _, _) -> compare a b) !cell
+          |> List.map (fun (version, digest, text, quota, at) ->
+                 Persist.Tenant_published
+                   { tenant; version; digest; text; quota; at }))
+        (sorted_bindings state.tenants)
+    in
     let grants =
       List.concat_map
         (fun (digest, cell) ->
@@ -493,7 +530,12 @@ module Compactor = struct
              if not (live sess) then []
              else
                Persist.Session_created
-                 { id; digest = sess.digest; at = sess.created_at }
+                 {
+                   id;
+                   digest = sess.digest;
+                   tenant = sess.tenant;
+                   at = sess.created_at;
+                 }
                :: (match sess.chosen with
                   | Some (mas, benefits, at) ->
                     [ Persist.Session_chosen { id; mas; benefits; at } ]
@@ -504,5 +546,5 @@ module Compactor = struct
                  [ Persist.Session_submitted { id; grant_id; at } ]
                | None -> [])
     in
-    rules @ grants @ sessions
+    rules @ tenants @ grants @ sessions
 end

@@ -1,0 +1,455 @@
+(* A multi-tenant form registry with versioned publishes and hot rule
+   migration, layered over the per-service LRU engine cache.
+
+   Tenants are named forms; each publish or rule update appends a
+   *version* (monotonic number + canonical-text digest). Publishing
+   returns immediately: the expensive artifact construction (engine,
+   MAS atlas, compiled answer table) runs on a single background
+   builder domain, and the version is atomically marked [Ready] — and
+   made the tenant's active version — only when its build lands.
+   Sessions pin the digest they started on, so a hot swap never changes
+   the answers of an in-flight respondent; new sessions pick up the new
+   active version the instant it is ready.
+
+   The registry is generic in the built artifact type ['a] so it does
+   not depend on the server library that instantiates it (the server
+   depends on this module, not the reverse). Build work arrives as
+   closures; the builder publishes results back under the registry
+   mutex, which is also what makes the artifact handoff to a consuming
+   shard a properly synchronized transfer.
+
+   Locking: one mutex guards every tenant, version and counter; two
+   conditions share it ([work] wakes the builder, [settled] wakes
+   waiters blocked on a version build). Builds themselves run outside
+   the lock — only the enqueue and the final state swap take it. *)
+
+type build_state = Building | Ready | Failed of string
+
+let state_name = function
+  | Building -> "building"
+  | Ready -> "ready"
+  | Failed _ -> "failed"
+
+type 'a version = {
+  number : int;
+  digest : string;
+  text : string;  (* canonical rule text; survives any engine eviction *)
+  published_at : float;
+  mutable state : build_state;
+  mutable artifact : 'a option;
+      (* the built artifact, handed to the first resolver (which
+         installs it in its own engine cache); later resolvers — other
+         shards — recompile from [text] as usual *)
+}
+
+type 'a tenant = {
+  name : string;
+  mutable versions : 'a version list;  (* newest first, numbers contiguous *)
+  mutable active : int;
+      (* version number serving *new* sessions; moves only when a build
+         completes (atomically, under the mutex), or on restore *)
+  mutable quota : int;  (* max concurrently active sessions; 0 = unlimited *)
+  mutable sessions_active : int;
+  mutable sessions_created : int;
+  mutable submitted : int;
+}
+
+type 'a job = {
+  job_tenant : string;
+  job_number : int;
+  job_build : unit -> ('a, string) result;
+}
+
+type 'a t = {
+  mutex : Mutex.t;
+  work : Condition.t;
+  settled : Condition.t;
+  tenants : (string, 'a tenant) Hashtbl.t;
+  by_digest : (string, string) Hashtbl.t;  (* digest -> canonical text *)
+  jobs : 'a job Queue.t;
+  default_quota : int;
+  mutable builder : unit Domain.t option;
+  mutable stopping : bool;
+  mutable builds : int;  (* completed, successfully *)
+  mutable failures : int;
+  mutable building : int;  (* versions currently in [Building] *)
+}
+
+let create ?(quota = 0) () =
+  {
+    mutex = Mutex.create ();
+    work = Condition.create ();
+    settled = Condition.create ();
+    tenants = Hashtbl.create 64;
+    by_digest = Hashtbl.create 64;
+    jobs = Queue.create ();
+    default_quota = quota;
+    builder = None;
+    stopping = false;
+    builds = 0;
+    failures = 0;
+    building = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+(* --- The builder domain ------------------------------------------------------ *)
+
+let find_version tenant number =
+  List.find_opt (fun v -> v.number = number) tenant.versions
+
+(* One build: run the closure outside the lock, then publish the result
+   and move the tenant's active version forward — the "atomic swap" is
+   exactly these few lines under the mutex. *)
+let run_job t job =
+  let result =
+    match job.job_build () with
+    | result -> result
+    | exception exn -> Error (Printexc.to_string exn)
+  in
+  locked t (fun () ->
+      (match Hashtbl.find_opt t.tenants job.job_tenant with
+      | None -> ()  (* tenant vanished; nothing to publish *)
+      | Some tenant -> (
+        match find_version tenant job.job_number with
+        | None -> ()
+        | Some version ->
+          t.building <- t.building - 1;
+          (match result with
+          | Ok artifact ->
+            version.artifact <- Some artifact;
+            version.state <- Ready;
+            t.builds <- t.builds + 1;
+            if version.number > tenant.active then
+              tenant.active <- version.number
+          | Error m ->
+            version.state <- Failed m;
+            t.failures <- t.failures + 1)));
+      Condition.broadcast t.settled)
+
+let rec builder_loop t =
+  let job =
+    locked t (fun () ->
+        while Queue.is_empty t.jobs && not t.stopping do
+          Condition.wait t.work t.mutex
+        done;
+        if Queue.is_empty t.jobs then None else Some (Queue.pop t.jobs))
+  in
+  match job with
+  | None -> ()  (* stopping, queue drained *)
+  | Some job ->
+    run_job t job;
+    builder_loop t
+
+(* Called under the mutex. The domain is spawned on first use so a
+   registry that never sees a tenant costs nothing. *)
+let ensure_builder t =
+  match t.builder with
+  | Some _ -> ()
+  | None -> t.builder <- Some (Domain.spawn (fun () -> builder_loop t))
+
+let enqueue_build t ~name ~number ~build =
+  ensure_builder t;
+  Queue.add { job_tenant = name; job_number = number; job_build = build } t.jobs;
+  t.building <- t.building + 1;
+  Condition.signal t.work
+
+let stop t =
+  let builder =
+    locked t (fun () ->
+        t.stopping <- true;
+        Condition.broadcast t.work;
+        let b = t.builder in
+        t.builder <- None;
+        b)
+  in
+  Option.iter Domain.join builder
+
+(* --- Publishing -------------------------------------------------------------- *)
+
+let newest tenant = List.hd tenant.versions
+
+let add_version t tenant ~digest ~text ~now =
+  let number = (newest tenant).number + 1 in
+  let version =
+    {
+      number;
+      digest;
+      text;
+      published_at = now;
+      state = Building;
+      artifact = None;
+    }
+  in
+  tenant.versions <- version :: tenant.versions;
+  Hashtbl.replace t.by_digest digest text;
+  number
+
+let apply_quota t tenant quota =
+  match quota with
+  | Some q -> tenant.quota <- max 0 q
+  | None -> ignore t
+
+let publish t ~name ~digest ~text ?quota ~now ~build () =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tenants name with
+      | Some tenant ->
+        apply_quota t tenant quota;
+        let v = newest tenant in
+        if v.digest = digest then `Existing (v.number, v.state)
+        else `Conflict v.number
+      | None ->
+        let version =
+          {
+            number = 1;
+            digest;
+            text;
+            published_at = now;
+            state = Building;
+            artifact = None;
+          }
+        in
+        let tenant =
+          {
+            name;
+            versions = [ version ];
+            active = 1;
+            quota = (match quota with Some q -> max 0 q | None -> t.default_quota);
+            sessions_active = 0;
+            sessions_created = 0;
+            submitted = 0;
+          }
+        in
+        Hashtbl.replace t.tenants name tenant;
+        Hashtbl.replace t.by_digest digest text;
+        enqueue_build t ~name ~number:1 ~build;
+        `Created)
+
+let update t ~name ~digest ~text ?quota ~now ~build () =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tenants name with
+      | None -> `Unknown
+      | Some tenant ->
+        apply_quota t tenant quota;
+        let v = newest tenant in
+        if v.digest = digest then `Unchanged (v.number, v.state)
+        else begin
+          let number = add_version t tenant ~digest ~text ~now in
+          enqueue_build t ~name ~number ~build;
+          `Queued number
+        end)
+
+(* Recovery: re-register a version recorded in the WAL. The artifact is
+   compiled lazily on first resolution (from the retained text), so
+   replaying a thousand tenants costs table inserts, not builds. *)
+let restore t ~name ~version:number ~digest ~text ?quota ~now () =
+  locked t (fun () ->
+      Hashtbl.replace t.by_digest digest text;
+      let version =
+        {
+          number;
+          digest;
+          text;
+          published_at = now;
+          state = Ready;
+          artifact = None;
+        }
+      in
+      match Hashtbl.find_opt t.tenants name with
+      | None ->
+        Hashtbl.replace t.tenants name
+          {
+            name;
+            versions = [ version ];
+            active = number;
+            quota =
+              (match quota with Some q -> max 0 q | None -> t.default_quota);
+            sessions_active = 0;
+            sessions_created = 0;
+            submitted = 0;
+          }
+      | Some tenant ->
+        apply_quota t tenant quota;
+        tenant.versions <-
+          version :: List.filter (fun v -> v.number <> number) tenant.versions;
+        if number > tenant.active then tenant.active <- number)
+
+(* --- Resolution -------------------------------------------------------------- *)
+
+type 'a resolved = {
+  res_version : int;
+  res_digest : string;
+  res_text : string;
+  res_artifact : 'a option;
+}
+
+(* The active version for a new session. Blocks while that version is
+   still building — only a tenant's *first* version can be active and
+   unbuilt (updates leave the previous version active until the swap),
+   so this wait is the publish/new_session handshake, not a steady-state
+   stall. The artifact is handed over exactly once; the caller installs
+   it in its own engine cache. *)
+let resolve t name =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tenants name with
+      | None -> `Unknown
+      | Some tenant ->
+        let rec settle () =
+          match find_version tenant tenant.active with
+          | None -> `Unknown
+          | Some version -> (
+            match version.state with
+            | Building ->
+              Condition.wait t.settled t.mutex;
+              settle ()
+            | Failed m -> `Failed (version.number, m)
+            | Ready ->
+              let artifact = version.artifact in
+              version.artifact <- None;
+              `Ready
+                {
+                  res_version = version.number;
+                  res_digest = version.digest;
+                  res_text = version.text;
+                  res_artifact = artifact;
+                })
+        in
+        settle ())
+
+(* Block until the tenant's newest version has settled (ready or
+   failed): the deploy-script barrier behind the wire method
+   [tenant {"name":N,"wait":true}]. *)
+let await t name =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tenants name with
+      | None -> ()
+      | Some tenant ->
+        let rec wait_settled () =
+          match (newest tenant).state with
+          | Building ->
+            Condition.wait t.settled t.mutex;
+            wait_settled ()
+          | Ready | Failed _ -> ()
+        in
+        wait_settled ())
+
+let text_of_digest t digest =
+  locked t (fun () -> Hashtbl.find_opt t.by_digest digest)
+
+(* --- Quotas and per-tenant counters ------------------------------------------ *)
+
+let try_admit t name =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tenants name with
+      | None -> `Ok  (* unknown tenants fail resolution, not admission *)
+      | Some tenant ->
+        if tenant.quota > 0 && tenant.sessions_active >= tenant.quota then
+          `Over tenant.quota
+        else begin
+          tenant.sessions_active <- tenant.sessions_active + 1;
+          tenant.sessions_created <- tenant.sessions_created + 1;
+          `Ok
+        end)
+
+(* Replayed sessions bypass the quota: they were admitted when first
+   created, and recovery must rebuild that state verbatim. *)
+let note_restored t name =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tenants name with
+      | None -> ()
+      | Some tenant ->
+        tenant.sessions_active <- tenant.sessions_active + 1;
+        tenant.sessions_created <- tenant.sessions_created + 1)
+
+let release t name =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tenants name with
+      | None -> ()
+      | Some tenant ->
+        if tenant.sessions_active > 0 then
+          tenant.sessions_active <- tenant.sessions_active - 1)
+
+let note_submitted t name =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tenants name with
+      | None -> ()
+      | Some tenant -> tenant.submitted <- tenant.submitted + 1)
+
+(* --- Introspection ------------------------------------------------------------ *)
+
+type info = {
+  info_name : string;
+  versions : int;
+  active : int;
+  digest : string;  (* of the active version *)
+  state : build_state;  (* of the newest version — "ready" means settled *)
+  quota : int;
+  sessions_active : int;
+  sessions_created : int;
+  submitted : int;
+}
+
+let info t name =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tenants name with
+      | None -> None
+      | Some tenant ->
+        let active_digest =
+          match find_version tenant tenant.active with
+          | Some v -> v.digest
+          | None -> ""
+        in
+        Some
+          {
+            info_name = tenant.name;
+            versions = List.length tenant.versions;
+            active = tenant.active;
+            digest = active_digest;
+            state = (newest tenant).state;
+            quota = tenant.quota;
+            sessions_active = tenant.sessions_active;
+            sessions_created = tenant.sessions_created;
+            submitted = tenant.submitted;
+          })
+
+let count t = locked t (fun () -> Hashtbl.length t.tenants)
+
+let names t =
+  locked t (fun () ->
+      Hashtbl.fold (fun name _ acc -> name :: acc) t.tenants []
+      |> List.sort String.compare)
+
+let infos t =
+  names t |> List.filter_map (fun name -> info t name)
+
+type totals = {
+  tenants : int;
+  builds : int;
+  build_failures : int;
+  building : int;
+}
+
+let totals t =
+  locked t (fun () ->
+      {
+        tenants = Hashtbl.length t.tenants;
+        builds = t.builds;
+        build_failures = t.failures;
+        building = t.building;
+      })
+
+(* Every version of every tenant, tenants sorted by name and versions
+   ascending — the snapshot order ([state_events]): replaying the dump
+   through {!restore} reproduces the registry (lazily compiled). *)
+let dump t =
+  locked t (fun () ->
+      Hashtbl.fold (fun name tenant acc -> (name, tenant) :: acc) t.tenants []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+      |> List.map (fun (name, (tenant : _ tenant)) ->
+             ( name,
+               tenant.quota,
+               List.rev_map
+                 (fun v -> (v.number, v.digest, v.text, v.published_at))
+                 tenant.versions )))

@@ -1,0 +1,162 @@
+(** Multi-tenant form registry with versioned publishes and hot rule
+    migration.
+
+    Tenants are named forms. Each publish or rule update appends a
+    {e version} (monotonic number + canonical-text digest) whose
+    artifact — engine, MAS atlas, compiled answer table — is built on a
+    single background builder domain, so publishing returns
+    immediately. A version becomes the tenant's {e active} version (the
+    one new sessions resolve) atomically when its build completes;
+    sessions pin the digest they started on, so a hot swap never
+    changes an in-flight respondent's answers.
+
+    The registry is generic in the artifact type ['a]: the server
+    instantiates it with its compiled-engine record and supplies build
+    closures, so this module depends on nothing above the stdlib.
+
+    Thread-safety: every operation is safe from any domain; one mutex
+    guards all state, and builds run outside it. *)
+
+type build_state = Building | Ready | Failed of string
+
+val state_name : build_state -> string
+(** ["building"], ["ready"] or ["failed"]. *)
+
+type 'a t
+
+val create : ?quota:int -> unit -> 'a t
+(** [quota] is the default per-tenant cap on concurrently active
+    sessions (0, the default, means unlimited). The builder domain is
+    spawned lazily on the first publish. *)
+
+val stop : 'a t -> unit
+(** Drain the build queue and join the builder domain. Terminal. *)
+
+(** {1 Publishing} *)
+
+val publish :
+  'a t ->
+  name:string ->
+  digest:string ->
+  text:string ->
+  ?quota:int ->
+  now:float ->
+  build:(unit -> ('a, string) result) ->
+  unit ->
+  [ `Created | `Existing of int * build_state | `Conflict of int ]
+(** Create tenant [name] at version 1 and enqueue its build ([`Created]
+    — the caller's response reports ["building"]: the build has
+    provably not run on the request path). If the tenant exists:
+    [`Existing] when [digest] already is its newest version (idempotent
+    republish), [`Conflict] otherwise — rule changes must go through
+    {!update}. [quota], when given, (re)sets the tenant quota. *)
+
+val update :
+  'a t ->
+  name:string ->
+  digest:string ->
+  text:string ->
+  ?quota:int ->
+  now:float ->
+  build:(unit -> ('a, string) result) ->
+  unit ->
+  [ `Queued of int | `Unchanged of int * build_state | `Unknown ]
+(** Append a new version to an existing tenant and enqueue its build.
+    The previously active version keeps serving new sessions until the
+    build lands, at which point the registry atomically swaps.
+    [`Unchanged] when [digest] already is the newest version,
+    [`Unknown] when the tenant was never published. *)
+
+val restore :
+  'a t ->
+  name:string ->
+  version:int ->
+  digest:string ->
+  text:string ->
+  ?quota:int ->
+  now:float ->
+  unit ->
+  unit
+(** Recovery: re-register a version recorded in the WAL as [Ready]
+    with no artifact — it recompiles lazily from [text] on first
+    resolution, so replaying a thousand tenants costs table inserts,
+    not builds. The active version is the highest restored number. *)
+
+(** {1 Resolution} *)
+
+type 'a resolved = {
+  res_version : int;
+  res_digest : string;
+  res_text : string;
+  res_artifact : 'a option;
+      (** the background-built artifact, handed over exactly once; the
+          first resolver installs it in its own engine cache, later
+          resolvers (other shards) recompile from [res_text] *)
+}
+
+val resolve :
+  'a t -> string -> [ `Ready of 'a resolved | `Failed of int * string | `Unknown ]
+(** The active version for a new session. Blocks while that version is
+    still building — only a tenant's first version can be active and
+    unbuilt, so this is the publish/new_session handshake, not a
+    steady-state stall. *)
+
+val await : 'a t -> string -> unit
+(** Block until the tenant's newest version settles (ready or failed);
+    no-op for unknown tenants. The wire method
+    [tenant {"name":N,"wait":true}] — a deploy script's barrier. *)
+
+val text_of_digest : 'a t -> string -> string option
+(** Canonical rule text for any version ever published, keyed by
+    digest — the fallback that lets a pinned session's engine be
+    recompiled after an LRU eviction, independent of durable mode. *)
+
+(** {1 Quotas and per-tenant counters} *)
+
+val try_admit : 'a t -> string -> [ `Ok | `Over of int ]
+(** Admit one new session, or refuse with the quota when the tenant is
+    at its cap of concurrently active sessions. *)
+
+val note_restored : 'a t -> string -> unit
+(** Count a replayed session (bypasses the quota: it was admitted when
+    first created). *)
+
+val release : 'a t -> string -> unit
+(** A session of this tenant expired; frees one quota slot. *)
+
+val note_submitted : 'a t -> string -> unit
+
+(** {1 Introspection} *)
+
+type info = {
+  info_name : string;
+  versions : int;
+  active : int;  (** active version number *)
+  digest : string;  (** of the active version *)
+  state : build_state;
+      (** of the newest version — [Ready] means fully settled *)
+  quota : int;
+  sessions_active : int;
+  sessions_created : int;
+  submitted : int;
+}
+
+val info : 'a t -> string -> info option
+val count : 'a t -> int
+val names : 'a t -> string list  (** sorted *)
+
+val infos : 'a t -> info list  (** sorted by name *)
+
+type totals = {
+  tenants : int;
+  builds : int;  (** completed successfully *)
+  build_failures : int;
+  building : int;  (** queued or in flight *)
+}
+
+val totals : 'a t -> totals
+
+val dump : 'a t -> (string * int * (int * string * string * float) list) list
+(** [(name, quota, versions)] with tenants sorted by name and versions
+    ascending as [(number, digest, text, published_at)] — the snapshot
+    order; replaying through {!restore} reproduces the registry. *)

@@ -296,7 +296,7 @@ Without a rule file, a seed range or a fuzz budget there is nothing to
 check:
 
   $ ../../bin/pet.exe check
-  pet: expected a RULES source, --seeds, --fuzz or --fuzz-store
+  pet: expected a RULES source, --seeds, --fuzz, --fuzz-store or --fuzz-corpus
   Usage: pet check [OPTION]… [RULES]
   Try 'pet check --help' or 'pet --help' for more information.
   [124]

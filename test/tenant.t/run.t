@@ -1,0 +1,127 @@
+Multi-tenant form serving: `publish_rules` with a `tenant` parameter
+creates a named tenant whose artifacts (engine, atlas, compiled table)
+are built on a background builder domain — the publish response comes
+back immediately in state "building", provably before the build ran.
+`tenant {"wait":true}` is the deploy barrier; `update_rules` appends a
+new version and hot-swaps it in once built, while sessions opened
+earlier stay pinned to the version they enrolled under.
+
+Version 2 changes which benefit the valuation 101 earns (v1 grants
+discount, v2 grants updates), so the pinned session's byte-identical
+replay below is a real guarantee, not a coincidence:
+
+  $ ../../bin/pet.exe serve --stdio --deterministic <<'REQUESTS' > transcript
+  > {"pet":1,"id":1,"method":"publish_rules","params":{"rules":"form email newsletter student\nbenefits discount updates\nrule discount := student\nrule updates := email & newsletter","tenant":"acme","quota":2}}
+  > {"pet":1,"id":2,"method":"tenant","params":{"name":"acme","wait":true}}
+  > {"pet":1,"id":3,"method":"new_session","params":{"tenant":"acme"}}
+  > {"pet":1,"id":4,"method":"get_report","params":{"session":"s0","valuation":"101"}}
+  > {"pet":1,"id":5,"method":"update_rules","params":{"tenant":"acme","rules":"form email newsletter student\nbenefits discount updates\nrule discount := student & newsletter\nrule updates := email"}}
+  > {"pet":1,"id":6,"method":"tenant","params":{"name":"acme","wait":true}}
+  > {"pet":1,"id":4,"method":"get_report","params":{"session":"s0","valuation":"101"}}
+  > {"pet":1,"id":7,"method":"new_session","params":{"tenant":"acme"}}
+  > {"pet":1,"id":8,"method":"get_report","params":{"session":"s1","valuation":"101"}}
+  > {"pet":1,"id":9,"method":"new_session","params":{"tenant":"acme"}}
+  > {"pet":1,"id":10,"method":"new_session","params":{"tenant":"nobody"}}
+  > {"pet":1,"id":11,"method":"tenant","params":{}}
+  > {"pet":1,"id":12,"method":"tenant","params":{"name":"acme"}}
+  > REQUESTS
+  $ cat transcript
+  {"pet":1,"id":1,"trace":"t0","ok":{"tenant":"acme","version":1,"digest":"7bda3a46cd5fcacc18351889681b4f73","state":"building"}}
+  {"pet":1,"id":2,"trace":"t1","ok":{"tenant":"acme","versions":1,"active":1,"digest":"7bda3a46cd5fcacc18351889681b4f73","state":"ready","quota":2,"sessions":{"active":0,"created":0,"submitted":0}}}
+  {"pet":1,"id":3,"trace":"t2","ok":{"session":"s0","tenant":"acme","version":1,"digest":"7bda3a46cd5fcacc18351889681b4f73"}}
+  {"pet":1,"id":4,"trace":"t3","ok":{"valuation":"101","granted":["discount"],"options":[{"mas":"__1","benefits":["discount"],"po_blank":2,"po_sm":2,"po_weighted":null,"published":[{"student":true}],"deduced":[],"protected":["email","newsletter"],"crowd":3,"recommended":true}],"minimization_ratio":0.66666666666666663}}
+  {"pet":1,"id":5,"trace":"t4","ok":{"tenant":"acme","version":2,"digest":"3c651e7763973108ae437ab1bb63726f","state":"building"}}
+  {"pet":1,"id":6,"trace":"t5","ok":{"tenant":"acme","versions":2,"active":2,"digest":"3c651e7763973108ae437ab1bb63726f","state":"ready","quota":2,"sessions":{"active":1,"created":1,"submitted":0}}}
+  {"pet":1,"id":4,"trace":"t6","ok":{"valuation":"101","granted":["discount"],"options":[{"mas":"__1","benefits":["discount"],"po_blank":2,"po_sm":2,"po_weighted":null,"published":[{"student":true}],"deduced":[],"protected":["email","newsletter"],"crowd":3,"recommended":true}],"minimization_ratio":0.66666666666666663}}
+  {"pet":1,"id":7,"trace":"t7","ok":{"session":"s1","tenant":"acme","version":2,"digest":"3c651e7763973108ae437ab1bb63726f"}}
+  {"pet":1,"id":8,"trace":"t8","ok":{"valuation":"101","granted":["updates"],"options":[{"mas":"1__","benefits":["updates"],"po_blank":2,"po_sm":2,"po_weighted":null,"published":[{"email":true}],"deduced":[],"protected":["newsletter","student"],"crowd":3,"recommended":true}],"minimization_ratio":0.66666666666666663}}
+  {"pet":1,"id":9,"trace":"t9","error":{"code":"quota_exceeded","message":"tenant \"acme\" is at its quota of 2 active sessions"}}
+  {"pet":1,"id":10,"trace":"t10","error":{"code":"unknown_tenant","message":"unknown tenant \"nobody\" (publish_rules with a \"tenant\" parameter creates it)"}}
+  {"pet":1,"id":11,"trace":"t11","ok":{"count":1,"tenants":["acme"]}}
+  {"pet":1,"id":12,"trace":"t12","ok":{"tenant":"acme","versions":2,"active":2,"digest":"3c651e7763973108ae437ab1bb63726f","state":"ready","quota":2,"sessions":{"active":2,"created":2,"submitted":0}}}
+
+The two id:4 responses — one before the hot swap, one after — are
+byte-identical once the per-request trace id is stripped: the pinned
+session never observed the swap, even though the same valuation on the
+fresh v2 session (id:8) earned a different benefit:
+
+  $ sed -n '4p' transcript | sed 's/"trace":"t[0-9]*",//' > before
+  $ sed -n '7p' transcript | sed 's/"trace":"t[0-9]*",//' > after
+  $ cmp before after && echo pinned session unaffected by swap
+  pinned session unaffected by swap
+
+The corpus generator that feeds the multi-tenant bench and fuzz gates
+is a pure function of the seed:
+
+  $ ../../bin/pet.exe corpus scenario --seed 1 --count 4 --hi 12
+  t000-loan_application        size=10 share= 48.0% digest=6a33e7d39d8a5b63358d6a92e1163f4b
+  t001-loan_application        size=8  share= 24.0% digest=c904bdfe33fcae9ab35f5dcfdb5fb829
+  t002-survey                  size=12 share= 16.0% digest=fe73f8990274eb8cf26387ef57fba5fb
+  t003-survey                  size=9  share= 12.0% digest=a72ced6cfd9f93573d0dc0525c89b774
+
+Three tenants at mixed versions over TCP, then kill -9: recovery must
+come back at the latest durable version of every tenant, with consent
+ledgers intact.
+
+  $ ../../bin/pet.exe serve --tcp 0 --domains 2 --deterministic --data-dir data --port-file port 2>server.log & SRV=$!
+  $ for i in $(seq 1 100); do [ -s port ] && break; sleep 0.1; done
+  $ ../../bin/pet.exe ping 127.0.0.1:$(cat port) <<'REQUESTS'
+  > {"pet":1,"id":1,"method":"publish_rules","params":{"rules":"form a b\nbenefits x\nrule x := a & b","tenant":"alpha"}}
+  > {"pet":1,"id":2,"method":"publish_rules","params":{"rules":"form c d\nbenefits y\nrule y := c","tenant":"beta"}}
+  > {"pet":1,"id":3,"method":"publish_rules","params":{"rules":"form e f\nbenefits z\nrule z := e & f","tenant":"gamma"}}
+  > {"pet":1,"id":4,"method":"update_rules","params":{"tenant":"beta","rules":"form c d\nbenefits y\nrule y := c & d"}}
+  > {"pet":1,"id":5,"method":"tenant","params":{"name":"alpha","wait":true}}
+  > {"pet":1,"id":6,"method":"tenant","params":{"name":"beta","wait":true}}
+  > {"pet":1,"id":7,"method":"new_session","params":{"tenant":"alpha"}}
+  > {"pet":1,"id":8,"method":"get_report","params":{"session":"s0","valuation":"11"}}
+  > {"pet":1,"id":9,"method":"choose_option","params":{"session":"s0","option":0}}
+  > {"pet":1,"id":10,"method":"submit_form","params":{"session":"s0"}}
+  > {"pet":1,"id":11,"method":"new_session","params":{"tenant":"beta"}}
+  > {"pet":1,"id":12,"method":"audit","params":{"digest":"0f14651f658c4b19ad2f4a9f414a9f71"}}
+  > quit
+  > REQUESTS
+  {"pet":1,"id":1,"trace":"t0","ok":{"tenant":"alpha","version":1,"digest":"0f14651f658c4b19ad2f4a9f414a9f71","state":"building"}}
+  {"pet":1,"id":2,"trace":"t1","ok":{"tenant":"beta","version":1,"digest":"8ab785eb5fcc0ede5bfdf8d9a3bc313d","state":"building"}}
+  {"pet":1,"id":3,"trace":"t2","ok":{"tenant":"gamma","version":1,"digest":"a5586f4f72205b1468bc5cb1bdf6335e","state":"building"}}
+  {"pet":1,"id":4,"trace":"t3","ok":{"tenant":"beta","version":2,"digest":"95b92d36ba9f408739892ca751e58e01","state":"building"}}
+  {"pet":1,"id":5,"trace":"t4","ok":{"tenant":"alpha","versions":1,"active":1,"digest":"0f14651f658c4b19ad2f4a9f414a9f71","state":"ready","quota":0,"sessions":{"active":0,"created":0,"submitted":0}}}
+  {"pet":1,"id":6,"trace":"t5","ok":{"tenant":"beta","versions":2,"active":2,"digest":"95b92d36ba9f408739892ca751e58e01","state":"ready","quota":0,"sessions":{"active":0,"created":0,"submitted":0}}}
+  {"pet":1,"id":7,"trace":"t6","ok":{"session":"s0","tenant":"alpha","version":1,"digest":"0f14651f658c4b19ad2f4a9f414a9f71"}}
+  {"pet":1,"id":8,"trace":"t7","ok":{"valuation":"11","granted":["x"],"options":[{"mas":"11","benefits":["x"],"po_blank":0,"po_sm":0,"po_weighted":null,"published":[{"a":true},{"b":true}],"deduced":[],"protected":[],"crowd":1,"recommended":true}],"minimization_ratio":0}}
+  {"pet":1,"id":9,"trace":"t8","ok":{"mas":"11","benefits":["x"]}}
+  {"pet":1,"id":10,"trace":"t9","ok":{"grant":0,"form":"11","benefits":["x"]}}
+  {"pet":1,"id":11,"trace":"t10","ok":{"session":"s1","tenant":"beta","version":2,"digest":"95b92d36ba9f408739892ca751e58e01"}}
+  {"pet":1,"id":12,"trace":"t11","ok":{"digest":"0f14651f658c4b19ad2f4a9f414a9f71","records":1,"stored_values":2,"failures":[]}}
+
+Nothing acknowledged is lost — the WAL holds the tenant versions and
+the grant, and no decoded event carries a raw valuation:
+
+  $ kill -9 $SRV
+  $ wait $SRV 2>/dev/null
+  [137]
+  $ ../../bin/pet.exe store verify data
+  ok: 9 record(s) in 1 file(s); every checksum holds and no decoded event carries a raw valuation (R2 on disk)
+
+Restart: every tenant is back at its latest durable version (beta at
+version 2), the recovered session count is right, and the consent
+ledger still answers audits:
+
+  $ rm -f port
+  $ ../../bin/pet.exe serve --tcp 0 --domains 2 --deterministic --data-dir data --port-file port 2>server2.log & SRV=$!
+  $ for i in $(seq 1 100); do [ -s port ] && break; sleep 0.1; done
+  $ ../../bin/pet.exe ping 127.0.0.1:$(cat port) <<'REQUESTS'
+  > {"pet":1,"id":1,"method":"tenant","params":{}}
+  > {"pet":1,"id":2,"method":"tenant","params":{"name":"beta"}}
+  > {"pet":1,"id":3,"method":"tenant","params":{"name":"alpha"}}
+  > {"pet":1,"id":4,"method":"new_session","params":{"tenant":"gamma"}}
+  > {"pet":1,"id":5,"method":"audit","params":{"digest":"0f14651f658c4b19ad2f4a9f414a9f71"}}
+  > quit
+  > REQUESTS
+  {"pet":1,"id":1,"trace":"t0","ok":{"count":3,"tenants":["alpha","beta","gamma"]}}
+  {"pet":1,"id":2,"trace":"t1","ok":{"tenant":"beta","versions":2,"active":2,"digest":"95b92d36ba9f408739892ca751e58e01","state":"ready","quota":0,"sessions":{"active":1,"created":1,"submitted":0}}}
+  {"pet":1,"id":3,"trace":"t2","ok":{"tenant":"alpha","versions":1,"active":1,"digest":"0f14651f658c4b19ad2f4a9f414a9f71","state":"ready","quota":0,"sessions":{"active":1,"created":1,"submitted":0}}}
+  {"pet":1,"id":4,"trace":"t3","ok":{"session":"s3","tenant":"gamma","version":1,"digest":"a5586f4f72205b1468bc5cb1bdf6335e"}}
+  {"pet":1,"id":5,"trace":"t4","ok":{"digest":"0f14651f658c4b19ad2f4a9f414a9f71","records":1,"stored_values":2,"failures":[]}}
+  $ kill -9 $SRV
+  $ wait $SRV 2>/dev/null
+  [137]

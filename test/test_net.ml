@@ -92,7 +92,7 @@ let test_sharded_ids_disjoint () =
   Array.iteri
     (fun index store ->
       for _ = 1 to 50 do
-        let session = Session.create store ~digest:"d" ~now:0. in
+        let session = Session.create store ~digest:"d" ~now:0. () in
         let id = session.Session.id in
         Alcotest.(check int) (id ^ " owned by its shard") index
           (Shard_map.owner ~shards id);
@@ -122,6 +122,7 @@ let test_group_commit_batches () =
                       {
                         id = Printf.sprintf "s%d_%d" t i;
                         digest = "d";
+                        tenant = None;
                         at = 0.;
                       };
                   ]
@@ -156,7 +157,10 @@ let test_submit_after_stop_raises () =
     Group_commit.stop writer;
     (match
        Group_commit.submit writer
-         [ Persist.Session_created { id = "s0"; digest = "d"; at = 0. } ]
+         [
+           Persist.Session_created
+             { id = "s0"; digest = "d"; tenant = None; at = 0. };
+         ]
      with
     | () -> Alcotest.fail "submit after stop did not raise"
     | exception Sys_error _ -> ());
@@ -172,7 +176,12 @@ let test_append_batch_crash_prefix () =
     Store.append_batch store
       (List.init 5 (fun i ->
            Persist.Session_created
-             { id = Printf.sprintf "s%d" i; digest = "d"; at = 0. }));
+             {
+               id = Printf.sprintf "s%d" i;
+               digest = "d";
+               tenant = None;
+               at = 0.;
+             }));
     Store.close store);
   let file =
     match Sys.readdir dir |> Array.to_list |> List.sort compare with

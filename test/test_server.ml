@@ -37,7 +37,8 @@ let test_proto_decode () =
         {|{"pet":1,"id":7,"method":"publish_rules","params":{"rules":"form a\nbenefits b\nrule b := a"}}|})
        .request
    with
-  | Proto.Publish_rules (Proto.Text text) ->
+  | Proto.Publish_rules { rules = Proto.Text text; tenant = None; quota = None }
+    ->
     Alcotest.(check bool) "rules text" true (contains text "benefits b")
   | _ -> Alcotest.fail "wrong request");
   (match
@@ -166,8 +167,8 @@ let test_registry_digest () =
 
 let test_session_lifecycle () =
   let store = Session.create_store ~ttl:10. () in
-  let s0 = Session.create store ~digest:"d" ~now:0. in
-  let s1 = Session.create store ~digest:"d" ~now:0. in
+  let s0 = Session.create store ~digest:"d" ~now:0. () in
+  let s1 = Session.create store ~digest:"d" ~now:0. () in
   Alcotest.(check string) "sequential ids s0" "s0" s0.Session.id;
   Alcotest.(check string) "sequential ids s1" "s1" s1.Session.id;
   Alcotest.(check bool) "starts created" true (s0.Session.state = Session.Created);
@@ -179,8 +180,8 @@ let test_session_lifecycle () =
 
 let test_session_expiry () =
   let store = Session.create_store ~ttl:10. () in
-  let s0 = Session.create store ~digest:"d" ~now:0. in
-  let _s1 = Session.create store ~digest:"d" ~now:8. in
+  let s0 = Session.create store ~digest:"d" ~now:0. () in
+  let _s1 = Session.create store ~digest:"d" ~now:8. () in
   (* Touching resets the idle clock. *)
   Session.touch s0 ~now:9.;
   Alcotest.(check int) "nothing stale yet" 0 (Session.sweep store ~now:15.);
@@ -196,14 +197,14 @@ let test_session_expiry () =
   Alcotest.(check int) "expired" 2 c.Session.expired;
   (* ttl 0 disables expiry. *)
   let eternal = Session.create_store ~ttl:0. () in
-  let _ = Session.create eternal ~digest:"d" ~now:0. in
+  let _ = Session.create eternal ~digest:"d" ~now:0. () in
   Alcotest.(check bool) "no expiry" true
     (Result.is_ok (Session.find eternal "s0" ~now:1e12))
 
 let test_session_sweep_step () =
   let store = Session.create_store ~ttl:0.01 () in
   for _ = 1 to 100 do
-    ignore (Session.create store ~digest:"d" ~now:0.)
+    ignore (Session.create store ~digest:"d" ~now:0. ())
   done;
   (* Each step examines at most [budget] sessions; a bounded number of
      steps reclaims everything even though nothing looks the sessions
@@ -223,7 +224,7 @@ let test_session_sweep_step () =
     (!steps <= 12);
   (* ttl 0 disables the incremental sweep as well. *)
   let eternal = Session.create_store ~ttl:0. () in
-  ignore (Session.create eternal ~digest:"d" ~now:0.);
+  ignore (Session.create eternal ~digest:"d" ~now:0. ());
   Alcotest.(check int) "no sweeping without a ttl" 0
     (Session.sweep_step eternal ~now:1e12);
   Alcotest.(check int) "still active" 1
@@ -452,6 +453,46 @@ let test_service_eviction () =
     (error_code
        (request service "get_report"
           [ ("session", Json.String sid); ("valuation", Json.String "011") ]))
+
+let error_message response =
+  match Json.member "error" response with
+  | Some e -> (
+    match Option.bind (Json.member "message" e) Json.string_opt with
+    | Some m -> m
+    | None -> Alcotest.fail "error without message")
+  | None -> Alcotest.failf "expected error, got %s" (Json.to_string response)
+
+let test_service_unknown_rules_names_digest () =
+  (* An operator debugging a 404 needs to know *which* digest was
+     asked for: both unknown_rules paths — a new session against an
+     evicted digest and a live session whose engine was evicted —
+     name the offending digest in the error message. *)
+  let service = make_service ~capacity:1 () in
+  let first =
+    ok_of (request service "publish_rules" [ ("source", Json.String "running") ])
+  in
+  let digest = str "digest" first in
+  let sid =
+    str "session"
+      (ok_of (request service "new_session" [ ("digest", Json.String digest) ]))
+  in
+  ignore
+    (ok_of
+       (request service "publish_rules"
+          [ ("rules", Json.String "form a b\nbenefits z\nrule z := a & b") ]));
+  let by_digest =
+    request service "new_session" [ ("digest", Json.String digest) ]
+  in
+  Alcotest.(check string) "code" "unknown_rules" (error_code by_digest);
+  Alcotest.(check bool) "digest in new_session error" true
+    (contains (error_message by_digest) digest);
+  let by_session =
+    request service "get_report"
+      [ ("session", Json.String sid); ("valuation", Json.String "011") ]
+  in
+  Alcotest.(check string) "code" "unknown_rules" (error_code by_session);
+  Alcotest.(check bool) "digest in session error" true
+    (contains (error_message by_session) digest)
 
 let test_service_out_of_order () =
   (* Requests in every wrong order get structured bad_state errors and
@@ -902,6 +943,8 @@ let () =
             test_service_abandoned_sessions_swept;
           Alcotest.test_case "out of order" `Quick test_service_out_of_order;
           Alcotest.test_case "eviction" `Quick test_service_eviction;
+          Alcotest.test_case "unknown_rules names the digest" `Quick
+            test_service_unknown_rules_names_digest;
           Alcotest.test_case "ledger survives eviction" `Quick
             test_service_ledger_survives_eviction;
           Alcotest.test_case "canonical digest" `Quick

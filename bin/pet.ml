@@ -196,6 +196,17 @@ let check_cmd =
     in
     Arg.(value & opt (some int) None & info [ "fuzz-corpus" ] ~docv:"N" ~doc)
   in
+  let fuzz_consent_arg =
+    let doc =
+      "Run $(docv) consent-lifecycle rounds: drive a durable service \
+       through submissions, revocations and expiries, kill it without \
+       shutdown (torn active segment), and verify that the offline \
+       compliance audit passes the healthy log, recovery resurrects no \
+       tombstone, and a forged post-revocation grant appended behind the \
+       service's back is caught with a byte offset."
+    in
+    Arg.(value & opt (some int) None & info [ "fuzz-consent" ] ~docv:"N" ~doc)
+  in
   let samples_arg =
     let doc = "Differential entailment samples per problem." in
     Arg.(
@@ -245,8 +256,8 @@ let check_cmd =
         findings = [ { Pet_check.Finding.stage = "harness/crash"; detail = m } ];
       }
   in
-  let run source seeds fuzz fuzz_store fuzz_corpus fuzz_seed samples payoff full
-      =
+  let run source seeds fuzz fuzz_store fuzz_corpus fuzz_consent fuzz_seed
+      samples payoff full =
     let config = { Pet_check.Harness.default_config with samples; payoff } in
     let failures = ref 0 in
     let print_report ~label ?exposure (r : Pet_check.Finding.report) =
@@ -273,12 +284,12 @@ let check_cmd =
     let result =
       if
         source = None && seeds = None && fuzz = None && fuzz_store = None
-        && fuzz_corpus = None
+        && fuzz_corpus = None && fuzz_consent = None
       then
         Error
           ( true,
-            "expected a RULES source, --seeds, --fuzz, --fuzz-store or \
-             --fuzz-corpus" )
+            "expected a RULES source, --seeds, --fuzz, --fuzz-store, \
+             --fuzz-corpus or --fuzz-consent" )
       else
         let* () =
           match source with
@@ -349,6 +360,18 @@ let check_cmd =
             then incr failures;
             Ok ()
         in
+        let* () =
+          match fuzz_consent with
+          | None -> Ok ()
+          | Some count ->
+            let stats = Pet_check.Fuzz.run_consent ~seed:fuzz_seed ~count () in
+            Fmt.pr "%a@." Pet_check.Fuzz.pp_consent stats;
+            if
+              stats.consent_violations <> []
+              || (count > 0 && stats.audits_passed = 0)
+            then incr failures;
+            Ok ()
+        in
         if !failures = 0 then Ok ()
         else
           Error
@@ -370,7 +393,7 @@ let check_cmd =
     Term.(
       ret
         (const run $ source_opt_arg $ seeds_arg $ fuzz_arg $ fuzz_store_arg
-       $ fuzz_corpus_arg $ fuzz_seed_arg
+       $ fuzz_corpus_arg $ fuzz_consent_arg $ fuzz_seed_arg
        $ samples_arg $ payoff_arg $ full_arg))
 
 (* --- minimize ----------------------------------------------------------------- *)
@@ -557,7 +580,24 @@ let simulate_cmd =
 (* --- audit ------------------------------------------------------------------------ *)
 
 let audit_cmd =
-  let run source =
+  (* [pet audit <data-dir>]: offline WAL compliance replay — prove that
+     everything a (possibly crashed) durable service left on disk is
+     minimal, accurate and respects every revocation and expiry horizon
+     in the log itself. Exit 1 on violations so CI can gate on it. *)
+  let run_store ~json dir =
+    match Pet_audit.Audit.run dir with
+    | Error m -> `Error (false, m)
+    | Ok report ->
+      if json then
+        print_endline (Json.to_string (Pet_audit.Audit.to_json report))
+      else Pet_audit.Audit.pp Format.std_formatter report;
+      if Pet_audit.Audit.pass report then `Ok ()
+      else `Error (false, "compliance audit failed")
+  in
+  let run source json =
+    if Sys.file_exists source && Sys.is_directory source then
+      run_store ~json source
+    else
     with_exposure source (fun exposure ->
         match Pet_minimize.Symbolic.build exposure with
         | exception Invalid_argument m -> `Error (false, m)
@@ -597,12 +637,14 @@ let audit_cmd =
           `Ok ())
   in
   let doc =
-    "Audit a form for over-collection: which predicates appear in no \
-     minimal accurate subvaluation at all — data the provider asks for \
-     but never needs from anyone. Computed symbolically, so it scales to \
-     large forms."
+    "Audit a rule set for over-collection, or — given a data directory — \
+     replay its write-ahead log offline and prove compliance: every \
+     persisted record is a minimal accurate form, no record outlives its \
+     revocation or expiry horizon, nothing resurrects a tombstone, and \
+     no raw valuation ever reached disk. Violations are reported with \
+     their byte offsets; the exit status is nonzero if any are found."
   in
-  Cmd.v (Cmd.info "audit" ~doc) Term.(ret (const run $ source_arg))
+  Cmd.v (Cmd.info "audit" ~doc) Term.(ret (const run $ source_arg $ json_arg))
 
 (* --- fill ------------------------------------------------------------------------- *)
 
@@ -1042,6 +1084,12 @@ let serve_cmd =
               @
               if replay_errors > 0 then [ fint "replay_errors" replay_errors ]
               else []);
+          (* Apply expiry horizons that passed while the service was
+             down, before the sink is attached (the application is
+             derivable, never re-logged). *)
+          let expired = Pet_server.Service.apply_horizons service in
+          if expired > 0 then
+            Log.info "store.horizons_applied" ~fields:[ fint "expired" expired ];
           Pet_server.Service.set_sink service (Pet_store.Store.sink store);
           k (Some store))
     in

@@ -386,7 +386,16 @@ let generate_events rng ~seed =
         incr grants;
         events :=
           Persist.Session_submitted { id; grant_id; at = at +. 2. }
-          :: Persist.Grant { digest; grant_id; form = mas; benefits }
+          :: Persist.Grant
+               {
+                 digest;
+                 grant_id;
+                 form = mas;
+                 benefits;
+                 session = Some id;
+                 tenant = None;
+                 revoked = false;
+               }
           :: !events
       end
     end
@@ -909,3 +918,344 @@ let pp_store ppf s =
   List.iter
     (fun (label, detail) -> Fmt.pf ppf "@.violation: %s@.  %s" label detail)
     s.store_violations
+
+(* --- Consent-lifecycle fuzzing --------------------------------------------------- *)
+
+module Audit = Pet_audit.Audit
+module Record = Pet_store.Record
+
+type consent_stats = {
+  rounds : int;
+  consent_requests : int;
+  revokes : int;
+  expiries : int;
+  crash_recoveries : int;
+  audits_passed : int;
+  injections_caught : int;
+  consent_violations : (string * string) list;
+}
+
+let run_consent ?(seed = 0) ~count () =
+  let rng = Random.State.make [| 0xc015; seed; count |] in
+  let root =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "pet_fuzz_consent_%d" (Unix.getpid ()))
+  in
+  remove_tree root;
+  Unix.mkdir root 0o755;
+  let requests = ref 0
+  and revokes = ref 0
+  and expiries = ref 0
+  and recoveries = ref 0
+  and audits = ref 0
+  and caught = ref 0 in
+  let violations = ref [] in
+  let violate label detail = violations := (label, detail) :: !violations in
+  let tick = ref 0. in
+  let now () =
+    tick := !tick +. 1.;
+    !tick
+  in
+  let next_id = ref 0 in
+  let envelope method_ params =
+    incr next_id;
+    Json.to_string
+      (Json.Obj
+         [
+           ("pet", Json.Int Proto.version);
+           ("id", Json.Int !next_id);
+           ("method", Json.String method_);
+           ("params", Json.Obj params);
+         ])
+  in
+  (* Feed one request; [Ok payload] for an ok response, [Error code]
+     for a structured error — a crash is a violation outright. *)
+  let feed service method_ params =
+    incr requests;
+    let line = envelope method_ params in
+    match Service.handle_line service line with
+    | exception exn ->
+      violate "handle_line raised"
+        (Printf.sprintf "%s on: %s" (Printexc.to_string exn)
+           (truncate_for_display line));
+      Error "crash"
+    | response -> (
+      match Json.parse response with
+      | Ok (Json.Obj _ as o) -> (
+        match (Json.member "ok" o, Json.member "error" o) with
+        | Some payload, None -> Ok payload
+        | None, Some e ->
+          Error
+            (Option.value ~default:"?"
+               (Option.bind (Json.member "code" e) Json.string_opt))
+        | _ ->
+          violate "malformed response" (truncate_for_display response);
+          Error "malformed")
+      | _ ->
+        violate "unparsable response" (truncate_for_display response);
+        Error "unparsable")
+  in
+  let str_of payload key =
+    Option.bind (Json.member key payload) Json.string_opt
+  in
+  for i = 0 to count - 1 do
+    let dir = Filename.concat root (Printf.sprintf "log%d" i) in
+    match
+      Store.open_dir ~segment_bytes:(512 + Random.State.int rng 1024)
+        ~fsync:false dir
+    with
+    | Error m -> violate "open_dir failed" m
+    | Ok (store, _) ->
+      let service =
+        Service.create ~durable:true ~resolve:(fun _ -> None) ~now ()
+      in
+      Service.set_sink service (Store.sink store);
+      let exposure =
+        Generate.exposure ~config:spec_config ~seed:(seed + i) ()
+      in
+      let text = Spec.to_string exposure in
+      let predicates =
+        Pet_valuation.Universe.size (Exposure.xp exposure)
+      in
+      ignore (feed service "publish_rules" [ ("rules", Json.String text) ]);
+      (* Run a handful of full lifecycles, then revoke or expire some of
+         the submitted sessions. *)
+      let submitted = ref [] in
+      let sessions = 3 + Random.State.int rng 5 in
+      for _ = 1 to sessions do
+        match feed service "new_session" [ ("rules", Json.String text) ] with
+        | Error _ -> ()
+        | Ok payload -> (
+          match str_of payload "session" with
+          | None -> violate "new_session without id" "no session field"
+          | Some sid -> (
+            let v =
+              String.init predicates (fun _ ->
+                  if Random.State.bool rng then '1' else '0')
+            in
+            match
+              feed service "get_report"
+                [ ("session", Json.String sid); ("valuation", Json.String v) ]
+            with
+            | Error _ -> () (* ineligible valuations are expected *)
+            | Ok _ -> (
+              match
+                feed service "choose_option"
+                  [ ("session", Json.String sid); ("option", Json.Int 0) ]
+              with
+              | Error _ -> ()
+              | Ok _ -> (
+                match
+                  feed service "submit_form" [ ("session", Json.String sid) ]
+                with
+                | Error _ -> ()
+                | Ok _ -> submitted := sid :: !submitted))))
+      done;
+      List.iter
+        (fun sid ->
+          match Random.State.int rng 10 with
+          | 0 | 1 | 2 | 3 ->
+            if feed service "revoke" [ ("session", Json.String sid) ] = Error "crash"
+            then ()
+            else incr revokes
+          | 4 | 5 | 6 ->
+            let after = float_of_int (1 + Random.State.int rng 20) in
+            if
+              feed service "expire"
+                [ ("session", Json.String sid); ("after", Json.Float after) ]
+              = Error "crash"
+            then ()
+            else incr expiries
+          | _ -> ())
+        !submitted;
+      (* Let the clock run past the armed horizons: every request ticks
+         it and runs a sweep step. *)
+      for _ = 1 to 30 do
+        ignore (feed service "stats" [])
+      done;
+      (* kill -9: no graceful shutdown, then tear the active segment at
+         a random byte — sometimes mid-record, sometimes a no-op. *)
+      Store.close store;
+      (match Audit.run dir with
+      | Error m -> violate "audit on healthy log failed" m
+      | Ok report ->
+        if Audit.pass report then incr audits
+        else
+          violate "healthy log failed its audit"
+            (Json.to_string (Audit.to_json report)));
+      let segs =
+        Sys.readdir dir |> Array.to_list
+        |> List.filter (fun f -> String.length f > 4 && String.sub f 0 4 = "wal-")
+        |> List.sort String.compare
+      in
+      let last_seg = List.nth segs (List.length segs - 1) in
+      let path = Filename.concat dir last_seg in
+      let bytes = read_file path in
+      let size = String.length bytes in
+      if size > 0 then begin
+        let cut = size - Random.State.int rng (min size 64) in
+        write_file path (String.sub bytes 0 cut)
+      end;
+      (* The audit tolerates the torn tail exactly like recovery does:
+         a note, never a violation. *)
+      (match Audit.run dir with
+      | Error m -> violate "audit on torn log failed" m
+      | Ok report ->
+        if Audit.pass report then incr audits
+        else
+          violate "torn log failed its audit"
+            (Json.to_string (Audit.to_json report)));
+      (* Recover into a fresh service: replay must not raise, passed
+         horizons apply, and whatever revocations and expiries survived
+         the tear must still refuse a second lifecycle request. *)
+      incr recoveries;
+      (match Store.open_dir ~fsync:false dir with
+      | Error m -> violate "recovery failed" m
+      | Ok (store, recovery) ->
+        let fresh =
+          Service.create ~durable:true ~resolve:(fun _ -> None) ~now ()
+        in
+        List.iter
+          (fun event ->
+            match Service.apply_event fresh event with
+            | Ok () -> ()
+            | Error m -> violate "replay error" m
+            | exception e -> violate "replay raised" (Printexc.to_string e))
+          recovery.Store.events;
+        ignore (Service.apply_horizons fresh);
+        Service.set_sink fresh (Store.sink store);
+        let revoked_ids =
+          List.filter_map
+            (function
+              | Persist.Session_revoked { id; _ } -> Some id
+              | _ -> None)
+            recovery.Store.events
+        in
+        let expired_ids =
+          List.filter_map
+            (function
+              | Persist.Session_expiry { id; horizon; _ }
+                when horizon <= !tick ->
+                Some id
+              | _ -> None)
+            recovery.Store.events
+        in
+        List.iter
+          (fun sid ->
+            match feed fresh "revoke" [ ("session", Json.String sid) ] with
+            | Error "bad_state" -> ()
+            | Error other ->
+              violate "tombstone resurrected"
+                (Printf.sprintf
+                   "revoked session %S answered %s after recovery" sid other)
+            | Ok _ ->
+              violate "tombstone resurrected"
+                (Printf.sprintf "session %S revoked twice across a crash" sid))
+          revoked_ids;
+        List.iter
+          (fun sid ->
+            if not (List.mem sid revoked_ids) then
+              match feed fresh "revoke" [ ("session", Json.String sid) ] with
+              | Error "bad_state" -> ()
+              | Error other ->
+                violate "horizon not applied"
+                  (Printf.sprintf
+                     "expired session %S answered %s after recovery" sid other)
+              | Ok _ ->
+                violate "horizon not applied"
+                  (Printf.sprintf
+                     "session %S revocable after its horizon passed" sid))
+          expired_ids;
+        Store.close store;
+        (* Injection: forge a grant re-establishing a revoked session in
+           a fresh segment. The offline audit must catch it — this is
+           the attack it exists for. *)
+        match revoked_ids with
+        | [] -> ()
+        | rid :: _ -> (
+          let original =
+            List.find_map
+              (function
+                | Persist.Grant { session = Some sid; form; benefits; digest; _ }
+                  when sid = rid ->
+                  Some (digest, form, benefits)
+                | _ -> None)
+              recovery.Store.events
+          in
+          match original with
+          | None -> ()
+          | Some (digest, form, benefits) ->
+            let grant_id =
+              List.fold_left
+                (fun acc -> function
+                  | Persist.Grant { grant_id; _ } -> max acc (grant_id + 1)
+                  | _ -> acc)
+                0 recovery.Store.events
+            in
+            let forged =
+              Persist.Grant
+                {
+                  digest;
+                  grant_id;
+                  form;
+                  benefits;
+                  session = Some rid;
+                  tenant = None;
+                  revoked = false;
+                }
+            in
+            let seg_no =
+              List.fold_left
+                (fun acc f ->
+                  match
+                    int_of_string_opt (String.sub f 4 (String.length f - 8))
+                  with
+                  | Some n -> max acc (n + 1)
+                  | None -> acc)
+                0
+                (Sys.readdir dir |> Array.to_list
+                |> List.filter (fun f ->
+                       String.length f > 8 && String.sub f 0 4 = "wal-"))
+            in
+            write_file
+              (Filename.concat dir (Printf.sprintf "wal-%06d.log" seg_no))
+              (Record.frame (Json.to_string (Persist.to_json forged)));
+            match Audit.run dir with
+            | Error m -> violate "audit on forged log failed" m
+            | Ok report ->
+              let revocation_flagged =
+                List.exists
+                  (fun (p : Audit.property) ->
+                    p.Audit.name = "revocation" && p.Audit.violations <> [])
+                  report.Audit.properties
+              in
+              if revocation_flagged then incr caught
+              else
+                violate "forged grant not caught"
+                  (Printf.sprintf "log %d: audit passed a post-revocation grant"
+                     i)));
+      remove_tree dir
+  done;
+  remove_tree root;
+  {
+    rounds = count;
+    consent_requests = !requests;
+    revokes = !revokes;
+    expiries = !expiries;
+    crash_recoveries = !recoveries;
+    audits_passed = !audits;
+    injections_caught = !caught;
+    consent_violations = List.rev !violations;
+  }
+
+let pp_consent ppf s =
+  Fmt.pf ppf
+    "fuzz-consent: %d rounds, %d requests, %d revokes, %d expiries, %d \
+     crash recoveries, %d audits passed, %d injections caught, %d violations"
+    s.rounds s.consent_requests s.revokes s.expiries s.crash_recoveries
+    s.audits_passed s.injections_caught
+    (List.length s.consent_violations);
+  List.iter
+    (fun (label, detail) -> Fmt.pf ppf "@.violation: %s@.  %s" label detail)
+    s.consent_violations

@@ -112,3 +112,33 @@ val run_store : ?seed:int -> count:int -> unit -> store_stats
 
 val pp_store : store_stats Fmt.t
 (** One summary line, plus one line per violation. *)
+
+(** {1 Consent-lifecycle fuzzing}
+
+    End-to-end fuzzing of the consent lifecycle against the offline
+    compliance audit: drive a durable service through full lifecycles,
+    revoke and expire a random subset, kill it without shutdown (a torn
+    active segment), and assert that {!Pet_audit.Audit} passes the
+    healthy log (torn tail included), that recovery resurrects no
+    tombstone and applies every passed horizon, and that a {e forged}
+    grant re-establishing a revoked session — appended straight to the
+    log, bypassing the service — is caught by the audit with a
+    revocation violation. Deterministic for a given [seed] and
+    [count]. *)
+
+type consent_stats = {
+  rounds : int;  (** lifecycle + crash + audit rounds *)
+  consent_requests : int;
+  revokes : int;
+  expiries : int;
+  crash_recoveries : int;
+  audits_passed : int;  (** healthy audits (pre- and post-tear) *)
+  injections_caught : int;  (** forged grants the audit flagged *)
+  consent_violations : (string * string) list;
+      (** (invariant, detail) — must be empty *)
+}
+
+val run_consent : ?seed:int -> count:int -> unit -> consent_stats
+
+val pp_consent : consent_stats Fmt.t
+(** One summary line, plus one line per violation. *)

@@ -340,7 +340,9 @@ let start ?backend ?compiled ?payoff ?capacity ?ttl ?(tenant_quota = 0)
         | Persist.Rules _ | Persist.Tenant_published _ | Persist.Grant _ -> 0
         | Persist.Session_created { id; _ }
         | Persist.Session_chosen { id; _ }
-        | Persist.Session_submitted { id; _ } ->
+        | Persist.Session_submitted { id; _ }
+        | Persist.Session_revoked { id; _ }
+        | Persist.Session_expiry { id; _ } ->
           Shard_map.owner ~shards:domains id
       in
       match Service.apply_event shards.(target).service event with
@@ -349,6 +351,10 @@ let start ?backend ?compiled ?payoff ?capacity ?ttl ?(tenant_quota = 0)
         Log.error "store.replay_error"
           ~fields:[ ("reason", Trace.String reason) ])
     recovery;
+  (* Horizons that passed while the process was down take effect before
+     the first request. The consent store is shared, so one pass from
+     any shard covers them all. *)
+  ignore (Service.apply_horizons shards.(0).service);
   (match store with
   | None -> ()
   | Some _ ->

@@ -1,34 +1,59 @@
 module Partial = Pet_valuation.Partial
 
-type entry = { id : int; grant : Workflow.grant }
+type entry = { id : int; mutable grant : Workflow.grant option }
 
 type t = { mutable entries : entry list (* newest first *); mutable next : int }
 
 let create () = { entries = []; next = 0 }
 
-let record t grant =
+let record_entry t grant =
   let id = t.next in
   t.next <- id + 1;
   t.entries <- { id; grant } :: t.entries;
   id
 
+let record t grant = record_entry t (Some grant)
+let record_tombstone t = record_entry t None
+
 let entries t = List.rev t.entries
 
 let find t id =
   List.find_map
-    (fun e -> if e.id = id then Some e.grant else None)
+    (fun e -> if e.id = id then e.grant else None)
     t.entries
+
+let revoke t id =
+  match List.find_opt (fun e -> e.id = id) t.entries with
+  | None -> `Unknown
+  | Some { grant = None; _ } -> `Already
+  | Some e ->
+    (* The tombstone: the minimized form is erased in place — the id
+       keeps its slot so the archive ordering (and every later grant's
+       id) is untouched, but the subvaluation itself is gone. *)
+    e.grant <- None;
+    `Revoked
 
 let size t = t.next
 
+let tombstones t =
+  List.fold_left
+    (fun acc e -> if e.grant = None then acc + 1 else acc)
+    0 t.entries
+
 let stored_values t =
   List.fold_left
-    (fun acc e -> acc + Partial.domain_size e.grant.Workflow.form)
+    (fun acc e ->
+      match e.grant with
+      | Some grant -> acc + Partial.domain_size grant.Workflow.form
+      | None -> acc)
     0 t.entries
 
 let audit t provider =
   List.filter_map
-    (fun e -> if Workflow.audit provider e.grant then None else Some e.id)
+    (fun e ->
+      match e.grant with
+      | None -> None (* tombstoned: nothing stored, nothing to re-verify *)
+      | Some grant -> if Workflow.audit provider grant then None else Some e.id)
     t.entries
   |> List.sort Int.compare
 
@@ -36,14 +61,17 @@ let to_json t =
   Json.List
     (List.map
        (fun e ->
-         Json.Obj
-           [
-             ("id", Json.Int e.id);
-             ("form", Json.String (Partial.to_string e.grant.Workflow.form));
-             ( "benefits",
-               Json.List
-                 (List.map
-                    (fun b -> Json.String b)
-                    e.grant.Workflow.benefits) );
-           ])
+         match e.grant with
+         | None ->
+           Json.Obj [ ("id", Json.Int e.id); ("revoked", Json.Bool true) ]
+         | Some grant ->
+           Json.Obj
+             [
+               ("id", Json.Int e.id);
+               ("form", Json.String (Partial.to_string grant.Workflow.form));
+               ( "benefits",
+                 Json.List
+                   (List.map (fun b -> Json.String b) grant.Workflow.benefits)
+               );
+             ])
        (entries t))

@@ -4,28 +4,53 @@
 
     Only the minimized form and the granted benefits are stored — this
     is where the storage-limitation payoff of the PET materializes. The
-    archive is append-only; re-auditing never mutates it. *)
+    archive is append-only in its {e ids}: re-auditing never mutates it,
+    and the only mutation consent law forces on it is {!revoke}, which
+    erases a record's subvaluation in place (a tombstone) while keeping
+    its id slot, so every later grant id and the audit ordering stay
+    valid. *)
 
 type t
-type entry = { id : int; grant : Workflow.grant }
+
+type entry = { id : int; mutable grant : Workflow.grant option }
+(** [grant = None] is a tombstone: the record's minimized form was
+    erased after the respondent revoked consent (or the grant passed its
+    expiry horizon); only the id remains, as proof a record existed and
+    was purged. *)
 
 val create : unit -> t
+
 val record : t -> Workflow.grant -> int
 (** Append a grant; returns its archive id (sequential from 0). *)
 
+val record_tombstone : t -> int
+(** Append an already-tombstoned entry — snapshot replay recreating a
+    revoked record without ever materializing its form. *)
+
+val revoke : t -> int -> [ `Revoked | `Already | `Unknown ]
+(** Erase the record's subvaluation in place. [`Already] if the record
+    is already a tombstone, [`Unknown] if the id was never recorded. *)
+
 val find : t -> int -> Workflow.grant option
+(** [None] for unknown ids {e and} for tombstoned records. *)
+
 val size : t -> int
+
+val tombstones : t -> int
+(** How many records are tombstones. *)
+
 val entries : t -> entry list
 (** In insertion order. *)
 
 val stored_values : t -> int
 (** Total number of predicate values held — the provider's storage
     footprint, to compare against [size * form width] for the legacy
-    full-form process. *)
+    full-form process. Tombstoned records hold zero. *)
 
 val audit : t -> Workflow.t -> int list
 (** Re-verify every archived record against the rules
     ({!Workflow.audit}); returns the ids of the failing records
-    (tampered or recorded under different rules), ascending. *)
+    (tampered or recorded under different rules), ascending. Tombstones
+    store nothing and are skipped. *)
 
 val to_json : t -> Json.t

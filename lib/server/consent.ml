@@ -1,0 +1,171 @@
+(* Consent-lifecycle state: one entry per session that has (or had)
+   something at stake — an archived grant, a revocation, an expiry
+   horizon. Entries hold identifiers only (session id, ledger key,
+   grant id), never a form, so keeping them for the lifetime of the
+   archive costs nothing privacy-wise and lets a respondent revoke long
+   after the session itself was swept.
+
+   Like the grant ledgers, one store is shared across every shard of a
+   sharded deployment (a revocation must reach the grant wherever it
+   was recorded); the mutex guards the table and the sweep cursor. The
+   per-entry mutable fields are only written by the session's owning
+   shard (requests route by session id) and by the sweep, whose ledger
+   tombstoning is idempotent — a benign race. *)
+
+type entry = {
+  session : string;
+  mutable key : string;  (* the ledger the grant lives in; "" until known *)
+  mutable tenant : string option;
+  mutable grant_id : int option;
+  mutable revoked_at : float option;
+  mutable horizon : (float * float) option;  (* (expires_at, set_at) *)
+  mutable expired : bool;  (* the horizon was applied: grant tombstoned *)
+}
+
+type counters = { tracked : int; revoked : int; expired : int; pending : int }
+
+type t = {
+  m : Mutex.t;
+  entries : (string, entry) Hashtbl.t;
+  mutable cursor : string list;
+      (* session ids still to visit in the current incremental
+         horizon-sweep round; refilled from the armed entries when
+         exhausted — the consent twin of [Session.sweep_step] *)
+  mutable revoked : int;
+  mutable expired : int;
+}
+
+let create () =
+  {
+    m = Mutex.create ();
+    entries = Hashtbl.create 16;
+    cursor = [];
+    revoked = 0;
+    expired = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+let find t session = locked t (fun () -> Hashtbl.find_opt t.entries session)
+
+let register t ~session ?(key = "") ?tenant () =
+  locked t @@ fun () ->
+  match Hashtbl.find_opt t.entries session with
+  | Some entry ->
+    (* A keyless entry (a revocation replayed before any grant was
+       seen) learns its ledger key from the first caller that knows
+       it. *)
+    if entry.key = "" && key <> "" then begin
+      entry.key <- key;
+      entry.tenant <- tenant
+    end;
+    entry
+  | None ->
+    let entry =
+      {
+        session;
+        key;
+        tenant;
+        grant_id = None;
+        revoked_at = None;
+        horizon = None;
+        expired = false;
+      }
+    in
+    Hashtbl.add t.entries session entry;
+    entry
+
+let note_granted (entry : entry) grant_id = entry.grant_id <- Some grant_id
+
+let revoke t (entry : entry) ~at =
+  locked t @@ fun () ->
+  if entry.revoked_at = None then begin
+    entry.revoked_at <- Some at;
+    t.revoked <- t.revoked + 1
+  end
+
+let set_horizon t (entry : entry) ~horizon ~at =
+  locked t @@ fun () ->
+  entry.horizon <- Some (horizon, at);
+  entry.expired <- false;
+  (* Front of the cursor: a freshly armed horizon is seen within one
+     sweep call even mid-round. *)
+  t.cursor <- entry.session :: t.cursor
+
+let note_expired t (entry : entry) =
+  locked t @@ fun () ->
+  if not entry.expired then begin
+    entry.expired <- true;
+    t.expired <- t.expired + 1
+  end
+
+let armed (entry : entry) =
+  (not entry.expired) && entry.revoked_at = None && entry.horizon <> None
+
+(* Entries whose horizon has passed, visiting at most [budget] armed
+   entries and resuming where the previous call stopped. The caller
+   tombstones each returned entry's grant and then [note_expired]s it —
+   kept outside this call so the ledger lock is never taken under the
+   consent lock. *)
+let due ?(budget = 32) t ~now =
+  locked t @@ fun () ->
+  if t.cursor = [] then
+    t.cursor <-
+      Hashtbl.fold
+        (fun id entry acc -> if armed entry then id :: acc else acc)
+        t.entries [];
+  let hits = ref [] in
+  let rec go remaining =
+    if remaining > 0 then
+      match t.cursor with
+      | [] -> ()
+      | id :: rest ->
+        t.cursor <- rest;
+        (match Hashtbl.find_opt t.entries id with
+        | Some entry when armed entry -> (
+          match entry.horizon with
+          | Some (h, _) when h <= now -> hits := entry :: !hits
+          | _ -> ())
+        | _ -> ());
+        go (remaining - 1)
+  in
+  go budget;
+  List.rev !hits
+
+(* Every armed entry past [now], regardless of budget — the
+   post-recovery pass that applies whatever horizons the crash
+   interrupted. *)
+let all_due t ~now =
+  locked t @@ fun () ->
+  Hashtbl.fold
+    (fun _ entry acc ->
+      if armed entry then
+        match entry.horizon with
+        | Some (h, _) when h <= now -> entry :: acc
+        | _ -> acc
+      else acc)
+    t.entries []
+
+let entries t =
+  locked t (fun () ->
+      Hashtbl.fold (fun _ entry acc -> entry :: acc) t.entries [])
+  |> List.sort (fun a b ->
+         compare
+           (String.length a.session, a.session)
+           (String.length b.session, b.session))
+
+let counters t =
+  locked t @@ fun () ->
+  let pending =
+    Hashtbl.fold
+      (fun _ entry acc -> if armed entry then acc + 1 else acc)
+      t.entries 0
+  in
+  {
+    tracked = Hashtbl.length t.entries;
+    revoked = t.revoked;
+    expired = t.expired;
+    pending;
+  }

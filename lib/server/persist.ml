@@ -27,11 +27,31 @@ type event =
       at : float;
     }
   | Session_submitted of { id : string; grant_id : int; at : float }
+  | Session_revoked of { id : string; at : float }
+      (* the respondent withdrew consent: the session (if live) was
+         purged and its archived grant (if any) tombstoned — from here
+         on, no later record may re-establish this session's
+         subvaluation *)
+  | Session_expiry of { id : string; horizon : float; at : float }
+      (* consent was granted until [horizon] (absolute service time,
+         set at [at]): once the clock passes it the grant is tombstoned
+         by the sweep; replay re-arms the horizon so recovery applies
+         it too *)
   | Grant of {
       digest : string;
       grant_id : int;
       form : string;
       benefits : string list;
+      session : string option;
+          (* the submitting session — the consent-lifecycle link a
+             revocation uses to find this record; omitted from the JSON
+             when absent so pre-lifecycle logs keep their bytes *)
+      tenant : string option;
+          (* namespaces the grant ledger per tenant: two tenants
+             publishing identical rules keep separate archives *)
+      revoked : bool;
+          (* a tombstone written by compaction: the form field is empty
+             and must never be parsed — only the id slot survives *)
     }
 
 let kind = function
@@ -40,6 +60,8 @@ let kind = function
   | Session_created _ -> "session_created"
   | Session_chosen _ -> "session_chosen"
   | Session_submitted _ -> "session_submitted"
+  | Session_revoked _ -> "session_revoked"
+  | Session_expiry _ -> "session_expiry"
   | Grant _ -> "grant"
 
 let benefits_json benefits = Json.List (List.map (fun b -> Json.String b) benefits)
@@ -88,15 +110,34 @@ let to_json event =
         ("grant", Json.Int grant_id);
         ("at", Json.Float at);
       ]
-  | Grant { digest; grant_id; form; benefits } ->
+  | Session_revoked { id; at } ->
+    Json.Obj [ tag; ("id", Json.String id); ("at", Json.Float at) ]
+  | Session_expiry { id; horizon; at } ->
     Json.Obj
       [
         tag;
-        ("digest", Json.String digest);
-        ("grant", Json.Int grant_id);
-        ("form", Json.String form);
-        ("benefits", benefits_json benefits);
+        ("id", Json.String id);
+        ("horizon", Json.Float horizon);
+        ("at", Json.Float at);
       ]
+  | Grant { digest; grant_id; form; benefits; session; tenant; revoked } ->
+    (* The lifecycle fields are emitted only when set, so pre-lifecycle
+       logs keep their bytes. *)
+    Json.Obj
+      ([
+         tag;
+         ("digest", Json.String digest);
+         ("grant", Json.Int grant_id);
+         ("form", Json.String form);
+         ("benefits", benefits_json benefits);
+       ]
+      @ (match session with
+        | Some id -> [ ("session", Json.String id) ]
+        | None -> [])
+      @ (match tenant with
+        | Some name -> [ ("tenant", Json.String name) ]
+        | None -> [])
+      @ if revoked then [ ("revoked", Json.Bool true) ] else [])
 
 let ( let* ) = Result.bind
 
@@ -181,12 +222,35 @@ let of_json j =
     let* grant_id = int_field "grant" j in
     let* at = float_field "at" j in
     Ok (Session_submitted { id; grant_id; at })
+  | "session_revoked" ->
+    let* id = string_field "id" j in
+    let* at = float_field "at" j in
+    Ok (Session_revoked { id; at })
+  | "session_expiry" ->
+    let* id = string_field "id" j in
+    let* horizon = float_field "horizon" j in
+    let* at = float_field "at" j in
+    Ok (Session_expiry { id; horizon; at })
   | "grant" ->
     let* digest = string_field "digest" j in
     let* grant_id = int_field "grant" j in
     let* form = string_field "form" j in
     let* benefits = benefits_field j in
-    Ok (Grant { digest; grant_id; form; benefits })
+    let opt_string name =
+      match Json.member name j with
+      | None -> Ok None
+      | Some (Json.String s) -> Ok (Some s)
+      | Some _ -> Error (Printf.sprintf "field %S is not a string" name)
+    in
+    let* session = opt_string "session" in
+    let* tenant = opt_string "tenant" in
+    let* revoked =
+      match Json.member "revoked" j with
+      | None -> Ok false
+      | Some (Json.Bool b) -> Ok b
+      | Some _ -> Error "field \"revoked\" is not a boolean"
+    in
+    Ok (Grant { digest; grant_id; form; benefits; session; tenant; revoked })
   | other -> Error (Printf.sprintf "unknown event kind %S" other)
 
 type sink = { emit : event -> unit }

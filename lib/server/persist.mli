@@ -49,16 +49,40 @@ type event =
       at : float;
     }
   | Session_submitted of { id : string; grant_id : int; at : float }
+  | Session_revoked of { id : string; at : float }
+      (** The respondent withdrew consent at [at]: the session (if
+          live) was purged and its archived grant (if any) tombstoned.
+          From this point of the log on, no later record may
+          re-establish the session's subvaluation — the property
+          [pet audit] checks offline. *)
+  | Session_expiry of { id : string; horizon : float; at : float }
+      (** Consent granted by session [id] holds until [horizon]
+          (absolute service time; recorded at [at]): once the clock
+          passes it, the sweep tombstones the grant. Replay re-arms the
+          horizon, so recovery applies expiries the crash interrupted. *)
   | Grant of {
       digest : string;
-      grant_id : int;  (** sequential per digest, from 0 *)
-      form : string;  (** the archived minimized record *)
+      grant_id : int;  (** sequential per (tenant, digest) ledger, from 0 *)
+      form : string;  (** the archived minimized record; [""] when revoked *)
       benefits : string list;
+      session : string option;
+          (** the submitting session — the link a later
+              {!Session_revoked}/{!Session_expiry} uses to reach this
+              record; omitted from the JSON when absent, so
+              pre-lifecycle logs keep their bytes *)
+      tenant : string option;
+          (** namespaces the grant ledger: two tenants publishing
+              identical rules (same [digest]) keep separate archives
+              and grant-id sequences *)
+      revoked : bool;
+          (** a tombstone (written by compaction): only the id slot
+              survives, [form] is empty and must not be parsed *)
     }
 
 val kind : event -> string
 (** The wire tag: ["rules"], ["tenant_published"], ["session_created"],
-    ["session_chosen"], ["session_submitted"] or ["grant"]. *)
+    ["session_chosen"], ["session_submitted"], ["session_revoked"],
+    ["session_expiry"] or ["grant"]. *)
 
 val to_json : event -> Json.t
 val of_json : Json.t -> (event, string) result

@@ -26,6 +26,10 @@ type request =
   | Get_report of { session : string; valuation : string }
   | Choose_option of { session : string; choice : choice_ref }
   | Submit_form of { session : string }
+  | Revoke of { session : string }
+      (* withdraw consent: tombstone the archived minimized form *)
+  | Expire of { session : string; after : float }
+      (* arm (or move) an expiry horizon [after] seconds from now *)
   | Audit of rules_ref
   | Tenant_info of { name : string option; wait : bool }
       (* one tenant's versions/state/counters (blocking until its
@@ -82,6 +86,8 @@ let method_name = function
   | Get_report _ -> "get_report"
   | Choose_option _ -> "choose_option"
   | Submit_form _ -> "submit_form"
+  | Revoke _ -> "revoke"
+  | Expire _ -> "expire"
   | Audit _ -> "audit"
   | Tenant_info _ -> "tenant"
   | Stats -> "stats"
@@ -198,6 +204,21 @@ let decode_request name params =
   | "submit_form" ->
     let* session = string_field params "session" in
     Ok (Submit_form { session })
+  | "revoke" ->
+    let* session = string_field params "session" in
+    Ok (Revoke { session })
+  | "expire" ->
+    let* session = string_field params "session" in
+    let* after =
+      match Json.member "after" params with
+      | Some (Json.Int i) when i >= 0 -> Ok (float_of_int i)
+      | Some (Json.Float f) when f >= 0. -> Ok f
+      | Some (Json.Int _ | Json.Float _) ->
+        Error (error Invalid_params "\"after\" must be >= 0 (seconds)")
+      | Some _ -> Error (error Invalid_params "\"after\" must be a number")
+      | None -> Error (error Invalid_params "missing \"after\" parameter")
+    in
+    Ok (Expire { session; after })
   | "audit" ->
     let* rules = rules_ref params ~allow_digest:true ~allow_tenant:true in
     Ok (Audit rules)

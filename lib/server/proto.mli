@@ -23,6 +23,10 @@
     - [get_report] — [session], [valuation] (the filled form as bits)
     - [choose_option] — [session], and [option] (index) or [mas] (string)
     - [submit_form] — [session]
+    - [revoke] — [session]: withdraw consent; the archived minimized
+      form (if any) is tombstoned and the session purged
+    - [expire] — [session], [after] (seconds, >= 0): arm or move the
+      session's expiry horizon; the grant is tombstoned when it passes
     - [audit] — [rules], [source], [digest] or [tenant]
     - [tenant] — optional [name] (omit for the tenant listing) and
       [wait] (block until the named tenant's builds settle)
@@ -84,6 +88,10 @@ type request =
   | Get_report of { session : string; valuation : string }
   | Choose_option of { session : string; choice : choice_ref }
   | Submit_form of { session : string }
+  | Revoke of { session : string }
+      (** withdraw consent: tombstone the archived minimized form *)
+  | Expire of { session : string; after : float }
+      (** arm (or move) an expiry horizon [after] seconds from now *)
   | Audit of rules_ref
   | Tenant_info of { name : string option; wait : bool }
   | Stats

@@ -75,6 +75,11 @@ type t = {
       (* whether [shutdown] should stop the tenant registry's builder
          domain (false when the registry was passed in by the caller,
          who then owns its lifecycle) *)
+  consents : Consent.t;
+      (* consent-lifecycle entries (revocations, expiry horizons) keyed
+         by session id; identifiers only, kept past session TTL so a
+         respondent can revoke long after the session was swept. Shared
+         process-wide in a sharded deployment, like the ledgers. *)
   mutable sink : Persist.sink;
   mutable requests : int;
   mutable submitted : int;
@@ -105,6 +110,10 @@ let create ?(backend = Engine.Compiled) ?(compiled = true)
       shared;
       tenants;
       tenants_owned;
+      consents =
+        (match shared with
+        | Some shared -> Shared.consents shared
+        | None -> Consent.create ());
       sink = Persist.null;
       requests = 0;
       submitted = 0;
@@ -178,6 +187,21 @@ let ledger_count t =
   match t.shared with
   | Some shared -> Shared.ledger_count shared
   | None -> Hashtbl.length t.ledgers
+
+(* Ledgers are namespaced per (tenant, digest): two tenants publishing
+   byte-identical rules must not share a grant archive (or a grant-id
+   sequence — a cross-tenant audit must never see the other tenant's
+   records). The digest is hex, so ["@"] cannot collide; tenant-less
+   rule sets keep the bare digest and old logs replay unchanged. *)
+let ledger_key ~digest ~tenant =
+  match tenant with None -> digest | Some name -> digest ^ "@" ^ name
+
+let split_ledger_key key =
+  match String.index_opt key '@' with
+  | None -> (key, None)
+  | Some i ->
+    ( String.sub key 0 i,
+      Some (String.sub key (i + 1) (String.length key - i - 1)) )
 
 (* --- Rule-set resolution ----------------------------------------------------- *)
 
@@ -315,6 +339,132 @@ let require_state (session : Session.t) allowed ~verb =
     Error
       (Proto.errorf Proto.Bad_state "cannot %s a session in state %S" verb
          (Session.state_name session.Session.state))
+
+(* --- Consent lifecycle: revoke and expire ------------------------------------- *)
+
+(* Tombstone the grant a consent entry points at, if any. Idempotent:
+   returns the grant id only the first time it actually erased one. *)
+let tombstone_grant t (entry : Consent.entry) =
+  match entry.Consent.grant_id with
+  | Some grant_id when entry.Consent.key <> "" ->
+    with_ledger t entry.Consent.key (fun ledger ->
+        match Ledger.revoke ledger grant_id with
+        | `Revoked -> Some grant_id
+        | `Already | `Unknown -> None)
+  | _ -> None
+
+(* Resolve the target of a lifecycle request. The session must be live
+   or have a consent entry (a submitted session keeps one for the
+   lifetime of the archive, so revocation works long after the TTL
+   sweep), and must not already be revoked or expired. *)
+let lifecycle_entry t ~session:sid ~verb =
+  let live = Session.peek t.store sid in
+  match Consent.find t.consents sid with
+  | Some entry when entry.Consent.revoked_at <> None ->
+    Error
+      (Proto.errorf Proto.Bad_state
+         "cannot %s session %S: consent was already revoked" verb sid)
+  | Some entry when entry.Consent.expired ->
+    Error
+      (Proto.errorf Proto.Bad_state
+         "cannot %s session %S: its grant already expired" verb sid)
+  | (Some _ | None) as found -> (
+    match (found, live) with
+    | None, None ->
+      Error (Proto.errorf Proto.Unknown_session "unknown session %S" sid)
+    | _ ->
+      let entry =
+        match found with
+        | Some entry -> entry
+        | None ->
+          let s = Option.get live in
+          Consent.register t.consents ~session:sid
+            ~key:
+              (ledger_key ~digest:s.Session.digest ~tenant:s.Session.tenant)
+            ?tenant:s.Session.tenant ()
+      in
+      (* Entries recovered from pre-lifecycle logs (whose [Grant] events
+         carry no session) learn the link from the live session. *)
+      (match live with
+      | Some s -> (
+        match s.Session.grant_id with
+        | Some grant_id -> Consent.note_granted entry grant_id
+        | None -> ())
+      | None -> ());
+      Ok (entry, live))
+
+let revoke t ~session:sid ~now =
+  let* entry, live = lifecycle_entry t ~session:sid ~verb:"revoke" in
+  Consent.revoke t.consents entry ~at:now;
+  let tombstoned = tombstone_grant t entry in
+  (* The live session dies with the consent: a [Reported] valuation or
+     [Chosen] form is erased now, not at the TTL. *)
+  (match live with Some s -> Session.purge t.store s | None -> ());
+  t.sink.emit (Persist.Session_revoked { id = sid; at = now });
+  Ok
+    (Json.Obj
+       ([ ("session", Json.String sid); ("revoked", Json.Bool true) ]
+       @
+       match tombstoned with
+       | Some grant_id -> [ ("grant", Json.Int grant_id) ]
+       | None -> []))
+
+let expire t ~session:sid ~after ~now =
+  let* entry, _live = lifecycle_entry t ~session:sid ~verb:"expire" in
+  let horizon = now +. after in
+  Consent.set_horizon t.consents entry ~horizon ~at:now;
+  (* The horizon itself is durable; its later application is not logged
+     — it is derivable (replay re-arms horizons and re-applies any that
+     passed), so the WAL stays append-only and replay-deterministic. *)
+  t.sink.emit (Persist.Session_expiry { id = sid; horizon; at = now });
+  Ok
+    (Json.Obj
+       [ ("session", Json.String sid); ("expires_at", Json.Float horizon) ])
+
+(* Apply horizons that have passed: tombstone each due entry's grant,
+   purge its live session if any, and mark it expired. The [Consent]
+   store hands back the due entries so the ledger lock is never taken
+   under the consent lock. *)
+let apply_due t due =
+  List.iter
+    (fun (entry : Consent.entry) ->
+      ignore (tombstone_grant t entry);
+      (match Session.peek t.store entry.Consent.session with
+      | Some s -> Session.purge t.store s
+      | None -> ());
+      Consent.note_expired t.consents entry)
+    due;
+  List.length due
+
+let consent_step ?budget t ~now =
+  apply_due t (Consent.due ?budget t.consents ~now)
+
+(* The unbudgeted pass, run once after recovery: apply every horizon
+   the crash (or downtime) let pass. Reads the clock only when something
+   is armed, so recovering a horizon-free log leaves a deterministic
+   clock (the transcript tests depend on it). *)
+let apply_horizons t =
+  if (Consent.counters t.consents).Consent.pending = 0 then 0
+  else apply_due t (Consent.all_due t.consents ~now:(t.now ()))
+
+(* A session whose armed horizon has already passed must not establish
+   anything more. The periodic sweep may simply not have reached it yet,
+   so apply the expiry on the spot and answer as expired — otherwise a
+   [choose_option] or [submit_form] slipping in between horizon and
+   sweep would persist an establishing record past the horizon, and the
+   offline auditor would rightly flag a healthy log. *)
+let horizon_guard t ~session:sid ~now =
+  match Consent.find t.consents sid with
+  | Some ({ Consent.horizon = Some (h, _); expired = false; _ } as entry)
+    when h <= now ->
+    ignore (apply_due t [ entry ]);
+    Error (Proto.errorf Proto.Session_expired "session %S has expired" sid)
+  | Some { Consent.expired = true; _ } ->
+    (* Already applied (by the sweep): answer as expired, not unknown —
+       the respondent should learn the grant is gone, not that the
+       session id was forgotten. *)
+    Error (Proto.errorf Proto.Session_expired "session %S has expired" sid)
+  | _ -> Ok ()
 
 (* --- Handlers ----------------------------------------------------------------- *)
 
@@ -586,6 +736,7 @@ let get_report t ~session:sid ~valuation ~now =
         reported options (Rendered payload)))
 
 let choose_option t ~session:sid ~choice ~now =
+  let* () = horizon_guard t ~session:sid ~now in
   let* session = find_session t sid ~now in
   let* () = require_state session [ Session.Reported ] ~verb:"choose_option" in
   let options = session.Session.options in
@@ -637,6 +788,7 @@ let choose_option t ~session:sid ~choice ~now =
        ])
 
 let submit_form t ~session:sid ~now =
+  let* () = horizon_guard t ~session:sid ~now in
   let* session = find_session t sid ~now in
   let* () = require_state session [ Session.Chosen ] ~verb:"submit_form" in
   let* compiled = engine_of_session t session in
@@ -644,9 +796,11 @@ let submit_form t ~session:sid ~now =
   match Workflow.submit compiled.provider mas with
   | Error m -> Error (Proto.error Proto.Rejected m)
   | Ok grant ->
+    let key =
+      ledger_key ~digest:session.Session.digest ~tenant:session.Session.tenant
+    in
     let grant_id =
-      with_ledger t session.Session.digest (fun ledger ->
-          Ledger.record ledger grant)
+      with_ledger t key (fun ledger -> Ledger.record ledger grant)
     in
     session.Session.grant_id <- Some grant_id;
     session.Session.state <- Session.Submitted;
@@ -654,6 +808,13 @@ let submit_form t ~session:sid ~now =
     (match session.Session.tenant with
     | Some name -> Tenant.note_submitted t.tenants name
     | None -> ());
+    (* Track where the archived record lives, so a later [revoke] or
+       [expire] can reach it even after the session is swept. *)
+    let entry =
+      Consent.register t.consents ~session:session.Session.id ~key
+        ?tenant:session.Session.tenant ()
+    in
+    Consent.note_granted entry grant_id;
     Session.touch session ~now;
     t.sink.emit
       (Persist.Grant
@@ -662,6 +823,9 @@ let submit_form t ~session:sid ~now =
            grant_id;
            form = Partial.to_string grant.Workflow.form;
            benefits = grant.Workflow.benefits;
+           session = Some session.Session.id;
+           tenant = session.Session.tenant;
+           revoked = false;
          });
     t.sink.emit
       (Persist.Session_submitted
@@ -678,20 +842,31 @@ let submit_form t ~session:sid ~now =
 
 let audit t rules =
   let* compiled, _ = resolve_rules t rules in
-  let records, stored_values, failures =
-    with_ledger t compiled.digest (fun ledger ->
+  (* Auditing by tenant reads that tenant's namespaced ledger; the same
+     digest audited bare sees only tenant-less grants. *)
+  let tenant =
+    match rules with Proto.Tenant name -> Some name | _ -> None
+  in
+  let key = ledger_key ~digest:compiled.digest ~tenant in
+  let records, stored_values, tombstones, failures =
+    with_ledger t key (fun ledger ->
         ( Ledger.size ledger,
           Ledger.stored_values ledger,
+          Ledger.tombstones ledger,
           Ledger.audit ledger compiled.provider ))
   in
   Ok
     (Json.Obj
-       [
-         ("digest", Json.String compiled.digest);
-         ("records", Json.Int records);
-         ("stored_values", Json.Int stored_values);
-         ("failures", Json.List (List.map (fun i -> Json.Int i) failures));
-       ])
+       ([
+          ("digest", Json.String compiled.digest);
+          ("records", Json.Int records);
+          ("stored_values", Json.Int stored_values);
+        ]
+       (* Only once a revocation or expiry has landed, so pre-lifecycle
+          transcripts keep their bytes. *)
+       @ (if tombstones = 0 then [] else [ ("revoked", Json.Int tombstones) ])
+       @ [ ("failures", Json.List (List.map (fun i -> Json.Int i) failures)) ]
+       ))
 
 (* --- Recovery: replaying and snapshotting durable events ----------------------- *)
 
@@ -770,22 +945,68 @@ let apply_event t event =
     session.Session.state <- Session.Submitted;
     Session.touch session ~now:at;
     Ok ()
-  | Persist.Grant { digest; grant_id; form; benefits } ->
-    let* compiled = compiled_of_digest t digest in
-    let* form = partial_of compiled form in
+  | Persist.Grant { digest; grant_id; form; benefits; session; tenant; revoked }
+    ->
+    let key = ledger_key ~digest ~tenant in
+    let* record =
+      if revoked then
+        (* A snapshot tombstone: the id slot is preserved (ordering
+           checks below still hold) but the empty form is never parsed. *)
+        Ok (fun ledger -> ignore (Ledger.record_tombstone ledger))
+      else
+        let* compiled = compiled_of_digest t digest in
+        let* form = partial_of compiled form in
+        Ok
+          (fun ledger ->
+            ignore (Ledger.record ledger { Workflow.form; benefits }))
+    in
     let* () =
-      with_ledger t digest (fun ledger ->
+      with_ledger t key (fun ledger ->
           if Ledger.size ledger <> grant_id then
             Error
               (Printf.sprintf
                  "grant %d for rule set %s arrived out of order (ledger at %d)"
-                 grant_id digest (Ledger.size ledger))
+                 grant_id key (Ledger.size ledger))
           else begin
-            ignore (Ledger.record ledger { Workflow.form; benefits });
+            record ledger;
             Ok ()
           end)
     in
+    (* Re-link the consent entry so a post-recovery revoke (or a replayed
+       one) finds the archived record. *)
+    (match session with
+    | Some session ->
+      let entry = Consent.register t.consents ~session ~key ?tenant () in
+      Consent.note_granted entry grant_id
+    | None -> ());
     t.submitted <- t.submitted + 1;
+    Ok ()
+  | Persist.Session_revoked { id; at } ->
+    (* Replay must not resurrect revoked data: purge the live session if
+       the log recreated it, and tombstone the linked grant. All three
+       steps are idempotent — a snapshot may already hold the tombstone. *)
+    let entry = Consent.register t.consents ~session:id () in
+    (match Session.peek t.store id with
+    | Some s ->
+      (match s.Session.grant_id with
+      | Some grant_id when entry.Consent.grant_id = None ->
+        (* pre-lifecycle [Grant] events carry no session link *)
+        if entry.Consent.key = "" then
+          entry.Consent.key <-
+            ledger_key ~digest:s.Session.digest ~tenant:s.Session.tenant;
+        Consent.note_granted entry grant_id
+      | _ -> ());
+      Session.purge t.store s
+    | None -> ());
+    Consent.revoke t.consents entry ~at;
+    ignore (tombstone_grant t entry);
+    Ok ()
+  | Persist.Session_expiry { id; horizon; at } ->
+    (* Re-arm only: whether the horizon has passed is judged against the
+       service clock after replay completes ({!apply_horizons}), not
+       against the replay clock. *)
+    let entry = Consent.register t.consents ~session:id () in
+    Consent.set_horizon t.consents entry ~horizon ~at;
     Ok ()
 
 (* The live state as an equivalent event sequence — what a snapshot
@@ -813,18 +1034,52 @@ let state_events t =
           versions)
       (Tenant.dump t.tenants)
   in
+  (* Which session produced each grant, from the consent entries — the
+     ledger itself stores no identifiers beyond the minimized form. *)
+  let consent_entries = Consent.entries t.consents in
+  let grant_session =
+    let tbl = Hashtbl.create 16 in
+    List.iter
+      (fun (e : Consent.entry) ->
+        match e.Consent.grant_id with
+        | Some grant_id when e.Consent.key <> "" ->
+          Hashtbl.replace tbl (e.Consent.key, grant_id) e.Consent.session
+        | _ -> ())
+      consent_entries;
+    tbl
+  in
   let grants =
     List.concat_map
-      (fun (digest, ledger) ->
+      (fun (key, ledger) ->
+        let digest, tenant = split_ledger_key key in
         List.map
           (fun (e : Ledger.entry) ->
-            Persist.Grant
-              {
-                digest;
-                grant_id = e.Ledger.id;
-                form = Partial.to_string e.Ledger.grant.Workflow.form;
-                benefits = e.Ledger.grant.Workflow.benefits;
-              })
+            let session = Hashtbl.find_opt grant_session (key, e.Ledger.id) in
+            match e.Ledger.grant with
+            | Some grant ->
+              Persist.Grant
+                {
+                  digest;
+                  grant_id = e.Ledger.id;
+                  form = Partial.to_string grant.Workflow.form;
+                  benefits = grant.Workflow.benefits;
+                  session;
+                  tenant;
+                  revoked = false;
+                }
+            | None ->
+              (* The id slot of an erased grant: replay keeps the
+                 sequence aligned without ever materializing a form. *)
+              Persist.Grant
+                {
+                  digest;
+                  grant_id = e.Ledger.id;
+                  form = "";
+                  benefits = [];
+                  session;
+                  tenant;
+                  revoked = true;
+                })
           (Ledger.entries ledger))
       (by_key (fold_ledgers t (fun d l acc -> (d, l) :: acc) []))
   in
@@ -863,7 +1118,22 @@ let state_events t =
              ]
            | _ -> [])
   in
-  rules @ tenants @ grants @ sessions
+  (* Lifecycle events last: a revocation (or horizon) may reference a
+     session the snapshot no longer holds — replay tolerates that — but
+     never one that appears later. An expired entry re-emits its
+     horizon; re-applying it on recovery is idempotent. *)
+  let lifecycle =
+    List.concat_map
+      (fun (e : Consent.entry) ->
+        match (e.Consent.revoked_at, e.Consent.horizon) with
+        | Some at, _ ->
+          [ Persist.Session_revoked { id = e.Consent.session; at } ]
+        | None, Some (horizon, at) ->
+          [ Persist.Session_expiry { id = e.Consent.session; horizon; at } ]
+        | None, None -> [])
+      consent_entries
+  in
+  rules @ tenants @ grants @ sessions @ lifecycle
 
 (* --- Observability ---------------------------------------------------------------- *)
 
@@ -890,6 +1160,8 @@ let obs_lat_new_session = latency_hist "new_session"
 let obs_lat_get_report = latency_hist "get_report"
 let obs_lat_choose_option = latency_hist "choose_option"
 let obs_lat_submit_form = latency_hist "submit_form"
+let obs_lat_revoke = latency_hist "revoke"
+let obs_lat_expire = latency_hist "expire"
 let obs_lat_audit = latency_hist "audit"
 let obs_lat_stats = latency_hist "stats"
 let obs_lat_metrics = latency_hist "metrics"
@@ -904,6 +1176,8 @@ let obs_latency = function
   | "get_report" -> obs_lat_get_report
   | "choose_option" -> obs_lat_choose_option
   | "submit_form" -> obs_lat_submit_form
+  | "revoke" -> obs_lat_revoke
+  | "expire" -> obs_lat_expire
   | "audit" -> obs_lat_audit
   | "stats" -> obs_lat_stats
   | "metrics" -> obs_lat_metrics
@@ -919,6 +1193,9 @@ let obs_sessions_created = Obs.gauge "pet_sessions_created"
 let obs_sessions_expired = Obs.gauge "pet_sessions_expired"
 let obs_submitted = Obs.gauge "pet_grants_submitted"
 let obs_ledger_records = Obs.gauge "pet_ledger_records"
+let obs_consent_revoked = Obs.gauge "pet_consent_revoked"
+let obs_consent_expired = Obs.gauge "pet_consent_expired"
+let obs_consent_pending = Obs.gauge "pet_consent_pending"
 let obs_tenants = Obs.gauge "pet_tenants"
 let obs_tenant_builds = Obs.gauge "pet_tenant_builds"
 let obs_tenant_build_failures = Obs.gauge "pet_tenant_build_failures"
@@ -940,6 +1217,10 @@ let sync_gauges t =
   Obs.set_gauge obs_submitted (float_of_int t.submitted);
   let records = fold_ledgers t (fun _ l acc -> acc + Ledger.size l) 0 in
   Obs.set_gauge obs_ledger_records (float_of_int records);
+  let c = Consent.counters t.consents in
+  Obs.set_gauge obs_consent_revoked (float_of_int c.Consent.revoked);
+  Obs.set_gauge obs_consent_expired (float_of_int c.Consent.expired);
+  Obs.set_gauge obs_consent_pending (float_of_int c.Consent.pending);
   let tt = Tenant.totals t.tenants in
   Obs.set_gauge obs_tenants (float_of_int tt.Tenant.tenants);
   Obs.set_gauge obs_tenant_builds (float_of_int tt.Tenant.builds);
@@ -1066,7 +1347,9 @@ let session_counters t = Session.counters t.store
    enqueues one of these per shard per interval so TTL expiry advances
    on every shard even when only one of them sees traffic. *)
 let sweep_tick ?budget t =
-  let swept = Session.sweep_step ?budget t.store ~now:(t.now ()) in
+  let now = t.now () in
+  let swept = Session.sweep_step ?budget t.store ~now in
+  ignore (consent_step ?budget t ~now);
   if Obs.enabled () then Obs.add obs_swept swept;
   swept
 
@@ -1127,6 +1410,21 @@ let stats_json t =
             ("stored_values", Json.Int stored_values);
           ] );
     ]
+    (* Like the tenants section: only once a revocation or expiry has
+       happened, so pre-lifecycle transcripts keep their bytes. *)
+    @ (let c = Consent.counters t.consents in
+       if c.Consent.revoked = 0 && c.Consent.expired = 0 && c.Consent.pending = 0
+       then []
+       else
+         [
+           ( "consent",
+             Json.Obj
+               [
+                 ("revoked", Json.Int c.Consent.revoked);
+                 ("expired", Json.Int c.Consent.expired);
+                 ("pending", Json.Int c.Consent.pending);
+               ] );
+         ])
     (* The tenants section appears only once a tenant exists, so
        single-tenant deployments keep their pre-tenancy stats bytes. *)
     @
@@ -1180,6 +1478,8 @@ let handle_request t request ~now =
       | Proto.Choose_option { session; choice } ->
         choose_option t ~session ~choice ~now
       | Proto.Submit_form { session } -> submit_form t ~session ~now
+      | Proto.Revoke { session } -> revoke t ~session ~now
+      | Proto.Expire { session; after } -> expire t ~session ~after ~now
       | Proto.Audit rules -> audit t rules
       | Proto.Tenant_info { name; wait } -> tenant_info t ~name ~wait
       | Proto.Stats -> Ok (stats_json t)
@@ -1208,7 +1508,9 @@ let annotate_request request =
   (match request with
   | Proto.Get_report { session; _ }
   | Proto.Choose_option { session; _ }
-  | Proto.Submit_form { session } ->
+  | Proto.Submit_form { session }
+  | Proto.Revoke { session }
+  | Proto.Expire { session; _ } ->
     Trace.annotate "session" (Trace.String session)
   | Proto.Publish_rules _ | Proto.Update_rules _ | Proto.New_session _
   | Proto.Audit _ | Proto.Tenant_info _ | Proto.Stats | Proto.Metrics _
@@ -1296,6 +1598,7 @@ let handle_line t line =
      of sessions per request — so abandoned sessions are reclaimed in
      amortized O(budget) instead of a full O(sessions) scan per line. *)
   let swept = Session.sweep_step t.store ~now:finish in
+  ignore (consent_step t ~now:finish);
   record_method t name ~latency:(finish -. start) ~failed:(Result.is_error result);
   if Obs.enabled () then begin
     Obs.add obs_swept swept;

@@ -96,6 +96,20 @@ val set_sink : t -> Persist.sink -> unit
 (** Install the persistence sink (initially {!Persist.null}). Attached
     {e after} recovery replay so recovered events are not re-logged. *)
 
+val ledger_key : digest:string -> tenant:string option -> string
+(** The archive namespace for a grant: the bare digest for tenant-less
+    rule sets, [digest ^ "@" ^ tenant] otherwise — two tenants
+    publishing byte-identical rules keep separate ledgers (and separate
+    grant-id sequences). The digest is hex, so the ["@"] never
+    collides. *)
+
+val apply_horizons : t -> int
+(** Apply every expiry horizon that has already passed (unbudgeted):
+    tombstone the grant, purge the live session, mark the consent entry
+    expired. Drivers call it once after recovery replay — horizons that
+    passed while the process was down take effect before the first
+    request. Returns how many entries expired. *)
+
 val apply_event : t -> Persist.event -> (unit, string) result
 (** Replay one recovered event into the service state, without emitting
     it back to the sink. Replay bypasses request-level guards (the log
@@ -130,8 +144,10 @@ val stats_json : t -> Pet_pet.Json.t
     aggregates, registry size/hits/misses/evictions, session
     active/created/expired/submitted counts, and archive totals. Once a
     tenant exists a [tenants] section is appended (registry totals plus
-    per-tenant versions/state/quota/session counters); single-tenant
-    deployments keep their pre-tenancy payload bytes. *)
+    per-tenant versions/state/quota/session counters), and once a
+    revocation or expiry has happened a [consent] section
+    (revoked/expired/pending counts); deployments using neither keep
+    their earlier payload bytes. *)
 
 val registry_stats : t -> Registry.stats
 
@@ -141,10 +157,11 @@ val session_counters : t -> Session.counters
 
 val sweep_tick : ?budget:int -> t -> int
 (** Run one incremental expiry step at the service clock, outside any
-    request ({!Session.sweep_step}; [budget] defaults to its). The TCP
-    server's ticker enqueues one per shard per interval, so a shard that
-    sees no traffic still expires its sessions and a hot shard cannot
-    starve the others' sweeps. Returns the number of sessions swept. *)
+    request ({!Session.sweep_step} plus a consent-horizon step of the
+    same budget; [budget] defaults to theirs). The TCP server's ticker
+    enqueues one per shard per interval, so a shard that sees no
+    traffic still expires its sessions and a hot shard cannot starve
+    the others' sweeps. Returns the number of sessions swept. *)
 
 val sync_gauges : t -> unit
 (** Mirror the service-owned aggregates (registry, sessions, ledgers)

@@ -109,6 +109,17 @@ let expire store session =
   store.expired <- store.expired + 1;
   store.on_expire session
 
+(* Removal outside the TTL machinery (consent revocation): fires the
+   same [on_expire] hook — the tenant quota slot must be released
+   exactly once however the session leaves — but does not count as an
+   expiry. A later sweep finds the table slot empty and cannot fire the
+   hook a second time. *)
+let purge store session =
+  if Hashtbl.mem store.sessions session.id then begin
+    Hashtbl.remove store.sessions session.id;
+    store.on_expire session
+  end
+
 let peek store id = Hashtbl.find_opt store.sessions id
 
 let find store id ~now =

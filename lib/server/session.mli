@@ -72,6 +72,14 @@ val peek : store -> string -> t option
 (** Lookup without the expiry check — log replay must reach sessions at
     the clock of the event being replayed, not of the replay itself. *)
 
+val purge : store -> t -> unit
+(** Remove a session outside the TTL machinery (consent revocation).
+    Fires [on_expire] — the tenant quota slot is released exactly once
+    however the session leaves — but does not count towards the
+    [expired] counter. Idempotent: purging a session already removed
+    (or swept) does nothing, so a purge followed by a sweep can never
+    double-release. *)
+
 val touch : t -> now:float -> unit
 (** Refresh the idle clock (called on every successful request). *)
 

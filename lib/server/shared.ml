@@ -4,6 +4,9 @@ type t = {
   m : Mutex.t;
   texts : (string, string) Hashtbl.t;
   ledgers : (string, Ledger.t) Hashtbl.t;
+  consents : Consent.t;
+      (* consent lifecycle state is process-wide like the ledgers: a
+         revocation must reach the grant whichever shard recorded it *)
 }
 
 let create () =
@@ -11,7 +14,10 @@ let create () =
     m = Mutex.create ();
     texts = Hashtbl.create 8;
     ledgers = Hashtbl.create 8;
+    consents = Consent.create ();
   }
+
+let consents t = t.consents
 
 let locked t f =
   Mutex.lock t.m;

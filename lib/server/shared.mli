@@ -9,9 +9,12 @@
       into its own engine cache — compiled engines are {e not} shared,
       because the BDD backend mutates its memo tables on every query);
     - the grant ledgers, because grant ids are sequential per rule set
-      across the whole process and the audit must see every grant.
+      across the whole process and the audit must see every grant;
+    - the consent-lifecycle store ({!Consent}), because a revocation must
+      reach the grant whichever shard recorded it.
 
-    Both live here behind one mutex. The critical sections are short
+    All three live here behind one mutex (the consent store carries its
+    own). The critical sections are short
     (a hash-table probe; recording or auditing one ledger) and — by
     design of the protocol — never contain a raw valuation: what crosses
     a domain boundary is rule text, minimized forms and grant metadata,
@@ -40,3 +43,6 @@ val ledger_count : t -> int
 
 val fold_ledgers : t -> (string -> Pet_pet.Ledger.t -> 'a -> 'a) -> 'a -> 'a
 (** Fold over every ledger under the lock (stats, snapshots). *)
+
+val consents : t -> Consent.t
+(** The process-wide consent-lifecycle store. *)

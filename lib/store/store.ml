@@ -150,6 +150,9 @@ let read dir =
       let _, chain = replay_files (listing dir) in
       recover_chain dir chain)
 
+let replay_chain dir =
+  guard (fun () -> snd (replay_files (listing dir)))
+
 let obs_recovery_h = Pet_obs.Metrics.histogram "pet_store_recovery_seconds"
 let obs_recovered = Pet_obs.Metrics.gauge "pet_store_recovered_records"
 
@@ -420,8 +423,19 @@ module Compactor = struct
         (* tenant -> (version, digest, text, quota, at), every version
            kept: recovery needs them all so pinned sessions can resolve
            pre-swap digests *)
-    grants : (string, (int * string * string list) list ref) Hashtbl.t;
+    grants :
+      ( string * string option,
+        (int * string * string list * string option * bool) list ref )
+      Hashtbl.t;
+        (* (digest, tenant) -> (grant_id, form, benefits, session,
+           revoked): ledgers are namespaced per tenant, mirroring the
+           service *)
     sessions : (string, sess) Hashtbl.t;
+    revoked : (string, float) Hashtbl.t;  (* session -> revocation time *)
+    horizons : (string, float * float) Hashtbl.t;
+        (* session -> (horizon, set_at), latest wins *)
+    links : (string, (string * string option) * int) Hashtbl.t;
+        (* session -> (ledger key, grant id) — where its grant lives *)
     mutable clock : float;  (* newest timestamp seen *)
   }
 
@@ -431,6 +445,9 @@ module Compactor = struct
       tenants = Hashtbl.create 8;
       grants = Hashtbl.create 8;
       sessions = Hashtbl.create 64;
+      revoked = Hashtbl.create 8;
+      horizons = Hashtbl.create 8;
+      links = Hashtbl.create 8;
       clock = 0.;
     }
 
@@ -480,16 +497,32 @@ module Compactor = struct
           sess.submitted <- Some (grant_id, at);
           sess.last <- at)
         (Hashtbl.find_opt state.sessions id)
-    | Persist.Grant { digest; grant_id; form; benefits } ->
+    | Persist.Grant { digest; grant_id; form; benefits; session; tenant; revoked }
+      ->
+      let key = (digest, tenant) in
       let cell =
-        match Hashtbl.find_opt state.grants digest with
+        match Hashtbl.find_opt state.grants key with
         | Some cell -> cell
         | None ->
           let cell = ref [] in
-          Hashtbl.add state.grants digest cell;
+          Hashtbl.add state.grants key cell;
           cell
       in
-      cell := (grant_id, form, benefits) :: !cell
+      cell := (grant_id, form, benefits, session, revoked) :: !cell;
+      Option.iter
+        (fun session -> Hashtbl.replace state.links session (key, grant_id))
+        session
+    | Persist.Session_revoked { id; at } ->
+      tick state at;
+      (* Compaction must never resurrect revoked data: the session
+         disappears now, and {!events} tombstones its grant. The
+         revocation itself is kept so recovery still refuses a second
+         revoke. *)
+      Hashtbl.replace state.revoked id at;
+      Hashtbl.remove state.sessions id
+    | Persist.Session_expiry { id; horizon; at } ->
+      tick state at;
+      Hashtbl.replace state.horizons id (horizon, at)
 
   let sorted_bindings table =
     Hashtbl.fold (fun k v acc -> (k, v) :: acc) table []
@@ -510,24 +543,53 @@ module Compactor = struct
                    { tenant; version; digest; text; quota; at }))
         (sorted_bindings state.tenants)
     in
+    (* A grant is erased — emitted as a tombstone, its form dropped —
+       when its own record says so, or its session revoked consent, or
+       its session's expiry horizon has passed by the log's own clock. *)
+    let erased session already =
+      already
+      ||
+      match session with
+      | None -> false
+      | Some id ->
+        Hashtbl.mem state.revoked id
+        || (match Hashtbl.find_opt state.horizons id with
+           | Some (horizon, _) -> horizon <= state.clock
+           | None -> false)
+    in
     let grants =
       List.concat_map
-        (fun (digest, cell) ->
+        (fun ((digest, tenant), cell) ->
           List.rev !cell
-          |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
-          |> List.map (fun (grant_id, form, benefits) ->
-                 Persist.Grant { digest; grant_id; form; benefits }))
+          |> List.sort (fun (a, _, _, _, _) (b, _, _, _, _) -> compare a b)
+          |> List.map (fun (grant_id, form, benefits, session, revoked) ->
+                 if erased session revoked then
+                   Persist.Grant
+                     {
+                       digest;
+                       grant_id;
+                       form = "";
+                       benefits = [];
+                       session;
+                       tenant;
+                       revoked = true;
+                     }
+                 else
+                   Persist.Grant
+                     { digest; grant_id; form; benefits; session; tenant;
+                       revoked = false }))
         (sorted_bindings state.grants)
     in
-    let live (sess : sess) =
-      ttl <= 0. || state.clock -. sess.last <= ttl
+    let live id (sess : sess) =
+      (ttl <= 0. || state.clock -. sess.last <= ttl)
+      && not (erased (Some id) false)
     in
     let sessions =
       sorted_bindings state.sessions
       |> List.sort (fun ((a, _) : string * sess) (b, _) ->
              compare (String.length a, a) (String.length b, b))
       |> List.concat_map (fun (id, sess) ->
-             if not (live sess) then []
+             if not (live id sess) then []
              else
                Persist.Session_created
                  {
@@ -546,5 +608,22 @@ module Compactor = struct
                  [ Persist.Session_submitted { id; grant_id; at } ]
                | None -> [])
     in
-    rules @ tenants @ grants @ sessions
+    (* Lifecycle events last (the order {!Service.state_events} uses):
+       revocations survive compaction so a second revoke still errors,
+       and horizons re-arm so recovery re-applies any that passed. *)
+    let by_id l = List.sort (fun (a, _) (b, _) ->
+        compare (String.length a, a) (String.length b, b)) l
+    in
+    let lifecycle =
+      List.map
+        (fun (id, at) -> Persist.Session_revoked { id; at })
+        (by_id (Hashtbl.fold (fun id at acc -> (id, at) :: acc) state.revoked []))
+      @ List.filter_map
+          (fun (id, (horizon, at)) ->
+            if Hashtbl.mem state.revoked id then None
+            else Some (Persist.Session_expiry { id; horizon; at }))
+          (by_id
+             (Hashtbl.fold (fun id h acc -> (id, h) :: acc) state.horizons []))
+    in
+    rules @ tenants @ grants @ sessions @ lifecycle
 end

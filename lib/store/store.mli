@@ -103,6 +103,12 @@ val scan : string -> (file_report list, string) result
 (** Scan every snapshot and segment in the directory, in replay order —
     the engine of [pet store verify] and [pet store inspect]. *)
 
+val replay_chain : string -> (string list, string) result
+(** The file names recovery would replay, in order: the newest snapshot
+    (if any) followed by every later segment. Stale files skipped by
+    recovery are omitted. The compliance auditor ({!Pet_audit}) walks
+    these with {!Record.read} to anchor findings at byte offsets. *)
+
 (** {1 Offline compaction}
 
     Squashes an event stream without compiling any rule engine: rule

@@ -296,7 +296,7 @@ Without a rule file, a seed range or a fuzz budget there is nothing to
 check:
 
   $ ../../bin/pet.exe check
-  pet: expected a RULES source, --seeds, --fuzz, --fuzz-store or --fuzz-corpus
+  pet: expected a RULES source, --seeds, --fuzz, --fuzz-store, --fuzz-corpus or --fuzz-consent
   Usage: pet check [OPTION]… [RULES]
   Try 'pet check --help' or 'pet --help' for more information.
   [124]

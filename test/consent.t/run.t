@@ -1,0 +1,208 @@
+Consent lifecycle and the compliance audit: `revoke` tombstones a
+respondent's archived grant, `expire` arms a durable expiry horizon,
+and `pet audit` replays the WAL offline to prove the archive honours
+every withdrawal. Every protocol example in docs/consent-lifecycle.md
+runs here against the current binary, so the document cannot drift.
+
+Revoking consent (docs/consent-lifecycle.md, "Revoking consent"): the
+grant is tombstoned, a second revoke is a structured error, and the
+ledger audit separates evidence (records) from retained data
+(stored_values):
+
+  $ ../../bin/pet.exe serve --deterministic <<'REQUESTS'
+  > {"pet":1,"id":1,"method":"publish_rules","params":{"source":"running"}}
+  > {"pet":1,"id":2,"method":"new_session","params":{"source":"running"}}
+  > {"pet":1,"id":3,"method":"get_report","params":{"session":"s0","valuation":"011"}}
+  > {"pet":1,"id":4,"method":"choose_option","params":{"session":"s0","option":0}}
+  > {"pet":1,"id":5,"method":"submit_form","params":{"session":"s0"}}
+  > {"pet":1,"id":6,"method":"audit","params":{"source":"running"}}
+  > {"pet":1,"id":7,"method":"revoke","params":{"session":"s0"}}
+  > {"pet":1,"id":8,"method":"revoke","params":{"session":"s0"}}
+  > {"pet":1,"id":9,"method":"audit","params":{"source":"running"}}
+  > {"pet":1,"id":10,"method":"stats"}
+  > REQUESTS
+  {"pet":1,"id":1,"trace":"t0","ok":{"digest":"4e572ccd978d507d92c1b8a548038954","cached":false,"predicates":3,"benefits":3,"mas":5,"eligible":5}}
+  {"pet":1,"id":2,"trace":"t1","ok":{"session":"s0","digest":"4e572ccd978d507d92c1b8a548038954","cached":true}}
+  {"pet":1,"id":3,"trace":"t2","ok":{"valuation":"011","granted":["b1"],"options":[{"mas":"_11","benefits":["b1"],"po_blank":1,"po_sm":1,"po_weighted":null,"published":[{"p2":true},{"p3":true}],"deduced":[],"protected":["p1"],"crowd":2,"recommended":true}],"minimization_ratio":0.33333333333333331}}
+  {"pet":1,"id":4,"trace":"t3","ok":{"mas":"_11","benefits":["b1"]}}
+  {"pet":1,"id":5,"trace":"t4","ok":{"grant":0,"form":"_11","benefits":["b1"]}}
+  {"pet":1,"id":6,"trace":"t5","ok":{"digest":"4e572ccd978d507d92c1b8a548038954","records":1,"stored_values":2,"failures":[]}}
+  {"pet":1,"id":7,"trace":"t6","ok":{"session":"s0","revoked":true,"grant":0}}
+  {"pet":1,"id":8,"trace":"t7","error":{"code":"bad_state","message":"cannot revoke session \"s0\": consent was already revoked"}}
+  {"pet":1,"id":9,"trace":"t8","ok":{"digest":"4e572ccd978d507d92c1b8a548038954","records":1,"stored_values":0,"revoked":1,"failures":[]}}
+  {"pet":1,"id":10,"trace":"t9","ok":{"requests":{"total":10,"by_method":{"audit":{"count":2,"errors":0,"latency_s":{"total":2,"max":1}},"choose_option":{"count":1,"errors":0,"latency_s":{"total":1,"max":1}},"get_report":{"count":1,"errors":0,"latency_s":{"total":1,"max":1}},"new_session":{"count":1,"errors":0,"latency_s":{"total":1,"max":1}},"publish_rules":{"count":1,"errors":0,"latency_s":{"total":1,"max":1}},"revoke":{"count":2,"errors":1,"latency_s":{"total":2,"max":1}},"submit_form":{"count":1,"errors":0,"latency_s":{"total":1,"max":1}}}},"registry":{"size":1,"capacity":16,"hits":3,"misses":1,"evictions":0},"sessions":{"active":0,"created":1,"expired":0,"submitted":1},"ledger":{"rule_sets":1,"records":1,"stored_values":0},"consent":{"revoked":1,"expired":0,"pending":0}}}
+
+Expiring consent (docs/consent-lifecycle.md, "Expiring consent"): the
+horizon is armed and durable at request 6; between requests 7 and 8
+the logical clock crosses it and the piggybacked sweep tombstones the
+grant, after which lifecycle methods treat the entry as terminal:
+
+  $ ../../bin/pet.exe serve --deterministic <<'REQUESTS'
+  > {"pet":1,"id":1,"method":"publish_rules","params":{"source":"running"}}
+  > {"pet":1,"id":2,"method":"new_session","params":{"source":"running"}}
+  > {"pet":1,"id":3,"method":"get_report","params":{"session":"s0","valuation":"011"}}
+  > {"pet":1,"id":4,"method":"choose_option","params":{"session":"s0","option":0}}
+  > {"pet":1,"id":5,"method":"submit_form","params":{"session":"s0"}}
+  > {"pet":1,"id":6,"method":"expire","params":{"session":"s0","after":2}}
+  > {"pet":1,"id":7,"method":"audit","params":{"source":"running"}}
+  > {"pet":1,"id":8,"method":"audit","params":{"source":"running"}}
+  > {"pet":1,"id":9,"method":"revoke","params":{"session":"s0"}}
+  > REQUESTS
+  {"pet":1,"id":1,"trace":"t0","ok":{"digest":"4e572ccd978d507d92c1b8a548038954","cached":false,"predicates":3,"benefits":3,"mas":5,"eligible":5}}
+  {"pet":1,"id":2,"trace":"t1","ok":{"session":"s0","digest":"4e572ccd978d507d92c1b8a548038954","cached":true}}
+  {"pet":1,"id":3,"trace":"t2","ok":{"valuation":"011","granted":["b1"],"options":[{"mas":"_11","benefits":["b1"],"po_blank":1,"po_sm":1,"po_weighted":null,"published":[{"p2":true},{"p3":true}],"deduced":[],"protected":["p1"],"crowd":2,"recommended":true}],"minimization_ratio":0.33333333333333331}}
+  {"pet":1,"id":4,"trace":"t3","ok":{"mas":"_11","benefits":["b1"]}}
+  {"pet":1,"id":5,"trace":"t4","ok":{"grant":0,"form":"_11","benefits":["b1"]}}
+  {"pet":1,"id":6,"trace":"t5","ok":{"session":"s0","expires_at":13}}
+  {"pet":1,"id":7,"trace":"t6","ok":{"digest":"4e572ccd978d507d92c1b8a548038954","records":1,"stored_values":2,"failures":[]}}
+  {"pet":1,"id":8,"trace":"t7","ok":{"digest":"4e572ccd978d507d92c1b8a548038954","records":1,"stored_values":0,"revoked":1,"failures":[]}}
+  {"pet":1,"id":9,"trace":"t8","error":{"code":"bad_state","message":"cannot revoke session \"s0\": its grant already expired"}}
+
+The horizon guard (docs/consent-lifecycle.md, "The horizon guard"): a
+passed horizon is honoured before the sweep reaches the entry — no
+request can establish data past it:
+
+  $ ../../bin/pet.exe serve --deterministic <<'REQUESTS'
+  > {"pet":1,"id":1,"method":"publish_rules","params":{"source":"running"}}
+  > {"pet":1,"id":2,"method":"new_session","params":{"source":"running"}}
+  > {"pet":1,"id":3,"method":"get_report","params":{"session":"s0","valuation":"011"}}
+  > {"pet":1,"id":4,"method":"expire","params":{"session":"s0","after":1}}
+  > {"pet":1,"id":5,"method":"choose_option","params":{"session":"s0","option":0}}
+  > REQUESTS
+  {"pet":1,"id":1,"trace":"t0","ok":{"digest":"4e572ccd978d507d92c1b8a548038954","cached":false,"predicates":3,"benefits":3,"mas":5,"eligible":5}}
+  {"pet":1,"id":2,"trace":"t1","ok":{"session":"s0","digest":"4e572ccd978d507d92c1b8a548038954","cached":true}}
+  {"pet":1,"id":3,"trace":"t2","ok":{"valuation":"011","granted":["b1"],"options":[{"mas":"_11","benefits":["b1"],"po_blank":1,"po_sm":1,"po_weighted":null,"published":[{"p2":true},{"p3":true}],"deduced":[],"protected":["p1"],"crowd":2,"recommended":true}],"minimization_ratio":0.33333333333333331}}
+  {"pet":1,"id":4,"trace":"t3","ok":{"session":"s0","expires_at":8}}
+  {"pet":1,"id":5,"trace":"t4","error":{"code":"session_expired","message":"session \"s0\" has expired"}}
+
+The offline compliance audit (docs/consent-lifecycle.md, "Runbook"):
+the revocation example above, run durably. The WAL ends with six
+records — rules, session_created, session_chosen, session_submitted,
+grant, session_revoked — and all six audit properties hold:
+
+  $ ../../bin/pet.exe serve --deterministic --data-dir data 2>server.log <<'REQUESTS'
+  > {"pet":1,"id":1,"method":"publish_rules","params":{"source":"running"}}
+  > {"pet":1,"id":2,"method":"new_session","params":{"source":"running"}}
+  > {"pet":1,"id":3,"method":"get_report","params":{"session":"s0","valuation":"011"}}
+  > {"pet":1,"id":4,"method":"choose_option","params":{"session":"s0","option":0}}
+  > {"pet":1,"id":5,"method":"submit_form","params":{"session":"s0"}}
+  > {"pet":1,"id":6,"method":"revoke","params":{"session":"s0"}}
+  > REQUESTS
+  {"pet":1,"id":1,"trace":"t0","ok":{"digest":"4e572ccd978d507d92c1b8a548038954","cached":false,"predicates":3,"benefits":3,"mas":5,"eligible":5}}
+  {"pet":1,"id":2,"trace":"t1","ok":{"session":"s0","digest":"4e572ccd978d507d92c1b8a548038954","cached":true}}
+  {"pet":1,"id":3,"trace":"t2","ok":{"valuation":"011","granted":["b1"],"options":[{"mas":"_11","benefits":["b1"],"po_blank":1,"po_sm":1,"po_weighted":null,"published":[{"p2":true},{"p3":true}],"deduced":[],"protected":["p1"],"crowd":2,"recommended":true}],"minimization_ratio":0.33333333333333331}}
+  {"pet":1,"id":4,"trace":"t3","ok":{"mas":"_11","benefits":["b1"]}}
+  {"pet":1,"id":5,"trace":"t4","ok":{"grant":0,"form":"_11","benefits":["b1"]}}
+  {"pet":1,"id":6,"trace":"t5","ok":{"session":"s0","revoked":true,"grant":0}}
+
+  $ ../../bin/pet.exe audit data
+  audit data: 1 file, 6 records
+    integrity   PASS (6 checked)
+    r2          PASS (6 checked)
+    minimality  PASS (2 checked)
+    revocation  PASS (4 checked)
+    expiry      PASS (4 checked)
+    replay      PASS (4 checked)
+  result: PASS
+
+  $ ../../bin/pet.exe audit --json data
+  {"dir":"data","files":1,"records":6,"pass":true,"properties":[{"name":"integrity","checked":6,"violations":[]},{"name":"r2","checked":6,"violations":[]},{"name":"minimality","checked":2,"violations":[]},{"name":"revocation","checked":4,"violations":[]},{"name":"expiry","checked":4,"violations":[]},{"name":"replay","checked":4,"violations":[]}]}
+
+A forged grant appended after the respondent's revocation — a
+correctly framed, CRC-valid record that a byte-level verifier accepts
+— is flagged by the revocation property with its file and byte
+offset, and the exit code is 124:
+
+  $ python3 - <<'EOF'
+  > import struct, zlib
+  > payload = b'{"ev":"grant","digest":"4e572ccd978d507d92c1b8a548038954","grant":1,"form":"_11","benefits":["b1"],"session":"s0"}'
+  > frame = struct.pack('<II', len(payload), zlib.crc32(payload)) + payload
+  > open('data/wal-000001.log', 'wb').write(frame)
+  > EOF
+
+  $ ../../bin/pet.exe store verify data
+  ok: 7 record(s) in 2 file(s); every checksum holds and no decoded event carries a raw valuation (R2 on disk)
+
+  $ ../../bin/pet.exe audit data
+  audit data: 2 files, 7 records
+    integrity   PASS (7 checked)
+    r2          PASS (7 checked)
+    minimality  PASS (3 checked)
+    revocation  FAIL (5 checked, 1 violation)
+      wal-000001.log @ byte 0: grant 1 re-establishes session "s0" after its revocation
+    expiry      PASS (5 checked)
+    replay      PASS (5 checked)
+  result: FAIL
+  pet: compliance audit failed
+  [124]
+
+Recovery never resurrects a tombstone: a fresh durable run in data2,
+killed without a clean shutdown right after the revoke, restarts with
+the tombstone intact — the grant stays revoked, the lifecycle answers
+bad_state, and the audit still passes (the torn tail left by the kill
+is a note, not a violation):
+
+  $ ../../bin/pet.exe serve --deterministic --data-dir data2 2>server2.log <<'REQUESTS'
+  > {"pet":1,"id":1,"method":"publish_rules","params":{"source":"running"}}
+  > {"pet":1,"id":2,"method":"new_session","params":{"source":"running"}}
+  > {"pet":1,"id":3,"method":"get_report","params":{"session":"s0","valuation":"011"}}
+  > {"pet":1,"id":4,"method":"choose_option","params":{"session":"s0","option":0}}
+  > {"pet":1,"id":5,"method":"submit_form","params":{"session":"s0"}}
+  > {"pet":1,"id":6,"method":"revoke","params":{"session":"s0"}}
+  > REQUESTS
+  {"pet":1,"id":1,"trace":"t0","ok":{"digest":"4e572ccd978d507d92c1b8a548038954","cached":false,"predicates":3,"benefits":3,"mas":5,"eligible":5}}
+  {"pet":1,"id":2,"trace":"t1","ok":{"session":"s0","digest":"4e572ccd978d507d92c1b8a548038954","cached":true}}
+  {"pet":1,"id":3,"trace":"t2","ok":{"valuation":"011","granted":["b1"],"options":[{"mas":"_11","benefits":["b1"],"po_blank":1,"po_sm":1,"po_weighted":null,"published":[{"p2":true},{"p3":true}],"deduced":[],"protected":["p1"],"crowd":2,"recommended":true}],"minimization_ratio":0.33333333333333331}}
+  {"pet":1,"id":4,"trace":"t3","ok":{"mas":"_11","benefits":["b1"]}}
+  {"pet":1,"id":5,"trace":"t4","ok":{"grant":0,"form":"_11","benefits":["b1"]}}
+  {"pet":1,"id":6,"trace":"t5","ok":{"session":"s0","revoked":true,"grant":0}}
+
+Simulate the kill -9: tear the last record mid-append (keep its
+header, drop the payload tail), exactly what a crash between write
+and fsync leaves behind:
+
+  $ python3 - <<'EOF'
+  > import pathlib
+  > path = sorted(pathlib.Path('data2').glob('wal-*.log'))[-1]
+  > b = path.read_bytes()
+  > path.write_bytes(b[:len(b) - 10])
+  > EOF
+
+  $ ../../bin/pet.exe audit data2
+  audit data2: 1 file, 5 records
+  note: torn tail in wal-000000.log at byte 531 (truncated payload (32 of 42 bytes)): crash damage; recovery truncates it
+    integrity   PASS (5 checked)
+    r2          PASS (5 checked)
+    minimality  PASS (2 checked)
+    revocation  PASS (4 checked)
+    expiry      PASS (4 checked)
+    replay      PASS (4 checked)
+  result: PASS
+
+The torn record was the revoke itself in this drill — so after
+recovery the grant is live again, which is correct: the revoke's
+reply was never sent (durable-before-reply), so the respondent never
+saw it acknowledged. Re-issue it and the tombstone sticks across
+another restart:
+
+  $ ../../bin/pet.exe serve --deterministic --data-dir data2 2>recover.log <<'REQUESTS'
+  > {"pet":1,"id":1,"method":"revoke","params":{"session":"s0"}}
+  > REQUESTS
+  {"pet":1,"id":1,"trace":"t0","ok":{"session":"s0","revoked":true,"grant":0}}
+
+  $ ../../bin/pet.exe serve --deterministic --data-dir data2 2>recover2.log <<'REQUESTS'
+  > {"pet":1,"id":1,"method":"revoke","params":{"session":"s0"}}
+  > {"pet":1,"id":2,"method":"audit","params":{"source":"running"}}
+  > REQUESTS
+  {"pet":1,"id":1,"trace":"t0","error":{"code":"bad_state","message":"cannot revoke session \"s0\": consent was already revoked"}}
+  {"pet":1,"id":2,"trace":"t1","ok":{"digest":"4e572ccd978d507d92c1b8a548038954","records":1,"stored_values":0,"revoked":1,"failures":[]}}
+
+  $ ../../bin/pet.exe audit data2
+  audit data2: 2 files, 6 records
+    integrity   PASS (6 checked)
+    r2          PASS (6 checked)
+    minimality  PASS (2 checked)
+    revocation  PASS (4 checked)
+    expiry      PASS (4 checked)
+    replay      PASS (4 checked)
+  result: PASS

@@ -50,9 +50,9 @@ verify checks every checksum and that no record carries a raw
 valuation (requirement R2 holds on disk, not just in memory):
 
   $ ../../bin/pet.exe store inspect data
-  wal-000000.log        717 bytes      5 record(s)
-  wal-000001.log        358 bytes      4 record(s)
-  total: 2 file(s), 1075 bytes, 9 record(s)
+  wal-000000.log        732 bytes      5 record(s)
+  wal-000001.log        373 bytes      4 record(s)
+  total: 2 file(s), 1105 bytes, 9 record(s)
     grant                   2
     rules                   1
     session_chosen          2
@@ -68,11 +68,11 @@ blanks ("_") where Alice's and Bob's raw answers were never persisted:
   $ ../../bin/pet.exe store replay data | grep -v '"ev":"rules"'
   {"ev":"session_created","id":"s0","digest":"3c35afd5c479736f19224c053ec534bb","at":3}
   {"ev":"session_chosen","id":"s0","mas":"0__________1","benefits":["b1"],"at":7}
-  {"ev":"grant","digest":"3c35afd5c479736f19224c053ec534bb","grant":0,"form":"0__________1","benefits":["b1"]}
+  {"ev":"grant","digest":"3c35afd5c479736f19224c053ec534bb","grant":0,"form":"0__________1","benefits":["b1"],"session":"s0"}
   {"ev":"session_submitted","id":"s0","grant":0,"at":9}
   {"ev":"session_created","id":"s1","digest":"3c35afd5c479736f19224c053ec534bb","at":5}
   {"ev":"session_chosen","id":"s1","mas":"0_0_1110____","benefits":["b1"],"at":9}
-  {"ev":"grant","digest":"3c35afd5c479736f19224c053ec534bb","grant":1,"form":"0_0_1110____","benefits":["b1"]}
+  {"ev":"grant","digest":"3c35afd5c479736f19224c053ec534bb","grant":1,"form":"0_0_1110____","benefits":["b1"],"session":"s1"}
   {"ev":"session_submitted","id":"s1","grant":1,"at":11}
 
 A crash mid-append leaves a torn tail: a prefix of the record being
@@ -87,7 +87,7 @@ record and carries on; nothing acknowledged is lost:
   {"pet":1,"id":1,"trace":"t0","ok":{"requests":{"total":1,"by_method":{}},"registry":{"size":1,"capacity":16,"hits":0,"misses":1,"evictions":0},"sessions":{"active":2,"created":2,"expired":0,"submitted":2},"ledger":{"rule_sets":1,"records":2,"stored_values":8}}}
 
   $ cat server.log
-  [warn] store.torn_tail file="wal-000001.log" offset=358 reason="truncated header (3 of 8 bytes)"
+  [warn] store.torn_tail file="wal-000001.log" offset=373 reason="truncated header (3 of 8 bytes)"
   [info] store.recovered events=9 files=2
 
 Compaction squashes the log into one snapshot holding the rule set,

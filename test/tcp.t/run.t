@@ -30,6 +30,16 @@ the id embedded in the line:
   {"pet":1,"id":5,"trace":"t4","ok":{"grant":0,"form":"10_","benefits":["b1","b2"]}}
   {"pet":1,"id":6,"trace":"t5","ok":{"digest":"4e572ccd978d507d92c1b8a548038954","records":1,"stored_values":2,"failures":[]}}
 
+Consent revocation rides the same wire: the line routes to the shard
+owning s1, the tombstone is group-committed through the writer domain
+like every other append, and the reply only leaves after the fsync:
+
+  $ ../../bin/pet.exe ping 127.0.0.1:$(cat port) <<'REQUESTS'
+  > {"pet":1,"id":7,"method":"revoke","params":{"session":"s1"}}
+  > quit
+  > REQUESTS
+  {"pet":1,"id":7,"trace":"t6","ok":{"session":"s1","revoked":true,"grant":0}}
+
 The replies above were only sent after their events were fsynced, so
 kill -9 loses nothing acknowledged:
 
@@ -37,22 +47,37 @@ kill -9 loses nothing acknowledged:
   $ wait $SRV 2>/dev/null
   [137]
   $ ../../bin/pet.exe store verify data
-  ok: 5 record(s) in 1 file(s); every checksum holds and no decoded event carries a raw valuation (R2 on disk)
+  ok: 6 record(s) in 1 file(s); every checksum holds and no decoded event carries a raw valuation (R2 on disk)
 
-A restart recovers the archive and the submitted session onto the shard
-that owns it, and new ids continue past the recovered ones:
+The offline compliance audit replays the same bytes and proves the
+tombstone: every property holds, including that nothing in the log
+re-establishes s1's data after its revocation:
+
+  $ ../../bin/pet.exe audit data
+  audit data: 1 file, 6 records
+    integrity   PASS (6 checked)
+    r2          PASS (6 checked)
+    minimality  PASS (2 checked)
+    revocation  PASS (4 checked)
+    expiry      PASS (4 checked)
+    replay      PASS (4 checked)
+  result: PASS
+
+A restart recovers the archive and the tombstone onto the shard that
+owns them — the revoked session is gone, not resurrected — and new
+ids continue past the recovered ones:
 
   $ rm -f port
   $ ../../bin/pet.exe serve --tcp 0 --domains 4 --deterministic --data-dir data --port-file port 2>server2.log & SRV=$!
   $ for i in $(seq 1 100); do [ -s port ] && break; sleep 0.1; done
   $ ../../bin/pet.exe ping localhost:$(cat port) <<'REQUESTS'
   > {"pet":1,"id":1,"method":"audit","params":{"digest":"4e572ccd978d507d92c1b8a548038954"}}
-  > {"pet":1,"id":2,"method":"submit_form","params":{"session":"s1"}}
+  > {"pet":1,"id":2,"method":"revoke","params":{"session":"s1"}}
   > {"pet":1,"id":3,"method":"new_session","params":{"source":"running"}}
   > quit
   > REQUESTS
-  {"pet":1,"id":1,"trace":"t0","ok":{"digest":"4e572ccd978d507d92c1b8a548038954","records":1,"stored_values":2,"failures":[]}}
-  {"pet":1,"id":2,"trace":"t1","error":{"code":"bad_state","message":"cannot submit_form a session in state \"submitted\""}}
+  {"pet":1,"id":1,"trace":"t0","ok":{"digest":"4e572ccd978d507d92c1b8a548038954","records":1,"stored_values":0,"revoked":1,"failures":[]}}
+  {"pet":1,"id":2,"trace":"t1","error":{"code":"bad_state","message":"cannot revoke session \"s1\": consent was already revoked"}}
   {"pet":1,"id":3,"trace":"t2","ok":{"session":"s5","digest":"4e572ccd978d507d92c1b8a548038954","cached":true}}
   $ kill -9 $SRV
   $ wait $SRV 2>/dev/null

@@ -77,7 +77,7 @@ ledgers intact.
   > {"pet":1,"id":9,"method":"choose_option","params":{"session":"s0","option":0}}
   > {"pet":1,"id":10,"method":"submit_form","params":{"session":"s0"}}
   > {"pet":1,"id":11,"method":"new_session","params":{"tenant":"beta"}}
-  > {"pet":1,"id":12,"method":"audit","params":{"digest":"0f14651f658c4b19ad2f4a9f414a9f71"}}
+  > {"pet":1,"id":12,"method":"audit","params":{"tenant":"alpha"}}
   > quit
   > REQUESTS
   {"pet":1,"id":1,"trace":"t0","ok":{"tenant":"alpha","version":1,"digest":"0f14651f658c4b19ad2f4a9f414a9f71","state":"building"}}
@@ -114,7 +114,7 @@ ledger still answers audits:
   > {"pet":1,"id":2,"method":"tenant","params":{"name":"beta"}}
   > {"pet":1,"id":3,"method":"tenant","params":{"name":"alpha"}}
   > {"pet":1,"id":4,"method":"new_session","params":{"tenant":"gamma"}}
-  > {"pet":1,"id":5,"method":"audit","params":{"digest":"0f14651f658c4b19ad2f4a9f414a9f71"}}
+  > {"pet":1,"id":5,"method":"audit","params":{"tenant":"alpha"}}
   > quit
   > REQUESTS
   {"pet":1,"id":1,"trace":"t0","ok":{"count":3,"tenants":["alpha","beta","gamma"]}}

@@ -911,6 +911,232 @@ let test_trace_privacy () =
         tr.Trace.annotations)
     captures
 
+
+(* --- Consent lifecycle ------------------------------------------------------------- *)
+
+(* Run the running example to a submitted grant and return its id. *)
+let submitted_session service =
+  let opened =
+    ok_of (request service "new_session" [ ("source", Json.String "running") ])
+  in
+  let sid = str "session" opened in
+  ignore
+    (ok_of
+       (request service "get_report"
+          [ ("session", Json.String sid); ("valuation", Json.String "011") ]));
+  ignore
+    (ok_of
+       (request service "choose_option"
+          [ ("session", Json.String sid); ("option", Json.Int 0) ]));
+  ignore (ok_of (request service "submit_form" [ ("session", Json.String sid) ]));
+  sid
+
+let int_field field payload =
+  match Json.member field payload with
+  | Some (Json.Int i) -> i
+  | _ -> Alcotest.failf "missing int field %S" field
+
+let test_consent_revoke () =
+  let service = make_service () in
+  let digest =
+    str "digest"
+      (ok_of (request service "publish_rules" [ ("source", Json.String "running") ]))
+  in
+  let sid = submitted_session service in
+  let revoked =
+    ok_of (request service "revoke" [ ("session", Json.String sid) ])
+  in
+  Alcotest.(check int) "tombstoned grant" 0 (int_field "grant" revoked);
+  (* The session died with the consent; the archive keeps only the id slot. *)
+  Alcotest.(check string) "session purged" "unknown_session"
+    (error_code
+       (request service "get_report"
+          [ ("session", Json.String sid); ("valuation", Json.String "011") ]));
+  let audit =
+    ok_of (request service "audit" [ ("digest", Json.String digest) ])
+  in
+  Alcotest.(check int) "id slot kept" 1 (int_field "records" audit);
+  Alcotest.(check int) "values erased" 0 (int_field "stored_values" audit);
+  Alcotest.(check int) "tombstone counted" 1 (int_field "revoked" audit);
+  (* Idempotence: consent cannot be withdrawn twice. *)
+  Alcotest.(check string) "double revoke" "bad_state"
+    (error_code (request service "revoke" [ ("session", Json.String sid) ]));
+  let stats = ok_of (request service "stats" []) in
+  let consent = Option.get (Json.member "consent" stats) in
+  Alcotest.(check int) "stats: revoked" 1 (int_field "revoked" consent)
+
+let test_consent_revoke_after_sweep () =
+  (* The consent entry outlives the session TTL: revocation reaches the
+     archived grant long after the session itself was swept. *)
+  let service = make_service ~ttl:5. () in
+  let sid = submitted_session service in
+  for _ = 1 to 4 do
+    ignore (request service "stats" [])
+  done;
+  Alcotest.(check string) "session long gone" "unknown_session"
+    (error_code
+       (request service "submit_form" [ ("session", Json.String sid) ]));
+  let revoked =
+    ok_of (request service "revoke" [ ("session", Json.String sid) ])
+  in
+  Alcotest.(check int) "grant still reachable" 0 (int_field "grant" revoked)
+
+let test_consent_expire () =
+  let service = make_service () in
+  let sid = submitted_session service in
+  ignore
+    (ok_of
+       (request service "expire"
+          [ ("session", Json.String sid); ("after", Json.Int 4) ]));
+  (* Each request advances the clock 2s; two sweeps later the horizon
+     has passed and the grant is tombstoned. *)
+  for _ = 1 to 3 do
+    ignore (request service "stats" [])
+  done;
+  Alcotest.(check string) "revoke after expiry" "bad_state"
+    (error_code (request service "revoke" [ ("session", Json.String sid) ]));
+  let stats = ok_of (request service "stats" []) in
+  let consent = Option.get (Json.member "consent" stats) in
+  Alcotest.(check int) "stats: expired" 1 (int_field "expired" consent);
+  Alcotest.(check int) "stats: nothing pending" 0 (int_field "pending" consent)
+
+let test_consent_horizon_guard () =
+  (* A passed horizon is applied on the session's own next request, not
+     only at the sweep: nothing may establish data past the horizon. *)
+  let service = make_service () in
+  let opened =
+    ok_of (request service "new_session" [ ("source", Json.String "running") ])
+  in
+  let sid = str "session" opened in
+  ignore
+    (ok_of
+       (request service "get_report"
+          [ ("session", Json.String sid); ("valuation", Json.String "011") ]));
+  ignore
+    (ok_of
+       (request service "expire"
+          [ ("session", Json.String sid); ("after", Json.Int 1) ]));
+  Alcotest.(check string) "choose refused past the horizon" "session_expired"
+    (error_code
+       (request service "choose_option"
+          [ ("session", Json.String sid); ("option", Json.Int 0) ]))
+
+let test_consent_sweep_budget () =
+  (* Many horizons passing at once drain incrementally — every tombstone
+     lands within [entries / budget] sweeps, none is skipped, and the
+     active-session counter never double-frees. *)
+  let service = make_service () in
+  let sids =
+    List.init 10 (fun _ -> submitted_session service)
+  in
+  List.iter
+    (fun sid ->
+      ignore
+        (ok_of
+           (request service "expire"
+              [ ("session", Json.String sid); ("after", Json.Int 1) ])))
+    sids;
+  let applied = ref 0 in
+  for _ = 1 to 5 do
+    ignore (Service.sweep_tick ~budget:3 service)
+  done;
+  let stats = ok_of (request service "stats" []) in
+  let consent = Option.get (Json.member "consent" stats) in
+  applied := int_field "expired" consent;
+  Alcotest.(check int) "every horizon applied" 10 !applied;
+  Alcotest.(check int) "none pending" 0 (int_field "pending" consent);
+  let sessions = Option.get (Json.member "sessions" stats) in
+  Alcotest.(check int) "no active sessions leak" 0 (int_field "active" sessions)
+
+(* [state_events] only includes rule sets a durable service retained. *)
+let make_durable_service () =
+  let tick = ref 0 in
+  let now () =
+    incr tick;
+    float_of_int !tick
+  in
+  let resolve = function
+    | "running" -> Some (Spec.to_string (Running.exposure ()))
+    | _ -> None
+  in
+  Service.create ~durable:true ~resolve ~now ()
+
+let test_consent_snapshot_replay () =
+  (* Tombstones and armed horizons survive snapshot + replay: recovery
+     never resurrects revoked consent. *)
+  let service = make_durable_service () in
+  let digest =
+    str "digest"
+      (ok_of (request service "publish_rules" [ ("source", Json.String "running") ]))
+  in
+  let s1 = submitted_session service in
+  let s2 = submitted_session service in
+  ignore (ok_of (request service "revoke" [ ("session", Json.String s1) ]));
+  ignore
+    (ok_of
+       (request service "expire"
+          [ ("session", Json.String s2); ("after", Json.Int 10_000) ]));
+  let events = Service.state_events service in
+  let recovered = make_durable_service () in
+  List.iter
+    (fun event ->
+      match Service.apply_event recovered event with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "replay error: %s" m)
+    events;
+  Alcotest.(check string) "tombstone not resurrected" "bad_state"
+    (error_code (request recovered "revoke" [ ("session", Json.String s1) ]));
+  let audit =
+    ok_of (request recovered "audit" [ ("digest", Json.String digest) ])
+  in
+  Alcotest.(check int) "both id slots kept" 2 (int_field "records" audit);
+  Alcotest.(check int) "one tombstone" 1 (int_field "revoked" audit);
+  (* The re-armed horizon still fires in the recovered service. *)
+  ignore (Service.apply_horizons recovered);
+  ignore
+    (ok_of (request recovered "revoke" [ ("session", Json.String s2) ]));
+  Alcotest.(check string) "horizon re-armed, then withdrawn once" "bad_state"
+    (error_code (request recovered "revoke" [ ("session", Json.String s2) ]))
+
+let test_ledger_tenant_namespacing () =
+  (* Two tenants publishing byte-identical rules must not share a grant
+     archive: ids restart per tenant and each audit sees only its own
+     records. Before ledgers were keyed by (tenant, digest), the second
+     tenant's first grant got id 1 and both audits saw both records. *)
+  Alcotest.(check string) "bare key" "d1" (Service.ledger_key ~digest:"d1" ~tenant:None);
+  Alcotest.(check string) "namespaced key" "d1@alpha"
+    (Service.ledger_key ~digest:"d1" ~tenant:(Some "alpha"));
+  let service = make_service () in
+  let text = Spec.to_string (Running.exposure ()) in
+  let submit_for tenant =
+    ignore
+      (ok_of
+         (request service "publish_rules"
+            [ ("rules", Json.String text); ("tenant", Json.String tenant) ]));
+    let sid =
+      str "session"
+        (ok_of (request service "new_session" [ ("tenant", Json.String tenant) ]))
+    in
+    ignore
+      (ok_of
+         (request service "get_report"
+            [ ("session", Json.String sid); ("valuation", Json.String "011") ]));
+    ignore
+      (ok_of
+         (request service "choose_option"
+            [ ("session", Json.String sid); ("option", Json.Int 0) ]));
+    int_field "grant"
+      (ok_of (request service "submit_form" [ ("session", Json.String sid) ]))
+  in
+  Alcotest.(check int) "alpha's first grant" 0 (submit_for "alpha");
+  Alcotest.(check int) "beta's ids are its own" 0 (submit_for "beta");
+  let records tenant =
+    int_field "records"
+      (ok_of (request service "audit" [ ("tenant", Json.String tenant) ]))
+  in
+  Alcotest.(check int) "alpha sees one record" 1 (records "alpha");
+  Alcotest.(check int) "beta sees one record" 1 (records "beta")
+
 let () =
   Alcotest.run "pet_server"
     [
@@ -950,6 +1176,22 @@ let () =
           Alcotest.test_case "canonical digest" `Quick
             test_service_canonical_digest;
           Alcotest.test_case "metrics endpoint" `Quick test_service_metrics;
+        ] );
+      ( "consent",
+        [
+          Alcotest.test_case "revoke tombstones the grant" `Quick
+            test_consent_revoke;
+          Alcotest.test_case "revoke outlives the TTL sweep" `Quick
+            test_consent_revoke_after_sweep;
+          Alcotest.test_case "expiry horizon" `Quick test_consent_expire;
+          Alcotest.test_case "horizon guard on the request path" `Quick
+            test_consent_horizon_guard;
+          Alcotest.test_case "budgeted sweep applies every horizon" `Quick
+            test_consent_sweep_budget;
+          Alcotest.test_case "snapshot and replay keep tombstones" `Quick
+            test_consent_snapshot_replay;
+          Alcotest.test_case "ledgers are namespaced per tenant" `Quick
+            test_ledger_tenant_namespacing;
         ] );
       ( "trace",
         [

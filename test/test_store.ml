@@ -444,6 +444,80 @@ let test_online_compaction () =
   Alcotest.(check string) "state survives online compaction" before
     (state_json recovered)
 
+
+let test_compactor_tombstones () =
+  (* The offline compactor applies the consent lifecycle at the log's
+     own clock: revoked and expired sessions vanish, their grants
+     squash to tombstones (id slot only, no form), and the lifecycle
+     events themselves survive so recovery still refuses double
+     revocations and re-arms horizons. *)
+  let digest = "d1" in
+  let grant i sid =
+    Persist.Grant
+      {
+        digest;
+        grant_id = i;
+        form = "0_1";
+        benefits = [ "b1" ];
+        session = Some sid;
+        tenant = None;
+        revoked = false;
+      }
+  in
+  let stream =
+    [
+      Persist.Rules { digest; text = "benefits b1 grants when p1" };
+      Persist.Session_created { id = "s0"; digest; tenant = None; at = 1. };
+      Persist.Session_created { id = "s1"; digest; tenant = None; at = 2. };
+      Persist.Session_created { id = "s2"; digest; tenant = None; at = 3. };
+      grant 0 "s0";
+      Persist.Session_submitted { id = "s0"; grant_id = 0; at = 4. };
+      grant 1 "s1";
+      Persist.Session_submitted { id = "s1"; grant_id = 1; at = 5. };
+      grant 2 "s2";
+      Persist.Session_submitted { id = "s2"; grant_id = 2; at = 6. };
+      Persist.Session_revoked { id = "s0"; at = 7. };
+      (* A horizon the stream's own clock has already passed. *)
+      Persist.Session_expiry { id = "s1"; horizon = 9.; at = 8. };
+      Persist.Session_created { id = "s3"; digest; tenant = None; at = 20. };
+    ]
+  in
+  let compactor = Store.Compactor.create () in
+  List.iter (Store.Compactor.add compactor) stream;
+  let squashed = Store.Compactor.events ~ttl:0. compactor in
+  let grants =
+    List.filter_map
+      (function
+        | Persist.Grant { grant_id; form; revoked; _ } ->
+          Some (grant_id, form, revoked)
+        | _ -> None)
+      squashed
+  in
+  Alcotest.(check (list (triple int string bool)))
+    "revoked and expired grants squash to tombstones"
+    [ (0, "", true); (1, "", true); (2, "0_1", false) ]
+    (List.sort compare grants);
+  let session_ids =
+    List.filter_map
+      (function
+        | Persist.Session_created { id; _ } -> Some id
+        | _ -> None)
+      squashed
+  in
+  Alcotest.(check (list string))
+    "revoked and expired sessions dropped" [ "s2"; "s3" ]
+    (List.sort compare session_ids);
+  Alcotest.(check bool) "revocation event survives" true
+    (List.exists
+       (function Persist.Session_revoked { id; _ } -> id = "s0" | _ -> false)
+       squashed);
+  (* The expiry already applied at the log clock is also kept: replay
+     re-arms it, which is idempotent against the tombstone. *)
+  Alcotest.(check bool) "expiry event survives" true
+    (List.exists
+       (function Persist.Session_expiry { id; _ } -> id = "s1" | _ -> false)
+       squashed)
+
 let () =
   Alcotest.run "pet_store"
     [
@@ -474,5 +548,7 @@ let () =
           Alcotest.test_case "compaction equivalence" `Quick
             test_compaction_equivalence;
           Alcotest.test_case "online compaction" `Quick test_online_compaction;
+          Alcotest.test_case "compaction tombstones revoked grants" `Quick
+            test_compactor_tombstones;
         ] );
     ]

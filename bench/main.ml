@@ -1136,15 +1136,77 @@ let obs () =
   let rps_off = float_of_int (2 * blocks) /. !t_off in
   let rps_on = float_of_int (2 * blocks) /. !t_on in
   let service = Option.get !service in
+  (* [now = 0.]: the bench service's logical clock is private to the
+     workload, and at 0 the SLO window covers every retained slice, so
+     the payload dumps whatever the tracker currently holds. *)
   let payload =
-    Pet_server.Service.metrics_payload service Pet_server.Proto.Mjson
+    Pet_server.Service.metrics_payload service ~now:0. Pet_server.Proto.Mjson
   in
-  Obs.disable ();
   let overhead = 1. -. (rps_on /. rps_off) in
   Fmt.pr
     "obs overhead on H-cov: %.0f req/s off, %.0f req/s on = %.2f%% \
      (acceptance < 6%%)@."
     rps_off rps_on (100. *. overhead);
+  (* Flight recorder on top: same ABBA cancellation against a fresh
+     baseline, with a real-time ticker thread journaling delta
+     snapshots into a throwaway segment family every 50 ms — the
+     deployment shape of [pet serve --flight], minus the WAL (whose
+     cost the store bench owns). The gate is the same 6%: the recorder
+     must be cheap enough to leave on. *)
+  let flight_dir = tcp_temp_dir () in
+  Unix.mkdir flight_dir 0o755;
+  let fl =
+    match Pet_store.Flight_log.open_dir flight_dir with
+    | Ok fl -> fl
+    | Error m -> failwith ("flight bench: " ^ m)
+  in
+  let fenc = Pet_obs.Flight.create () in
+  let stop = Atomic.make false in
+  let ticker =
+    Thread.create
+      (fun () ->
+        while not (Atomic.get stop) do
+          Thread.delay 0.05;
+          if Obs.enabled () then
+            try
+              Pet_store.Flight_log.append fl
+                (Pet_obs.Flight.snap fenc ~now:(Obs.now ()) (Obs.snapshot ()))
+            with Sys_error _ -> ()
+        done)
+      ()
+  in
+  let t_off2 = ref 0. and t_flight = ref 0. in
+  let run_flight enabled tag =
+    if enabled then Obs.enable () else Obs.disable ();
+    Obs.reset ();
+    Pet_obs.Span.reset ();
+    let _, rps, _ = workload tag in
+    if enabled then t_flight := !t_flight +. (1. /. rps)
+    else t_off2 := !t_off2 +. (1. /. rps)
+  in
+  let flight_blocks = 2 in
+  for _ = 1 to flight_blocks do
+    run_flight true "H-cov (obs+flight on)";
+    run_flight false "H-cov (obs off)";
+    run_flight false "H-cov (obs off)";
+    run_flight true "H-cov (obs+flight on)"
+  done;
+  Atomic.set stop true;
+  Thread.join ticker;
+  let flight_records, flight_bytes = Pet_store.Flight_log.stats fl in
+  Pet_store.Flight_log.close fl;
+  ignore
+    (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote flight_dir)));
+  Obs.disable ();
+  let rps_off2 = float_of_int (2 * flight_blocks) /. !t_off2 in
+  let rps_flight = float_of_int (2 * flight_blocks) /. !t_flight in
+  let flight_overhead = 1. -. (rps_flight /. rps_off2) in
+  Fmt.pr
+    "obs+flight overhead on H-cov: %.0f req/s off, %.0f req/s on = %.2f%% \
+     (%d records, %d bytes journaled; acceptance < 6%%)@."
+    rps_off2 rps_flight
+    (100. *. flight_overhead)
+    flight_records flight_bytes;
   write_json "BENCH_obs.json"
     (Pet_pet.Json.Obj
        [
@@ -1152,6 +1214,14 @@ let obs () =
          ("requests_per_s_disabled", Pet_pet.Json.Float rps_off);
          ("requests_per_s_enabled", Pet_pet.Json.Float rps_on);
          ("overhead", Pet_pet.Json.Float overhead);
+         ( "flight",
+           Pet_pet.Json.Obj
+             [
+               ("requests_per_s_flight", Pet_pet.Json.Float rps_flight);
+               ("flight_overhead", Pet_pet.Json.Float flight_overhead);
+               ("records", Pet_pet.Json.Int flight_records);
+               ("bytes", Pet_pet.Json.Int flight_bytes);
+             ] );
          ("metrics", payload);
        ])
 

@@ -772,6 +772,24 @@ module Log = Pet_obs.Log
 let fstr k v = (k, Pet_obs.Trace.String v)
 let fint k v = (k, Pet_obs.Trace.Int v)
 
+let contains_sub s sub =
+  let n = String.length sub and m = String.length s in
+  let rec at i = i + n <= m && (String.sub s i n = sub || at (i + 1)) in
+  n = 0 || at 0
+
+(* Tee structured log lines into a flight journal (alongside the
+   default standard-error sink); returns the encoder so the exit path
+   can reuse its sequence numbers. *)
+let flight_log_tee fl =
+  let enc = Pet_obs.Flight.create () in
+  Log.set_sink (fun line ->
+      prerr_endline line;
+      try
+        Pet_store.Flight_log.append fl
+          (Pet_obs.Flight.log_event enc ~now:(Pet_obs.Metrics.now ()) line)
+      with Sys_error _ -> ());
+  enc
+
 let serve_cmd =
   let serve_backend_arg =
     let doc =
@@ -907,9 +925,19 @@ let serve_cmd =
     in
     Arg.(value & opt (some string) None & info [ "port-file" ] ~docv:"FILE" ~doc)
   in
+  let flight_arg =
+    let doc =
+      "Attach the flight recorder: append identifier-only telemetry \
+       records (delta-encoded metric snapshots, SLO burn rates, slow-trace \
+       headers, log events, lifecycle marks) to $(b,flight-NNNNNN.log) \
+       segments in the $(b,--data-dir) directory — flushed, never fsynced, \
+       torn-tail tolerant. Read them back with $(b,pet flight report)."
+    in
+    Arg.(value & flag & info [ "flight" ] ~doc)
+  in
   let run backend compiled payoff deterministic cache ttl tenant_quota
       data_dir no_fsync metrics_interval trace_slow log_level log_json stdio
-      tcp domains port_file =
+      tcp domains port_file flight =
     (* An explicit --backend wins; otherwise the compiled path brings
        its own engine backend, and --no-compiled reverts to the
        pre-compiled default. *)
@@ -963,6 +991,11 @@ let serve_cmd =
       `Error (false, "--stdio and --tcp are mutually exclusive")
     else if tcp = None && domains <> 1 then
       `Error (false, "--domains only applies to the TCP server (--tcp)")
+    else if flight && data_dir = None then
+      `Error
+        ( false,
+          "--flight requires --data-dir (the journal lives in the data \
+           directory)" )
     else
     match tcp with
     | Some tcp_port -> (
@@ -1009,13 +1042,33 @@ let serve_cmd =
             k (Some store) recovery.Pet_store.Store.events)
       in
       open_store @@ fun store recovery ->
+      let open_flight k =
+        if not flight then k None
+        else
+          match Pet_store.Flight_log.open_dir (Option.get data_dir) with
+          | Error m ->
+            Option.iter Pet_store.Store.close store;
+            `Error (false, Printf.sprintf "--flight: %s" m)
+          | Ok fl ->
+            ignore (flight_log_tee fl);
+            k (Some fl)
+      in
+      open_flight @@ fun fl ->
+      let close_flight () =
+        match fl with
+        | None -> ()
+        | Some fl ->
+          Log.set_sink prerr_endline;
+          Pet_store.Flight_log.close fl
+      in
       match
         Pet_net.Server.start ~backend ~compiled ~payoff ~capacity:cache ~ttl
           ~tenant_quota ~resolve ?store ~recovery
           ~sweep_interval:(if deterministic then 0. else 1.)
-          ~domains ~port:tcp_port ~now ()
+          ?flight:fl ~domains ~port:tcp_port ~now ()
       with
       | Error m ->
+        close_flight ();
         Option.iter Pet_store.Store.close store;
         `Error (false, m)
       | Ok server ->
@@ -1026,6 +1079,8 @@ let serve_cmd =
           port_file;
         let result = Pet_net.Server.wait server in
         Pet_net.Server.stop server;
+        Pet_net.Server.flight_dump server ~event:"exit";
+        close_flight ();
         Option.iter Pet_store.Store.close store;
         match result with
         | Ok () -> `Ok ()
@@ -1094,15 +1149,76 @@ let serve_cmd =
           k (Some store))
     in
     with_store @@ fun store ->
+    let with_flight k =
+      if not flight then k None
+      else
+        match Pet_store.Flight_log.open_dir (Option.get data_dir) with
+        | Error m ->
+          Option.iter Pet_store.Store.close store;
+          `Error (false, Printf.sprintf "--flight: %s" m)
+        | Ok fl ->
+          let enc = flight_log_tee fl in
+          Pet_store.Flight_log.append fl
+            (Pet_obs.Flight.meta enc ~now:(Pet_obs.Metrics.now ())
+               ~event:"start"
+               [ ("mode", "stdio") ]);
+          k (Some (fl, enc))
+    in
+    with_flight @@ fun fl ->
+    (* One snapshot into the journal: service gauges and SLO reports are
+       synced first (the SLO clock is the service clock — the same
+       timeline [Slo.record] stamped), the record itself is stamped with
+       the obs clock like every other flight record. *)
+    let flight_snap () =
+      match fl with
+      | None -> ()
+      | Some (fl, enc) -> (
+        try
+          let service_now = now () in
+          Pet_server.Service.sync_gauges service;
+          Pet_obs.Slo.sync Pet_server.Service.slo ~now:service_now;
+          Pet_store.Flight_log.append fl
+            (Pet_obs.Flight.snap enc
+               ?wal:(Option.map Pet_store.Store.position store)
+               ~now:(Pet_obs.Metrics.now ())
+               (Pet_obs.Metrics.snapshot ()))
+        with Sys_error _ -> ())
+    in
+    (* A watch line takes over the stream: the same request line is
+       re-dispatched once per frame (each a full snapshot — clients diff
+       consecutive frames), so the response bytes for everything else
+       are untouched. [frames = 0] streams until the driver closes
+       stdin, exactly like the TCP transport. *)
+    let watch_params line =
+      if contains_sub line "\"watch\"" then
+        match Pet_server.Proto.decode line with
+        | Ok { request = Pet_server.Proto.Watch { interval; frames }; _ } ->
+          Some (interval, frames)
+        | _ -> None
+      else None
+    in
     let handled = ref 0 in
     let rec loop () =
       match In_channel.input_line stdin with
       | None -> ()
       | Some line ->
         if String.trim line <> "" then begin
-          print_endline (Pet_server.Service.handle_line service line);
-          flush stdout;
+          (match watch_params line with
+          | Some (interval, frames) ->
+            let rec stream i =
+              if frames = 0 || i < frames then begin
+                print_endline (Pet_server.Service.handle_line service line);
+                flush stdout;
+                if interval > 0. then Unix.sleepf interval;
+                stream (i + 1)
+              end
+            in
+            stream 0
+          | None ->
+            print_endline (Pet_server.Service.handle_line service line);
+            flush stdout);
           incr handled;
+          if Option.is_some fl && !handled mod 32 = 0 then flight_snap ();
           if metrics_interval > 0 && !handled mod metrics_interval = 0 then begin
             Pet_server.Service.sync_gauges service;
             Log.info "metrics.snapshot"
@@ -1128,6 +1244,21 @@ let serve_cmd =
         loop ()
     in
     loop ();
+    (match fl with
+    | None -> ()
+    | Some (flj, enc) ->
+      flight_snap ();
+      (try
+         List.iter
+           (Pet_store.Flight_log.append flj)
+           (Pet_obs.Flight.slow_traces enc ~now:(Pet_obs.Metrics.now ())
+              (Pet_obs.Trace.slow ()));
+         Pet_store.Flight_log.append flj
+           (Pet_obs.Flight.meta enc ~now:(Pet_obs.Metrics.now ()) ~event:"exit"
+              [])
+       with Sys_error _ -> ());
+      Log.set_sink prerr_endline;
+      Pet_store.Flight_log.close flj);
     Pet_server.Service.shutdown service;
     Option.iter Pet_store.Store.close store;
     `Ok ()
@@ -1136,7 +1267,8 @@ let serve_cmd =
     "Run the collection service: read one JSON request per line from \
      standard input, write one JSON response per line to standard output \
      (methods: publish_rules, update_rules, new_session, get_report, \
-     choose_option, submit_form, audit, tenant, stats, metrics, trace). \
+     choose_option, submit_form, audit, tenant, stats, metrics, trace, \
+     watch). \
      Compiled rule engines are cached across \
      sessions; sessions expire after $(b,--ttl) idle seconds; raw \
      valuations are erased the moment an option is chosen. Forms published \
@@ -1159,7 +1291,7 @@ let serve_cmd =
        $ deterministic_arg $ cache_arg $ ttl_arg $ tenant_quota_arg
        $ data_dir_arg $ no_fsync_arg $ metrics_interval_arg $ trace_slow_arg
        $ log_level_arg $ log_json_arg $ stdio_arg $ tcp_arg $ domains_arg
-       $ port_file_arg))
+       $ port_file_arg $ flight_arg))
 
 (* --- ping ------------------------------------------------------------------------- *)
 
@@ -1855,6 +1987,664 @@ let trace_cmd =
         (const run $ source_arg $ backend_arg $ payoff_arg $ chrome_arg
        $ deterministic_arg))
 
+(* --- flight ----------------------------------------------------------------------- *)
+
+(* Shared plumbing for the flight-journal reader and the live watch
+   client: both reconstruct rates and quantiles from the same record
+   shape (Pet_obs.Flight), one from disk deltas, one from full frames. *)
+
+(* Parse an instrument name back into family and labels — the inverse
+   of Metrics.render for the identifier-only label values this
+   codebase emits. *)
+let metric_labels name =
+  match String.index_opt name '{' with
+  | None -> (name, [])
+  | Some i -> (
+    let family = String.sub name 0 i in
+    let n = String.length name in
+    let labels = ref [] in
+    let j = ref (i + 1) in
+    try
+      while !j < n && name.[!j] <> '}' do
+        let eq = String.index_from name !j '=' in
+        let key = String.sub name !j (eq - !j) in
+        let buf = Buffer.create 8 in
+        let p = ref (eq + 2) in
+        while name.[!p] <> '"' do
+          if name.[!p] = '\\' && !p + 1 < n then begin
+            Buffer.add_char buf name.[!p + 1];
+            p := !p + 2
+          end
+          else begin
+            Buffer.add_char buf name.[!p];
+            incr p
+          end
+        done;
+        labels := (key, Buffer.contents buf) :: !labels;
+        j := !p + 1;
+        if !j < n && name.[!j] = ',' then incr j
+      done;
+      (family, List.rev !labels)
+    with Not_found | Invalid_argument _ -> (family, List.rev !labels))
+
+let le_value s =
+  if s = "+Inf" then infinity
+  else match float_of_string_opt s with Some f -> f | None -> infinity
+
+(* Bucket-granular quantile over per-bucket counts (not cumulative):
+   the upper bound of the bucket where the quantile falls, clamped to
+   the largest finite bound when it lands in +Inf. *)
+let quantile_of_buckets buckets total q =
+  if total <= 0 then 0.
+  else begin
+    let sorted = List.sort (fun (a, _) (b, _) -> compare a b) buckets in
+    let target = q *. float_of_int total in
+    let last_finite =
+      List.fold_left
+        (fun acc (b, _) -> if b < infinity then b else acc)
+        0. sorted
+    in
+    let rec go cum = function
+      | [] -> last_finite
+      | (b, n) :: rest ->
+        let cum = cum + n in
+        if float_of_int cum >= target then
+          if b = infinity then last_finite else b
+        else go cum rest
+    in
+    go 0 sorted
+  end
+
+let json_num = function
+  | Json.Int i -> float_of_int i
+  | Json.Float f -> f
+  | _ -> 0.
+
+let json_obj = function Json.Obj kvs -> kvs | _ -> []
+
+let flight_report_cmd =
+  let dir_arg =
+    let doc = "The data directory holding the flight-NNNNNN.log segments." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR" ~doc)
+  in
+  let json_arg =
+    let doc = "Emit the reconstruction as one JSON object." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let run dir json =
+    (* Accumulators over the whole journal: counter increments sum to
+       totals, gauges keep last-seen and maximum (burn-rate peaks),
+       histogram bucket deltas sum back to cumulative distributions. *)
+    let counters = Hashtbl.create 64 in
+    let gauges = Hashtbl.create 64 in
+    let hists = Hashtbl.create 32 in
+    let kinds = Hashtbl.create 4 in
+    let metas = ref [] in
+    let wal_last = ref None in
+    let tmin = ref infinity and tmax = ref neg_infinity in
+    let records = ref 0 in
+    let bad = ref 0 in
+    let add_record (r : Pet_store.Flight_log.record) =
+      match Json.parse r.Pet_store.Flight_log.payload with
+      | Error _ -> incr bad
+      | Ok payload ->
+        incr records;
+        let t = Option.fold ~none:0. ~some:json_num (Json.member "t" payload) in
+        if t < !tmin then tmin := t;
+        if t > !tmax then tmax := t;
+        let kind =
+          match Json.member "kind" payload with
+          | Some (Json.String k) -> k
+          | _ -> "?"
+        in
+        Hashtbl.replace kinds kind
+          (1 + Option.value ~default:0 (Hashtbl.find_opt kinds kind));
+        (match Json.member "event" payload with
+        | Some (Json.String e) when kind = "meta" -> metas := (e, t) :: !metas
+        | _ -> ());
+        (match Json.member "wal" payload with
+        | Some w -> (
+          match (Json.member "file" w, Json.member "off" w) with
+          | Some (Json.String file), Some off ->
+            wal_last := Some (file, int_of_float (json_num off), t)
+          | _ -> ())
+        | None -> ());
+        List.iter
+          (fun (name, v) ->
+            Hashtbl.replace counters name
+              (int_of_float (json_num v)
+              + Option.value ~default:0 (Hashtbl.find_opt counters name)))
+          (Option.fold ~none:[] ~some:json_obj (Json.member "counters" payload));
+        List.iter
+          (fun (name, v) ->
+            let v = json_num v in
+            let _, prev_max =
+              Option.value ~default:(0., neg_infinity)
+                (Hashtbl.find_opt gauges name)
+            in
+            Hashtbl.replace gauges name (v, Float.max v prev_max))
+          (Option.fold ~none:[] ~some:json_obj (Json.member "gauges" payload));
+        List.iter
+          (fun (name, h) ->
+            let n = Option.fold ~none:0. ~some:json_num (Json.member "n" h) in
+            let buckets =
+              Option.fold ~none:[] ~some:json_obj (Json.member "buckets" h)
+            in
+            let hn, hbuckets =
+              match Hashtbl.find_opt hists name with
+              | Some acc -> acc
+              | None ->
+                let acc = (ref 0, Hashtbl.create 8) in
+                Hashtbl.add hists name acc;
+                acc
+            in
+            hn := !hn + int_of_float n;
+            List.iter
+              (fun (le, c) ->
+                let b = le_value le in
+                Hashtbl.replace hbuckets b
+                  (int_of_float (json_num c)
+                  + Option.value ~default:0 (Hashtbl.find_opt hbuckets b)))
+              buckets)
+          (Option.fold ~none:[] ~some:json_obj (Json.member "hist" payload))
+    in
+    match Pet_store.Flight_log.fold dir ~init:() (fun () r -> add_record r) with
+    | Error m -> `Error (false, Printf.sprintf "%s: %s" dir m)
+    | Ok ((), damage) ->
+      (* Per-method and per-tenant latency distributions, reconstructed
+         from the summed bucket deltas. *)
+      let latency_rows family label =
+        Hashtbl.fold
+          (fun name (hn, hbuckets) acc ->
+            let fam, labels = metric_labels name in
+            if fam = family then
+              match List.assoc_opt label labels with
+              | Some key ->
+                let buckets =
+                  Hashtbl.fold (fun b c l -> (b, c) :: l) hbuckets []
+                in
+                (key, !hn, quantile_of_buckets buckets !hn 0.99) :: acc
+              | None -> acc
+            else acc)
+          hists []
+        |> List.sort compare
+      in
+      let method_rows = latency_rows "pet_server_request_seconds" "method" in
+      let tenant_rows = latency_rows "pet_tenant_request_seconds" "tenant" in
+      (* SLO series: one row per key from the pet_slo_* gauge family,
+         last value plus the observed peak for the burn rates. *)
+      let slo_keys = Hashtbl.create 8 in
+      Hashtbl.iter
+        (fun name _ ->
+          let fam, labels = metric_labels name in
+          if String.length fam >= 8 && String.sub fam 0 8 = "pet_slo_" then
+            match List.assoc_opt "slo" labels with
+            | Some key -> Hashtbl.replace slo_keys key ()
+            | None -> ())
+        gauges;
+      let slo_gauge key family =
+        Option.value ~default:(0., 0.)
+          (Hashtbl.find_opt gauges
+             (Printf.sprintf "%s{slo=\"%s\"}" family key))
+      in
+      let slo_rows =
+        Hashtbl.fold (fun key () acc -> key :: acc) slo_keys []
+        |> List.sort compare
+        |> List.map (fun key ->
+               let requests, _ = slo_gauge key "pet_slo_window_requests" in
+               let p99, _ = slo_gauge key "pet_slo_p99_seconds" in
+               let err, _ = slo_gauge key "pet_slo_error_ratio" in
+               let eb, eb_max = slo_gauge key "pet_slo_error_burn" in
+               let lb, lb_max = slo_gauge key "pet_slo_latency_burn" in
+               let _, breached = slo_gauge key "pet_slo_breached" in
+               (key, requests, p99, err, eb, eb_max, lb, lb_max, breached > 0.))
+      in
+      let kind k = Option.value ~default:0 (Hashtbl.find_opt kinds k) in
+      if json then begin
+        let fnum v = if Float.is_integer v then Json.Int (int_of_float v) else Json.Float v in
+        let payload =
+          Json.Obj
+            [
+              ("dir", Json.String dir);
+              ("records", Json.Int !records);
+              ( "kinds",
+                Json.Obj
+                  (List.map
+                     (fun k -> (k, Json.Int (kind k)))
+                     [ "snap"; "log"; "trace"; "meta" ]) );
+              ("unparsed", Json.Int !bad);
+              ("t_min", fnum (if !records = 0 then 0. else !tmin));
+              ("t_max", fnum (if !records = 0 then 0. else !tmax));
+              ( "damage",
+                Json.List
+                  (List.map
+                     (fun (d : Pet_store.Flight_log.damage) ->
+                       Json.Obj
+                         [
+                           ("file", Json.String d.Pet_store.Flight_log.dfile);
+                           ("offset", Json.Int d.Pet_store.Flight_log.doffset);
+                           ("reason", Json.String d.Pet_store.Flight_log.dreason);
+                         ])
+                     damage) );
+              ( "wal",
+                match !wal_last with
+                | None -> Json.Null
+                | Some (file, off, t) ->
+                  Json.Obj
+                    [
+                      ("file", Json.String file);
+                      ("off", Json.Int off);
+                      ("t", fnum t);
+                    ] );
+              ( "lifecycle",
+                Json.List
+                  (List.rev_map
+                     (fun (e, t) ->
+                       Json.Obj [ ("event", Json.String e); ("t", fnum t) ])
+                     !metas) );
+              ( "methods",
+                Json.List
+                  (List.map
+                     (fun (m, n, p99) ->
+                       Json.Obj
+                         [
+                           ("method", Json.String m);
+                           ("requests", Json.Int n);
+                           ("p99_s", Json.Float p99);
+                         ])
+                     method_rows) );
+              ( "tenants",
+                Json.List
+                  (List.map
+                     (fun (tn, n, p99) ->
+                       Json.Obj
+                         [
+                           ("tenant", Json.String tn);
+                           ("requests", Json.Int n);
+                           ("p99_s", Json.Float p99);
+                         ])
+                     tenant_rows) );
+              ( "slo",
+                Json.List
+                  (List.map
+                     (fun (key, requests, p99, err, eb, eb_max, lb, lb_max, br) ->
+                       Json.Obj
+                         [
+                           ("key", Json.String key);
+                           ("window_requests", Json.Int (int_of_float requests));
+                           ("p99_s", Json.Float p99);
+                           ("error_ratio", Json.Float err);
+                           ("error_burn", Json.Float eb);
+                           ("error_burn_max", Json.Float eb_max);
+                           ("latency_burn", Json.Float lb);
+                           ("latency_burn_max", Json.Float lb_max);
+                           ("breached", Json.Bool br);
+                         ])
+                     slo_rows) );
+            ]
+        in
+        print_endline (Json.to_string payload);
+        `Ok ()
+      end
+      else begin
+        Fmt.pr "flight journal %s: %d records (%d snap, %d log, %d trace, %d \
+                meta)@."
+          dir !records (kind "snap") (kind "log") (kind "trace") (kind "meta");
+        if !records > 0 then Fmt.pr "  time range t=%g..%g@." !tmin !tmax;
+        if !bad > 0 then Fmt.pr "  unparsed records: %d@." !bad;
+        (match damage with
+        | [] -> ()
+        | damage ->
+          List.iter
+            (fun (d : Pet_store.Flight_log.damage) ->
+              Fmt.pr "  damage %s:%d %s@." d.Pet_store.Flight_log.dfile
+                d.Pet_store.Flight_log.doffset d.Pet_store.Flight_log.dreason)
+            damage);
+        List.iter
+          (fun (e, t) -> Fmt.pr "  lifecycle %s at t=%g@." e t)
+          (List.rev !metas);
+        (match !wal_last with
+        | None -> ()
+        | Some (file, off, t) ->
+          Fmt.pr
+            "  wal frontier %s:%d at t=%g (byte offsets as in pet audit \
+             --json)@."
+            file off t);
+        if method_rows <> [] then begin
+          Fmt.pr "per-method latency (reconstructed):@.";
+          List.iter
+            (fun (m, n, p99) ->
+              Fmt.pr "  %-16s %8d requests  p99 <= %gs@." m n p99)
+            method_rows
+        end;
+        if tenant_rows <> [] then begin
+          Fmt.pr "per-tenant latency (reconstructed):@.";
+          List.iter
+            (fun (tn, n, p99) ->
+              Fmt.pr "  %-16s %8d requests  p99 <= %gs@." tn n p99)
+            tenant_rows
+        end;
+        if slo_rows <> [] then begin
+          Fmt.pr "slo (last window seen / peak burn):@.";
+          List.iter
+            (fun (key, requests, p99, err, eb, eb_max, lb, lb_max, br) ->
+              Fmt.pr
+                "  %-24s %6d req  p99=%gs err=%.4f  burn err=%.2f (peak \
+                 %.2f) lat=%.2f (peak %.2f)%s@."
+                key (int_of_float requests) p99 err eb eb_max lb lb_max
+                (if br then "  BREACHED" else ""))
+            slo_rows
+        end;
+        `Ok ()
+      end
+  in
+  let doc =
+    "Reconstruct the story a flight journal tells: record counts and \
+     damage, lifecycle marks, per-method and per-tenant latency \
+     distributions summed back from the snapshot deltas, SLO burn-rate \
+     series, and the last write-ahead-log frontier stamp (the same byte \
+     offsets $(b,pet audit --json) and $(b,pet store inspect) use)."
+  in
+  Cmd.v (Cmd.info "report" ~doc) Term.(ret (const run $ dir_arg $ json_arg))
+
+let flight_replay_cmd =
+  let dir_arg =
+    let doc = "The data directory holding the flight-NNNNNN.log segments." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR" ~doc)
+  in
+  let run dir =
+    match
+      Pet_store.Flight_log.fold dir ~init:() (fun () r ->
+          Printf.printf "%s:%d %s\n" r.Pet_store.Flight_log.file
+            r.Pet_store.Flight_log.offset r.Pet_store.Flight_log.payload)
+    with
+    | Error m -> `Error (false, Printf.sprintf "%s: %s" dir m)
+    | Ok ((), damage) ->
+      List.iter
+        (fun (d : Pet_store.Flight_log.damage) ->
+          Printf.eprintf "damage %s:%d %s\n" d.Pet_store.Flight_log.dfile
+            d.Pet_store.Flight_log.doffset d.Pet_store.Flight_log.dreason)
+        damage;
+      `Ok ()
+  in
+  let doc =
+    "Print every readable flight record in order, prefixed with its \
+     $(b,file:offset) coordinate (torn tails are truncated silently, \
+     mid-journal damage goes to standard error and scanning continues)."
+  in
+  Cmd.v (Cmd.info "replay" ~doc) Term.(ret (const run $ dir_arg))
+
+let flight_cmd =
+  let doc =
+    "Read the flight-recorder journal written by $(b,pet serve --flight): \
+     delta-encoded metric snapshots, SLO burn rates, slow-trace headers, \
+     log events and lifecycle marks, identifier-only by construction."
+  in
+  Cmd.group (Cmd.info "flight" ~doc) [ flight_report_cmd; flight_replay_cmd ]
+
+(* --- top -------------------------------------------------------------------------- *)
+
+let top_cmd =
+  let addr_arg =
+    let doc = "Server address, e.g. 127.0.0.1:7464." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"HOST:PORT" ~doc)
+  in
+  let interval_arg =
+    let doc = "Seconds between frames." in
+    Arg.(value & opt float 1.0 & info [ "interval" ] ~docv:"SECONDS" ~doc)
+  in
+  let frames_arg =
+    let doc = "Stop after $(docv) frames (0 streams until interrupted)." in
+    Arg.(value & opt int 0 & info [ "frames" ] ~docv:"N" ~doc)
+  in
+  let run addr interval frames =
+    let split =
+      match String.rindex_opt addr ':' with
+      | None -> None
+      | Some i ->
+        let host = String.sub addr 0 i in
+        let host =
+          if host = "" || host = "localhost" then "127.0.0.1" else host
+        in
+        Option.map
+          (fun port -> (host, port))
+          (int_of_string_opt
+             (String.sub addr (i + 1) (String.length addr - i - 1)))
+    in
+    match split with
+    | None -> `Error (false, Printf.sprintf "%s: expected HOST:PORT" addr)
+    | Some (host, port) -> (
+      match
+        let inet =
+          try Unix.inet_addr_of_string host
+          with Failure _ -> (Unix.gethostbyname host).h_addr_list.(0)
+        in
+        let fd = Unix.socket ~cloexec:true PF_INET SOCK_STREAM 0 in
+        (try Unix.connect fd (ADDR_INET (inet, port))
+         with e -> Unix.close fd; raise e);
+        fd
+      with
+      | exception Unix.Unix_error (e, _, _) ->
+        `Error
+          ( false,
+            Printf.sprintf "cannot connect to %s:%d: %s" host port
+              (Unix.error_message e) )
+      | exception Not_found ->
+        `Error (false, Printf.sprintf "cannot resolve host %s" host)
+      | fd ->
+        let ic = Unix.in_channel_of_descr fd in
+        let oc = Unix.out_channel_of_descr fd in
+        output_string oc
+          (Printf.sprintf
+             "{\"pet\":1,\"id\":1,\"method\":\"watch\",\"params\":{\"interval\":%g,\"frames\":%d}}\n"
+             interval frames);
+        flush oc;
+        (* Each frame is a full snapshot (the server starts a fresh
+           delta encoder per frame), so rates are the difference of
+           consecutive frames over their timestamps. *)
+        let tbl kvs = List.map (fun (k, v) -> (k, v)) kvs in
+        let parse_frame line =
+          match Json.parse line with
+          | Error _ -> None
+          | Ok response -> (
+            match Option.bind (Json.member "ok" response) (Json.member "watch") with
+            | None -> None
+            | Some w ->
+              let t =
+                Option.fold ~none:0. ~some:json_num (Json.member "t" w)
+              in
+              let counters =
+                List.map
+                  (fun (k, v) -> (k, json_num v))
+                  (Option.fold ~none:[] ~some:json_obj
+                     (Json.member "counters" w))
+              in
+              let gauges =
+                List.map
+                  (fun (k, v) -> (k, json_num v))
+                  (Option.fold ~none:[] ~some:json_obj
+                     (Json.member "gauges" w))
+              in
+              let hists =
+                List.map
+                  (fun (k, h) ->
+                    let n =
+                      Option.fold ~none:0. ~some:json_num (Json.member "n" h)
+                    in
+                    let buckets =
+                      List.map
+                        (fun (le, c) ->
+                          (le_value le, int_of_float (json_num c)))
+                        (Option.fold ~none:[] ~some:json_obj
+                           (Json.member "buckets" h))
+                    in
+                    (k, (n, buckets)))
+                  (Option.fold ~none:[] ~some:json_obj (Json.member "hist" w))
+              in
+              Some (t, tbl counters, tbl gauges, hists))
+        in
+        let lookup table name =
+          Option.value ~default:0. (List.assoc_opt name table)
+        in
+        let render frame_no prev (t, counters, gauges, hists) =
+          if Unix.isatty Unix.stdout then print_string "\027[H\027[2J";
+          let dt =
+            match prev with
+            | Some (pt, _, _, _) when t -. pt > 0. -> Some (t -. pt)
+            | _ -> None
+          in
+          let rate cur_v prev_v =
+            match (dt, prev) with
+            | Some dt, Some _ -> Printf.sprintf "%8.1f/s" ((cur_v -. prev_v) /. dt)
+            | _ -> "       --"
+          in
+          let prev_counters =
+            match prev with Some (_, c, _, _) -> c | None -> []
+          in
+          let prev_hists =
+            match prev with Some (_, _, _, h) -> h | None -> []
+          in
+          let total = lookup counters "pet_server_requests_total" in
+          let errors = lookup counters "pet_server_errors_total" in
+          Fmt.pr "pet top %s — frame %d, t=%g@." addr frame_no t;
+          Fmt.pr "requests %8.0f %s   errors %8.0f %s@." total
+            (rate total (lookup prev_counters "pet_server_requests_total"))
+            errors
+            (rate errors (lookup prev_counters "pet_server_errors_total"));
+          Fmt.pr
+            "sessions active %g   commit queue %g   tenants %g   uptime %gs@."
+            (lookup gauges "pet_sessions_active")
+            (lookup gauges "pet_net_commit_queue_depth")
+            (lookup gauges "pet_tenants")
+            (lookup gauges "pet_process_uptime_seconds");
+          (* Per-method rows from the request-latency histograms: the
+             frame-to-frame n delta is the rate, the bucket deltas give
+             the interval p99 (full-frame p99 on the first frame). *)
+          let methods =
+            List.filter_map
+              (fun (name, (n, buckets)) ->
+                let fam, labels = metric_labels name in
+                if fam = "pet_server_request_seconds" then
+                  Option.map
+                    (fun m -> (m, name, n, buckets))
+                    (List.assoc_opt "method" labels)
+                else None)
+              hists
+            |> List.sort compare
+          in
+          if methods <> [] then begin
+            Fmt.pr "per-method:@.";
+            List.iter
+              (fun (m, name, n, buckets) ->
+                let pn, pbuckets =
+                  match List.assoc_opt name prev_hists with
+                  | Some (pn, pb) -> (pn, pb)
+                  | None -> (0., [])
+                in
+                let delta_buckets =
+                  List.map
+                    (fun (b, c) ->
+                      ( b,
+                        c
+                        - Option.value ~default:0 (List.assoc_opt b pbuckets)
+                      ))
+                    buckets
+                in
+                let dn = int_of_float (n -. pn) in
+                let p99 =
+                  if dt <> None && dn > 0 then
+                    quantile_of_buckets delta_buckets dn 0.99
+                  else
+                    quantile_of_buckets buckets (int_of_float n) 0.99
+                in
+                Fmt.pr "  %-16s %8.0f req %s  p99 <= %gs@." m n
+                  (rate n pn) p99)
+              methods
+          end;
+          (* Per-tenant and SLO rows ride the same gauge/counter
+             families the Prometheus export serves. *)
+          let tenants =
+            List.filter_map
+              (fun (name, v) ->
+                let fam, labels = metric_labels name in
+                if fam = "pet_tenant_requests_total" then
+                  Option.map
+                    (fun tn -> (tn, name, v))
+                    (List.assoc_opt "tenant" labels)
+                else None)
+              counters
+            |> List.sort compare
+          in
+          if tenants <> [] then begin
+            Fmt.pr "per-tenant:@.";
+            List.iter
+              (fun (tn, name, v) ->
+                Fmt.pr "  %-16s %8.0f req %s@." tn v
+                  (rate v (lookup prev_counters name)))
+              tenants
+          end;
+          let slos =
+            List.filter_map
+              (fun (name, _) ->
+                let fam, labels = metric_labels name in
+                if fam = "pet_slo_window_requests" then
+                  List.assoc_opt "slo" labels
+                else None)
+              gauges
+            |> List.sort_uniq compare
+          in
+          if slos <> [] then begin
+            Fmt.pr "slo:@.";
+            List.iter
+              (fun key ->
+                let g family =
+                  lookup gauges (Printf.sprintf "%s{slo=\"%s\"}" family key)
+                in
+                Fmt.pr
+                  "  %-24s %6.0f req  p99=%gs err=%.4f  burn lat=%.2f \
+                   err=%.2f%s@."
+                  key
+                  (g "pet_slo_window_requests")
+                  (g "pet_slo_p99_seconds")
+                  (g "pet_slo_error_ratio")
+                  (g "pet_slo_latency_burn")
+                  (g "pet_slo_error_burn")
+                  (if g "pet_slo_breached" > 0. then "  BREACHED" else ""))
+              slos
+          end
+        in
+        let rec pump frame_no prev =
+          if frames > 0 && frame_no > frames then `Ok ()
+          else
+            match In_channel.input_line ic with
+            | None -> if frames = 0 then `Ok () else `Error (false, "server closed the connection")
+            | Some line -> (
+              match parse_frame line with
+              | None ->
+                `Error
+                  (false, Printf.sprintf "unexpected response: %s" line)
+              | Some frame ->
+                render frame_no prev frame;
+                pump (frame_no + 1) (Some frame))
+        in
+        let result =
+          try pump 1 None with
+          | Sys_error m -> `Error (false, m)
+          | End_of_file -> `Error (false, "server closed the connection")
+        in
+        close_out_noerr oc;
+        result)
+  in
+  let doc =
+    "Live operations view over a running $(b,pet serve --tcp) server: \
+     subscribe to the $(b,watch) protocol method and render request and \
+     error rates, per-method latency quantiles, per-tenant rates, queue \
+     depths and SLO burn rates, refreshed every $(b,--interval) seconds."
+  in
+  Cmd.v
+    (Cmd.info "top" ~doc)
+    Term.(ret (const run $ addr_arg $ interval_arg $ frames_arg))
+
 (* --- bench diff -------------------------------------------------------------------- *)
 
 let bench_cmd =
@@ -1936,5 +2726,7 @@ let () =
             store_cmd;
             profile_cmd;
             trace_cmd;
+            flight_cmd;
+            top_cmd;
             bench_cmd;
           ]))

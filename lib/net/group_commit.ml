@@ -1,5 +1,6 @@
 module Persist = Pet_server.Persist
 module Store = Pet_store.Store
+module Flight_log = Pet_store.Flight_log
 module Obs = Pet_obs.Metrics
 
 type outcome = Pending | Done | Failed of string
@@ -24,6 +25,11 @@ type t = {
      [batch_target], waking a writer that is mid-gather in [select] *)
   pipe_r : Unix.file_descr;
   pipe_w : Unix.file_descr;
+  (* flight-recorder side channel: already-rendered telemetry records
+     ride the same writer domain, appended (flush, no fsync) after the
+     WAL batch they followed — submitters never block on telemetry *)
+  flight : Flight_log.t option;
+  fq : string Queue.t;
   mutable stopping : bool;
   mutable batches : int;
   mutable events_total : int;
@@ -79,40 +85,58 @@ let gather t =
 
 let rec writer_loop t =
   Mutex.lock t.m;
-  while Queue.is_empty t.queue && not t.stopping do
+  while Queue.is_empty t.queue && Queue.is_empty t.fq && not t.stopping do
     Condition.wait t.c t.m
   done;
-  if Queue.is_empty t.queue then Mutex.unlock t.m (* stopping, drained *)
+  if Queue.is_empty t.queue && Queue.is_empty t.fq then
+    Mutex.unlock t.m (* stopping, drained *)
   else begin
-    if t.batch_target > 1 then gather t;
-    let jobs = List.of_seq (Queue.to_seq t.queue) in
-    Queue.clear t.queue;
-    Obs.set_gauge obs_queue_depth 0.;
-    Mutex.unlock t.m;
-    let events = List.concat_map (fun (job : job) -> job.events) jobs in
-    let outcome =
-      match Store.append_batch t.store events with
-      | () -> Done
-      | exception Sys_error m -> Failed m
+    (* WAL jobs first — durability ahead of telemetry. *)
+    let jobs =
+      if Queue.is_empty t.queue then []
+      else begin
+        if t.batch_target > 1 then gather t;
+        let jobs = List.of_seq (Queue.to_seq t.queue) in
+        Queue.clear t.queue;
+        Obs.set_gauge obs_queue_depth 0.;
+        jobs
+      end
     in
-    let n = List.length events in
-    t.batches <- t.batches + 1;
-    t.events_total <- t.events_total + n;
-    if n > t.max_batch then t.max_batch <- n;
-    Obs.incr obs_batches;
-    Obs.add obs_events n;
-    Obs.set_gauge obs_max_batch (float_of_int t.max_batch);
-    List.iter
-      (fun job ->
-        Mutex.lock job.jm;
-        job.outcome <- outcome;
-        Condition.signal job.jc;
-        Mutex.unlock job.jm)
-      jobs;
+    let records = List.of_seq (Queue.to_seq t.fq) in
+    Queue.clear t.fq;
+    Mutex.unlock t.m;
+    (match jobs with
+    | [] -> ()
+    | jobs ->
+      let events = List.concat_map (fun (job : job) -> job.events) jobs in
+      let outcome =
+        match Store.append_batch t.store events with
+        | () -> Done
+        | exception Sys_error m -> Failed m
+      in
+      let n = List.length events in
+      t.batches <- t.batches + 1;
+      t.events_total <- t.events_total + n;
+      if n > t.max_batch then t.max_batch <- n;
+      Obs.incr obs_batches;
+      Obs.add obs_events n;
+      Obs.set_gauge obs_max_batch (float_of_int t.max_batch);
+      List.iter
+        (fun job ->
+          Mutex.lock job.jm;
+          job.outcome <- outcome;
+          Condition.signal job.jc;
+          Mutex.unlock job.jm)
+        jobs);
+    (match (t.flight, records) with
+    | Some fl, _ :: _ -> (
+      (* A failing telemetry disk must not take the WAL writer down. *)
+      try Flight_log.append_batch fl records with Sys_error _ -> ())
+    | _ -> ());
     writer_loop t
   end
 
-let start ?(batch_target = 1) ?(gather_s = 2e-4) store =
+let start ?(batch_target = 1) ?(gather_s = 2e-4) ?flight store =
   let pipe_r, pipe_w = Unix.pipe ~cloexec:true () in
   Unix.set_nonblock pipe_r;
   let t =
@@ -125,6 +149,8 @@ let start ?(batch_target = 1) ?(gather_s = 2e-4) store =
       gather_s;
       pipe_r;
       pipe_w;
+      flight;
+      fq = Queue.create ();
       stopping = false;
       batches = 0;
       events_total = 0;
@@ -166,6 +192,14 @@ let submit t events =
     (match outcome with
     | Done | Pending -> ()
     | Failed m -> raise (Sys_error m))
+
+let submit_flight t record =
+  Mutex.lock t.m;
+  if (not t.stopping) && t.flight <> None then begin
+    Queue.add record t.fq;
+    if Queue.length t.fq = 1 then Condition.signal t.c
+  end;
+  Mutex.unlock t.m
 
 let stop t =
   Mutex.lock t.m;

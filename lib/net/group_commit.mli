@@ -19,7 +19,12 @@ type t
 
 type stats = { batches : int; events : int; max_batch : int }
 
-val start : ?batch_target:int -> ?gather_s:float -> Pet_store.Store.t -> t
+val start :
+  ?batch_target:int ->
+  ?gather_s:float ->
+  ?flight:Pet_store.Flight_log.t ->
+  Pet_store.Store.t ->
+  t
 (** Spawn the writer domain. The store must not be appended to by
     anyone else from then on (reads and compaction stay with the
     caller; the store is not closed by {!stop}).
@@ -31,7 +36,11 @@ val start : ?batch_target:int -> ?gather_s:float -> Pet_store.Store.t -> t
     woken by the submission that completes the batch, or by the
     [gather_s] deadline (default 200µs, a safety bound rarely hit;
     keep it under a couple of fsyncs). On a single core this wait is
-    what lets the other shards' submissions reach the queue at all. *)
+    what lets the other shards' submissions reach the queue at all.
+
+    [flight] attaches the flight-recorder journal: records handed to
+    {!submit_flight} are appended to it by this same writer domain,
+    after the WAL batch they queued behind. *)
 
 val submit : t -> Pet_server.Persist.event list -> unit
 (** Block until the events are durable (flushed and fsynced, in order,
@@ -39,9 +48,16 @@ val submit : t -> Pet_server.Persist.event list -> unit
     Raises [Sys_error] if the disk refused the batch or the writer is
     stopped — the caller must not acknowledge the request. *)
 
+val submit_flight : t -> string -> unit
+(** Enqueue one rendered flight-recorder record for the writer domain
+    to append (flushed, never fsynced — telemetry durability). Never
+    blocks on I/O; silently dropped when no [flight] journal is
+    attached or the writer is stopping, and a failing telemetry disk is
+    swallowed by the writer rather than failing the WAL. *)
+
 val stop : t -> unit
-(** Drain the queue, commit what remains, join the domain. Subsequent
-    {!submit}s raise. *)
+(** Drain both queues (WAL jobs, then pending flight records), commit
+    what remains, join the domain. Subsequent {!submit}s raise. *)
 
 val stats : t -> stats
 (** Lifetime totals: batches committed, events across them, largest

@@ -42,11 +42,17 @@ type conn = {
   cm : Mutex.t;
   cc : Condition.t;
   mutable outstanding : int;
+  mutable closed : bool;
+      (* reader saw EOF: watch streamers must stop producing frames so
+         the outstanding budget can drain and the descriptor close *)
 }
 
 let max_outstanding = 64
 
-type job = Request of { line : string; conn : conn } | Tick
+type job = Request of { line : string; conn : conn } | Tick | Flight
+(* [Flight] asks shard 0 to assemble one flight-recorder snapshot (its
+   own service's gauges are safe to sync there) and hand it to the
+   writer domain. *)
 
 type shard = {
   index : int;
@@ -71,6 +77,10 @@ type t = {
       (* process-wide tenant registry, shared by every shard like
          [shared]; the server owns its builder domain's lifecycle *)
   writer : Group_commit.t option;
+  flight : Pet_store.Flight_log.t option;
+  fenc : Pet_obs.Flight.t;
+  store_h : Store.t option;  (* for WAL-frontier stamps on snapshots *)
+  nowf : unit -> float;
   listen : Unix.file_descr;
   port : int;
   rr : int Atomic.t;  (* round-robin for sessionless requests *)
@@ -132,9 +142,21 @@ let route t line =
    serving loop. *)
 let fail t reason =
   Mutex.lock t.fm;
-  if !(t.failure) = None then t.failure := Some reason;
+  let first = !(t.failure) = None in
+  if first then t.failure := Some reason;
   Condition.broadcast t.fc;
-  Mutex.unlock t.fm
+  Mutex.unlock t.fm;
+  (* Fatal-path flight record, written directly (the writer domain may
+     be the thing that failed): the journal's last words say why. *)
+  if first then
+    match t.flight with
+    | Some fl -> (
+      try
+        Pet_store.Flight_log.append fl
+          (Pet_obs.Flight.meta t.fenc ~now:(t.nowf ()) ~event:"fatal"
+             [ ("reason", reason) ])
+      with Sys_error _ -> ())
+    | None -> ()
 
 let wait t =
   Mutex.lock t.fm;
@@ -157,6 +179,22 @@ let enqueue shard job =
 let sync_active shard =
   Obs.set_gauge shard.obs_active
     (float_of_int (Service.session_counters shard.service).Session.active)
+
+(* Assemble one flight snapshot on a shard domain (syncing that shard's
+   service gauges is safe there) and queue it behind the WAL batches.
+   Slow traces ride along; the encoder dedups ids, so a trace is
+   journaled once no matter how many ticks see it. *)
+let emit_flight t shard =
+  match t.writer with
+  | Some writer when t.flight <> None && Obs.enabled () ->
+    let nowv = t.nowf () in
+    Service.sync_gauges shard.service;
+    Pet_obs.Slo.sync Service.slo ~now:nowv;
+    let wal = Option.map Store.position t.store_h in
+    let record = Pet_obs.Flight.snap t.fenc ?wal ~now:nowv (Obs.snapshot ()) in
+    let traces = Pet_obs.Flight.slow_traces t.fenc ~now:nowv (Trace.slow ()) in
+    List.iter (Group_commit.submit_flight writer) (record :: traces)
+  | _ -> ()
 
 (* Deliver a response line on the connection's write side, then release
    one slot of its outstanding budget. A write failure means the client
@@ -212,6 +250,7 @@ let rec shard_loop t shard =
     | Tick ->
       ignore (Service.sweep_tick ~budget:256 shard.service);
       sync_active shard
+    | Flight -> emit_flight t shard
     | Request { line; conn } -> handle_request t shard line conn);
     shard_loop t shard
   end
@@ -221,6 +260,60 @@ let rec shard_loop t shard =
 let strip_cr line =
   let n = String.length line in
   if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+
+let contains_sub line sub =
+  let n = String.length line and m = String.length sub in
+  let rec go i =
+    i + m <= n && (String.sub line i m = sub || go (i + 1))
+  in
+  go 0
+
+(* Recognize a well-formed [watch] request without parsing anything on
+   the non-watch path: a cheap substring scan gates the full decode, so
+   lines that merely mention "watch" in a value decode once and take the
+   normal path, and every other line is byte-for-byte untouched.
+   Malformed watch requests also return [None] — the shard produces the
+   same error response it always did. *)
+let watch_params line =
+  if not (contains_sub line "\"watch\"") then None
+  else
+    match Proto.decode line with
+    | Ok { Proto.request = Proto.Watch { interval; frames }; _ } ->
+      Some (interval, frames)
+    | Ok _ | Error _ -> None
+
+(* Stream a watch subscription: a dedicated thread re-enqueues the same
+   request line every [interval], so each frame travels the ordinary
+   request path (same queues, same outstanding budget, one ok-response
+   per frame echoing the id). Stops after [frames] frames, when the
+   reader sees EOF ([conn.closed]) or at server stop — the [closed]
+   check is what lets the close path drain [outstanding] to zero. *)
+let start_watch t conn line ~interval ~frames =
+  let shard = t.shards.(route t line) in
+  ignore
+    (Thread.create
+       (fun () ->
+         let rec go sent =
+           if not (Atomic.get t.stop_flag) then begin
+             Mutex.lock conn.cm;
+             while conn.outstanding >= max_outstanding && not conn.closed do
+               Condition.wait conn.cc conn.cm
+             done;
+             let stop = conn.closed in
+             if not stop then conn.outstanding <- conn.outstanding + 1;
+             Mutex.unlock conn.cm;
+             if not stop then begin
+               enqueue shard (Request { line; conn });
+               let sent = sent + 1 in
+               if frames = 0 || sent < frames then begin
+                 if interval > 0. then Thread.delay interval;
+                 go sent
+               end
+             end
+           end
+         in
+         go 0)
+       ())
 
 let conn_loop t ic conn =
   let rec go () =
@@ -233,14 +326,18 @@ let conn_loop t ic conn =
       else if trimmed = "quit" then ()
       else if Atomic.get t.stop_flag then ()
       else begin
-        let shard = t.shards.(route t line) in
-        Mutex.lock conn.cm;
-        while conn.outstanding >= max_outstanding do
-          Condition.wait conn.cc conn.cm
-        done;
-        conn.outstanding <- conn.outstanding + 1;
-        Mutex.unlock conn.cm;
-        enqueue shard (Request { line; conn });
+        (match watch_params line with
+        | Some (interval, frames) ->
+          start_watch t conn line ~interval ~frames
+        | None ->
+          let shard = t.shards.(route t line) in
+          Mutex.lock conn.cm;
+          while conn.outstanding >= max_outstanding do
+            Condition.wait conn.cc conn.cm
+          done;
+          conn.outstanding <- conn.outstanding + 1;
+          Mutex.unlock conn.cm;
+          enqueue shard (Request { line; conn }));
         go ()
       end
   in
@@ -257,14 +354,19 @@ let handle_conn t fd =
       cm = Mutex.create ();
       cc = Condition.create ();
       outstanding = 0;
+      closed = false;
     }
   in
   Fun.protect
     ~finally:(fun () ->
       (* Wait for every queued request's response before closing: a
          shard must never write to a descriptor that may have been
-         recycled by a newer accept. *)
+         recycled by a newer accept. Raising [closed] first stops any
+         watch streamer from producing further frames, so the budget
+         can actually reach zero. *)
       Mutex.lock conn.cm;
+      conn.closed <- true;
+      Condition.broadcast conn.cc;
       while conn.outstanding > 0 do
         Condition.wait conn.cc conn.cm
       done;
@@ -295,15 +397,18 @@ let acceptor_loop t =
 let ticker_loop t interval =
   while not (Atomic.get t.stop_flag) do
     Thread.delay interval;
-    if not (Atomic.get t.stop_flag) then
-      Array.iter (fun shard -> enqueue shard Tick) t.shards
+    if not (Atomic.get t.stop_flag) then begin
+      Array.iter (fun shard -> enqueue shard Tick) t.shards;
+      (* One flight snapshot per sweep, assembled on shard 0. *)
+      if t.flight <> None then enqueue t.shards.(0) Flight
+    end
   done
 
 (* --- Lifecycle -------------------------------------------------------------------- *)
 
 let start ?backend ?compiled ?payoff ?capacity ?ttl ?(tenant_quota = 0)
-    ?resolve ?store ?(recovery = []) ?(sweep_interval = 1.) ~domains ~port
-    ~now () =
+    ?resolve ?store ?(recovery = []) ?(sweep_interval = 1.) ?flight ~domains
+    ~port ~now () =
   let domains = max 1 domains in
   let shared = Shared.create () in
   let tenants = Pet_tenant.Tenant.create ~quota:tenant_quota () in
@@ -387,7 +492,12 @@ let start ?backend ?compiled ?payoff ?capacity ?ttl ?(tenant_quota = 0)
         shards;
         shared;
         tenants;
-        writer = Option.map (Group_commit.start ~batch_target:domains) store;
+        writer =
+          Option.map (Group_commit.start ~batch_target:domains ?flight) store;
+        flight;
+        fenc = Pet_obs.Flight.create ();
+        store_h = store;
+        nowf = now;
         listen;
         port;
         rr = Atomic.make 0;
@@ -407,9 +517,24 @@ let start ?backend ?compiled ?payoff ?capacity ?ttl ?(tenant_quota = 0)
     t.acceptor <- Some (Thread.create (fun () -> acceptor_loop t) ());
     if sweep_interval > 0. then
       t.ticker <- Some (Thread.create (fun () -> ticker_loop t sweep_interval) ());
+    Obs.set_gauge
+      (Obs.gauge ~help:"Shard domains serving this process." "pet_net_domains")
+      (float_of_int domains);
     Log.info "net.listening"
       ~fields:
         [ ("port", Trace.Int port); ("domains", Trace.Int domains) ];
+    (match flight with
+    | Some fl -> (
+      try
+        Pet_store.Flight_log.append fl
+          (Pet_obs.Flight.meta t.fenc ~now:(now ()) ~event:"start"
+             [
+               ("transport", "tcp");
+               ("domains", string_of_int domains);
+               ("port", string_of_int port);
+             ])
+      with Sys_error _ -> ())
+    | None -> ());
     Ok t
 
 let port t = t.port
@@ -442,6 +567,32 @@ let stop t =
     Option.iter Thread.join t.ticker;
     t.ticker <- None
   end
+
+(* The at-exit dump: lifecycle record, any slow traces the periodic
+   ticks missed, and a final delta snapshot. Meant to run after {!stop}
+   (domains joined, so syncing shard 0's gauges is race-free); the
+   fatal-path record is written by [fail] at the moment of failure. *)
+let flight_dump t ~event =
+  match t.flight with
+  | None -> ()
+  | Some fl -> (
+    try
+      let nowv = t.nowf () in
+      if Atomic.get t.stop_flag then Service.sync_gauges t.shards.(0).service;
+      let records =
+        Pet_obs.Flight.meta t.fenc ~now:nowv ~event []
+        :: Pet_obs.Flight.slow_traces t.fenc ~now:nowv (Trace.slow ())
+        @
+        if Obs.enabled () then
+          [
+            Pet_obs.Flight.snap t.fenc
+              ?wal:(Option.map Store.position t.store_h)
+              ~now:nowv (Obs.snapshot ());
+          ]
+        else []
+      in
+      Pet_store.Flight_log.append_batch fl records
+    with Sys_error _ -> ())
 
 let batch_stats t = Option.map Group_commit.stats t.writer
 

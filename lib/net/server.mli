@@ -38,6 +38,7 @@ val start :
   ?store:Pet_store.Store.t ->
   ?recovery:Pet_server.Persist.event list ->
   ?sweep_interval:float ->
+  ?flight:Pet_store.Flight_log.t ->
   domains:int ->
   port:int ->
   now:(unit -> float) ->
@@ -59,7 +60,18 @@ val start :
     Every shard shares one process-wide tenant registry (default
     per-tenant session cap [tenant_quota], 0 = unlimited), so a tenant
     published through any connection is servable on every shard; its
-    background builder domain is stopped by {!stop}. *)
+    background builder domain is stopped by {!stop}.
+
+    [flight] attaches the flight recorder: the sweep ticker also
+    enqueues one snapshot per interval (assembled on shard 0, stamped
+    with the {!Pet_store.Store.position} WAL frontier, journaled by the
+    writer domain via {!Group_commit.submit_flight}), a fatal WAL
+    failure writes its reason to the journal directly, and [watch]
+    subscriptions stream frames without touching non-watch traffic
+    (their lines are intercepted on the connection thread by a
+    substring scan + full decode; everything else is forwarded
+    byte-identically). The caller owns and closes the journal after
+    {!stop} — typically after a final {!flight_dump}. *)
 
 val port : t -> int
 (** The bound port (useful with [port:0]). *)
@@ -73,6 +85,11 @@ val stop : t -> unit
     writer (committing anything queued), join the ticker. Idempotent.
     Connections still open are not waited for; their threads die with
     the process or on the next client read. *)
+
+val flight_dump : t -> event:string -> unit
+(** Append an [event] lifecycle record, any not-yet-journaled slow
+    traces and a final snapshot to the flight journal (no-op without
+    [flight]). Call after {!stop} for the at-exit dump. *)
 
 val batch_stats : t -> Group_commit.stats option
 (** Group-commit totals, [None] when running without a store. *)

@@ -27,10 +27,33 @@ let sample base ~suffix ~labels ~extra =
   in
   base ^ suffix ^ labelset
 
-(* Emit a [# TYPE] comment once per family, in first-seen order. *)
+(* HELP text escaping per the exposition format: backslash and newline
+   only (label values additionally escape the double quote, but HELP
+   text is not quoted). *)
+let help_str family =
+  let text =
+    match Metrics.help family with
+    | Some h -> h
+    | None -> "Metric " ^ family ^ "."
+  in
+  let buf = Buffer.create (String.length text) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    text;
+  Buffer.contents buf
+
+(* Emit the [# HELP]/[# TYPE] comment pair once per family, in
+   first-seen order — a family's samples always follow its header, which
+   is what promtool-style parsers require. *)
 let type_line buf seen family kind =
   if not (Hashtbl.mem seen family) then begin
     Hashtbl.add seen family ();
+    Buffer.add_string buf
+      (Printf.sprintf "# HELP %s %s\n" family (help_str family));
     Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" family kind)
   end
 

@@ -5,11 +5,14 @@
 
 val prometheus : Metrics.snapshot -> string
 (** Prometheus text exposition (version 0.0.4 subset): one
-    [# TYPE name kind] comment per metric family, counters as [_total]
-    samples, gauges as plain samples, histograms expanded into
-    cumulative [name_bucket{le="..."}] samples plus [name_sum] and
-    [name_count]. Names with labels merge the [le] label into the
-    existing label set. Sorted input yields byte-stable output. *)
+    [# HELP name text] + [# TYPE name kind] comment pair per metric
+    family (help from {!Metrics.help}, with a generic fallback so every
+    family is annotated), counters as [_total] samples, gauges as plain
+    samples, histograms expanded into cumulative [name_bucket{le="..."}]
+    samples plus [name_sum] and [name_count]. Names with labels merge
+    the [le] label into the existing label set; label values are escaped
+    by {!Metrics.escape_label} at registration time. Sorted input yields
+    byte-stable output. *)
 
 val line : Metrics.snapshot -> string
 (** A compact single-line [k=v] summary (counters and gauges verbatim,

@@ -1,0 +1,198 @@
+(* The flight recorder's record encoder: turns metric snapshots, log
+   lines, slow traces and lifecycle events into single-line JSON
+   records, delta-encoding snapshots against the previous one so the
+   steady-state journal stays small. The encoder is pure state — where
+   the records go (a [Pet_store.Flight_log] segment, a watch frame on
+   the wire) is the caller's business.
+
+   Identifier-only by construction: the inputs are metric names and
+   numbers, already-rendered log lines (themselves identifier-only, see
+   Log) and trace annotations (tagged scalars, see Trace.value) — no
+   path here ever sees a valuation, a rule text or respondent data.
+
+   Like Trace.chrome, records are hand-rolled JSON: this library has no
+   JSON dependency and needs none. *)
+
+type hist_prev = {
+  mutable pn : int;
+  mutable psum : float;
+  pbuckets : (float, int) Hashtbl.t;
+}
+
+type t = {
+  m : Mutex.t;
+  counters : (string, int) Hashtbl.t;
+  gauges : (string, float) Hashtbl.t;
+  hists : (string, hist_prev) Hashtbl.t;
+  seen_traces : (string, unit) Hashtbl.t;
+  mutable seq : int;
+}
+
+let create () =
+  {
+    m = Mutex.create ();
+    counters = Hashtbl.create 64;
+    gauges = Hashtbl.create 64;
+    hists = Hashtbl.create 32;
+    seen_traces = Hashtbl.create 32;
+    seq = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+let esc = Trace.json_escape
+
+(* JSON number rendering: integral values without exponent, otherwise
+   %.9g; non-finite values (which no instrument should produce) clamp
+   to 0 rather than emitting invalid JSON. *)
+let num v =
+  if Float.is_nan v || v = infinity || v = neg_infinity then "0"
+  else if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.9g" v
+
+let le_key bound = if bound = infinity then "+Inf" else num bound
+
+(* Every record shares the head: version, sequence number (per encoder,
+   so replay can detect gaps), kind and timestamp. *)
+let head t ~kind ~now =
+  t.seq <- t.seq + 1;
+  Printf.sprintf "{\"flight\":1,\"seq\":%d,\"kind\":\"%s\",\"t\":%s" t.seq
+    kind (num now)
+
+let snap t ?wal ~now (s : Metrics.snapshot) =
+  locked t @@ fun () ->
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (head t ~kind:"snap" ~now);
+  (match wal with
+  | Some (file, off) ->
+    Buffer.add_string buf
+      (Printf.sprintf ",\"wal\":{\"file\":\"%s\",\"off\":%d}" (esc file) off)
+  | None -> ());
+  (* Counters: emit the increment since the previous snapshot; new
+     counters emit their full value. Unchanged counters are omitted. *)
+  let first = ref true in
+  let field_open name =
+    if !first then begin
+      first := false;
+      Buffer.add_string buf name
+    end
+    else Buffer.add_char buf ','
+  in
+  first := true;
+  List.iter
+    (fun (name, v) ->
+      let prev = Option.value ~default:0 (Hashtbl.find_opt t.counters name) in
+      if v <> prev then begin
+        field_open ",\"counters\":{";
+        Buffer.add_string buf (Printf.sprintf "\"%s\":%d" (esc name) (v - prev));
+        Hashtbl.replace t.counters name v
+      end)
+    s.counters;
+  if not !first then Buffer.add_char buf '}';
+  (* Gauges: absolute values, only when changed (first sight counts as
+     changed, including an initial 0 so replay knows the gauge exists). *)
+  first := true;
+  List.iter
+    (fun (name, v) ->
+      let changed =
+        match Hashtbl.find_opt t.gauges name with
+        | Some prev -> prev <> v
+        | None -> true
+      in
+      if changed then begin
+        field_open ",\"gauges\":{";
+        Buffer.add_string buf (Printf.sprintf "\"%s\":%s" (esc name) (num v));
+        Hashtbl.replace t.gauges name v
+      end)
+    s.gauges;
+  if not !first then Buffer.add_char buf '}';
+  (* Histograms: per-bucket count increments plus n/sum deltas; max is
+     cumulative (the all-time max, not the window max — documented). *)
+  first := true;
+  List.iter
+    (fun (name, (h : Metrics.hist_stats)) ->
+      let prev =
+        match Hashtbl.find_opt t.hists name with
+        | Some p -> p
+        | None ->
+          let p = { pn = 0; psum = 0.; pbuckets = Hashtbl.create 8 } in
+          Hashtbl.add t.hists name p;
+          p
+      in
+      if h.count <> prev.pn then begin
+        field_open ",\"hist\":{";
+        Buffer.add_string buf
+          (Printf.sprintf "\"%s\":{\"n\":%d,\"sum\":%s,\"max\":%s,\"buckets\":{"
+             (esc name) (h.count - prev.pn)
+             (num (h.sum -. prev.psum))
+             (num h.max));
+        let bfirst = ref true in
+        List.iter
+          (fun (bound, n) ->
+            let pb =
+              Option.value ~default:0 (Hashtbl.find_opt prev.pbuckets bound)
+            in
+            if n <> pb then begin
+              if !bfirst then bfirst := false else Buffer.add_char buf ',';
+              Buffer.add_string buf
+                (Printf.sprintf "\"%s\":%d" (le_key bound) (n - pb));
+              Hashtbl.replace prev.pbuckets bound n
+            end)
+          h.buckets;
+        Buffer.add_string buf "}}";
+        prev.pn <- h.count;
+        prev.psum <- h.sum
+      end)
+    s.histograms;
+  if not !first then Buffer.add_char buf '}';
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+let log_event t ~now line =
+  locked t @@ fun () ->
+  Printf.sprintf "%s,\"line\":\"%s\"}" (head t ~kind:"log" ~now) (esc line)
+
+let value_json = function
+  | Trace.String s -> Printf.sprintf "\"%s\"" (esc s)
+  | Trace.Int i -> string_of_int i
+  | Trace.Bool b -> string_of_bool b
+  | Trace.Float f -> num f
+
+(* Dump slow traces not yet journaled (headers only: id, duration,
+   annotations — span trees live in the trace method; the journal wants
+   the correlation handle, not the tree). *)
+let slow_traces t ~now traces =
+  locked t @@ fun () ->
+  List.filter_map
+    (fun (tr : Trace.t) ->
+      if Hashtbl.mem t.seen_traces tr.id then None
+      else begin
+        Hashtbl.add t.seen_traces tr.id ();
+        let ann =
+          String.concat ","
+            (List.map
+               (fun (k, v) ->
+                 Printf.sprintf "\"%s\":%s" (esc k) (value_json v))
+               tr.annotations)
+        in
+        Some
+          (Printf.sprintf
+             "%s,\"id\":\"%s\",\"duration_s\":%s,\"annotations\":{%s}}"
+             (head t ~kind:"trace" ~now)
+             (esc tr.id) (num tr.duration) ann)
+      end)
+    traces
+
+let meta t ~now ~event fields =
+  locked t @@ fun () ->
+  let fs =
+    String.concat ","
+      (List.map
+         (fun (k, v) -> Printf.sprintf "\"%s\":\"%s\"" (esc k) (esc v))
+         fields)
+  in
+  Printf.sprintf "%s,\"event\":\"%s\",\"fields\":{%s}}"
+    (head t ~kind:"meta" ~now) (esc event) fs

@@ -1,0 +1,42 @@
+(** Flight-recorder record encoder.
+
+    Renders the observability state — metric snapshots, log lines, slow
+    traces, lifecycle events — as single-line JSON records suitable for
+    a durable telemetry journal ({!Pet_store.Flight_log}) or a [watch]
+    stream frame. Snapshots are delta-encoded against the encoder's
+    previous snapshot, so the steady-state journal only carries what
+    changed; a fresh encoder's first snapshot is therefore a full dump.
+
+    Identifier-only by construction: inputs are metric names, numbers,
+    rendered {!Log} lines and {!Trace.value} scalars — valuations and
+    rule texts cannot reach this module (grep-gated in CI like the
+    trace layer).
+
+    Every record carries [{"flight":1,"seq":N,"kind":K,"t":T}] plus
+    kind-specific fields; [seq] is per-encoder and gap-free, so replay
+    can detect lost records. The encoder is mutex-guarded: the log tee
+    may call {!log_event} from any domain while a ticker snapshots. *)
+
+type t
+
+val create : unit -> t
+
+val snap : t -> ?wal:string * int -> now:float -> Metrics.snapshot -> string
+(** One [kind:"snap"] record: counter increments since the previous
+    snapshot, gauges whose value changed (absolute), histogram bucket
+    increments with [n]/[sum] deltas ([max] stays cumulative).
+    Unchanged instruments are omitted entirely. [?wal] stamps the
+    current write-ahead-log frontier [(file, offset)] so the record can
+    be correlated with [pet audit] byte offsets. *)
+
+val log_event : t -> now:float -> string -> string
+(** Wrap an already-rendered log line as a [kind:"log"] record. *)
+
+val slow_traces : t -> now:float -> Trace.t list -> string list
+(** [kind:"trace"] records (id, duration, annotations) for the traces
+    not yet journaled by this encoder — each trace id is dumped at most
+    once, so periodic calls with the whole slow ring are cheap. *)
+
+val meta : t -> now:float -> event:string -> (string * string) list -> string
+(** A [kind:"meta"] lifecycle record ([event] is ["start"], ["exit"],
+    ["fatal"], …) with string fields. *)

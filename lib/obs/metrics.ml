@@ -8,6 +8,32 @@ let clock = ref Unix.gettimeofday
 let set_clock f = clock := f
 let now () = !clock ()
 
+(* Prometheus label-value escaping: exactly backslash, double-quote and
+   newline (the exposition format's own list — OCaml's %S would emit
+   \ddd decimal escapes a scraper rejects). Plain identifiers render
+   unchanged, so existing keys keep their bytes. *)
+let escape_label v =
+  let plain =
+    let rec go i =
+      i >= String.length v
+      || (match v.[i] with '\\' | '"' | '\n' -> false | _ -> go (i + 1))
+    in
+    go 0
+  in
+  if plain then v
+  else begin
+    let buf = Buffer.create (String.length v + 2) in
+    String.iter
+      (fun c ->
+        match c with
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\n' -> Buffer.add_string buf "\\n"
+        | c -> Buffer.add_char buf c)
+      v;
+    Buffer.contents buf
+  end
+
 (* Rendered identity: name{k="v",...} with labels in the given order.
    Call sites pass stable label lists, so no sorting is needed for
    idempotence — the same call site always renders the same key. *)
@@ -16,7 +42,9 @@ let render name labels =
   | [] -> name
   | _ ->
     let fields =
-      List.map (fun (k, v) -> Printf.sprintf "%s=%S" k v) labels
+      List.map
+        (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label v))
+        labels
     in
     Printf.sprintf "%s{%s}" name (String.concat "," fields)
 
@@ -63,9 +91,20 @@ type instrument =
 let registry : (string, instrument) Hashtbl.t = Hashtbl.create 64
 let registry_m = Mutex.create ()
 
+(* Help strings are keyed by metric family (the name without labels),
+   first writer wins — labeled variants of one family share one line of
+   exposition, matching Prometheus' one-HELP-per-family rule. *)
+let help_table : (string, string) Hashtbl.t = Hashtbl.create 64
+
 let locked m f =
   Mutex.lock m;
   Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let set_help name text =
+  locked registry_m @@ fun () ->
+  if not (Hashtbl.mem help_table name) then Hashtbl.add help_table name text
+
+let help name = locked registry_m @@ fun () -> Hashtbl.find_opt help_table name
 
 let register key make cast =
   locked registry_m @@ fun () ->
@@ -85,7 +124,8 @@ let register key make cast =
     | Some v -> v
     | None -> assert false)
 
-let counter ?(labels = []) name =
+let counter ?(labels = []) ?help name =
+  Option.iter (set_help name) help;
   register (render name labels)
     (fun () -> `C { c = Atomic.make 0 })
     (function Counter c -> Some c | _ -> None)
@@ -94,7 +134,8 @@ let incr c = if !on then Atomic.incr c.c
 let add c n = if !on && n > 0 then ignore (Atomic.fetch_and_add c.c n)
 let counter_value c = Atomic.get c.c
 
-let gauge ?(labels = []) name =
+let gauge ?(labels = []) ?help name =
+  Option.iter (set_help name) help;
   register (render name labels)
     (fun () -> `G { g = 0. })
     (function Gauge g -> Some g | _ -> None)
@@ -102,7 +143,8 @@ let gauge ?(labels = []) name =
 let set_gauge g v = if !on then g.g <- v
 let gauge_value g = g.g
 
-let histogram ?(labels = []) name =
+let histogram ?(labels = []) ?help name =
+  Option.iter (set_help name) help;
   register (render name labels)
     (fun () ->
       `H

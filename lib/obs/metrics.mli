@@ -35,13 +35,28 @@ val set_clock : (unit -> float) -> unit
 val now : unit -> float
 (** Read the current clock (regardless of {!enabled}). *)
 
+val escape_label : string -> string
+(** Prometheus label-value escaping: backslash, double quote and
+    newline become backslash-escaped sequences; everything else passes
+    through. Values without those characters are returned unchanged
+    (same string). *)
+
+val set_help : string -> string -> unit
+(** Attach a one-line help string to a metric family (the bare name,
+    without labels). First writer wins; the Prometheus exporter emits it
+    as the family's [# HELP] line. *)
+
+val help : string -> string option
+(** Look up a family's help string. *)
+
 (** {1 Counters} *)
 
 type counter
 
-val counter : ?labels:(string * string) list -> string -> counter
+val counter : ?labels:(string * string) list -> ?help:string -> string -> counter
 (** Register (or look up) a monotonic counter. By convention names end
-    in [_total]. *)
+    in [_total]. [?help] records the family's help string (see
+    {!set_help}). *)
 
 val incr : counter -> unit
 (** Add 1 when enabled; no-op otherwise. *)
@@ -55,7 +70,7 @@ val counter_value : counter -> int
 
 type gauge
 
-val gauge : ?labels:(string * string) list -> string -> gauge
+val gauge : ?labels:(string * string) list -> ?help:string -> string -> gauge
 
 val set_gauge : gauge -> float -> unit
 (** Set the current value when enabled; no-op otherwise. *)
@@ -66,7 +81,8 @@ val gauge_value : gauge -> float
 
 type histogram
 
-val histogram : ?labels:(string * string) list -> string -> histogram
+val histogram :
+  ?labels:(string * string) list -> ?help:string -> string -> histogram
 (** Register a log-bucketed histogram intended for latencies in
     seconds. Bucket upper bounds are [1e-6 * 2^i] for [i = 0..38]
     (1 microsecond up to ~4.7 minutes) plus a final overflow bucket;
@@ -84,6 +100,11 @@ val time : histogram -> (unit -> 'a) -> 'a
 val bucket_bounds : float array
 (** The shared upper bounds, ascending; the last element is
     [infinity]. Exposed for tests and exporters. *)
+
+val bucket_of : float -> int
+(** Index into {!bucket_bounds} of the bucket a value lands in
+    (negative values clamp to 0). Exposed so {!Slo} windows share the
+    histogram's bucketing exactly. *)
 
 (** {1 Snapshots} *)
 

@@ -1,0 +1,36 @@
+(* Process-level gauges: uptime, GC statistics and domain counts.
+
+   Uptime is wall-clock by design, independent of the metrics clock —
+   under [--deterministic] the logical clock measures request work, but
+   an operator watching a dashboard still wants real elapsed time.
+
+   GC numbers come from [Gc.quick_stat] (no heap traversal, safe on a
+   hot path); under OCaml 5 they reflect the calling domain's view plus
+   what terminated domains merged in, which is the standard caveat for
+   multicore GC telemetry. *)
+
+let started = Unix.gettimeofday ()
+
+let sync () =
+  if Metrics.enabled () then begin
+    let set name help v = Metrics.set_gauge (Metrics.gauge ~help name) v in
+    set "pet_process_uptime_seconds"
+      "Wall-clock seconds since process start."
+      (Unix.gettimeofday () -. started);
+    set "pet_process_recommended_domains"
+      "Domain.recommended_domain_count for this machine."
+      (float_of_int (Domain.recommended_domain_count ()));
+    let st = Gc.quick_stat () in
+    set "pet_gc_minor_collections" "Minor GC collections (Gc.quick_stat)."
+      (float_of_int st.Gc.minor_collections);
+    set "pet_gc_major_collections" "Major GC cycles (Gc.quick_stat)."
+      (float_of_int st.Gc.major_collections);
+    set "pet_gc_compactions" "Heap compactions (Gc.quick_stat)."
+      (float_of_int st.Gc.compactions);
+    set "pet_gc_heap_words" "Major heap size in words (Gc.quick_stat)."
+      (float_of_int st.Gc.heap_words);
+    set "pet_gc_minor_words" "Words allocated in the minor heap."
+      st.Gc.minor_words;
+    set "pet_gc_major_words" "Words allocated in the major heap."
+      st.Gc.major_words
+  end

@@ -1,0 +1,13 @@
+(** Process-level gauges: uptime, [Gc.quick_stat] statistics and domain
+    counts.
+
+    {!sync} refreshes [pet_process_uptime_seconds] (wall-clock, even
+    under a deterministic metrics clock),
+    [pet_process_recommended_domains] and the [pet_gc_*] family
+    (minor/major collections, compactions, heap/minor/major words) in
+    the global {!Metrics} registry; a no-op while metrics are disabled.
+    The service calls it when assembling a snapshot, so [metrics],
+    Prometheus scrapes, [watch] frames and flight-recorder snapshots
+    all carry fresh process state. *)
+
+val sync : unit -> unit

@@ -1,0 +1,68 @@
+(** Rolling-window service-level objectives (SLOs) and burn rates.
+
+    A tracker holds one series per key — by convention bare protocol
+    method names plus ["tenant:NAME"] keys — each a ring of
+    time-aligned slices over the objective's window (latency counts in
+    the same log-spaced buckets as {!Metrics} histograms, plus
+    request/error totals). {!record} is hot-path cheap (one mutex, one
+    slice update); stale slices age out by alignment, no sweeper.
+
+    Burn rates use the error-budget convention: a [p99_s] target grants
+    a 1% budget of requests over target, [max_error_ratio] grants
+    itself; burn = consumption / budget, capped at [1e6], and a burn
+    rate [>= 1] means the budget is being consumed faster than it
+    accrues ([breached]). *)
+
+type objective = {
+  p99_s : float;  (** latency target: 99% of requests at or under this *)
+  max_error_ratio : float;  (** allowed error fraction over the window *)
+  window_s : float;  (** rolling window length, seconds *)
+}
+
+val default_objective : objective
+(** 50 ms p99, 1% errors, 60 s window. *)
+
+type t
+
+val create : ?objective:objective -> unit -> t
+(** A tracker whose unseen keys start with [objective]
+    (default {!default_objective}). *)
+
+val set_objective : t -> string -> objective -> unit
+val objective : t -> string -> objective
+
+val record : t -> string -> now:float -> latency:float -> error:bool -> unit
+(** Record one request outcome for [key] at time [now] (any monotone
+    clock — the deterministic logical clock works; slices align to
+    [window_s / 12] multiples of it). *)
+
+type report = {
+  key : string;
+  window_s : float;
+  requests : int;  (** requests inside the window *)
+  errors : int;
+  error_ratio : float;
+  p99_s : float;  (** windowed p99 (bucket upper bound, capped at max) *)
+  p99_target_s : float;
+  over_target : int;  (** observations above the target, bucket-granular *)
+  latency_burn : float;
+  error_burn : float;
+  breached : bool;  (** either burn rate reached 1 *)
+}
+
+val report : t -> string -> now:float -> report option
+val reports : t -> now:float -> report list
+(** All keys, sorted, evaluated at [now]. *)
+
+val keys : t -> string list
+
+val sync : t -> now:float -> unit
+(** Mirror every report into gauges labeled [{slo="KEY"}]
+    ([pet_slo_window_requests], [pet_slo_error_ratio],
+    [pet_slo_p99_seconds], [pet_slo_error_burn], [pet_slo_latency_burn],
+    [pet_slo_breached]) so metrics/Prometheus/watch/flight surfaces see
+    the SLO state as ordinary instruments. *)
+
+val reset : t -> unit
+(** Drop every series (objectives for unseen keys revert to the
+    tracker default). *)

@@ -9,11 +9,14 @@ let ends_with s suffix =
   let ns = String.length s and nx = String.length suffix in
   ns >= nx && String.sub s (ns - nx) nx = suffix
 
-(* Throughput patterns are tested first: "requests_per_s" ends in "_s"
-   but is a rate, not a duration. *)
+(* SLO burn/breach keys are tested before the throughput patterns
+   ("error_burn_rate" contains "rate" but burning faster is worse),
+   and throughput before durations: "requests_per_s" ends in "_s" but
+   is a rate, not a duration. *)
 let direction_of_key key =
   let k = String.lowercase_ascii key in
-  if contains k "per_s" || contains k "rate" then Higher_better
+  if contains k "burn" || contains k "breach" then Lower_better
+  else if contains k "per_s" || contains k "rate" then Higher_better
   else if
     ends_with k "_s" || ends_with k "_ms" || contains k "seconds"
     || contains k "overhead" || contains k "latency" || contains k "errors"

@@ -37,6 +37,9 @@ type request =
   | Stats
   | Metrics of metrics_format
   | Trace_req of { query : trace_query; format : trace_format }
+  | Watch of { interval : float; frames : int }
+      (* stream metric-snapshot frames: one response per frame, all
+         echoing the request id; [frames = 0] means until disconnect *)
 
 type code =
   | Parse_error
@@ -93,6 +96,7 @@ let method_name = function
   | Stats -> "stats"
   | Metrics _ -> "metrics"
   | Trace_req _ -> "trace"
+  | Watch _ -> "watch"
 
 (* --- Decoding --------------------------------------------------------------- *)
 
@@ -288,6 +292,25 @@ let decode_request name params =
       | Some _ -> Error (error Invalid_params "\"format\" must be a string")
     in
     Ok (Trace_req { query; format })
+  | "watch" ->
+    let* interval =
+      match Json.member "interval" params with
+      | None -> Ok 1.0
+      | Some (Json.Int i) when i >= 0 -> Ok (float_of_int i)
+      | Some (Json.Float f) when f >= 0. -> Ok f
+      | Some _ ->
+        Error
+          (error Invalid_params "\"interval\" must be a non-negative number")
+    in
+    let* frames =
+      match Json.member "frames" params with
+      | None -> Ok 0
+      | Some (Json.Int n) when n >= 0 -> Ok n
+      | Some _ ->
+        Error
+          (error Invalid_params "\"frames\" must be a non-negative integer")
+    in
+    Ok (Watch { interval; frames })
   | other -> Error (errorf Unknown_method "unknown method %S" other)
 
 let max_line_bytes = 1 lsl 20

@@ -97,6 +97,13 @@ type request =
   | Stats
   | Metrics of metrics_format
   | Trace_req of { query : trace_query; format : trace_format }
+  | Watch of { interval : float; frames : int }
+      (** live metric-snapshot streaming: the transport replies with
+          one ok-response per frame, every [interval] seconds, [frames]
+          times ([0] = until the client goes away), all echoing the
+          request id. The service itself answers a single frame —
+          streaming is the transport loop's job, so non-watch traffic
+          is byte-identical with or without a watcher. *)
 
 type code =
   | Parse_error  (** the line is not valid JSON (message has the position) *)

@@ -1139,6 +1139,13 @@ let state_events t =
 
 module Obs = Pet_obs.Metrics
 module Trace = Pet_obs.Trace
+module Slo = Pet_obs.Slo
+
+(* One process-global SLO tracker, like the metrics registry: in the
+   sharded TCP server every shard records into it, so windows describe
+   the whole process, not one shard. Keys are wire method names plus
+   "tenant:NAME". *)
+let slo = Slo.create ()
 
 (* Requests are counted on arrival (before dispatch), so a [metrics]
    response includes the request that asked for it; latencies are
@@ -1168,6 +1175,22 @@ let obs_lat_metrics = latency_hist "metrics"
 let obs_lat_trace = latency_hist "trace"
 let obs_lat_invalid = latency_hist "invalid"
 
+let obs_lat_watch = latency_hist "watch"
+
+(* Per-tenant request attribution is label-rendered per request (only
+   for requests that name a tenant), so help lines register once here
+   rather than on the hot path. *)
+let () =
+  Obs.set_help "pet_tenant_requests_total"
+    "Requests attributed to a tenant (by session or by name).";
+  Obs.set_help "pet_tenant_errors_total"
+    "Failed requests attributed to a tenant.";
+  Obs.set_help "pet_tenant_request_seconds"
+    "Request latency attributed to a tenant.";
+  Obs.set_help "pet_server_requests_total" "Protocol requests received.";
+  Obs.set_help "pet_server_errors_total" "Protocol requests answered with an error.";
+  Obs.set_help "pet_server_request_seconds" "Request latency by wire method."
+
 let obs_latency = function
   | "publish_rules" -> obs_lat_publish_rules
   | "update_rules" -> obs_lat_update_rules
@@ -1182,6 +1205,7 @@ let obs_latency = function
   | "stats" -> obs_lat_stats
   | "metrics" -> obs_lat_metrics
   | "trace" -> obs_lat_trace
+  | "watch" -> obs_lat_watch
   | _ -> obs_lat_invalid
 
 let obs_registry_size = Obs.gauge "pet_registry_engines"
@@ -1226,7 +1250,8 @@ let sync_gauges t =
   Obs.set_gauge obs_tenant_builds (float_of_int tt.Tenant.builds);
   Obs.set_gauge obs_tenant_build_failures
     (float_of_int tt.Tenant.build_failures);
-  Obs.set_gauge obs_tenant_building (float_of_int tt.Tenant.building)
+  Obs.set_gauge obs_tenant_building (float_of_int tt.Tenant.building);
+  Pet_obs.Process.sync ()
 
 let json_of_hist (h : Obs.hist_stats) =
   Json.Obj
@@ -1239,8 +1264,9 @@ let json_of_hist (h : Obs.hist_stats) =
       ("p99", Json.Float (Obs.quantile h 0.99));
     ]
 
-let metrics_payload t format =
+let metrics_payload t ~now format =
   sync_gauges t;
+  Slo.sync slo ~now;
   let snapshot = Obs.snapshot () in
   match format with
   | Proto.Mprometheus -> Json.String (Pet_obs.Export.prometheus snapshot)
@@ -1262,6 +1288,20 @@ let metrics_payload t format =
                (fun (n, h) -> (n, json_of_hist h))
                snapshot.Obs.histograms) );
       ]
+
+(* One [watch] frame: a full (fresh-encoder) flight snapshot of every
+   instrument, wrapped as {"watch":{...}}. Streaming is the transport's
+   loop — it re-dispatches the same request per frame — so consecutive
+   frames are full snapshots and clients compute rates by diffing them.
+   Rendered (not Tree): the flight encoder already emits JSON text, and
+   sharing it keeps watch frames and journal records one format. *)
+let watch_frame t ~now =
+  sync_gauges t;
+  Slo.sync slo ~now;
+  let snapshot = Obs.snapshot () in
+  let enc = Pet_obs.Flight.create () in
+  Rendered
+    (Printf.sprintf "{\"watch\":%s}" (Pet_obs.Flight.snap enc ~now snapshot))
 
 (* --- Traces --------------------------------------------------------------------- *)
 
@@ -1465,11 +1505,12 @@ let handle_request t request ~now =
   match request with
   | Proto.Get_report { session; valuation } ->
     get_report t ~session ~valuation ~now
+  | Proto.Watch _ -> Ok (watch_frame t ~now)
   | _ ->
     Result.map
       (fun json -> Tree json)
       (match request with
-      | Proto.Get_report _ -> assert false (* handled above *)
+      | Proto.Get_report _ | Proto.Watch _ -> assert false (* handled above *)
       | Proto.Publish_rules { rules; tenant; quota } ->
         publish_rules t ~rules ~tenant ~quota ~now
       | Proto.Update_rules { tenant; rules; quota } ->
@@ -1483,8 +1524,24 @@ let handle_request t request ~now =
       | Proto.Audit rules -> audit t rules
       | Proto.Tenant_info { name; wait } -> tenant_info t ~name ~wait
       | Proto.Stats -> Ok (stats_json t)
-      | Proto.Metrics format -> Ok (metrics_payload t format)
+      | Proto.Metrics format -> Ok (metrics_payload t ~now format)
       | Proto.Trace_req { query; format } -> trace_payload query format)
+
+(* Which tenant a request belongs to, for per-tenant metrics and SLOs:
+   explicitly named tenants directly, session-bearing requests through
+   the session's owner (one non-mutating lookup, only taken when
+   observability is on). *)
+let tenant_of_request t = function
+  | Proto.New_session (Proto.Tenant name)
+  | Proto.Publish_rules { tenant = Some name; _ }
+  | Proto.Update_rules { tenant = name; _ } -> Some name
+  | Proto.Get_report { session; _ }
+  | Proto.Choose_option { session; _ }
+  | Proto.Submit_form { session }
+  | Proto.Revoke { session }
+  | Proto.Expire { session; _ } ->
+    Option.bind (Session.peek t.store session) (fun s -> s.Session.tenant)
+  | _ -> None
 
 let record_method t name ~latency ~failed =
   let m =
@@ -1514,7 +1571,7 @@ let annotate_request request =
     Trace.annotate "session" (Trace.String session)
   | Proto.Publish_rules _ | Proto.Update_rules _ | Proto.New_session _
   | Proto.Audit _ | Proto.Tenant_info _ | Proto.Stats | Proto.Metrics _
-  | Proto.Trace_req _ -> ());
+  | Proto.Trace_req _ | Proto.Watch _ -> ());
   (match request with
   | Proto.Publish_rules { tenant = Some name; _ }
   | Proto.Update_rules { tenant = name; _ }
@@ -1599,10 +1656,25 @@ let handle_line t line =
      amortized O(budget) instead of a full O(sessions) scan per line. *)
   let swept = Session.sweep_step t.store ~now:finish in
   ignore (consent_step t ~now:finish);
-  record_method t name ~latency:(finish -. start) ~failed:(Result.is_error result);
+  let latency = finish -. start in
+  let failed = Result.is_error result in
+  record_method t name ~latency ~failed;
   if Obs.enabled () then begin
     Obs.add obs_swept swept;
-    if Result.is_error result then Obs.incr obs_errors;
-    Obs.observe (obs_latency name) (finish -. start)
+    if failed then Obs.incr obs_errors;
+    Obs.observe (obs_latency name) latency;
+    Slo.record slo name ~now:finish ~latency ~error:failed;
+    match Result.map (fun e -> tenant_of_request t e.Proto.request) decoded with
+    | Ok (Some tn) ->
+      Obs.incr
+        (Obs.counter ~labels:[ ("tenant", tn) ] "pet_tenant_requests_total");
+      if failed then
+        Obs.incr
+          (Obs.counter ~labels:[ ("tenant", tn) ] "pet_tenant_errors_total");
+      Obs.observe
+        (Obs.histogram ~labels:[ ("tenant", tn) ] "pet_tenant_request_seconds")
+        latency;
+      Slo.record slo ("tenant:" ^ tn) ~now:finish ~latency ~error:failed
+    | Ok None | Error _ -> ()
   end;
   response

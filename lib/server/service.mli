@@ -170,8 +170,18 @@ val sync_gauges : t -> unit
     of band ([pet serve --metrics-interval], the bench harness) call it
     before {!Pet_obs.Metrics.snapshot} so gauges are never stale. *)
 
-val metrics_payload : t -> Proto.metrics_format -> Pet_pet.Json.t
+val metrics_payload :
+  t -> now:float -> Proto.metrics_format -> Pet_pet.Json.t
 (** The [metrics] response payload: the full observability snapshot
-    (after {!sync_gauges}), either as structured JSON
-    ([counters]/[gauges]/[histograms] with p50/p90/p99) or as a
-    Prometheus text exposition wrapped in one JSON string. *)
+    (after {!sync_gauges} and an SLO gauge sync at [now], the service
+    clock), either as structured JSON ([counters]/[gauges]/[histograms]
+    with p50/p90/p99) or as a Prometheus text exposition wrapped in one
+    JSON string. *)
+
+val slo : Pet_obs.Slo.t
+(** The process-global SLO tracker. Every {!handle_line} records its
+    method's outcome here (plus a ["tenant:NAME"] key when the request
+    is tenant-attributable) while observability is enabled; its reports
+    surface as [pet_slo_*] gauges in {!metrics_payload}, [watch] frames
+    and the flight journal. Shared across shards by design — windows
+    describe the process. *)

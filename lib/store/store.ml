@@ -223,6 +223,8 @@ let seal t =
           ("sealed", Pet_obs.Trace.Int t.sealed);
         ]
 
+let position t = (wal_name t.seg, t.written)
+
 let obs_appends = Pet_obs.Metrics.counter "pet_store_appends_total"
 let obs_append_bytes = Pet_obs.Metrics.counter "pet_store_append_bytes_total"
 let obs_append_h = Pet_obs.Metrics.histogram "pet_store_append_seconds"

@@ -70,6 +70,14 @@ val append_batch : t -> Persist.event list -> unit
 val sink : t -> Persist.sink
 (** The store as a service sink ({!Pet_server.Service.set_sink}). *)
 
+val position : t -> string * int
+(** The WAL frontier: current segment file name and the byte offset at
+    which the next record's frame header will land — the coordinate
+    system of [pet audit] and [pet store inspect] reports. Read without
+    synchronization (two single-word loads): callers off the writer
+    domain get a monitoring-grade, possibly momentarily stale answer,
+    which is exactly what flight-recorder correlation needs. *)
+
 val wants_compaction : t -> bool
 (** Enough sealed segments have accumulated that the driver should call
     {!compact} with the live state

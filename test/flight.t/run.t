@@ -1,0 +1,158 @@
+The flight recorder: `pet serve --flight` journals identifier-only
+telemetry — delta-encoded metric snapshots, SLO burn gauges, log
+events, slow-trace headers and lifecycle marks — into CRC-framed
+flight-NNNNNN.log segments beside the write-ahead log, and
+`pet flight` reads them back after the process is gone.
+
+The journal lives in the data directory, so `--flight` alone is
+refused:
+
+  $ ../../bin/pet.exe serve --flight </dev/null
+  pet: --flight requires --data-dir (the journal lives in the data directory)
+  [124]
+
+One deterministic stdio run with the recorder attached. The watch
+method takes over the stream — frames=2 at interval 0 answers the
+same line twice, each response one full metric-snapshot frame — and
+every other response must stay byte-identical to a recorder-less run
+over a fresh directory:
+
+  $ cat > requests <<'REQUESTS'
+  > {"pet":1,"id":1,"method":"publish_rules","params":{"source":"hcov"}}
+  > {"pet":1,"id":2,"method":"new_session","params":{"source":"hcov"}}
+  > {"pet":1,"id":3,"method":"get_report","params":{"session":"s0","valuation":"000011100111"}}
+  > {"pet":1,"id":4,"method":"choose_option","params":{"session":"s0","option":0}}
+  > {"pet":1,"id":5,"method":"submit_form","params":{"session":"s0"}}
+  > {"pet":1,"id":6,"method":"watch","params":{"frames":2,"interval":0}}
+  > {"pet":1,"id":7,"method":"stats"}
+  > REQUESTS
+  $ mkdir data flightless
+  $ ../../bin/pet.exe serve --deterministic --data-dir data --flight <requests >responses 2>server.log
+  $ ../../bin/pet.exe serve --deterministic --data-dir flightless <requests 2>/dev/null | grep -v '"ok":{"watch"' > responses.flightless
+  $ grep -c '"ok":{"watch"' responses
+  2
+  $ grep -v '"ok":{"watch"' responses | cmp - responses.flightless && echo identical
+  identical
+
+The run leaves one journal segment beside the WAL:
+
+  $ ls data
+  flight-000000.log
+  wal-000000.log
+
+`pet flight report` reconstructs the story. Under the deterministic
+logical clock every request "takes" one second, so each method's p99
+lands in the top latency bucket and every SLO (50ms p99 objective)
+reports a latency burn pinned at the cap — exactly the regression the
+report exists to surface:
+
+  $ ../../bin/pet.exe flight report data
+  flight journal data: 3 records (1 snap, 0 log, 0 trace, 2 meta)
+    time range t=5..1892
+    lifecycle start at t=5
+    lifecycle exit at t=1892
+    wal frontier wal-000000.log:732 at t=1890 (byte offsets as in pet audit --json)
+  per-method latency (reconstructed):
+    choose_option           1 requests  p99 <= 1.04858s
+    get_report              1 requests  p99 <= 1.04858s
+    new_session             1 requests  p99 <= 1.04858s
+    publish_rules           1 requests  p99 <= 1.04858s
+    stats                   1 requests  p99 <= 1.04858s
+    submit_form             1 requests  p99 <= 1.04858s
+    watch                   2 requests  p99 <= 1.04858s
+  slo (last window seen / peak burn):
+    choose_option                 1 req  p99=1s err=0.0000  burn err=0.00 (peak 0.00) lat=100.00 (peak 100.00)  BREACHED
+    get_report                    1 req  p99=1s err=0.0000  burn err=0.00 (peak 0.00) lat=100.00 (peak 100.00)  BREACHED
+    new_session                   1 req  p99=1s err=0.0000  burn err=0.00 (peak 0.00) lat=100.00 (peak 100.00)  BREACHED
+    publish_rules                 1 req  p99=1s err=0.0000  burn err=0.00 (peak 0.00) lat=100.00 (peak 100.00)  BREACHED
+    stats                         1 req  p99=1s err=0.0000  burn err=0.00 (peak 0.00) lat=100.00 (peak 100.00)  BREACHED
+    submit_form                   1 req  p99=1s err=0.0000  burn err=0.00 (peak 0.00) lat=100.00 (peak 100.00)  BREACHED
+    watch                         2 req  p99=1s err=0.0000  burn err=0.00 (peak 0.00) lat=100.00 (peak 100.00)  BREACHED
+
+The snapshot stamps the write-ahead-log frontier: the offset is the
+same byte count the log file itself (and `pet audit --json`) reports,
+so a flight record can be lined up against the committed events that
+preceded it:
+
+  $ ../../bin/pet.exe flight report data --json > report.json
+  $ python3 -c "
+  > import json, os
+  > d = json.load(open('report.json'))
+  > wal = d['wal']
+  > print(wal['file'], wal['off'] == os.path.getsize(os.path.join('data', wal['file'])))"
+  wal-000000.log True
+
+`pet flight replay` prints each record with its own file:offset
+coordinate; the journal opens with the lifecycle mark:
+
+  $ ../../bin/pet.exe flight replay data | head -2 | awk '{print $1}'
+  flight-000000.log:0
+  flight-000000.log:90
+  $ ../../bin/pet.exe flight replay data | head -1 | grep -o '"kind":"meta","t":5,"event":"start"'
+  "kind":"meta","t":5,"event":"start"
+
+Alice's raw valuation is in the protocol responses but never in the
+journal — flight records are identifier-only by construction:
+
+  $ grep -q 000011100111 responses && echo in-responses
+  in-responses
+  $ grep -c 000011100111 data/flight-000000.log
+  0
+  [1]
+
+A crash can tear the final record; the reader truncates the torn tail
+silently and the report still parses (the exit mark is simply gone):
+
+  $ python3 -c "import os; f = 'data/flight-000000.log'; os.truncate(f, os.path.getsize(f) - 3)"
+  $ ../../bin/pet.exe flight report data | head -4
+  flight journal data: 2 records (1 snap, 0 log, 0 trace, 1 meta)
+    time range t=5..1890
+    lifecycle start at t=5
+    wal frontier wal-000000.log:732 at t=1890 (byte offsets as in pet audit --json)
+
+Over TCP the journal rides the group-commit writer domain, one
+snapshot per sweep. The sweeper needs the wall clock (it is disabled
+under --deterministic), so from here on checks count rather than pin
+times. A respondent flow, then `pet top` — the live view over the
+same watch frames any client can request:
+
+  $ mkdir tdata
+  $ ../../bin/pet.exe serve --tcp 0 --domains 2 --data-dir tdata --flight --port-file port 2>tcp.log & SRV=$!
+  $ for i in $(seq 1 100); do [ -s port ] && break; sleep 0.1; done
+  $ ../../bin/pet.exe ping 127.0.0.1:$(cat port) <<'REQUESTS'
+  > {"pet":1,"id":1,"method":"publish_rules","params":{"source":"hcov"}}
+  > {"pet":1,"id":2,"method":"new_session","params":{"source":"hcov"}}
+  > {"pet":1,"id":3,"method":"get_report","params":{"session":"s1","valuation":"000011100111"}}
+  > {"pet":1,"id":4,"method":"choose_option","params":{"session":"s1","option":0}}
+  > {"pet":1,"id":5,"method":"submit_form","params":{"session":"s1"}}
+  > quit
+  > REQUESTS
+  {"pet":1,"id":1,"trace":"t0","ok":{"digest":"3c35afd5c479736f19224c053ec534bb","cached":false,"predicates":12,"benefits":1,"mas":6,"eligible":1560}}
+  {"pet":1,"id":2,"trace":"t1","ok":{"session":"s1","digest":"3c35afd5c479736f19224c053ec534bb","cached":false}}
+  {"pet":1,"id":3,"trace":"t2","ok":{"valuation":"000011100111","granted":["b1"],"options":[{"mas":"0__________1","benefits":["b1"],"po_blank":10,"po_sm":1023,"po_weighted":null,"published":[{"p1":false},{"p12":true}],"deduced":[],"protected":["p2","p3","p4","p5","p6","p7","p8","p9","p10","p11"],"crowd":1024,"recommended":true},{"mas":"0_0__1___11_","benefits":["b1"],"po_blank":7,"po_sm":64,"po_weighted":null,"published":[{"p1":false},{"p3":false},{"p6":true},{"p10":true},{"p11":true}],"deduced":[],"protected":["p2","p4","p5","p7","p8","p9","p12"],"crowd":65,"recommended":false},{"mas":"0_0_1110____","benefits":["b1"],"po_blank":6,"po_sm":24,"po_weighted":null,"published":[{"p1":false},{"p3":false},{"p5":true},{"p6":true},{"p7":true},{"p8":false}],"deduced":[],"protected":["p2","p4","p9","p10","p11","p12"],"crowd":25,"recommended":false}],"minimization_ratio":0.83333333333333337}}
+  {"pet":1,"id":4,"trace":"t3","ok":{"mas":"0__________1","benefits":["b1"]}}
+  {"pet":1,"id":5,"trace":"t4","ok":{"grant":0,"form":"0__________1","benefits":["b1"]}}
+  $ ../../bin/pet.exe top 127.0.0.1:$(cat port) --frames 2 --interval 0.2 > top.out
+  $ grep -c '^pet top' top.out
+  2
+  $ grep -c 'get_report.*p99 <=' top.out
+  2
+
+Let the sweeper journal a couple of snapshots, then kill -9 — no
+shutdown hook runs, yet the journal must still tell the story:
+
+  $ sleep 2.2
+  $ kill -9 $SRV
+  $ wait $SRV 2>/dev/null
+  [137]
+  $ ../../bin/pet.exe flight report tdata --json > tcp.json
+  $ python3 -c "
+  > import json
+  > d = json.load(open('tcp.json'))
+  > print(d['kinds']['snap'] >= 1, d['unparsed'],
+  >       [m['method'] for m in d['methods'] if m['method'] == 'get_report'],
+  >       [s['key'] for s in d['slo'] if s['key'] == 'get_report'],
+  >       d['wal']['file'])"
+  True 0 ['get_report'] ['get_report'] wal-000000.log
+  $ grep -l 000011100111 tdata/flight-*.log
+  [1]

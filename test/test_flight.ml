@@ -1,0 +1,360 @@
+(* Tests for the flight-recorder stack: the delta encoder, the on-disk
+   segment family (rotation, retention, torn tails, mid-journal
+   damage), the SLO window/burn math, and the metrics registry under
+   concurrent multi-domain registration and observation. *)
+
+module Metrics = Pet_obs.Metrics
+module Flight = Pet_obs.Flight
+module Slo = Pet_obs.Slo
+module Flight_log = Pet_store.Flight_log
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i =
+    i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1))
+  in
+  go 0
+
+let fresh () =
+  Metrics.reset ();
+  Metrics.enable ();
+  let t = ref 0. in
+  Metrics.set_clock (fun () ->
+      t := !t +. 1.0;
+      !t)
+
+let temp_dir =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "pet_test_flight_%d_%d" (Unix.getpid ()) !counter)
+    in
+    let rec remove path =
+      if Sys.is_directory path then begin
+        Array.iter
+          (fun entry -> remove (Filename.concat path entry))
+          (Sys.readdir path);
+        Sys.rmdir path
+      end
+      else Sys.remove path
+    in
+    if Sys.file_exists dir then remove dir;
+    Unix.mkdir dir 0o755;
+    dir
+
+(* --- Encoder -------------------------------------------------------------------- *)
+
+let test_encoder_deltas () =
+  fresh ();
+  let c = Metrics.counter "flight_test_total" in
+  let g = Metrics.gauge "flight_test_depth" in
+  let h = Metrics.histogram "flight_test_seconds" in
+  Metrics.add c 5;
+  Metrics.set_gauge g 2.;
+  Metrics.observe h 0.001;
+  Metrics.observe h 0.001;
+  let enc = Flight.create () in
+  let r1 = Flight.snap enc ~now:1. (Metrics.snapshot ()) in
+  Alcotest.(check bool) "first snap is a full dump" true
+    (contains r1 {|"flight_test_total":5|});
+  Alcotest.(check bool) "first snap carries the gauge" true
+    (contains r1 {|"flight_test_depth":2|});
+  Alcotest.(check bool) "first snap carries hist n" true
+    (contains r1 {|"n":2|});
+  Alcotest.(check bool) "seq starts at 1" true (contains r1 {|"seq":1|});
+  (* Nothing changed: the next snap carries no instrument sections. *)
+  let r2 = Flight.snap enc ~now:2. (Metrics.snapshot ()) in
+  Alcotest.(check bool) "quiet snap has no counters" false
+    (contains r2 "counters");
+  Alcotest.(check bool) "quiet snap has no gauges" false (contains r2 "gauges");
+  Alcotest.(check bool) "quiet snap has no hist" false (contains r2 "hist");
+  Alcotest.(check bool) "seq is gap-free" true (contains r2 {|"seq":2|});
+  (* Only the increments appear, not the cumulative values. *)
+  Metrics.add c 3;
+  Metrics.observe h 0.001;
+  let r3 = Flight.snap enc ~now:3. (Metrics.snapshot ()) in
+  Alcotest.(check bool) "counter delta" true
+    (contains r3 {|"flight_test_total":3|});
+  Alcotest.(check bool) "not the cumulative value" false
+    (contains r3 {|"flight_test_total":8|});
+  Alcotest.(check bool) "hist delta n" true (contains r3 {|"n":1|});
+  Alcotest.(check bool) "unchanged gauge omitted" false
+    (contains r3 "flight_test_depth");
+  (* The WAL frontier stamp is verbatim. *)
+  let r4 =
+    Flight.snap enc ~wal:("wal-000007.log", 4242) ~now:4.
+      (Metrics.snapshot ())
+  in
+  Alcotest.(check bool) "wal stamp" true
+    (contains r4 {|"wal":{"file":"wal-000007.log","off":4242}|})
+
+let test_encoder_traces_and_meta () =
+  fresh ();
+  let enc = Flight.create () in
+  let tr =
+    {
+      Pet_obs.Trace.id = "t-1";
+      started = 0.;
+      duration = 0.25;
+      slow = true;
+      annotations = [ ("method", Pet_obs.Trace.String "get_report") ];
+      spans = [];
+    }
+  in
+  let rs = Flight.slow_traces enc ~now:1. [ tr ] in
+  Alcotest.(check int) "one record" 1 (List.length rs);
+  Alcotest.(check bool) "trace id" true (contains (List.hd rs) {|"id":"t-1"|});
+  let rs' = Flight.slow_traces enc ~now:2. [ tr ] in
+  Alcotest.(check int) "each trace journaled once" 0 (List.length rs');
+  let m = Flight.meta enc ~now:3. ~event:"exit" [ ("mode", "test") ] in
+  Alcotest.(check bool) "meta event" true (contains m {|"event":"exit"|});
+  Alcotest.(check bool) "meta fields" true (contains m {|"mode":"test"|})
+
+(* --- Segments ------------------------------------------------------------------- *)
+
+let write_records dir ?segment_bytes ?keep records =
+  match Flight_log.open_dir ?segment_bytes ?keep dir with
+  | Error m -> Alcotest.failf "open_dir: %s" m
+  | Ok fl ->
+    List.iter (Flight_log.append fl) records;
+    Flight_log.close fl
+
+let read_all dir =
+  match
+    Flight_log.fold dir ~init:[] (fun acc r ->
+        r.Flight_log.payload :: acc)
+  with
+  | Error m -> Alcotest.failf "fold: %s" m
+  | Ok (acc, damage) -> (List.rev acc, damage)
+
+(* Segment sizes clamp at 4 KiB, so rotation tests need fat records. *)
+let fat_record i =
+  Printf.sprintf "{\"flight\":1,\"seq\":%d,\"pad\":\"%s\"}" i
+    (String.make 64 'x')
+
+let test_segment_roundtrip () =
+  let dir = temp_dir () in
+  let records = List.init 200 fat_record in
+  write_records dir ~segment_bytes:4096 ~keep:100 records;
+  let got, damage = read_all dir in
+  Alcotest.(check (list string)) "all records back in order" records got;
+  Alcotest.(check int) "no damage" 0 (List.length damage);
+  (* Rotation happened: more than one segment on disk. *)
+  let segments =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Flight_log.parse_name f <> None)
+  in
+  Alcotest.(check bool) "rotated" true (List.length segments > 1)
+
+let test_segment_retention () =
+  let dir = temp_dir () in
+  let records = List.init 400 fat_record in
+  write_records dir ~segment_bytes:4096 ~keep:2 records;
+  let segments =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Flight_log.parse_name f <> None)
+  in
+  (* keep sealed segments plus the live one. *)
+  Alcotest.(check bool) "retention bounds the family"
+    true
+    (List.length segments <= 3);
+  (* The tail of the stream survives pruning. *)
+  let got, _ = read_all dir in
+  Alcotest.(check bool) "latest records survive" true
+    (List.mem (fat_record 399) got)
+
+let test_torn_tail_is_silent () =
+  let dir = temp_dir () in
+  let records = List.init 5 (Printf.sprintf "{\"flight\":1,\"seq\":%d}") in
+  write_records dir records;
+  (* Chop bytes off the last (only) segment, mid-record: the kill -9
+     signature. Readers must truncate silently. *)
+  let file = Filename.concat dir (Flight_log.name 0) in
+  let size = (Unix.stat file).Unix.st_size in
+  let fd = Unix.openfile file [ Unix.O_WRONLY ] 0o644 in
+  Unix.ftruncate fd (size - 3);
+  Unix.close fd;
+  let got, damage = read_all dir in
+  Alcotest.(check int) "torn tail reported nowhere" 0 (List.length damage);
+  Alcotest.(check (list string))
+    "every whole record survives"
+    (List.filteri (fun i _ -> i < 4) records)
+    got
+
+let test_mid_journal_damage_is_reported () =
+  let dir = temp_dir () in
+  let records = List.init 200 fat_record in
+  write_records dir ~segment_bytes:4096 ~keep:100 records;
+  (* Flip a payload byte inside the first (sealed) segment: the CRC
+     catches it, the damage is reported, and scanning continues with
+     the next segment. *)
+  let file = Filename.concat dir (Flight_log.name 0) in
+  let fd = Unix.openfile file [ Unix.O_WRONLY ] 0o644 in
+  ignore (Unix.lseek fd 20 Unix.SEEK_SET);
+  ignore (Unix.write_substring fd "~" 0 1);
+  Unix.close fd;
+  let got, damage = read_all dir in
+  Alcotest.(check bool) "damage reported" true (List.length damage >= 1);
+  let d = List.hd damage in
+  Alcotest.(check string) "damage names the segment" (Flight_log.name 0)
+    d.Flight_log.dfile;
+  Alcotest.(check bool) "later segments still read" true
+    (List.mem (fat_record 199) got)
+
+(* --- SLO ------------------------------------------------------------------------- *)
+
+let test_slo_window_and_burn () =
+  fresh ();
+  let slo = Slo.create () in
+  (* 100 requests at 1ms, 2 errors: under the 50ms p99 target, over the
+     1% error budget. *)
+  for i = 1 to 100 do
+    Slo.record slo "get_report" ~now:(float_of_int i /. 10.)
+      ~latency:0.001 ~error:(i <= 2)
+  done;
+  let r = Option.get (Slo.report slo "get_report" ~now:10.) in
+  Alcotest.(check int) "windowed requests" 100 r.Slo.requests;
+  Alcotest.(check int) "windowed errors" 2 r.Slo.errors;
+  Alcotest.(check (float 1e-9)) "error ratio" 0.02 r.Slo.error_ratio;
+  Alcotest.(check bool) "p99 under target" true (r.Slo.p99_s <= 0.05);
+  Alcotest.(check int) "none over target" 0 r.Slo.over_target;
+  Alcotest.(check (float 1e-9)) "latency burn" 0. r.Slo.latency_burn;
+  (* 2% errors against a 1% objective burns at 2x. *)
+  Alcotest.(check (float 1e-9)) "error burn" 2. r.Slo.error_burn;
+  Alcotest.(check bool) "breached" true r.Slo.breached;
+  (* The same series evaluated after the window passed is empty: slices
+     age out by alignment alone. *)
+  let r' = Option.get (Slo.report slo "get_report" ~now:1000.) in
+  Alcotest.(check int) "aged out" 0 r'.Slo.requests;
+  Alcotest.(check bool) "no longer breached" false r'.Slo.breached
+
+let test_slo_latency_burn () =
+  fresh ();
+  let slo = Slo.create () in
+  (* 5 of 100 requests over the 50ms target: 5% consumption against a
+     1% budget burns at 5x. *)
+  for i = 1 to 100 do
+    Slo.record slo "submit_form" ~now:(float_of_int i /. 10.)
+      ~latency:(if i mod 20 = 0 then 0.5 else 0.001)
+      ~error:false
+  done;
+  let r = Option.get (Slo.report slo "submit_form" ~now:10.) in
+  Alcotest.(check int) "over target" 5 r.Slo.over_target;
+  Alcotest.(check (float 1e-9)) "latency burn" 5. r.Slo.latency_burn;
+  Alcotest.(check bool) "p99 over target" true (r.Slo.p99_s > 0.05);
+  Alcotest.(check bool) "breached" true r.Slo.breached;
+  Alcotest.(check (float 1e-9)) "error burn" 0. r.Slo.error_burn
+
+let test_slo_sync_gauges () =
+  fresh ();
+  let slo = Slo.create () in
+  Slo.record slo "stats" ~now:1. ~latency:0.001 ~error:false;
+  Slo.sync slo ~now:1.;
+  let s = Metrics.snapshot () in
+  let gauge name =
+    List.assoc (Printf.sprintf "%s{slo=\"stats\"}" name) s.Metrics.gauges
+  in
+  Alcotest.(check (float 0.)) "window requests gauge" 1.
+    (gauge "pet_slo_window_requests");
+  Alcotest.(check (float 0.)) "breached gauge" 0. (gauge "pet_slo_breached")
+
+(* --- Concurrency ----------------------------------------------------------------- *)
+
+(* Registration and observation from several domains at once: the
+   registry must neither lose instruments nor drop observations. Each
+   domain registers the same shared instruments (by name) plus one
+   private labeled counter, then hammers them. *)
+let test_multi_domain_observation () =
+  fresh ();
+  let domains = 4 and iters = 5_000 in
+  let worker d () =
+    let c = Metrics.counter "flight_mt_total" in
+    let mine =
+      Metrics.counter ~labels:[ ("domain", string_of_int d) ]
+        "flight_mt_domain_total"
+    in
+    let h = Metrics.histogram "flight_mt_seconds" in
+    for i = 1 to iters do
+      Metrics.incr c;
+      Metrics.incr mine;
+      Metrics.observe h (float_of_int (i mod 7) /. 1000.)
+    done
+  in
+  let ds = List.init domains (fun d -> Domain.spawn (worker d)) in
+  List.iter Domain.join ds;
+  let s = Metrics.snapshot () in
+  let counter name = List.assoc name s.Metrics.counters in
+  Alcotest.(check int) "shared counter conserved" (domains * iters)
+    (counter "flight_mt_total");
+  for d = 0 to domains - 1 do
+    Alcotest.(check int)
+      (Printf.sprintf "domain %d counter" d)
+      iters
+      (counter (Printf.sprintf "flight_mt_domain_total{domain=\"%d\"}" d))
+  done;
+  let h = List.assoc "flight_mt_seconds" s.Metrics.histograms in
+  Alcotest.(check int) "histogram count conserved" (domains * iters)
+    h.Metrics.count
+
+(* Snapshots taken while another domain records must stay well-formed
+   and monotone: deltas never go negative across a snap sequence. *)
+let test_snap_under_concurrent_writes () =
+  fresh ();
+  let stop = Atomic.make false in
+  let writer =
+    Domain.spawn (fun () ->
+        let c = Metrics.counter "flight_mt_live_total" in
+        while not (Atomic.get stop) do
+          Metrics.incr c
+        done)
+  in
+  let enc = Flight.create () in
+  let records =
+    List.init 50 (fun i ->
+        Flight.snap enc ~now:(float_of_int i) (Metrics.snapshot ()))
+  in
+  Atomic.set stop true;
+  Domain.join writer;
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "no negative counter delta" false
+        (contains r {|"flight_mt_live_total":-|}))
+    records
+
+let () =
+  Alcotest.run "flight"
+    [
+      ( "encoder",
+        [
+          Alcotest.test_case "delta encoding" `Quick test_encoder_deltas;
+          Alcotest.test_case "traces and meta" `Quick
+            test_encoder_traces_and_meta;
+        ] );
+      ( "segments",
+        [
+          Alcotest.test_case "roundtrip and rotation" `Quick
+            test_segment_roundtrip;
+          Alcotest.test_case "retention" `Quick test_segment_retention;
+          Alcotest.test_case "torn tail truncates silently" `Quick
+            test_torn_tail_is_silent;
+          Alcotest.test_case "mid-journal damage is reported" `Quick
+            test_mid_journal_damage_is_reported;
+        ] );
+      ( "slo",
+        [
+          Alcotest.test_case "window and error burn" `Quick
+            test_slo_window_and_burn;
+          Alcotest.test_case "latency burn" `Quick test_slo_latency_burn;
+          Alcotest.test_case "sync to gauges" `Quick test_slo_sync_gauges;
+        ] );
+      ( "concurrency",
+        [
+          Alcotest.test_case "multi-domain observation" `Quick
+            test_multi_domain_observation;
+          Alcotest.test_case "snapshots under writes" `Quick
+            test_snap_under_concurrent_writes;
+        ] );
+    ]

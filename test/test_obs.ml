@@ -532,6 +532,178 @@ let test_snapshot_determinism () =
   in
   Alcotest.(check string) "byte-identical exports" (record ()) (record_rev ())
 
+(* --- Prometheus grammar --------------------------------------------------------- *)
+
+(* A promtool-style line validator for the exposition format: every
+   line must be a # HELP/# TYPE header or a well-formed sample, names
+   must match the metric-name grammar, label values must use only the
+   three legal escapes, every family's samples must follow its own
+   header pair. Run against a registry loaded with hostile label
+   values and help text. *)
+
+let valid_name n =
+  let first c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = ':'
+  in
+  let rest c = first c || (c >= '0' && c <= '9') in
+  n <> ""
+  && first n.[0]
+  && String.for_all rest (String.sub n 1 (String.length n - 1))
+
+(* Validate a sample line "name{k="v",...} value"; returns the metric
+   name, or fails the test with the reason. *)
+let check_sample line =
+  let n = String.length line in
+  let fail reason = Alcotest.failf "%s: %s" reason line in
+  let i = ref 0 in
+  while !i < n && line.[!i] <> '{' && line.[!i] <> ' ' do incr i done;
+  let name = String.sub line 0 !i in
+  if not (valid_name name) then fail "bad metric name";
+  if !i < n && line.[!i] = '{' then begin
+    incr i;
+    let fin = ref false in
+    while not !fin do
+      let k0 = !i in
+      while !i < n && line.[!i] <> '=' do incr i done;
+      if !i >= n || not (valid_name (String.sub line k0 (!i - k0))) then
+        fail "bad label key";
+      incr i;
+      if !i >= n || line.[!i] <> '"' then fail "label value not quoted";
+      incr i;
+      while !i < n && line.[!i] <> '"' do
+        if line.[!i] = '\\' then begin
+          (if
+             !i + 1 >= n
+             || not
+                  (match line.[!i + 1] with
+                  | '\\' | '"' | 'n' -> true
+                  | _ -> false)
+           then fail "illegal escape");
+          i := !i + 2
+        end
+        else incr i
+      done;
+      if !i >= n then fail "unterminated label value";
+      incr i;
+      if !i < n && line.[!i] = ',' then incr i
+      else if !i < n && line.[!i] = '}' then begin
+        incr i;
+        fin := true
+      end
+      else fail "expected , or } after label value"
+    done
+  end;
+  if !i >= n || line.[!i] <> ' ' then fail "expected space before value";
+  let value = String.sub line (!i + 1) (n - !i - 1) in
+  if float_of_string_opt value = None then fail "unparsable sample value";
+  name
+
+let test_prometheus_grammar () =
+  fresh ();
+  let hostile = "a\"b\\c\nd" in
+  let c =
+    Metrics.counter
+      ~labels:[ ("path", hostile) ]
+      ~help:"Total with \"hostile\" labels\nand a newline." "pet_obs_hostile_total"
+  in
+  Metrics.add c 3;
+  let g = Metrics.gauge ~help:"Depth of something." "pet_obs_hostile_depth" in
+  Metrics.set_gauge g 1.5;
+  let h =
+    Metrics.histogram
+      ~labels:[ ("method", "sta\\ts") ]
+      "pet_obs_hostile_seconds"
+  in
+  Metrics.observe h 0.002;
+  let text = Export.prometheus (Metrics.snapshot ()) in
+  (* Escaping on the wire: quote and backslash become backslash
+     escapes, the newline becomes a literal backslash-n. *)
+  Alcotest.(check bool) "label value escaped" true
+    (contains text {|path="a\"b\\c\nd"|});
+  Alcotest.(check bool) "help newline escaped" true
+    (contains text {|# HELP pet_obs_hostile_total Total with "hostile" labels\nand a newline.|});
+  Alcotest.(check bool) "default help fallback" true
+    (contains text "# HELP pet_obs_hostile_seconds Metric pet_obs_hostile_seconds.");
+  (* Line-by-line grammar check, tracking header placement. *)
+  let seen_type : (string, string) Hashtbl.t = Hashtbl.create 16 in
+  let last_help = ref None in
+  let lines = String.split_on_char '\n' text in
+  List.iter
+    (fun line ->
+      if line = "" then ()
+      else if String.length line >= 7 && String.sub line 0 7 = "# HELP " then begin
+        let rest = String.sub line 7 (String.length line - 7) in
+        let sp =
+          match String.index_opt rest ' ' with
+          | Some i -> i
+          | None -> Alcotest.failf "HELP without text: %s" line
+        in
+        let family = String.sub rest 0 sp in
+        if not (valid_name family) then
+          Alcotest.failf "bad HELP family: %s" line;
+        let text = String.sub rest (sp + 1) (String.length rest - sp - 1) in
+        if String.exists (fun ch -> ch = '\n') text then
+          Alcotest.failf "unescaped newline in HELP: %s" line;
+        last_help := Some family
+      end
+      else if String.length line >= 7 && String.sub line 0 7 = "# TYPE " then begin
+        let rest = String.sub line 7 (String.length line - 7) in
+        match String.split_on_char ' ' rest with
+        | [ family; kind ] ->
+          if not (List.mem kind [ "counter"; "gauge"; "histogram" ]) then
+            Alcotest.failf "unknown TYPE kind: %s" line;
+          (* promtool insists HELP immediately precedes TYPE. *)
+          Alcotest.(check (option string))
+            ("HELP precedes TYPE for " ^ family)
+            (Some family) !last_help;
+          if Hashtbl.mem seen_type family then
+            Alcotest.failf "duplicate TYPE for %s" family;
+          Hashtbl.add seen_type family kind
+        | _ -> Alcotest.failf "malformed TYPE line: %s" line
+      end
+      else begin
+        let name = check_sample line in
+        (* Histogram samples hang off their family's TYPE via the
+           _bucket/_sum/_count suffixes; everything else must carry
+           its own header. *)
+        let strip suffix =
+          let ns = String.length name and nx = String.length suffix in
+          if ns > nx && String.sub name (ns - nx) nx = suffix then
+            Some (String.sub name 0 (ns - nx))
+          else None
+        in
+        let family =
+          match
+            List.find_map strip [ "_bucket"; "_sum"; "_count" ]
+            |> Option.map (fun f ->
+                   if Hashtbl.find_opt seen_type f = Some "histogram" then
+                     Some f
+                   else None)
+          with
+          | Some (Some f) -> f
+          | _ -> name
+        in
+        if not (Hashtbl.mem seen_type family) then
+          Alcotest.failf "sample before its TYPE header: %s" line
+      end)
+    lines
+
+let test_escape_label () =
+  Alcotest.(check string)
+    "plain values pass through" "get_report"
+    (Metrics.escape_label "get_report");
+  Alcotest.(check string)
+    "quote, backslash, newline" {|a\"b\\c\nd|}
+    (Metrics.escape_label "a\"b\\c\nd")
+
+let test_help_first_writer_wins () =
+  fresh ();
+  ignore (Metrics.counter ~help:"First." "pet_obs_help_total");
+  ignore (Metrics.counter ~help:"Second." "pet_obs_help_total");
+  Alcotest.(check (option string))
+    "first writer wins" (Some "First.")
+    (Metrics.help "pet_obs_help_total")
+
 let () =
   Alcotest.run "obs"
     [
@@ -581,6 +753,11 @@ let () =
       ( "export",
         [
           Alcotest.test_case "prometheus text" `Quick test_prometheus_export;
+          Alcotest.test_case "prometheus grammar (promtool-style)" `Quick
+            test_prometheus_grammar;
+          Alcotest.test_case "label escaping" `Quick test_escape_label;
+          Alcotest.test_case "help is first-writer-wins" `Quick
+            test_help_first_writer_wins;
           Alcotest.test_case "stderr line" `Quick test_line_export;
           Alcotest.test_case "snapshot determinism" `Quick
             test_snapshot_determinism;
